@@ -1,0 +1,35 @@
+# Bench harness: one binary per paper table/figure, emitted straight into
+# ${CMAKE_BINARY_DIR}/bench (no CMake scaffolding in that directory, so that
+# `for b in build/bench/*; do $b; done` runs clean).
+
+add_library(cpg_bench_common STATIC
+  ${CMAKE_CURRENT_SOURCE_DIR}/bench/common.cpp
+)
+target_include_directories(cpg_bench_common PUBLIC ${CMAKE_CURRENT_SOURCE_DIR}/bench)
+target_link_libraries(cpg_bench_common PUBLIC
+  cpg_core cpg_io cpg_model cpg_generator cpg_synthetic cpg_statemachine cpg_validation)
+
+function(cpg_add_bench name)
+  add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE cpg_bench_common ${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+cpg_add_bench(table1_breakdown)
+cpg_add_bench(fig2_diurnal_boxplots cpg_stats)
+cpg_add_bench(table8_9_test_sweep)
+cpg_add_bench(table10_substate_sweep)
+cpg_add_bench(fig3_variance_time cpg_stats cpg_clustering)
+cpg_add_bench(fig4_cdf_tails cpg_stats cpg_clustering)
+cpg_add_bench(table4_macro_s2)
+cpg_add_bench(table11_macro_s1)
+cpg_add_bench(table5_micro)
+cpg_add_bench(table6_active_split)
+cpg_add_bench(fig7_perue_cdfs)
+cpg_add_bench(table7_5g)
+cpg_add_bench(micro_perf benchmark::benchmark)
+
+cpg_add_bench(ablation_aggregate)
+cpg_add_bench(ablation_design)
+cpg_add_bench(ablation_clustering)

@@ -1,0 +1,75 @@
+// Shared scaffolding for the benchmark harness: every bench binary
+// regenerates one of the paper's tables or figures. Populations are scaled
+// down by default so the whole suite runs in minutes; pass --scale=N to
+// enlarge (--scale=18 restores roughly paper-size populations: 37K UEs to
+// fit, 38K/380K to validate).
+//
+// Common flags: --scale=<float> --seed=<u64> --threads=<n> --fit-hours=<h>
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.h"
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+
+namespace cpg::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  std::uint64_t seed = 2024;
+  unsigned threads = 0;
+  double fit_hours = 168.0;  // the paper's 7-day collection window
+
+  // Derived sizes.
+  std::size_t fit_ues() const;        // ~2000 * scale
+  std::size_t scenario1_ues() const;  // ~  1x fit population (paper: 38K)
+  std::size_t scenario2_ues() const;  // ~ 10x fit population (paper: 380K)
+  std::size_t cluster_theta_n() const;  // theta_n scaled from the paper's 1000
+
+  static BenchConfig from_args(int argc, char** argv);
+};
+
+// Prints the standard bench header (binary name, config, what it
+// reproduces).
+void print_header(std::ostream& os, const std::string& title,
+                  const std::string& paper_ref, const BenchConfig& config);
+
+// Ground-truth workload used to fit models (the paper's "input trace").
+Trace make_fit_trace(const BenchConfig& config);
+
+// Independent ground-truth draw used as the "real trace" a validation
+// scenario compares against. Spans two days so a busy hour of day 1 can be
+// sliced out.
+Trace make_real_trace(const BenchConfig& config, std::size_t total_ues);
+
+// Slices [day 1 @ hour, +1h) of a finalized trace, preserving UE identities.
+Trace slice_hour(const Trace& trace, int hour);
+
+// Fits one of the Table 3 methods with bench-appropriate clustering
+// thresholds.
+model::ModelSet fit_method(const Trace& fit_trace, model::Method method,
+                           const BenchConfig& config);
+
+// Synthesizes a 1-hour validation trace with the ground-truth device mix.
+Trace synthesize_hour(const model::ModelSet& models, std::size_t total_ues,
+                      int hour, const BenchConfig& config);
+
+// Device mix used throughout (63/25/12, the paper's population).
+std::array<std::size_t, k_num_device_types> device_mix(std::size_t total);
+
+// Short device column names as used in the paper ("P", "CC", "T").
+std::string_view device_short_name(DeviceType d);
+
+// Shared implementation of Tables 4 and 11: fits all four Table 3 methods
+// on the fit trace, synthesizes a busy-hour trace for `total_ues`, and
+// prints per-device signed breakdown differences vs the real trace.
+// `paper_ours` holds the paper's "Ours" deltas (percent, [device][row]) for
+// side-by-side comparison.
+void run_macro_comparison(const BenchConfig& config, std::size_t total_ues,
+                          const char* title, const char* paper_ref,
+                          const double (&paper_ours)[3][8], std::ostream& os);
+
+}  // namespace cpg::bench

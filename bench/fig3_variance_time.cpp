@@ -1,0 +1,154 @@
+// Figure 3: variance-time plots for the CONNECTED and IDLE states and the
+// HO and TAU events for phones — real trace vs fitted Poisson. The paper
+// reports the real curves sitting 0.2..2.0 above the Poisson reference in
+// log10 normalized variance over the 10..1000 s scales.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "clustering/features.h"
+#include "common.h"
+#include "io/table.h"
+#include "statemachine/replay.h"
+#include "stats/variance_time.h"
+#include "validation/macro.h"
+
+namespace {
+
+using namespace cpg;
+
+// Event arrival series for one series kind, restricted to the cluster's UEs.
+enum class Series { connected_entry, idle_entry, ho, tau };
+
+const char* series_name(Series s) {
+  switch (s) {
+    case Series::connected_entry:
+      return "CONNECTED";
+    case Series::idle_entry:
+      return "IDLE";
+    case Series::ho:
+      return "HO";
+    case Series::tau:
+      return "TAU";
+  }
+  return "?";
+}
+
+std::vector<TimeMs> arrivals_of(const Trace& trace,
+                                const std::vector<bool>& in_cluster,
+                                Series s) {
+  std::vector<TimeMs> out;
+  for (const ControlEvent& e : trace.events()) {
+    if (!in_cluster[e.ue_id]) continue;
+    const bool take =
+        (s == Series::connected_entry &&
+         (e.type == EventType::srv_req || e.type == EventType::atch)) ||
+        (s == Series::idle_entry && e.type == EventType::s1_conn_rel) ||
+        (s == Series::ho && e.type == EventType::ho) ||
+        (s == Series::tau && e.type == EventType::tau);
+    if (take) out.push_back(e.t_ms);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::BenchConfig::from_args(argc, argv);
+  bench::print_header(std::cout,
+                      "Figure 3: variance-time plots (phones cluster)",
+                      "paper Fig. 3", config);
+
+  const Trace trace = bench::make_fit_trace(config);
+  const int busy = validation::busy_hour(trace);
+
+  // Cluster phones at the busy hour; analyze the largest cluster.
+  const auto groups = trace.group_by_ue(DeviceType::phone);
+  const int num_days = day_of(trace.end_time()) + 1;
+  const auto features = clustering::extract_features(
+      sm::lte_two_level_spec(), groups, num_days);
+  std::vector<clustering::UeHourFeatures> hour_features(groups.size());
+  for (std::size_t u = 0; u < groups.size(); ++u) {
+    hour_features[u] = features[u][static_cast<std::size_t>(busy)];
+  }
+  clustering::ClusteringParams params;
+  params.theta_n = config.cluster_theta_n();
+  const auto clusters = clustering::adaptive_cluster(hour_features, params);
+  // Pick the most active sufficiently large cluster.
+  std::vector<double> activity(clusters.num_clusters, 0.0);
+  std::vector<std::size_t> size(clusters.num_clusters, 0);
+  for (std::size_t u = 0; u < groups.size(); ++u) {
+    activity[clusters.assignment[u]] += hour_features[u].f[0];
+    ++size[clusters.assignment[u]];
+  }
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 0; c < clusters.num_clusters; ++c) {
+    if (size[c] >= 10 && activity[c] > activity[best]) best = c;
+  }
+  std::vector<bool> in_cluster(trace.num_ues(), false);
+  for (std::size_t u = 0; u < groups.size(); ++u) {
+    if (clusters.assignment[u] == best && !groups[u].empty()) {
+      in_cluster[groups[u].front().ue_id] = true;
+    }
+  }
+  std::cout << "Sampled cluster: " << size[best] << " phones (of "
+            << groups.size() << "), hour " << busy << "\n\n";
+
+  // Analysis window: a 12-hour daytime span of day 1 (keeps the process
+  // near-stationary, as the paper's per-hour fits do).
+  const TimeMs t0 = k_ms_per_day + 8 * k_ms_per_hour;
+  const TimeMs t1 = std::min<TimeMs>(t0 + 12 * k_ms_per_hour,
+                                     trace.end_time());
+  const auto scales = stats::default_vt_scales();
+
+  Rng rng(config.seed + 7);
+  for (Series s : {Series::connected_entry, Series::idle_entry, Series::ho,
+                   Series::tau}) {
+    const auto arrivals = arrivals_of(trace, in_cluster, s);
+    std::size_t in_window = 0;
+    for (TimeMs t : arrivals) in_window += (t >= t0 && t < t1) ? 1 : 0;
+    if (in_window < 100) {
+      std::cout << series_name(s) << ": too few arrivals in window ("
+                << in_window << "), skipped\n\n";
+      continue;
+    }
+    const double rate =
+        static_cast<double>(in_window) / ms_to_seconds(t1 - t0);
+    const auto poisson = stats::poisson_arrivals(rate, t0, t1, rng);
+
+    const auto real_curve = stats::variance_time_curve(arrivals, t0, t1,
+                                                       scales);
+    const auto fit_curve = stats::variance_time_curve(poisson, t0, t1,
+                                                      scales);
+
+    io::Table table({"scale (s)", "log10 nvar real", "log10 nvar poisson",
+                     "difference"});
+    double min_diff = 1e300, max_diff = -1e300;
+    for (std::size_t i = 0; i < real_curve.size() && i < fit_curve.size();
+         ++i) {
+      const double lr = std::log10(real_curve[i].normalized_variance);
+      const double lp = std::log10(fit_curve[i].normalized_variance);
+      if (real_curve[i].scale_s >= 10.0) {
+        min_diff = std::min(min_diff, lr - lp);
+        max_diff = std::max(max_diff, lr - lp);
+      }
+      table.add_row({io::fmt_double(real_curve[i].scale_s, 0),
+                     io::fmt_double(lr, 2), io::fmt_double(lp, 2),
+                     io::fmt_double(lr - lp, 2)});
+    }
+    std::cout << series_name(s) << " (" << in_window
+              << " arrivals in window, rate " << io::fmt_double(rate, 3)
+              << "/s):\n";
+    table.print(std::cout);
+    std::cout << "log10 difference over scales 10..1000 s: "
+              << io::fmt_double(min_diff, 2) << " .. "
+              << io::fmt_double(max_diff, 2)
+              << "  (paper: 0.43..2.00 CONNECTED, 0.18..1.00 IDLE, "
+                 "0.20..1.20 HO, -0.04..0.63 TAU)\n\n";
+  }
+
+  std::cout << "Expected shape: real curves above the Poisson reference "
+               "across 10..1000 s => control traffic is burstier than any "
+               "Poisson model.\n";
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Generator and pipeline micro-benchmarks (google-benchmark).
+//
+// The paper reports 1.46 / 0.68 / 0.55 s to synthesize one UE-hour for
+// phones / connected cars / tablets on a 1.9 GHz Xeon (Python + `parallel`).
+// BM_GenerateUeHour measures the same operation in this C++ implementation.
+#include <benchmark/benchmark.h>
+
+#include "clustering/features.h"
+#include "common.h"
+#include "model/fit.h"
+#include "statemachine/replay.h"
+#include "stats/fit.h"
+#include "stats/gof.h"
+#include "synthetic/workload.h"
+#include "validation/macro.h"
+
+namespace {
+
+using namespace cpg;
+
+const bench::BenchConfig& config() {
+  static const bench::BenchConfig c = [] {
+    bench::BenchConfig c;
+    c.scale = 0.25;  // micro-bench fixtures stay small
+    return c;
+  }();
+  return c;
+}
+
+const Trace& fit_trace() {
+  static const Trace t = bench::make_fit_trace(config());
+  return t;
+}
+
+const model::ModelSet& ours_model() {
+  static const model::ModelSet m =
+      bench::fit_method(fit_trace(), model::Method::ours, config());
+  return m;
+}
+
+int busy_hour_cached() {
+  static const int h = validation::busy_hour(fit_trace());
+  return h;
+}
+
+void BM_SimulateGroundTruthUeHour(benchmark::State& state) {
+  const auto device = static_cast<DeviceType>(state.range(0));
+  std::uint64_t stream = 0;
+  std::vector<ControlEvent> out;
+  for (auto _ : state) {
+    out.clear();
+    Rng rng(42, stream++);
+    synthetic::simulate_ue(synthetic::profile_for(device), k_ms_per_hour, 0,
+                           rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SimulateGroundTruthUeHour)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GenerateUeHour(benchmark::State& state) {
+  const auto device = static_cast<DeviceType>(state.range(0));
+  const auto& model = ours_model();
+  const auto& dev = model.device(device);
+  const TimeMs t0 = static_cast<TimeMs>(busy_hour_cached()) * k_ms_per_hour;
+  std::uint64_t stream = 0;
+  std::vector<ControlEvent> out;
+  gen::UeGenOptions opts;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    out.clear();
+    Rng rng(7, stream++);
+    const auto modeled =
+        static_cast<std::uint32_t>(rng.uniform_index(dev.ue_traj.size()));
+    gen::generate_ue(model, device, modeled, t0, t0 + k_ms_per_hour, 0, rng,
+                     opts, out);
+    events += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["events_per_ue"] = benchmark::Counter(
+      static_cast<double>(events) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GenerateUeHour)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ReplayTwoLevel(benchmark::State& state) {
+  const auto groups = fit_trace().group_by_ue(DeviceType::phone);
+  sm::ReplayVisitor visitor;
+  std::size_t events = 0;
+  for (const auto& g : groups) events += g.size();
+  for (auto _ : state) {
+    for (const auto& g : groups) {
+      sm::replay_ue(sm::lte_two_level_spec(), g, visitor);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReplayTwoLevel);
+
+void BM_MachineApply(benchmark::State& state) {
+  sm::TwoLevelMachine machine(sm::lte_two_level_spec(), TopState::idle);
+  const EventType cycle[] = {EventType::srv_req, EventType::ho,
+                             EventType::tau, EventType::s1_conn_rel,
+                             EventType::tau, EventType::s1_conn_rel};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.apply(cycle[i++ % std::size(cycle)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineApply);
+
+void BM_FitOursModel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto set = bench::fit_method(fit_trace(), model::Method::ours, config());
+    benchmark::DoNotOptimize(set.num_days_fitted);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(fit_trace().num_events()) *
+      state.iterations());
+}
+BENCHMARK(BM_FitOursModel)->Unit(benchmark::kMillisecond);
+
+void BM_AdaptiveClustering(benchmark::State& state) {
+  const auto groups = fit_trace().group_by_ue(DeviceType::phone);
+  const int days = day_of(fit_trace().end_time()) + 1;
+  const auto features = clustering::extract_features(
+      sm::lte_two_level_spec(), groups, days);
+  std::vector<clustering::UeHourFeatures> hf(groups.size());
+  for (std::size_t u = 0; u < groups.size(); ++u) {
+    hf[u] = features[u][static_cast<std::size_t>(busy_hour_cached())];
+  }
+  clustering::ClusteringParams params;
+  params.theta_n = config().cluster_theta_n();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::adaptive_cluster(hf, params).num_clusters);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hf.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_AdaptiveClustering);
+
+void BM_KsTest(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.lognormal(1.0, 1.2);
+  const auto fitted = stats::fit_exponential(sample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_test(sample, fitted).statistic);
+  }
+}
+BENCHMARK(BM_KsTest)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AdTest(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.lognormal(1.0, 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ad_test_exponential(sample).a2);
+  }
+}
+BENCHMARK(BM_AdTest)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WeibullMle(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> sample(2000);
+  for (auto& x : sample) x = rng.weibull(1.4, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_weibull(sample).shape());
+  }
+}
+BENCHMARK(BM_WeibullMle);
+
+void BM_GeneratePopulationHour(benchmark::State& state) {
+  const auto total = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    gen::GenerationRequest req;
+    req.ue_counts = bench::device_mix(total);
+    req.start_hour = busy_hour_cached();
+    req.duration_hours = 1.0;
+    req.seed = seed++;
+    auto t = gen::generate_trace(ours_model(), req);
+    benchmark::DoNotOptimize(t.num_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total) *
+                          state.iterations());
+  state.counters["paper_seconds_per_ue_hour"] = 1.46;
+}
+BENCHMARK(BM_GeneratePopulationHour)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

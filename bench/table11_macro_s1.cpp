@@ -1,0 +1,26 @@
+// Table 11: differences of event breakdown between the real trace and
+// traces synthesized by Base/B1/B2/Ours under Scenario 1 (paper: 38K UEs;
+// here ~1x the fitted population, scaled).
+#include <iostream>
+
+#include "common.h"
+
+namespace {
+
+// Paper Table 11 "Ours" columns (percent deltas, [P/CC/T][8 rows]).
+constexpr double k_paper_ours[3][8] = {
+    {0.0, 0.1, 1.3, 1.1, -1.7, 0.0, -0.3, -0.5},  // phones
+    {0.4, 1.0, 5.0, 2.1, -4.6, 0.0, -0.8, -3.1},  // connected cars
+    {0.5, 0.8, 0.1, -0.3, -0.3, 0.0, -0.1, -0.7},  // tablets
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = cpg::bench::BenchConfig::from_args(argc, argv);
+  cpg::bench::run_macro_comparison(
+      config, config.scenario1_ues(),
+      "Table 11: breakdown differences, Scenario 1 (1x population)",
+      "paper Table 11 (38K UEs)", k_paper_ours, std::cout);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table 4: differences of event breakdown between the real trace and
+// traces synthesized by Base/B1/B2/Ours under Scenario 2 (paper: 380K UEs;
+// here 10x the fitted population, scaled).
+#include <iostream>
+
+#include "common.h"
+
+namespace {
+
+// Paper Table 4 "Ours" columns (percent deltas, [P/CC/T][8 rows]).
+constexpr double k_paper_ours[3][8] = {
+    {0.0, 0.1, 1.4, 1.0, -1.7, 0.0, -0.3, -0.6},   // phones
+    {0.3, 0.6, 4.5, 2.5, -4.9, 0.0, -0.8, -2.2},   // connected cars
+    {0.6, 0.8, -0.0, -0.1, -0.7, 0.0, -0.1, -0.4},  // tablets
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = cpg::bench::BenchConfig::from_args(argc, argv);
+  cpg::bench::run_macro_comparison(
+      config, config.scenario2_ues(),
+      "Table 4: breakdown differences, Scenario 2 (10x population)",
+      "paper Table 4 (380K UEs)", k_paper_ours, std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Tables 8 and 9: percentages of 1-hour (cluster) intervals whose
+// inter-arrival time per event type / sojourn time per classic UE state
+// pass the goodness-of-fit tests for the traditional distribution families
+// — without UE clustering (Table 8) and with it (Table 9). The paper's
+// headline: everything fails; the best family (Weibull with clustering)
+// tops out around 40%, Poisson stays below ~24% (A2) / ~5% (K-S).
+#include <iostream>
+
+#include "common.h"
+#include "io/table.h"
+#include "validation/test_sweep.h"
+
+namespace {
+
+void print_sweep(const cpg::validation::EventStateSweep& sweep,
+                 std::ostream& os) {
+  using namespace cpg;
+  std::vector<std::string> header{"Test", "Device"};
+  for (std::size_t c = 0; c < validation::k_num_event_state_categories;
+       ++c) {
+    header.emplace_back(validation::event_state_category_name(c));
+  }
+  io::Table table(header);
+  for (std::size_t v = 0; v < validation::k_num_gof_variants; ++v) {
+    for (DeviceType d : k_all_device_types) {
+      std::vector<std::string> row{
+          std::string(to_string(static_cast<validation::GofVariant>(v))),
+          std::string(bench::device_short_name(d))};
+      for (std::size_t c = 0; c < validation::k_num_event_state_categories;
+           ++c) {
+        const auto& cell = sweep.cells[v][index_of(d)][c];
+        row.push_back(cell.total == 0 ? "-" : io::fmt_pct(cell.rate()));
+      }
+      table.add_row(std::move(row));
+    }
+    if (v + 1 < validation::k_num_gof_variants) table.add_rule();
+  }
+  table.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  const auto config = bench::BenchConfig::from_args(argc, argv);
+  bench::print_header(
+      std::cout, "Tables 8 & 9: classic-distribution goodness-of-fit sweep",
+      "paper Tables 8 (no clustering) and 9 (with clustering)", config);
+
+  const Trace trace = bench::make_fit_trace(config);
+
+  validation::SweepOptions opts;
+  opts.clustering.theta_n = config.cluster_theta_n();
+  opts.min_samples = 30;
+
+  opts.with_clustering = false;
+  std::cout << "Table 8 — WITHOUT UE clustering (pass rates; '-' = no "
+               "interval had enough samples):\n";
+  print_sweep(validation::sweep_events_states(trace, opts), std::cout);
+
+  opts.with_clustering = true;
+  std::cout << "\nTable 9 — WITH UE clustering:\n";
+  print_sweep(validation::sweep_events_states(trace, opts), std::cout);
+
+  std::cout << "\nExpected shape: near-0% everywhere without clustering "
+               "(each pooled hour mixes heterogeneous UEs); with "
+               "clustering rates rise but stay far from acceptance — no "
+               "classic family models per-UE control traffic.\n";
+  return 0;
+}

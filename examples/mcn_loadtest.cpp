@@ -1,0 +1,98 @@
+// MCN load test: the paper's primary use case (§3.1) — drive a mobile core
+// with synthesized control traffic to evaluate its design.
+//
+// This example fits the model, synthesizes busy-hour traffic at 1x and 4x
+// population scale, and pushes it through the discrete-event EPC simulator,
+// reporting per-NF utilization / queueing and procedure latency. It also
+// contrasts Ours vs the Poisson baseline: the baseline's misplaced HO storm
+// changes where the core saturates.
+//
+// Run: ./build/examples/mcn_loadtest
+#include <iostream>
+
+#include "generator/traffic_generator.h"
+#include "io/table.h"
+#include "mcn/simulator.h"
+#include "model/fit.h"
+#include "synthetic/workload.h"
+#include "validation/macro.h"
+
+namespace {
+
+using namespace cpg;
+
+void report(const char* label, const Trace& trace,
+            const mcn::SimulationConfig& config, std::ostream& os) {
+  const auto result = mcn::simulate(trace, config);
+  const auto load = mcn::offered_load(trace, config);
+
+  os << label << ": " << io::fmt_count(trace.num_events())
+     << " events over " << io::fmt_double(result.makespan_s, 1) << " s, "
+     << io::fmt_count(result.messages) << " signaling messages\n";
+  io::Table table({"NF", "workers", "offered load", "utilization",
+                   "mean wait (us)", "max wait (us)", "max queue"});
+  for (mcn::NetworkFunction nf : mcn::k_all_nfs) {
+    const auto& s = result.nf[mcn::index_of(nf)];
+    table.add_row({std::string(mcn::to_string(nf)),
+                   std::to_string(config.nfs[mcn::index_of(nf)].workers),
+                   io::fmt_double(load[mcn::index_of(nf)], 3),
+                   io::fmt_pct(s.utilization), io::fmt_double(s.mean_wait_us, 1),
+                   io::fmt_double(s.max_wait_us, 1),
+                   std::to_string(s.max_queue_depth)});
+  }
+  table.print(os);
+  os << "procedure latency (us): p50=" << io::fmt_double(result.latency_us.p50, 0)
+     << " p95=" << io::fmt_double(result.latency_us.p95, 0)
+     << " p99=" << io::fmt_double(result.latency_us.p99, 0)
+     << " max=" << io::fmt_double(result.latency_us.max, 0) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  // Fit on a 48 h sample of 800 UEs.
+  auto workload = synthetic::default_population(800);
+  workload.duration_hours = 48.0;
+  workload.seed = 3;
+  const Trace sample = synthetic::generate_ground_truth(workload);
+  const int busy = validation::busy_hour(sample);
+
+  model::FitOptions fit_options;
+  fit_options.clustering.theta_n = 40;
+  fit_options.method = model::Method::ours;
+  const auto ours = model::fit_model(sample, fit_options);
+  fit_options.method = model::Method::base;
+  const auto base = model::fit_model(sample, fit_options);
+
+  auto synthesize = [&](const model::ModelSet& set, std::size_t ues) {
+    gen::GenerationRequest req;
+    req.ue_counts = synthetic::default_population(ues).ue_counts;
+    req.start_hour = busy;
+    req.duration_hours = 1.0;
+    req.seed = 11;
+    return gen::generate_trace(set, req);
+  };
+
+  // A small software EPC: 2 MME workers, 1 worker elsewhere.
+  mcn::SimulationConfig core;
+  core.nfs[mcn::index_of(mcn::NetworkFunction::mme)].workers = 2;
+
+  std::cout << "=== EPC control-plane load test (busy hour " << busy
+            << ") ===\n\n";
+  report("Ours @ 4,000 UEs", synthesize(ours, 4'000), core, std::cout);
+  report("Ours @ 16,000 UEs", synthesize(ours, 16'000), core, std::cout);
+  report("Poisson baseline @ 16,000 UEs", synthesize(base, 16'000), core,
+         std::cout);
+
+  // Emulate a metro-scale population (~2M UEs) by slowing the reference
+  // core 128x — same offered-load ratio, and the MME starts to queue.
+  mcn::SimulationConfig slice = core;
+  for (auto& nf : slice.nfs) nf.service_scale = 128.0;
+  report("Ours @ 16,000 UEs, 128x service cost (≈2M-UE metro slice)",
+         synthesize(ours, 16'000), slice, std::cout);
+
+  std::cout << "Reading: utilization grows ~linearly with population "
+               "(scalability goal §3.2); the baseline shifts load toward "
+               "MME/SGW through its HO storm, mis-sizing the core.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// NextG what-if analysis (paper §6 + §3.1 use case 2): how does the mobile
+// core's control-plane load change when the same UE population moves from
+// LTE to 5G NSA / 5G SA, and when the population grows?
+//
+// Fits the LTE model, derives the 5G variants by parameter scaling (HO
+// x4.6 NSA / x3.0 SA, TAU removed under SA), synthesizes busy-hour traffic
+// and compares event volumes and EPC load.
+//
+// Run: ./build/examples/nextg_scaling
+#include <iostream>
+
+#include "generator/traffic_generator.h"
+#include "io/table.h"
+#include "mcn/fiveg_core.h"
+#include "mcn/simulator.h"
+#include "model/fit.h"
+#include "model/nextg.h"
+#include "synthetic/workload.h"
+#include "validation/macro.h"
+
+int main() {
+  using namespace cpg;
+
+  auto workload = synthetic::default_population(800);
+  workload.duration_hours = 48.0;
+  workload.seed = 9;
+  const Trace sample = synthetic::generate_ground_truth(workload);
+  const int busy = validation::busy_hour(sample);
+
+  model::FitOptions fit_options;
+  fit_options.clustering.theta_n = 40;
+  const auto lte = model::fit_model(sample, fit_options);
+  const auto nsa = model::derive_5g(lte, model::nsa_defaults());
+  const auto sa = model::derive_5g(lte, model::sa_defaults());
+
+  auto synthesize = [&](const model::ModelSet& set, std::size_t ues) {
+    gen::GenerationRequest req;
+    req.ue_counts = synthetic::default_population(ues).ue_counts;
+    req.start_hour = busy;
+    req.duration_hours = 1.0;
+    req.seed = 23;
+    return gen::generate_trace(set, req);
+  };
+
+  mcn::SimulationConfig core;
+  core.nfs[mcn::index_of(mcn::NetworkFunction::mme)].workers = 2;
+
+  std::cout << "=== LTE -> 5G control-plane what-if (busy hour " << busy
+            << ") ===\n\n";
+  io::Table table({"scenario", "UEs", "events/h", "HO share", "MME util",
+                   "SGW util", "p99 latency (us)"});
+  struct Row {
+    const char* name;
+    const model::ModelSet* set;
+    std::size_t ues;
+  };
+  const Row rows[] = {
+      {"LTE 1x", &lte, 8'000},    {"5G NSA 1x", &nsa, 8'000},
+      {"5G SA 1x", &sa, 8'000},   {"LTE 4x", &lte, 32'000},
+      {"5G NSA 4x", &nsa, 32'000}, {"5G SA 4x", &sa, 32'000},
+  };
+  for (const Row& row : rows) {
+    const Trace t = synthesize(*row.set, row.ues);
+    const auto counts = t.count_by_device_event();
+    std::uint64_t ho = 0, total = 0;
+    for (DeviceType d : k_all_device_types) {
+      for (std::size_t e = 0; e < k_num_event_types; ++e) {
+        total += counts[index_of(d)][e];
+      }
+      ho += counts[index_of(d)][index_of(EventType::ho)];
+    }
+    const auto sim = mcn::simulate(t, core);
+    table.add_row(
+        {row.name, io::fmt_count(row.ues), io::fmt_count(total),
+         io::fmt_pct(total ? static_cast<double>(ho) /
+                                 static_cast<double>(total)
+                           : 0.0),
+         io::fmt_pct(sim.nf[mcn::index_of(mcn::NetworkFunction::mme)]
+                         .utilization),
+         io::fmt_pct(sim.nf[mcn::index_of(mcn::NetworkFunction::sgw)]
+                         .utilization),
+         io::fmt_double(sim.latency_us.p99, 0)});
+  }
+  table.print(std::cout);
+
+  // The 5G SA traffic can also drive the service-based 5GC directly.
+  std::cout << "\n5G SA traffic on the service-based 5GC (AMF/SMF/AUSF/UDM/"
+               "PCF):\n";
+  const Trace sa_traffic = synthesize(sa, 32'000);
+  mcn::FiveGCoreConfig core5g;
+  core5g.workers[mcn::index_of(mcn::FiveGNf::amf)] = 2;
+  const auto result5g = mcn::simulate_5g(sa_traffic, core5g);
+  io::Table table5g({"NF", "messages", "utilization", "mean wait (us)"});
+  for (mcn::FiveGNf nf : mcn::k_all_5g_nfs) {
+    const auto& s = result5g.nf[mcn::index_of(nf)];
+    table5g.add_row({std::string(mcn::to_string(nf)),
+                     io::fmt_count(s.messages), io::fmt_pct(s.utilization),
+                     io::fmt_double(s.mean_wait_us, 1)});
+  }
+  table5g.print(std::cout);
+  std::cout << "procedure latency p99: "
+            << io::fmt_double(result5g.latency_us.p99, 0) << " us\n";
+
+  std::cout << "\nReading: 5G multiplies HO share (paper Table 7: LTE 3.8% "
+               "-> NSA 15.4% / SA 10.9% for phones), so control-plane load "
+               "grows faster than the population — the core must be sized "
+               "for NextG signaling, not just subscriber count.\n";
+  return 0;
+}

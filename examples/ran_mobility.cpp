@@ -1,0 +1,100 @@
+// RAN-mechanistic cross-check: derive control-plane traffic from physics
+// (cell geometry + UE movement) instead of calibrated behaviour profiles,
+// then verify the paper's modeling pipeline handles it end to end.
+//
+//   1. Build a 20x20-cell network partitioned into tracking areas.
+//   2. Simulate fleets per mobility class; HO/TAU rates fall out of the
+//      geometry (cars handover per cell border crossed, TAUs per tracking
+//      area crossed).
+//   3. Fit the two-level Semi-Markov model on the mobility-derived trace
+//      and synthesize from it: the synthesized trace must match the
+//      mechanistic one macroscopically and stay protocol-legal.
+//
+// Run: ./build/examples/ran_mobility
+#include <iostream>
+
+#include "generator/traffic_generator.h"
+#include "io/table.h"
+#include "model/fit.h"
+#include "ran/ue_events.h"
+#include "statemachine/replay.h"
+#include "validation/macro.h"
+
+int main() {
+  using namespace cpg;
+
+  const ran::CellTopology topo(20, 20, 400.0, 4);  // 8 km x 8 km, 25 TAs
+  std::cout << "Topology: " << topo.num_cells() << " cells of "
+            << topo.cell_size_m() << " m, " << topo.num_tracking_areas()
+            << " tracking areas\n\n";
+
+  // --- 2. per-class event rates -------------------------------------------
+  struct Fleet {
+    const char* name;
+    ran::MobilityParams mobility;
+  };
+  const Fleet fleets[] = {
+      {"stationary", ran::stationary_params()},
+      {"pedestrian", ran::pedestrian_params()},
+      {"vehicular", ran::vehicular_params()},
+  };
+  const TimeMs horizon = 6 * k_ms_per_hour;
+
+  io::Table rates({"fleet", "events/UE-h", "HO/UE-h", "TAU/UE-h",
+                   "violations"});
+  Trace combined;
+  for (const Fleet& fleet : fleets) {
+    ran::RanUeParams params;
+    params.mobility = fleet.mobility;
+    const Trace t = ran::simulate_ran_fleet(topo, params, 150,
+                                            DeviceType::phone, horizon, 7);
+    std::uint64_t ho = 0, tau = 0;
+    for (const ControlEvent& e : t.events()) {
+      ho += e.type == EventType::ho;
+      tau += e.type == EventType::tau;
+    }
+    const double ue_hours = 150.0 * 6.0;
+    rates.add_row(
+        {fleet.name,
+         io::fmt_double(static_cast<double>(t.num_events()) / ue_hours, 1),
+         io::fmt_double(static_cast<double>(ho) / ue_hours, 2),
+         io::fmt_double(static_cast<double>(tau) / ue_hours, 2),
+         std::to_string(
+             sm::count_violations(sm::lte_two_level_spec(), t))});
+    combined.merge(t);
+  }
+  combined.finalize();
+  std::cout << "Mechanistic fleets (150 phones each, 6 h):\n";
+  rates.print(std::cout);
+
+  // --- 3. the paper's pipeline on mechanistic ground truth ------------------
+  model::FitOptions fit_options;
+  fit_options.clustering.theta_n = 40;
+  const auto models = model::fit_model(combined, fit_options);
+
+  gen::GenerationRequest req;
+  req.ue_counts[index_of(DeviceType::phone)] = 900;  // 2x the fleet
+  req.start_hour = 2;
+  req.duration_hours = 1.0;
+  req.seed = 99;
+  const Trace synth = gen::generate_trace(models, req);
+
+  const auto real_bd = validation::breakdown_of(combined);
+  const auto synth_bd = validation::breakdown_of(synth);
+  io::Table compare({"Row", "mechanistic", "synthesized"});
+  for (std::size_t r = 0; r < sm::StateBreakdown::k_num_rows; ++r) {
+    compare.add_row({std::string(sm::StateBreakdown::row_name(r)),
+                     io::fmt_pct(real_bd.fraction(DeviceType::phone, r)),
+                     io::fmt_pct(synth_bd.fraction(DeviceType::phone, r))});
+  }
+  std::cout << "\nTwo-level Semi-Markov model fitted on the mechanistic "
+               "trace, resynthesized at 2x population:\n";
+  compare.print(std::cout);
+  std::cout << "synthesized violations: "
+            << sm::count_violations(sm::lte_two_level_spec(), synth)
+            << "\n\nReading: HO scales with speed and TAU with "
+               "tracking-area crossings purely from geometry, and the "
+               "paper's model reproduces the mechanistic mix without ever "
+               "seeing the geometry.\n";
+  return 0;
+}

@@ -1,0 +1,195 @@
+// traffgen — command-line front end for the control-plane traffic
+// generator.
+//
+//   traffgen fit --trace <prefix> --model <file> [--method ours|b2|b1|base]
+//                [--theta-n N]
+//       Fits a model from a CSV trace pair (<prefix>_events.csv,
+//       <prefix>_ues.csv).
+//
+//   traffgen synth-sample --out <prefix> --ues N [--hours H] [--seed S]
+//       Emits a synthetic ground-truth sample trace (for trying the tool
+//       without carrier data).
+//
+//   traffgen generate --model <file> --out <prefix> --phones N --cars N
+//                     --tablets N [--start-hour H] [--hours H] [--seed S]
+//                     [--5g nsa|sa]
+//       Loads a model, optionally derives the 5G variant, synthesizes a
+//       trace and writes it as CSV.
+//
+//   traffgen inspect --trace <prefix>
+//       Prints the breakdown and conformance of a CSV trace.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "generator/traffic_generator.h"
+#include "io/csv.h"
+#include "io/model_io.h"
+#include "io/table.h"
+#include "model/fit.h"
+#include "model/nextg.h"
+#include "statemachine/replay.h"
+#include "synthetic/workload.h"
+#include "validation/macro.h"
+
+namespace {
+
+using namespace cpg;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[arg.substr(2)] = argv[++i];
+    } else {
+      flags[arg.substr(2)] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) {
+    throw std::runtime_error("missing required flag --" + key);
+  }
+  return it->second;
+}
+
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                      nullptr, 10);
+}
+
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback
+                           : std::strtod(it->second.c_str(), nullptr);
+}
+
+int cmd_fit(const std::map<std::string, std::string>& flags) {
+  const Trace trace = io::read_trace(need(flags, "trace"));
+  model::FitOptions options;
+  const std::string method = flags.count("method") ? flags.at("method")
+                                                   : "ours";
+  if (method == "ours") {
+    options.method = model::Method::ours;
+  } else if (method == "b2") {
+    options.method = model::Method::b2;
+  } else if (method == "b1") {
+    options.method = model::Method::b1;
+  } else if (method == "base") {
+    options.method = model::Method::base;
+  } else {
+    throw std::runtime_error("unknown --method " + method);
+  }
+  options.clustering.theta_n = flag_u64(flags, "theta-n", 1000);
+  const auto set = model::fit_model(trace, options);
+  io::save_model(set, need(flags, "model"));
+  std::cout << "fitted " << method << " model from "
+            << io::fmt_count(trace.num_events()) << " events ("
+            << trace.num_ues() << " UEs, " << set.num_days_fitted
+            << " day(s)) -> " << need(flags, "model") << "\n";
+  return 0;
+}
+
+int cmd_synth_sample(const std::map<std::string, std::string>& flags) {
+  auto options = synthetic::default_population(flag_u64(flags, "ues", 1000));
+  options.duration_hours = flag_double(flags, "hours", 48.0);
+  options.seed = flag_u64(flags, "seed", 1);
+  const Trace trace = synthetic::generate_ground_truth(options);
+  io::write_trace(trace, need(flags, "out"));
+  std::cout << "wrote sample trace: " << io::fmt_count(trace.num_events())
+            << " events, " << trace.num_ues() << " UEs -> "
+            << need(flags, "out") << "_{events,ues}.csv\n";
+  return 0;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  auto set = io::load_model(need(flags, "model"));
+  if (flags.count("5g")) {
+    const std::string mode = flags.at("5g");
+    if (mode == "nsa") {
+      set = model::derive_5g(set, model::nsa_defaults());
+    } else if (mode == "sa") {
+      set = model::derive_5g(set, model::sa_defaults());
+    } else {
+      throw std::runtime_error("--5g must be nsa or sa");
+    }
+  }
+  gen::GenerationRequest request;
+  request.ue_counts[index_of(DeviceType::phone)] =
+      flag_u64(flags, "phones", 0);
+  request.ue_counts[index_of(DeviceType::connected_car)] =
+      flag_u64(flags, "cars", 0);
+  request.ue_counts[index_of(DeviceType::tablet)] =
+      flag_u64(flags, "tablets", 0);
+  request.start_hour = static_cast<int>(flag_u64(flags, "start-hour", 10));
+  request.duration_hours = flag_double(flags, "hours", 1.0);
+  request.seed = flag_u64(flags, "seed", 42);
+  const Trace trace = gen::generate_trace(set, request);
+  io::write_trace(trace, need(flags, "out"));
+  std::cout << "generated " << io::fmt_count(trace.num_events())
+            << " events for " << trace.num_ues() << " UEs -> "
+            << need(flags, "out") << "_{events,ues}.csv\n";
+  return 0;
+}
+
+int cmd_inspect(const std::map<std::string, std::string>& flags) {
+  const Trace trace = io::read_trace(need(flags, "trace"));
+  std::cout << io::fmt_count(trace.num_events()) << " events, "
+            << trace.num_ues() << " UEs";
+  if (!trace.empty()) {
+    std::cout << ", spanning " << ms_to_seconds(trace.end_time() -
+                                                trace.begin_time()) /
+                                      3600.0
+              << " h, busy hour " << validation::busy_hour(trace);
+  }
+  std::cout << "\nviolations vs two-level machine: "
+            << sm::count_violations(sm::lte_two_level_spec(), trace)
+            << "\n\n";
+  const auto bd = validation::breakdown_of(trace);
+  io::Table table({"Row", "P", "CC", "T"});
+  for (std::size_t r = 0; r < sm::StateBreakdown::k_num_rows; ++r) {
+    table.add_row({std::string(sm::StateBreakdown::row_name(r)),
+                   io::fmt_pct(bd.fraction(DeviceType::phone, r)),
+                   io::fmt_pct(bd.fraction(DeviceType::connected_car, r)),
+                   io::fmt_pct(bd.fraction(DeviceType::tablet, r))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: traffgen fit|synth-sample|generate|inspect "
+                 "[--flags]\n(see the header of examples/traffgen_cli.cpp)\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (command == "fit") return cmd_fit(flags);
+    if (command == "synth-sample") return cmd_synth_sample(flags);
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "inspect") return cmd_inspect(flags);
+    std::cerr << "unknown command: " << command << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure. Usage: scripts/run_benches.sh [--scale=N]
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja >/dev/null && cmake --build build >/dev/null
+for b in build/bench/*; do
+  echo "##### $(basename "$b")"
+  "$b" "$@"
+  echo
+done

@@ -1,0 +1,117 @@
+#include "clustering/adaptive.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace cpg::clustering {
+
+std::vector<std::vector<std::uint32_t>> Clustering::members() const {
+  std::vector<std::vector<std::uint32_t>> out(num_clusters);
+  for (std::uint32_t i = 0; i < assignment.size(); ++i) {
+    out[assignment[i]].push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+struct Recursion {
+  std::span<const UeHourFeatures> features;
+  const ClusteringParams* params;
+  std::vector<std::uint32_t>* assignment;
+  std::uint32_t next_cluster = 0;
+
+  void finalize_cluster(std::span<const std::uint32_t> idx) {
+    for (std::uint32_t i : idx) (*assignment)[i] = next_cluster;
+    ++next_cluster;
+  }
+
+  void split(std::vector<std::uint32_t> idx, int depth) {
+    if (idx.size() < params->theta_n || depth >= params->max_depth) {
+      finalize_cluster(idx);
+      return;
+    }
+
+    // Spread per feature within this cluster.
+    std::array<double, k_num_features> lo{}, hi{};
+    lo.fill(std::numeric_limits<double>::infinity());
+    hi.fill(-std::numeric_limits<double>::infinity());
+    for (std::uint32_t i : idx) {
+      for (std::size_t k = 0; k < k_num_features; ++k) {
+        lo[k] = std::min(lo[k], features[i].f[k]);
+        hi[k] = std::max(hi[k], features[i].f[k]);
+      }
+    }
+
+    // Similar enough: every feature's spread below theta_f.
+    bool similar = true;
+    for (std::size_t k = 0; k < k_num_features; ++k) {
+      if (hi[k] - lo[k] >= params->theta_f) {
+        similar = false;
+        break;
+      }
+    }
+    if (similar) {
+      finalize_cluster(idx);
+      return;
+    }
+
+    // Cut the two widest features at their midpoints -> 4 quadrants.
+    std::size_t a = 0, b = 1;
+    double wa = -1.0, wb = -1.0;
+    for (std::size_t k = 0; k < k_num_features; ++k) {
+      const double w = hi[k] - lo[k];
+      if (w > wa) {
+        b = a;
+        wb = wa;
+        a = k;
+        wa = w;
+      } else if (w > wb) {
+        b = k;
+        wb = w;
+      }
+    }
+    const double mid_a = 0.5 * (lo[a] + hi[a]);
+    const double mid_b = 0.5 * (lo[b] + hi[b]);
+
+    std::array<std::vector<std::uint32_t>, 4> quads;
+    for (std::uint32_t i : idx) {
+      const int qa = features[i].f[a] >= mid_a ? 1 : 0;
+      const int qb = features[i].f[b] >= mid_b ? 1 : 0;
+      quads[qa * 2 + qb].push_back(i);
+    }
+
+    // Degenerate split (all points in one quadrant despite spread >= theta_f
+    // can't happen for feature `a` since its range is positive, but guard
+    // against pathological floating behaviour anyway).
+    std::size_t nonempty = 0;
+    for (const auto& q : quads) nonempty += q.empty() ? 0 : 1;
+    if (nonempty <= 1) {
+      finalize_cluster(idx);
+      return;
+    }
+
+    for (auto& q : quads) {
+      if (!q.empty()) split(std::move(q), depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+Clustering adaptive_cluster(std::span<const UeHourFeatures> features,
+                            const ClusteringParams& params) {
+  Clustering result;
+  result.assignment.assign(features.size(), 0);
+  if (features.empty()) return result;
+
+  Recursion rec{features, &params, &result.assignment, 0};
+  std::vector<std::uint32_t> all(features.size());
+  for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  rec.split(std::move(all), 0);
+  result.num_clusters = rec.next_cluster;
+  return result;
+}
+
+}  // namespace cpg::clustering

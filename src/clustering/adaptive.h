@@ -1,0 +1,38 @@
+// Adaptive recursive clustering (paper §5.3).
+//
+// UEs are recursively segregated by quadtree subdivision of the feature
+// space until either (a) every feature's spread within the cluster is below
+// θ_f, or (b) the cluster holds fewer than θ_n UEs. At each subdivision the
+// two widest features (relative to θ_f) are cut at the midpoint of their
+// current range, yielding four equal-sized sub-feature-spaces; UEs landing
+// in the same quadrant form a child cluster.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clustering/features.h"
+
+namespace cpg::clustering {
+
+struct ClusteringParams {
+  double theta_f = 5.0;       // max-min similarity threshold per feature
+  std::size_t theta_n = 1000; // clusters smaller than this stop splitting
+  int max_depth = 24;         // safety bound for degenerate inputs
+};
+
+struct Clustering {
+  // cluster id per input position; ids are dense in [0, num_clusters).
+  std::vector<std::uint32_t> assignment;
+  std::uint32_t num_clusters = 0;
+
+  // Members (input positions) per cluster.
+  std::vector<std::vector<std::uint32_t>> members() const;
+};
+
+// Clusters one hour's feature vectors. `features[i]` describes the i-th UE.
+Clustering adaptive_cluster(std::span<const UeHourFeatures> features,
+                            const ClusteringParams& params);
+
+}  // namespace cpg::clustering

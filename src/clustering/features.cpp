@@ -1,0 +1,69 @@
+#include "clustering/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "statemachine/replay.h"
+
+namespace cpg::clustering {
+
+namespace {
+
+// Streaming mean/variance (Welford).
+struct Welford {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double x) {
+    ++n;
+    const double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+  }
+
+  double stddev() const {
+    if (n < 2) return 0.0;
+    return std::sqrt(m2 / static_cast<double>(n));
+  }
+};
+
+struct FeatureVisitor : sm::ReplayVisitor {
+  std::array<std::uint32_t, 24> srv_req_count{};
+  std::array<std::uint32_t, 24> s1_rel_count{};
+  std::array<Welford, 24> connected_sojourn;
+  std::array<Welford, 24> idle_sojourn;
+
+  void on_event(const ControlEvent& e, TopState) {
+    const int h = hour_of_day(e.t_ms);
+    if (e.type == EventType::srv_req) ++srv_req_count[h];
+    if (e.type == EventType::s1_conn_rel) ++s1_rel_count[h];
+  }
+  void on_state_sojourn(UeState s, double sec, int hour) {
+    if (s == UeState::connected) connected_sojourn[hour].add(sec);
+    if (s == UeState::idle) idle_sojourn[hour].add(sec);
+  }
+};
+
+}  // namespace
+
+std::vector<std::array<UeHourFeatures, 24>> extract_features(
+    const sm::MachineSpec& spec,
+    std::span<const std::vector<ControlEvent>> ue_groups, int num_days) {
+  const double days = std::max(num_days, 1);
+  std::vector<std::array<UeHourFeatures, 24>> out(ue_groups.size());
+  for (std::size_t u = 0; u < ue_groups.size(); ++u) {
+    FeatureVisitor v;
+    sm::replay_ue(spec, ue_groups[u], v);
+    for (int h = 0; h < 24; ++h) {
+      auto& f = out[u][h].f;
+      f[0] = static_cast<double>(v.srv_req_count[h]) / days;
+      f[1] = static_cast<double>(v.s1_rel_count[h]) / days;
+      f[2] = v.connected_sojourn[h].stddev();
+      f[3] = v.idle_sojourn[h].stddev();
+    }
+  }
+  return out;
+}
+
+}  // namespace cpg::clustering

@@ -1,0 +1,35 @@
+// Per-UE traffic features for the adaptive clustering scheme (paper §5.3).
+//
+// Similarity is quantified on the two dominant event types (SRV_REQ and
+// S1_CONN_REL, 84-93% of all control events) with two features each:
+//   f0 = number of SRV_REQ events
+//   f1 = number of S1_CONN_REL events
+//   f2 = standard deviation of the sojourn time in CONNECTED (seconds)
+//   f3 = standard deviation of the sojourn time in IDLE (seconds)
+// computed per (UE, hour-of-day), merging the same hour across days.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/trace.h"
+#include "statemachine/spec.h"
+
+namespace cpg::clustering {
+
+inline constexpr std::size_t k_num_features = 4;
+
+struct UeHourFeatures {
+  std::array<double, k_num_features> f{};
+};
+
+// Features for every UE of the trace at every hour-of-day.
+// Result layout: [ue_position][hour] where ue_position indexes `ue_groups`
+// (one entry per UE, events time-ordered). Count features are per-day
+// averages so that they are comparable to single-hour activity.
+std::vector<std::array<UeHourFeatures, 24>> extract_features(
+    const sm::MachineSpec& spec,
+    std::span<const std::vector<ControlEvent>> ue_groups, int num_days);
+
+}  // namespace cpg::clustering

@@ -1,0 +1,187 @@
+// Deterministic, fast random number generation.
+//
+// The library never uses std::mt19937 or global RNG state: every UE, fitting
+// step, and workload stream owns its own Xoshiro256** engine, seeded through
+// SplitMix64 so that independent streams can be derived from (seed, id)
+// pairs reproducibly. This keeps trace synthesis bit-stable across runs and
+// thread counts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace cpg {
+
+// SplitMix64: used to expand a single seed into engine state and to derive
+// per-stream seeds. Public domain algorithm by Sebastiano Vigna.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: the main engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  // Derives an independent stream for (seed, stream_id): useful to give each
+  // UE its own generator without correlation.
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+// Convenience sampling wrapper around an engine. All samplers are inline and
+// allocation-free.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : eng_(seed) {}
+  Rng(std::uint64_t seed, std::uint64_t stream_id) noexcept
+      : eng_(seed, stream_id) {}
+
+  std::uint64_t next_u64() noexcept { return eng_(); }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = eng_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = eng_();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Exponential with mean `mean` (> 0).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller (polar-free, uses cached value).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  // Lognormal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  // Pareto with scale x_m (> 0) and shape alpha (> 0).
+  double pareto(double x_m, double alpha) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  // Weibull with shape k (> 0) and scale lambda (> 0).
+  double weibull(double k, double lambda) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return lambda * std::pow(-std::log(u), 1.0 / k);
+  }
+
+  // Samples an index from unnormalized non-negative weights. Returns
+  // weights.size() - 1 on accumulated floating error. Weights must not all
+  // be zero.
+  std::size_t categorical(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  Xoshiro256& engine() noexcept { return eng_; }
+
+ private:
+  Xoshiro256 eng_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace cpg

@@ -1,0 +1,46 @@
+// Millisecond-resolution time helpers. All trace timestamps are int64
+// milliseconds from an arbitrary epoch (the paper's traces have millisecond
+// granularity); hour-of-day arithmetic assumes the epoch is aligned to
+// midnight of day 0.
+#pragma once
+
+#include <cstdint>
+
+namespace cpg {
+
+using TimeMs = std::int64_t;
+
+inline constexpr TimeMs k_ms_per_second = 1'000;
+inline constexpr TimeMs k_ms_per_minute = 60 * k_ms_per_second;
+inline constexpr TimeMs k_ms_per_hour = 60 * k_ms_per_minute;
+inline constexpr TimeMs k_ms_per_day = 24 * k_ms_per_hour;
+
+// Hour of day (0..23) for a timestamp. Timestamps are non-negative.
+constexpr int hour_of_day(TimeMs t) noexcept {
+  return static_cast<int>((t / k_ms_per_hour) % 24);
+}
+
+// Day index (0-based) for a timestamp.
+constexpr int day_of(TimeMs t) noexcept {
+  return static_cast<int>(t / k_ms_per_day);
+}
+
+// Absolute hour index since epoch (day * 24 + hour_of_day).
+constexpr std::int64_t hour_index(TimeMs t) noexcept {
+  return t / k_ms_per_hour;
+}
+
+// Start timestamp of a given absolute hour index.
+constexpr TimeMs hour_start(std::int64_t hour_idx) noexcept {
+  return hour_idx * k_ms_per_hour;
+}
+
+constexpr double ms_to_seconds(TimeMs t) noexcept {
+  return static_cast<double>(t) / 1000.0;
+}
+
+constexpr TimeMs seconds_to_ms(double s) noexcept {
+  return static_cast<TimeMs>(s * 1000.0 + 0.5);
+}
+
+}  // namespace cpg

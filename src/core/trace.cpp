@@ -1,0 +1,143 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpg {
+
+UeId Trace::add_ue(DeviceType device) {
+  devices_.push_back(device);
+  ++ue_counts_[index_of(device)];
+  return static_cast<UeId>(devices_.size() - 1);
+}
+
+std::size_t Trace::num_ues_of(DeviceType device) const noexcept {
+  return ue_counts_[index_of(device)];
+}
+
+void Trace::add_event(TimeMs t_ms, UeId ue, EventType type) {
+  add_event(ControlEvent{t_ms, ue, type});
+}
+
+void Trace::add_event(const ControlEvent& e) {
+  if (e.ue_id >= devices_.size()) {
+    throw std::out_of_range("Trace::add_event: unregistered UE id");
+  }
+  if (sorted_ && !events_.empty() && event_time_less(e, events_.back())) {
+    sorted_ = false;
+  }
+  events_.push_back(e);
+}
+
+void Trace::finalize() {
+  if (!sorted_) {
+    std::sort(events_.begin(), events_.end(), event_time_less);
+    sorted_ = true;
+  }
+}
+
+TimeMs Trace::begin_time() const {
+  if (!sorted_ || events_.empty()) {
+    throw std::logic_error("Trace::begin_time: trace empty or not finalized");
+  }
+  return events_.front().t_ms;
+}
+
+TimeMs Trace::end_time() const {
+  if (!sorted_ || events_.empty()) {
+    throw std::logic_error("Trace::end_time: trace empty or not finalized");
+  }
+  return events_.back().t_ms;
+}
+
+std::pair<std::size_t, std::size_t> Trace::time_range(TimeMs lo_ms,
+                                                      TimeMs hi_ms) const {
+  if (!sorted_) {
+    throw std::logic_error("Trace::time_range: trace not finalized");
+  }
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), lo_ms,
+      [](const ControlEvent& e, TimeMs t) { return e.t_ms < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), hi_ms,
+      [](const ControlEvent& e, TimeMs t) { return e.t_ms < t; });
+  return {static_cast<std::size_t>(lo - events_.begin()),
+          static_cast<std::size_t>(hi - events_.begin())};
+}
+
+UeId Trace::merge(const Trace& other) {
+  const auto offset = static_cast<UeId>(devices_.size());
+  devices_.insert(devices_.end(), other.devices_.begin(),
+                  other.devices_.end());
+  for (std::size_t d = 0; d < k_num_device_types; ++d) {
+    ue_counts_[d] += other.ue_counts_[d];
+  }
+  events_.reserve(events_.size() + other.events_.size());
+  for (ControlEvent e : other.events_) {
+    e.ue_id += offset;
+    if (sorted_ && !events_.empty() && event_time_less(e, events_.back())) {
+      sorted_ = false;
+    }
+    events_.push_back(e);
+  }
+  return offset;
+}
+
+Trace::CountMatrix Trace::count_by_device_event() const {
+  CountMatrix counts{};
+  for (const ControlEvent& e : events_) {
+    ++counts[index_of(devices_[e.ue_id])][index_of(e.type)];
+  }
+  return counts;
+}
+
+Trace::CountMatrix Trace::count_by_device_event(TimeMs lo_ms,
+                                                TimeMs hi_ms) const {
+  CountMatrix counts{};
+  const auto [first, last] = time_range(lo_ms, hi_ms);
+  for (std::size_t i = first; i < last; ++i) {
+    const ControlEvent& e = events_[i];
+    ++counts[index_of(devices_[e.ue_id])][index_of(e.type)];
+  }
+  return counts;
+}
+
+std::vector<std::vector<ControlEvent>> Trace::group_by_ue() const {
+  if (!sorted_) {
+    throw std::logic_error("Trace::group_by_ue: trace not finalized");
+  }
+  std::vector<std::size_t> sizes(devices_.size(), 0);
+  for (const ControlEvent& e : events_) ++sizes[e.ue_id];
+  std::vector<std::vector<ControlEvent>> groups(devices_.size());
+  for (std::size_t u = 0; u < groups.size(); ++u) groups[u].reserve(sizes[u]);
+  for (const ControlEvent& e : events_) groups[e.ue_id].push_back(e);
+  return groups;
+}
+
+std::vector<std::vector<ControlEvent>> Trace::group_by_ue(
+    DeviceType device) const {
+  if (!sorted_) {
+    throw std::logic_error("Trace::group_by_ue: trace not finalized");
+  }
+  std::vector<std::size_t> sizes(devices_.size(), 0);
+  for (const ControlEvent& e : events_) {
+    if (devices_[e.ue_id] == device) ++sizes[e.ue_id];
+  }
+  std::vector<std::vector<ControlEvent>> groups;
+  std::vector<std::int64_t> slot(devices_.size(), -1);
+  for (UeId u = 0; u < devices_.size(); ++u) {
+    if (devices_[u] == device) {
+      slot[u] = static_cast<std::int64_t>(groups.size());
+      groups.emplace_back();
+      groups.back().reserve(sizes[u]);
+    }
+  }
+  for (const ControlEvent& e : events_) {
+    if (slot[e.ue_id] >= 0) {
+      groups[static_cast<std::size_t>(slot[e.ue_id])].push_back(e);
+    }
+  }
+  return groups;
+}
+
+}  // namespace cpg

@@ -1,0 +1,113 @@
+// Control-plane trace container.
+//
+// A Trace is a time-ordered sequence of ControlEvents plus per-UE metadata
+// (device type). It is the single interchange format between the synthetic
+// workload simulator, the model-fitting pipeline, the generator, and the
+// validation suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/time_utils.h"
+#include "core/types.h"
+
+namespace cpg {
+
+using UeId = std::uint32_t;
+
+// One control-plane event, labeled with its originating UE (design goal
+// "Event-Owner Labeling", §3.2).
+struct ControlEvent {
+  TimeMs t_ms = 0;
+  UeId ue_id = 0;
+  EventType type = EventType::atch;
+
+  friend bool operator==(const ControlEvent&, const ControlEvent&) = default;
+};
+
+// Stable time ordering; ties broken by UE id, then event type, so that a
+// sorted trace has a unique canonical order.
+constexpr bool event_time_less(const ControlEvent& a,
+                               const ControlEvent& b) noexcept {
+  if (a.t_ms != b.t_ms) return a.t_ms < b.t_ms;
+  if (a.ue_id != b.ue_id) return a.ue_id < b.ue_id;
+  return static_cast<int>(a.type) < static_cast<int>(b.type);
+}
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // --- UE registry -------------------------------------------------------
+
+  // Registers a UE and returns its id (ids are dense, starting at 0).
+  UeId add_ue(DeviceType device);
+
+  std::size_t num_ues() const noexcept { return devices_.size(); }
+
+  DeviceType device(UeId ue) const { return devices_.at(ue); }
+
+  std::span<const DeviceType> devices() const noexcept { return devices_; }
+
+  // Number of UEs of one device type.
+  std::size_t num_ues_of(DeviceType device) const noexcept;
+
+  // --- Events -------------------------------------------------------------
+
+  // Appends an event; the UE must already be registered.
+  void add_event(TimeMs t_ms, UeId ue, EventType type);
+  void add_event(const ControlEvent& e);
+
+  // Sorts events into canonical order. Idempotent; must be called after the
+  // last add_event and before any time-ordered consumption.
+  void finalize();
+
+  bool finalized() const noexcept { return sorted_; }
+
+  std::span<const ControlEvent> events() const noexcept { return events_; }
+
+  std::size_t num_events() const noexcept { return events_.size(); }
+
+  bool empty() const noexcept { return events_.empty(); }
+
+  // First / last event timestamps; trace must be finalized and non-empty.
+  TimeMs begin_time() const;
+  TimeMs end_time() const;
+
+  // Half-open index range [first, last) of events with t in [lo_ms, hi_ms).
+  // Trace must be finalized.
+  std::pair<std::size_t, std::size_t> time_range(TimeMs lo_ms,
+                                                 TimeMs hi_ms) const;
+
+  // Merges another trace's UEs and events into this one. The other trace's
+  // UE ids are offset by this trace's current UE count; returns that offset.
+  UeId merge(const Trace& other);
+
+  // --- Aggregations -------------------------------------------------------
+
+  // counts[device][event] over the whole trace (or a time slice).
+  using CountMatrix =
+      std::array<std::array<std::uint64_t, k_num_event_types>,
+                 k_num_device_types>;
+  CountMatrix count_by_device_event() const;
+  CountMatrix count_by_device_event(TimeMs lo_ms, TimeMs hi_ms) const;
+
+  // Events grouped per UE, each group time-ordered. Trace must be finalized.
+  std::vector<std::vector<ControlEvent>> group_by_ue() const;
+
+  // Events of a single device type, per UE (UE ids preserved in
+  // ControlEvent::ue_id). Trace must be finalized.
+  std::vector<std::vector<ControlEvent>> group_by_ue(DeviceType device) const;
+
+  void reserve_events(std::size_t n) { events_.reserve(n); }
+
+ private:
+  std::vector<DeviceType> devices_;
+  std::vector<ControlEvent> events_;
+  std::array<std::size_t, k_num_device_types> ue_counts_{};
+  bool sorted_ = true;  // an empty trace is trivially sorted
+};
+
+}  // namespace cpg

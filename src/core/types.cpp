@@ -1,0 +1,184 @@
+#include "core/types.h"
+
+#include <ostream>
+
+namespace cpg {
+
+std::optional<FiveGEventType> to_5g(EventType e) noexcept {
+  switch (e) {
+    case EventType::atch:
+      return FiveGEventType::register_;
+    case EventType::dtch:
+      return FiveGEventType::deregister;
+    case EventType::srv_req:
+      return FiveGEventType::srv_req;
+    case EventType::s1_conn_rel:
+      return FiveGEventType::an_rel;
+    case EventType::ho:
+      return FiveGEventType::ho;
+    case EventType::tau:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(EventType e) noexcept {
+  switch (e) {
+    case EventType::atch:
+      return "ATCH";
+    case EventType::dtch:
+      return "DTCH";
+    case EventType::srv_req:
+      return "SRV_REQ";
+    case EventType::s1_conn_rel:
+      return "S1_CONN_REL";
+    case EventType::ho:
+      return "HO";
+    case EventType::tau:
+      return "TAU";
+  }
+  return "?";
+}
+
+std::string_view to_string(FiveGEventType e) noexcept {
+  switch (e) {
+    case FiveGEventType::register_:
+      return "REGISTER";
+    case FiveGEventType::deregister:
+      return "DEREGISTER";
+    case FiveGEventType::srv_req:
+      return "SRV_REQ";
+    case FiveGEventType::an_rel:
+      return "AN_REL";
+    case FiveGEventType::ho:
+      return "HO";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceType d) noexcept {
+  switch (d) {
+    case DeviceType::phone:
+      return "phone";
+    case DeviceType::connected_car:
+      return "connected_car";
+    case DeviceType::tablet:
+      return "tablet";
+  }
+  return "?";
+}
+
+std::string_view to_string(EmmState s) noexcept {
+  switch (s) {
+    case EmmState::deregistered:
+      return "EMM_DEREGISTERED";
+    case EmmState::registered:
+      return "EMM_REGISTERED";
+  }
+  return "?";
+}
+
+std::string_view to_string(EcmState s) noexcept {
+  switch (s) {
+    case EcmState::idle:
+      return "ECM_IDLE";
+    case EcmState::connected:
+      return "ECM_CONNECTED";
+  }
+  return "?";
+}
+
+std::string_view to_string(TopState s) noexcept {
+  switch (s) {
+    case TopState::deregistered:
+      return "DEREGISTERED";
+    case TopState::connected:
+      return "CONNECTED";
+    case TopState::idle:
+      return "IDLE";
+  }
+  return "?";
+}
+
+std::string_view to_string(UeState s) noexcept {
+  switch (s) {
+    case UeState::registered:
+      return "REGISTERED";
+    case UeState::deregistered:
+      return "DEREGISTERED";
+    case UeState::connected:
+      return "CONNECTED";
+    case UeState::idle:
+      return "IDLE";
+  }
+  return "?";
+}
+
+std::string_view to_string(SubState s) noexcept {
+  switch (s) {
+    case SubState::none:
+      return "NONE";
+    case SubState::srv_req_s:
+      return "SRV_REQ_S";
+    case SubState::ho_s:
+      return "HO_S";
+    case SubState::tau_s_conn:
+      return "TAU_S_CONN";
+    case SubState::s1_rel_s_1:
+      return "S1_REL_S_1";
+    case SubState::tau_s_idle:
+      return "TAU_S_IDLE";
+    case SubState::s1_rel_s_2:
+      return "S1_REL_S_2";
+  }
+  return "?";
+}
+
+std::optional<EventType> parse_event_type(std::string_view name) noexcept {
+  for (EventType e : k_all_event_types) {
+    if (to_string(e) == name) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<DeviceType> parse_device_type(std::string_view name) noexcept {
+  for (DeviceType d : k_all_device_types) {
+    if (to_string(d) == name) return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<TopState> parse_top_state(std::string_view name) noexcept {
+  for (TopState s : k_all_top_states) {
+    if (to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<SubState> parse_sub_state(std::string_view name) noexcept {
+  for (SubState s : k_all_sub_states) {
+    if (to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, EventType e) {
+  return os << to_string(e);
+}
+std::ostream& operator<<(std::ostream& os, FiveGEventType e) {
+  return os << to_string(e);
+}
+std::ostream& operator<<(std::ostream& os, DeviceType d) {
+  return os << to_string(d);
+}
+std::ostream& operator<<(std::ostream& os, TopState s) {
+  return os << to_string(s);
+}
+std::ostream& operator<<(std::ostream& os, UeState s) {
+  return os << to_string(s);
+}
+std::ostream& operator<<(std::ostream& os, SubState s) {
+  return os << to_string(s);
+}
+
+}  // namespace cpg

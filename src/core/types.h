@@ -1,0 +1,163 @@
+// Core vocabulary types for the control-plane traffic model:
+// control-plane event types, device types, and the UE protocol states
+// defined by 3GPP TS 23.401 (EMM / ECM) plus the states introduced by the
+// paper's two-level hierarchical state machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+namespace cpg {
+
+// The six primary LTE control-plane event types exchanged between UE/RAN
+// and the mobile core network (paper Table 1).
+enum class EventType : std::uint8_t {
+  atch = 0,         // Attach: registers the UE with the MCN
+  dtch = 1,         // Detach: deregisters the UE
+  srv_req = 2,      // Service Request: establishes a signaling connection
+  s1_conn_rel = 3,  // S1 Connection Release: tears the connection down
+  ho = 4,           // Handover between serving cells
+  tau = 5,          // Tracking Area Update
+};
+
+inline constexpr std::size_t k_num_event_types = 6;
+
+inline constexpr std::array<EventType, k_num_event_types> k_all_event_types{
+    EventType::atch,        EventType::dtch, EventType::srv_req,
+    EventType::s1_conn_rel, EventType::ho,   EventType::tau};
+
+// 5G SA (standalone) control-plane event names. TAU has no 5G counterpart
+// in the paper's mapping (Table 2), so the enum has five entries.
+enum class FiveGEventType : std::uint8_t {
+  register_ = 0,  // REGISTER (Registration)
+  deregister = 1, // DEREGISTER (Deregistration)
+  srv_req = 2,    // Service Request
+  an_rel = 3,     // AN Release
+  ho = 4,         // Handover
+};
+
+// Maps a 4G event to its 5G SA counterpart (paper Table 2). Returns
+// std::nullopt for TAU, which does not exist in 5G SA.
+std::optional<FiveGEventType> to_5g(EventType e) noexcept;
+
+// The three primary device categories studied by the paper.
+enum class DeviceType : std::uint8_t {
+  phone = 0,
+  connected_car = 1,
+  tablet = 2,
+};
+
+inline constexpr std::size_t k_num_device_types = 3;
+
+inline constexpr std::array<DeviceType, k_num_device_types> k_all_device_types{
+    DeviceType::phone, DeviceType::connected_car, DeviceType::tablet};
+
+// EPS Mobility Management states (Fig. 1a).
+enum class EmmState : std::uint8_t {
+  deregistered = 0,
+  registered = 1,
+};
+
+// EPS Connection Management states (Fig. 1b). Only meaningful while the UE
+// is EMM_REGISTERED.
+enum class EcmState : std::uint8_t {
+  idle = 0,
+  connected = 1,
+};
+
+// States of the merged top-level EMM-ECM state machine (Fig. 5, rectangles).
+// REGISTERED splits into CONNECTED and IDLE because a UE entering
+// EMM_REGISTERED via ATCH always enters ECM_CONNECTED simultaneously.
+enum class TopState : std::uint8_t {
+  deregistered = 0,
+  connected = 1,
+  idle = 2,
+};
+
+inline constexpr std::size_t k_num_top_states = 3;
+
+inline constexpr std::array<TopState, k_num_top_states> k_all_top_states{
+    TopState::deregistered, TopState::connected, TopState::idle};
+
+// The four classic UE states used in the measurement study (§4.1): the two
+// EMM states plus the two ECM states.
+enum class UeState : std::uint8_t {
+  registered = 0,
+  deregistered = 1,
+  connected = 2,
+  idle = 3,
+};
+
+inline constexpr std::size_t k_num_ue_states = 4;
+
+inline constexpr std::array<UeState, k_num_ue_states> k_all_ue_states{
+    UeState::registered, UeState::deregistered, UeState::connected,
+    UeState::idle};
+
+// Second-level states of the two-level hierarchical state machine
+// (Fig. 5, ovals). The first three live inside CONNECTED, the last three
+// inside IDLE. `none` is used while the UE is DEREGISTERED.
+enum class SubState : std::uint8_t {
+  none = 0,
+  // inside CONNECTED
+  srv_req_s = 1,   // entered right after SRV_REQ (or ATCH)
+  ho_s = 2,        // entered right after HO
+  tau_s_conn = 3,  // entered right after TAU while CONNECTED
+  // inside IDLE
+  s1_rel_s_1 = 4,  // entered right after the S1_CONN_REL that left CONNECTED
+  tau_s_idle = 5,  // entered right after TAU while IDLE
+  s1_rel_s_2 = 6,  // entered after the S1_CONN_REL that releases a TAU in IDLE
+};
+
+inline constexpr std::size_t k_num_sub_states = 7;
+
+inline constexpr std::array<SubState, k_num_sub_states> k_all_sub_states{
+    SubState::none,       SubState::srv_req_s,  SubState::ho_s,
+    SubState::tau_s_conn, SubState::s1_rel_s_1, SubState::tau_s_idle,
+    SubState::s1_rel_s_2};
+
+// --- Names --------------------------------------------------------------
+
+// Short machine-readable names, stable across serialization.
+std::string_view to_string(EventType e) noexcept;
+std::string_view to_string(FiveGEventType e) noexcept;
+std::string_view to_string(DeviceType d) noexcept;
+std::string_view to_string(EmmState s) noexcept;
+std::string_view to_string(EcmState s) noexcept;
+std::string_view to_string(TopState s) noexcept;
+std::string_view to_string(UeState s) noexcept;
+std::string_view to_string(SubState s) noexcept;
+
+std::optional<EventType> parse_event_type(std::string_view name) noexcept;
+std::optional<DeviceType> parse_device_type(std::string_view name) noexcept;
+std::optional<TopState> parse_top_state(std::string_view name) noexcept;
+std::optional<SubState> parse_sub_state(std::string_view name) noexcept;
+
+std::ostream& operator<<(std::ostream& os, EventType e);
+std::ostream& operator<<(std::ostream& os, FiveGEventType e);
+std::ostream& operator<<(std::ostream& os, DeviceType d);
+std::ostream& operator<<(std::ostream& os, TopState s);
+std::ostream& operator<<(std::ostream& os, UeState s);
+std::ostream& operator<<(std::ostream& os, SubState s);
+
+// Convenience index helpers (enums are dense, starting at 0).
+constexpr std::size_t index_of(EventType e) noexcept {
+  return static_cast<std::size_t>(e);
+}
+constexpr std::size_t index_of(DeviceType d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+constexpr std::size_t index_of(TopState s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+constexpr std::size_t index_of(UeState s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+constexpr std::size_t index_of(SubState s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+
+}  // namespace cpg

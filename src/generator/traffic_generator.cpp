@@ -1,0 +1,87 @@
+#include "generator/traffic_generator.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace cpg::gen {
+
+GenerationRequest scaled(GenerationRequest req, double factor) {
+  for (auto& c : req.ue_counts) {
+    c = static_cast<std::size_t>(std::llround(static_cast<double>(c) *
+                                              factor));
+  }
+  return req;
+}
+
+Trace generate_trace(const model::ModelSet& models,
+                     const GenerationRequest& request) {
+  Trace trace;
+  // Register UEs in deterministic device-block order.
+  std::vector<DeviceType> device_of;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t i = 0; i < request.ue_counts[index_of(d)]; ++i) {
+      trace.add_ue(d);
+      device_of.push_back(d);
+    }
+  }
+  const std::size_t total_ues = device_of.size();
+  if (total_ues == 0) return trace;
+
+  const TimeMs t_begin =
+      static_cast<TimeMs>(request.start_hour) * k_ms_per_hour;
+  const TimeMs t_end =
+      t_begin +
+      static_cast<TimeMs>(request.duration_hours *
+                          static_cast<double>(k_ms_per_hour));
+
+  unsigned workers = request.num_threads != 0
+                         ? request.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(std::max<std::size_t>(1, total_ues)));
+
+  std::vector<std::vector<ControlEvent>> results(workers);
+  std::atomic<std::size_t> next{0};
+  constexpr std::size_t k_chunk = 256;
+
+  auto work = [&](unsigned worker_idx) {
+    auto& out = results[worker_idx];
+    while (true) {
+      const std::size_t begin = next.fetch_add(k_chunk);
+      if (begin >= total_ues) break;
+      const std::size_t end = std::min(begin + k_chunk, total_ues);
+      for (std::size_t u = begin; u < end; ++u) {
+        const DeviceType d = device_of[u];
+        const model::DeviceModel& dev = models.device(d);
+        if (!dev.has_ues()) continue;
+        Rng rng(request.seed, static_cast<std::uint64_t>(u));
+        const auto modeled_ue = static_cast<std::uint32_t>(
+            rng.uniform_index(dev.ue_traj.size()));
+        generate_ue(models, d, modeled_ue, t_begin, t_end,
+                    static_cast<UeId>(u), rng, request.ue_options, out);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) threads.emplace_back(work, w);
+    for (auto& t : threads) t.join();
+  }
+
+  std::size_t total_events = 0;
+  for (const auto& r : results) total_events += r.size();
+  trace.reserve_events(total_events);
+  for (const auto& r : results) {
+    for (const ControlEvent& e : r) trace.add_event(e);
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cpg::gen

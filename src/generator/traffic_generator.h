@@ -1,0 +1,39 @@
+// Population-level trace synthesis (paper §7): runs K independent per-UE
+// generators — in parallel across a thread pool — and merges their output
+// into one time-ordered trace. Each synthetic UE follows the cluster
+// trajectory of a modeled UE sampled uniformly from the fitted population of
+// its device type, so cluster proportions are preserved in expectation.
+//
+// Generation is deterministic for a fixed seed regardless of thread count:
+// every UE derives its own RNG stream from (seed, ue_id).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/trace.h"
+#include "generator/ue_generator.h"
+#include "model/semi_markov.h"
+
+namespace cpg::gen {
+
+struct GenerationRequest {
+  // Number of synthetic UEs per device type.
+  std::array<std::size_t, k_num_device_types> ue_counts{};
+  // Hour of day H at which the synthesized trace starts.
+  int start_hour = 10;
+  double duration_hours = 1.0;
+  std::uint64_t seed = 1;
+  // 0 = one worker per hardware thread.
+  unsigned num_threads = 0;
+  UeGenOptions ue_options{};
+};
+
+// Scales every device count by `factor`, mimicking the paper's Scenario 1
+// (1x) vs Scenario 2 (10x) populations.
+GenerationRequest scaled(GenerationRequest req, double factor);
+
+Trace generate_trace(const model::ModelSet& models,
+                     const GenerationRequest& request);
+
+}  // namespace cpg::gen

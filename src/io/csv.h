@@ -1,0 +1,30 @@
+// CSV import/export of control-plane traces.
+//
+// Format (one header line, then one line per event, time-ordered):
+//   t_ms,ue_id,event
+//   1234,17,SRV_REQ
+// UE metadata travels in a companion file:
+//   ue_id,device
+//   17,phone
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.h"
+
+namespace cpg::io {
+
+void write_events_csv(const Trace& trace, std::ostream& os);
+void write_ues_csv(const Trace& trace, std::ostream& os);
+
+// Convenience: writes <prefix>_events.csv and <prefix>_ues.csv.
+void write_trace(const Trace& trace, const std::string& path_prefix);
+
+// Reads the two-file format back; throws std::runtime_error on malformed
+// input. The returned trace is finalized.
+Trace read_trace(const std::string& path_prefix);
+
+Trace read_trace_streams(std::istream& ues, std::istream& events);
+
+}  // namespace cpg::io

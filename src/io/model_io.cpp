@@ -1,0 +1,296 @@
+#include "io/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpg::io {
+
+namespace {
+
+using model::FirstEventLaw;
+using model::HourClusterModel;
+using model::ModelSet;
+using model::StateLaw;
+using model::TransitionLaw;
+
+constexpr std::string_view k_magic = "cptraffgen-model";
+constexpr int k_version = 1;
+
+std::string_view spec_name(const sm::MachineSpec* spec) {
+  if (spec == &sm::emm_ecm_spec()) return "emm_ecm";
+  if (spec == &sm::lte_two_level_spec()) return "lte_two_level";
+  if (spec == &sm::fiveg_sa_spec()) return "fiveg_sa";
+  throw std::runtime_error("save_model: unknown machine spec");
+}
+
+const sm::MachineSpec* spec_by_name(std::string_view name) {
+  if (name == "emm_ecm") return &sm::emm_ecm_spec();
+  if (name == "lte_two_level") return &sm::lte_two_level_spec();
+  if (name == "fiveg_sa") return &sm::fiveg_sa_spec();
+  throw std::runtime_error("load_model: unknown machine spec");
+}
+
+// --- distribution serialization --------------------------------------------
+
+void write_distribution(const stats::Distribution& dist, std::ostream& os,
+                        std::size_t knots) {
+  if (const auto* exp = dynamic_cast<const stats::Exponential*>(&dist)) {
+    os << "exp " << exp->lambda();
+    return;
+  }
+  if (const auto* scaled = dynamic_cast<const stats::Scaled*>(&dist)) {
+    // Flatten: scaled distributions serialize as quantile grids of the
+    // composed law (keeps the reader trivial and lossless enough).
+    os << "empq " << knots;
+    for (std::size_t k = 0; k < knots; ++k) {
+      const double p =
+          (static_cast<double>(k) + 0.5) / static_cast<double>(knots);
+      os << ' ' << scaled->quantile(p);
+    }
+    return;
+  }
+  if (const auto* emp = dynamic_cast<const stats::Empirical*>(&dist)) {
+    const std::size_t n = std::min(knots, emp->size());
+    os << "empq " << n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double p =
+          (static_cast<double>(k) + 0.5) / static_cast<double>(n);
+      os << ' ' << emp->quantile(p);
+    }
+    return;
+  }
+  // Generic fallback: sample the quantile function.
+  os << "empq " << knots;
+  for (std::size_t k = 0; k < knots; ++k) {
+    const double p =
+        (static_cast<double>(k) + 0.5) / static_cast<double>(knots);
+    os << ' ' << dist.quantile(p);
+  }
+}
+
+std::shared_ptr<const stats::Distribution> read_distribution(
+    std::istream& is) {
+  std::string kind;
+  if (!(is >> kind)) throw std::runtime_error("model: missing distribution");
+  if (kind == "exp") {
+    double lambda = 0.0;
+    if (!(is >> lambda)) throw std::runtime_error("model: bad exp lambda");
+    return std::make_shared<stats::Exponential>(lambda);
+  }
+  if (kind == "empq") {
+    std::size_t n = 0;
+    if (!(is >> n) || n == 0) throw std::runtime_error("model: bad empq size");
+    std::vector<double> values(n);
+    for (double& v : values) {
+      if (!(is >> v)) throw std::runtime_error("model: bad empq value");
+    }
+    return std::make_shared<stats::Empirical>(std::move(values), false);
+  }
+  throw std::runtime_error("model: unknown distribution kind '" + kind + "'");
+}
+
+// --- law serialization ----------------------------------------------------
+
+void write_state_law(const StateLaw& law, std::ostream& os,
+                     std::size_t knots) {
+  os << law.out.size() << '\n';
+  for (const TransitionLaw& t : law.out) {
+    os << "edge " << t.edge << ' ' << t.probability << ' ';
+    write_distribution(*t.sojourn, os, knots);
+    os << '\n';
+  }
+}
+
+StateLaw read_state_law(std::istream& is) {
+  StateLaw law;
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("model: bad law size");
+  law.out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string tag;
+    if (!(is >> tag) || tag != "edge") {
+      throw std::runtime_error("model: expected edge");
+    }
+    TransitionLaw t;
+    if (!(is >> t.edge >> t.probability)) {
+      throw std::runtime_error("model: bad edge header");
+    }
+    t.sojourn = read_distribution(is);
+    law.out.push_back(std::move(t));
+  }
+  return law;
+}
+
+void write_hour_model(const HourClusterModel& m, std::ostream& os,
+                      std::size_t knots) {
+  for (const StateLaw& law : m.top) write_state_law(law, os, knots);
+  for (const StateLaw& law : m.sub) write_state_law(law, os, knots);
+  for (const auto& overlay : m.overlay) {
+    if (overlay) {
+      os << "overlay ";
+      write_distribution(*overlay, os, knots);
+      os << '\n';
+    } else {
+      os << "none\n";
+    }
+  }
+  if (m.first_event.has_data()) {
+    os << "first " << m.first_event.p_active;
+    for (double p : m.first_event.type_prob) os << ' ' << p;
+    os << ' ';
+    write_distribution(*m.first_event.offset_s, os, knots);
+    os << '\n';
+  } else {
+    os << "first_none\n";
+  }
+}
+
+HourClusterModel read_hour_model(std::istream& is) {
+  HourClusterModel m;
+  for (StateLaw& law : m.top) law = read_state_law(is);
+  for (StateLaw& law : m.sub) law = read_state_law(is);
+  for (auto& overlay : m.overlay) {
+    std::string tag;
+    if (!(is >> tag)) throw std::runtime_error("model: missing overlay");
+    if (tag == "overlay") {
+      overlay = read_distribution(is);
+    } else if (tag != "none") {
+      throw std::runtime_error("model: bad overlay tag");
+    }
+  }
+  std::string tag;
+  if (!(is >> tag)) throw std::runtime_error("model: missing first-event");
+  if (tag == "first") {
+    FirstEventLaw fe;
+    if (!(is >> fe.p_active)) {
+      throw std::runtime_error("model: bad p_active");
+    }
+    for (double& p : fe.type_prob) {
+      if (!(is >> p)) throw std::runtime_error("model: bad first-event prob");
+    }
+    auto dist = read_distribution(is);
+    const auto* emp = dynamic_cast<const stats::Empirical*>(dist.get());
+    if (emp == nullptr) {
+      throw std::runtime_error("model: first-event offsets must be empirical");
+    }
+    fe.offset_s = std::shared_ptr<const stats::Empirical>(
+        std::move(dist), emp);
+    m.first_event = std::move(fe);
+  } else if (tag != "first_none") {
+    throw std::runtime_error("model: bad first-event tag");
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_model(const ModelSet& set, std::ostream& os,
+                const ModelIoOptions& options) {
+  os << std::setprecision(17);
+  os << k_magic << ' ' << k_version << '\n';
+  os << "method " << static_cast<int>(set.method) << '\n';
+  os << "spec " << spec_name(set.spec) << '\n';
+  os << "num_days " << set.num_days_fitted << '\n';
+  for (DeviceType d : k_all_device_types) {
+    const model::DeviceModel& dev = set.device(d);
+    os << "device " << to_string(d) << ' ' << dev.ue_traj.size() << '\n';
+    for (const auto& traj : dev.ue_traj) {
+      os << "traj";
+      for (auto c : traj) os << ' ' << c;
+      os << '\n';
+    }
+    for (int h = 0; h < 24; ++h) {
+      os << "hour " << h << ' ' << dev.by_hour[h].size() << '\n';
+      for (const HourClusterModel& m : dev.by_hour[h]) {
+        write_hour_model(m, os, options.quantile_knots);
+      }
+      os << "pooled_hour\n";
+      write_hour_model(dev.pooled_hour[h], os, options.quantile_knots);
+    }
+    os << "pooled_all\n";
+    write_hour_model(dev.pooled_all, os, options.quantile_knots);
+  }
+  os << "end\n";
+}
+
+void save_model(const ModelSet& set, const std::string& path,
+                const ModelIoOptions& options) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(set, os, options);
+}
+
+ModelSet load_model(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != k_magic || version != k_version) {
+    throw std::runtime_error("load_model: bad header");
+  }
+  ModelSet set;
+  std::string tag;
+  int method_int = 0;
+  if (!(is >> tag >> method_int) || tag != "method") {
+    throw std::runtime_error("load_model: bad method");
+  }
+  set.method = static_cast<model::Method>(method_int);
+  std::string spec;
+  if (!(is >> tag >> spec) || tag != "spec") {
+    throw std::runtime_error("load_model: bad spec");
+  }
+  set.spec = spec_by_name(spec);
+  if (!(is >> tag >> set.num_days_fitted) || tag != "num_days") {
+    throw std::runtime_error("load_model: bad num_days");
+  }
+
+  for (DeviceType d : k_all_device_types) {
+    model::DeviceModel& dev = set.devices[index_of(d)];
+    std::string device_name;
+    std::size_t num_ues = 0;
+    if (!(is >> tag >> device_name >> num_ues) || tag != "device" ||
+        device_name != to_string(d)) {
+      throw std::runtime_error("load_model: bad device header");
+    }
+    dev.ue_traj.resize(num_ues);
+    for (auto& traj : dev.ue_traj) {
+      if (!(is >> tag) || tag != "traj") {
+        throw std::runtime_error("load_model: bad traj");
+      }
+      for (auto& c : traj) {
+        if (!(is >> c)) throw std::runtime_error("load_model: bad traj id");
+      }
+    }
+    for (int h = 0; h < 24; ++h) {
+      int hour = -1;
+      std::size_t clusters = 0;
+      if (!(is >> tag >> hour >> clusters) || tag != "hour" || hour != h) {
+        throw std::runtime_error("load_model: bad hour header");
+      }
+      dev.by_hour[h].reserve(clusters);
+      for (std::size_t c = 0; c < clusters; ++c) {
+        dev.by_hour[h].push_back(read_hour_model(is));
+      }
+      if (!(is >> tag) || tag != "pooled_hour") {
+        throw std::runtime_error("load_model: missing pooled_hour");
+      }
+      dev.pooled_hour[h] = read_hour_model(is);
+    }
+    if (!(is >> tag) || tag != "pooled_all") {
+      throw std::runtime_error("load_model: missing pooled_all");
+    }
+    dev.pooled_all = read_hour_model(is);
+  }
+  if (!(is >> tag) || tag != "end") {
+    throw std::runtime_error("load_model: missing trailer");
+  }
+  return set;
+}
+
+ModelSet load_model(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_model: cannot open " + path);
+  return load_model(is);
+}
+
+}  // namespace cpg::io

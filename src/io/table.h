@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printing for the benchmark harnesses: every
+// bench binary reproduces one of the paper's tables/figures as aligned
+// text rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpg::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+// Formatting helpers.
+std::string fmt_pct(double fraction, int decimals = 1);         // "45.5%"
+std::string fmt_signed_pct(double fraction, int decimals = 1);  // "+1.4%"
+std::string fmt_double(double v, int decimals = 2);
+std::string fmt_count(std::uint64_t v);  // thousands separators
+
+}  // namespace cpg::io

@@ -1,0 +1,113 @@
+#include "mcn/fiveg_core.h"
+
+namespace cpg::mcn {
+
+std::string_view to_string(FiveGNf nf) noexcept {
+  switch (nf) {
+    case FiveGNf::amf:
+      return "AMF";
+    case FiveGNf::smf:
+      return "SMF";
+    case FiveGNf::ausf:
+      return "AUSF";
+    case FiveGNf::udm:
+      return "UDM";
+    case FiveGNf::pcf:
+      return "PCF";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint8_t AMF = 0, SMF = 1, AUSF = 2, UDM = 3, PCF = 4;
+
+// Condensed TS 23.502 call flows.
+constexpr GenericStep k_register[] = {
+    {AMF, 130.0},  // Registration Request + NAS security
+    {AUSF, 110.0}, // Nausf_UEAuthentication
+    {UDM, 90.0},   // Nudm_UEAuthentication / SDM Get
+    {AMF, 60.0},   // Security mode, context setup
+    {UDM, 70.0},   // Nudm_UECM_Registration
+    {SMF, 100.0},  // Nsmf_PDUSession_CreateSMContext
+    {PCF, 90.0},   // Npcf_SMPolicyControl_Create
+    {SMF, 50.0},   // PDU session establishment completion
+    {AMF, 60.0},   // Registration Accept
+};
+
+constexpr GenericStep k_deregister[] = {
+    {AMF, 70.0},  // Deregistration Request
+    {SMF, 70.0},  // Nsmf_PDUSession_ReleaseSMContext
+    {PCF, 50.0},  // Policy termination
+    {UDM, 50.0},  // Nudm_UECM_Deregistration
+    {AMF, 40.0},  // Deregistration Accept
+};
+
+constexpr GenericStep k_service_request[] = {
+    {AMF, 90.0},  // Service Request + security
+    {SMF, 60.0},  // Nsmf_PDUSession_UpdateSMContext (UP activation)
+    {AMF, 40.0},  // N2 request / completion
+};
+
+constexpr GenericStep k_an_release[] = {
+    {AMF, 60.0},  // AN Release / N2 UE Context Release
+    {SMF, 50.0},  // Nsmf_PDUSession_UpdateSMContext (UP deactivation)
+    {AMF, 30.0},  // Release complete
+};
+
+constexpr GenericStep k_handover[] = {
+    {AMF, 100.0},  // N2 handover preparation
+    {SMF, 70.0},   // Path switch (Nsmf update)
+    {AMF, 60.0},   // Handover execution / notify
+    {SMF, 40.0},   // Indirect tunnel release
+};
+
+}  // namespace
+
+std::span<const GenericStep> fiveg_procedure(EventType event) noexcept {
+  switch (event) {
+    case EventType::atch:
+      return k_register;
+    case EventType::dtch:
+      return k_deregister;
+    case EventType::srv_req:
+      return k_service_request;
+    case EventType::s1_conn_rel:
+      return k_an_release;
+    case EventType::ho:
+      return k_handover;
+    case EventType::tau:
+      return {};  // no 5G SA counterpart
+  }
+  return {};
+}
+
+FiveGCoreResult simulate_5g(const Trace& trace,
+                            const FiveGCoreConfig& config) {
+  QueueingConfig qc;
+  qc.num_stations = k_num_5g_nfs;
+  for (std::size_t n = 0; n < k_num_5g_nfs; ++n) {
+    qc.workers[n] = config.workers[n];
+    qc.service_scale[n] = config.service_scale[n];
+  }
+  qc.hop_delay_us = config.hop_delay_us;
+  qc.max_latency_samples = config.max_latency_samples;
+  qc.seed = config.seed;
+
+  const QueueingResult qr = run_queueing(trace, fiveg_procedure, qc);
+
+  FiveGCoreResult result;
+  for (std::size_t n = 0; n < k_num_5g_nfs; ++n) {
+    result.nf[n] = qr.stations[n];
+  }
+  result.latency_us = qr.latency_us;
+  result.procedures = qr.procedures;
+  result.messages = qr.messages;
+  result.makespan_s = qr.makespan_s;
+  for (const ControlEvent& e : trace.events()) {
+    if (e.type == EventType::tau) ++result.ignored_events;
+  }
+  return result;
+}
+
+}  // namespace cpg::mcn

@@ -1,0 +1,66 @@
+// Discrete-event simulator of the 5G SA core control plane (5GC).
+//
+// 5G SA replaces the EPC with service-based network functions (TS 23.502
+// procedures, condensed to their control-plane hops):
+//   AMF  Access & Mobility Management (the MME analogue; N1/N2 terminus)
+//   SMF  Session Management (bearer/PDU-session logic, SGW-C/PGW-C roles)
+//   AUSF Authentication Server
+//   UDM  Unified Data Management (the HSS analogue)
+//   PCF  Policy Control (the PCRF analogue)
+//
+// Traces generated from a 5G SA model (model::derive_5g with
+// standalone=true) still carry 4G EventType tags; they are mapped through
+// to_5g(): ATCH -> REGISTER, DTCH -> DEREGISTER, SRV_REQ -> SRV_REQ,
+// S1_CONN_REL -> AN_REL, HO -> HO. TAU has no 5G SA counterpart and is
+// ignored if present.
+#pragma once
+
+#include "core/trace.h"
+#include "mcn/queueing.h"
+
+namespace cpg::mcn {
+
+enum class FiveGNf : std::uint8_t {
+  amf = 0,
+  smf = 1,
+  ausf = 2,
+  udm = 3,
+  pcf = 4,
+};
+
+inline constexpr std::size_t k_num_5g_nfs = 5;
+
+inline constexpr std::array<FiveGNf, k_num_5g_nfs> k_all_5g_nfs{
+    FiveGNf::amf, FiveGNf::smf, FiveGNf::ausf, FiveGNf::udm, FiveGNf::pcf};
+
+std::string_view to_string(FiveGNf nf) noexcept;
+
+constexpr std::size_t index_of(FiveGNf nf) noexcept {
+  return static_cast<std::size_t>(nf);
+}
+
+// The signaling chain of a 5G SA procedure, keyed by the originating 4G
+// event tag. TAU returns an empty span (ignored by the 5G core).
+std::span<const GenericStep> fiveg_procedure(EventType event) noexcept;
+
+struct FiveGCoreConfig {
+  std::array<int, k_num_5g_nfs> workers{1, 1, 1, 1, 1};
+  std::array<double, k_num_5g_nfs> service_scale{1, 1, 1, 1, 1};
+  double hop_delay_us = 50.0;
+  std::size_t max_latency_samples = 100'000;
+  std::uint64_t seed = 7;
+};
+
+struct FiveGCoreResult {
+  std::array<StationStats, k_num_5g_nfs> nf{};
+  stats::Summary latency_us;
+  std::uint64_t procedures = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t ignored_events = 0;  // TAU events fed to a 5G SA core
+  double makespan_s = 0.0;
+};
+
+FiveGCoreResult simulate_5g(const Trace& trace,
+                            const FiveGCoreConfig& config);
+
+}  // namespace cpg::mcn

@@ -1,0 +1,102 @@
+#include "mcn/procedures.h"
+
+namespace cpg::mcn {
+
+std::string_view to_string(NetworkFunction nf) noexcept {
+  switch (nf) {
+    case NetworkFunction::mme:
+      return "MME";
+    case NetworkFunction::hss:
+      return "HSS";
+    case NetworkFunction::sgw:
+      return "SGW";
+    case NetworkFunction::pgw:
+      return "PGW";
+    case NetworkFunction::pcrf:
+      return "PCRF";
+  }
+  return "?";
+}
+
+namespace {
+
+using enum NetworkFunction;
+
+// Condensed TS 23.401 call flows (control-plane hops only).
+constexpr ProcedureStep k_attach[] = {
+    {mme, 120.0},  // Attach Request processing + NAS security
+    {hss, 150.0},  // Authentication Information Request
+    {mme, 60.0},   // Authentication / security mode completion
+    {hss, 120.0},  // Update Location Request
+    {mme, 50.0},   // Create Session trigger
+    {sgw, 80.0},   // Create Session Request
+    {pgw, 90.0},   // Create Session (default bearer)
+    {pcrf, 100.0}, // IP-CAN session establishment
+    {pgw, 40.0},   // Create Session Response
+    {sgw, 40.0},   // Create Session Response forward
+    {mme, 70.0},   // Initial Context Setup / Attach Accept
+};
+
+constexpr ProcedureStep k_detach[] = {
+    {mme, 80.0},  // Detach Request
+    {sgw, 60.0},  // Delete Session Request
+    {pgw, 70.0},  // Delete Session (release IP-CAN)
+    {pcrf, 60.0}, // IP-CAN session termination
+    {mme, 40.0},  // Detach Accept
+};
+
+constexpr ProcedureStep k_service_request[] = {
+    {mme, 90.0},  // Service Request + security
+    {sgw, 60.0},  // Modify Bearer Request (S1-U tunnel up)
+    {mme, 40.0},  // Initial Context Setup complete
+};
+
+constexpr ProcedureStep k_s1_release[] = {
+    {mme, 60.0},  // UE Context Release Command
+    {sgw, 50.0},  // Release Access Bearers Request
+    {mme, 30.0},  // UE Context Release Complete
+};
+
+constexpr ProcedureStep k_handover[] = {
+    {mme, 100.0},  // Handover Required / Request
+    {mme, 60.0},   // Handover Command / Notify
+    {sgw, 70.0},   // Modify Bearer Request (path switch)
+    {mme, 40.0},   // Handover completion bookkeeping
+};
+
+constexpr ProcedureStep k_tau[] = {
+    {mme, 90.0},  // TAU Request processing
+    {hss, 60.0},  // Location update (amortized: not every TAU hits HSS)
+    {sgw, 40.0},  // Bearer context notification
+    {mme, 40.0},  // TAU Accept
+};
+
+}  // namespace
+
+std::span<const ProcedureStep> procedure_for(EventType event) noexcept {
+  switch (event) {
+    case EventType::atch:
+      return k_attach;
+    case EventType::dtch:
+      return k_detach;
+    case EventType::srv_req:
+      return k_service_request;
+    case EventType::s1_conn_rel:
+      return k_s1_release;
+    case EventType::ho:
+      return k_handover;
+    case EventType::tau:
+      return k_tau;
+  }
+  return {};
+}
+
+std::array<double, k_num_nfs> demand_per_nf(EventType event) noexcept {
+  std::array<double, k_num_nfs> demand{};
+  for (const ProcedureStep& step : procedure_for(event)) {
+    demand[index_of(step.nf)] += step.service_us;
+  }
+  return demand;
+}
+
+}  // namespace cpg::mcn

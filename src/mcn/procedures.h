@@ -1,0 +1,62 @@
+// 3GPP signaling procedures triggered by control-plane events.
+//
+// Each control-plane event processed by the mobile core network fans out
+// into a chain of signaling messages across the EPC network functions
+// (TS 23.401 call flows, condensed to the control-plane hops):
+//
+//   ATCH        UE registration: MME authenticates via HSS, updates
+//               location, then establishes the default bearer via SGW/PGW
+//               with PCRF policy interaction.
+//   DTCH        Deregistration: MME tears the session down via SGW/PGW and
+//               notifies HSS.
+//   SRV_REQ     Signaling-connection setup: MME + SGW (modify bearer).
+//   S1_CONN_REL Connection release: MME + SGW (release access bearers).
+//   HO          S1-based handover: source/target MME processing + SGW path
+//               switch.
+//   TAU         Tracking area update: MME processing, occasional HSS
+//               location update, SGW notification.
+//
+// Service times are per-message CPU costs at each NF; defaults are
+// microsecond-scale figures representative of an optimized software EPC.
+#pragma once
+
+#include <span>
+
+#include "core/types.h"
+
+namespace cpg::mcn {
+
+enum class NetworkFunction : std::uint8_t {
+  mme = 0,
+  hss = 1,
+  sgw = 2,
+  pgw = 3,
+  pcrf = 4,
+};
+
+inline constexpr std::size_t k_num_nfs = 5;
+
+inline constexpr std::array<NetworkFunction, k_num_nfs> k_all_nfs{
+    NetworkFunction::mme, NetworkFunction::hss, NetworkFunction::sgw,
+    NetworkFunction::pgw, NetworkFunction::pcrf};
+
+std::string_view to_string(NetworkFunction nf) noexcept;
+
+constexpr std::size_t index_of(NetworkFunction nf) noexcept {
+  return static_cast<std::size_t>(nf);
+}
+
+// One signaling hop: the NF that processes it and its nominal service time.
+struct ProcedureStep {
+  NetworkFunction nf;
+  double service_us;
+};
+
+// The message chain a control-plane event triggers, in processing order.
+std::span<const ProcedureStep> procedure_for(EventType event) noexcept;
+
+// Total nominal service demand of an event's procedure per NF
+// (microseconds), ignoring queueing — useful for capacity estimates.
+std::array<double, k_num_nfs> demand_per_nf(EventType event) noexcept;
+
+}  // namespace cpg::mcn

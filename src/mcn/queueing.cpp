@@ -1,0 +1,209 @@
+#include "mcn/queueing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace cpg::mcn {
+
+namespace {
+
+struct Job {
+  EventType event;
+  double start_us;
+};
+
+enum class EventKind : std::uint8_t { arrival, completion };
+
+struct SimEvent {
+  double t_us;
+  std::uint64_t seq;  // FIFO tie-break
+  EventKind kind;
+  std::uint32_t job;
+  std::uint16_t step;
+  std::uint8_t station;  // completion only
+
+  bool operator>(const SimEvent& other) const {
+    if (t_us != other.t_us) return t_us > other.t_us;
+    return seq > other.seq;
+  }
+};
+
+struct QueuedStep {
+  double arrival_us;
+  std::uint32_t job;
+  std::uint16_t step;
+};
+
+struct Station {
+  int free_workers = 1;
+  double service_scale = 1.0;
+  std::queue<QueuedStep> queue;
+  std::uint64_t messages = 0;
+  double busy_us = 0.0;
+  double wait_sum_us = 0.0;
+  double wait_max_us = 0.0;
+  std::size_t max_queue_depth = 0;
+};
+
+class Reservoir {
+ public:
+  Reservoir(std::size_t cap, Rng& rng) : cap_(cap), rng_(&rng) {}
+
+  void add(double v) {
+    ++total_;
+    if (samples_.size() < cap_) {
+      samples_.push_back(v);
+    } else {
+      const std::uint64_t j = rng_->uniform_index(total_);
+      if (j < cap_) samples_[static_cast<std::size_t>(j)] = v;
+    }
+  }
+
+  stats::Summary summarize() const {
+    auto s = stats::summarize(samples_);
+    s.n = static_cast<std::size_t>(total_);
+    return s;
+  }
+
+ private:
+  std::size_t cap_;
+  Rng* rng_;
+  std::vector<double> samples_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+QueueingResult run_queueing(const Trace& trace,
+                            const ProcedureLookup& procedure,
+                            const QueueingConfig& config) {
+  if (config.num_stations == 0 || config.num_stations > k_max_stations) {
+    throw std::invalid_argument("run_queueing: bad station count");
+  }
+  QueueingResult result;
+  if (trace.empty()) return result;
+
+  std::vector<Station> stations(config.num_stations);
+  for (std::size_t n = 0; n < config.num_stations; ++n) {
+    stations[n].free_workers = std::max(1, config.workers[n]);
+    stations[n].service_scale =
+        config.service_scale[n] > 0.0 ? config.service_scale[n] : 1.0;
+  }
+
+  Rng rng(config.seed);
+  Reservoir latency_all(config.max_latency_samples, rng);
+  std::vector<Reservoir> latency_by_event(
+      k_num_event_types, Reservoir(config.max_latency_samples / 4, rng));
+
+  std::vector<Job> jobs;
+  jobs.reserve(trace.num_events());
+  for (const ControlEvent& e : trace.events()) {
+    jobs.push_back({e.type, static_cast<double>(e.t_ms) * 1000.0});
+  }
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
+      heap;
+  std::uint64_t seq = 0;
+  std::size_t next_arrival = 0;
+  double last_completion_us = jobs.front().start_us;
+
+  auto begin_service = [&](Station& st, std::uint8_t station_idx,
+                           const QueuedStep& qs, double now_us) {
+    const GenericStep& step = procedure(jobs[qs.job].event)[qs.step];
+    const double service = step.service_us * st.service_scale;
+    --st.free_workers;
+    ++st.messages;
+    st.busy_us += service;
+    const double wait = now_us - qs.arrival_us;
+    st.wait_sum_us += wait;
+    st.wait_max_us = std::max(st.wait_max_us, wait);
+    heap.push({now_us + service, seq++, EventKind::completion, qs.job,
+               qs.step, station_idx});
+  };
+
+  auto handle_arrival = [&](std::uint32_t job, std::uint16_t step_idx,
+                            double t_us) {
+    const auto proc = procedure(jobs[job].event);
+    if (proc.empty()) return;  // event type not handled by this core
+    const std::uint8_t station_idx = proc[step_idx].station;
+    Station& st = stations[station_idx];
+    const QueuedStep qs{t_us, job, step_idx};
+    if (st.free_workers > 0) {
+      begin_service(st, station_idx, qs, t_us);
+    } else {
+      st.queue.push(qs);
+      st.max_queue_depth = std::max(st.max_queue_depth, st.queue.size());
+    }
+  };
+
+  while (next_arrival < jobs.size() || !heap.empty()) {
+    const bool take_trace_arrival =
+        next_arrival < jobs.size() &&
+        (heap.empty() || jobs[next_arrival].start_us <= heap.top().t_us);
+    if (take_trace_arrival) {
+      const auto job = static_cast<std::uint32_t>(next_arrival++);
+      handle_arrival(job, 0, jobs[job].start_us);
+      continue;
+    }
+
+    const SimEvent ev = heap.top();
+    heap.pop();
+
+    if (ev.kind == EventKind::arrival) {
+      handle_arrival(ev.job, ev.step, ev.t_us);
+      continue;
+    }
+
+    Station& st = stations[ev.station];
+    ++st.free_workers;
+    last_completion_us = std::max(last_completion_us, ev.t_us);
+
+    if (!st.queue.empty()) {
+      const QueuedStep qs = st.queue.front();
+      st.queue.pop();
+      begin_service(st, ev.station, qs, ev.t_us);
+    }
+
+    const auto proc = procedure(jobs[ev.job].event);
+    if (static_cast<std::size_t>(ev.step) + 1 < proc.size()) {
+      heap.push({ev.t_us + config.hop_delay_us, seq++, EventKind::arrival,
+                 ev.job, static_cast<std::uint16_t>(ev.step + 1), 0});
+    } else {
+      const double latency = ev.t_us - jobs[ev.job].start_us;
+      latency_all.add(latency);
+      latency_by_event[index_of(jobs[ev.job].event)].add(latency);
+      ++result.procedures;
+    }
+  }
+
+  const double makespan_us =
+      std::max(1.0, last_completion_us - jobs.front().start_us);
+  result.makespan_s = makespan_us / 1e6;
+  for (std::size_t n = 0; n < config.num_stations; ++n) {
+    const Station& st = stations[n];
+    StationStats& out = result.stations[n];
+    out.messages = st.messages;
+    out.busy_us = st.busy_us;
+    out.utilization =
+        st.busy_us / (makespan_us * std::max(1, config.workers[n] == 0
+                                                    ? 1
+                                                    : config.workers[n]));
+    out.mean_wait_us =
+        st.messages == 0 ? 0.0
+                         : st.wait_sum_us / static_cast<double>(st.messages);
+    out.max_wait_us = st.wait_max_us;
+    out.max_queue_depth = st.max_queue_depth;
+    result.messages += st.messages;
+  }
+  result.latency_us = latency_all.summarize();
+  for (std::size_t e = 0; e < k_num_event_types; ++e) {
+    result.latency_by_event[e] = latency_by_event[e].summarize();
+  }
+  return result;
+}
+
+}  // namespace cpg::mcn

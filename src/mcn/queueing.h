@@ -1,0 +1,63 @@
+// Generic discrete-event multi-station FIFO queueing engine.
+//
+// The EPC (simulator.h) and the 5G SA core (fiveg_core.h) both map
+// control-plane events to chains of service steps across their network
+// functions; this engine executes those chains: every station is a
+// multi-worker FIFO queue, hops add a fixed network delay, and the global
+// event order is maintained by a single time-ordered heap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/trace.h"
+#include "stats/descriptive.h"
+
+namespace cpg::mcn {
+
+inline constexpr std::size_t k_max_stations = 8;
+
+struct GenericStep {
+  std::uint8_t station;
+  double service_us;
+};
+
+struct QueueingConfig {
+  std::size_t num_stations = 0;
+  std::array<int, k_max_stations> workers{};          // 0 -> 1
+  std::array<double, k_max_stations> service_scale{};  // 0 -> 1.0
+  double hop_delay_us = 50.0;
+  std::size_t max_latency_samples = 100'000;
+  std::uint64_t seed = 7;
+};
+
+struct StationStats {
+  std::uint64_t messages = 0;
+  double busy_us = 0.0;
+  double utilization = 0.0;
+  double mean_wait_us = 0.0;
+  double max_wait_us = 0.0;
+  std::size_t max_queue_depth = 0;
+};
+
+struct QueueingResult {
+  std::array<StationStats, k_max_stations> stations{};
+  stats::Summary latency_us;
+  std::array<stats::Summary, k_num_event_types> latency_by_event{};
+  std::uint64_t procedures = 0;
+  std::uint64_t messages = 0;
+  double makespan_s = 0.0;
+};
+
+// Returns the step chain for an event type; an empty span means the event
+// is ignored (e.g. TAU fed to a 5G SA core).
+using ProcedureLookup =
+    std::function<std::span<const GenericStep>(EventType)>;
+
+QueueingResult run_queueing(const Trace& trace,
+                            const ProcedureLookup& procedure,
+                            const QueueingConfig& config);
+
+}  // namespace cpg::mcn

@@ -1,0 +1,77 @@
+#include "mcn/simulator.h"
+
+#include <vector>
+
+#include "mcn/queueing.h"
+
+namespace cpg::mcn {
+
+namespace {
+
+// EPC procedures expressed as generic steps (station = NF index), built
+// once per process.
+std::span<const GenericStep> epc_procedure(EventType event) {
+  static const std::array<std::vector<GenericStep>, k_num_event_types>
+      procedures = [] {
+        std::array<std::vector<GenericStep>, k_num_event_types> out;
+        for (EventType e : k_all_event_types) {
+          for (const ProcedureStep& step : procedure_for(e)) {
+            out[cpg::index_of(e)].push_back(
+                {static_cast<std::uint8_t>(index_of(step.nf)),
+                 step.service_us});
+          }
+        }
+        return out;
+      }();
+  return procedures[cpg::index_of(event)];
+}
+
+}  // namespace
+
+SimulationResult simulate(const Trace& trace,
+                          const SimulationConfig& config) {
+  QueueingConfig qc;
+  qc.num_stations = k_num_nfs;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    qc.workers[n] = config.nfs[n].workers;
+    qc.service_scale[n] = config.nfs[n].service_scale;
+  }
+  qc.hop_delay_us = config.hop_delay_us;
+  qc.max_latency_samples = config.max_latency_samples;
+  qc.seed = config.seed;
+
+  const QueueingResult qr = run_queueing(trace, epc_procedure, qc);
+
+  SimulationResult result;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    const StationStats& s = qr.stations[n];
+    result.nf[n] = NfStats{s.messages,       s.busy_us,
+                           s.utilization,    s.mean_wait_us,
+                           s.max_wait_us,    s.max_queue_depth};
+  }
+  result.latency_us = qr.latency_us;
+  result.latency_by_event = qr.latency_by_event;
+  result.procedures = qr.procedures;
+  result.messages = qr.messages;
+  result.makespan_s = qr.makespan_s;
+  return result;
+}
+
+std::array<double, k_num_nfs> offered_load(const Trace& trace,
+                                           const SimulationConfig& config) {
+  std::array<double, k_num_nfs> load{};
+  if (trace.empty()) return load;
+  for (const ControlEvent& e : trace.events()) {
+    const auto demand = demand_per_nf(e.type);
+    for (std::size_t n = 0; n < k_num_nfs; ++n) {
+      load[n] += demand[n] * config.nfs[n].service_scale;
+    }
+  }
+  const double span_us = static_cast<double>(
+                             trace.end_time() - trace.begin_time() + 1) *
+                         1000.0;
+  for (double& l : load) l /= span_us;
+  return load;
+}
+
+}  // namespace cpg::mcn

@@ -1,0 +1,64 @@
+// Discrete-event simulator of the EPC control plane.
+//
+// Every control-plane event of a trace arrives at the MME at its timestamp
+// and triggers its signaling procedure (procedures.h). Each network
+// function is a multi-worker FIFO queueing station; hops between NFs add a
+// fixed network delay. The simulator reports per-NF utilization, queueing
+// and per-procedure end-to-end latency — the metrics an MCN designer reads
+// off when driving a core with synthesized control traffic (the paper's §3
+// motivating use case).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/trace.h"
+#include "mcn/procedures.h"
+#include "stats/descriptive.h"
+
+namespace cpg::mcn {
+
+struct NfConfig {
+  int workers = 1;
+  // Multiplies the nominal per-message service times (e.g. 0.5 = a core
+  // twice as fast as the reference).
+  double service_scale = 1.0;
+};
+
+struct SimulationConfig {
+  std::array<NfConfig, k_num_nfs> nfs{};
+  double hop_delay_us = 50.0;  // one-way inter-NF network delay
+  // Per-category latency sample cap (reservoir).
+  std::size_t max_latency_samples = 100'000;
+  std::uint64_t seed = 7;
+};
+
+struct NfStats {
+  std::uint64_t messages = 0;
+  double busy_us = 0.0;
+  double utilization = 0.0;     // busy / (workers * makespan)
+  double mean_wait_us = 0.0;
+  double max_wait_us = 0.0;
+  std::size_t max_queue_depth = 0;
+};
+
+struct SimulationResult {
+  std::array<NfStats, k_num_nfs> nf{};
+  // End-to-end procedure latency (µs) overall and per event type.
+  stats::Summary latency_us;
+  std::array<stats::Summary, k_num_event_types> latency_by_event{};
+  std::uint64_t procedures = 0;
+  std::uint64_t messages = 0;
+  double makespan_s = 0.0;  // first arrival to last completion
+};
+
+// Simulates a finalized trace. Procedures are independent; each event's
+// steps execute sequentially through the NF queues.
+SimulationResult simulate(const Trace& trace, const SimulationConfig& config);
+
+// Offered load per NF in CPU-seconds per wall-second, from nominal service
+// demands over the trace span: > workers means the NF cannot keep up.
+std::array<double, k_num_nfs> offered_load(const Trace& trace,
+                                           const SimulationConfig& config);
+
+}  // namespace cpg::mcn

@@ -1,0 +1,115 @@
+#include "model/aggregate.h"
+
+#include <algorithm>
+
+#include "stats/fit.h"
+
+namespace cpg::model {
+
+AggregateModel fit_aggregate(const Trace& trace, AggregateFamily family) {
+  if (!trace.finalized()) {
+    throw std::logic_error("fit_aggregate: trace must be finalized");
+  }
+  AggregateModel model;
+  model.fitted_ues = trace.num_ues();
+
+  // Aggregate inter-arrival samples per (event type, hour-of-day), pooled
+  // across days; and per-UE event counts for the popularity weights.
+  std::array<std::array<std::vector<double>, 24>, k_num_event_types> gaps;
+  std::array<std::array<TimeMs, 24>, k_num_event_types> last{};
+  for (auto& row : last) row.fill(-1);
+  std::array<std::vector<double>, k_num_device_types> weights;
+  for (DeviceType d : k_all_device_types) {
+    weights[index_of(d)].assign(trace.num_ues(), 0.0);
+  }
+  std::array<std::array<std::uint64_t, k_num_device_types>,
+             k_num_event_types>
+      device_counts{};
+
+  for (const ControlEvent& e : trace.events()) {
+    const std::size_t t = index_of(e.type);
+    const int h = hour_of_day(e.t_ms);
+    if (last[t][h] >= 0) {
+      // Gap between consecutive aggregate events of the same type observed
+      // in the same hour-of-day bucket.
+      if (hour_index(last[t][h]) == hour_index(e.t_ms)) {
+        gaps[t][h].push_back(ms_to_seconds(e.t_ms - last[t][h]));
+      }
+    }
+    last[t][h] = e.t_ms;
+    const DeviceType d = trace.device(e.ue_id);
+    weights[index_of(d)][e.ue_id] += 1.0;
+    ++device_counts[t][index_of(d)];
+  }
+
+  for (std::size_t t = 0; t < k_num_event_types; ++t) {
+    for (int h = 0; h < 24; ++h) {
+      auto& sample = gaps[t][h];
+      if (sample.size() < 2) continue;
+      if (family == AggregateFamily::exponential) {
+        model.interarrival[t][h] = std::make_shared<stats::Exponential>(
+            stats::fit_exponential(sample));
+      } else {
+        model.interarrival[t][h] =
+            std::make_shared<stats::Empirical>(sample);
+      }
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t c : device_counts[t]) total += c;
+    for (DeviceType d : k_all_device_types) {
+      model.device_share[t][index_of(d)] =
+          total == 0 ? 0.0
+                     : static_cast<double>(device_counts[t][index_of(d)]) /
+                           static_cast<double>(total);
+    }
+  }
+  model.ue_weight = std::move(weights);
+  return model;
+}
+
+Trace generate_aggregate(const AggregateModel& model,
+                         const AggregateRequest& request) {
+  Trace trace;
+  std::array<std::vector<UeId>, k_num_device_types> ue_of_device;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t i = 0; i < request.ue_counts[index_of(d)]; ++i) {
+      ue_of_device[index_of(d)].push_back(trace.add_ue(d));
+    }
+  }
+
+  Rng rng(request.seed);
+  const TimeMs t_begin =
+      static_cast<TimeMs>(request.start_hour) * k_ms_per_hour;
+  const TimeMs t_end =
+      t_begin + static_cast<TimeMs>(request.duration_hours *
+                                    static_cast<double>(k_ms_per_hour));
+
+  // Six independent renewal processes; owners sampled by device share and
+  // then uniformly within the device (the popularity weights describe the
+  // *fitted* population, which does not exist in the new one — this is the
+  // labeling limitation the paper calls out).
+  for (std::size_t t = 0; t < k_num_event_types; ++t) {
+    TimeMs now = t_begin;
+    while (now < t_end) {
+      const auto* law =
+          model.interarrival[t][static_cast<std::size_t>(hour_of_day(now))]
+              .get();
+      if (law == nullptr) {
+        now = hour_start(hour_index(now) + 1);  // silent hour: skip ahead
+        continue;
+      }
+      const double gap_s = std::max(law->sample(rng), 0.0);
+      now += std::max<TimeMs>(1, seconds_to_ms(gap_s));
+      if (now >= t_end) break;
+      const std::size_t d = rng.categorical(model.device_share[t]);
+      if (ue_of_device[d].empty()) continue;
+      const UeId ue = ue_of_device[d][static_cast<std::size_t>(
+          rng.uniform_index(ue_of_device[d].size()))];
+      trace.add_event(now, ue, k_all_event_types[t]);
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cpg::model

@@ -1,0 +1,62 @@
+// Aggregate control-plane traffic model — the strawman of paper §3.2.1.
+//
+// Instead of modeling individual UEs, this model fits the *aggregate*
+// inter-arrival time of each event type across the whole population (one
+// distribution per (event-type, hour)), and generates events by running six
+// independent renewal processes. Owners are assigned by sampling a UE id
+// from the fitted per-UE popularity distribution, since the aggregate model
+// itself has no notion of a UE.
+//
+// The paper lists three disqualifying limitations, all reproduced here and
+// demonstrated by bench/ablation_aggregate:
+//   (1) it cannot capture per-UE event dependence (generated traces violate
+//       the 3GPP state machines),
+//   (2) its owner labels do not reflect real per-UE behaviour,
+//   (3) it is fitted to one population size and does not transfer to
+//       another.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/trace.h"
+#include "stats/distribution.h"
+
+namespace cpg::model {
+
+struct AggregateModel {
+  // Inter-arrival law of the aggregate process per (event type, hour).
+  std::array<std::array<std::shared_ptr<const stats::Distribution>, 24>,
+             k_num_event_types>
+      interarrival{};
+  // Per-device popularity: probability that an event belongs to UE i of the
+  // fitted population (used only to label events).
+  std::array<std::vector<double>, k_num_device_types> ue_weight{};
+  // Device share of each event type.
+  std::array<std::array<double, k_num_device_types>, k_num_event_types>
+      device_share{};
+  std::size_t fitted_ues = 0;
+};
+
+enum class AggregateFamily { exponential, empirical };
+
+// Fits the aggregate model from a finalized trace.
+AggregateModel fit_aggregate(const Trace& trace,
+                             AggregateFamily family =
+                                 AggregateFamily::exponential);
+
+struct AggregateRequest {
+  std::array<std::size_t, k_num_device_types> ue_counts{};
+  int start_hour = 10;
+  double duration_hours = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Generates a trace from the aggregate model. Note the fixed-population
+// assumption: the aggregate rates are NOT scaled by the requested
+// population (the model has no per-UE rate to scale); requesting more UEs
+// only spreads the same events across more owners. This is limitation (3).
+Trace generate_aggregate(const AggregateModel& model,
+                         const AggregateRequest& request);
+
+}  // namespace cpg::model

@@ -1,0 +1,327 @@
+#include "model/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/features.h"
+#include "statemachine/replay.h"
+#include "stats/fit.h"
+
+namespace cpg::model {
+
+namespace {
+
+// Bounded reservoir of sojourn/offset samples that also tracks the exact
+// count and sum (for transition probabilities and exponential MLE).
+class SamplePool {
+ public:
+  void add(double v, Rng& rng, std::size_t cap) {
+    ++total_;
+    sum_ += v;
+    if (samples_.size() < cap) {
+      samples_.push_back(v);
+    } else {
+      const std::uint64_t j = rng.uniform_index(total_);
+      if (j < cap) samples_[static_cast<std::size_t>(j)] = v;
+    }
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+  std::span<const double> samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+ private:
+  std::vector<double> samples_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+struct Pools {
+  std::vector<SamplePool> top_edge;  // per spec.top_transitions() index
+  std::vector<SamplePool> sub_edge;  // per spec.sub_transitions() index
+  // Censored exits per second-level state: the top level switched before
+  // any sub event fired. This mass becomes "no transition scheduled" in the
+  // fitted law.
+  std::array<std::uint64_t, k_num_sub_states> sub_exit{};
+  std::array<SamplePool, k_num_event_types> interarrival;
+  std::array<std::uint64_t, k_num_event_types> first_type_count{};
+  SamplePool first_offsets;
+  std::uint64_t active_ue_hours = 0;
+
+  void init(std::size_t n_top, std::size_t n_sub) {
+    top_edge.resize(n_top);
+    sub_edge.resize(n_sub);
+  }
+};
+
+struct DeviceFitContext {
+  const sm::MachineSpec* spec = nullptr;
+  std::size_t cap = 0;
+  Rng* rng = nullptr;
+
+  std::array<std::vector<Pools>, 24> by_hour;  // [hour][cluster]
+  std::array<Pools, 24> pooled_hour;
+  Pools pooled_all;
+
+  std::array<std::vector<std::uint32_t>, 24> cluster_sizes;  // UEs per cluster
+};
+
+// Routes one UE's replay samples into the (cluster, hour) pools plus the
+// hour-level and device-level fallback pools.
+struct RouteVisitor : sm::ReplayVisitor {
+  DeviceFitContext* ctx = nullptr;
+  const std::array<std::uint32_t, 24>* traj = nullptr;
+
+  template <typename Fn>
+  void route(int hour, Fn&& fn) {
+    const auto h = static_cast<std::size_t>(hour);
+    fn(ctx->by_hour[h][(*traj)[h]]);
+    fn(ctx->pooled_hour[h]);
+    fn(ctx->pooled_all);
+  }
+
+  void on_top_edge(int edge, double sec, int hour) {
+    route(hour, [&](Pools& p) {
+      p.top_edge[static_cast<std::size_t>(edge)].add(sec, *ctx->rng, ctx->cap);
+    });
+  }
+  void on_sub_edge(int edge, double sec, int hour) {
+    route(hour, [&](Pools& p) {
+      p.sub_edge[static_cast<std::size_t>(edge)].add(sec, *ctx->rng, ctx->cap);
+    });
+  }
+  void on_sub_exit(SubState s, double /*sec*/, int hour) {
+    route(hour, [&](Pools& p) { ++p.sub_exit[index_of(s)]; });
+  }
+  void on_interarrival(EventType t, double sec, int hour) {
+    route(hour, [&](Pools& p) {
+      p.interarrival[index_of(t)].add(sec, *ctx->rng, ctx->cap);
+    });
+  }
+  void on_first_event_in_hour(std::int64_t hour_idx, EventType t,
+                              TimeMs offset_ms) {
+    const int hour = static_cast<int>(hour_idx % 24);
+    route(hour, [&](Pools& p) {
+      ++p.first_type_count[index_of(t)];
+      p.first_offsets.add(ms_to_seconds(offset_ms), *ctx->rng, ctx->cap);
+      ++p.active_ue_hours;
+    });
+  }
+};
+
+std::shared_ptr<const stats::Distribution> make_exponential(double mean_s) {
+  // Guard against degenerate zero-duration pools (events sharing the same
+  // millisecond).
+  return std::make_shared<stats::Exponential>(1.0 /
+                                              std::max(mean_s, 1e-3));
+}
+
+std::shared_ptr<const stats::Distribution> make_empirical(
+    std::span<const double> samples) {
+  return std::make_shared<stats::Empirical>(samples);
+}
+
+// Builds the Semi-Markov law of one state from the per-edge pools of its
+// outgoing transitions.
+template <typename EdgeRange>
+StateLaw build_state_law(const EdgeRange& edges,
+                         std::span<const SamplePool> edge_pools,
+                         bool empirical, std::uint64_t exit_count = 0) {
+  StateLaw law;
+  std::uint64_t total = exit_count;
+  double sum = 0.0;
+  for (int edge : edges) {
+    total += edge_pools[static_cast<std::size_t>(edge)].count();
+    sum += edge_pools[static_cast<std::size_t>(edge)].sum();
+  }
+  if (total == exit_count) return law;  // never left via a modeled edge
+
+  // Exponential variants fit one rate per *state* (the paper's Base/B1/B2
+  // fit the sojourn time of a state, not of an edge). The rate uses only
+  // completed sojourns.
+  std::shared_ptr<const stats::Distribution> state_exp;
+  if (!empirical) {
+    state_exp =
+        make_exponential(sum / static_cast<double>(total - exit_count));
+  }
+
+  for (int edge : edges) {
+    const SamplePool& pool = edge_pools[static_cast<std::size_t>(edge)];
+    if (pool.empty()) continue;
+    TransitionLaw t;
+    t.edge = edge;
+    t.probability =
+        static_cast<double>(pool.count()) / static_cast<double>(total);
+    t.sojourn = empirical ? make_empirical(pool.samples()) : state_exp;
+    law.out.push_back(std::move(t));
+  }
+  return law;
+}
+
+HourClusterModel build_hour_model(const sm::MachineSpec& spec,
+                                  const Pools& pools, Method method,
+                                  std::uint64_t member_ue_days,
+                                  bool model_censored_exits) {
+  HourClusterModel m;
+  const bool empirical = uses_empirical_sojourns(method);
+
+  for (TopState s : k_all_top_states) {
+    std::vector<int> edges;
+    int idx = 0;
+    for (const sm::TopTransition& t : spec.top_transitions()) {
+      if (t.from == s) edges.push_back(idx);
+      ++idx;
+    }
+    m.top[index_of(s)] = build_state_law(edges, pools.top_edge, empirical);
+  }
+
+  for (SubState s : k_all_sub_states) {
+    std::vector<int> edges;
+    int idx = 0;
+    for (const sm::SubTransition& t : spec.sub_transitions()) {
+      if (t.from == s) edges.push_back(idx);
+      ++idx;
+    }
+    if (!edges.empty()) {
+      m.sub[index_of(s)] = build_state_law(
+          edges, pools.sub_edge, empirical,
+          model_censored_exits ? pools.sub_exit[index_of(s)] : 0);
+    }
+  }
+
+  if (uses_overlay_ho_tau(method)) {
+    for (EventType e : {EventType::ho, EventType::tau}) {
+      const SamplePool& pool = pools.interarrival[index_of(e)];
+      if (!pool.empty()) {
+        m.overlay[index_of(e)] = make_exponential(pool.mean());
+      }
+    }
+  }
+
+  // First-event model.
+  std::uint64_t first_total = 0;
+  for (std::uint64_t c : pools.first_type_count) first_total += c;
+  if (first_total > 0 && !pools.first_offsets.empty()) {
+    for (std::size_t e = 0; e < k_num_event_types; ++e) {
+      m.first_event.type_prob[e] =
+          static_cast<double>(pools.first_type_count[e]) /
+          static_cast<double>(first_total);
+    }
+    m.first_event.offset_s = std::make_shared<stats::Empirical>(
+        pools.first_offsets.samples());
+    m.first_event.p_active =
+        member_ue_days == 0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(pools.active_ue_hours) /
+                                static_cast<double>(member_ue_days));
+  }
+  return m;
+}
+
+}  // namespace
+
+ModelSet fit_model(const Trace& trace, const FitOptions& options) {
+  if (!trace.finalized()) {
+    throw std::logic_error("fit_model: trace must be finalized");
+  }
+  ModelSet set;
+  set.method = options.method;
+  set.spec = &spec_for(options.method);
+  const sm::MachineSpec& spec = *set.spec;
+
+  const int num_days =
+      trace.empty() ? 1
+                    : std::max<int>(1, day_of(trace.end_time()) + 1);
+  set.num_days_fitted = num_days;
+
+  Rng reservoir_rng(options.seed);
+
+  for (DeviceType device : k_all_device_types) {
+    DeviceModel& dev = set.devices[index_of(device)];
+    const auto groups = trace.group_by_ue(device);
+    if (groups.empty()) continue;
+
+    // --- clustering per hour-of-day -------------------------------------
+    dev.ue_traj.assign(groups.size(), {});
+    DeviceFitContext ctx;
+    ctx.spec = &spec;
+    ctx.cap = options.max_pool_samples;
+    ctx.rng = &reservoir_rng;
+
+    if (uses_clustering(options.method)) {
+      const auto features =
+          clustering::extract_features(spec, groups, num_days);
+      for (int h = 0; h < 24; ++h) {
+        std::vector<clustering::UeHourFeatures> hour_features(groups.size());
+        for (std::size_t u = 0; u < groups.size(); ++u) {
+          hour_features[u] = features[u][static_cast<std::size_t>(h)];
+        }
+        const auto clusters =
+            clustering::adaptive_cluster(hour_features, options.clustering);
+        ctx.by_hour[static_cast<std::size_t>(h)].resize(
+            clusters.num_clusters);
+        ctx.cluster_sizes[static_cast<std::size_t>(h)].assign(
+            clusters.num_clusters, 0);
+        for (std::size_t u = 0; u < groups.size(); ++u) {
+          dev.ue_traj[u][static_cast<std::size_t>(h)] =
+              clusters.assignment[u];
+          ++ctx.cluster_sizes[static_cast<std::size_t>(h)]
+                             [clusters.assignment[u]];
+        }
+      }
+    } else {
+      for (int h = 0; h < 24; ++h) {
+        ctx.by_hour[static_cast<std::size_t>(h)].resize(1);
+        ctx.cluster_sizes[static_cast<std::size_t>(h)].assign(
+            1, static_cast<std::uint32_t>(groups.size()));
+      }
+    }
+
+    const std::size_t n_top = spec.top_transitions().size();
+    const std::size_t n_sub = spec.sub_transitions().size();
+    for (int h = 0; h < 24; ++h) {
+      for (Pools& p : ctx.by_hour[static_cast<std::size_t>(h)]) {
+        p.init(n_top, n_sub);
+      }
+      ctx.pooled_hour[static_cast<std::size_t>(h)].init(n_top, n_sub);
+    }
+    ctx.pooled_all.init(n_top, n_sub);
+
+    // --- sample routing ----------------------------------------------------
+    RouteVisitor visitor;
+    visitor.ctx = &ctx;
+    for (std::size_t u = 0; u < groups.size(); ++u) {
+      visitor.traj = &dev.ue_traj[u];
+      sm::replay_ue(spec, groups[u], visitor);
+    }
+
+    // --- law construction ---------------------------------------------------
+    const auto days = static_cast<std::uint64_t>(num_days);
+    for (int h = 0; h < 24; ++h) {
+      const auto hs = static_cast<std::size_t>(h);
+      dev.by_hour[hs].reserve(ctx.by_hour[hs].size());
+      for (std::size_t c = 0; c < ctx.by_hour[hs].size(); ++c) {
+        dev.by_hour[hs].push_back(build_hour_model(
+            spec, ctx.by_hour[hs][c], options.method,
+            static_cast<std::uint64_t>(ctx.cluster_sizes[hs][c]) * days,
+            options.model_censored_exits));
+      }
+      dev.pooled_hour[hs] = build_hour_model(
+          spec, ctx.pooled_hour[hs], options.method,
+          static_cast<std::uint64_t>(groups.size()) * days,
+          options.model_censored_exits);
+    }
+    dev.pooled_all = build_hour_model(
+        spec, ctx.pooled_all, options.method,
+        static_cast<std::uint64_t>(groups.size()) * days * 24,
+        options.model_censored_exits);
+  }
+
+  return set;
+}
+
+}  // namespace cpg::model

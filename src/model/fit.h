@@ -1,0 +1,33 @@
+// Model fitting pipeline (paper §5): instantiates the two-level
+// Semi-Markov model (or an ablation variant) from a sample control-plane
+// trace, for every combination of (UE-cluster, hour-of-day, device-type).
+#pragma once
+
+#include "clustering/adaptive.h"
+#include "core/trace.h"
+#include "model/semi_markov.h"
+
+namespace cpg::model {
+
+struct FitOptions {
+  Method method = Method::ours;
+  clustering::ClusteringParams clustering{};
+  // Reservoir cap per sample pool; bounds memory while keeping the empirical
+  // CDFs dense.
+  std::size_t max_pool_samples = 50'000;
+  // Seed for the (deterministic) reservoir sampling.
+  std::uint64_t seed = 0x5eedULL;
+  // Ablation switch: when false, second-level transition probabilities are
+  // normalized over observed transitions only (no censored-exit mass), the
+  // literal reading of §5.2. The default accounts for top-level exits so the
+  // sub-machine does not fire a Category-2 event in nearly every state
+  // visit (see DESIGN.md, "exit mass").
+  bool model_censored_exits = true;
+};
+
+// Fits a ModelSet from a finalized trace. UEs with no events still shape
+// the first-event model's activity probability but contribute no sojourn
+// samples.
+ModelSet fit_model(const Trace& trace, const FitOptions& options = {});
+
+}  // namespace cpg::model

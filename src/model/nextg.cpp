@@ -1,0 +1,128 @@
+#include "model/nextg.h"
+
+#include <cmath>
+
+namespace cpg::model {
+
+NextGOptions nsa_defaults() { return NextGOptions{false, 4.6}; }
+NextGOptions sa_defaults() { return NextGOptions{true, 3.0}; }
+
+namespace {
+
+int find_sub_edge(const sm::MachineSpec& spec, const sm::SubTransition& t) {
+  int idx = 0;
+  for (const sm::SubTransition& cand : spec.sub_transitions()) {
+    if (cand == t) return idx;
+    ++idx;
+  }
+  return -1;
+}
+
+std::shared_ptr<const stats::Distribution> compress(
+    std::shared_ptr<const stats::Distribution> dist, double scale) {
+  if (!dist || scale == 1.0) return dist;
+  return std::make_shared<stats::Scaled>(std::move(dist), 1.0 / scale);
+}
+
+HourClusterModel transform_model(const HourClusterModel& in,
+                                 const sm::MachineSpec& old_spec,
+                                 const sm::MachineSpec& new_spec,
+                                 const NextGOptions& opts) {
+  HourClusterModel out;
+
+  // Top level: both machines share the same top transition table.
+  out.top = in.top;
+
+  // Second level: re-index against the new spec; drop removed edges;
+  // boost the odds of HO-triggered transitions by the frequency scale and
+  // compress their sojourns, then renormalize against the law's total mass
+  // (which includes the implicit exit mass 1 - sum(p)).
+  for (std::size_t s = 0; s < k_num_sub_states; ++s) {
+    const StateLaw& law = in.sub[s];
+    if (!law.has_data()) continue;
+    double old_total = 0.0;
+    for (const TransitionLaw& t : law.out) old_total += t.probability;
+    const double exit_mass = std::max(0.0, 1.0 - old_total);
+
+    StateLaw new_law;
+    double new_total = exit_mass;
+    for (const TransitionLaw& t : law.out) {
+      const sm::SubTransition& old_edge =
+          old_spec.sub_transitions()[static_cast<std::size_t>(t.edge)];
+      const int new_edge = find_sub_edge(new_spec, old_edge);
+      if (new_edge < 0) continue;  // e.g. TAU edges under 5G SA
+      TransitionLaw nt = t;
+      nt.edge = new_edge;
+      if (old_edge.event == EventType::ho) {
+        nt.probability *= opts.ho_frequency_scale;
+        nt.sojourn = compress(nt.sojourn, opts.ho_frequency_scale);
+      }
+      new_total += nt.probability;
+      new_law.out.push_back(std::move(nt));
+    }
+    if (new_law.out.empty()) continue;
+    if (new_total > 1.0) {
+      for (TransitionLaw& t : new_law.out) t.probability /= new_total;
+    }
+    out.sub[s] = std::move(new_law);
+  }
+
+  // Overlay laws (EMM-ECM methods): HO gets denser, TAU vanishes under SA.
+  for (std::size_t e = 0; e < k_num_event_types; ++e) {
+    if (!in.overlay[e]) continue;
+    if (e == index_of(EventType::tau) && opts.standalone) continue;
+    out.overlay[e] = e == index_of(EventType::ho)
+                         ? compress(in.overlay[e], opts.ho_frequency_scale)
+                         : in.overlay[e];
+  }
+
+  // First-event model: under SA a first-of-hour TAU can no longer exist;
+  // redistribute its probability across the remaining types.
+  out.first_event = in.first_event;
+  if (opts.standalone && out.first_event.has_data()) {
+    auto& probs = out.first_event.type_prob;
+    const double tau_p = probs[index_of(EventType::tau)];
+    probs[index_of(EventType::tau)] = 0.0;
+    const double rest = 1.0 - tau_p;
+    if (rest > 1e-12) {
+      for (double& p : probs) p /= rest;
+      probs[index_of(EventType::tau)] = 0.0;
+    } else {
+      // This cluster's hour consisted purely of idle TAU cycles; under SA it
+      // is simply silent.
+      out.first_event = FirstEventLaw{};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelSet derive_5g(const ModelSet& lte, const NextGOptions& options) {
+  ModelSet out;
+  out.method = lte.method;
+  out.num_days_fitted = lte.num_days_fitted;
+  out.spec = options.standalone ? &sm::fiveg_sa_spec() : lte.spec;
+
+  for (std::size_t d = 0; d < k_num_device_types; ++d) {
+    const DeviceModel& in_dev = lte.devices[d];
+    DeviceModel& out_dev = out.devices[d];
+    out_dev.ue_traj = in_dev.ue_traj;
+    for (int h = 0; h < 24; ++h) {
+      const auto hs = static_cast<std::size_t>(h);
+      out_dev.by_hour[hs].reserve(in_dev.by_hour[hs].size());
+      for (const HourClusterModel& m : in_dev.by_hour[hs]) {
+        out_dev.by_hour[hs].push_back(
+            transform_model(m, *lte.spec, *out.spec, options));
+      }
+      out_dev.pooled_hour[hs] =
+          transform_model(in_dev.pooled_hour[hs], *lte.spec, *out.spec,
+                          options);
+    }
+    out_dev.pooled_all =
+        transform_model(in_dev.pooled_all, *lte.spec, *out.spec, options);
+  }
+  return out;
+}
+
+}  // namespace cpg::model

@@ -1,0 +1,38 @@
+// 5G model derivation (paper §6): adjusts a fitted LTE ModelSet for 5G
+// NSA or 5G SA without requiring a large-scale 5G trace.
+//
+//   * 5G NSA runs on the LTE core, so it keeps the LTE two-level state
+//     machine (Fig. 5) and only scales the HO frequency (4.6x per the
+//     measurement study cited by the paper).
+//   * 5G SA uses the adjusted machine of Fig. 6: all TAU states and edges
+//     are removed (5G has no TAU counterpart, Table 2), and HO frequency is
+//     scaled by the paper's controlled-experiment factor (3.0x).
+//
+// HO scaling is realized by compressing the sojourn-time laws of every
+// HO-triggered transition by 1/scale: an HO that took T seconds to fire now
+// fires in T/scale seconds, so a CONNECTED period of unchanged length
+// accumulates ~scale times as many HO events (including the HO_S self-loop
+// bursts). Transition probabilities stay untouched, which preserves the
+// absolute frequency of the other event types.
+#pragma once
+
+#include "model/semi_markov.h"
+
+namespace cpg::model {
+
+struct NextGOptions {
+  bool standalone = false;        // false: NSA (LTE machine); true: SA
+  double ho_frequency_scale = 4.6;  // 4.6x NSA default; use 3.0 for SA
+};
+
+// Paper defaults for the two deployment modes.
+NextGOptions nsa_defaults();
+NextGOptions sa_defaults();
+
+// Derives a 5G ModelSet from a fitted LTE model ("Ours" method expected;
+// works for any method). For SA, sub-state laws are re-indexed against
+// fiveg_sa_spec(), TAU edges are dropped (their probability mass becomes
+// "no transition"), and TAU disappears from the first-event model.
+ModelSet derive_5g(const ModelSet& lte, const NextGOptions& options);
+
+}  // namespace cpg::model

@@ -1,0 +1,126 @@
+#include "model/semi_markov.h"
+
+namespace cpg::model {
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::base:
+      return "Base";
+    case Method::b1:
+      return "B1";
+    case Method::b2:
+      return "B2";
+    case Method::ours:
+      return "Ours";
+  }
+  return "?";
+}
+
+const sm::MachineSpec& spec_for(Method m) noexcept {
+  switch (m) {
+    case Method::base:
+    case Method::b1:
+      return sm::emm_ecm_spec();
+    case Method::b2:
+    case Method::ours:
+      return sm::lte_two_level_spec();
+  }
+  return sm::lte_two_level_spec();
+}
+
+namespace {
+
+const HourClusterModel* cluster_model(const DeviceModel& dev, int hour,
+                                      std::uint32_t cluster) {
+  const auto& hour_models = dev.by_hour[static_cast<std::size_t>(hour)];
+  if (cluster < hour_models.size()) return &hour_models[cluster];
+  return nullptr;
+}
+
+}  // namespace
+
+const StateLaw* resolve_top_law(const DeviceModel& dev, int hour,
+                                std::uint32_t cluster, TopState s) {
+  const std::size_t i = index_of(s);
+  if (const auto* m = cluster_model(dev, hour, cluster)) {
+    if (m->top[i].has_data()) return &m->top[i];
+  }
+  if (dev.pooled_hour[static_cast<std::size_t>(hour)].top[i].has_data()) {
+    return &dev.pooled_hour[static_cast<std::size_t>(hour)].top[i];
+  }
+  if (dev.pooled_all.top[i].has_data()) return &dev.pooled_all.top[i];
+  return nullptr;
+}
+
+const StateLaw* resolve_sub_law(const DeviceModel& dev, int hour,
+                                std::uint32_t cluster, SubState s) {
+  const std::size_t i = index_of(s);
+  if (const auto* m = cluster_model(dev, hour, cluster)) {
+    if (m->sub[i].has_data()) return &m->sub[i];
+  }
+  if (dev.pooled_hour[static_cast<std::size_t>(hour)].sub[i].has_data()) {
+    return &dev.pooled_hour[static_cast<std::size_t>(hour)].sub[i];
+  }
+  if (dev.pooled_all.sub[i].has_data()) return &dev.pooled_all.sub[i];
+  return nullptr;
+}
+
+const stats::Distribution* resolve_overlay(const DeviceModel& dev, int hour,
+                                           std::uint32_t cluster,
+                                           EventType e) {
+  const std::size_t i = index_of(e);
+  if (const auto* m = cluster_model(dev, hour, cluster)) {
+    if (m->overlay[i]) return m->overlay[i].get();
+  }
+  if (dev.pooled_hour[static_cast<std::size_t>(hour)].overlay[i]) {
+    return dev.pooled_hour[static_cast<std::size_t>(hour)].overlay[i].get();
+  }
+  if (dev.pooled_all.overlay[i]) return dev.pooled_all.overlay[i].get();
+  return nullptr;
+}
+
+const FirstEventLaw* resolve_first_event(const DeviceModel& dev, int hour,
+                                         std::uint32_t cluster) {
+  // Unlike sojourn laws, an *empty* first-event law of an existing cluster
+  // is signal, not missing data: every member (UE, day) of that cluster was
+  // silent in this hour, so a synthesized member must be silent too.
+  // Falling back to the hour pool here would erase the population's
+  // inactive tail (the real per-UE count CDFs have a large mass at zero).
+  if (cluster_model(dev, hour, cluster) != nullptr) {
+    const auto& law = dev.by_hour[static_cast<std::size_t>(hour)][cluster]
+                          .first_event;
+    return law.has_data() ? &law : nullptr;
+  }
+  if (dev.pooled_hour[static_cast<std::size_t>(hour)].first_event.has_data()) {
+    return &dev.pooled_hour[static_cast<std::size_t>(hour)].first_event;
+  }
+  if (dev.pooled_all.first_event.has_data()) return &dev.pooled_all.first_event;
+  return nullptr;
+}
+
+const TransitionLaw* sample_edge(const StateLaw& law, Rng& rng) {
+  if (law.out.empty()) return nullptr;
+  double total = 0.0;
+  for (const TransitionLaw& t : law.out) total += t.probability;
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (const TransitionLaw& t : law.out) {
+    acc += t.probability;
+    if (r < acc) return &t;
+  }
+  // Floating-point slack on a law whose mass sums to 1.
+  if (total >= 0.999999) return &law.out.back();
+  return nullptr;  // landed in the residual (exit / removed-edge) mass
+}
+
+SampledTransition sample_transition(const StateLaw& law, Rng& rng) {
+  SampledTransition st;
+  const TransitionLaw* edge = sample_edge(law, rng);
+  if (edge == nullptr) return st;
+  st.edge = edge->edge;
+  st.sojourn_s = edge->sojourn ? edge->sojourn->sample(rng) : 0.0;
+  if (st.sojourn_s < 0.0) st.sojourn_s = 0.0;
+  return st;
+}
+
+}  // namespace cpg::model

@@ -1,0 +1,148 @@
+// The two-level state-machine-based Semi-Markov traffic model (paper §5.2)
+// and the three ablation variants used in the validation (Table 3):
+//
+//   method | state machine | sojourn law            | UE clustering
+//   -------+---------------+------------------------+--------------
+//   base   | EMM-ECM       | fitted Poisson         | no
+//   b1     | EMM-ECM       | fitted Poisson         | yes
+//   b2     | two-level     | fitted Poisson         | yes
+//   ours   | two-level     | empirical CDF          | yes
+//
+// For the EMM-ECM methods, HO and TAU cannot be expressed as machine
+// transitions; they are modeled as independent Poisson overlay processes
+// fitted to the observed inter-arrival times (this is what makes those
+// methods emit HO in IDLE, cf. Table 4).
+//
+// A model is instantiated per (UE-cluster, hour-of-day, device-type); a
+// DeviceModel additionally records each modeled UE's per-hour cluster
+// membership, so a synthesized UE can follow a real UE's cluster trajectory
+// ("if 33% of the UEs belong to Cluster X, then 33% of the per-UE traffic
+// generators will be running the state machine for Cluster X", §7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clustering/adaptive.h"
+#include "core/types.h"
+#include "statemachine/spec.h"
+#include "stats/distribution.h"
+
+namespace cpg::model {
+
+enum class Method : std::uint8_t { base = 0, b1 = 1, b2 = 2, ours = 3 };
+
+std::string_view to_string(Method m) noexcept;
+
+// Which state machine a method replays/fits/generates with.
+const sm::MachineSpec& spec_for(Method m) noexcept;
+
+constexpr bool uses_clustering(Method m) noexcept {
+  return m != Method::base;
+}
+constexpr bool uses_empirical_sojourns(Method m) noexcept {
+  return m == Method::ours;
+}
+constexpr bool uses_overlay_ho_tau(Method m) noexcept {
+  return m == Method::base || m == Method::b1;
+}
+
+// One outgoing edge of a Semi-Markov state: transition probability p_xy and
+// the sojourn-time law F_xy (seconds spent in x before switching to y).
+struct TransitionLaw {
+  int edge = -1;  // index into spec.top_transitions() / sub_transitions()
+  double probability = 0.0;
+  std::shared_ptr<const stats::Distribution> sojourn;
+};
+
+struct StateLaw {
+  std::vector<TransitionLaw> out;
+
+  bool has_data() const noexcept { return !out.empty(); }
+};
+
+// First-event model (paper §5.4): the probability of each event type being
+// a UE's first event of the hour, the distribution of its offset within the
+// hour, and the probability that a (UE, day) is active at all in this hour.
+struct FirstEventLaw {
+  std::array<double, k_num_event_types> type_prob{};  // sums to 1 if active
+  std::shared_ptr<const stats::Empirical> offset_s;   // seconds into the hour
+  double p_active = 0.0;
+
+  bool has_data() const noexcept { return offset_s != nullptr; }
+};
+
+// The model for one (UE-cluster, hour-of-day): Semi-Markov laws for every
+// top-level and second-level state, the overlay laws (EMM-ECM methods
+// only), and the first-event model.
+struct HourClusterModel {
+  std::array<StateLaw, k_num_top_states> top;
+  std::array<StateLaw, k_num_sub_states> sub;
+  std::array<std::shared_ptr<const stats::Distribution>, k_num_event_types>
+      overlay{};  // inter-arrival; only HO / TAU are populated
+  FirstEventLaw first_event;
+};
+
+// All models of one device type.
+struct DeviceModel {
+  // by_hour[h] holds one HourClusterModel per cluster of hour h.
+  std::array<std::vector<HourClusterModel>, 24> by_hour;
+  // Cluster membership per modeled UE per hour-of-day.
+  std::vector<std::array<std::uint32_t, 24>> ue_traj;
+  // Fallbacks when a (cluster, hour) law has no data: pooled over all
+  // clusters of the hour, then pooled over everything.
+  std::array<HourClusterModel, 24> pooled_hour;
+  HourClusterModel pooled_all;
+
+  bool has_ues() const noexcept { return !ue_traj.empty(); }
+  std::size_t num_clusters(int hour) const noexcept {
+    return by_hour[static_cast<std::size_t>(hour)].size();
+  }
+};
+
+struct ModelSet {
+  Method method = Method::ours;
+  const sm::MachineSpec* spec = nullptr;
+  std::array<DeviceModel, k_num_device_types> devices;
+  int num_days_fitted = 0;
+
+  const DeviceModel& device(DeviceType d) const {
+    return devices[index_of(d)];
+  }
+};
+
+// --- Law resolution with fallback ----------------------------------------
+
+// Returns the most specific non-empty law for (device, hour, cluster, top
+// state), falling back cluster -> pooled hour -> pooled all. Returns nullptr
+// when even the global pool has no data.
+const StateLaw* resolve_top_law(const DeviceModel& dev, int hour,
+                                std::uint32_t cluster, TopState s);
+
+const StateLaw* resolve_sub_law(const DeviceModel& dev, int hour,
+                                std::uint32_t cluster, SubState s);
+
+const stats::Distribution* resolve_overlay(const DeviceModel& dev, int hour,
+                                           std::uint32_t cluster,
+                                           EventType e);
+
+const FirstEventLaw* resolve_first_event(const DeviceModel& dev, int hour,
+                                         std::uint32_t cluster);
+
+// Picks an outgoing edge by probability. Returns nullptr when the draw
+// lands in the law's residual mass (probabilities may sum to < 1: censored
+// second-level exits and removed 5G edges), meaning no transition is
+// scheduled from this state.
+const TransitionLaw* sample_edge(const StateLaw& law, Rng& rng);
+
+// Samples an outgoing transition: picks the edge by probability and draws a
+// sojourn (seconds, >= 0) from its law.
+struct SampledTransition {
+  int edge = -1;
+  double sojourn_s = 0.0;
+};
+SampledTransition sample_transition(const StateLaw& law, Rng& rng);
+
+}  // namespace cpg::model

@@ -1,0 +1,76 @@
+#include "ran/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpg::ran {
+
+MobilityParams stationary_params() { return {0.0, 0.0, 3600.0}; }
+MobilityParams pedestrian_params() { return {0.5, 2.0, 120.0}; }
+MobilityParams vehicular_params() { return {8.0, 30.0, 20.0}; }
+
+WaypointMobility::WaypointMobility(const CellTopology& topology,
+                                   MobilityParams params, Rng& rng)
+    : topology_(&topology), params_(params), rng_(&rng) {
+  pos_ = {rng_->uniform(0.0, topology.width_m()),
+          rng_->uniform(0.0, topology.height_m())};
+  moving_ = false;
+  leg_ends_ = seconds_to_ms(rng_->exponential(
+      std::max(params_.mean_pause_s, 1e-3)));
+}
+
+void WaypointMobility::plan_next_leg() {
+  if (moving_) {
+    // Trip finished: arrive and pause.
+    pos_ = target_;
+    moving_ = false;
+    leg_ends_ = now_ + seconds_to_ms(rng_->exponential(
+                           std::max(params_.mean_pause_s, 1e-3)));
+    return;
+  }
+  if (params_.max_speed_mps <= 0.0) {
+    // Stationary UE: pause forever (renew the pause).
+    leg_ends_ = now_ + seconds_to_ms(3600.0);
+    return;
+  }
+  // Pick a waypoint and speed; travel in a straight (torus) line.
+  target_ = {rng_->uniform(0.0, topology_->width_m()),
+             rng_->uniform(0.0, topology_->height_m())};
+  speed_mps_ =
+      rng_->uniform(std::max(params_.min_speed_mps, 0.1),
+                    std::max(params_.max_speed_mps,
+                             params_.min_speed_mps + 0.1));
+  const double dx = target_.x - pos_.x;
+  const double dy = target_.y - pos_.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  moving_ = true;
+  leg_ends_ =
+      now_ + std::max<TimeMs>(1, seconds_to_ms(dist / speed_mps_));
+}
+
+Position WaypointMobility::advance_to(TimeMs t) {
+  t = std::max(t, now_);
+  while (leg_ends_ <= t) {
+    now_ = leg_ends_;
+    plan_next_leg();
+  }
+  if (moving_) {
+    // Interpolate along the current trip.
+    const double total =
+        static_cast<double>(leg_ends_ - now_) + 1e-9;
+    // Reconstruct trip start fraction: we keep pos_ at trip start and
+    // interpolate toward target_ by elapsed fraction.
+    const double frac =
+        std::clamp(static_cast<double>(t - now_) / total, 0.0, 1.0);
+    Position p{pos_.x + (target_.x - pos_.x) * frac,
+               pos_.y + (target_.y - pos_.y) * frac};
+    // Commit progress so subsequent calls interpolate from here.
+    pos_ = p;
+    now_ = t;
+    return topology_->wrap(p);
+  }
+  now_ = t;
+  return topology_->wrap(pos_);
+}
+
+}  // namespace cpg::ran

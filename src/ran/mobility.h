@@ -1,0 +1,51 @@
+// Random-waypoint mobility on the topology torus.
+//
+// A UE alternates pauses and straight-line trips to uniformly drawn
+// waypoints at a speed drawn per trip. Sampled at fixed ticks, the model
+// produces the cell/tracking-area crossing sequences that turn into HO and
+// TAU events.
+#pragma once
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "ran/topology.h"
+
+namespace cpg::ran {
+
+struct MobilityParams {
+  double min_speed_mps = 0.5;
+  double max_speed_mps = 2.0;
+  double mean_pause_s = 60.0;  // exponential pause at each waypoint
+};
+
+// Preset parameter sets matching the workload simulator's mobility classes.
+MobilityParams stationary_params();  // never moves
+MobilityParams pedestrian_params();  // 0.5-2 m/s, long pauses
+MobilityParams vehicular_params();   // 8-30 m/s, short pauses
+
+class WaypointMobility {
+ public:
+  WaypointMobility(const CellTopology& topology, MobilityParams params,
+                   Rng& rng);
+
+  // Advances the UE to absolute time t (t must be non-decreasing across
+  // calls) and returns its position.
+  Position advance_to(TimeMs t);
+
+  Position position() const noexcept { return pos_; }
+
+ private:
+  void plan_next_leg();
+
+  const CellTopology* topology_;
+  MobilityParams params_;
+  Rng* rng_;
+  Position pos_{};
+  Position target_{};
+  double speed_mps_ = 0.0;   // 0 while pausing
+  TimeMs leg_ends_ = 0;      // end of current pause/trip
+  TimeMs now_ = 0;
+  bool moving_ = false;
+};
+
+}  // namespace cpg::ran

@@ -1,0 +1,50 @@
+#include "ran/topology.h"
+
+#include <cmath>
+
+namespace cpg::ran {
+
+CellTopology::CellTopology(int cols, int rows, double cell_size_m,
+                           int ta_block)
+    : cols_(cols), rows_(rows), cell_size_m_(cell_size_m),
+      ta_block_(ta_block) {
+  if (cols <= 0 || rows <= 0 || !(cell_size_m > 0.0) || ta_block <= 0) {
+    throw std::invalid_argument("CellTopology: non-positive dimension");
+  }
+  if (ta_block > cols || ta_block > rows) {
+    throw std::invalid_argument("CellTopology: ta_block exceeds grid");
+  }
+  ta_cols_ = (cols_ + ta_block_ - 1) / ta_block_;
+  ta_rows_ = (rows_ + ta_block_ - 1) / ta_block_;
+}
+
+Position CellTopology::wrap(Position p) const noexcept {
+  const double w = width_m();
+  const double h = height_m();
+  p.x = std::fmod(p.x, w);
+  if (p.x < 0.0) p.x += w;
+  p.y = std::fmod(p.y, h);
+  if (p.y < 0.0) p.y += h;
+  return p;
+}
+
+int CellTopology::cell_at(Position p) const noexcept {
+  p = wrap(p);
+  int cx = static_cast<int>(p.x / cell_size_m_);
+  int cy = static_cast<int>(p.y / cell_size_m_);
+  // Guard against p.x == width after fmod rounding.
+  if (cx >= cols_) cx = cols_ - 1;
+  if (cy >= rows_) cy = rows_ - 1;
+  return cy * cols_ + cx;
+}
+
+int CellTopology::tracking_area_of(int cell) const {
+  if (cell < 0 || cell >= num_cells()) {
+    throw std::out_of_range("CellTopology::tracking_area_of: bad cell");
+  }
+  const int cx = cell % cols_;
+  const int cy = cell / cols_;
+  return (cy / ta_block_) * ta_cols_ + (cx / ta_block_);
+}
+
+}  // namespace cpg::ran

@@ -1,0 +1,55 @@
+// Radio access network topology: a grid of cells partitioned into tracking
+// areas.
+//
+// The paper's control-plane events originate in physical processes — an HO
+// fires when a moving, connected UE crosses a cell border; a TAU fires when
+// it crosses a tracking-area border (in CONNECTED right after the handover,
+// in IDLE on the next paging-area update). This module provides the
+// geometry: a cols x rows grid of square cells on a torus (no edge
+// effects), with tracking areas formed by ta_block x ta_block blocks of
+// cells, mirroring how operators provision TAs as contiguous cell groups.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cpg::ran {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class CellTopology {
+ public:
+  // cols/rows: cells per axis; cell_size_m: cell edge length; ta_block:
+  // cells per tracking-area side (1 <= ta_block <= min(cols, rows)).
+  CellTopology(int cols, int rows, double cell_size_m, int ta_block);
+
+  int num_cells() const noexcept { return cols_ * rows_; }
+  int num_tracking_areas() const noexcept {
+    return ta_cols_ * ta_rows_;
+  }
+  double width_m() const noexcept { return cols_ * cell_size_m_; }
+  double height_m() const noexcept { return rows_ * cell_size_m_; }
+  double cell_size_m() const noexcept { return cell_size_m_; }
+
+  // Wraps a coordinate onto the torus.
+  Position wrap(Position p) const noexcept;
+
+  // Serving cell at a (wrapped) position.
+  int cell_at(Position p) const noexcept;
+
+  // Tracking area containing a cell.
+  int tracking_area_of(int cell) const;
+
+ private:
+  int cols_;
+  int rows_;
+  double cell_size_m_;
+  int ta_block_;
+  int ta_cols_;
+  int ta_rows_;
+};
+
+}  // namespace cpg::ran

@@ -1,0 +1,159 @@
+#include "ran/ue_events.h"
+
+#include <algorithm>
+
+namespace cpg::ran {
+
+namespace {
+
+class RanUeSimulator {
+ public:
+  RanUeSimulator(const CellTopology& topology, const RanUeParams& params,
+                 TimeMs t_end, UeId ue_id, Rng& rng,
+                 std::vector<ControlEvent>& out)
+      : topology_(topology),
+        params_(params),
+        t_end_(t_end),
+        ue_id_(ue_id),
+        rng_(rng),
+        out_(out),
+        mobility_(topology, params.mobility, rng) {}
+
+  void run() {
+    const Position p0 = mobility_.advance_to(0);
+    cell_ = topology_.cell_at(p0);
+    ta_ = topology_.tracking_area_of(cell_);
+    connected_ = false;
+    next_toggle_ = sample_gap();
+    periodic_tau_at_ = seconds_to_ms(params_.periodic_tau_s);
+
+    for (TimeMs t = params_.tick_ms; t < t_end_; t += params_.tick_ms) {
+      // Session transitions scheduled between ticks fire first.
+      while (next_toggle_ <= t) toggle_session(next_toggle_);
+      step_mobility(t);
+      if (!connected_ && periodic_tau_at_ <= t) {
+        idle_tau_cycle(periodic_tau_at_);
+      }
+    }
+  }
+
+ private:
+  void emit(TimeMs t, EventType e) {
+    t = std::max(t, last_emit_ + 1);
+    last_emit_ = t;
+    if (t < t_end_) out_.push_back({t, ue_id_, e});
+  }
+
+  TimeMs sample_gap() {
+    return last_toggle_ +
+           std::max<TimeMs>(
+               1, seconds_to_ms(rng_.exponential(
+                      connected_ ? params_.mean_session_s
+                                 : params_.mean_idle_gap_s)));
+  }
+
+  void toggle_session(TimeMs t) {
+    last_toggle_ = t;
+    if (connected_) {
+      emit(t, EventType::s1_conn_rel);
+      connected_ = false;
+      // Idle periodic TAU timer restarts on connection release.
+      periodic_tau_at_ = last_emit_ + seconds_to_ms(params_.periodic_tau_s);
+      if (pending_idle_tau_) {
+        // The TA crossing happened just before release: the UE updates its
+        // tracking area from idle.
+        idle_tau_cycle(last_emit_ + 1);
+      }
+    } else {
+      emit(t, EventType::srv_req);
+      connected_ = true;
+    }
+    next_toggle_ = sample_gap();
+  }
+
+  void step_mobility(TimeMs t) {
+    const Position p = mobility_.advance_to(t);
+    const int cell = topology_.cell_at(p);
+    if (cell == cell_) return;
+    const int ta = topology_.tracking_area_of(cell);
+    if (connected_) {
+      // Handover; a TA crossing triggers a TAU shortly after.
+      emit(t, EventType::ho);
+      if (ta != ta_) {
+        const TimeMs tau_at =
+            t + seconds_to_ms(rng_.uniform(params_.ho_to_tau_min_s,
+                                           params_.ho_to_tau_max_s));
+        // Only if the session is still up by then; otherwise the TAU
+        // happens after release and becomes an idle TAU cycle.
+        if (tau_at < next_toggle_) {
+          emit(tau_at, EventType::tau);
+        } else {
+          pending_idle_tau_ = true;
+        }
+      }
+    } else if (ta != ta_) {
+      // Idle-mode reselection into a new tracking area: immediate TAU with
+      // its releasing S1_CONN_REL. Intra-TA reselection is event-free.
+      idle_tau_cycle(t);
+    }
+    cell_ = cell;
+    ta_ = ta;
+  }
+
+  void idle_tau_cycle(TimeMs t) {
+    emit(t, EventType::tau);
+    const TimeMs rel =
+        last_emit_ + seconds_to_ms(rng_.uniform(params_.tau_release_min_s,
+                                                params_.tau_release_max_s));
+    emit(rel, EventType::s1_conn_rel);
+    // A queued SRV_REQ may not pre-empt the release.
+    next_toggle_ = std::max(next_toggle_, last_emit_ + 1);
+    periodic_tau_at_ = last_emit_ + seconds_to_ms(params_.periodic_tau_s);
+    pending_idle_tau_ = false;
+  }
+
+  const CellTopology& topology_;
+  const RanUeParams& params_;
+  TimeMs t_end_;
+  UeId ue_id_;
+  Rng& rng_;
+  std::vector<ControlEvent>& out_;
+  WaypointMobility mobility_;
+
+  int cell_ = 0;
+  int ta_ = 0;
+  bool connected_ = false;
+  bool pending_idle_tau_ = false;
+  TimeMs last_toggle_ = 0;
+  TimeMs next_toggle_ = 0;
+  TimeMs periodic_tau_at_ = 0;
+  TimeMs last_emit_ = -1;
+};
+
+}  // namespace
+
+void simulate_ran_ue(const CellTopology& topology, const RanUeParams& params,
+                     TimeMs t_end, UeId ue_id, Rng& rng,
+                     std::vector<ControlEvent>& out) {
+  RanUeSimulator sim(topology, params, t_end, ue_id, rng, out);
+  sim.run();
+}
+
+Trace simulate_ran_fleet(const CellTopology& topology,
+                         const RanUeParams& params, std::size_t num_ues,
+                         DeviceType device, TimeMs t_end,
+                         std::uint64_t seed) {
+  Trace trace;
+  std::vector<ControlEvent> buffer;
+  for (std::size_t u = 0; u < num_ues; ++u) {
+    const UeId ue = trace.add_ue(device);
+    Rng rng(seed, u);
+    buffer.clear();
+    simulate_ran_ue(topology, params, t_end, ue, rng, buffer);
+    for (const ControlEvent& e : buffer) trace.add_event(e);
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cpg::ran

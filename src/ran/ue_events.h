@@ -1,0 +1,51 @@
+// Mechanistic control-plane event generation from RAN geometry.
+//
+// Couples the waypoint mobility model with a simple session process to
+// derive a UE's control-plane event stream from first principles:
+//   * SRV_REQ / S1_CONN_REL from the session on/off process,
+//   * HO whenever the serving cell changes while CONNECTED,
+//   * TAU whenever the tracking area changes — right after the triggering
+//     HO in CONNECTED, immediately on reselection in IDLE (followed by the
+//     releasing S1_CONN_REL), plus the periodic T3412 timer in IDLE,
+//   * no event for idle-mode cell reselection within a tracking area.
+//
+// The output conforms to the two-level state machine by construction,
+// which makes this module an independent cross-check of the event
+// dependence encoded in Fig. 5: physics in, protocol-legal traces out.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/trace.h"
+#include "ran/mobility.h"
+#include "ran/topology.h"
+
+namespace cpg::ran {
+
+struct RanUeParams {
+  MobilityParams mobility = pedestrian_params();
+  double mean_idle_gap_s = 240.0;    // exponential idle gap
+  double mean_session_s = 60.0;      // exponential session length
+  double periodic_tau_s = 3240.0;    // T3412 while IDLE
+  double tau_release_min_s = 0.2;    // TAU -> S1_CONN_REL delay in IDLE
+  double tau_release_max_s = 2.0;
+  double ho_to_tau_min_s = 0.1;      // HO -> TAU delay on TA crossing
+  double ho_to_tau_max_s = 1.0;
+  TimeMs tick_ms = 1000;             // mobility sampling period
+};
+
+// Simulates one UE over [0, t_end); events are appended in strictly
+// increasing time order with `ue_id` stamped.
+void simulate_ran_ue(const CellTopology& topology, const RanUeParams& params,
+                     TimeMs t_end, UeId ue_id, Rng& rng,
+                     std::vector<ControlEvent>& out);
+
+// Convenience: a whole fleet (one mobility class) as a finalized trace of
+// `num_ues` UEs of `device`.
+Trace simulate_ran_fleet(const CellTopology& topology,
+                         const RanUeParams& params, std::size_t num_ues,
+                         DeviceType device, TimeMs t_end,
+                         std::uint64_t seed);
+
+}  // namespace cpg::ran

@@ -1,0 +1,96 @@
+#include "statemachine/machine.h"
+
+namespace cpg::sm {
+
+TwoLevelMachine::TwoLevelMachine(const MachineSpec& spec, TopState initial_top)
+    : spec_(&spec), top_(initial_top), sub_(spec.entry_substate(initial_top)) {}
+
+void TwoLevelMachine::force(TopState top) {
+  top_ = top;
+  sub_ = spec_->entry_substate(top);
+}
+
+TwoLevelMachine::ApplyResult TwoLevelMachine::apply(EventType event) {
+  ApplyResult r;
+  r.top_before = top_;
+  r.sub_before = sub_;
+
+  // Second-level transitions take precedence when both levels could react;
+  // in practice the only overlap is S1_CONN_REL, which is a top-level edge
+  // out of CONNECTED but a second-level edge inside IDLE (TAU_S_IDLE ->
+  // S1_REL_S_2), and the two never apply from the same configuration.
+  if (const auto sub_to = spec_->sub_next(top_, sub_, event)) {
+    int idx = 0;
+    for (const SubTransition& t : spec_->sub_transitions()) {
+      if (t.context == top_ && t.from == sub_ && t.event == event) break;
+      ++idx;
+    }
+    r.accepted = true;
+    r.sub_changed = true;
+    r.sub_edge = idx;
+    sub_ = *sub_to;
+    r.top_after = top_;
+    r.sub_after = sub_;
+    return r;
+  }
+
+  if (const auto top_to = spec_->top_next(top_, event)) {
+    // The starred SRV_REQ guard (Fig. 5).
+    const bool guard_ok =
+        event != EventType::srv_req || spec_->srv_req_allowed_from(sub_);
+    int idx = 0;
+    for (const TopTransition& t : spec_->top_transitions()) {
+      if (t.from == top_ && t.event == event) break;
+      ++idx;
+    }
+    r.accepted = guard_ok;
+    r.top_changed = true;
+    r.top_edge = idx;
+    top_ = *top_to;
+    sub_ = spec_->entry_substate(top_);
+    r.top_after = top_;
+    r.sub_after = sub_;
+    return r;
+  }
+
+  // Violation: resolve leniently so replay stays synchronized.
+  r.accepted = false;
+  switch (event) {
+    case EventType::atch:
+    case EventType::srv_req:
+      // The UE is evidently connected now.
+      force(TopState::connected);
+      r.top_changed = r.top_before != TopState::connected;
+      break;
+    case EventType::s1_conn_rel:
+      force(TopState::idle);
+      r.top_changed = r.top_before != TopState::idle;
+      break;
+    case EventType::dtch:
+    case EventType::ho:
+    case EventType::tau:
+      // Keep the configuration; nothing to resync to.
+      break;
+  }
+  r.top_after = top_;
+  r.sub_after = sub_;
+  return r;
+}
+
+TopState infer_initial_top(EventType first_event) noexcept {
+  switch (first_event) {
+    case EventType::atch:
+      return TopState::deregistered;
+    case EventType::srv_req:
+      return TopState::idle;
+    case EventType::s1_conn_rel:
+    case EventType::ho:
+    case EventType::dtch:
+      return TopState::connected;
+    case EventType::tau:
+      return TopState::idle;
+  }
+  return TopState::idle;
+}
+
+}  // namespace cpg::sm

@@ -1,0 +1,60 @@
+// Runtime for the (two-level) UE state machine: applies a stream of
+// control-plane events to the current configuration, performing top-level
+// and second-level transitions, and flagging protocol violations.
+//
+// The runtime is lenient by design: a violating event (e.g. an HO while
+// IDLE in a baseline-generated trace) leaves the configuration unchanged or
+// force-resyncs it, so replay over noisy traces keeps making progress while
+// the violation is reported to the caller.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "statemachine/spec.h"
+
+namespace cpg::sm {
+
+class TwoLevelMachine {
+ public:
+  struct ApplyResult {
+    bool accepted = false;     // event was legal in the prior configuration
+    bool top_changed = false;  // a top-level transition fired
+    bool sub_changed = false;  // a second-level transition fired
+    int top_edge = -1;         // index into spec.top_transitions(), or -1
+    int sub_edge = -1;         // index into spec.sub_transitions(), or -1
+    TopState top_before = TopState::deregistered;
+    TopState top_after = TopState::deregistered;
+    SubState sub_before = SubState::none;
+    SubState sub_after = SubState::none;
+  };
+
+  TwoLevelMachine(const MachineSpec& spec, TopState initial_top);
+
+  const MachineSpec& spec() const noexcept { return *spec_; }
+  TopState top() const noexcept { return top_; }
+  SubState sub() const noexcept { return sub_; }
+
+  // ECM view of the current top state; DEREGISTERED maps to idle.
+  EcmState ecm() const noexcept {
+    return top_ == TopState::connected ? EcmState::connected : EcmState::idle;
+  }
+
+  ApplyResult apply(EventType event);
+
+  // Forces the configuration (used for re-sync after violations).
+  void force(TopState top);
+
+ private:
+  const MachineSpec* spec_;
+  TopState top_;
+  SubState sub_;
+};
+
+// Infers the top-level state a UE was in *before* its first observed event.
+//   ATCH -> DEREGISTERED; SRV_REQ -> IDLE; S1_CONN_REL / HO / DTCH ->
+//   CONNECTED; TAU -> IDLE (the idle TAU cycle replays exactly; a TAU that
+//   actually happened while CONNECTED re-syncs within one transition).
+TopState infer_initial_top(EventType first_event) noexcept;
+
+}  // namespace cpg::sm

@@ -1,0 +1,100 @@
+#include "statemachine/replay.h"
+
+namespace cpg::sm {
+
+namespace {
+
+struct ViolationCounter : ReplayVisitor {
+  std::uint64_t violations = 0;
+  void on_violation(const ControlEvent&) { ++violations; }
+};
+
+struct BreakdownVisitor : ReplayVisitor {
+  StateBreakdown* breakdown;
+  DeviceType device;
+
+  void on_event(const ControlEvent& e, TopState state_before) {
+    const std::size_t d = index_of(device);
+    switch (e.type) {
+      case EventType::atch:
+        ++breakdown->counts[d][0];
+        break;
+      case EventType::dtch:
+        ++breakdown->counts[d][1];
+        break;
+      case EventType::srv_req:
+        ++breakdown->counts[d][2];
+        break;
+      case EventType::s1_conn_rel:
+        ++breakdown->counts[d][3];
+        break;
+      case EventType::ho:
+        ++breakdown->counts[d][state_before == TopState::connected ? 4 : 5];
+        break;
+      case EventType::tau:
+        ++breakdown->counts[d][state_before == TopState::connected ? 6 : 7];
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t count_violations(const MachineSpec& spec, const Trace& trace) {
+  ViolationCounter counter;
+  for (const auto& ue_events : trace.group_by_ue()) {
+    replay_ue(spec, ue_events, counter);
+  }
+  return counter.violations;
+}
+
+std::string_view StateBreakdown::row_name(std::size_t row) noexcept {
+  switch (row) {
+    case 0:
+      return "ATCH";
+    case 1:
+      return "DTCH";
+    case 2:
+      return "SRV_REQ";
+    case 3:
+      return "S1_CONN_REL";
+    case 4:
+      return "HO (CONN.)";
+    case 5:
+      return "HO (IDLE)";
+    case 6:
+      return "TAU (CONN.)";
+    case 7:
+      return "TAU (IDLE)";
+  }
+  return "?";
+}
+
+std::uint64_t StateBreakdown::device_total(DeviceType d) const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts[index_of(d)]) total += c;
+  return total;
+}
+
+double StateBreakdown::fraction(DeviceType d, std::size_t row) const noexcept {
+  const std::uint64_t total = device_total(d);
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[index_of(d)][row]) /
+         static_cast<double>(total);
+}
+
+StateBreakdown compute_state_breakdown(const MachineSpec& spec,
+                                       const Trace& trace) {
+  StateBreakdown breakdown;
+  BreakdownVisitor visitor;
+  visitor.breakdown = &breakdown;
+  const auto groups = trace.group_by_ue();
+  for (std::size_t u = 0; u < groups.size(); ++u) {
+    if (groups[u].empty()) continue;
+    visitor.device = trace.device(static_cast<UeId>(u));
+    replay_ue(spec, groups[u], visitor);
+  }
+  return breakdown;
+}
+
+}  // namespace cpg::sm

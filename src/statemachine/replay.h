@@ -1,0 +1,209 @@
+// Trace replay through a (two-level) state machine.
+//
+// Replaying a per-UE event sequence reconstructs everything the modeling
+// pipeline needs (paper §4.1, §5.2): sojourn times in the four classic UE
+// states, per-transition sojourn times at both machine levels, inter-arrival
+// times per event type, the ECM state each event happened in (HO/TAU in
+// CONNECTED vs IDLE), first-event-per-hour records, and protocol violations.
+//
+// The replayer is visitor-based and statically dispatched so a full 7-day
+// multi-million-event replay allocates nothing beyond what the visitor
+// chooses to store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/trace.h"
+#include "statemachine/machine.h"
+
+namespace cpg::sm {
+
+// No-op visitor; derive and override what you need.
+struct ReplayVisitor {
+  // Every event, with the top-level state the UE was in when it arrived.
+  void on_event(const ControlEvent&, TopState /*state_before*/) {}
+  // Gap between consecutive same-type events of this UE, attributed to the
+  // hour-of-day of the earlier event.
+  void on_interarrival(EventType, double /*seconds*/, int /*hour*/) {}
+  // Completed sojourn in one of the four classic UE states, attributed to
+  // the hour-of-day in which the sojourn began.
+  void on_state_sojourn(UeState, double /*seconds*/, int /*hour*/) {}
+  // Completed sojourn measured on a specific top-level transition (index
+  // into spec.top_transitions()).
+  void on_top_edge(int /*edge*/, double /*seconds*/, int /*hour*/) {}
+  // Completed sojourn on a second-level transition (index into
+  // spec.sub_transitions()).
+  void on_sub_edge(int /*edge*/, double /*seconds*/, int /*hour*/) {}
+  // The UE left second-level state `sub` because the *top* level switched
+  // (the sub-machine's pending event was censored). Exit counts carry the
+  // probability mass of "no second-level event fires from this state",
+  // without which the fitted sub-machine would emit an HO/TAU in nearly
+  // every CONNECTED period.
+  void on_sub_exit(SubState /*sub*/, double /*seconds*/, int /*hour*/) {}
+  // First event of this UE inside a new absolute hour, with its offset from
+  // the hour boundary.
+  void on_first_event_in_hour(std::int64_t /*hour_index*/, EventType,
+                              TimeMs /*offset_ms*/) {}
+  void on_violation(const ControlEvent&) {}
+};
+
+// Replays one UE's time-ordered events through `spec`.
+template <typename Visitor>
+void replay_ue(const MachineSpec& spec, std::span<const ControlEvent> events,
+               Visitor& v) {
+  if (events.empty()) return;
+  TwoLevelMachine machine(spec, infer_initial_top(events.front().type));
+
+  std::optional<TimeMs> top_entered;  // unknown before the first transition
+  std::optional<TimeMs> sub_entered;
+  TimeMs registered_entered = -1;  // -1: not currently registered
+  std::array<std::optional<TimeMs>, k_num_event_types> last_of_type{};
+  std::int64_t last_hour = -1;
+
+  for (const ControlEvent& e : events) {
+    const TopState top_before = machine.top();
+
+    if (const std::int64_t h = hour_index(e.t_ms); h != last_hour) {
+      v.on_first_event_in_hour(h, e.type, e.t_ms - hour_start(h));
+      last_hour = h;
+    }
+
+    if (auto& last = last_of_type[index_of(e.type)]; last.has_value()) {
+      v.on_interarrival(e.type, ms_to_seconds(e.t_ms - *last),
+                        hour_of_day(*last));
+    }
+    last_of_type[index_of(e.type)] = e.t_ms;
+
+    const auto r = machine.apply(e.type);
+    v.on_event(e, top_before);
+    if (!r.accepted) v.on_violation(e);
+
+    if (r.sub_changed) {
+      if (sub_entered.has_value()) {
+        v.on_sub_edge(r.sub_edge, ms_to_seconds(e.t_ms - *sub_entered),
+                      hour_of_day(*sub_entered));
+      }
+      sub_entered = e.t_ms;
+    }
+
+    if (r.top_changed) {
+      if (r.sub_before != SubState::none && sub_entered.has_value()) {
+        v.on_sub_exit(r.sub_before, ms_to_seconds(e.t_ms - *sub_entered),
+                      hour_of_day(*sub_entered));
+      }
+      if (top_entered.has_value()) {
+        if (r.accepted && r.top_edge >= 0) {
+          v.on_top_edge(r.top_edge, ms_to_seconds(e.t_ms - *top_entered),
+                        hour_of_day(*top_entered));
+        }
+        const UeState left = r.top_before == TopState::connected
+                                 ? UeState::connected
+                                 : (r.top_before == TopState::idle
+                                        ? UeState::idle
+                                        : UeState::deregistered);
+        v.on_state_sojourn(left, ms_to_seconds(e.t_ms - *top_entered),
+                           hour_of_day(*top_entered));
+      }
+      top_entered = e.t_ms;
+      // Entering a new top state resets the sub-machine timer; a pending
+      // second-level sojourn is censored, exactly as the generator drops the
+      // pending bottom event on a top-level switch (§7).
+      sub_entered = e.t_ms;
+
+      // Classic REGISTERED state spans CONNECTED+IDLE.
+      if (r.top_before == TopState::deregistered) {
+        registered_entered = e.t_ms;
+      } else if (r.top_after == TopState::deregistered) {
+        if (registered_entered >= 0) {
+          v.on_state_sojourn(UeState::registered,
+                             ms_to_seconds(e.t_ms - registered_entered),
+                             hour_of_day(registered_entered));
+        }
+        registered_entered = -1;
+      }
+    }
+  }
+}
+
+// Convenience visitor that stores every sample; intended for tests and
+// small analyses (it allocates per-category vectors).
+struct CollectingVisitor : ReplayVisitor {
+  explicit CollectingVisitor(const MachineSpec& spec)
+      : top_edge_sojourn_s(spec.top_transitions().size()),
+        sub_edge_sojourn_s(spec.sub_transitions().size()) {}
+
+  struct EventRecord {
+    ControlEvent event;
+    TopState state_before;
+  };
+  struct HourSample {
+    double seconds;
+    int hour;
+  };
+  struct FirstEvent {
+    std::int64_t hour_index;
+    EventType type;
+    TimeMs offset_ms;
+  };
+
+  std::vector<EventRecord> events;
+  std::array<std::vector<HourSample>, k_num_event_types> interarrival_s;
+  std::array<std::vector<HourSample>, k_num_ue_states> state_sojourn_s;
+  std::vector<std::vector<HourSample>> top_edge_sojourn_s;
+  std::vector<std::vector<HourSample>> sub_edge_sojourn_s;
+  std::array<std::vector<HourSample>, k_num_sub_states> sub_exit_s;
+  std::vector<FirstEvent> first_events;
+  std::vector<ControlEvent> violations;
+
+  void on_event(const ControlEvent& e, TopState s) {
+    events.push_back({e, s});
+  }
+  void on_interarrival(EventType t, double sec, int hour) {
+    interarrival_s[index_of(t)].push_back({sec, hour});
+  }
+  void on_state_sojourn(UeState s, double sec, int hour) {
+    state_sojourn_s[index_of(s)].push_back({sec, hour});
+  }
+  void on_top_edge(int edge, double sec, int hour) {
+    top_edge_sojourn_s[static_cast<std::size_t>(edge)].push_back({sec, hour});
+  }
+  void on_sub_edge(int edge, double sec, int hour) {
+    sub_edge_sojourn_s[static_cast<std::size_t>(edge)].push_back({sec, hour});
+  }
+  void on_sub_exit(SubState s, double sec, int hour) {
+    sub_exit_s[index_of(s)].push_back({sec, hour});
+  }
+  void on_first_event_in_hour(std::int64_t h, EventType t, TimeMs off) {
+    first_events.push_back({h, t, off});
+  }
+  void on_violation(const ControlEvent& e) { violations.push_back(e); }
+};
+
+// Replays an entire finalized trace and returns the number of protocol
+// violations (0 for traces generated by a conforming generator).
+std::uint64_t count_violations(const MachineSpec& spec, const Trace& trace);
+
+// Per-(device, event-in-state) breakdown used by the macroscopic validation
+// (Tables 4 and 11): HO and TAU are split by the ECM state they occurred in.
+struct StateBreakdown {
+  // Rows: ATCH, DTCH, SRV_REQ, S1_CONN_REL, HO(CONN), HO(IDLE), TAU(CONN),
+  // TAU(IDLE).
+  static constexpr std::size_t k_num_rows = 8;
+  static std::string_view row_name(std::size_t row) noexcept;
+
+  std::array<std::array<std::uint64_t, k_num_rows>, k_num_device_types>
+      counts{};
+
+  std::uint64_t device_total(DeviceType d) const noexcept;
+  // Fraction of row within the device's total (0 when the device has no
+  // events).
+  double fraction(DeviceType d, std::size_t row) const noexcept;
+};
+
+StateBreakdown compute_state_breakdown(const MachineSpec& spec,
+                                       const Trace& trace);
+
+}  // namespace cpg::sm

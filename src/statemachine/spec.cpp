@@ -1,0 +1,131 @@
+#include "statemachine/spec.h"
+
+namespace cpg::sm {
+
+MachineSpec::MachineSpec(std::vector<TopTransition> top,
+                         std::vector<SubTransition> sub,
+                         bool restrict_srv_req_substates)
+    : top_(std::move(top)),
+      sub_(std::move(sub)),
+      restrict_srv_req_substates_(restrict_srv_req_substates) {}
+
+std::optional<TopState> MachineSpec::top_next(TopState from,
+                                              EventType event) const {
+  for (const TopTransition& t : top_) {
+    if (t.from == from && t.event == event) return t.to;
+  }
+  return std::nullopt;
+}
+
+std::optional<SubState> MachineSpec::sub_next(TopState context, SubState from,
+                                              EventType event) const {
+  for (const SubTransition& t : sub_) {
+    if (t.context == context && t.from == from && t.event == event) {
+      return t.to;
+    }
+  }
+  return std::nullopt;
+}
+
+SubState MachineSpec::entry_substate(TopState top) const noexcept {
+  if (!has_sub_machine()) return SubState::none;
+  switch (top) {
+    case TopState::connected:
+      return SubState::srv_req_s;
+    case TopState::idle:
+      // The 5G SA machine has no IDLE sub-machine.
+      for (const SubTransition& t : sub_) {
+        if (t.context == TopState::idle) return SubState::s1_rel_s_1;
+      }
+      return SubState::none;
+    case TopState::deregistered:
+      return SubState::none;
+  }
+  return SubState::none;
+}
+
+bool MachineSpec::srv_req_allowed_from(SubState sub) const noexcept {
+  if (!restrict_srv_req_substates_) return true;
+  return sub == SubState::s1_rel_s_1 || sub == SubState::s1_rel_s_2 ||
+         sub == SubState::none;
+}
+
+std::vector<TopTransition> MachineSpec::top_out(TopState from) const {
+  std::vector<TopTransition> out;
+  for (const TopTransition& t : top_) {
+    if (t.from == from) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<SubTransition> MachineSpec::sub_out(TopState context,
+                                                SubState from) const {
+  std::vector<SubTransition> out;
+  for (const SubTransition& t : sub_) {
+    if (t.context == context && t.from == from) out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<TopTransition> top_level_edges() {
+  using enum TopState;
+  using enum EventType;
+  return {
+      {deregistered, atch, connected},
+      {connected, s1_conn_rel, idle},
+      {connected, dtch, deregistered},
+      {idle, srv_req, connected},
+      {idle, dtch, deregistered},
+  };
+}
+
+std::vector<SubTransition> lte_sub_edges() {
+  using enum TopState;
+  using enum SubState;
+  using enum EventType;
+  return {
+      // CONNECTED sub-machine (Fig. 5, bottom left).
+      {connected, srv_req_s, ho, ho_s},
+      {connected, srv_req_s, tau, tau_s_conn},
+      {connected, ho_s, ho, ho_s},
+      {connected, ho_s, tau, tau_s_conn},
+      {connected, tau_s_conn, tau, tau_s_conn},
+      {connected, tau_s_conn, ho, ho_s},
+      // IDLE sub-machine (Fig. 5, bottom right).
+      {idle, s1_rel_s_1, tau, tau_s_idle},
+      {idle, tau_s_idle, s1_conn_rel, s1_rel_s_2},
+      {idle, s1_rel_s_2, tau, tau_s_idle},
+  };
+}
+
+std::vector<SubTransition> fiveg_sub_edges() {
+  using enum TopState;
+  using enum SubState;
+  using enum EventType;
+  return {
+      // Only the HO loop inside CONNECTED survives in 5G SA (Fig. 6).
+      {connected, srv_req_s, ho, ho_s},
+      {connected, ho_s, ho, ho_s},
+  };
+}
+
+}  // namespace
+
+const MachineSpec& emm_ecm_spec() {
+  static const MachineSpec spec(top_level_edges(), {}, false);
+  return spec;
+}
+
+const MachineSpec& lte_two_level_spec() {
+  static const MachineSpec spec(top_level_edges(), lte_sub_edges(), true);
+  return spec;
+}
+
+const MachineSpec& fiveg_sa_spec() {
+  static const MachineSpec spec(top_level_edges(), fiveg_sub_edges(), false);
+  return spec;
+}
+
+}  // namespace cpg::sm

@@ -1,0 +1,102 @@
+// Declarative state-machine specifications.
+//
+// The paper models UE behaviour with a *two-level hierarchical* state
+// machine (Fig. 5): the top level is the merged EMM-ECM machine
+// (DEREGISTERED / CONNECTED / IDLE, driven by Category-1 events — ATCH,
+// DTCH, SRV_REQ, S1_CONN_REL), and inside CONNECTED and IDLE live sub-state
+// machines driven by Category-2 events (HO, TAU — plus the S1_CONN_REL that
+// releases a TAU performed in IDLE).
+//
+// Three specs are provided:
+//   * emm_ecm_spec()      — top level only (used by the Base and B1 methods)
+//   * lte_two_level_spec() — Fig. 5 (used by B2, Ours, and 5G NSA)
+//   * fiveg_sa_spec()      — Fig. 6 (TAU states and edges removed)
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cpg::sm {
+
+// A top-level (Category-1) transition.
+struct TopTransition {
+  TopState from;
+  EventType event;
+  TopState to;
+
+  friend bool operator==(const TopTransition&, const TopTransition&) = default;
+};
+
+// A second-level (Category-2) transition; `context` is the top-level state
+// whose sub-machine contains it.
+struct SubTransition {
+  TopState context;
+  SubState from;
+  EventType event;
+  SubState to;
+
+  friend bool operator==(const SubTransition&, const SubTransition&) = default;
+};
+
+class MachineSpec {
+ public:
+  MachineSpec(std::vector<TopTransition> top, std::vector<SubTransition> sub,
+              bool restrict_srv_req_substates);
+
+  std::span<const TopTransition> top_transitions() const noexcept {
+    return top_;
+  }
+  std::span<const SubTransition> sub_transitions() const noexcept {
+    return sub_;
+  }
+
+  bool has_sub_machine() const noexcept { return !sub_.empty(); }
+
+  // Destination of a top-level transition, or nullopt if `event` does not
+  // trigger one from `from`.
+  std::optional<TopState> top_next(TopState from, EventType event) const;
+
+  // Destination of a second-level transition within `context`.
+  std::optional<SubState> sub_next(TopState context, SubState from,
+                                   EventType event) const;
+
+  // The sub-state entered when the top level enters `top` (Fig. 5: CONNECTED
+  // is entered in SRV_REQ_S, IDLE in S1_REL_S_1, DEREGISTERED has no
+  // sub-machine).
+  SubState entry_substate(TopState top) const noexcept;
+
+  // The starred constraint in Fig. 5: the SRV_REQ transition that leaves
+  // IDLE can only fire while the IDLE sub-machine sits in S1_REL_S_1 or
+  // S1_REL_S_2 (after a TAU in IDLE, the releasing S1_CONN_REL must come
+  // first). Machines without a sub level place no restriction.
+  bool srv_req_allowed_from(SubState sub) const noexcept;
+
+  // Outgoing top-level transitions from a state.
+  std::vector<TopTransition> top_out(TopState from) const;
+
+  // Outgoing second-level transitions from (context, sub).
+  std::vector<SubTransition> sub_out(TopState context, SubState from) const;
+
+ private:
+  std::vector<TopTransition> top_;
+  std::vector<SubTransition> sub_;
+  bool restrict_srv_req_substates_;
+};
+
+// The merged EMM-ECM machine (top level of Fig. 5). Note that ATCH enters
+// CONNECTED directly: per 3GPP a UE moving from DEREGISTERED to REGISTERED
+// always enters ECM_CONNECTED at the same time.
+const MachineSpec& emm_ecm_spec();
+
+// The full two-level LTE machine (Fig. 5). Also used for 5G NSA, which runs
+// on the LTE core.
+const MachineSpec& lte_two_level_spec();
+
+// The adjusted two-level machine for 5G SA (Fig. 6): TAU states/edges
+// removed; the IDLE sub-machine disappears entirely.
+const MachineSpec& fiveg_sa_spec();
+
+}  // namespace cpg::sm

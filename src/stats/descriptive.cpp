@@ -1,0 +1,80 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cpg::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile_sorted: empty sample");
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted.front();
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double p) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, p);
+}
+
+BoxStats box_stats(std::span<const double> xs) {
+  BoxStats b;
+  b.n = xs.size();
+  if (xs.empty()) return b;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  b.min = copy.front();
+  b.max = copy.back();
+  b.q1 = quantile_sorted(copy, 0.25);
+  b.median = quantile_sorted(copy, 0.50);
+  b.q3 = quantile_sorted(copy, 0.75);
+  b.mean = mean(xs);
+  return b;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = copy.front();
+  s.max = copy.back();
+  s.p50 = quantile_sorted(copy, 0.50);
+  s.p95 = quantile_sorted(copy, 0.95);
+  s.p99 = quantile_sorted(copy, 0.99);
+  return s;
+}
+
+}  // namespace cpg::stats

@@ -1,0 +1,49 @@
+// Descriptive statistics and box-plot summaries (paper Fig. 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cpg::stats {
+
+double mean(std::span<const double> xs);
+// Population variance (divides by n).
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+// Quantile of an *unsorted* sample (copies + sorts). p in [0, 1],
+// type-7 interpolation.
+double quantile(std::span<const double> xs, double p);
+
+// Quantile of an already ascending-sorted sample.
+double quantile_sorted(std::span<const double> sorted, double p);
+
+// Five-number summary plus mean, as drawn in the paper's box plots
+// (min / lower quartile / median / upper quartile / max, mean overlay).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t n = 0;
+};
+
+BoxStats box_stats(std::span<const double> xs);
+
+// Summary of a sample used in reports.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace cpg::stats

@@ -1,0 +1,200 @@
+// Probability distributions used throughout the library.
+//
+// The measurement study (paper §4) fits per-UE inter-arrival and sojourn
+// times with the classic families used for Internet traffic — exponential
+// (Poisson process), Pareto, Weibull, and the empirical Tcplib distribution —
+// and the proposed model (§5.2) replaces them with per-transition empirical
+// CDFs. All families implement the same small interface so the fitting and
+// goodness-of-fit code is family-agnostic.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace cpg::stats {
+
+// Abstract positive continuous distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // P(X <= x).
+  virtual double cdf(double x) const = 0;
+
+  // Inverse CDF. p in [0, 1]; values clamped at the support boundaries.
+  virtual double quantile(double p) const = 0;
+
+  virtual double mean() const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Inverse-transform sampling by default; families may override.
+  virtual double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+// Exponential with rate lambda: CDF 1 - exp(-lambda x). The inter-arrival
+// law of a homogeneous Poisson process.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double lambda);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 1.0 / lambda_; }
+  std::string name() const override { return "exponential"; }
+  double sample(Rng& rng) const override {
+    return rng.exponential(1.0 / lambda_);
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Exponential>(*this);
+  }
+
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+// Pareto with scale x_m and shape alpha: CDF 1 - (x_m / x)^alpha for
+// x >= x_m.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double x_m, double alpha);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;  // infinite (returns +inf) if alpha <= 1
+  std::string name() const override { return "pareto"; }
+  double sample(Rng& rng) const override { return rng.pareto(x_m_, alpha_); }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Pareto>(*this);
+  }
+
+  double x_m() const noexcept { return x_m_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double x_m_;
+  double alpha_;
+};
+
+// Weibull with shape k and scale lambda: CDF 1 - exp(-(x/lambda)^k).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double k, double lambda);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override { return "weibull"; }
+  double sample(Rng& rng) const override { return rng.weibull(k_, lambda_); }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Weibull>(*this);
+  }
+
+  double shape() const noexcept { return k_; }
+  double scale() const noexcept { return lambda_; }
+
+ private:
+  double k_;
+  double lambda_;
+};
+
+// Lognormal parameterized by the underlying normal's (mu, sigma). Used by
+// the synthetic ground-truth workload, not by the paper's fitted families.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override { return "lognormal"; }
+  double sample(Rng& rng) const override {
+    return rng.lognormal(mu_, sigma_);
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<LogNormal>(*this);
+  }
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Empirical distribution over a sample: step-function ECDF with linear
+// interpolation between order statistics for quantile(). This is the
+// sojourn-time model of the paper's Semi-Markov model (§5.2) and, scaled to
+// a target mean, the Tcplib-style empirical family.
+class Empirical final : public Distribution {
+ public:
+  // Copies and sorts the sample. Sample must be non-empty.
+  explicit Empirical(std::span<const double> sample);
+
+  // Takes ownership; `sorted` indicates the vector is already ascending.
+  explicit Empirical(std::vector<double> sample, bool sorted);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  std::string name() const override { return "empirical"; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Empirical>(*this);
+  }
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+  std::span<const double> sorted_sample() const noexcept { return sorted_; }
+
+  // Returns a copy rescaled so that the mean equals target_mean.
+  Empirical scaled_to_mean(double target_mean) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+// The Tcplib family: a fixed empirical shape (derived from the classic
+// TELNET packet inter-arrival library of Danzig & Jamin) rescaled to the
+// sample mean. tcplib_shape() exposes the reference shape with mean 1.
+const Empirical& tcplib_shape();
+Empirical fit_tcplib(std::span<const double> sample);
+
+// Decorator multiplying another distribution's values by a positive factor:
+// X' = factor * X. Used by the 5G parameter scaling (paper §6), e.g. to
+// compress HO inter-event sojourns by the measured frequency ratio.
+class Scaled final : public Distribution {
+ public:
+  Scaled(std::shared_ptr<const Distribution> inner, double factor);
+
+  double cdf(double x) const override { return inner_->cdf(x / factor_); }
+  double quantile(double p) const override {
+    return factor_ * inner_->quantile(p);
+  }
+  double mean() const override { return factor_ * inner_->mean(); }
+  std::string name() const override { return "scaled:" + inner_->name(); }
+  double sample(Rng& rng) const override {
+    return factor_ * inner_->sample(rng);
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Scaled>(*this);
+  }
+
+  double factor() const noexcept { return factor_; }
+
+ private:
+  std::shared_ptr<const Distribution> inner_;
+  double factor_;
+};
+
+}  // namespace cpg::stats

@@ -1,0 +1,168 @@
+#include "stats/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cpg::stats {
+
+namespace {
+
+double sample_mean(std::span<const double> sample) {
+  return std::accumulate(sample.begin(), sample.end(), 0.0) /
+         static_cast<double>(sample.size());
+}
+
+bool all_positive(std::span<const double> sample) {
+  return std::all_of(sample.begin(), sample.end(),
+                     [](double v) { return v > 0.0 && std::isfinite(v); });
+}
+
+}  // namespace
+
+std::string_view to_string(Family f) noexcept {
+  switch (f) {
+    case Family::exponential:
+      return "poisson";
+    case Family::pareto:
+      return "pareto";
+    case Family::weibull:
+      return "weibull";
+    case Family::tcplib:
+      return "tcplib";
+  }
+  return "?";
+}
+
+Exponential fit_exponential(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("fit_exponential: empty sample");
+  }
+  const double m = sample_mean(sample);
+  if (!(m > 0.0)) {
+    throw std::invalid_argument("fit_exponential: non-positive sample mean");
+  }
+  return Exponential(1.0 / m);
+}
+
+Pareto fit_pareto(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("fit_pareto: empty sample");
+  }
+  if (!all_positive(sample)) {
+    throw std::invalid_argument("fit_pareto: sample must be positive");
+  }
+  const double x_m = *std::min_element(sample.begin(), sample.end());
+  double log_sum = 0.0;
+  for (double v : sample) log_sum += std::log(v / x_m);
+  if (!(log_sum > 0.0)) {
+    // Degenerate sample (all values identical): use a very heavy shape so the
+    // fitted law concentrates at x_m.
+    return Pareto(x_m, 1e6);
+  }
+  const double alpha = static_cast<double>(sample.size()) / log_sum;
+  return Pareto(x_m, alpha);
+}
+
+Weibull fit_weibull(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("fit_weibull: empty sample");
+  }
+  if (!all_positive(sample)) {
+    throw std::invalid_argument("fit_weibull: sample must be positive");
+  }
+  const std::size_t n = sample.size();
+  double mean_log = 0.0;
+  for (double v : sample) mean_log += std::log(v);
+  mean_log /= static_cast<double>(n);
+
+  // Solve g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean_log = 0 by Newton with
+  // a bisection fallback. g is increasing in k on (0, inf).
+  auto g_and_gprime = [&](double k) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double v : sample) {
+      const double lv = std::log(v);
+      const double xk = std::pow(v, k);
+      s0 += xk;
+      s1 += xk * lv;
+      s2 += xk * lv * lv;
+    }
+    const double r = s1 / s0;
+    const double g = r - 1.0 / k - mean_log;
+    const double gp = (s2 / s0 - r * r) + 1.0 / (k * k);
+    return std::pair{g, gp};
+  };
+
+  double k = 1.0;
+  // Initial guess from the method of moments on log-values:
+  // Var(ln X) = pi^2 / (6 k^2).
+  double var_log = 0.0;
+  for (double v : sample) {
+    const double d = std::log(v) - mean_log;
+    var_log += d * d;
+  }
+  var_log /= static_cast<double>(n);
+  if (var_log > 1e-12) {
+    k = 3.14159265358979323846 / std::sqrt(6.0 * var_log);
+  }
+  k = std::clamp(k, 0.02, 50.0);
+
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto [g, gp] = g_and_gprime(k);
+    if (std::abs(g) < 1e-10) break;
+    double step = g / gp;
+    if (!std::isfinite(step)) break;
+    // Damp to keep k positive and the iteration stable.
+    step = std::clamp(step, -0.5 * k, 0.5 * k);
+    k -= step;
+    k = std::clamp(k, 1e-3, 1e3);
+  }
+
+  double scale_k = 0.0;
+  for (double v : sample) scale_k += std::pow(v, k);
+  const double lambda =
+      std::pow(scale_k / static_cast<double>(n), 1.0 / k);
+  return Weibull(k, lambda);
+}
+
+LogNormal fit_lognormal(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("fit_lognormal: empty sample");
+  }
+  if (!all_positive(sample)) {
+    throw std::invalid_argument("fit_lognormal: sample must be positive");
+  }
+  double mu = 0.0;
+  for (double v : sample) mu += std::log(v);
+  mu /= static_cast<double>(sample.size());
+  double var = 0.0;
+  for (double v : sample) {
+    const double d = std::log(v) - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(sample.size());
+  return LogNormal(mu, std::max(std::sqrt(var), 1e-9));
+}
+
+std::unique_ptr<Distribution> fit(Family family,
+                                  std::span<const double> sample) {
+  if (sample.empty()) return nullptr;
+  try {
+    switch (family) {
+      case Family::exponential:
+        return std::make_unique<Exponential>(fit_exponential(sample));
+      case Family::pareto:
+        return std::make_unique<Pareto>(fit_pareto(sample));
+      case Family::weibull:
+        return std::make_unique<Weibull>(fit_weibull(sample));
+      case Family::tcplib:
+        return std::make_unique<Empirical>(fit_tcplib(sample));
+    }
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace cpg::stats

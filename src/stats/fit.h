@@ -1,0 +1,43 @@
+// Maximum-likelihood fitting of the classic families (paper §4.1: MLE per
+// (UE-cluster, hour, device-type, event/state) combination).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "stats/distribution.h"
+
+namespace cpg::stats {
+
+enum class Family {
+  exponential,
+  pareto,
+  weibull,
+  tcplib,
+};
+
+std::string_view to_string(Family f) noexcept;
+
+// MLE for the exponential rate: lambda = 1 / sample mean.
+// Requires a non-empty sample with positive mean.
+Exponential fit_exponential(std::span<const double> sample);
+
+// MLE for Pareto: x_m = min(sample), alpha = n / sum(log(x_i / x_m)).
+// Requires all values > 0. Values equal to x_m contribute 0 to the log sum.
+Pareto fit_pareto(std::span<const double> sample);
+
+// MLE for Weibull via Newton-Raphson on the shape's profile-likelihood
+// equation; scale follows in closed form. Requires all values > 0.
+Weibull fit_weibull(std::span<const double> sample);
+
+// Moment fit for lognormal (used by the synthetic workload calibration).
+LogNormal fit_lognormal(std::span<const double> sample);
+
+// Fits `family` to `sample`; returns nullptr when the sample is degenerate
+// for that family (e.g. empty, non-positive values, Newton divergence).
+std::unique_ptr<Distribution> fit(Family family,
+                                  std::span<const double> sample);
+
+}  // namespace cpg::stats

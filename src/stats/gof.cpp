@@ -1,0 +1,124 @@
+#include "stats/gof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/fit.h"
+
+namespace cpg::stats {
+
+double kolmogorov_q(double x) {
+  if (x < 1e-8) return 1.0;
+  // For small x the Jacobi-theta form converges faster, but the alternating
+  // series is sufficient for p-value use (x below ~0.2 -> Q ~ 1).
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * x * x);
+    sum += (j % 2 == 1) ? term : -term;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> sample, const Distribution& ref) {
+  if (sample.empty()) {
+    throw std::invalid_argument("ks_test: empty sample");
+  }
+  std::vector<double> xs(sample.begin(), sample.end());
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = ref.cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(f - lo, hi - f));
+  }
+  KsResult r;
+  r.statistic = d;
+  r.n = xs.size();
+  // Asymptotic p-value with the Stephens small-sample correction
+  // (Numerical Recipes form).
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return r;
+}
+
+double ks_two_sample_statistic(std::span<const double> a,
+                               std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample_statistic: empty sample");
+  }
+  std::vector<double> xs(a.begin(), a.end());
+  std::vector<double> ys(b.begin(), b.end());
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  const double na = static_cast<double>(xs.size());
+  const double nb = static_cast<double>(ys.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    const double x = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= x) ++i;
+    while (j < ys.size() && ys[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+namespace {
+
+double a2_statistic(std::span<const double> sorted_u) {
+  // sorted_u: probability-integral-transformed sample, ascending in (0,1).
+  const auto n = static_cast<double>(sorted_u.size());
+  double s = 0.0;
+  const std::size_t m = sorted_u.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double ui = std::clamp(sorted_u[i], 1e-12, 1.0 - 1e-12);
+    const double un1 = std::clamp(sorted_u[m - 1 - i], 1e-12, 1.0 - 1e-12);
+    s += (2.0 * static_cast<double>(i + 1) - 1.0) *
+         (std::log(ui) + std::log1p(-un1));
+  }
+  return -n - s / n;
+}
+
+}  // namespace
+
+AdResult ad_test_exponential(std::span<const double> sample) {
+  if (sample.size() < 2) {
+    throw std::invalid_argument("ad_test_exponential: need >= 2 points");
+  }
+  const Exponential fitted = fit_exponential(sample);
+  std::vector<double> u(sample.size());
+  std::transform(sample.begin(), sample.end(), u.begin(),
+                 [&](double x) { return fitted.cdf(x); });
+  std::sort(u.begin(), u.end());
+  AdResult r;
+  r.n = sample.size();
+  r.a2 = a2_statistic(u);
+  // Stephens (1974), exponential with estimated scale (case 3).
+  r.a2_modified = r.a2 * (1.0 + 0.6 / static_cast<double>(r.n));
+  r.critical_5pct = 1.341;
+  return r;
+}
+
+AdResult ad_test(std::span<const double> sample, const Distribution& ref) {
+  if (sample.size() < 2) {
+    throw std::invalid_argument("ad_test: need >= 2 points");
+  }
+  std::vector<double> u(sample.size());
+  std::transform(sample.begin(), sample.end(), u.begin(),
+                 [&](double x) { return ref.cdf(x); });
+  std::sort(u.begin(), u.end());
+  AdResult r;
+  r.n = sample.size();
+  r.a2 = a2_statistic(u);
+  r.a2_modified = r.a2;  // case 0: no modification
+  r.critical_5pct = 2.492;
+  return r;
+}
+
+}  // namespace cpg::stats

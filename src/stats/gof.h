@@ -1,0 +1,54 @@
+// Goodness-of-fit tests used by the measurement study (paper §4.1.2):
+// the one-sample Kolmogorov-Smirnov test and the Anderson-Darling test.
+#pragma once
+
+#include <span>
+
+#include "stats/distribution.h"
+
+namespace cpg::stats {
+
+struct KsResult {
+  double statistic = 0.0;  // sup-distance D_n between ECDF and reference CDF
+  double p_value = 0.0;
+  std::size_t n = 0;
+
+  // Paper convention: p <= 0.05 means the sample is statistically different
+  // from the reference distribution.
+  bool passes(double significance = 0.05) const {
+    return p_value > significance;
+  }
+};
+
+// One-sample K-S test of `sample` against `ref`. Sample may be unsorted.
+KsResult ks_test(std::span<const double> sample, const Distribution& ref);
+
+// Two-sample K-S statistic: the maximum y-distance between the two
+// empirical CDFs. This is exactly the paper's "maximum y-distance" fidelity
+// metric (§8.1.2).
+double ks_two_sample_statistic(std::span<const double> a,
+                               std::span<const double> b);
+
+// Survival function of the Kolmogorov distribution:
+// Q(x) = 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 x^2).
+double kolmogorov_q(double x);
+
+struct AdResult {
+  double a2 = 0.0;           // A^2 statistic
+  double a2_modified = 0.0;  // small-sample modified statistic
+  double critical_5pct = 0.0;
+  std::size_t n = 0;
+
+  bool passes() const { return a2_modified <= critical_5pct; }
+};
+
+// Anderson-Darling test of exponentiality with the rate estimated from the
+// sample (Stephens' case 3): modified statistic A^2 (1 + 0.6/n), 5% critical
+// value 1.341.
+AdResult ad_test_exponential(std::span<const double> sample);
+
+// Anderson-Darling test against a fully specified distribution (case 0);
+// 5% critical value 2.492.
+AdResult ad_test(std::span<const double> sample, const Distribution& ref);
+
+}  // namespace cpg::stats

@@ -1,0 +1,75 @@
+#include "stats/variance_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpg::stats {
+
+namespace {
+constexpr TimeMs k_bin_ms = 100;
+}
+
+std::vector<double> default_vt_scales() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+}
+
+std::vector<VtPoint> variance_time_curve(std::span<const TimeMs> arrivals,
+                                         TimeMs t0, TimeMs t1,
+                                         std::span<const double> scales_s) {
+  if (t1 <= t0) {
+    throw std::invalid_argument("variance_time_curve: empty interval");
+  }
+  const auto num_bins = static_cast<std::size_t>((t1 - t0) / k_bin_ms);
+  if (num_bins == 0) return {};
+  std::vector<std::uint32_t> bins(num_bins, 0);
+  for (TimeMs t : arrivals) {
+    if (t < t0 || t >= t1) continue;
+    const auto b = static_cast<std::size_t>((t - t0) / k_bin_ms);
+    if (b < num_bins) ++bins[b];
+  }
+
+  std::vector<VtPoint> curve;
+  curve.reserve(scales_s.size());
+  for (double m_s : scales_s) {
+    const auto bins_per_window =
+        static_cast<std::size_t>(m_s * 1000.0 / static_cast<double>(k_bin_ms));
+    if (bins_per_window == 0) continue;
+    const std::size_t num_windows = num_bins / bins_per_window;
+    if (num_windows < 2) continue;
+    // k_i = average events per 100 ms inside window i.
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      double window_total = 0.0;
+      const std::size_t base = w * bins_per_window;
+      for (std::size_t b = 0; b < bins_per_window; ++b) {
+        window_total += bins[base + b];
+      }
+      const double k_i = window_total / static_cast<double>(bins_per_window);
+      sum += k_i;
+      sum_sq += k_i * k_i;
+    }
+    const double n = static_cast<double>(num_windows);
+    const double mean = sum / n;
+    if (!(mean > 0.0)) continue;
+    const double var = std::max(sum_sq / n - mean * mean, 0.0);
+    curve.push_back(VtPoint{m_s, var / (mean * mean), num_windows});
+  }
+  return curve;
+}
+
+std::vector<TimeMs> poisson_arrivals(double rate_per_s, TimeMs t0, TimeMs t1,
+                                     Rng& rng) {
+  std::vector<TimeMs> out;
+  if (!(rate_per_s > 0.0)) return out;
+  const double mean_gap_ms = 1000.0 / rate_per_s;
+  double t = static_cast<double>(t0);
+  while (true) {
+    t += rng.exponential(mean_gap_ms);
+    if (t >= static_cast<double>(t1)) break;
+    out.push_back(static_cast<TimeMs>(t));
+  }
+  return out;
+}
+
+}  // namespace cpg::stats

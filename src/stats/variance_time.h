@@ -1,0 +1,39 @@
+// Variance-time analysis (paper §4.2, Fig. 3): quantifies burstiness of an
+// arrival process across time scales, following Leland et al. / Garrett &
+// Willinger. The timeline is binned at 100 ms; for each scale M seconds the
+// per-100ms count is averaged within M-second windows, and the variance of
+// that average across windows is normalized by the squared mean. A Poisson
+// process gives a straight line of slope -1 on log-log axes; burstier
+// processes sit above it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+
+namespace cpg::stats {
+
+struct VtPoint {
+  double scale_s = 0.0;            // window size M in seconds
+  double normalized_variance = 0.0;  // var(k_i) / mean(k_i)^2
+  std::size_t windows = 0;           // number of M-second windows used
+};
+
+// Log-spaced scales 1..1000 s used in the paper's plots.
+std::vector<double> default_vt_scales();
+
+// `arrivals` are event timestamps (need not be sorted) restricted to
+// [t0, t1). Scales for which fewer than 2 full windows fit, or where the
+// mean count is 0, are omitted from the result.
+std::vector<VtPoint> variance_time_curve(std::span<const TimeMs> arrivals,
+                                         TimeMs t0, TimeMs t1,
+                                         std::span<const double> scales_s);
+
+// Homogeneous Poisson arrivals with the given rate over [t0, t1), for the
+// fitted-reference curve.
+std::vector<TimeMs> poisson_arrivals(double rate_per_s, TimeMs t0, TimeMs t1,
+                                     Rng& rng);
+
+}  // namespace cpg::stats

@@ -1,0 +1,133 @@
+#include "synthetic/profiles.h"
+
+namespace cpg::synthetic {
+
+namespace {
+
+// Smooth diurnal curves; values are activity multipliers (higher = shorter
+// idle gaps = more sessions). Peak-to-trough ratios are chosen so the box
+// plots of events per device-hour reproduce the orders of magnitude of the
+// paper's Fig. 2 (phones/tablets: tens-of-x swing; connected cars: hundreds).
+constexpr std::array<double, 24> k_phone_diurnal = {
+    0.18, 0.10, 0.07, 0.06, 0.07, 0.12, 0.30, 0.60,  // 0-7
+    0.95, 1.10, 1.20, 1.30, 1.40, 1.35, 1.30, 1.30,  // 8-15
+    1.40, 1.55, 1.70, 1.80, 1.75, 1.50, 1.00, 0.45,  // 16-23
+};
+
+constexpr std::array<double, 24> k_car_diurnal = {
+    0.020, 0.012, 0.010, 0.010, 0.015, 0.060, 0.45, 1.80,  // 0-7
+    2.20,  1.20,  0.90,  0.95,  1.10,  1.05,  0.95, 1.20,  // 8-15
+    1.90,  2.40,  2.10,  1.30,  0.80,  0.45,  0.20, 0.06,  // 16-23
+};
+
+constexpr std::array<double, 24> k_tablet_diurnal = {
+    0.20, 0.12, 0.08, 0.07, 0.08, 0.10, 0.18, 0.35,  // 0-7
+    0.55, 0.70, 0.80, 0.90, 0.95, 0.90, 0.85, 0.90,  // 8-15
+    1.05, 1.30, 1.70, 2.00, 2.10, 1.80, 1.10, 0.50,  // 16-23
+};
+
+DeviceProfile make_phone_profile() {
+  DeviceProfile p;
+  p.diurnal = k_phone_diurnal;
+  p.idle_gap_active = {22.0, 1.0};
+  p.idle_gap_dormant = {420.0, 1.3};
+  p.bout_active_duration = {1100.0, 0.8};
+  p.bout_dormant_duration = {1900.0, 0.9};
+  p.p_start_active = 0.4;
+  p.periodic_tau_s = 6200.0;
+  p.periodic_tau_diurnal_exponent = 0.25;
+  p.session_short = {24.0, 1.1};
+  p.session_long = {210.0, 1.0};
+  p.p_long_session = 0.15;
+  p.p_stationary = 0.55;
+  p.p_pedestrian = 0.30;
+  p.p_mobile_session_pedestrian = 0.08;
+  p.p_mobile_session_vehicular = 0.09;
+  p.mobile_session_length_factor = 3.0;
+  p.ho_gap_pedestrian = {220.0, 0.8};
+  p.ho_gap_vehicular = {38.0, 0.7};
+  p.p_tau_after_ho = 0.22;
+  p.p_spontaneous_tau_session = 0.012;
+  p.p_off_at_session_end = 0.002;
+  p.off_duration = {9000.0, 1.1};
+  p.ue_activity_sigma = 0.9;
+  p.day_activity_sigma = 0.35;
+  return p;
+}
+
+DeviceProfile make_car_profile() {
+  DeviceProfile p;
+  p.diurnal = k_car_diurnal;
+  p.idle_gap_active = {15.0, 0.9};
+  p.idle_gap_dormant = {320.0, 1.2};
+  p.bout_active_duration = {1500.0, 0.7};  // a trip
+  p.bout_dormant_duration = {2400.0, 1.0};
+  p.p_start_active = 0.35;
+  p.periodic_tau_s = 700.0;  // telematics keep-alive ping cadence
+  p.periodic_tau_diurnal_exponent = 1.0;
+  p.session_short = {18.0, 0.9};
+  p.session_long = {420.0, 0.9};
+  p.p_long_session = 0.06;
+  p.p_stationary = 0.05;
+  p.p_pedestrian = 0.05;
+  p.p_mobile_session_pedestrian = 0.10;
+  p.p_mobile_session_vehicular = 0.035;
+  p.mobile_session_length_factor = 3.5;
+  p.ho_gap_pedestrian = {170.0, 0.8};
+  p.ho_gap_vehicular = {30.0, 0.6};
+  p.p_tau_after_ho = 0.10;
+  p.p_spontaneous_tau_session = 0.02;
+  p.p_off_at_session_end = 0.010;  // ignition off
+  p.off_duration = {14400.0, 1.2};
+  p.ue_activity_sigma = 0.8;
+  p.day_activity_sigma = 0.45;
+  return p;
+}
+
+DeviceProfile make_tablet_profile() {
+  DeviceProfile p;
+  p.diurnal = k_tablet_diurnal;
+  p.idle_gap_active = {30.0, 1.0};
+  p.idle_gap_dormant = {600.0, 1.3};
+  p.bout_active_duration = {1200.0, 0.8};
+  p.bout_dormant_duration = {2600.0, 1.0};
+  p.p_start_active = 0.3;
+  p.periodic_tau_s = 6500.0;
+  p.periodic_tau_diurnal_exponent = 0.5;
+  p.session_short = {30.0, 1.1};
+  p.session_long = {420.0, 1.0};  // streaming
+  p.p_long_session = 0.12;
+  p.p_stationary = 0.85;
+  p.p_pedestrian = 0.12;
+  p.p_mobile_session_pedestrian = 0.08;
+  p.p_mobile_session_vehicular = 0.12;
+  p.mobile_session_length_factor = 3.0;
+  p.ho_gap_pedestrian = {160.0, 0.8};
+  p.ho_gap_vehicular = {45.0, 0.7};
+  p.p_tau_after_ho = 0.25;
+  p.p_spontaneous_tau_session = 0.004;
+  p.p_off_at_session_end = 0.012;  // screen-off devices detach often
+  p.off_duration = {10800.0, 1.2};
+  p.ue_activity_sigma = 1.0;
+  p.day_activity_sigma = 0.35;
+  return p;
+}
+
+}  // namespace
+
+const DeviceProfile& profile_for(DeviceType d) {
+  static const DeviceProfile phone = make_phone_profile();
+  static const DeviceProfile car = make_car_profile();
+  static const DeviceProfile tablet = make_tablet_profile();
+  switch (d) {
+    case DeviceType::phone:
+      return phone;
+    case DeviceType::connected_car:
+      return car;
+    case DeviceType::tablet:
+      return tablet;
+  }
+  return phone;
+}
+
+}  // namespace cpg::synthetic

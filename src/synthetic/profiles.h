@@ -1,0 +1,90 @@
+// Behavioural profiles for the ground-truth workload simulator.
+//
+// This module is the repository's stand-in for the proprietary carrier
+// trace the paper measures (37,325 real UEs over 7 days): it defines, per
+// device type, the generative behaviour whose *statistical shape* matches
+// what the paper reports — heavy-tailed (lognormal-mixture) sojourns,
+// ON/OFF activity bouts that create burstiness far above Poisson at the
+// 10..1000 s scales (Fig. 3), strong diurnal cycles (Fig. 2), skewed per-UE
+// activity (§5.3), idle TAU+S1_CONN_REL cycles, HO bursts during mobile
+// sessions, and rare power cycles. Event-mix targets follow Table 1.
+#pragma once
+
+#include <array>
+
+#include "core/types.h"
+
+namespace cpg::synthetic {
+
+// Mobility class of a UE; determines HO behaviour.
+enum class MobilityClass : std::uint8_t { stationary, pedestrian, vehicular };
+
+struct LogNormalParams {
+  double median_s = 1.0;  // exp(mu)
+  double sigma = 1.0;     // log-space sigma
+};
+
+struct DeviceProfile {
+  // Diurnal activity multiplier per hour-of-day; idle gaps divide by it.
+  std::array<double, 24> diurnal{};
+
+  // --- IDLE behaviour -----------------------------------------------------
+  // UEs alternate activity bouts: gaps are short in an active bout and long
+  // in a dormant one (this ON/OFF modulation is what produces the
+  // super-Poisson variance-time curves).
+  LogNormalParams idle_gap_active;
+  LogNormalParams idle_gap_dormant;
+  LogNormalParams bout_active_duration;
+  LogNormalParams bout_dormant_duration;
+  double p_start_active = 0.5;
+
+  // Periodic tracking-area-update timer (3GPP T3412); every expiry during
+  // an idle gap emits TAU followed by the releasing S1_CONN_REL.
+  double periodic_tau_s = 3240.0;
+  // Diurnal modulation of the periodic cadence (0 = constant, 1 = fully
+  // proportional to activity). Telematics modems deep-sleep at night, so
+  // connected cars use 1.0; phones keep most of their cadence.
+  double periodic_tau_diurnal_exponent = 0.3;
+  // Uniform range for the TAU -> S1_CONN_REL release delay.
+  double tau_release_min_s = 0.2;
+  double tau_release_max_s = 2.0;
+
+  // --- CONNECTED behaviour -------------------------------------------------
+  LogNormalParams session_short;
+  LogNormalParams session_long;
+  double p_long_session = 0.15;
+
+  // --- Mobility ------------------------------------------------------------
+  double p_stationary = 0.5;
+  double p_pedestrian = 0.3;  // remainder is vehicular
+  // Probability that a given session is "on the move" for that class.
+  double p_mobile_session_pedestrian = 0.3;
+  double p_mobile_session_vehicular = 0.5;
+  // Mobile sessions run longer (a trip keeps the bearer alive), which makes
+  // HO arrivals strongly bursty: long HO-dense sessions amid many short
+  // HO-free ones. This is what blows up the Poisson-overlay baselines.
+  double mobile_session_length_factor = 3.0;
+  LogNormalParams ho_gap_pedestrian;
+  LogNormalParams ho_gap_vehicular;
+  // Chance an HO crosses a tracking-area boundary and triggers a TAU
+  // shortly after.
+  double p_tau_after_ho = 0.25;
+  // Chance a (non-mobile-driven) TAU occurs during a session (LTE
+  // reselection, CS fallback return, ...).
+  double p_spontaneous_tau_session = 0.01;
+
+  // --- Power cycle ----------------------------------------------------------
+  double p_off_at_session_end = 0.004;
+  LogNormalParams off_duration;
+
+  // --- Per-UE / per-day heterogeneity ---------------------------------------
+  // Per-UE activity multiplier ~ lognormal(-s^2/2, s): heavier s = more
+  // skew across the population.
+  double ue_activity_sigma = 0.9;
+  // Per-day multiplier (mood): day-scale correlation of activity.
+  double day_activity_sigma = 0.35;
+};
+
+const DeviceProfile& profile_for(DeviceType d);
+
+}  // namespace cpg::synthetic

@@ -1,0 +1,298 @@
+#include "synthetic/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace cpg::synthetic {
+
+WorkloadOptions default_population(std::size_t total) {
+  WorkloadOptions o;
+  // Paper §4: 23,388 phones / 9,308 connected cars / 4,629 tablets.
+  o.ue_counts[index_of(DeviceType::phone)] =
+      static_cast<std::size_t>(std::llround(0.63 * static_cast<double>(total)));
+  o.ue_counts[index_of(DeviceType::connected_car)] =
+      static_cast<std::size_t>(std::llround(0.25 * static_cast<double>(total)));
+  o.ue_counts[index_of(DeviceType::tablet)] =
+      total - o.ue_counts[0] - o.ue_counts[1];
+  return o;
+}
+
+namespace {
+
+double sample_lognormal(const LogNormalParams& p, Rng& rng) {
+  return p.median_s * std::exp(p.sigma * rng.normal());
+}
+
+class UeSimulator {
+ public:
+  UeSimulator(const DeviceProfile& profile, TimeMs t_end, UeId ue_id,
+              Rng& rng, std::vector<ControlEvent>& out)
+      : p_(profile), t_end_(t_end), ue_id_(ue_id), rng_(rng), out_(out) {}
+
+  void run() {
+    init_ue();
+    while (t_ < t_end_) {
+      switch (state_) {
+        case TopState::deregistered:
+          step_deregistered();
+          break;
+        case TopState::connected:
+          step_connected();
+          break;
+        case TopState::idle:
+          step_idle();
+          break;
+      }
+    }
+  }
+
+ private:
+  void init_ue() {
+    // Per-UE activity multiplier (mean 1, heavy right tail) and mobility.
+    const double s = p_.ue_activity_sigma;
+    ue_scale_ = std::exp(-0.5 * s * s + s * rng_.normal());
+    const double m = rng_.uniform();
+    mobility_ = m < p_.p_stationary
+                    ? MobilityClass::stationary
+                    : (m < p_.p_stationary + p_.p_pedestrian
+                           ? MobilityClass::pedestrian
+                           : MobilityClass::vehicular);
+
+    const int num_days = static_cast<int>(t_end_ / k_ms_per_day) + 2;
+    day_mood_.resize(static_cast<std::size_t>(num_days));
+    const double ds = p_.day_activity_sigma;
+    for (double& mood : day_mood_) {
+      mood = std::exp(-0.5 * ds * ds + ds * rng_.normal());
+    }
+
+    bout_active_ = rng_.bernoulli(p_.p_start_active);
+    bout_until_ = seconds_to_ms(sample_bout_duration());
+
+    t_ = seconds_to_ms(rng_.uniform(0.0, 60.0));
+    state_ = rng_.bernoulli(0.02) ? TopState::deregistered : TopState::idle;
+  }
+
+  double activity_at(TimeMs t) const {
+    const auto day = static_cast<std::size_t>(
+        std::min<std::int64_t>(day_of(t), static_cast<std::int64_t>(
+                                              day_mood_.size() - 1)));
+    const double a =
+        p_.diurnal[static_cast<std::size_t>(hour_of_day(t))] * ue_scale_ *
+        day_mood_[day];
+    return std::max(a, 0.004);
+  }
+
+  double sample_bout_duration() {
+    return sample_lognormal(
+        bout_active_ ? p_.bout_active_duration : p_.bout_dormant_duration,
+        rng_);
+  }
+
+  void update_bout(TimeMs t) {
+    while (t > bout_until_) {
+      bout_active_ = !bout_active_;
+      bout_until_ += seconds_to_ms(std::max(1.0, sample_bout_duration()));
+    }
+  }
+
+  void emit(TimeMs t, EventType e) {
+    t = std::max(t, last_emit_ + 1);
+    last_emit_ = t;
+    if (t < t_end_) out_.push_back({t, ue_id_, e});
+    t_ = std::max(t_, t);
+  }
+
+  void step_deregistered() {
+    const double off_s = std::max(60.0, sample_lognormal(p_.off_duration, rng_));
+    t_ += seconds_to_ms(off_s);
+    if (t_ >= t_end_) return;
+    emit(t_, EventType::atch);  // attach enters CONNECTED directly
+    state_ = TopState::connected;
+  }
+
+  void step_connected() {
+    // Session length: lognormal mixture (short interactive / long
+    // streaming-like sessions) -> heavy-tailed CONNECTED sojourns.
+    double len_s = sample_lognormal(
+        rng_.bernoulli(p_.p_long_session) ? p_.session_long : p_.session_short,
+        rng_);
+
+    // HO renewals while the session is mobile; mobile sessions are longer.
+    const bool mobile =
+        mobility_ != MobilityClass::stationary &&
+        rng_.bernoulli(mobility_ == MobilityClass::pedestrian
+                           ? p_.p_mobile_session_pedestrian
+                           : p_.p_mobile_session_vehicular);
+    if (mobile) len_s *= p_.mobile_session_length_factor;
+    const TimeMs session_end = t_ + seconds_to_ms(std::max(0.3, len_s));
+    const LogNormalParams& ho_gap = mobility_ == MobilityClass::vehicular
+                                        ? p_.ho_gap_vehicular
+                                        : p_.ho_gap_pedestrian;
+    constexpr TimeMs k_never = std::numeric_limits<TimeMs>::max();
+    TimeMs next_ho =
+        mobile ? t_ + seconds_to_ms(sample_lognormal(ho_gap, rng_)) : k_never;
+    // Spontaneous (non-mobility) TAU somewhere in the session.
+    TimeMs next_tau =
+        rng_.bernoulli(p_.p_spontaneous_tau_session)
+            ? t_ + seconds_to_ms(rng_.uniform(
+                       0.0, std::max(0.3, len_s)))
+            : k_never;
+
+    while (true) {
+      const TimeMs tn = std::min(next_ho, next_tau);
+      if (tn >= session_end || tn >= t_end_) break;
+      if (tn == next_ho) {
+        emit(next_ho, EventType::ho);
+        if (rng_.bernoulli(p_.p_tau_after_ho) && next_tau == k_never) {
+          next_tau = next_ho + seconds_to_ms(rng_.uniform(0.5, 5.0));
+        }
+        next_ho += seconds_to_ms(sample_lognormal(ho_gap, rng_));
+      } else {
+        emit(next_tau, EventType::tau);
+        next_tau = k_never;
+      }
+    }
+
+    t_ = std::max(session_end, last_emit_ + 1);
+    if (t_ >= t_end_) return;
+    if (rng_.bernoulli(p_.p_off_at_session_end)) {
+      emit(t_, EventType::dtch);
+      state_ = TopState::deregistered;
+    } else {
+      emit(t_, EventType::s1_conn_rel);
+      state_ = TopState::idle;
+    }
+  }
+
+  void step_idle() {
+    update_bout(t_);
+    const double act = activity_at(t_);
+    const LogNormalParams& gp =
+        bout_active_ ? p_.idle_gap_active : p_.idle_gap_dormant;
+    double gap_s = sample_lognormal(gp, rng_) / act;
+    gap_s = std::clamp(gap_s, 0.15, 16.0 * 3600.0);
+    const TimeMs idle_until = t_ + seconds_to_ms(gap_s);
+
+    // Possible power-off during the gap.
+    const bool off = rng_.bernoulli(p_.p_off_at_session_end);
+    const TimeMs off_at =
+        off ? t_ + seconds_to_ms(rng_.uniform(0.0, gap_s))
+            : std::numeric_limits<TimeMs>::max();
+
+    // Periodic TAU cycles during the gap (TAU then releasing S1_CONN_REL),
+    // with a diurnally modulated cadence (night-time deep sleep).
+    const double tau_period =
+        p_.periodic_tau_s /
+        std::pow(std::clamp(act, 0.01, 2.0),
+                 p_.periodic_tau_diurnal_exponent);
+    TimeMs tau_at = t_ + seconds_to_ms(tau_period);
+    while (tau_at < idle_until && tau_at < off_at && tau_at < t_end_) {
+      emit(tau_at, EventType::tau);
+      const double rel =
+          rng_.uniform(p_.tau_release_min_s, p_.tau_release_max_s);
+      emit(tau_at + seconds_to_ms(rel), EventType::s1_conn_rel);
+      tau_at = last_emit_ + seconds_to_ms(tau_period);
+    }
+
+    if (off_at < idle_until) {
+      if (off_at >= t_end_) {
+        t_ = off_at;
+        return;
+      }
+      emit(std::max(off_at, last_emit_ + 1), EventType::dtch);
+      state_ = TopState::deregistered;
+      return;
+    }
+
+    t_ = std::max(idle_until, last_emit_ + 1);
+    if (t_ >= t_end_) return;
+    emit(t_, EventType::srv_req);
+    state_ = TopState::connected;
+  }
+
+  const DeviceProfile& p_;
+  TimeMs t_end_;
+  UeId ue_id_;
+  Rng& rng_;
+  std::vector<ControlEvent>& out_;
+
+  double ue_scale_ = 1.0;
+  MobilityClass mobility_ = MobilityClass::stationary;
+  std::vector<double> day_mood_;
+  bool bout_active_ = false;
+  TimeMs bout_until_ = 0;
+  TopState state_ = TopState::idle;
+  TimeMs t_ = 0;
+  TimeMs last_emit_ = -1;
+};
+
+}  // namespace
+
+void simulate_ue(const DeviceProfile& profile, TimeMs t_end, UeId ue_id,
+                 Rng& rng, std::vector<ControlEvent>& out) {
+  UeSimulator sim(profile, t_end, ue_id, rng, out);
+  sim.run();
+}
+
+Trace generate_ground_truth(const WorkloadOptions& options) {
+  Trace trace;
+  std::vector<DeviceType> device_of;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t i = 0; i < options.ue_counts[index_of(d)]; ++i) {
+      trace.add_ue(d);
+      device_of.push_back(d);
+    }
+  }
+  const std::size_t total = device_of.size();
+  if (total == 0) return trace;
+
+  const auto t_end = static_cast<TimeMs>(options.duration_hours *
+                                         static_cast<double>(k_ms_per_hour));
+
+  unsigned workers = options.num_threads != 0
+                         ? options.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(total));
+
+  std::vector<std::vector<ControlEvent>> results(workers);
+  std::atomic<std::size_t> next{0};
+  constexpr std::size_t k_chunk = 64;
+
+  auto work = [&](unsigned w) {
+    auto& out = results[w];
+    while (true) {
+      const std::size_t begin = next.fetch_add(k_chunk);
+      if (begin >= total) break;
+      const std::size_t end = std::min(begin + k_chunk, total);
+      for (std::size_t u = begin; u < end; ++u) {
+        Rng rng(options.seed, static_cast<std::uint64_t>(u));
+        simulate_ue(profile_for(device_of[u]), t_end, static_cast<UeId>(u),
+                    rng, out);
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) threads.emplace_back(work, w);
+    for (auto& t : threads) t.join();
+  }
+
+  std::size_t total_events = 0;
+  for (const auto& r : results) total_events += r.size();
+  trace.reserve_events(total_events);
+  for (const auto& r : results) {
+    for (const ControlEvent& e : r) trace.add_event(e);
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cpg::synthetic

@@ -1,0 +1,37 @@
+// Ground-truth workload simulator: the repository's substitute for the
+// carrier LTE trace (see DESIGN.md, "Substitutions"). Produces per-UE
+// control-plane event streams that conform to the two-level state machine
+// by construction and exhibit the statistical properties the paper
+// measures on real traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/trace.h"
+#include "synthetic/profiles.h"
+
+namespace cpg::synthetic {
+
+struct WorkloadOptions {
+  std::array<std::size_t, k_num_device_types> ue_counts{};
+  double duration_hours = 168.0;  // the paper's trace spans one week
+  std::uint64_t seed = 42;
+  unsigned num_threads = 0;  // 0 = hardware concurrency
+};
+
+// Default population with the paper's device mix (63% phones, 25% connected
+// cars, 12% tablets) scaled to `total` UEs.
+WorkloadOptions default_population(std::size_t total);
+
+// Simulates the full population and returns a finalized trace.
+Trace generate_ground_truth(const WorkloadOptions& options);
+
+// Simulates a single UE over [0, t_end); events are appended to `out` in
+// strictly increasing time order. Exposed for tests and calibration.
+void simulate_ue(const DeviceProfile& profile, TimeMs t_end, UeId ue_id,
+                 Rng& rng, std::vector<ControlEvent>& out);
+
+}  // namespace cpg::synthetic

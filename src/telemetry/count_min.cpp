@@ -1,0 +1,79 @@
+#include "telemetry/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace cpg::telemetry {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  if (width_ == 0 || depth_ == 0) {
+    throw std::invalid_argument("CountMinSketch: zero dimension");
+  }
+  SplitMix64 sm(seed);
+  hash_seeds_.resize(depth_);
+  for (auto& s : hash_seeds_) s = sm.next() | 1;  // odd multipliers
+  counters_.assign(width_ * depth_, 0);
+}
+
+CountMinSketch CountMinSketch::for_error(double epsilon, double delta,
+                                         std::uint64_t seed) {
+  if (!(epsilon > 0.0) || !(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("CountMinSketch::for_error: bad parameters");
+  }
+  const auto width = static_cast<std::size_t>(
+      std::ceil(2.718281828459045 / epsilon));
+  const auto depth =
+      static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<std::size_t>(width, 1),
+                        std::max<std::size_t>(depth, 1), seed);
+}
+
+std::size_t CountMinSketch::row_index(std::size_t row,
+                                      std::uint64_t key) const {
+  // Multiply-shift hashing with per-row odd multipliers, finished with a
+  // SplitMix-style mix for avalanche.
+  std::uint64_t h = key * hash_seeds_[row];
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[row * width_ + row_index(row, key)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[row * width_ + row_index(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_ = 0;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_ ||
+      other.seed_ != seed_) {
+    throw std::invalid_argument("CountMinSketch::merge: incompatible sketch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+}  // namespace cpg::telemetry

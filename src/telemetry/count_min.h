@@ -1,0 +1,53 @@
+// Count-Min sketch (Cormode & Muthukrishnan) for approximate per-key event
+// counting over control-plane streams — the paper's §3.1 monitoring use
+// case (sketch-based telemetry sized with help of the traffic model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpg::telemetry {
+
+class CountMinSketch {
+ public:
+  // width = counters per row (error ~ e * N / width),
+  // depth = independent rows (failure prob ~ exp(-depth)).
+  CountMinSketch(std::size_t width, std::size_t depth,
+                 std::uint64_t seed = 0x517e);
+
+  // Dimensions for a target (epsilon, delta) guarantee:
+  // width = ceil(e / epsilon), depth = ceil(ln(1 / delta)).
+  static CountMinSketch for_error(double epsilon, double delta,
+                                  std::uint64_t seed = 0x517e);
+
+  void add(std::uint64_t key, std::uint64_t count = 1);
+
+  // Point estimate: >= true count; overestimates by at most
+  // epsilon * total with probability 1 - delta.
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  // Memory footprint of the counter array in bytes.
+  std::size_t memory_bytes() const noexcept {
+    return counters_.size() * sizeof(std::uint64_t);
+  }
+
+  void clear();
+
+  // Merges another sketch with identical dimensions and seed.
+  void merge(const CountMinSketch& other);
+
+ private:
+  std::size_t row_index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> hash_seeds_;
+  std::vector<std::uint64_t> counters_;  // depth x width, row-major
+  std::uint64_t total_ = 0;
+  std::uint64_t seed_;
+};
+
+}  // namespace cpg::telemetry

@@ -1,0 +1,49 @@
+#include "telemetry/heavy_hitters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpg::telemetry {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SpaceSaving: capacity must be positive");
+  }
+  entries_.reserve(capacity_ + 1);
+}
+
+void SpaceSaving::add(std::uint64_t key, std::uint64_t count) {
+  total_ += count;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.count += count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Entry{key, count, 0});
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count as the
+  // error bound (classic Space-Saving replacement).
+  auto min_it = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.count < min_it->second.count) min_it = it;
+  }
+  const Entry evicted = min_it->second;
+  entries_.erase(min_it);
+  entries_.emplace(key,
+                   Entry{key, evicted.count + count, evicted.count});
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace cpg::telemetry

@@ -1,0 +1,37 @@
+// Space-Saving heavy hitters (Metwally et al.): tracks the top-k keys of a
+// stream with bounded memory; used to find the chattiest UEs in
+// control-plane telemetry.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cpg::telemetry {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  void add(std::uint64_t key, std::uint64_t count = 1);
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  // upper bound on the true count
+    std::uint64_t error = 0;  // max overestimation
+  };
+
+  // Entries sorted by estimated count, descending.
+  std::vector<Entry> top(std::size_t k) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace cpg::telemetry

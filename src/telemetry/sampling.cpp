@@ -1,0 +1,55 @@
+#include "telemetry/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace cpg::telemetry {
+
+SamplingReport evaluate_sampling(const Trace& trace, double rate,
+                                 std::uint64_t seed) {
+  if (!(rate > 0.0) || rate > 1.0) {
+    throw std::invalid_argument("evaluate_sampling: rate must be in (0, 1]");
+  }
+  SamplingReport report;
+  report.rate = rate;
+  Rng rng(seed);
+  std::array<std::uint64_t, k_num_event_types> sampled{};
+  for (const ControlEvent& e : trace.events()) {
+    ++report.true_counts[index_of(e.type)];
+    if (rng.bernoulli(rate)) {
+      ++sampled[index_of(e.type)];
+      ++report.sampled_events;
+    }
+  }
+  for (std::size_t t = 0; t < k_num_event_types; ++t) {
+    report.estimated_counts[t] = static_cast<double>(sampled[t]) / rate;
+    const double truth = static_cast<double>(report.true_counts[t]);
+    report.relative_error[t] =
+        std::abs(report.estimated_counts[t] - truth) / std::max(truth, 1.0);
+    report.max_relative_error =
+        std::max(report.max_relative_error, report.relative_error[t]);
+  }
+  return report;
+}
+
+double pick_sampling_rate(const Trace& trace,
+                          std::span<const double> candidate_rates,
+                          double target_error, int trials,
+                          std::uint64_t seed) {
+  for (double rate : candidate_rates) {
+    double worst = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto report =
+          evaluate_sampling(trace, rate, seed + static_cast<std::uint64_t>(
+                                                    trial * 7919));
+      worst = std::max(worst, report.max_relative_error);
+    }
+    if (worst <= target_error) return rate;
+  }
+  return 1.0;
+}
+
+}  // namespace cpg::telemetry

@@ -1,0 +1,40 @@
+// Sampling-based control-plane monitoring (paper §3.1: "such models can
+// help to determine a good sampling rate for sampling-based monitoring").
+//
+// Events are admitted independently with probability p; per-event-type
+// counts are scaled back by 1/p. evaluate_sampling() replays a (generated)
+// trace at a given rate and reports the relative estimation error per event
+// type, so an operator can pick the cheapest rate that meets an error
+// target.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/trace.h"
+
+namespace cpg::telemetry {
+
+struct SamplingReport {
+  double rate = 1.0;
+  std::uint64_t sampled_events = 0;
+  // Estimated vs true counts per event type, and the relative error
+  // |est - true| / max(true, 1).
+  std::array<std::uint64_t, k_num_event_types> true_counts{};
+  std::array<double, k_num_event_types> estimated_counts{};
+  std::array<double, k_num_event_types> relative_error{};
+  double max_relative_error = 0.0;
+};
+
+SamplingReport evaluate_sampling(const Trace& trace, double rate,
+                                 std::uint64_t seed = 99);
+
+// Smallest rate from `candidate_rates` (ascending) whose max relative error
+// across event types is <= `target_error`, averaged over `trials` seeds.
+// Returns 1.0 when no candidate qualifies.
+double pick_sampling_rate(const Trace& trace,
+                          std::span<const double> candidate_rates,
+                          double target_error, int trials = 3,
+                          std::uint64_t seed = 99);
+
+}  // namespace cpg::telemetry

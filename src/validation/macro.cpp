@@ -1,0 +1,40 @@
+#include "validation/macro.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpg::validation {
+
+int busy_hour(const Trace& trace) {
+  if (trace.empty()) throw std::invalid_argument("busy_hour: empty trace");
+  std::array<std::uint64_t, 24> counts{};
+  for (const ControlEvent& e : trace.events()) {
+    ++counts[static_cast<std::size_t>(hour_of_day(e.t_ms))];
+  }
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+sm::StateBreakdown breakdown_of(const Trace& trace) {
+  return sm::compute_state_breakdown(sm::lte_two_level_spec(), trace);
+}
+
+double BreakdownDiff::max_abs(DeviceType d) const {
+  double m = 0.0;
+  for (double v : delta[index_of(d)]) m = std::max(m, std::abs(v));
+  return m;
+}
+
+BreakdownDiff diff_breakdowns(const sm::StateBreakdown& real,
+                              const sm::StateBreakdown& synthesized) {
+  BreakdownDiff diff;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t r = 0; r < sm::StateBreakdown::k_num_rows; ++r) {
+      diff.delta[index_of(d)][r] =
+          synthesized.fraction(d, r) - real.fraction(d, r);
+    }
+  }
+  return diff;
+}
+
+}  // namespace cpg::validation

@@ -1,0 +1,35 @@
+// Macroscopic validation (paper §8.1.1, Tables 4 and 11): compares the
+// breakdown of control-plane events — with HO and TAU split by the ECM
+// state they occurred in — between a real trace and traces synthesized by
+// the different modeling methods.
+#pragma once
+
+#include "core/trace.h"
+#include "statemachine/replay.h"
+
+namespace cpg::validation {
+
+// Hour-of-day with the most events (the paper validates on "one of the busy
+// hours"). Trace must be finalized and non-empty.
+int busy_hour(const Trace& trace);
+
+// Event breakdown of a trace computed by replaying the two-level machine
+// (classification of HO/TAU by state needs replay regardless of which
+// method generated the trace).
+sm::StateBreakdown breakdown_of(const Trace& trace);
+
+// Signed per-row difference synthesized-minus-real, as printed in
+// Tables 4/11 ("+1.4%" means the synthesized trace over-represents the
+// row by 1.4 percentage points).
+struct BreakdownDiff {
+  std::array<std::array<double, sm::StateBreakdown::k_num_rows>,
+             k_num_device_types>
+      delta{};  // fraction units (0.014 = +1.4%)
+
+  double max_abs(DeviceType d) const;
+};
+
+BreakdownDiff diff_breakdowns(const sm::StateBreakdown& real,
+                              const sm::StateBreakdown& synthesized);
+
+}  // namespace cpg::validation

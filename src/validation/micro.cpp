@@ -1,0 +1,84 @@
+#include "validation/micro.h"
+
+#include <algorithm>
+
+#include "statemachine/replay.h"
+#include "stats/gof.h"
+
+namespace cpg::validation {
+
+std::vector<double> events_per_ue(const Trace& trace, DeviceType device,
+                                  EventType type) {
+  std::vector<std::uint32_t> counts(trace.num_ues(), 0);
+  for (const ControlEvent& e : trace.events()) {
+    if (e.type == type && trace.device(e.ue_id) == device) ++counts[e.ue_id];
+  }
+  std::vector<double> out;
+  out.reserve(trace.num_ues_of(device));
+  for (std::size_t u = 0; u < trace.num_ues(); ++u) {
+    if (trace.device(static_cast<UeId>(u)) == device) {
+      out.push_back(static_cast<double>(counts[u]));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct SojournCollector : sm::ReplayVisitor {
+  UeState wanted = UeState::connected;
+  std::vector<double>* out = nullptr;
+
+  void on_state_sojourn(UeState s, double sec, int /*hour*/) {
+    if (s == wanted) out->push_back(sec);
+  }
+};
+
+}  // namespace
+
+std::vector<double> state_sojourns(const Trace& trace,
+                                   const sm::MachineSpec& spec,
+                                   DeviceType device, UeState state) {
+  std::vector<double> out;
+  SojournCollector collector;
+  collector.wanted = state;
+  collector.out = &out;
+  for (const auto& ue_events : trace.group_by_ue(device)) {
+    sm::replay_ue(spec, ue_events, collector);
+  }
+  return out;
+}
+
+double max_y_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  return stats::ks_two_sample_statistic(a, b);
+}
+
+ActivitySplit split_by_activity(std::span<const double> counts_per_ue,
+                                double threshold) {
+  ActivitySplit split;
+  for (double c : counts_per_ue) {
+    (c > threshold ? split.active : split.inactive).push_back(c);
+  }
+  return split;
+}
+
+std::vector<std::pair<double, double>> ecdf_points(
+    std::span<const double> sample, std::size_t max_points) {
+  std::vector<std::pair<double, double>> pts;
+  if (sample.empty() || max_points == 0) return pts;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    pts.emplace_back(sorted[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (pts.back().first != sorted.back()) {
+    pts.emplace_back(sorted.back(), 1.0);
+  }
+  return pts;
+}
+
+}  // namespace cpg::validation

@@ -1,0 +1,42 @@
+// Microscopic validation (paper §8.1.2, Tables 5/6, Fig. 7): per-UE traffic
+// behaviour — events per UE and per-UE sojourn times — compared between real
+// and synthesized traces via the maximum y-distance of the two CDFs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/trace.h"
+#include "statemachine/spec.h"
+
+namespace cpg::validation {
+
+// Number of events of `type` per UE of `device` (one entry per UE,
+// including UEs with zero events).
+std::vector<double> events_per_ue(const Trace& trace, DeviceType device,
+                                  EventType type);
+
+// All completed sojourns in `state` across UEs of `device`, from a replay
+// through `spec` (seconds).
+std::vector<double> state_sojourns(const Trace& trace,
+                                   const sm::MachineSpec& spec,
+                                   DeviceType device, UeState state);
+
+// Maximum vertical distance between the empirical CDFs of two samples (the
+// two-sample K-S statistic; the paper's fidelity metric).
+double max_y_distance(std::span<const double> a, std::span<const double> b);
+
+// Active/inactive split (Table 6): UEs with more than `threshold` events
+// are "active". Returns {inactive, active} count vectors.
+struct ActivitySplit {
+  std::vector<double> inactive;
+  std::vector<double> active;
+};
+ActivitySplit split_by_activity(std::span<const double> counts_per_ue,
+                                double threshold = 2.0);
+
+// Downsampled ECDF points (x, P(X<=x)) for figure emission.
+std::vector<std::pair<double, double>> ecdf_points(
+    std::span<const double> sample, std::size_t max_points = 64);
+
+}  // namespace cpg::validation

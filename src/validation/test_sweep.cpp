@@ -1,0 +1,241 @@
+#include "validation/test_sweep.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "clustering/features.h"
+#include "statemachine/replay.h"
+#include "stats/fit.h"
+#include "stats/gof.h"
+
+namespace cpg::validation {
+
+std::string_view to_string(GofVariant v) noexcept {
+  switch (v) {
+    case GofVariant::poisson_ks:
+      return "Poisson (K-S)";
+    case GofVariant::poisson_ad:
+      return "Poisson (A2)";
+    case GofVariant::pareto_ks:
+      return "Pareto (K-S)";
+    case GofVariant::weibull_ks:
+      return "Weibull (K-S)";
+    case GofVariant::tcplib_ks:
+      return "Tcplib (K-S)";
+  }
+  return "?";
+}
+
+std::string_view event_state_category_name(std::size_t c) noexcept {
+  if (c < k_num_event_types) {
+    return to_string(k_all_event_types[c]);
+  }
+  switch (c - k_num_event_types) {
+    case 0:
+      return "REG.";
+    case 1:
+      return "DEREG.";
+    case 2:
+      return "CONN.";
+    case 3:
+      return "IDLE";
+  }
+  return "?";
+}
+
+std::string_view substate_category_name(std::size_t c) noexcept {
+  static constexpr std::string_view names[k_num_substate_categories] = {
+      "SRV_REQ_S-HO",  "HO_S-HO",       "TAU_S_C-HO",
+      "SRV_REQ_S-TAU", "TAU_S_C-TAU",   "HO_S-TAU",
+      "S1_REL_1-TAU",  "S1_REL_2-TAU",  "TAU_S_I-S1_REL"};
+  return c < k_num_substate_categories ? names[c] : "?";
+}
+
+std::size_t substate_category_edge(std::size_t c) noexcept {
+  // Paper column order -> index into lte_two_level_spec().sub_transitions().
+  static constexpr std::size_t edges[k_num_substate_categories] = {
+      0, 2, 5, 1, 4, 3, 6, 8, 7};
+  return c < k_num_substate_categories ? edges[c] : 0;
+}
+
+namespace {
+
+// Reservoir of per-unit samples.
+struct Reservoir {
+  std::vector<double> samples;
+  std::uint64_t total = 0;
+
+  void add(double v, Rng& rng, std::size_t cap) {
+    ++total;
+    if (samples.size() < cap) {
+      samples.push_back(v);
+    } else {
+      const std::uint64_t j = rng.uniform_index(total);
+      if (j < cap) samples[static_cast<std::size_t>(j)] = v;
+    }
+  }
+};
+
+std::array<bool, k_num_gof_variants> run_tests(
+    std::span<const double> sample) {
+  std::array<bool, k_num_gof_variants> pass{};
+  // Degenerate all-equal samples cannot be tested meaningfully; they fail
+  // every continuous reference family.
+  const auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  if (!(*mx > *mn)) return pass;
+
+  if (const auto exp = stats::fit(stats::Family::exponential, sample)) {
+    pass[static_cast<std::size_t>(GofVariant::poisson_ks)] =
+        stats::ks_test(sample, *exp).passes();
+  }
+  if (sample.size() >= 2) {
+    pass[static_cast<std::size_t>(GofVariant::poisson_ad)] =
+        stats::ad_test_exponential(sample).passes();
+  }
+  if (const auto pareto = stats::fit(stats::Family::pareto, sample)) {
+    pass[static_cast<std::size_t>(GofVariant::pareto_ks)] =
+        stats::ks_test(sample, *pareto).passes();
+  }
+  if (const auto weibull = stats::fit(stats::Family::weibull, sample)) {
+    pass[static_cast<std::size_t>(GofVariant::weibull_ks)] =
+        stats::ks_test(sample, *weibull).passes();
+  }
+  if (const auto tcplib = stats::fit(stats::Family::tcplib, sample)) {
+    pass[static_cast<std::size_t>(GofVariant::tcplib_ks)] =
+        stats::ks_test(sample, *tcplib).passes();
+  }
+  return pass;
+}
+
+// Shared sweep scaffolding: clusters the device's UEs per hour, routes each
+// replay sample into (hour, cluster, category) reservoirs via `Visitor`,
+// then tests every sufficiently large unit.
+template <typename Result, typename MakeVisitor>
+void run_sweep(const Trace& trace, const SweepOptions& options,
+               std::size_t num_categories, Result& result,
+               MakeVisitor&& make_visitor) {
+  const sm::MachineSpec& spec = sm::lte_two_level_spec();
+  Rng rng(options.seed);
+  const int num_days =
+      trace.empty() ? 1 : std::max<int>(1, day_of(trace.end_time()) + 1);
+
+  for (DeviceType device : k_all_device_types) {
+    const auto groups = trace.group_by_ue(device);
+    if (groups.empty()) continue;
+
+    // Per-hour cluster assignment.
+    std::vector<std::array<std::uint32_t, 24>> traj(groups.size());
+    std::array<std::size_t, 24> num_clusters{};
+    if (options.with_clustering) {
+      const auto features =
+          clustering::extract_features(spec, groups, num_days);
+      for (int h = 0; h < 24; ++h) {
+        std::vector<clustering::UeHourFeatures> hf(groups.size());
+        for (std::size_t u = 0; u < groups.size(); ++u) {
+          hf[u] = features[u][static_cast<std::size_t>(h)];
+        }
+        const auto c = clustering::adaptive_cluster(hf, options.clustering);
+        num_clusters[static_cast<std::size_t>(h)] = c.num_clusters;
+        for (std::size_t u = 0; u < groups.size(); ++u) {
+          traj[u][static_cast<std::size_t>(h)] = c.assignment[u];
+        }
+      }
+    } else {
+      num_clusters.fill(1);
+    }
+
+    // units[hour][cluster][category]
+    std::array<std::vector<std::vector<Reservoir>>, 24> units;
+    for (int h = 0; h < 24; ++h) {
+      units[static_cast<std::size_t>(h)].assign(
+          num_clusters[static_cast<std::size_t>(h)],
+          std::vector<Reservoir>(num_categories));
+    }
+
+    auto route = [&](std::size_t category, double value, int hour,
+                     const std::array<std::uint32_t, 24>& ue_traj) {
+      auto& unit = units[static_cast<std::size_t>(hour)]
+                        [ue_traj[static_cast<std::size_t>(hour)]][category];
+      unit.add(value, rng, options.max_samples);
+    };
+
+    for (std::size_t u = 0; u < groups.size(); ++u) {
+      auto visitor = make_visitor(
+          [&, ue = u](std::size_t category, double value, int hour) {
+            route(category, value, hour, traj[ue]);
+          });
+      sm::replay_ue(spec, groups[u], visitor);
+    }
+
+    // Test every unit.
+    for (int h = 0; h < 24; ++h) {
+      for (const auto& cluster_units : units[static_cast<std::size_t>(h)]) {
+        for (std::size_t c = 0; c < num_categories; ++c) {
+          const Reservoir& r = cluster_units[c];
+          if (r.samples.size() < options.min_samples) continue;
+          const auto pass = run_tests(r.samples);
+          for (std::size_t v = 0; v < k_num_gof_variants; ++v) {
+            auto& cell = result.cells[v][index_of(device)][c];
+            ++cell.total;
+            if (pass[v]) ++cell.passed;
+          }
+        }
+      }
+    }
+  }
+}
+
+using RouteFn = std::function<void(std::size_t, double, int)>;
+
+struct EventStateVisitor : sm::ReplayVisitor {
+  RouteFn route;
+
+  void on_interarrival(EventType t, double sec, int hour) {
+    route(index_of(t), sec, hour);
+  }
+  void on_state_sojourn(UeState s, double sec, int hour) {
+    route(k_num_event_types + index_of(s), sec, hour);
+  }
+};
+
+struct SubstateVisitor : sm::ReplayVisitor {
+  RouteFn route;
+
+  void on_sub_edge(int edge, double sec, int hour) {
+    // Map spec edge index to paper column.
+    for (std::size_t c = 0; c < k_num_substate_categories; ++c) {
+      if (substate_category_edge(c) == static_cast<std::size_t>(edge)) {
+        route(c, sec, hour);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+EventStateSweep sweep_events_states(const Trace& trace,
+                                    const SweepOptions& options) {
+  EventStateSweep result;
+  run_sweep(trace, options, k_num_event_state_categories, result,
+            [](RouteFn fn) {
+              EventStateVisitor v;
+              v.route = std::move(fn);
+              return v;
+            });
+  return result;
+}
+
+SubstateSweep sweep_substates(const Trace& trace,
+                              const SweepOptions& options) {
+  SubstateSweep result;
+  run_sweep(trace, options, k_num_substate_categories, result,
+            [](RouteFn fn) {
+              SubstateVisitor v;
+              v.route = std::move(fn);
+              return v;
+            });
+  return result;
+}
+
+}  // namespace cpg::validation

@@ -1,0 +1,85 @@
+// Statistical goodness-of-fit sweeps (paper §4.1, Appendix A; Tables 8, 9
+// and 10): what fraction of (UE-cluster, 1-hour) units pass the K-S /
+// Anderson-Darling tests for the classic distribution families, for
+//   * the inter-arrival time of each of the six event types,
+//   * the sojourn time in the four classic UE states, and
+//   * the sojourn time on the nine second-level transitions of the proposed
+//     two-level state machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "clustering/adaptive.h"
+#include "core/trace.h"
+
+namespace cpg::validation {
+
+enum class GofVariant : std::uint8_t {
+  poisson_ks = 0,
+  poisson_ad = 1,
+  pareto_ks = 2,
+  weibull_ks = 3,
+  tcplib_ks = 4,
+};
+inline constexpr std::size_t k_num_gof_variants = 5;
+std::string_view to_string(GofVariant v) noexcept;
+
+struct PassRate {
+  std::uint64_t passed = 0;
+  std::uint64_t total = 0;
+
+  double rate() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(passed) /
+                            static_cast<double>(total);
+  }
+};
+
+struct SweepOptions {
+  bool with_clustering = true;
+  clustering::ClusteringParams clustering{};
+  // A (cluster, hour, category) unit participates only with at least this
+  // many samples.
+  std::size_t min_samples = 10;
+  // Reservoir cap per unit (keeps the sweep O(events)).
+  std::size_t max_samples = 20'000;
+  std::uint64_t seed = 0xACE5;
+};
+
+// Tables 8 / 9: categories are the 6 event types (inter-arrival) followed by
+// the 4 classic states REGISTERED, DEREGISTERED, CONNECTED, IDLE (sojourn).
+inline constexpr std::size_t k_num_event_state_categories =
+    k_num_event_types + k_num_ue_states;
+std::string_view event_state_category_name(std::size_t c) noexcept;
+
+struct EventStateSweep {
+  // [variant][device][category]
+  std::array<std::array<std::array<PassRate, k_num_event_state_categories>,
+                        k_num_device_types>,
+             k_num_gof_variants>
+      cells{};
+};
+
+EventStateSweep sweep_events_states(const Trace& trace,
+                                    const SweepOptions& options);
+
+// Table 10: categories are the nine second-level transitions, in the
+// paper's column order.
+inline constexpr std::size_t k_num_substate_categories = 9;
+std::string_view substate_category_name(std::size_t c) noexcept;
+// Maps the paper's column order to an edge index of
+// sm::lte_two_level_spec().sub_transitions().
+std::size_t substate_category_edge(std::size_t c) noexcept;
+
+struct SubstateSweep {
+  std::array<std::array<std::array<PassRate, k_num_substate_categories>,
+                        k_num_device_types>,
+             k_num_gof_variants>
+      cells{};
+};
+
+SubstateSweep sweep_substates(const Trace& trace, const SweepOptions& options);
+
+}  // namespace cpg::validation

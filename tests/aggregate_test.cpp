@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "model/aggregate.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg::model {
+namespace {
+
+const Trace& sample() {
+  static const Trace t = testutil::small_ground_truth(200, 24.0, 95);
+  return t;
+}
+
+AggregateRequest request_for(std::size_t ues) {
+  AggregateRequest req;
+  req.ue_counts = {ues * 63 / 100, ues / 4, ues * 12 / 100};
+  req.start_hour = 18;
+  req.duration_hours = 1.0;
+  req.seed = 3;
+  return req;
+}
+
+TEST(Aggregate, FitRequiresFinalizedTrace) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(10, u, EventType::tau);
+  t.add_event(5, u, EventType::tau);
+  EXPECT_THROW(fit_aggregate(t), std::logic_error);
+}
+
+TEST(Aggregate, DeviceSharesSumToOne) {
+  const auto m = fit_aggregate(sample());
+  for (std::size_t t = 0; t < k_num_event_types; ++t) {
+    double sum = 0.0;
+    for (double s : m.device_share[t]) sum += s;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << t;
+  }
+  EXPECT_EQ(m.fitted_ues, sample().num_ues());
+}
+
+TEST(Aggregate, GeneratesEventsInWindow) {
+  const auto m = fit_aggregate(sample());
+  const Trace t = generate_aggregate(m, request_for(500));
+  ASSERT_FALSE(t.empty());
+  for (const ControlEvent& e : t.events()) {
+    EXPECT_GE(e.t_ms, 18 * k_ms_per_hour);
+    EXPECT_LT(e.t_ms, 19 * k_ms_per_hour);
+    EXPECT_LT(e.ue_id, t.num_ues());
+  }
+}
+
+TEST(Aggregate, ViolatesStateMachines) {
+  // Paper §3.2.1 limitation (1): the aggregate model cannot respect per-UE
+  // event dependence.
+  const auto m = fit_aggregate(sample());
+  const Trace t = generate_aggregate(m, request_for(500));
+  const auto violations =
+      sm::count_violations(sm::lte_two_level_spec(), t);
+  EXPECT_GT(violations, t.num_events() / 10);
+}
+
+TEST(Aggregate, VolumeDoesNotScaleWithPopulation) {
+  // Paper §3.2.1 limitation (3): rates are pinned to the fitted population.
+  const auto m = fit_aggregate(sample());
+  const Trace small = generate_aggregate(m, request_for(500));
+  const Trace big = generate_aggregate(m, request_for(5000));
+  const double ratio = static_cast<double>(big.num_events()) /
+                       static_cast<double>(small.num_events());
+  EXPECT_LT(ratio, 1.5);  // a per-UE model would give ~10x
+}
+
+TEST(Aggregate, EmpiricalFamilyVariant) {
+  const auto m = fit_aggregate(sample(), AggregateFamily::empirical);
+  const Trace t = generate_aggregate(m, request_for(300));
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Aggregate, AggregateVolumeTracksSample) {
+  // The one thing the aggregate model gets right: total busy-hour volume at
+  // the fitted population size.
+  const auto m = fit_aggregate(sample());
+  const Trace synth = generate_aggregate(m, request_for(200));
+  const auto [lo, hi] = sample().time_range(18 * k_ms_per_hour,
+                                            19 * k_ms_per_hour);
+  const double real_events = static_cast<double>(hi - lo);
+  ASSERT_GT(real_events, 0.0);
+  const double ratio = static_cast<double>(synth.num_events()) / real_events;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace cpg::model

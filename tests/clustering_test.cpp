@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "clustering/adaptive.h"
+#include "clustering/features.h"
+#include "statemachine/spec.h"
+
+namespace cpg::clustering {
+namespace {
+
+UeHourFeatures feat(double a, double b, double c, double d) {
+  UeHourFeatures f;
+  f.f = {a, b, c, d};
+  return f;
+}
+
+TEST(AdaptiveCluster, EmptyInput) {
+  const auto c = adaptive_cluster({}, {});
+  EXPECT_EQ(c.num_clusters, 0u);
+  EXPECT_TRUE(c.assignment.empty());
+}
+
+TEST(AdaptiveCluster, SimilarUesFormOneCluster) {
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 50; ++i) {
+    fs.push_back(feat(1.0 + 0.01 * i, 2.0, 0.5, 0.5));
+  }
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 10;  // small enough that similarity must decide
+  const auto c = adaptive_cluster(fs, params);
+  EXPECT_EQ(c.num_clusters, 1u);
+}
+
+TEST(AdaptiveCluster, SmallPopulationStopsSplitting) {
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 20; ++i) {
+    fs.push_back(feat(i * 100.0, 0.0, 0.0, 0.0));  // wildly dissimilar
+  }
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 50;  // below threshold -> never split
+  const auto c = adaptive_cluster(fs, params);
+  EXPECT_EQ(c.num_clusters, 1u);
+}
+
+TEST(AdaptiveCluster, DissimilarGroupsSeparate) {
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 30; ++i) fs.push_back(feat(0.0, 0.0, 0.0, 0.0));
+  for (int i = 0; i < 30; ++i) fs.push_back(feat(100.0, 100.0, 0.0, 0.0));
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 5;
+  const auto c = adaptive_cluster(fs, params);
+  EXPECT_GE(c.num_clusters, 2u);
+  // All UEs of the same group share a cluster.
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_EQ(c.assignment[i], c.assignment[0]);
+    EXPECT_EQ(c.assignment[30 + i], c.assignment[30]);
+  }
+  EXPECT_NE(c.assignment[0], c.assignment[30]);
+}
+
+TEST(AdaptiveCluster, QuadrantsSplitOnTwoWidestFeatures) {
+  // Four groups in the corners of the (f0, f1) plane; f2/f3 constant.
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 25; ++i) {
+    fs.push_back(feat(0.0, 0.0, 1.0, 1.0));
+    fs.push_back(feat(50.0, 0.0, 1.0, 1.0));
+    fs.push_back(feat(0.0, 50.0, 1.0, 1.0));
+    fs.push_back(feat(50.0, 50.0, 1.0, 1.0));
+  }
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 2;
+  const auto c = adaptive_cluster(fs, params);
+  EXPECT_EQ(c.num_clusters, 4u);
+}
+
+TEST(AdaptiveCluster, AssignmentIdsAreDense) {
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 200; ++i) {
+    fs.push_back(feat(i % 13 * 10.0, i % 7 * 12.0, i % 5 * 8.0, 0.0));
+  }
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 10;
+  const auto c = adaptive_cluster(fs, params);
+  ASSERT_GT(c.num_clusters, 0u);
+  std::vector<bool> seen(c.num_clusters, false);
+  for (auto a : c.assignment) {
+    ASSERT_LT(a, c.num_clusters);
+    seen[a] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  // members() inverts assignment.
+  const auto members = c.members();
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, fs.size());
+}
+
+TEST(AdaptiveCluster, Deterministic) {
+  std::vector<UeHourFeatures> fs;
+  for (int i = 0; i < 500; ++i) {
+    fs.push_back(feat((i * 37) % 101, (i * 13) % 89, (i * 7) % 53, 0.0));
+  }
+  ClusteringParams params;
+  params.theta_f = 5.0;
+  params.theta_n = 20;
+  const auto a = adaptive_cluster(fs, params);
+  const auto b = adaptive_cluster(fs, params);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Features, CountsAndSojournStdPerHour) {
+  // UE with 2 SRV_REQ in hour 0 (one day): counts are per-day averages.
+  std::vector<std::vector<ControlEvent>> groups(1);
+  auto& ev = groups[0];
+  ev.push_back({10'000, 0, EventType::srv_req});
+  ev.push_back({40'000, 0, EventType::s1_conn_rel});   // 30 s CONNECTED
+  ev.push_back({100'000, 0, EventType::srv_req});      // 60 s IDLE
+  ev.push_back({190'000, 0, EventType::s1_conn_rel});  // 90 s CONNECTED
+
+  const auto features = extract_features(sm::lte_two_level_spec(), groups, 1);
+  ASSERT_EQ(features.size(), 1u);
+  const auto& h0 = features[0][0];
+  EXPECT_DOUBLE_EQ(h0.f[0], 2.0);  // SRV_REQ count
+  EXPECT_DOUBLE_EQ(h0.f[1], 2.0);  // S1_CONN_REL count
+  EXPECT_DOUBLE_EQ(h0.f[2], 30.0);  // std of {30, 90}
+  EXPECT_DOUBLE_EQ(h0.f[3], 0.0);   // single idle sojourn -> std 0
+  // Other hours are empty.
+  EXPECT_DOUBLE_EQ(features[0][5].f[0], 0.0);
+}
+
+TEST(Features, PerDayAveraging) {
+  std::vector<std::vector<ControlEvent>> groups(1);
+  auto& ev = groups[0];
+  // 2 SRV_REQ at hour 3 on day 0 and 4 on day 1 -> average 3 per day.
+  for (int k = 0; k < 2; ++k) {
+    ev.push_back({3 * k_ms_per_hour + k * 1000, 0, EventType::srv_req});
+  }
+  for (int k = 0; k < 4; ++k) {
+    ev.push_back(
+        {k_ms_per_day + 3 * k_ms_per_hour + k * 1000, 0, EventType::srv_req});
+  }
+  const auto features = extract_features(sm::lte_two_level_spec(), groups, 2);
+  EXPECT_DOUBLE_EQ(features[0][3].f[0], 3.0);
+}
+
+}  // namespace
+}  // namespace cpg::clustering

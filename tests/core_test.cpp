@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "core/trace.h"
+#include "core/types.h"
+
+namespace cpg {
+namespace {
+
+// --- types ------------------------------------------------------------------
+
+TEST(Types, EventNamesRoundTrip) {
+  for (EventType e : k_all_event_types) {
+    const auto parsed = parse_event_type(to_string(e));
+    ASSERT_TRUE(parsed.has_value()) << to_string(e);
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_FALSE(parse_event_type("NOT_AN_EVENT").has_value());
+}
+
+TEST(Types, DeviceNamesRoundTrip) {
+  for (DeviceType d : k_all_device_types) {
+    const auto parsed = parse_device_type(to_string(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, d);
+  }
+  EXPECT_FALSE(parse_device_type("toaster").has_value());
+}
+
+TEST(Types, TopStateNamesRoundTrip) {
+  for (TopState s : k_all_top_states) {
+    const auto parsed = parse_top_state(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(Types, SubStateNamesRoundTrip) {
+  for (SubState s : k_all_sub_states) {
+    const auto parsed = parse_sub_state(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(Types, FiveGMappingMatchesPaperTable2) {
+  EXPECT_EQ(to_5g(EventType::atch), FiveGEventType::register_);
+  EXPECT_EQ(to_5g(EventType::dtch), FiveGEventType::deregister);
+  EXPECT_EQ(to_5g(EventType::srv_req), FiveGEventType::srv_req);
+  EXPECT_EQ(to_5g(EventType::s1_conn_rel), FiveGEventType::an_rel);
+  EXPECT_EQ(to_5g(EventType::ho), FiveGEventType::ho);
+  // TAU has no 5G counterpart.
+  EXPECT_FALSE(to_5g(EventType::tau).has_value());
+}
+
+// --- time utils ---------------------------------------------------------------
+
+TEST(TimeUtils, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(k_ms_per_hour - 1), 0);
+  EXPECT_EQ(hour_of_day(k_ms_per_hour), 1);
+  EXPECT_EQ(hour_of_day(23 * k_ms_per_hour), 23);
+  EXPECT_EQ(hour_of_day(k_ms_per_day), 0);
+  EXPECT_EQ(hour_of_day(k_ms_per_day + 5 * k_ms_per_hour), 5);
+}
+
+TEST(TimeUtils, DayAndHourIndex) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(k_ms_per_day - 1), 0);
+  EXPECT_EQ(day_of(k_ms_per_day), 1);
+  EXPECT_EQ(hour_index(3 * k_ms_per_hour + 5), 3);
+  EXPECT_EQ(hour_start(3), 3 * k_ms_per_hour);
+}
+
+TEST(TimeUtils, SecondsConversionRoundTrip) {
+  EXPECT_EQ(seconds_to_ms(1.5), 1500);
+  EXPECT_DOUBLE_EQ(ms_to_seconds(2500), 2.5);
+  EXPECT_EQ(seconds_to_ms(ms_to_seconds(123456)), 123456);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.07);
+  EXPECT_NEAR(sq / n - mean * mean, 9.0, 0.35);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(5);
+  const double w[] = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  constexpr int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.02);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+// --- trace ---------------------------------------------------------------------
+
+TEST(Trace, RegistersUesWithDenseIds) {
+  Trace t;
+  EXPECT_EQ(t.add_ue(DeviceType::phone), 0u);
+  EXPECT_EQ(t.add_ue(DeviceType::tablet), 1u);
+  EXPECT_EQ(t.add_ue(DeviceType::phone), 2u);
+  EXPECT_EQ(t.num_ues(), 3u);
+  EXPECT_EQ(t.num_ues_of(DeviceType::phone), 2u);
+  EXPECT_EQ(t.num_ues_of(DeviceType::tablet), 1u);
+  EXPECT_EQ(t.num_ues_of(DeviceType::connected_car), 0u);
+  EXPECT_EQ(t.device(1), DeviceType::tablet);
+}
+
+TEST(Trace, RejectsUnregisteredUe) {
+  Trace t;
+  t.add_ue(DeviceType::phone);
+  EXPECT_THROW(t.add_event(0, 5, EventType::atch), std::out_of_range);
+}
+
+TEST(Trace, FinalizeSortsEvents) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(300, u, EventType::s1_conn_rel);
+  t.add_event(100, u, EventType::atch);
+  t.add_event(200, u, EventType::srv_req);
+  EXPECT_FALSE(t.finalized());
+  t.finalize();
+  ASSERT_TRUE(t.finalized());
+  ASSERT_EQ(t.num_events(), 3u);
+  EXPECT_EQ(t.events()[0].t_ms, 100);
+  EXPECT_EQ(t.events()[1].t_ms, 200);
+  EXPECT_EQ(t.events()[2].t_ms, 300);
+  EXPECT_EQ(t.begin_time(), 100);
+  EXPECT_EQ(t.end_time(), 300);
+}
+
+TEST(Trace, TimeRangeIsHalfOpen) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  for (TimeMs ms : {10, 20, 30, 40}) t.add_event(ms, u, EventType::tau);
+  t.finalize();
+  const auto [lo, hi] = t.time_range(20, 40);
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 3u);
+  const auto [all_lo, all_hi] = t.time_range(0, 1000);
+  EXPECT_EQ(all_lo, 0u);
+  EXPECT_EQ(all_hi, 4u);
+}
+
+TEST(Trace, MergeOffsetsUeIds) {
+  Trace a;
+  const UeId a0 = a.add_ue(DeviceType::phone);
+  a.add_event(1, a0, EventType::atch);
+
+  Trace b;
+  const UeId b0 = b.add_ue(DeviceType::tablet);
+  b.add_event(2, b0, EventType::srv_req);
+
+  const UeId offset = a.merge(b);
+  EXPECT_EQ(offset, 1u);
+  a.finalize();
+  EXPECT_EQ(a.num_ues(), 2u);
+  EXPECT_EQ(a.device(1), DeviceType::tablet);
+  EXPECT_EQ(a.events()[1].ue_id, 1u);
+}
+
+TEST(Trace, CountByDeviceEvent) {
+  Trace t;
+  const UeId p = t.add_ue(DeviceType::phone);
+  const UeId c = t.add_ue(DeviceType::connected_car);
+  t.add_event(1, p, EventType::srv_req);
+  t.add_event(2, p, EventType::srv_req);
+  t.add_event(3, c, EventType::ho);
+  t.finalize();
+  const auto counts = t.count_by_device_event();
+  EXPECT_EQ(counts[index_of(DeviceType::phone)][index_of(EventType::srv_req)],
+            2u);
+  EXPECT_EQ(
+      counts[index_of(DeviceType::connected_car)][index_of(EventType::ho)],
+      1u);
+  EXPECT_EQ(counts[index_of(DeviceType::tablet)][index_of(EventType::tau)],
+            0u);
+}
+
+TEST(Trace, GroupByUePreservesOrderAndOwnership) {
+  Trace t;
+  const UeId u0 = t.add_ue(DeviceType::phone);
+  const UeId u1 = t.add_ue(DeviceType::phone);
+  t.add_event(5, u1, EventType::srv_req);
+  t.add_event(1, u0, EventType::atch);
+  t.add_event(9, u0, EventType::srv_req);
+  t.finalize();
+  const auto groups = t.group_by_ue();
+  ASSERT_EQ(groups.size(), 2u);
+  ASSERT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[0][0].t_ms, 1);
+  EXPECT_EQ(groups[0][1].t_ms, 9);
+  ASSERT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[1][0].ue_id, u1);
+}
+
+TEST(Trace, GroupByUeDeviceFilter) {
+  Trace t;
+  const UeId p = t.add_ue(DeviceType::phone);
+  const UeId c = t.add_ue(DeviceType::connected_car);
+  const UeId p2 = t.add_ue(DeviceType::phone);
+  t.add_event(1, p, EventType::srv_req);
+  t.add_event(2, c, EventType::srv_req);
+  t.add_event(3, p2, EventType::tau);
+  t.finalize();
+  const auto phones = t.group_by_ue(DeviceType::phone);
+  ASSERT_EQ(phones.size(), 2u);
+  EXPECT_EQ(phones[0][0].ue_id, p);
+  EXPECT_EQ(phones[1][0].ue_id, p2);
+  const auto cars = t.group_by_ue(DeviceType::connected_car);
+  ASSERT_EQ(cars.size(), 1u);
+  EXPECT_EQ(cars[0][0].type, EventType::srv_req);
+}
+
+TEST(Trace, EventTimeLessIsTotalOrderTiebreak) {
+  const ControlEvent a{5, 1, EventType::atch};
+  const ControlEvent b{5, 2, EventType::atch};
+  const ControlEvent c{5, 1, EventType::tau};
+  EXPECT_TRUE(event_time_less(a, b));
+  EXPECT_TRUE(event_time_less(a, c));
+  EXPECT_FALSE(event_time_less(b, a));
+}
+
+}  // namespace
+}  // namespace cpg

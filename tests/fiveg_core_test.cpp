@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "mcn/fiveg_core.h"
+#include "model/fit.h"
+#include "model/nextg.h"
+#include "test_util.h"
+
+namespace cpg::mcn {
+namespace {
+
+TEST(FiveGCore, NfNames) {
+  EXPECT_EQ(to_string(FiveGNf::amf), "AMF");
+  EXPECT_EQ(to_string(FiveGNf::smf), "SMF");
+  EXPECT_EQ(to_string(FiveGNf::ausf), "AUSF");
+  EXPECT_EQ(to_string(FiveGNf::udm), "UDM");
+  EXPECT_EQ(to_string(FiveGNf::pcf), "PCF");
+}
+
+TEST(FiveGCore, ProceduresStartAtAmf) {
+  for (EventType e : {EventType::atch, EventType::dtch, EventType::srv_req,
+                      EventType::s1_conn_rel, EventType::ho}) {
+    const auto proc = fiveg_procedure(e);
+    ASSERT_FALSE(proc.empty()) << to_string(e);
+    EXPECT_EQ(proc.front().station,
+              static_cast<std::uint8_t>(index_of(FiveGNf::amf)));
+  }
+}
+
+TEST(FiveGCore, TauHasNoProcedure) {
+  EXPECT_TRUE(fiveg_procedure(EventType::tau).empty());
+}
+
+TEST(FiveGCore, RegistrationTouchesAuthenticationPath) {
+  bool ausf = false, udm = false, pcf = false;
+  for (const GenericStep& s : fiveg_procedure(EventType::atch)) {
+    ausf |= s.station == static_cast<std::uint8_t>(index_of(FiveGNf::ausf));
+    udm |= s.station == static_cast<std::uint8_t>(index_of(FiveGNf::udm));
+    pcf |= s.station == static_cast<std::uint8_t>(index_of(FiveGNf::pcf));
+  }
+  EXPECT_TRUE(ausf);
+  EXPECT_TRUE(udm);
+  EXPECT_TRUE(pcf);
+}
+
+TEST(FiveGCore, SingleServiceRequestLatency) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(0, u, EventType::srv_req);
+  t.finalize();
+  FiveGCoreConfig config;
+  const auto result = simulate_5g(t, config);
+  EXPECT_EQ(result.procedures, 1u);
+  EXPECT_EQ(result.messages, 3u);
+  // 90 + 60 + 40 service + 2 hops of 50.
+  EXPECT_NEAR(result.latency_us.max, 90 + 60 + 40 + 100, 1e-6);
+}
+
+TEST(FiveGCore, TauEventsAreIgnoredNotCrashed) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(0, u, EventType::srv_req);
+  t.add_event(10, u, EventType::tau);
+  t.finalize();
+  const auto result = simulate_5g(t, {});
+  EXPECT_EQ(result.procedures, 1u);
+  EXPECT_EQ(result.ignored_events, 1u);
+}
+
+TEST(FiveGCore, SaTrafficEndToEnd) {
+  model::FitOptions opts;
+  opts.clustering.theta_n = 30;
+  const auto lte =
+      model::fit_model(testutil::small_ground_truth(150, 24.0, 81), opts);
+  const auto sa = model::derive_5g(lte, model::sa_defaults());
+  gen::GenerationRequest req;
+  req.ue_counts = {200, 80, 40};
+  req.start_hour = 18;
+  req.seed = 4;
+  const Trace t = gen::generate_trace(sa, req);
+  ASSERT_FALSE(t.empty());
+  const auto result = simulate_5g(t, {});
+  EXPECT_EQ(result.procedures, t.num_events());
+  EXPECT_EQ(result.ignored_events, 0u);
+  // AMF is the busiest NF (it fronts every procedure).
+  const auto& amf = result.nf[index_of(FiveGNf::amf)];
+  for (FiveGNf nf : {FiveGNf::smf, FiveGNf::ausf, FiveGNf::udm,
+                     FiveGNf::pcf}) {
+    EXPECT_GE(amf.busy_us, result.nf[index_of(nf)].busy_us)
+        << to_string(nf);
+  }
+}
+
+TEST(QueueingEngine, RejectsBadStationCount) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(0, u, EventType::srv_req);
+  t.finalize();
+  QueueingConfig qc;
+  qc.num_stations = 0;
+  EXPECT_THROW(run_queueing(t, fiveg_procedure, qc), std::invalid_argument);
+  qc.num_stations = k_max_stations + 1;
+  EXPECT_THROW(run_queueing(t, fiveg_procedure, qc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpg::mcn

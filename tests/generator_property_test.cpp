@@ -1,0 +1,109 @@
+// Parameterized property sweep over the generator: for every (method,
+// population scale, seed) combination, the synthesized trace must satisfy
+// the design goals of paper §3.2 — owner labeling, time-window containment,
+// canonical ordering, and (for two-level methods) 3GPP conformance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg::gen {
+namespace {
+
+using Param = std::tuple<model::Method, std::size_t /*ues*/,
+                         std::uint64_t /*seed*/>;
+
+class GeneratorProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static const model::ModelSet& model_for(model::Method m) {
+    static std::array<model::ModelSet, 4> sets = [] {
+      const Trace fit_trace = testutil::small_ground_truth(200, 48.0, 91);
+      std::array<model::ModelSet, 4> out;
+      for (int i = 0; i < 4; ++i) {
+        model::FitOptions opts;
+        opts.method = static_cast<model::Method>(i);
+        opts.clustering.theta_n = 40;
+        out[i] = model::fit_model(fit_trace, opts);
+      }
+      return out;
+    }();
+    return sets[static_cast<int>(m)];
+  }
+
+  static Trace synthesize(const Param& param) {
+    const auto& [method, ues, seed] = param;
+    GenerationRequest req;
+    req.ue_counts = {ues * 6 / 10, ues * 25 / 100, ues * 15 / 100};
+    req.start_hour = 18;
+    req.duration_hours = 1.0;
+    req.seed = seed;
+    req.num_threads = 2;
+    return generate_trace(model_for(method), req);
+  }
+};
+
+TEST_P(GeneratorProperties, EventsStayInWindowAndCanonicallyOrdered) {
+  const Trace t = synthesize(GetParam());
+  ASSERT_FALSE(t.empty());
+  TimeMs prev = -1;
+  for (const ControlEvent& e : t.events()) {
+    EXPECT_GE(e.t_ms, 18 * k_ms_per_hour);
+    EXPECT_LT(e.t_ms, 19 * k_ms_per_hour);
+    EXPECT_GE(e.t_ms, prev);
+    prev = e.t_ms;
+  }
+}
+
+TEST_P(GeneratorProperties, EveryEventHasARegisteredOwner) {
+  const Trace t = synthesize(GetParam());
+  for (const ControlEvent& e : t.events()) {
+    ASSERT_LT(e.ue_id, t.num_ues());
+  }
+}
+
+TEST_P(GeneratorProperties, PerUeEventStreamsAreStrictlyOrdered) {
+  const Trace t = synthesize(GetParam());
+  for (const auto& ue_events : t.group_by_ue()) {
+    for (std::size_t i = 1; i < ue_events.size(); ++i) {
+      EXPECT_GT(ue_events[i].t_ms, ue_events[i - 1].t_ms);
+    }
+  }
+}
+
+TEST_P(GeneratorProperties, TwoLevelMethodsConform) {
+  const auto method = std::get<0>(GetParam());
+  if (model::uses_overlay_ho_tau(method)) {
+    GTEST_SKIP() << "EMM-ECM overlay methods violate by design";
+  }
+  const Trace t = synthesize(GetParam());
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST_P(GeneratorProperties, DeterministicForFixedSeed) {
+  const Trace a = synthesize(GetParam());
+  const Trace b = synthesize(GetParam());
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (std::size_t i = 0; i < a.num_events(); ++i) {
+    ASSERT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperties,
+    ::testing::Combine(
+        ::testing::Values(model::Method::base, model::Method::b1,
+                          model::Method::b2, model::Method::ours),
+        ::testing::Values(std::size_t{60}, std::size_t{400}),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{9177})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "ues_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace cpg::gen

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg::gen {
+namespace {
+
+const model::ModelSet& ours_model() {
+  static const model::ModelSet set = [] {
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 30;
+    return model::fit_model(testutil::small_ground_truth(200, 48.0, 11),
+                            opts);
+  }();
+  return set;
+}
+
+GenerationRequest small_request() {
+  GenerationRequest req;
+  req.ue_counts = {120, 50, 30};
+  req.start_hour = 10;
+  req.duration_hours = 1.0;
+  req.seed = 99;
+  req.num_threads = 2;
+  return req;
+}
+
+TEST(Generator, ProducesFinalizedTraceInWindow) {
+  const Trace t = generate_trace(ours_model(), small_request());
+  ASSERT_TRUE(t.finalized());
+  EXPECT_EQ(t.num_ues(), 200u);
+  ASSERT_FALSE(t.empty());
+  EXPECT_GE(t.begin_time(), 10 * k_ms_per_hour);
+  EXPECT_LT(t.end_time(), 11 * k_ms_per_hour);
+}
+
+TEST(Generator, EveryEventHasValidOwner) {
+  // Design goal 2 (§3.2): event-owner labeling.
+  const Trace t = generate_trace(ours_model(), small_request());
+  for (const ControlEvent& e : t.events()) {
+    ASSERT_LT(e.ue_id, t.num_ues());
+  }
+  // Most UEs are active in a busy hour (the first-event model always emits
+  // unless the window truncates it).
+  std::vector<bool> active(t.num_ues(), false);
+  for (const ControlEvent& e : t.events()) active[e.ue_id] = true;
+  std::size_t count = 0;
+  for (bool a : active) count += a ? 1 : 0;
+  EXPECT_GT(count, t.num_ues() / 2);
+}
+
+TEST(Generator, OursTraceConformsToTwoLevelMachine) {
+  const Trace t = generate_trace(ours_model(), small_request());
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(Generator, DeterministicAcrossThreadCounts) {
+  GenerationRequest req = small_request();
+  req.num_threads = 1;
+  const Trace a = generate_trace(ours_model(), req);
+  req.num_threads = 4;
+  const Trace b = generate_trace(ours_model(), req);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (std::size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GenerationRequest req = small_request();
+  const Trace a = generate_trace(ours_model(), req);
+  req.seed = 100;
+  const Trace b = generate_trace(ours_model(), req);
+  EXPECT_NE(a.num_events(), b.num_events());
+}
+
+TEST(Generator, ScalabilityTenfoldPopulation) {
+  // Design goal 3 (§3.2): arbitrary UE population with proportional volume.
+  GenerationRequest req = small_request();
+  const Trace small = generate_trace(ours_model(), req);
+  const Trace big = generate_trace(ours_model(), scaled(req, 10.0));
+  EXPECT_EQ(big.num_ues(), 10 * small.num_ues());
+  const double ratio = static_cast<double>(big.num_events()) /
+                       static_cast<double>(small.num_events());
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+TEST(Generator, ScaledHelperRounds) {
+  GenerationRequest req;
+  req.ue_counts = {10, 5, 1};
+  const auto big = scaled(req, 2.5);
+  EXPECT_EQ(big.ue_counts[0], 25u);
+  EXPECT_EQ(big.ue_counts[1], 13u);  // llround(2.5)
+  EXPECT_EQ(big.ue_counts[2], 3u);
+}
+
+TEST(Generator, EmptyRequestYieldsEmptyTrace) {
+  GenerationRequest req;
+  const Trace t = generate_trace(ours_model(), req);
+  EXPECT_EQ(t.num_ues(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Generator, MultiHourGenerationCrossesHours) {
+  GenerationRequest req = small_request();
+  req.duration_hours = 3.0;
+  const Trace t = generate_trace(ours_model(), req);
+  ASSERT_FALSE(t.empty());
+  EXPECT_GE(t.end_time(), 12 * k_ms_per_hour);
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(Generator, BaseMethodEmitsHoInIdle) {
+  // The EMM-ECM baseline cannot tie HO to CONNECTED: replay must observe
+  // HO-in-IDLE violations (this is what Tables 4/11 show for Base).
+  model::FitOptions opts;
+  opts.method = model::Method::base;
+  const auto base_set =
+      model::fit_model(testutil::small_ground_truth(200, 48.0, 11), opts);
+  const Trace t = generate_trace(base_set, small_request());
+  const auto bd = sm::compute_state_breakdown(sm::lte_two_level_spec(), t);
+  std::uint64_t ho_idle = 0;
+  for (DeviceType d : k_all_device_types) {
+    ho_idle += bd.counts[index_of(d)][5];
+  }
+  EXPECT_GT(ho_idle, 0u);
+}
+
+TEST(Generator, RespectActivityProbabilityReducesActiveUes) {
+  GenerationRequest req = small_request();
+  req.ue_options.respect_activity_probability = false;
+  const Trace always = generate_trace(ours_model(), req);
+  req.ue_options.respect_activity_probability = true;
+  const Trace gated = generate_trace(ours_model(), req);
+  auto active_count = [](const Trace& t) {
+    std::vector<bool> active(t.num_ues(), false);
+    for (const ControlEvent& e : t.events()) active[e.ue_id] = true;
+    std::size_t n = 0;
+    for (bool a : active) n += a ? 1 : 0;
+    return n;
+  };
+  EXPECT_LT(active_count(gated), active_count(always));
+}
+
+TEST(Generator, MaxEventsCapIsHonored) {
+  GenerationRequest req = small_request();
+  req.ue_counts = {5, 0, 0};
+  req.ue_options.max_events = 3;
+  const Trace t = generate_trace(ours_model(), req);
+  EXPECT_LE(t.num_events(), 5u * 3u);
+}
+
+TEST(Generator, MaxEventsCapIsPerUeNotPerWorker) {
+  // Regression: the cap used to be checked against the worker's shared
+  // output buffer, silently truncating every UE scheduled after the buffer
+  // crossed the cap — which muted whole device classes in long generations.
+  GenerationRequest req = small_request();
+  req.ue_counts = {160, 0, 40};  // tablets are registered last
+  req.num_threads = 1;           // single shared buffer = worst case
+  req.ue_options.max_events = 4;
+  const Trace t = generate_trace(ours_model(), req);
+  std::vector<std::size_t> per_ue(t.num_ues(), 0);
+  for (const ControlEvent& e : t.events()) ++per_ue[e.ue_id];
+  std::size_t active_tablets = 0;
+  for (std::size_t u = 0; u < t.num_ues(); ++u) {
+    EXPECT_LE(per_ue[u], 4u);
+    if (t.device(static_cast<UeId>(u)) == DeviceType::tablet &&
+        per_ue[u] > 0) {
+      ++active_tablets;
+    }
+  }
+  // The late-registered device class still produces traffic.
+  EXPECT_GT(active_tablets, 5u);
+}
+
+}  // namespace
+}  // namespace cpg::gen

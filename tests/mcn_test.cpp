@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "mcn/simulator.h"
+#include "test_util.h"
+
+namespace cpg::mcn {
+namespace {
+
+Trace one_event_trace(EventType e, TimeMs t = 1000) {
+  Trace trace;
+  const UeId u = trace.add_ue(DeviceType::phone);
+  trace.add_event(t, u, e);
+  trace.finalize();
+  return trace;
+}
+
+double nominal_latency_us(EventType e, const SimulationConfig& config) {
+  double total = 0.0;
+  const auto proc = procedure_for(e);
+  for (const ProcedureStep& step : proc) total += step.service_us;
+  total += config.hop_delay_us * static_cast<double>(proc.size() - 1);
+  return total;
+}
+
+TEST(Procedures, EveryEventHasAProcedureStartingAtMme) {
+  for (EventType e : k_all_event_types) {
+    const auto proc = procedure_for(e);
+    ASSERT_FALSE(proc.empty()) << to_string(e);
+    EXPECT_EQ(proc.front().nf, NetworkFunction::mme) << to_string(e);
+    for (const ProcedureStep& s : proc) EXPECT_GT(s.service_us, 0.0);
+  }
+}
+
+TEST(Procedures, AttachIsTheHeaviest) {
+  auto total = [](EventType e) {
+    double t = 0.0;
+    for (const ProcedureStep& s : procedure_for(e)) t += s.service_us;
+    return t;
+  };
+  for (EventType e : {EventType::srv_req, EventType::s1_conn_rel,
+                      EventType::ho, EventType::tau, EventType::dtch}) {
+    EXPECT_GT(total(EventType::atch), total(e)) << to_string(e);
+  }
+}
+
+TEST(Procedures, DemandPerNfMatchesSteps) {
+  const auto demand = demand_per_nf(EventType::srv_req);
+  // SRV_REQ: MME 90 + 40, SGW 60.
+  EXPECT_DOUBLE_EQ(demand[index_of(NetworkFunction::mme)], 130.0);
+  EXPECT_DOUBLE_EQ(demand[index_of(NetworkFunction::sgw)], 60.0);
+  EXPECT_DOUBLE_EQ(demand[index_of(NetworkFunction::hss)], 0.0);
+}
+
+TEST(Procedures, NfNames) {
+  EXPECT_EQ(to_string(NetworkFunction::mme), "MME");
+  EXPECT_EQ(to_string(NetworkFunction::pcrf), "PCRF");
+}
+
+TEST(Simulator, EmptyTrace) {
+  Trace empty;
+  const auto result = simulate(empty, {});
+  EXPECT_EQ(result.procedures, 0u);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(Simulator, SingleProcedureLatencyIsExact) {
+  SimulationConfig config;
+  for (EventType e : k_all_event_types) {
+    const auto result = simulate(one_event_trace(e), config);
+    EXPECT_EQ(result.procedures, 1u) << to_string(e);
+    EXPECT_EQ(result.messages, procedure_for(e).size()) << to_string(e);
+    EXPECT_NEAR(result.latency_us.p50, nominal_latency_us(e, config), 1e-6)
+        << to_string(e);
+    EXPECT_NEAR(result.latency_by_event[index_of(e)].max,
+                nominal_latency_us(e, config), 1e-6);
+  }
+}
+
+TEST(Simulator, ContentionCreatesQueueing) {
+  // Two simultaneous service requests at a 1-worker MME: the second waits
+  // for the first's 90 us MME step.
+  Trace trace;
+  const UeId a = trace.add_ue(DeviceType::phone);
+  const UeId b = trace.add_ue(DeviceType::phone);
+  trace.add_event(1000, a, EventType::srv_req);
+  trace.add_event(1000, b, EventType::srv_req);
+  trace.finalize();
+  const auto result = simulate(trace, {});
+  const auto& mme = result.nf[index_of(NetworkFunction::mme)];
+  EXPECT_GT(mme.max_wait_us, 0.0);
+  EXPECT_GE(mme.max_queue_depth, 1u);
+  // No negative waits, ever.
+  EXPECT_GE(mme.mean_wait_us, 0.0);
+}
+
+TEST(Simulator, MoreWorkersRemoveQueueing) {
+  Trace trace;
+  for (int i = 0; i < 8; ++i) {
+    const UeId u = trace.add_ue(DeviceType::phone);
+    trace.add_event(1000, u, EventType::s1_conn_rel);
+  }
+  trace.finalize();
+  SimulationConfig wide;
+  wide.nfs[index_of(NetworkFunction::mme)].workers = 8;
+  wide.nfs[index_of(NetworkFunction::sgw)].workers = 8;
+  const auto result = simulate(trace, wide);
+  EXPECT_DOUBLE_EQ(result.nf[index_of(NetworkFunction::mme)].max_wait_us,
+                   0.0);
+}
+
+TEST(Simulator, ServiceScaleScalesBusyTime) {
+  const Trace trace = one_event_trace(EventType::tau);
+  SimulationConfig slow;
+  for (auto& nf : slow.nfs) nf.service_scale = 2.0;
+  const auto fast_result = simulate(trace, {});
+  const auto slow_result = simulate(trace, slow);
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    EXPECT_DOUBLE_EQ(slow_result.nf[n].busy_us,
+                     2.0 * fast_result.nf[n].busy_us);
+  }
+}
+
+TEST(Simulator, UtilizationBoundedByOne) {
+  const Trace trace = testutil::small_ground_truth(80, 3.0, 55);
+  SimulationConfig config;
+  for (auto& nf : config.nfs) nf.service_scale = 500.0;  // heavy overload
+  const auto result = simulate(trace, config);
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    EXPECT_LE(result.nf[n].utilization, 1.0 + 1e-9);
+    EXPECT_GE(result.nf[n].utilization, 0.0);
+    EXPECT_GE(result.nf[n].mean_wait_us, 0.0);
+  }
+  EXPECT_EQ(result.procedures, trace.num_events());
+}
+
+TEST(Simulator, MessageConservation) {
+  const Trace trace = testutil::small_ground_truth(60, 2.0, 56);
+  const auto result = simulate(trace, {});
+  std::uint64_t expected = 0;
+  for (const ControlEvent& e : trace.events()) {
+    expected += procedure_for(e.type).size();
+  }
+  EXPECT_EQ(result.messages, expected);
+  EXPECT_EQ(result.procedures, trace.num_events());
+}
+
+TEST(Simulator, OfferedLoadMatchesHandDerivation) {
+  // 10 TAU events over 10 s: MME demand 130 us + HSS 60 + SGW 40 per event.
+  Trace trace;
+  const UeId u = trace.add_ue(DeviceType::phone);
+  for (int i = 0; i < 10; ++i) {
+    trace.add_event(i * 1000, u, EventType::tau);
+  }
+  trace.finalize();
+  const auto load = offered_load(trace, {});
+  const double span_us = (9'000 + 1) * 1000.0;
+  EXPECT_NEAR(load[index_of(NetworkFunction::mme)], 10 * 130.0 / span_us,
+              1e-12);
+  EXPECT_NEAR(load[index_of(NetworkFunction::hss)], 10 * 60.0 / span_us,
+              1e-12);
+}
+
+TEST(Simulator, DeterministicResults) {
+  const Trace trace = testutil::small_ground_truth(60, 2.0, 57);
+  const auto a = simulate(trace, {});
+  const auto b = simulate(trace, {});
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.latency_us.p99, b.latency_us.p99);
+  EXPECT_DOUBLE_EQ(a.nf[0].busy_us, b.nf[0].busy_us);
+}
+
+}  // namespace
+}  // namespace cpg::mcn

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "model/fit.h"
+#include "test_util.h"
+
+namespace cpg::model {
+namespace {
+
+const Trace& fit_trace() {
+  static const Trace trace = testutil::small_ground_truth(200, 48.0, 11);
+  return trace;
+}
+
+ModelSet fit_with(Method m) {
+  FitOptions opts;
+  opts.method = m;
+  opts.clustering.theta_n = 30;  // scaled-down population
+  return fit_model(fit_trace(), opts);
+}
+
+TEST(MethodProperties, MatchTable3) {
+  EXPECT_FALSE(uses_clustering(Method::base));
+  EXPECT_TRUE(uses_clustering(Method::b1));
+  EXPECT_TRUE(uses_clustering(Method::b2));
+  EXPECT_TRUE(uses_clustering(Method::ours));
+
+  EXPECT_FALSE(uses_empirical_sojourns(Method::base));
+  EXPECT_FALSE(uses_empirical_sojourns(Method::b2));
+  EXPECT_TRUE(uses_empirical_sojourns(Method::ours));
+
+  EXPECT_TRUE(uses_overlay_ho_tau(Method::base));
+  EXPECT_TRUE(uses_overlay_ho_tau(Method::b1));
+  EXPECT_FALSE(uses_overlay_ho_tau(Method::b2));
+  EXPECT_FALSE(uses_overlay_ho_tau(Method::ours));
+
+  EXPECT_FALSE(spec_for(Method::base).has_sub_machine());
+  EXPECT_FALSE(spec_for(Method::b1).has_sub_machine());
+  EXPECT_TRUE(spec_for(Method::b2).has_sub_machine());
+  EXPECT_TRUE(spec_for(Method::ours).has_sub_machine());
+}
+
+TEST(FitModel, RequiresFinalizedTrace) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(10, u, EventType::srv_req);
+  t.add_event(5, u, EventType::atch);  // out of order -> unsorted
+  EXPECT_THROW(fit_model(t, {}), std::logic_error);
+}
+
+TEST(FitModel, ProbabilitiesArePartitionOfUnity) {
+  const ModelSet set = fit_with(Method::ours);
+  for (DeviceType d : k_all_device_types) {
+    const DeviceModel& dev = set.device(d);
+    for (int h = 0; h < 24; ++h) {
+      for (const HourClusterModel& m : dev.by_hour[h]) {
+        for (const StateLaw& law : m.top) {
+          if (!law.has_data()) continue;
+          double sum = 0.0;
+          for (const TransitionLaw& t : law.out) {
+            EXPECT_GT(t.probability, 0.0);
+            EXPECT_LE(t.probability, 1.0 + 1e-12);
+            ASSERT_NE(t.sojourn, nullptr);
+            sum += t.probability;
+          }
+          EXPECT_NEAR(sum, 1.0, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(FitModel, OursUsesEmpiricalSojourns) {
+  const ModelSet set = fit_with(Method::ours);
+  const DeviceModel& dev = set.device(DeviceType::phone);
+  const StateLaw& law = dev.pooled_all.top[index_of(TopState::connected)];
+  ASSERT_TRUE(law.has_data());
+  for (const TransitionLaw& t : law.out) {
+    EXPECT_EQ(t.sojourn->name(), "empirical");
+  }
+}
+
+TEST(FitModel, B2UsesExponentialSojourns) {
+  const ModelSet set = fit_with(Method::b2);
+  const DeviceModel& dev = set.device(DeviceType::phone);
+  const StateLaw& law = dev.pooled_all.top[index_of(TopState::connected)];
+  ASSERT_TRUE(law.has_data());
+  for (const TransitionLaw& t : law.out) {
+    EXPECT_EQ(t.sojourn->name(), "exponential");
+  }
+}
+
+TEST(FitModel, OverlayLawsOnlyForEmmEcmMethods) {
+  const ModelSet base = fit_with(Method::base);
+  const ModelSet ours = fit_with(Method::ours);
+  const auto& base_overlay =
+      base.device(DeviceType::phone).pooled_all.overlay;
+  EXPECT_NE(base_overlay[index_of(EventType::ho)], nullptr);
+  EXPECT_NE(base_overlay[index_of(EventType::tau)], nullptr);
+  EXPECT_EQ(base_overlay[index_of(EventType::srv_req)], nullptr);
+  const auto& ours_overlay =
+      ours.device(DeviceType::phone).pooled_all.overlay;
+  EXPECT_EQ(ours_overlay[index_of(EventType::ho)], nullptr);
+}
+
+TEST(FitModel, BaseHasSingleClusterPerHour) {
+  const ModelSet set = fit_with(Method::base);
+  for (DeviceType d : k_all_device_types) {
+    const DeviceModel& dev = set.device(d);
+    if (!dev.has_ues()) continue;
+    for (int h = 0; h < 24; ++h) {
+      EXPECT_EQ(dev.num_clusters(h), 1u);
+    }
+    for (const auto& traj : dev.ue_traj) {
+      for (auto c : traj) EXPECT_EQ(c, 0u);
+    }
+  }
+}
+
+TEST(FitModel, ClusteringProducesMultipleClusters) {
+  const ModelSet set = fit_with(Method::ours);
+  const DeviceModel& dev = set.device(DeviceType::phone);
+  std::size_t max_clusters = 0;
+  for (int h = 0; h < 24; ++h) {
+    max_clusters = std::max(max_clusters, dev.num_clusters(h));
+  }
+  EXPECT_GT(max_clusters, 1u);
+  // Trajectories point at valid clusters.
+  for (const auto& traj : dev.ue_traj) {
+    for (int h = 0; h < 24; ++h) {
+      EXPECT_LT(traj[h], dev.num_clusters(h));
+    }
+  }
+}
+
+TEST(FitModel, SubStateLawsExistForTwoLevelMethods) {
+  const ModelSet set = fit_with(Method::ours);
+  const DeviceModel& dev = set.device(DeviceType::connected_car);
+  // Cars handover a lot: the CONNECTED sub-machine must be populated.
+  EXPECT_TRUE(dev.pooled_all.sub[index_of(SubState::srv_req_s)].has_data());
+  EXPECT_TRUE(dev.pooled_all.sub[index_of(SubState::ho_s)].has_data());
+  EXPECT_TRUE(dev.pooled_all.sub[index_of(SubState::s1_rel_s_1)].has_data());
+  // TAU_S_IDLE has exactly one outgoing edge -> probability 1.
+  const StateLaw& tau_idle =
+      dev.pooled_all.sub[index_of(SubState::tau_s_idle)];
+  ASSERT_TRUE(tau_idle.has_data());
+  ASSERT_EQ(tau_idle.out.size(), 1u);
+  EXPECT_DOUBLE_EQ(tau_idle.out[0].probability, 1.0);
+}
+
+TEST(FitModel, FirstEventModelIsSane) {
+  const ModelSet set = fit_with(Method::ours);
+  const DeviceModel& dev = set.device(DeviceType::phone);
+  const FirstEventLaw& fe = dev.pooled_all.first_event;
+  ASSERT_TRUE(fe.has_data());
+  double sum = 0.0;
+  for (double p : fe.type_prob) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(fe.p_active, 0.0);
+  EXPECT_LE(fe.p_active, 1.0);
+  // Offsets live within an hour.
+  EXPECT_GE(fe.offset_s->min(), 0.0);
+  EXPECT_LT(fe.offset_s->max(), 3600.0);
+}
+
+TEST(FitModel, ResolutionFallsBackToPools) {
+  const ModelSet set = fit_with(Method::ours);
+  const DeviceModel& dev = set.device(DeviceType::phone);
+  // A bogus cluster id falls back to hour/global pools rather than failing.
+  const StateLaw* law =
+      resolve_top_law(dev, 3, 999'999u, TopState::connected);
+  ASSERT_NE(law, nullptr);
+  EXPECT_TRUE(law->has_data());
+  EXPECT_NE(resolve_first_event(dev, 3, 999'999u), nullptr);
+}
+
+TEST(FitModel, NumDaysFitted) {
+  const ModelSet set = fit_with(Method::ours);
+  EXPECT_EQ(set.num_days_fitted, 2);
+}
+
+TEST(SampleTransition, FollowsProbabilities) {
+  StateLaw law;
+  auto dist = std::make_shared<stats::Exponential>(1.0);
+  law.out.push_back({0, 0.25, dist});
+  law.out.push_back({1, 0.75, dist});
+  Rng rng(33);
+  int first = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto st = sample_transition(law, rng);
+    ASSERT_GE(st.edge, 0);
+    if (st.edge == 0) ++first;
+    EXPECT_GE(st.sojourn_s, 0.0);
+  }
+  EXPECT_NEAR(first / double(n), 0.25, 0.02);
+}
+
+TEST(SampleTransition, SubUnityMassMeansNoTransition) {
+  StateLaw law;
+  auto dist = std::make_shared<stats::Exponential>(1.0);
+  law.out.push_back({0, 0.3, dist});  // 70% of the mass removed (5G SA)
+  Rng rng(34);
+  int none = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_transition(law, rng).edge < 0) ++none;
+  }
+  EXPECT_NEAR(none / double(n), 0.7, 0.02);
+}
+
+TEST(SampleTransition, EmptyLawYieldsNoEdge) {
+  StateLaw law;
+  Rng rng(35);
+  EXPECT_EQ(sample_transition(law, rng).edge, -1);
+}
+
+}  // namespace
+}  // namespace cpg::model

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "generator/traffic_generator.h"
+#include "io/model_io.h"
+#include "model/fit.h"
+#include "model/nextg.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg::io {
+namespace {
+
+const model::ModelSet& fitted() {
+  static const model::ModelSet set = [] {
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 30;
+    return model::fit_model(testutil::small_ground_truth(150, 24.0, 71),
+                            opts);
+  }();
+  return set;
+}
+
+model::ModelSet round_trip(const model::ModelSet& set) {
+  std::stringstream buffer;
+  save_model(set, buffer);
+  return load_model(buffer);
+}
+
+TEST(ModelIo, PreservesStructure) {
+  const auto loaded = round_trip(fitted());
+  EXPECT_EQ(loaded.method, fitted().method);
+  EXPECT_EQ(loaded.spec, fitted().spec);
+  EXPECT_EQ(loaded.num_days_fitted, fitted().num_days_fitted);
+  for (DeviceType d : k_all_device_types) {
+    const auto& a = fitted().device(d);
+    const auto& b = loaded.device(d);
+    ASSERT_EQ(a.ue_traj.size(), b.ue_traj.size()) << to_string(d);
+    for (std::size_t u = 0; u < a.ue_traj.size(); ++u) {
+      EXPECT_EQ(a.ue_traj[u], b.ue_traj[u]);
+    }
+    for (int h = 0; h < 24; ++h) {
+      ASSERT_EQ(a.by_hour[h].size(), b.by_hour[h].size());
+    }
+  }
+}
+
+TEST(ModelIo, PreservesLaws) {
+  const auto loaded = round_trip(fitted());
+  const auto& a =
+      fitted().device(DeviceType::phone).pooled_all.top[index_of(
+          TopState::connected)];
+  const auto& b = loaded.device(DeviceType::phone)
+                      .pooled_all.top[index_of(TopState::connected)];
+  ASSERT_EQ(a.out.size(), b.out.size());
+  for (std::size_t i = 0; i < a.out.size(); ++i) {
+    EXPECT_EQ(a.out[i].edge, b.out[i].edge);
+    EXPECT_DOUBLE_EQ(a.out[i].probability, b.out[i].probability);
+    // Quantile-grid round trip: tight in the bulk, looser in the heavy
+    // tail where 256 knots interpolate across wide gaps.
+    for (double p : {0.1, 0.5}) {
+      EXPECT_NEAR(b.out[i].sojourn->quantile(p),
+                  a.out[i].sojourn->quantile(p),
+                  0.10 * std::abs(a.out[i].sojourn->quantile(p)) + 0.05);
+    }
+    EXPECT_NEAR(b.out[i].sojourn->quantile(0.9),
+                a.out[i].sojourn->quantile(0.9),
+                0.25 * std::abs(a.out[i].sojourn->quantile(0.9)) + 0.05);
+  }
+}
+
+TEST(ModelIo, PreservesFirstEventLaw) {
+  const auto loaded = round_trip(fitted());
+  const auto& a = fitted().device(DeviceType::phone).pooled_all.first_event;
+  const auto& b = loaded.device(DeviceType::phone).pooled_all.first_event;
+  ASSERT_TRUE(a.has_data());
+  ASSERT_TRUE(b.has_data());
+  EXPECT_DOUBLE_EQ(a.p_active, b.p_active);
+  for (std::size_t e = 0; e < k_num_event_types; ++e) {
+    EXPECT_DOUBLE_EQ(a.type_prob[e], b.type_prob[e]);
+  }
+}
+
+TEST(ModelIo, LoadedModelGeneratesConformingTraffic) {
+  const auto loaded = round_trip(fitted());
+  gen::GenerationRequest req;
+  req.ue_counts = {100, 40, 20};
+  req.start_hour = 12;
+  req.seed = 5;
+  const Trace t = gen::generate_trace(loaded, req);
+  ASSERT_FALSE(t.empty());
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(ModelIo, LoadedModelStatisticallyEquivalent) {
+  const auto loaded = round_trip(fitted());
+  gen::GenerationRequest req;
+  req.ue_counts = {300, 100, 50};
+  req.start_hour = 12;
+  req.seed = 5;
+  const Trace a = gen::generate_trace(fitted(), req);
+  const Trace b = gen::generate_trace(loaded, req);
+  // Not bit-identical (quantile grids), but volumes agree closely.
+  const double ratio = static_cast<double>(a.num_events()) /
+                       static_cast<double>(std::max<std::size_t>(
+                           1, b.num_events()));
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(ModelIo, FiveGModelsRoundTrip) {
+  const auto sa = model::derive_5g(fitted(), model::sa_defaults());
+  const auto loaded = round_trip(sa);
+  EXPECT_EQ(loaded.spec, &sm::fiveg_sa_spec());
+  gen::GenerationRequest req;
+  req.ue_counts = {100, 40, 20};
+  req.start_hour = 12;
+  req.seed = 6;
+  const Trace t = gen::generate_trace(loaded, req);
+  for (const ControlEvent& e : t.events()) {
+    ASSERT_NE(e.type, EventType::tau);
+  }
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::istringstream bad("not-a-model 1\n");
+  EXPECT_THROW(load_model(bad), std::runtime_error);
+  std::istringstream truncated("cptraffgen-model 1\nmethod 3\n");
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+  EXPECT_THROW(load_model(std::string("/nonexistent/path/model")),
+               std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cpg_model_test.model";
+  save_model(fitted(), path);
+  const auto loaded = load_model(path);
+  EXPECT_EQ(loaded.method, fitted().method);
+}
+
+}  // namespace
+}  // namespace cpg::io

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "model/nextg.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg::model {
+namespace {
+
+const ModelSet& lte_model() {
+  static const ModelSet set = [] {
+    FitOptions opts;
+    opts.method = Method::ours;
+    opts.clustering.theta_n = 30;
+    return fit_model(testutil::small_ground_truth(200, 48.0, 11), opts);
+  }();
+  return set;
+}
+
+Trace generate(const ModelSet& set, std::uint64_t seed = 5) {
+  gen::GenerationRequest req;
+  req.ue_counts = {150, 60, 40};
+  req.start_hour = 9;
+  req.duration_hours = 4.0;
+  req.seed = seed;
+  req.num_threads = 2;
+  return gen::generate_trace(set, req);
+}
+
+double ho_share(const Trace& t, DeviceType d) {
+  const auto counts = t.count_by_device_event();
+  std::uint64_t total = 0;
+  for (auto c : counts[index_of(d)]) total += c;
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[index_of(d)][index_of(EventType::ho)]) /
+         static_cast<double>(total);
+}
+
+TEST(NextG, Defaults) {
+  EXPECT_FALSE(nsa_defaults().standalone);
+  EXPECT_DOUBLE_EQ(nsa_defaults().ho_frequency_scale, 4.6);
+  EXPECT_TRUE(sa_defaults().standalone);
+  EXPECT_DOUBLE_EQ(sa_defaults().ho_frequency_scale, 3.0);
+}
+
+TEST(NextG, NsaKeepsLteMachine) {
+  const ModelSet nsa = derive_5g(lte_model(), nsa_defaults());
+  EXPECT_EQ(nsa.spec, &sm::lte_two_level_spec());
+}
+
+TEST(NextG, SaUsesAdjustedMachine) {
+  const ModelSet sa = derive_5g(lte_model(), sa_defaults());
+  EXPECT_EQ(sa.spec, &sm::fiveg_sa_spec());
+}
+
+TEST(NextG, SaModelHasNoTauLaws) {
+  const ModelSet sa = derive_5g(lte_model(), sa_defaults());
+  for (DeviceType d : k_all_device_types) {
+    const DeviceModel& dev = sa.device(d);
+    // Sub-state laws referencing TAU edges must be gone.
+    for (const StateLaw& law : dev.pooled_all.sub) {
+      for (const TransitionLaw& t : law.out) {
+        const auto& edge = sa.spec->sub_transitions()[t.edge];
+        EXPECT_NE(edge.event, EventType::tau);
+      }
+    }
+    // First-event law no longer proposes TAU.
+    if (dev.pooled_all.first_event.has_data()) {
+      EXPECT_DOUBLE_EQ(
+          dev.pooled_all.first_event.type_prob[index_of(EventType::tau)],
+          0.0);
+    }
+  }
+}
+
+TEST(NextG, SaTraceContainsNoTau) {
+  const ModelSet sa = derive_5g(lte_model(), sa_defaults());
+  const Trace t = generate(sa);
+  for (const ControlEvent& e : t.events()) {
+    ASSERT_NE(e.type, EventType::tau);
+  }
+}
+
+TEST(NextG, HoShareIncreasesLteToNsaAndSa) {
+  // Table 7's headline trend: HO share rises sharply under 5G, and NSA has
+  // more HO than SA.
+  const Trace lte = generate(lte_model());
+  const Trace nsa = generate(derive_5g(lte_model(), nsa_defaults()));
+  const Trace sa = generate(derive_5g(lte_model(), sa_defaults()));
+  for (DeviceType d : {DeviceType::phone, DeviceType::connected_car}) {
+    const double h_lte = ho_share(lte, d);
+    const double h_nsa = ho_share(nsa, d);
+    const double h_sa = ho_share(sa, d);
+    EXPECT_GT(h_nsa, 1.5 * h_lte) << to_string(d);
+    EXPECT_GT(h_sa, 1.2 * h_lte) << to_string(d);
+    EXPECT_GT(h_nsa, h_sa) << to_string(d);
+  }
+}
+
+TEST(NextG, NsaTraceStillConforms) {
+  const ModelSet nsa = derive_5g(lte_model(), nsa_defaults());
+  const Trace t = generate(nsa);
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(NextG, SaTraceConformsToSaMachine) {
+  const ModelSet sa = derive_5g(lte_model(), sa_defaults());
+  const Trace t = generate(sa);
+  EXPECT_EQ(sm::count_violations(sm::fiveg_sa_spec(), t), 0u);
+}
+
+TEST(NextG, UnitScaleIsIdentityOnEventMix) {
+  NextGOptions opts;
+  opts.standalone = false;
+  opts.ho_frequency_scale = 1.0;
+  const ModelSet same = derive_5g(lte_model(), opts);
+  const Trace a = generate(lte_model(), 17);
+  const Trace b = generate(same, 17);
+  EXPECT_EQ(a.num_events(), b.num_events());
+}
+
+}  // namespace
+}  // namespace cpg::model

@@ -1,0 +1,154 @@
+// End-to-end integration test of the paper's validation pipeline
+// (§8.1 at reduced scale): fit all four methods on a ground-truth trace,
+// synthesize, and verify that the paper's qualitative results hold —
+// "Ours" beats the baselines macroscopically and microscopically.
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "test_util.h"
+#include "validation/macro.h"
+#include "validation/micro.h"
+
+namespace cpg {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fit_trace_ = new Trace(testutil::small_ground_truth(400, 72.0, 41));
+    // A disjoint "real" trace: same population behaviour, different seed.
+    real_trace_ = new Trace(testutil::small_ground_truth(400, 72.0, 42));
+    hour_ = validation::busy_hour(*real_trace_);
+
+    for (model::Method m : {model::Method::base, model::Method::b1,
+                            model::Method::b2, model::Method::ours}) {
+      model::FitOptions opts;
+      opts.method = m;
+      opts.clustering.theta_n = 40;
+      models_[static_cast<int>(m)] =
+          new model::ModelSet(model::fit_model(*fit_trace_, opts));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete fit_trace_;
+    delete real_trace_;
+    for (auto*& m : models_) {
+      delete m;
+      m = nullptr;
+    }
+  }
+
+  static Trace synthesize(model::Method m, std::uint64_t seed = 77) {
+    gen::GenerationRequest req;
+    req.ue_counts = {252, 100, 48};  // match the ground-truth mix
+    req.start_hour = hour_;
+    req.duration_hours = 1.0;
+    req.seed = seed;
+    req.num_threads = 2;
+    return gen::generate_trace(*models_[static_cast<int>(m)], req);
+  }
+
+  static Trace hour_slice(const Trace& t) {
+    Trace out;
+    for (std::size_t u = 0; u < t.num_ues(); ++u) {
+      out.add_ue(t.device(static_cast<UeId>(u)));
+    }
+    // Take the busy hour of day 1 of the real trace.
+    const TimeMs lo = k_ms_per_day + hour_ * k_ms_per_hour;
+    const auto [a, b] = t.time_range(lo, lo + k_ms_per_hour);
+    for (std::size_t i = a; i < b; ++i) out.add_event(t.events()[i]);
+    out.finalize();
+    return out;
+  }
+
+  static Trace* fit_trace_;
+  static Trace* real_trace_;
+  static int hour_;
+  static std::array<model::ModelSet*, 4> models_;
+};
+
+Trace* PipelineTest::fit_trace_ = nullptr;
+Trace* PipelineTest::real_trace_ = nullptr;
+int PipelineTest::hour_ = 0;
+std::array<model::ModelSet*, 4> PipelineTest::models_{};
+
+TEST_F(PipelineTest, OursBreakdownBeatsBase) {
+  const Trace real = hour_slice(*real_trace_);
+  const auto real_bd = validation::breakdown_of(real);
+  const auto ours_bd = validation::breakdown_of(synthesize(model::Method::ours));
+  const auto base_bd = validation::breakdown_of(synthesize(model::Method::base));
+  const auto ours_diff = validation::diff_breakdowns(real_bd, ours_bd);
+  const auto base_diff = validation::diff_breakdowns(real_bd, base_bd);
+  double ours_total = 0.0, base_total = 0.0;
+  for (DeviceType d : k_all_device_types) {
+    ours_total += ours_diff.max_abs(d);
+    base_total += base_diff.max_abs(d);
+    // Paper: within ~5 points for every device type.
+    EXPECT_LT(ours_diff.max_abs(d), 0.10) << to_string(d);
+  }
+  // Across the population, Ours is strictly more faithful than Base.
+  EXPECT_LT(ours_total, base_total);
+}
+
+TEST_F(PipelineTest, BaseEmitsHoInIdleOursDoesNot) {
+  const auto ours_bd = validation::breakdown_of(synthesize(model::Method::ours));
+  const auto base_bd = validation::breakdown_of(synthesize(model::Method::base));
+  for (DeviceType d : k_all_device_types) {
+    EXPECT_EQ(ours_bd.counts[index_of(d)][5], 0u) << to_string(d);
+    // Base has no way to tie HO to CONNECTED; a visible share of its events
+    // are protocol-violating HO-in-IDLE (paper Table 4 row "HO (IDLE)").
+    EXPECT_GT(base_bd.fraction(d, 5), 0.005) << to_string(d);
+  }
+}
+
+TEST_F(PipelineTest, OursSojournsBeatB2) {
+  // Table 5's right half: sojourn-time CDFs in CONNECTED/IDLE are closer to
+  // the real trace under empirical CDFs than under fitted Poisson.
+  const Trace real = hour_slice(*real_trace_);
+  const Trace ours = synthesize(model::Method::ours);
+  const Trace b2 = synthesize(model::Method::b2);
+  const auto& spec = sm::lte_two_level_spec();
+  for (UeState s : {UeState::connected, UeState::idle}) {
+    const auto real_s =
+        validation::state_sojourns(real, spec, DeviceType::phone, s);
+    const auto ours_s =
+        validation::state_sojourns(ours, spec, DeviceType::phone, s);
+    const auto b2_s =
+        validation::state_sojourns(b2, spec, DeviceType::phone, s);
+    ASSERT_FALSE(real_s.empty());
+    ASSERT_FALSE(ours_s.empty());
+    ASSERT_FALSE(b2_s.empty());
+    const double d_ours = validation::max_y_distance(real_s, ours_s);
+    const double d_b2 = validation::max_y_distance(real_s, b2_s);
+    EXPECT_LT(d_ours, d_b2) << to_string(s);
+  }
+}
+
+TEST_F(PipelineTest, OursEventCountsCloseToReal) {
+  const Trace real = hour_slice(*real_trace_);
+  const Trace ours = synthesize(model::Method::ours);
+  for (EventType e : {EventType::srv_req, EventType::s1_conn_rel}) {
+    const auto real_c =
+        validation::events_per_ue(real, DeviceType::phone, e);
+    const auto ours_c =
+        validation::events_per_ue(ours, DeviceType::phone, e);
+    const double d = validation::max_y_distance(real_c, ours_c);
+    EXPECT_LT(d, 0.35) << to_string(e);
+  }
+}
+
+TEST_F(PipelineTest, AllMethodsLabelEventsWithOwners) {
+  for (model::Method m : {model::Method::base, model::Method::b1,
+                          model::Method::b2, model::Method::ours}) {
+    const Trace t = synthesize(m);
+    ASSERT_FALSE(t.empty()) << to_string(m);
+    for (const ControlEvent& e : t.events()) {
+      ASSERT_LT(e.ue_id, t.num_ues());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpg

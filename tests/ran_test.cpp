@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "ran/ue_events.h"
+#include "statemachine/replay.h"
+
+namespace cpg::ran {
+namespace {
+
+TEST(Topology, DimensionsAndValidation) {
+  CellTopology topo(10, 8, 500.0, 4);
+  EXPECT_EQ(topo.num_cells(), 80);
+  // ceil(10/4) x ceil(8/4) = 3 x 2.
+  EXPECT_EQ(topo.num_tracking_areas(), 6);
+  EXPECT_DOUBLE_EQ(topo.width_m(), 5000.0);
+  EXPECT_DOUBLE_EQ(topo.height_m(), 4000.0);
+  EXPECT_THROW(CellTopology(0, 8, 500.0, 1), std::invalid_argument);
+  EXPECT_THROW(CellTopology(10, 8, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(CellTopology(10, 8, 500.0, 11), std::invalid_argument);
+}
+
+TEST(Topology, CellLookup) {
+  CellTopology topo(4, 4, 100.0, 2);
+  EXPECT_EQ(topo.cell_at({50.0, 50.0}), 0);
+  EXPECT_EQ(topo.cell_at({150.0, 50.0}), 1);
+  EXPECT_EQ(topo.cell_at({50.0, 150.0}), 4);
+  EXPECT_EQ(topo.cell_at({399.0, 399.0}), 15);
+}
+
+TEST(Topology, TorusWrap) {
+  CellTopology topo(4, 4, 100.0, 2);
+  EXPECT_EQ(topo.cell_at({450.0, 50.0}), topo.cell_at({50.0, 50.0}));
+  EXPECT_EQ(topo.cell_at({-50.0, 50.0}), topo.cell_at({350.0, 50.0}));
+  const Position w = topo.wrap({-10.0, 410.0});
+  EXPECT_NEAR(w.x, 390.0, 1e-9);
+  EXPECT_NEAR(w.y, 10.0, 1e-9);
+}
+
+TEST(Topology, TrackingAreasAreCellBlocks) {
+  CellTopology topo(4, 4, 100.0, 2);
+  // Cells 0,1,4,5 form TA 0; 2,3,6,7 form TA 1.
+  EXPECT_EQ(topo.tracking_area_of(0), topo.tracking_area_of(5));
+  EXPECT_EQ(topo.tracking_area_of(2), topo.tracking_area_of(7));
+  EXPECT_NE(topo.tracking_area_of(0), topo.tracking_area_of(2));
+  EXPECT_NE(topo.tracking_area_of(0), topo.tracking_area_of(8));
+  EXPECT_THROW(topo.tracking_area_of(16), std::out_of_range);
+}
+
+TEST(Mobility, StationaryUeStaysPut) {
+  CellTopology topo(10, 10, 500.0, 5);
+  Rng rng(1);
+  WaypointMobility m(topo, stationary_params(), rng);
+  const Position p0 = m.advance_to(0);
+  const Position p1 = m.advance_to(4 * k_ms_per_hour);
+  EXPECT_DOUBLE_EQ(p0.x, p1.x);
+  EXPECT_DOUBLE_EQ(p0.y, p1.y);
+}
+
+TEST(Mobility, MovingUeCoversDistanceWithinSpeedBound) {
+  CellTopology topo(20, 20, 500.0, 5);
+  Rng rng(2);
+  MobilityParams params = vehicular_params();
+  params.mean_pause_s = 0.001;  // essentially always moving
+  WaypointMobility m(topo, params, rng);
+  Position prev = m.advance_to(0);
+  double total = 0.0;
+  constexpr TimeMs dt = 1000;
+  for (TimeMs t = dt; t <= 600 * 1000; t += dt) {
+    const Position p = m.advance_to(t);
+    // Per-tick displacement bounded by max speed (no torus jump within a
+    // trip because trips are planned in unwrapped coordinates).
+    const double dx = p.x - prev.x, dy = p.y - prev.y;
+    double step = std::sqrt(dx * dx + dy * dy);
+    // Allow the wrap discontinuity when crossing the border.
+    if (step < topo.width_m() / 2) {
+      EXPECT_LE(step, params.max_speed_mps * 1.001);
+      total += step;
+    }
+    prev = p;
+  }
+  EXPECT_GT(total, 600.0 * params.min_speed_mps * 0.5);
+}
+
+TEST(Mobility, TimeMustNotRunBackwards) {
+  CellTopology topo(10, 10, 500.0, 5);
+  Rng rng(3);
+  WaypointMobility m(topo, pedestrian_params(), rng);
+  m.advance_to(10'000);
+  // Earlier times are clamped to "now", not rewound.
+  const Position p = m.advance_to(5'000);
+  const Position q = m.advance_to(10'000);
+  EXPECT_DOUBLE_EQ(p.x, q.x);
+}
+
+RanUeParams fast_params() {
+  RanUeParams p;
+  p.mobility = vehicular_params();
+  p.mobility.mean_pause_s = 5.0;
+  p.mean_idle_gap_s = 120.0;
+  p.mean_session_s = 90.0;
+  p.periodic_tau_s = 600.0;
+  return p;
+}
+
+TEST(RanUe, EmitsEventsAndConforms) {
+  CellTopology topo(16, 16, 400.0, 4);
+  const Trace trace = simulate_ran_fleet(topo, fast_params(), 40,
+                                         DeviceType::connected_car,
+                                         4 * k_ms_per_hour, 11);
+  ASSERT_GT(trace.num_events(), 1000u);
+  // The headline property: mobility-derived traffic is protocol-legal.
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), trace), 0u);
+}
+
+TEST(RanUe, VehicularHasMoreHoThanPedestrian) {
+  CellTopology topo(16, 16, 400.0, 4);
+  RanUeParams veh = fast_params();
+  RanUeParams ped = fast_params();
+  ped.mobility = pedestrian_params();
+  const Trace fast = simulate_ran_fleet(topo, veh, 30, DeviceType::phone,
+                                        2 * k_ms_per_hour, 21);
+  const Trace slow = simulate_ran_fleet(topo, ped, 30, DeviceType::phone,
+                                        2 * k_ms_per_hour, 21);
+  const auto ho_count = [](const Trace& t) {
+    std::uint64_t n = 0;
+    for (const ControlEvent& e : t.events()) n += e.type == EventType::ho;
+    return n;
+  };
+  EXPECT_GT(ho_count(fast), 4 * std::max<std::uint64_t>(ho_count(slow), 1));
+}
+
+TEST(RanUe, SmallerTrackingAreasMeanMoreTau) {
+  CellTopology coarse(16, 16, 400.0, 8);
+  CellTopology fine(16, 16, 400.0, 2);
+  const auto tau_count = [](const Trace& t) {
+    std::uint64_t n = 0;
+    for (const ControlEvent& e : t.events()) n += e.type == EventType::tau;
+    return n;
+  };
+  const Trace coarse_t = simulate_ran_fleet(coarse, fast_params(), 30,
+                                            DeviceType::phone,
+                                            2 * k_ms_per_hour, 31);
+  const Trace fine_t = simulate_ran_fleet(fine, fast_params(), 30,
+                                          DeviceType::phone,
+                                          2 * k_ms_per_hour, 31);
+  EXPECT_GT(tau_count(fine_t), tau_count(coarse_t));
+}
+
+TEST(RanUe, StationaryUeHasNoHo) {
+  CellTopology topo(16, 16, 400.0, 4);
+  RanUeParams p = fast_params();
+  p.mobility = stationary_params();
+  const Trace t = simulate_ran_fleet(topo, p, 20, DeviceType::tablet,
+                                     2 * k_ms_per_hour, 41);
+  for (const ControlEvent& e : t.events()) {
+    EXPECT_NE(e.type, EventType::ho);
+  }
+  // Sessions and periodic TAUs still happen.
+  EXPECT_GT(t.num_events(), 100u);
+}
+
+TEST(RanUe, DeterministicForSeed) {
+  CellTopology topo(8, 8, 500.0, 4);
+  const Trace a = simulate_ran_fleet(topo, fast_params(), 10,
+                                     DeviceType::phone, k_ms_per_hour, 51);
+  const Trace b = simulate_ran_fleet(topo, fast_params(), 10,
+                                     DeviceType::phone, k_ms_per_hour, 51);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (std::size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(RanUe, EventsStrictlyOrderedPerUe) {
+  CellTopology topo(8, 8, 500.0, 4);
+  const Trace t = simulate_ran_fleet(topo, fast_params(), 10,
+                                     DeviceType::phone, k_ms_per_hour, 61);
+  for (const auto& ue_events : t.group_by_ue()) {
+    for (std::size_t i = 1; i < ue_events.size(); ++i) {
+      EXPECT_GT(ue_events[i].t_ms, ue_events[i - 1].t_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpg::ran

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "statemachine/replay.h"
+
+namespace cpg::sm {
+namespace {
+
+std::vector<ControlEvent> seq(
+    std::initializer_list<std::pair<TimeMs, EventType>> events) {
+  std::vector<ControlEvent> out;
+  for (const auto& [t, e] : events) out.push_back({t, 0, e});
+  return out;
+}
+
+TEST(Replay, EmptySequenceIsNoop) {
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), {}, v);
+  EXPECT_TRUE(v.events.empty());
+}
+
+TEST(Replay, ConnectedAndIdleSojourns) {
+  // SRV_REQ @10s, S1_CONN_REL @70s, SRV_REQ @130s: 60 s CONNECTED, 60 s
+  // IDLE.
+  const auto events = seq({{10'000, EventType::srv_req},
+                           {70'000, EventType::s1_conn_rel},
+                           {130'000, EventType::srv_req}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  const auto& conn = v.state_sojourn_s[index_of(UeState::connected)];
+  ASSERT_EQ(conn.size(), 1u);
+  EXPECT_DOUBLE_EQ(conn[0].seconds, 60.0);
+  EXPECT_EQ(conn[0].hour, 0);
+  const auto& idle = v.state_sojourn_s[index_of(UeState::idle)];
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_DOUBLE_EQ(idle[0].seconds, 60.0);
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(Replay, FirstSojournIsCensored) {
+  // The state before the first event has an unknown entry time: no sample.
+  const auto events = seq({{5'000, EventType::s1_conn_rel}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  EXPECT_TRUE(v.state_sojourn_s[index_of(UeState::connected)].empty());
+}
+
+TEST(Replay, RegisteredSpansConnectedAndIdle) {
+  const auto events = seq({{0, EventType::atch},
+                           {30'000, EventType::s1_conn_rel},
+                           {90'000, EventType::dtch}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  const auto& reg = v.state_sojourn_s[index_of(UeState::registered)];
+  ASSERT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg[0].seconds, 90.0);
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(Replay, InterarrivalPerEventType) {
+  const auto events = seq({{0, EventType::srv_req},
+                           {10'000, EventType::s1_conn_rel},
+                           {60'000, EventType::srv_req},
+                           {95'000, EventType::s1_conn_rel}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  const auto& srv = v.interarrival_s[index_of(EventType::srv_req)];
+  ASSERT_EQ(srv.size(), 1u);
+  EXPECT_DOUBLE_EQ(srv[0].seconds, 60.0);
+  const auto& rel = v.interarrival_s[index_of(EventType::s1_conn_rel)];
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_DOUBLE_EQ(rel[0].seconds, 85.0);
+}
+
+TEST(Replay, HourAttributionUsesSojournStart) {
+  // CONNECTED from 0:59:30 to 1:00:30 -> attributed to hour 0.
+  const TimeMs start = 59 * k_ms_per_minute + 30'000;
+  const auto events = seq({{start, EventType::srv_req},
+                           {start + 60'000, EventType::s1_conn_rel}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  const auto& conn = v.state_sojourn_s[index_of(UeState::connected)];
+  ASSERT_EQ(conn.size(), 1u);
+  EXPECT_EQ(conn[0].hour, 0);
+}
+
+TEST(Replay, SubEdgeSojourns) {
+  // SRV_REQ, HO after 5 s (edge SRV_REQ_S--HO), HO after 3 s (HO_S--HO).
+  const auto events = seq({{0, EventType::srv_req},
+                           {5'000, EventType::ho},
+                           {8'000, EventType::ho}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  std::size_t total = 0;
+  for (const auto& edge : v.sub_edge_sojourn_s) total += edge.size();
+  ASSERT_EQ(total, 2u);
+  // Edge 0 = (CONNECTED, SRV_REQ_S, HO, HO_S); edge 2 = (CONNECTED, HO_S,
+  // HO, HO_S) per spec order.
+  ASSERT_EQ(v.sub_edge_sojourn_s[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(v.sub_edge_sojourn_s[0][0].seconds, 5.0);
+  ASSERT_EQ(v.sub_edge_sojourn_s[2].size(), 1u);
+  EXPECT_DOUBLE_EQ(v.sub_edge_sojourn_s[2][0].seconds, 3.0);
+}
+
+TEST(Replay, SubTimerResetsOnTopSwitch) {
+  // SRV_REQ @0, S1_CONN_REL @10 s (top switch), TAU @25 s: the idle TAU's
+  // sojourn counts from the top switch, i.e. 15 s.
+  const auto events = seq({{0, EventType::srv_req},
+                           {10'000, EventType::s1_conn_rel},
+                           {25'000, EventType::tau}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  // Edge 6 = (IDLE, S1_REL_S_1, TAU, TAU_S_IDLE).
+  ASSERT_EQ(v.sub_edge_sojourn_s[6].size(), 1u);
+  EXPECT_DOUBLE_EQ(v.sub_edge_sojourn_s[6][0].seconds, 15.0);
+}
+
+TEST(Replay, IdleTauCycleIsCleanWithTwoLevelMachine) {
+  const auto events = seq({{0, EventType::srv_req},
+                           {10'000, EventType::s1_conn_rel},
+                           {3'000'000, EventType::tau},
+                           {3'001'000, EventType::s1_conn_rel},
+                           {6'000'000, EventType::tau},
+                           {6'001'000, EventType::s1_conn_rel},
+                           {7'000'000, EventType::srv_req}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  EXPECT_TRUE(v.violations.empty());
+  // One long IDLE sojourn (10 s .. 7000 s), not broken by the TAU cycles.
+  const auto& idle = v.state_sojourn_s[index_of(UeState::idle)];
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_DOUBLE_EQ(idle[0].seconds, 6990.0);
+}
+
+TEST(Replay, FirstEventPerHour) {
+  const auto events = seq({{10'000, EventType::srv_req},
+                           {20'000, EventType::s1_conn_rel},
+                           {k_ms_per_hour + 500, EventType::srv_req}});
+  CollectingVisitor v(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v);
+  ASSERT_EQ(v.first_events.size(), 2u);
+  EXPECT_EQ(v.first_events[0].hour_index, 0);
+  EXPECT_EQ(v.first_events[0].type, EventType::srv_req);
+  EXPECT_EQ(v.first_events[0].offset_ms, 10'000);
+  EXPECT_EQ(v.first_events[1].hour_index, 1);
+  EXPECT_EQ(v.first_events[1].offset_ms, 500);
+}
+
+TEST(Replay, ViolationsDetectedUnderEmmEcm) {
+  // HO / TAU are violations for the EMM-ECM machine but fine for the
+  // two-level machine.
+  const auto events = seq({{0, EventType::srv_req},
+                           {1'000, EventType::ho},
+                           {2'000, EventType::tau}});
+  CollectingVisitor v1(emm_ecm_spec());
+  replay_ue(emm_ecm_spec(), events, v1);
+  EXPECT_EQ(v1.violations.size(), 2u);
+
+  CollectingVisitor v2(lte_two_level_spec());
+  replay_ue(lte_two_level_spec(), events, v2);
+  EXPECT_TRUE(v2.violations.empty());
+}
+
+TEST(CountViolations, CleanAndDirtyTraces) {
+  Trace clean;
+  const UeId u = clean.add_ue(DeviceType::phone);
+  clean.add_event(0, u, EventType::srv_req);
+  clean.add_event(1'000, u, EventType::ho);
+  clean.add_event(2'000, u, EventType::s1_conn_rel);
+  clean.finalize();
+  EXPECT_EQ(count_violations(lte_two_level_spec(), clean), 0u);
+
+  Trace dirty;
+  const UeId d = dirty.add_ue(DeviceType::phone);
+  dirty.add_event(0, d, EventType::srv_req);
+  dirty.add_event(1'000, d, EventType::s1_conn_rel);
+  dirty.add_event(2'000, d, EventType::ho);  // HO in IDLE
+  dirty.finalize();
+  EXPECT_EQ(count_violations(lte_two_level_spec(), dirty), 1u);
+}
+
+TEST(StateBreakdown, ClassifiesHoTauByState) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::tablet);
+  t.add_event(0, u, EventType::srv_req);
+  t.add_event(1'000, u, EventType::ho);        // CONNECTED
+  t.add_event(2'000, u, EventType::tau);       // CONNECTED
+  t.add_event(3'000, u, EventType::s1_conn_rel);
+  t.add_event(10'000, u, EventType::tau);      // IDLE
+  t.add_event(10'500, u, EventType::s1_conn_rel);
+  t.finalize();
+  const auto bd = compute_state_breakdown(lte_two_level_spec(), t);
+  const auto& row = bd.counts[index_of(DeviceType::tablet)];
+  EXPECT_EQ(row[2], 1u);  // SRV_REQ
+  EXPECT_EQ(row[3], 2u);  // S1_CONN_REL (top release + idle TAU release)
+  EXPECT_EQ(row[4], 1u);  // HO (CONN)
+  EXPECT_EQ(row[5], 0u);  // HO (IDLE)
+  EXPECT_EQ(row[6], 1u);  // TAU (CONN)
+  EXPECT_EQ(row[7], 1u);  // TAU (IDLE)
+  EXPECT_EQ(bd.device_total(DeviceType::tablet), 6u);
+  EXPECT_DOUBLE_EQ(bd.fraction(DeviceType::tablet, 2), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(bd.fraction(DeviceType::phone, 2), 0.0);
+}
+
+TEST(StateBreakdown, RowNames) {
+  EXPECT_EQ(StateBreakdown::row_name(0), "ATCH");
+  EXPECT_EQ(StateBreakdown::row_name(4), "HO (CONN.)");
+  EXPECT_EQ(StateBreakdown::row_name(7), "TAU (IDLE)");
+}
+
+}  // namespace
+}  // namespace cpg::sm

@@ -1,0 +1,149 @@
+// Failure-injection / robustness tests: the pipeline must stay well-defined
+// on hostile input — protocol-violating traces (real MME logs are noisy),
+// degenerate populations, and pathological model contents.
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/aggregate.h"
+#include "model/fit.h"
+#include "statemachine/replay.h"
+#include "test_util.h"
+
+namespace cpg {
+namespace {
+
+// A trace full of protocol violations: the aggregate strawman's output.
+Trace violating_trace() {
+  const Trace sample = testutil::small_ground_truth(150, 24.0, 111);
+  const auto aggregate = model::fit_aggregate(sample);
+  model::AggregateRequest req;
+  req.ue_counts = {200, 80, 40};
+  req.start_hour = 12;
+  req.duration_hours = 2.0;
+  req.seed = 5;
+  return model::generate_aggregate(aggregate, req);
+}
+
+TEST(Robustness, FitToleratesProtocolViolations) {
+  // The lenient replayer resynchronizes; fitting must not throw and must
+  // produce a usable model.
+  const Trace dirty = violating_trace();
+  ASSERT_GT(sm::count_violations(sm::lte_two_level_spec(), dirty), 0u);
+
+  model::FitOptions opts;
+  opts.clustering.theta_n = 40;
+  const auto set = model::fit_model(dirty, opts);
+
+  gen::GenerationRequest req;
+  req.ue_counts = {150, 60, 30};
+  req.start_hour = 12;
+  req.seed = 9;
+  const Trace regenerated = gen::generate_trace(set, req);
+  ASSERT_FALSE(regenerated.empty());
+  // A model fitted on dirty data still generates *clean* traffic: the
+  // two-level machine is enforced at generation time.
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), regenerated), 0u);
+}
+
+TEST(Robustness, FitOnSingleUe) {
+  Trace tiny;
+  const UeId u = tiny.add_ue(DeviceType::phone);
+  tiny.add_event(1'000, u, EventType::srv_req);
+  tiny.add_event(5'000, u, EventType::s1_conn_rel);
+  tiny.add_event(60'000, u, EventType::srv_req);
+  tiny.add_event(66'000, u, EventType::s1_conn_rel);
+  tiny.finalize();
+  const auto set = model::fit_model(tiny, {});
+  gen::GenerationRequest req;
+  req.ue_counts = {10, 0, 0};
+  req.start_hour = 0;
+  const Trace t = gen::generate_trace(set, req);
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(Robustness, FitOnEmptyTrace) {
+  Trace empty;
+  empty.finalize();
+  const auto set = model::fit_model(empty, {});
+  gen::GenerationRequest req;
+  req.ue_counts = {10, 10, 10};
+  const Trace t = gen::generate_trace(set, req);
+  // No data, no traffic — but no crash either.
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_ues(), 30u);
+}
+
+TEST(Robustness, FitOnSilentUes) {
+  // UEs registered but with zero events.
+  Trace silent;
+  for (int i = 0; i < 20; ++i) silent.add_ue(DeviceType::tablet);
+  silent.finalize();
+  const auto set = model::fit_model(silent, {});
+  gen::GenerationRequest req;
+  req.ue_counts = {0, 0, 20};
+  const Trace t = gen::generate_trace(set, req);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Robustness, GenerationAcrossMidnight) {
+  model::FitOptions opts;
+  opts.clustering.theta_n = 40;
+  const auto set =
+      model::fit_model(testutil::small_ground_truth(150, 48.0, 112), opts);
+  gen::GenerationRequest req;
+  req.ue_counts = {80, 30, 15};
+  req.start_hour = 23;
+  req.duration_hours = 2.0;  // crosses midnight
+  req.seed = 3;
+  const Trace t = gen::generate_trace(set, req);
+  ASSERT_FALSE(t.empty());
+  EXPECT_GE(t.begin_time(), 23 * k_ms_per_hour);
+  EXPECT_LT(t.end_time(), 25 * k_ms_per_hour);
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), t), 0u);
+}
+
+TEST(Robustness, SingleDeviceTypePopulation) {
+  // The fitted trace has all three devices; the request asks for one.
+  model::FitOptions opts;
+  opts.clustering.theta_n = 40;
+  const auto set =
+      model::fit_model(testutil::small_ground_truth(150, 24.0, 113), opts);
+  gen::GenerationRequest req;
+  req.ue_counts = {0, 500, 0};
+  req.start_hour = 18;
+  req.seed = 5;
+  const Trace t = gen::generate_trace(set, req);
+  ASSERT_FALSE(t.empty());
+  for (const ControlEvent& e : t.events()) {
+    EXPECT_EQ(t.device(e.ue_id), DeviceType::connected_car);
+  }
+}
+
+TEST(Robustness, RequestedDeviceAbsentFromModel) {
+  // Fit on phones only; ask for tablets: silence, not a crash.
+  Trace phones_only;
+  const UeId u = phones_only.add_ue(DeviceType::phone);
+  phones_only.add_event(1'000, u, EventType::srv_req);
+  phones_only.add_event(9'000, u, EventType::s1_conn_rel);
+  phones_only.finalize();
+  const auto set = model::fit_model(phones_only, {});
+  gen::GenerationRequest req;
+  req.ue_counts = {0, 0, 25};
+  const Trace t = gen::generate_trace(set, req);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_ues(), 25u);
+}
+
+TEST(Robustness, ZeroDurationWindow) {
+  model::FitOptions opts;
+  const auto set =
+      model::fit_model(testutil::small_ground_truth(60, 12.0, 114), opts);
+  gen::GenerationRequest req;
+  req.ue_counts = {30, 10, 5};
+  req.duration_hours = 0.0;
+  const Trace t = gen::generate_trace(set, req);
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace cpg

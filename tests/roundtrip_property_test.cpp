@@ -1,0 +1,122 @@
+// Statistical round-trip property: a trace synthesized from a fitted model
+// must, when replayed and re-fitted, reproduce the model's own laws — the
+// generator is a faithful sampler of the Semi-Markov process it was given.
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "statemachine/replay.h"
+#include "stats/gof.h"
+#include "test_util.h"
+#include "validation/micro.h"
+
+namespace cpg {
+namespace {
+
+class RoundTrip : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Trace fit_trace = testutil::small_ground_truth(300, 48.0, 101);
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 50;
+    models_ = new model::ModelSet(model::fit_model(fit_trace, opts));
+
+    gen::GenerationRequest req;
+    req.ue_counts = {1'890, 750, 360};  // scaled-up population
+    req.start_hour = 18;
+    req.duration_hours = 1.0;
+    req.seed = 31;
+    req.num_threads = 2;
+    generated_ = new Trace(gen::generate_trace(*models_, req));
+
+    // The source ground truth's same busy window, for distribution
+    // comparison.
+    const Trace source_full = testutil::small_ground_truth(3000, 21.0, 102);
+    Trace sliced;
+    for (std::size_t u = 0; u < source_full.num_ues(); ++u) {
+      sliced.add_ue(source_full.device(static_cast<UeId>(u)));
+    }
+    const auto [a, b] =
+        source_full.time_range(18 * k_ms_per_hour, 19 * k_ms_per_hour);
+    for (std::size_t i = a; i < b; ++i) {
+      sliced.add_event(source_full.events()[i]);
+    }
+    sliced.finalize();
+    source_ = new Trace(std::move(sliced));
+  }
+
+  static void TearDownTestSuite() {
+    delete models_;
+    delete generated_;
+    delete source_;
+    models_ = nullptr;
+    generated_ = nullptr;
+    source_ = nullptr;
+  }
+
+  static model::ModelSet* models_;
+  static Trace* generated_;
+  static Trace* source_;
+};
+
+model::ModelSet* RoundTrip::models_ = nullptr;
+Trace* RoundTrip::generated_ = nullptr;
+Trace* RoundTrip::source_ = nullptr;
+
+TEST_F(RoundTrip, SojournDistributionsMatchSource) {
+  // The generated trace's CONNECTED/IDLE sojourn distributions sit close to
+  // an *independent draw* of the source process (two-sample K-S distance on
+  // large samples).
+  const auto& spec = sm::lte_two_level_spec();
+  for (UeState s : {UeState::connected, UeState::idle}) {
+    const auto gen_s = validation::state_sojourns(*generated_, spec,
+                                                  DeviceType::phone, s);
+    const auto src_s =
+        validation::state_sojourns(*source_, spec, DeviceType::phone, s);
+    ASSERT_GT(gen_s.size(), 1'000u) << to_string(s);
+    ASSERT_GT(src_s.size(), 1'000u) << to_string(s);
+    EXPECT_LT(validation::max_y_distance(gen_s, src_s), 0.08)
+        << to_string(s);
+  }
+}
+
+TEST_F(RoundTrip, RefittedTransitionProbabilitiesAgree) {
+  // Re-fit a model on the generated trace: the pooled top-level transition
+  // probabilities must agree with the original model's.
+  model::FitOptions opts;
+  opts.method = model::Method::ours;
+  opts.clustering.theta_n = 50;
+  const auto refit = model::fit_model(*generated_, opts);
+  for (DeviceType d : {DeviceType::phone, DeviceType::connected_car}) {
+    const auto& a =
+        models_->device(d).pooled_all.top[index_of(TopState::connected)];
+    const auto& b =
+        refit.device(d).pooled_all.top[index_of(TopState::connected)];
+    ASSERT_TRUE(a.has_data());
+    ASSERT_TRUE(b.has_data());
+    for (const auto& ta : a.out) {
+      for (const auto& tb : b.out) {
+        if (ta.edge == tb.edge) {
+          EXPECT_NEAR(ta.probability, tb.probability, 0.05)
+              << to_string(d) << " edge " << ta.edge;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RoundTrip, EventMixSurvivesTheRoundTrip) {
+  const auto src_bd = sm::compute_state_breakdown(sm::lte_two_level_spec(),
+                                                  *source_);
+  const auto gen_bd = sm::compute_state_breakdown(sm::lte_two_level_spec(),
+                                                  *generated_);
+  // Dominant rows within a few points.
+  for (std::size_t r : {2u, 3u}) {  // SRV_REQ, S1_CONN_REL
+    EXPECT_NEAR(gen_bd.fraction(DeviceType::phone, r),
+                src_bd.fraction(DeviceType::phone, r), 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace cpg

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "model/semi_markov.h"
+
+namespace cpg::model {
+namespace {
+
+std::shared_ptr<const stats::Distribution> unit_exp() {
+  return std::make_shared<stats::Exponential>(1.0);
+}
+
+DeviceModel tiny_device_model() {
+  DeviceModel dev;
+  dev.ue_traj.push_back({});  // one modeled UE, cluster 0 everywhere
+
+  HourClusterModel cluster;
+  cluster.top[index_of(TopState::connected)].out.push_back(
+      {1, 1.0, unit_exp()});
+  dev.by_hour[10].push_back(cluster);
+
+  HourClusterModel hour_pool;
+  hour_pool.top[index_of(TopState::idle)].out.push_back(
+      {3, 1.0, unit_exp()});
+  dev.pooled_hour[10] = hour_pool;
+
+  dev.pooled_all.top[index_of(TopState::deregistered)].out.push_back(
+      {0, 1.0, unit_exp()});
+  dev.pooled_all.first_event.type_prob[index_of(EventType::srv_req)] = 1.0;
+  const double off[] = {1.0, 2.0};
+  dev.pooled_all.first_event.offset_s =
+      std::make_shared<stats::Empirical>(off);
+  dev.pooled_all.first_event.p_active = 0.5;
+  return dev;
+}
+
+TEST(ResolveLaws, ExactClusterHit) {
+  const DeviceModel dev = tiny_device_model();
+  const StateLaw* law = resolve_top_law(dev, 10, 0, TopState::connected);
+  ASSERT_NE(law, nullptr);
+  EXPECT_EQ(law->out[0].edge, 1);
+}
+
+TEST(ResolveLaws, FallsBackToHourPoolThenGlobal) {
+  const DeviceModel dev = tiny_device_model();
+  // IDLE has no cluster law at hour 10 -> hour pool.
+  const StateLaw* idle = resolve_top_law(dev, 10, 0, TopState::idle);
+  ASSERT_NE(idle, nullptr);
+  EXPECT_EQ(idle->out[0].edge, 3);
+  // DEREGISTERED only exists in the global pool.
+  const StateLaw* dereg =
+      resolve_top_law(dev, 10, 0, TopState::deregistered);
+  ASSERT_NE(dereg, nullptr);
+  EXPECT_EQ(dereg->out[0].edge, 0);
+  // Hours without any data fall through to the global pool too.
+  EXPECT_NE(resolve_top_law(dev, 3, 0, TopState::deregistered), nullptr);
+  // And states with no data anywhere resolve to nullptr.
+  EXPECT_EQ(resolve_sub_law(dev, 3, 0, SubState::ho_s), nullptr);
+}
+
+TEST(ResolveLaws, OutOfRangeClusterUsesPools) {
+  const DeviceModel dev = tiny_device_model();
+  const StateLaw* law = resolve_top_law(dev, 10, 77, TopState::idle);
+  ASSERT_NE(law, nullptr);
+  EXPECT_EQ(law->out[0].edge, 3);
+}
+
+TEST(ResolveFirstEvent, ClusterSilenceIsRespected) {
+  DeviceModel dev = tiny_device_model();
+  // The cluster at hour 10 exists but has no first-event law: the UE is
+  // silent that hour (NO fallback), per DESIGN.md.
+  EXPECT_EQ(resolve_first_event(dev, 10, 0), nullptr);
+  // At an hour with no cluster at all, the pools answer.
+  const FirstEventLaw* fe = resolve_first_event(dev, 3, 0);
+  ASSERT_NE(fe, nullptr);
+  EXPECT_DOUBLE_EQ(fe->p_active, 0.5);
+}
+
+TEST(ResolveOverlay, FallbackChain) {
+  DeviceModel dev = tiny_device_model();
+  dev.pooled_all.overlay[index_of(EventType::ho)] = unit_exp();
+  EXPECT_NE(resolve_overlay(dev, 10, 0, EventType::ho), nullptr);
+  EXPECT_EQ(resolve_overlay(dev, 10, 0, EventType::tau), nullptr);
+}
+
+TEST(SampleEdge, NullForEmptyLaw) {
+  StateLaw empty;
+  Rng rng(1);
+  EXPECT_EQ(sample_edge(empty, rng), nullptr);
+}
+
+TEST(SampleEdge, FullMassAlwaysPicks) {
+  StateLaw law;
+  law.out.push_back({0, 0.4, unit_exp()});
+  law.out.push_back({1, 0.6, unit_exp()});
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(sample_edge(law, rng), nullptr);
+  }
+}
+
+TEST(MethodNames, Stable) {
+  EXPECT_EQ(to_string(Method::base), "Base");
+  EXPECT_EQ(to_string(Method::b1), "B1");
+  EXPECT_EQ(to_string(Method::b2), "B2");
+  EXPECT_EQ(to_string(Method::ours), "Ours");
+}
+
+}  // namespace
+}  // namespace cpg::model

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "statemachine/machine.h"
+#include "statemachine/spec.h"
+
+namespace cpg::sm {
+namespace {
+
+using enum TopState;
+using enum SubState;
+using enum EventType;
+
+// --- specs --------------------------------------------------------------------
+
+TEST(Spec, EmmEcmTopTransitions) {
+  const MachineSpec& s = emm_ecm_spec();
+  EXPECT_EQ(s.top_next(deregistered, atch), connected);
+  EXPECT_EQ(s.top_next(connected, s1_conn_rel), idle);
+  EXPECT_EQ(s.top_next(connected, dtch), deregistered);
+  EXPECT_EQ(s.top_next(idle, srv_req), connected);
+  EXPECT_EQ(s.top_next(idle, dtch), deregistered);
+  // Illegal combinations have no destination.
+  EXPECT_FALSE(s.top_next(deregistered, srv_req).has_value());
+  EXPECT_FALSE(s.top_next(connected, atch).has_value());
+  EXPECT_FALSE(s.top_next(idle, s1_conn_rel).has_value());
+  EXPECT_FALSE(s.has_sub_machine());
+}
+
+TEST(Spec, TwoLevelConnectedSubMachine) {
+  const MachineSpec& s = lte_two_level_spec();
+  EXPECT_TRUE(s.has_sub_machine());
+  EXPECT_EQ(s.sub_next(connected, srv_req_s, ho), ho_s);
+  EXPECT_EQ(s.sub_next(connected, srv_req_s, tau), tau_s_conn);
+  EXPECT_EQ(s.sub_next(connected, ho_s, ho), ho_s);
+  EXPECT_EQ(s.sub_next(connected, ho_s, tau), tau_s_conn);
+  EXPECT_EQ(s.sub_next(connected, tau_s_conn, tau), tau_s_conn);
+  EXPECT_EQ(s.sub_next(connected, tau_s_conn, ho), ho_s);
+}
+
+TEST(Spec, TwoLevelIdleSubMachine) {
+  const MachineSpec& s = lte_two_level_spec();
+  EXPECT_EQ(s.sub_next(idle, s1_rel_s_1, tau), tau_s_idle);
+  EXPECT_EQ(s.sub_next(idle, tau_s_idle, s1_conn_rel), s1_rel_s_2);
+  EXPECT_EQ(s.sub_next(idle, s1_rel_s_2, tau), tau_s_idle);
+  // No HO inside IDLE.
+  EXPECT_FALSE(s.sub_next(idle, s1_rel_s_1, ho).has_value());
+  // The starred guard: SRV_REQ can leave IDLE only from S1_REL_S_1/2.
+  EXPECT_TRUE(s.srv_req_allowed_from(s1_rel_s_1));
+  EXPECT_TRUE(s.srv_req_allowed_from(s1_rel_s_2));
+  EXPECT_FALSE(s.srv_req_allowed_from(tau_s_idle));
+}
+
+TEST(Spec, EntrySubstates) {
+  const MachineSpec& s = lte_two_level_spec();
+  EXPECT_EQ(s.entry_substate(connected), srv_req_s);
+  EXPECT_EQ(s.entry_substate(idle), s1_rel_s_1);
+  EXPECT_EQ(s.entry_substate(deregistered), none);
+  EXPECT_EQ(emm_ecm_spec().entry_substate(connected), none);
+}
+
+TEST(Spec, FiveGSaDropsTauEntirely) {
+  const MachineSpec& s = fiveg_sa_spec();
+  for (const SubTransition& t : s.sub_transitions()) {
+    EXPECT_NE(t.event, tau);
+    EXPECT_EQ(t.context, connected);
+  }
+  // The IDLE sub-machine disappears (it only handled TAU cycles).
+  EXPECT_EQ(s.entry_substate(idle), none);
+  // The HO loop survives.
+  EXPECT_EQ(s.sub_next(connected, srv_req_s, ho), ho_s);
+  EXPECT_EQ(s.sub_next(connected, ho_s, ho), ho_s);
+  // No SRV_REQ guard needed without the IDLE sub-machine.
+  EXPECT_TRUE(s.srv_req_allowed_from(none));
+}
+
+TEST(Spec, TopEdgeTablesAgreeAcrossSpecs) {
+  // The 5G derivation relies on identical top-level edge indexing.
+  const auto a = lte_two_level_spec().top_transitions();
+  const auto b = fiveg_sa_spec().top_transitions();
+  const auto c = emm_ecm_spec().top_transitions();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a[i], c[i]);
+  }
+}
+
+TEST(Spec, OutEdgeQueries) {
+  const MachineSpec& s = lte_two_level_spec();
+  EXPECT_EQ(s.top_out(connected).size(), 2u);  // S1_CONN_REL, DTCH
+  EXPECT_EQ(s.top_out(idle).size(), 2u);       // SRV_REQ, DTCH
+  EXPECT_EQ(s.top_out(deregistered).size(), 1u);
+  EXPECT_EQ(s.sub_out(connected, srv_req_s).size(), 2u);
+  EXPECT_EQ(s.sub_out(idle, tau_s_idle).size(), 1u);
+  EXPECT_TRUE(s.sub_out(deregistered, none).empty());
+}
+
+// --- machine runtime ------------------------------------------------------------
+
+TEST(Machine, HappyPathLifecycle) {
+  TwoLevelMachine m(lte_two_level_spec(), deregistered);
+  EXPECT_EQ(m.sub(), none);
+
+  auto r = m.apply(atch);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.top_changed);
+  EXPECT_EQ(m.top(), connected);
+  EXPECT_EQ(m.sub(), srv_req_s);
+
+  r = m.apply(ho);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.top_changed);
+  EXPECT_TRUE(r.sub_changed);
+  EXPECT_EQ(m.sub(), ho_s);
+
+  r = m.apply(s1_conn_rel);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(m.top(), idle);
+  EXPECT_EQ(m.sub(), s1_rel_s_1);
+
+  r = m.apply(tau);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(m.sub(), tau_s_idle);
+
+  // This S1_CONN_REL is the second-level release of the idle TAU.
+  r = m.apply(s1_conn_rel);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.top_changed);
+  EXPECT_EQ(m.top(), idle);
+  EXPECT_EQ(m.sub(), s1_rel_s_2);
+
+  r = m.apply(srv_req);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(m.top(), connected);
+
+  r = m.apply(dtch);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(m.top(), deregistered);
+}
+
+TEST(Machine, SrvReqGuardBlocksFromTauSIdle) {
+  TwoLevelMachine m(lte_two_level_spec(), idle);
+  m.apply(tau);
+  ASSERT_EQ(m.sub(), tau_s_idle);
+  const auto r = m.apply(srv_req);
+  // Lenient runtime: the transition happens to stay synchronized, but the
+  // event is reported as a violation.
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(m.top(), connected);
+}
+
+TEST(Machine, HoInIdleIsViolationWithoutStateChange) {
+  TwoLevelMachine m(lte_two_level_spec(), idle);
+  const auto r = m.apply(ho);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.top_changed);
+  EXPECT_EQ(m.top(), idle);
+}
+
+TEST(Machine, ViolationResyncs) {
+  TwoLevelMachine m(lte_two_level_spec(), deregistered);
+  // SRV_REQ while deregistered: evidently the UE is connected.
+  auto r = m.apply(srv_req);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(m.top(), connected);
+
+  // S1_CONN_REL while deregistered resyncs to idle.
+  m.force(deregistered);
+  r = m.apply(s1_conn_rel);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(m.top(), idle);
+}
+
+TEST(Machine, SubStatePrecedenceForS1ConnRel) {
+  // In CONNECTED, S1_CONN_REL is a top edge; in IDLE at TAU_S_IDLE it is a
+  // sub edge. Verify both routes.
+  TwoLevelMachine m(lte_two_level_spec(), connected);
+  auto r = m.apply(s1_conn_rel);
+  EXPECT_TRUE(r.top_changed);
+  EXPECT_FALSE(r.sub_changed);
+
+  m.apply(tau);  // -> TAU_S_IDLE
+  r = m.apply(s1_conn_rel);
+  EXPECT_FALSE(r.top_changed);
+  EXPECT_TRUE(r.sub_changed);
+}
+
+TEST(Machine, EmmEcmIgnoresHoTau) {
+  TwoLevelMachine m(emm_ecm_spec(), connected);
+  EXPECT_FALSE(m.apply(ho).accepted);
+  EXPECT_FALSE(m.apply(tau).accepted);
+  EXPECT_EQ(m.top(), connected);
+}
+
+TEST(Machine, EcmView) {
+  TwoLevelMachine m(lte_two_level_spec(), connected);
+  EXPECT_EQ(m.ecm(), EcmState::connected);
+  m.apply(s1_conn_rel);
+  EXPECT_EQ(m.ecm(), EcmState::idle);
+  m.apply(dtch);
+  EXPECT_EQ(m.ecm(), EcmState::idle);
+}
+
+TEST(InferInitialTop, PerFirstEvent) {
+  EXPECT_EQ(infer_initial_top(atch), deregistered);
+  EXPECT_EQ(infer_initial_top(srv_req), idle);
+  EXPECT_EQ(infer_initial_top(s1_conn_rel), connected);
+  EXPECT_EQ(infer_initial_top(ho), connected);
+  EXPECT_EQ(infer_initial_top(dtch), connected);
+  EXPECT_EQ(infer_initial_top(tau), idle);
+}
+
+}  // namespace
+}  // namespace cpg::sm

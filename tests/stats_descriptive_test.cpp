@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace cpg::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const double one[] = {3.0};
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Quantile, Interpolation) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, SortedVariantThrowsOnEmpty) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+  EXPECT_EQ(b.n, 5u);
+}
+
+TEST(BoxStats, EmptySampleIsZeroed) {
+  const BoxStats b = box_stats({});
+  EXPECT_EQ(b.n, 0u);
+  EXPECT_DOUBLE_EQ(b.max, 0.0);
+}
+
+TEST(Summary, Percentiles) {
+  std::vector<double> xs(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i + 1;  // 1..100
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+}
+
+}  // namespace
+}  // namespace cpg::stats

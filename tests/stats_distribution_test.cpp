@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "stats/distribution.h"
+
+namespace cpg::stats {
+namespace {
+
+// --- parameterized quantile/cdf inverse property over all families --------
+
+struct FamilyCase {
+  const char* label;
+  std::shared_ptr<Distribution> dist;
+};
+
+class DistributionInverse : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(DistributionInverse, QuantileIsInverseOfCdf) {
+  const Distribution& d = *GetParam().dist;
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = d.quantile(p);
+    EXPECT_NEAR(d.cdf(x), p, 2e-3) << GetParam().label << " p=" << p;
+  }
+}
+
+TEST_P(DistributionInverse, CdfIsMonotone) {
+  const Distribution& d = *GetParam().dist;
+  double prev = -1.0;
+  for (double x = 0.0; x <= 50.0; x += 0.5) {
+    const double f = d.cdf(x);
+    EXPECT_GE(f, prev) << GetParam().label;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_P(DistributionInverse, SampleMeanMatchesAnalyticMean) {
+  const Distribution& d = *GetParam().dist;
+  if (!std::isfinite(d.mean())) GTEST_SKIP();
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.08 * d.mean() + 0.01) << GetParam().label;
+}
+
+TEST_P(DistributionInverse, CloneIsEquivalent) {
+  const Distribution& d = *GetParam().dist;
+  const auto copy = d.clone();
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_DOUBLE_EQ(copy->cdf(x), d.cdf(x)) << GetParam().label;
+  }
+}
+
+std::vector<FamilyCase> all_families() {
+  std::vector<double> sample;
+  Rng rng(5);
+  for (int i = 0; i < 4000; ++i) sample.push_back(rng.lognormal(0.5, 0.8));
+  return {
+      {"exponential", std::make_shared<Exponential>(0.5)},
+      {"pareto", std::make_shared<Pareto>(1.0, 2.5)},
+      {"weibull", std::make_shared<Weibull>(1.7, 3.0)},
+      {"lognormal", std::make_shared<LogNormal>(0.3, 0.9)},
+      {"empirical", std::make_shared<Empirical>(sample)},
+      {"scaled",
+       std::make_shared<Scaled>(std::make_shared<Exponential>(1.0), 2.5)},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionInverse,
+                         ::testing::ValuesIn(all_families()),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+// --- family specifics ------------------------------------------------------
+
+TEST(Exponential, KnownValues) {
+  Exponential e(2.0);
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_NEAR(e.cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Pareto, SupportStartsAtScale) {
+  Pareto p(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.0);
+  EXPECT_GT(p.cdf(2.1), 0.0);
+  EXPECT_NEAR(p.mean(), 3.0, 1e-12);
+}
+
+TEST(Pareto, InfiniteMeanWhenAlphaBelowOne) {
+  Pareto p(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(p.mean()));
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  Weibull w(1.0, 2.0);
+  Exponential e(0.5);
+  for (double x : {0.1, 0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  LogNormal ln(1.2, 0.7);
+  EXPECT_NEAR(ln.cdf(std::exp(1.2)), 0.5, 1e-9);
+  EXPECT_NEAR(ln.quantile(0.5), std::exp(1.2), 1e-6);
+}
+
+TEST(Empirical, StepCdf) {
+  const double vals[] = {1.0, 2.0, 3.0, 4.0};
+  Empirical e(vals);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 4.0);
+}
+
+TEST(Empirical, QuantileInterpolates) {
+  const double vals[] = {0.0, 10.0};
+  Empirical e(vals);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 10.0);
+}
+
+TEST(Empirical, RejectsEmptySample) {
+  EXPECT_THROW(Empirical(std::vector<double>{}, false),
+               std::invalid_argument);
+}
+
+TEST(Empirical, SortsUnsortedInput) {
+  const double vals[] = {3.0, 1.0, 2.0};
+  Empirical e(vals);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 3.0);
+}
+
+TEST(Empirical, ScaledToMean) {
+  const double vals[] = {1.0, 3.0};
+  Empirical e(vals);
+  const Empirical scaled = e.scaled_to_mean(8.0);
+  EXPECT_DOUBLE_EQ(scaled.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(scaled.min(), 4.0);
+  EXPECT_DOUBLE_EQ(scaled.max(), 12.0);
+}
+
+TEST(Tcplib, ShapeHasUnitMeanAndHeavyTail) {
+  const Empirical& shape = tcplib_shape();
+  EXPECT_NEAR(shape.mean(), 1.0, 1e-9);
+  // Heavy upper tail: p99 well above the mean, median well below.
+  EXPECT_GT(shape.quantile(0.99), 5.0);
+  EXPECT_LT(shape.quantile(0.5), 0.5);
+}
+
+TEST(Tcplib, FitMatchesSampleMean) {
+  std::vector<double> sample{2.0, 4.0, 6.0};
+  const Empirical fitted = fit_tcplib(sample);
+  EXPECT_NEAR(fitted.mean(), 4.0, 1e-9);
+}
+
+TEST(Scaled, ScalesQuantilesAndMean) {
+  auto inner = std::make_shared<Exponential>(1.0);
+  Scaled s(inner, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.5);
+  EXPECT_NEAR(s.quantile(0.9), 0.5 * inner->quantile(0.9), 1e-12);
+  EXPECT_NEAR(s.cdf(1.0), inner->cdf(2.0), 1e-12);
+  EXPECT_THROW(Scaled(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(Scaled(inner, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpg::stats

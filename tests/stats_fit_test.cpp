@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "stats/fit.h"
+
+namespace cpg::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(FitExponential, RecoversRate) {
+  const Exponential truth(0.25);
+  const auto sample = draw(truth, 50000, 1);
+  const Exponential fitted = fit_exponential(sample);
+  EXPECT_NEAR(fitted.lambda(), 0.25, 0.01);
+}
+
+TEST(FitExponential, RejectsEmptyAndZeroMean) {
+  EXPECT_THROW(fit_exponential({}), std::invalid_argument);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW(fit_exponential(zeros), std::invalid_argument);
+}
+
+TEST(FitPareto, RecoversShapeAndScale) {
+  const Pareto truth(2.0, 3.0);
+  const auto sample = draw(truth, 50000, 2);
+  const Pareto fitted = fit_pareto(sample);
+  EXPECT_NEAR(fitted.x_m(), 2.0, 0.01);
+  EXPECT_NEAR(fitted.alpha(), 3.0, 0.1);
+}
+
+TEST(FitPareto, DegenerateConstantSample) {
+  const double vals[] = {5.0, 5.0, 5.0};
+  const Pareto fitted = fit_pareto(vals);
+  EXPECT_DOUBLE_EQ(fitted.x_m(), 5.0);
+  EXPECT_GT(fitted.alpha(), 1e5);  // concentrates at x_m
+}
+
+TEST(FitPareto, RejectsNonPositive) {
+  const double vals[] = {1.0, -2.0};
+  EXPECT_THROW(fit_pareto(vals), std::invalid_argument);
+}
+
+struct WeibullCase {
+  double k;
+  double lambda;
+};
+
+class FitWeibull : public ::testing::TestWithParam<WeibullCase> {};
+
+TEST_P(FitWeibull, RecoversParameters) {
+  const auto [k, lambda] = GetParam();
+  const Weibull truth(k, lambda);
+  const auto sample = draw(truth, 40000, 3);
+  const Weibull fitted = fit_weibull(sample);
+  EXPECT_NEAR(fitted.shape(), k, 0.05 * k);
+  EXPECT_NEAR(fitted.scale(), lambda, 0.05 * lambda);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FitWeibull,
+    ::testing::Values(WeibullCase{0.5, 1.0}, WeibullCase{1.0, 2.0},
+                      WeibullCase{1.8, 0.5}, WeibullCase{3.5, 10.0}));
+
+TEST(FitLogNormal, RecoversParameters) {
+  const LogNormal truth(1.5, 0.6);
+  const auto sample = draw(truth, 50000, 4);
+  const LogNormal fitted = fit_lognormal(sample);
+  EXPECT_NEAR(fitted.mu(), 1.5, 0.02);
+  EXPECT_NEAR(fitted.sigma(), 0.6, 0.02);
+}
+
+TEST(FitGeneric, ReturnsNullOnEmpty) {
+  for (Family f : {Family::exponential, Family::pareto, Family::weibull,
+                   Family::tcplib}) {
+    EXPECT_EQ(fit(f, {}), nullptr) << to_string(f);
+  }
+}
+
+TEST(FitGeneric, ReturnsNullOnNonPositiveForPositiveFamilies) {
+  const double vals[] = {1.0, 0.0, 2.0};
+  EXPECT_EQ(fit(Family::pareto, vals), nullptr);
+  EXPECT_EQ(fit(Family::weibull, vals), nullptr);
+  // Exponential only needs a positive mean.
+  EXPECT_NE(fit(Family::exponential, vals), nullptr);
+}
+
+TEST(FitGeneric, FitsEveryFamilyOnHealthySample) {
+  Rng rng(7);
+  std::vector<double> sample(2000);
+  for (auto& x : sample) x = rng.lognormal(1.0, 0.5);
+  for (Family f : {Family::exponential, Family::pareto, Family::weibull,
+                   Family::tcplib}) {
+    const auto d = fit(f, sample);
+    ASSERT_NE(d, nullptr) << to_string(f);
+    EXPECT_GT(d->mean(), 0.0);
+  }
+}
+
+TEST(FamilyNames, AreStable) {
+  EXPECT_EQ(to_string(Family::exponential), "poisson");
+  EXPECT_EQ(to_string(Family::pareto), "pareto");
+  EXPECT_EQ(to_string(Family::weibull), "weibull");
+  EXPECT_EQ(to_string(Family::tcplib), "tcplib");
+}
+
+}  // namespace
+}  // namespace cpg::stats

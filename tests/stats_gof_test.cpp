@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "stats/fit.h"
+#include "stats/gof.h"
+
+namespace cpg::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(KolmogorovQ, KnownValuesAndMonotonicity) {
+  EXPECT_NEAR(kolmogorov_q(1e-9), 1.0, 1e-9);
+  // Q(1.224) ~ 0.1, Q(1.358) ~ 0.05 (standard K-S critical points).
+  EXPECT_NEAR(kolmogorov_q(1.224), 0.10, 0.005);
+  EXPECT_NEAR(kolmogorov_q(1.358), 0.05, 0.003);
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = kolmogorov_q(x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsTest, AcceptsTrueDistribution) {
+  const Exponential truth(1.0);
+  int passed = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto sample = draw(truth, 300, 100 + rep);
+    if (ks_test(sample, truth).passes()) ++passed;
+  }
+  // At a 5% significance level ~95% of true-null samples pass.
+  EXPECT_GE(passed, 33);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  const LogNormal truth(0.0, 1.5);
+  const Exponential wrong(1.0 / truth.mean());
+  const auto sample = draw(truth, 2000, 7);
+  const auto r = ks_test(sample, wrong);
+  EXPECT_FALSE(r.passes());
+  EXPECT_GT(r.statistic, 0.1);
+}
+
+TEST(KsTest, StatisticExactOnTinySample) {
+  // Sample {1.0} against Exponential(1): F(1) = 0.632...;
+  // D = max(F - 0, 1 - F) = 0.632.
+  const double sample[] = {1.0};
+  const Exponential e(1.0);
+  const auto r = ks_test(sample, e);
+  EXPECT_NEAR(r.statistic, 0.6321, 1e-3);
+}
+
+TEST(KsTest, ThrowsOnEmpty) {
+  const Exponential e(1.0);
+  EXPECT_THROW(ks_test({}, e), std::invalid_argument);
+}
+
+TEST(KsTwoSample, ZeroForIdenticalSamples) {
+  const double a[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample_statistic(a, a), 0.0);
+}
+
+TEST(KsTwoSample, OneForDisjointSamples) {
+  const double a[] = {1.0, 2.0};
+  const double b[] = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample_statistic(a, b), 1.0);
+}
+
+TEST(KsTwoSample, KnownHalfOverlap) {
+  const double a[] = {1.0, 2.0, 3.0, 4.0};
+  const double b[] = {3.0, 4.0, 5.0, 6.0};
+  // After x=2: F_a = 0.5, F_b = 0.0 -> D = 0.5.
+  EXPECT_DOUBLE_EQ(ks_two_sample_statistic(a, b), 0.5);
+}
+
+TEST(KsTwoSample, SymmetricAndScaleOfSampleSizesHandled) {
+  Rng rng(9);
+  std::vector<double> a(500), b(3000);
+  for (auto& x : a) x = rng.exponential(1.0);
+  for (auto& x : b) x = rng.exponential(1.0);
+  const double d1 = ks_two_sample_statistic(a, b);
+  const double d2 = ks_two_sample_statistic(b, a);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_LT(d1, 0.08);  // same law -> small distance
+}
+
+TEST(AdExponential, AcceptsExponentialSamples) {
+  const Exponential truth(2.0);
+  int passed = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto sample = draw(truth, 200, 500 + rep);
+    if (ad_test_exponential(sample).passes()) ++passed;
+  }
+  EXPECT_GE(passed, 33);
+}
+
+TEST(AdExponential, RejectsHeavyTailedSamples) {
+  const LogNormal truth(0.0, 1.8);
+  const auto sample = draw(truth, 1000, 11);
+  const auto r = ad_test_exponential(sample);
+  EXPECT_FALSE(r.passes());
+  EXPECT_GT(r.a2_modified, r.critical_5pct);
+}
+
+TEST(AdExponential, MoreSensitiveToTailsThanKs) {
+  // A distribution matching exponential in the bulk but with a fat tail:
+  // mixture of Exp(1) with 2% Pareto tail.
+  Rng rng(13);
+  std::vector<double> sample(1500);
+  for (auto& x : sample) {
+    x = rng.bernoulli(0.02) ? rng.pareto(5.0, 1.1) : rng.exponential(1.0);
+  }
+  const auto ad = ad_test_exponential(sample);
+  EXPECT_FALSE(ad.passes());
+}
+
+TEST(AdGeneric, Case0AgainstSpecifiedDistribution) {
+  const Exponential truth(1.0);
+  const auto sample = draw(truth, 500, 17);
+  const auto r = ad_test(sample, truth);
+  EXPECT_TRUE(r.passes());
+  const LogNormal wrong(2.0, 0.2);
+  EXPECT_FALSE(ad_test(sample, wrong).passes());
+}
+
+TEST(AdTests, ThrowOnTooFewPoints) {
+  const double one[] = {1.0};
+  EXPECT_THROW(ad_test_exponential(one), std::invalid_argument);
+  const Exponential e(1.0);
+  EXPECT_THROW(ad_test(one, e), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpg::stats

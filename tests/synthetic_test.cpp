@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "statemachine/replay.h"
+#include "stats/gof.h"
+#include "synthetic/workload.h"
+#include "test_util.h"
+#include "validation/micro.h"
+
+namespace cpg::synthetic {
+namespace {
+
+const Trace& ground_truth() {
+  static const Trace t = testutil::small_ground_truth(300, 72.0, 21);
+  return t;
+}
+
+TEST(Workload, DefaultPopulationMix) {
+  const auto opts = default_population(1000);
+  EXPECT_EQ(opts.ue_counts[index_of(DeviceType::phone)], 630u);
+  EXPECT_EQ(opts.ue_counts[index_of(DeviceType::connected_car)], 250u);
+  EXPECT_EQ(opts.ue_counts[index_of(DeviceType::tablet)], 120u);
+}
+
+TEST(Workload, ConformsToTwoLevelMachine) {
+  EXPECT_EQ(sm::count_violations(sm::lte_two_level_spec(), ground_truth()),
+            0u);
+}
+
+TEST(Workload, EventsAreTimeOrderedAndOwned) {
+  const Trace& t = ground_truth();
+  TimeMs prev = -1;
+  for (const ControlEvent& e : t.events()) {
+    ASSERT_GE(e.t_ms, prev);
+    ASSERT_LT(e.ue_id, t.num_ues());
+    prev = e.t_ms;
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  auto opts = default_population(40);
+  opts.duration_hours = 12.0;
+  opts.num_threads = 1;
+  const Trace a = generate_ground_truth(opts);
+  opts.num_threads = 4;
+  const Trace b = generate_ground_truth(opts);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (std::size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(Workload, EventMixTracksPaperTable1) {
+  const auto bd =
+      sm::compute_state_breakdown(sm::lte_two_level_spec(), ground_truth());
+  // Loose envelopes around the paper's Table 1 percentages.
+  // Phones: SRV_REQ 45.5, S1 47.5, HO 3.8, TAU 2.9, ATCH 0.1, DTCH 0.2.
+  const DeviceType p = DeviceType::phone;
+  EXPECT_NEAR(bd.fraction(p, 2), 0.455, 0.05);
+  EXPECT_NEAR(bd.fraction(p, 3), 0.475, 0.05);
+  EXPECT_NEAR(bd.fraction(p, 4) + bd.fraction(p, 5), 0.038, 0.025);
+  EXPECT_NEAR(bd.fraction(p, 6) + bd.fraction(p, 7), 0.029, 0.025);
+  // Connected cars: more HO and TAU than phones (mobility), more
+  // ATCH/DTCH (ignition cycles).
+  const DeviceType c = DeviceType::connected_car;
+  EXPECT_GT(bd.fraction(c, 4), bd.fraction(p, 4));
+  EXPECT_GT(bd.fraction(c, 6) + bd.fraction(c, 7),
+            bd.fraction(p, 6) + bd.fraction(p, 7));
+  EXPECT_GT(bd.fraction(c, 0), bd.fraction(p, 0));
+  // No HO in IDLE, ever (3GPP conformance).
+  for (DeviceType d : k_all_device_types) {
+    EXPECT_EQ(bd.counts[index_of(d)][5], 0u) << to_string(d);
+  }
+}
+
+TEST(Workload, DiurnalPatternPresent) {
+  const Trace& t = ground_truth();
+  std::array<std::uint64_t, 24> by_hour{};
+  for (const ControlEvent& e : t.events()) {
+    ++by_hour[static_cast<std::size_t>(hour_of_day(e.t_ms))];
+  }
+  const auto peak = *std::max_element(by_hour.begin(), by_hour.end());
+  const auto trough = *std::min_element(by_hour.begin(), by_hour.end());
+  ASSERT_GT(trough, 0u);
+  // The paper reports 2.27x..1309x peak-to-trough swings per event type;
+  // in aggregate the swing is strong.
+  EXPECT_GT(static_cast<double>(peak) / static_cast<double>(trough), 4.0);
+}
+
+TEST(Workload, ConnectedSojournIsNotExponential) {
+  // The core §4 finding: classic families fail on the synthetic ground
+  // truth as well (heavy-tailed mixtures by construction).
+  auto sojourns = validation::state_sojourns(
+      ground_truth(), sm::lte_two_level_spec(), DeviceType::phone,
+      UeState::connected);
+  ASSERT_GT(sojourns.size(), 1000u);
+  if (sojourns.size() > 20'000) sojourns.resize(20'000);
+  const auto r = stats::ad_test_exponential(sojourns);
+  EXPECT_FALSE(r.passes());
+}
+
+TEST(Workload, PerUeActivityIsSkewed) {
+  const auto counts = validation::events_per_ue(
+      ground_truth(), DeviceType::phone, EventType::srv_req);
+  ASSERT_FALSE(counts.empty());
+  std::vector<double> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = sorted[sorted.size() / 2];
+  const double p95 = sorted[static_cast<std::size_t>(
+      0.95 * static_cast<double>(sorted.size() - 1))];
+  ASSERT_GT(p50, 0.0);
+  EXPECT_GT(p95 / p50, 2.0);  // heavy per-UE skew
+}
+
+TEST(Workload, CarsQuietAtNight) {
+  const Trace& t = ground_truth();
+  std::uint64_t night = 0, commute = 0, night_ho = 0, commute_ho = 0;
+  for (const ControlEvent& e : t.events()) {
+    if (t.device(e.ue_id) != DeviceType::connected_car) continue;
+    const int h = hour_of_day(e.t_ms);
+    if (h >= 2 && h < 5) {
+      ++night;
+      if (e.type == EventType::ho) ++night_ho;
+    }
+    if (h >= 7 && h < 9) {
+      ++commute;
+      if (e.type == EventType::ho) ++commute_ho;
+    }
+  }
+  ASSERT_GT(commute, 0u);
+  EXPECT_GT(commute, 8 * std::max<std::uint64_t>(night, 1));
+  // HO essentially vanishes at night (paper Fig. 2: up to 1309x swing).
+  EXPECT_GT(commute_ho, 40 * std::max<std::uint64_t>(night_ho, 1));
+}
+
+TEST(Workload, SingleUeSimulation) {
+  Rng rng(5);
+  std::vector<ControlEvent> out;
+  simulate_ue(profile_for(DeviceType::phone), 6 * k_ms_per_hour, 3, rng,
+              out);
+  ASSERT_FALSE(out.empty());
+  TimeMs prev = -1;
+  for (const ControlEvent& e : out) {
+    EXPECT_EQ(e.ue_id, 3u);
+    EXPECT_GT(e.t_ms, prev);
+    EXPECT_LT(e.t_ms, 6 * k_ms_per_hour);
+    prev = e.t_ms;
+  }
+}
+
+TEST(Profiles, DistinctPerDevice) {
+  const DeviceProfile& p = profile_for(DeviceType::phone);
+  const DeviceProfile& c = profile_for(DeviceType::connected_car);
+  const DeviceProfile& t = profile_for(DeviceType::tablet);
+  EXPECT_LT(p.p_off_at_session_end, t.p_off_at_session_end);
+  EXPECT_LT(c.p_stationary, p.p_stationary);
+  EXPECT_GT(c.mobile_session_length_factor, p.mobile_session_length_factor);
+  EXPECT_LT(c.periodic_tau_s, t.periodic_tau_s);
+}
+
+}  // namespace
+}  // namespace cpg::synthetic

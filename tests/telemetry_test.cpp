@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/rng.h"
+#include "telemetry/count_min.h"
+#include "telemetry/heavy_hitters.h"
+#include "telemetry/sampling.h"
+#include "test_util.h"
+
+namespace cpg::telemetry {
+namespace {
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch sketch(64, 4);
+  std::map<std::uint64_t, std::uint64_t> exact;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.uniform_index(500);
+    sketch.add(key);
+    ++exact[key];
+  }
+  for (const auto& [key, count] : exact) {
+    EXPECT_GE(sketch.estimate(key), count);
+  }
+  EXPECT_EQ(sketch.total(), 20000u);
+}
+
+TEST(CountMin, ErrorWithinGuarantee) {
+  const double epsilon = 0.01, delta = 0.01;
+  auto sketch = CountMinSketch::for_error(epsilon, delta);
+  std::map<std::uint64_t, std::uint64_t> exact;
+  Rng rng(2);
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    // Zipf-ish: heavy keys plus a long tail.
+    const std::uint64_t key = rng.bernoulli(0.3)
+                                  ? rng.uniform_index(10)
+                                  : 10 + rng.uniform_index(5000);
+    sketch.add(key);
+    ++exact[key];
+  }
+  std::size_t violations = 0;
+  for (const auto& [key, count] : exact) {
+    if (sketch.estimate(key) > count + epsilon * n) ++violations;
+  }
+  // Allowed failure probability is delta per query; with slack:
+  EXPECT_LT(static_cast<double>(violations),
+            0.05 * static_cast<double>(exact.size()));
+}
+
+TEST(CountMin, ExactForSingleKey) {
+  CountMinSketch sketch(1024, 3);
+  sketch.add(42, 7);
+  sketch.add(42, 3);
+  EXPECT_EQ(sketch.estimate(42), 10u);
+}
+
+TEST(CountMin, UnseenKeyUsuallyZeroOnSparseSketch) {
+  CountMinSketch sketch(4096, 4);
+  for (std::uint64_t k = 0; k < 10; ++k) sketch.add(k);
+  EXPECT_LE(sketch.estimate(999'999), 1u);
+}
+
+TEST(CountMin, ClearAndMerge) {
+  CountMinSketch a(128, 3, 9);
+  CountMinSketch b(128, 3, 9);
+  a.add(1, 5);
+  b.add(1, 7);
+  a.merge(b);
+  EXPECT_EQ(a.estimate(1), 12u);
+  a.clear();
+  EXPECT_EQ(a.estimate(1), 0u);
+  EXPECT_EQ(a.total(), 0u);
+
+  CountMinSketch incompatible(64, 3, 9);
+  EXPECT_THROW(a.merge(incompatible), std::invalid_argument);
+}
+
+TEST(CountMin, RejectsBadParameters) {
+  EXPECT_THROW(CountMinSketch(0, 3), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch::for_error(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch::for_error(0.01, 1.5), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving ss(16);
+  for (int i = 0; i < 5; ++i) ss.add(7);
+  for (int i = 0; i < 3; ++i) ss.add(8);
+  const auto top = ss.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 7u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 8u);
+}
+
+TEST(SpaceSaving, FindsHeavyHittersUnderEviction) {
+  SpaceSaving ss(64);
+  Rng rng(3);
+  // Keys 0..4 are heavy (appear ~2000x); noise keys appear once.
+  std::array<std::uint64_t, 5> heavy_counts{};
+  for (int i = 0; i < 30000; ++i) {
+    if (rng.bernoulli(0.33)) {
+      const auto k = rng.uniform_index(5);
+      ++heavy_counts[k];
+      ss.add(k);
+    } else {
+      ss.add(1000 + rng.uniform_index(100000));
+    }
+  }
+  const auto top = ss.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& entry : top) {
+    EXPECT_LT(entry.key, 5u);  // all heavy keys found
+    // Count is an upper bound on the true count.
+    EXPECT_GE(entry.count, heavy_counts[entry.key]);
+  }
+}
+
+TEST(SpaceSaving, CapacityBounded) {
+  SpaceSaving ss(8);
+  for (std::uint64_t k = 0; k < 1000; ++k) ss.add(k);
+  EXPECT_LE(ss.size(), 8u);
+  EXPECT_EQ(ss.total(), 1000u);
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(Sampling, FullRateIsExact) {
+  const Trace t = testutil::small_ground_truth(50, 2.0, 61);
+  const auto report = evaluate_sampling(t, 1.0);
+  EXPECT_EQ(report.sampled_events, t.num_events());
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 0.0);
+}
+
+TEST(Sampling, ErrorShrinksWithRate) {
+  const Trace t = testutil::small_ground_truth(150, 6.0, 62);
+  const auto low = evaluate_sampling(t, 0.001);
+  const auto high = evaluate_sampling(t, 0.2);
+  // Rare event types (ATCH/DTCH) keep the max error high at any affordable
+  // rate -- that is the operational insight; the dominant types converge.
+  const std::size_t srv = index_of(EventType::srv_req);
+  EXPECT_GT(low.relative_error[srv], high.relative_error[srv]);
+  EXPECT_LT(high.relative_error[srv], 0.05);
+}
+
+TEST(Sampling, EstimatesAreUnbiasedScale) {
+  const Trace t = testutil::small_ground_truth(150, 6.0, 63);
+  const auto report = evaluate_sampling(t, 0.5);
+  for (std::size_t e = 0; e < k_num_event_types; ++e) {
+    if (report.true_counts[e] < 1000) continue;
+    EXPECT_NEAR(report.estimated_counts[e],
+                static_cast<double>(report.true_counts[e]),
+                0.1 * static_cast<double>(report.true_counts[e]));
+  }
+}
+
+TEST(Sampling, PickRateReturnsCheapestQualifying) {
+  const Trace t = testutil::small_ground_truth(150, 6.0, 64);
+  const double rates[] = {0.0001, 0.01, 0.5, 1.0};
+  const double chosen = pick_sampling_rate(t, rates, 0.60);
+  EXPECT_LT(chosen, 1.0);
+  // An impossible target falls back to full sampling.
+  const double strict[] = {0.0001};
+  EXPECT_DOUBLE_EQ(pick_sampling_rate(t, strict, 1e-9), 1.0);
+}
+
+TEST(Sampling, RejectsBadRate) {
+  const Trace t = testutil::small_ground_truth(20, 1.0, 65);
+  EXPECT_THROW(evaluate_sampling(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(evaluate_sampling(t, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpg::telemetry

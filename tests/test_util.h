@@ -1,0 +1,18 @@
+// Shared helpers for tests: small deterministic ground-truth traces.
+#pragma once
+
+#include "synthetic/workload.h"
+
+namespace cpg::testutil {
+
+inline Trace small_ground_truth(std::size_t total_ues = 150,
+                                double hours = 48.0,
+                                std::uint64_t seed = 7) {
+  auto opts = synthetic::default_population(total_ues);
+  opts.duration_hours = hours;
+  opts.seed = seed;
+  opts.num_threads = 2;
+  return synthetic::generate_ground_truth(opts);
+}
+
+}  // namespace cpg::testutil

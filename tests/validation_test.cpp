@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "validation/macro.h"
+#include "validation/micro.h"
+#include "validation/test_sweep.h"
+
+namespace cpg::validation {
+namespace {
+
+TEST(BusyHour, FindsDominantHour) {
+  Trace t;
+  const UeId u = t.add_ue(DeviceType::phone);
+  t.add_event(2 * k_ms_per_hour + 1, u, EventType::tau);
+  for (int i = 0; i < 5; ++i) {
+    t.add_event(19 * k_ms_per_hour + i, u, EventType::tau);
+  }
+  t.finalize();
+  EXPECT_EQ(busy_hour(t), 19);
+  Trace empty;
+  EXPECT_THROW(busy_hour(empty), std::invalid_argument);
+}
+
+TEST(BreakdownDiff, SignedDeltasAndMaxAbs) {
+  sm::StateBreakdown real, synth;
+  real.counts[0] = {10, 0, 50, 40, 0, 0, 0, 0};   // phone
+  synth.counts[0] = {0, 0, 60, 40, 0, 0, 0, 0};
+  const auto diff = diff_breakdowns(real, synth);
+  EXPECT_NEAR(diff.delta[0][0], -0.10, 1e-12);  // ATCH under-produced
+  EXPECT_NEAR(diff.delta[0][2], 0.10, 1e-12);   // SRV_REQ over-produced
+  EXPECT_NEAR(diff.max_abs(DeviceType::phone), 0.10, 1e-12);
+  EXPECT_DOUBLE_EQ(diff.max_abs(DeviceType::tablet), 0.0);
+}
+
+TEST(EventsPerUe, CountsIncludeSilentUes) {
+  Trace t;
+  const UeId a = t.add_ue(DeviceType::phone);
+  t.add_ue(DeviceType::phone);  // silent
+  const UeId c = t.add_ue(DeviceType::tablet);
+  t.add_event(1, a, EventType::srv_req);
+  t.add_event(2, a, EventType::srv_req);
+  t.add_event(3, c, EventType::srv_req);
+  t.finalize();
+  const auto phones = events_per_ue(t, DeviceType::phone, EventType::srv_req);
+  ASSERT_EQ(phones.size(), 2u);
+  EXPECT_DOUBLE_EQ(phones[0], 2.0);
+  EXPECT_DOUBLE_EQ(phones[1], 0.0);
+}
+
+TEST(MaxYDistance, BoundaryBehaviour) {
+  const double a[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_y_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(max_y_distance(a, {}), 1.0);
+  EXPECT_DOUBLE_EQ(max_y_distance({}, a), 1.0);
+}
+
+TEST(SplitByActivity, ThresholdAtTwoEvents) {
+  const double counts[] = {0.0, 1.0, 2.0, 3.0, 10.0};
+  const auto split = split_by_activity(counts);
+  EXPECT_EQ(split.inactive.size(), 3u);  // 0, 1, 2
+  EXPECT_EQ(split.active.size(), 2u);    // 3, 10
+}
+
+TEST(EcdfPoints, MonotoneAndEndsAtOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back((i * 31) % 997);
+  const auto pts = ecdf_points(xs, 50);
+  ASSERT_GE(pts.size(), 2u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_TRUE(ecdf_points({}, 10).empty());
+}
+
+TEST(SweepNames, CategoriesMatchPaperTables) {
+  EXPECT_EQ(event_state_category_name(0), "ATCH");
+  EXPECT_EQ(event_state_category_name(2), "SRV_REQ");
+  EXPECT_EQ(event_state_category_name(6), "REG.");
+  EXPECT_EQ(event_state_category_name(9), "IDLE");
+  EXPECT_EQ(substate_category_name(0), "SRV_REQ_S-HO");
+  EXPECT_EQ(substate_category_name(8), "TAU_S_I-S1_REL");
+  EXPECT_EQ(to_string(GofVariant::poisson_ad), "Poisson (A2)");
+}
+
+TEST(SweepNames, SubstateEdgeMappingIsConsistent) {
+  const auto& spec = sm::lte_two_level_spec();
+  // Category 0 = SRV_REQ_S --HO-->; category 8 = TAU_S_IDLE --S1_REL-->.
+  const auto& e0 = spec.sub_transitions()[substate_category_edge(0)];
+  EXPECT_EQ(e0.from, SubState::srv_req_s);
+  EXPECT_EQ(e0.event, EventType::ho);
+  const auto& e8 = spec.sub_transitions()[substate_category_edge(8)];
+  EXPECT_EQ(e8.from, SubState::tau_s_idle);
+  EXPECT_EQ(e8.event, EventType::s1_conn_rel);
+  // Every category maps to a distinct edge.
+  std::set<std::size_t> edges;
+  for (std::size_t c = 0; c < k_num_substate_categories; ++c) {
+    edges.insert(substate_category_edge(c));
+  }
+  EXPECT_EQ(edges.size(), k_num_substate_categories);
+}
+
+TEST(Sweep, PoissonFailsOnGroundTruth) {
+  // Core §4 result: the Poisson family cannot model per-UE traffic even with
+  // clustering.
+  const Trace t = testutil::small_ground_truth(250, 48.0, 31);
+  SweepOptions opts;
+  opts.with_clustering = true;
+  opts.clustering.theta_n = 60;
+  opts.min_samples = 100;  // low-power tiny units would dilute the signal
+  const auto sweep = sweep_events_states(t, opts);
+  const auto& cell =
+      sweep.cells[static_cast<std::size_t>(GofVariant::poisson_ks)]
+                 [index_of(DeviceType::phone)][2];  // SRV_REQ
+  ASSERT_GT(cell.total, 0u);
+  EXPECT_LT(cell.rate(), 0.25);
+  // IDLE sojourn also fails.
+  const auto& idle =
+      sweep.cells[static_cast<std::size_t>(GofVariant::poisson_ks)]
+                 [index_of(DeviceType::phone)][9];
+  ASSERT_GT(idle.total, 0u);
+  EXPECT_LT(idle.rate(), 0.25);
+  // The tail-weighted Anderson-Darling test rejects even more strongly.
+  const auto& ad =
+      sweep.cells[static_cast<std::size_t>(GofVariant::poisson_ad)]
+                 [index_of(DeviceType::phone)][2];
+  ASSERT_GT(ad.total, 0u);
+  EXPECT_LT(ad.rate(), 0.25);
+}
+
+TEST(Sweep, ClusteringChangesUnitCount) {
+  const Trace t = testutil::small_ground_truth(250, 48.0, 31);
+  SweepOptions with;
+  with.with_clustering = true;
+  with.clustering.theta_n = 30;
+  SweepOptions without;
+  without.with_clustering = false;
+  const auto a = sweep_events_states(t, with);
+  const auto b = sweep_events_states(t, without);
+  const auto& cell_a = a.cells[0][index_of(DeviceType::phone)][2];
+  const auto& cell_b = b.cells[0][index_of(DeviceType::phone)][2];
+  EXPECT_GT(cell_a.total, cell_b.total);
+  EXPECT_GT(cell_b.total, 0u);
+}
+
+TEST(Sweep, SubstateSweepCoversObservedTransitions) {
+  const Trace t = testutil::small_ground_truth(250, 48.0, 31);
+  SweepOptions opts;
+  opts.with_clustering = true;
+  opts.clustering.theta_n = 30;
+  opts.min_samples = 10;
+  const auto sweep = sweep_substates(t, opts);
+  // HO self-loop (category 1) happens densely for connected cars.
+  const auto& ho_loop =
+      sweep.cells[0][index_of(DeviceType::connected_car)][1];
+  EXPECT_GT(ho_loop.total, 0u);
+  // The idle TAU release (category 8) exists for phones.
+  const auto& rel = sweep.cells[0][index_of(DeviceType::phone)][8];
+  EXPECT_GT(rel.total, 0u);
+}
+
+TEST(PassRate, RateComputation) {
+  PassRate r;
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+  r.passed = 3;
+  r.total = 12;
+  EXPECT_DOUBLE_EQ(r.rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace cpg::validation

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/variance_time.h"
+
+namespace cpg::stats {
+namespace {
+
+TEST(VarianceTime, PoissonHasSlopeMinusOne) {
+  // For a Poisson process, var(k_i)/mean(k_i)^2 decays as 1/M on the
+  // variance-time plot (slope -1 in log-log).
+  Rng rng(21);
+  const TimeMs t1 = 4'000'000;  // ~66 minutes
+  const auto arrivals = poisson_arrivals(5.0, 0, t1, rng);
+  const double scales[] = {1.0, 10.0, 100.0};
+  const auto curve = variance_time_curve(arrivals, 0, t1, scales);
+  ASSERT_EQ(curve.size(), 3u);
+  // Ratio of consecutive normalized variances ~ 10 for a 10x scale step.
+  const double r1 = curve[0].normalized_variance / curve[1].normalized_variance;
+  const double r2 = curve[1].normalized_variance / curve[2].normalized_variance;
+  EXPECT_NEAR(std::log10(r1), 1.0, 0.35);
+  EXPECT_NEAR(std::log10(r2), 1.0, 0.45);
+}
+
+TEST(VarianceTime, OnOffProcessIsBurstierThanPoisson) {
+  // ON/OFF modulated Poisson with the same mean rate has higher normalized
+  // variance at scales comparable to the burst period.
+  Rng rng(22);
+  const TimeMs t1 = 4'000'000;
+  std::vector<TimeMs> bursty;
+  TimeMs t = 0;
+  bool on = true;
+  while (t < t1) {
+    const TimeMs period = on ? 20'000 : 80'000;  // 20 s on / 80 s off
+    if (on) {
+      const auto part = poisson_arrivals(25.0, t, t + period, rng);
+      bursty.insert(bursty.end(), part.begin(), part.end());
+    }
+    t += period;
+    on = !on;
+  }
+  Rng rng2(23);
+  const auto poisson = poisson_arrivals(5.0, 0, t1, rng2);
+
+  const double scales[] = {10.0, 50.0};
+  const auto vb = variance_time_curve(bursty, 0, t1, scales);
+  const auto vp = variance_time_curve(poisson, 0, t1, scales);
+  ASSERT_EQ(vb.size(), 2u);
+  ASSERT_EQ(vp.size(), 2u);
+  EXPECT_GT(vb[0].normalized_variance, 3.0 * vp[0].normalized_variance);
+  EXPECT_GT(vb[1].normalized_variance, 3.0 * vp[1].normalized_variance);
+}
+
+TEST(VarianceTime, SkipsScalesWithTooFewWindows) {
+  std::vector<TimeMs> arrivals{100, 200, 300};
+  const double scales[] = {1.0, 1000.0};  // only 10 s of data
+  const auto curve = variance_time_curve(arrivals, 0, 10'000, scales);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].scale_s, 1.0);
+}
+
+TEST(VarianceTime, IgnoresOutOfRangeArrivals) {
+  std::vector<TimeMs> arrivals{-50, 100, 200, 99'999'999};
+  const double scales[] = {1.0};
+  const auto curve = variance_time_curve(arrivals, 0, 60'000, scales);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].windows, 60u);
+}
+
+TEST(VarianceTime, ThrowsOnEmptyInterval) {
+  std::vector<TimeMs> arrivals{1};
+  const double scales[] = {1.0};
+  EXPECT_THROW(variance_time_curve(arrivals, 10, 10, scales),
+               std::invalid_argument);
+}
+
+TEST(PoissonArrivals, RateIsRespected) {
+  Rng rng(24);
+  const auto arrivals = poisson_arrivals(10.0, 0, 1'000'000, rng);
+  // 10 events/s over 1000 s -> ~10000 events.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10'000.0, 400.0);
+  // Sorted and in range.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+  EXPECT_GE(arrivals.front(), 0);
+  EXPECT_LT(arrivals.back(), 1'000'000);
+}
+
+TEST(PoissonArrivals, ZeroRateGivesNothing) {
+  Rng rng(25);
+  EXPECT_TRUE(poisson_arrivals(0.0, 0, 1000, rng).empty());
+}
+
+TEST(DefaultScales, AreLogSpaced1To1000) {
+  const auto scales = default_vt_scales();
+  ASSERT_FALSE(scales.empty());
+  EXPECT_DOUBLE_EQ(scales.front(), 1.0);
+  EXPECT_DOUBLE_EQ(scales.back(), 1000.0);
+  for (std::size_t i = 1; i < scales.size(); ++i) {
+    EXPECT_GT(scales[i], scales[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace cpg::stats

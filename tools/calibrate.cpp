@@ -1,0 +1,31 @@
+// Throwaway calibration harness: prints ground-truth event mix vs Table 1.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include "statemachine/replay.h"
+#include "synthetic/workload.h"
+using namespace cpg;
+int main(int argc, char** argv) {
+  std::size_t total = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+  double hours = argc > 2 ? std::strtod(argv[2], nullptr) : 168.0;
+  auto opts = synthetic::default_population(total);
+  opts.duration_hours = hours;
+  auto trace = synthetic::generate_ground_truth(opts);
+  std::printf("events=%zu ues=%zu viol=%llu\n", trace.num_events(), trace.num_ues(),
+    (unsigned long long)sm::count_violations(sm::lte_two_level_spec(), trace));
+  auto bd = sm::compute_state_breakdown(sm::lte_two_level_spec(), trace);
+  const char* dn[3] = {"P", "CC", "T"};
+  std::printf("%-12s %6s %6s %6s\n", "row", "P", "CC", "T");
+  for (std::size_t r = 0; r < sm::StateBreakdown::k_num_rows; ++r) {
+    std::printf("%-12s", std::string(sm::StateBreakdown::row_name(r)).c_str());
+    for (auto d : k_all_device_types)
+      std::printf(" %5.1f%%", 100.0 * bd.fraction(d, r));
+    std::printf("\n");
+  }
+  for (auto d : k_all_device_types) {
+    auto totald = bd.device_total(d);
+    std::printf("%s: events/ue-hour = %.1f\n", dn[index_of(d)],
+      (double)totald / (double)trace.num_ues_of(d) / hours);
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aggregate.dir/bench/ablation_aggregate.cpp.o"
+  "CMakeFiles/ablation_aggregate.dir/bench/ablation_aggregate.cpp.o.d"
+  "bench/ablation_aggregate"
+  "bench/ablation_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

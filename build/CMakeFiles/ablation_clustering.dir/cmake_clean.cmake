@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clustering.dir/bench/ablation_clustering.cpp.o"
+  "CMakeFiles/ablation_clustering.dir/bench/ablation_clustering.cpp.o.d"
+  "bench/ablation_clustering"
+  "bench/ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/cpg_bench_common.dir/bench/common.cpp.o.d"
+  "libcpg_bench_common.a"
+  "libcpg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_diurnal_boxplots.dir/bench/fig2_diurnal_boxplots.cpp.o"
+  "CMakeFiles/fig2_diurnal_boxplots.dir/bench/fig2_diurnal_boxplots.cpp.o.d"
+  "bench/fig2_diurnal_boxplots"
+  "bench/fig2_diurnal_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_diurnal_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

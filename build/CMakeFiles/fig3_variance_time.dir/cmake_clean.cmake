@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_variance_time.dir/bench/fig3_variance_time.cpp.o"
+  "CMakeFiles/fig3_variance_time.dir/bench/fig3_variance_time.cpp.o.d"
+  "bench/fig3_variance_time"
+  "bench/fig3_variance_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_variance_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

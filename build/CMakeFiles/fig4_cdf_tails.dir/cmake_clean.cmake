@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cdf_tails.dir/bench/fig4_cdf_tails.cpp.o"
+  "CMakeFiles/fig4_cdf_tails.dir/bench/fig4_cdf_tails.cpp.o.d"
+  "bench/fig4_cdf_tails"
+  "bench/fig4_cdf_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cdf_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_perue_cdfs.dir/bench/fig7_perue_cdfs.cpp.o"
+  "CMakeFiles/fig7_perue_cdfs.dir/bench/fig7_perue_cdfs.cpp.o.d"
+  "bench/fig7_perue_cdfs"
+  "bench/fig7_perue_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perue_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_perf.cpp" "CMakeFiles/micro_perf.dir/bench/micro_perf.cpp.o" "gcc" "CMakeFiles/micro_perf.dir/bench/micro_perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/cpg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cpg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/cpg_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cpg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthetic/CMakeFiles/cpg_synthetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/cpg_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/cpg_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/cpg_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_substate_sweep.dir/bench/table10_substate_sweep.cpp.o"
+  "CMakeFiles/table10_substate_sweep.dir/bench/table10_substate_sweep.cpp.o.d"
+  "bench/table10_substate_sweep"
+  "bench/table10_substate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_substate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_macro_s1.dir/bench/table11_macro_s1.cpp.o"
+  "CMakeFiles/table11_macro_s1.dir/bench/table11_macro_s1.cpp.o.d"
+  "bench/table11_macro_s1"
+  "bench/table11_macro_s1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_macro_s1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

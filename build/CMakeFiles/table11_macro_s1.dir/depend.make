@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_macro_s1.
+# This may be replaced when dependencies are built.

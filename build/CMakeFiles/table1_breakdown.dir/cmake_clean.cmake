@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_breakdown.dir/bench/table1_breakdown.cpp.o"
+  "CMakeFiles/table1_breakdown.dir/bench/table1_breakdown.cpp.o.d"
+  "bench/table1_breakdown"
+  "bench/table1_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_macro_s2.dir/bench/table4_macro_s2.cpp.o"
+  "CMakeFiles/table4_macro_s2.dir/bench/table4_macro_s2.cpp.o.d"
+  "bench/table4_macro_s2"
+  "bench/table4_macro_s2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_macro_s2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_micro.dir/bench/table5_micro.cpp.o"
+  "CMakeFiles/table5_micro.dir/bench/table5_micro.cpp.o.d"
+  "bench/table5_micro"
+  "bench/table5_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

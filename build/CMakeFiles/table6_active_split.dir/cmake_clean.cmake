@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_active_split.dir/bench/table6_active_split.cpp.o"
+  "CMakeFiles/table6_active_split.dir/bench/table6_active_split.cpp.o.d"
+  "bench/table6_active_split"
+  "bench/table6_active_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_active_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_5g.dir/bench/table7_5g.cpp.o"
+  "CMakeFiles/table7_5g.dir/bench/table7_5g.cpp.o.d"
+  "bench/table7_5g"
+  "bench/table7_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

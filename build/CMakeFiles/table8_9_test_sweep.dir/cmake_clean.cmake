@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_9_test_sweep.dir/bench/table8_9_test_sweep.cpp.o"
+  "CMakeFiles/table8_9_test_sweep.dir/bench/table8_9_test_sweep.cpp.o.d"
+  "bench/table8_9_test_sweep"
+  "bench/table8_9_test_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_9_test_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_sampling.dir/monitoring_sampling.cpp.o"
+  "CMakeFiles/monitoring_sampling.dir/monitoring_sampling.cpp.o.d"
+  "monitoring_sampling"
+  "monitoring_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

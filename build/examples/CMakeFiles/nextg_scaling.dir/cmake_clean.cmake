@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nextg_scaling.dir/nextg_scaling.cpp.o"
+  "CMakeFiles/nextg_scaling.dir/nextg_scaling.cpp.o.d"
+  "nextg_scaling"
+  "nextg_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nextg_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

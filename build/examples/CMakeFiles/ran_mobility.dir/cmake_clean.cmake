@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_mobility.dir/ran_mobility.cpp.o"
+  "CMakeFiles/ran_mobility.dir/ran_mobility.cpp.o.d"
+  "ran_mobility"
+  "ran_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

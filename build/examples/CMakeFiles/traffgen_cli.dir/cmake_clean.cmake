@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffgen_cli.dir/traffgen_cli.cpp.o"
+  "CMakeFiles/traffgen_cli.dir/traffgen_cli.cpp.o.d"
+  "traffgen"
+  "traffgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("stats")
+subdirs("statemachine")
+subdirs("clustering")
+subdirs("model")
+subdirs("synthetic")
+subdirs("generator")
+subdirs("validation")
+subdirs("mcn")
+subdirs("telemetry")
+subdirs("io")
+subdirs("ran")

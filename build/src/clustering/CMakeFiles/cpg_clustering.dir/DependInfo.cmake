@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/adaptive.cpp" "src/clustering/CMakeFiles/cpg_clustering.dir/adaptive.cpp.o" "gcc" "src/clustering/CMakeFiles/cpg_clustering.dir/adaptive.cpp.o.d"
+  "/root/repo/src/clustering/features.cpp" "src/clustering/CMakeFiles/cpg_clustering.dir/features.cpp.o" "gcc" "src/clustering/CMakeFiles/cpg_clustering.dir/features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/cpg_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_clustering.dir/adaptive.cpp.o"
+  "CMakeFiles/cpg_clustering.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cpg_clustering.dir/features.cpp.o"
+  "CMakeFiles/cpg_clustering.dir/features.cpp.o.d"
+  "libcpg_clustering.a"
+  "libcpg_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_core.dir/trace.cpp.o"
+  "CMakeFiles/cpg_core.dir/trace.cpp.o.d"
+  "CMakeFiles/cpg_core.dir/types.cpp.o"
+  "CMakeFiles/cpg_core.dir/types.cpp.o.d"
+  "libcpg_core.a"
+  "libcpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

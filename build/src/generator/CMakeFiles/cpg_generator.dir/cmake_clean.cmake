@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_generator.dir/traffic_generator.cpp.o"
+  "CMakeFiles/cpg_generator.dir/traffic_generator.cpp.o.d"
+  "CMakeFiles/cpg_generator.dir/ue_generator.cpp.o"
+  "CMakeFiles/cpg_generator.dir/ue_generator.cpp.o.d"
+  "libcpg_generator.a"
+  "libcpg_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/cpg_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/cpg_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/model_io.cpp" "src/io/CMakeFiles/cpg_io.dir/model_io.cpp.o" "gcc" "src/io/CMakeFiles/cpg_io.dir/model_io.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/cpg_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/cpg_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cpg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/cpg_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/cpg_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

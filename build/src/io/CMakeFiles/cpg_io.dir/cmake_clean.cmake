@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_io.dir/csv.cpp.o"
+  "CMakeFiles/cpg_io.dir/csv.cpp.o.d"
+  "CMakeFiles/cpg_io.dir/model_io.cpp.o"
+  "CMakeFiles/cpg_io.dir/model_io.cpp.o.d"
+  "CMakeFiles/cpg_io.dir/table.cpp.o"
+  "CMakeFiles/cpg_io.dir/table.cpp.o.d"
+  "libcpg_io.a"
+  "libcpg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcn/fiveg_core.cpp" "src/mcn/CMakeFiles/cpg_mcn.dir/fiveg_core.cpp.o" "gcc" "src/mcn/CMakeFiles/cpg_mcn.dir/fiveg_core.cpp.o.d"
+  "/root/repo/src/mcn/procedures.cpp" "src/mcn/CMakeFiles/cpg_mcn.dir/procedures.cpp.o" "gcc" "src/mcn/CMakeFiles/cpg_mcn.dir/procedures.cpp.o.d"
+  "/root/repo/src/mcn/queueing.cpp" "src/mcn/CMakeFiles/cpg_mcn.dir/queueing.cpp.o" "gcc" "src/mcn/CMakeFiles/cpg_mcn.dir/queueing.cpp.o.d"
+  "/root/repo/src/mcn/simulator.cpp" "src/mcn/CMakeFiles/cpg_mcn.dir/simulator.cpp.o" "gcc" "src/mcn/CMakeFiles/cpg_mcn.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_mcn.dir/fiveg_core.cpp.o"
+  "CMakeFiles/cpg_mcn.dir/fiveg_core.cpp.o.d"
+  "CMakeFiles/cpg_mcn.dir/procedures.cpp.o"
+  "CMakeFiles/cpg_mcn.dir/procedures.cpp.o.d"
+  "CMakeFiles/cpg_mcn.dir/queueing.cpp.o"
+  "CMakeFiles/cpg_mcn.dir/queueing.cpp.o.d"
+  "CMakeFiles/cpg_mcn.dir/simulator.cpp.o"
+  "CMakeFiles/cpg_mcn.dir/simulator.cpp.o.d"
+  "libcpg_mcn.a"
+  "libcpg_mcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_mcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/aggregate.cpp" "src/model/CMakeFiles/cpg_model.dir/aggregate.cpp.o" "gcc" "src/model/CMakeFiles/cpg_model.dir/aggregate.cpp.o.d"
+  "/root/repo/src/model/fit.cpp" "src/model/CMakeFiles/cpg_model.dir/fit.cpp.o" "gcc" "src/model/CMakeFiles/cpg_model.dir/fit.cpp.o.d"
+  "/root/repo/src/model/nextg.cpp" "src/model/CMakeFiles/cpg_model.dir/nextg.cpp.o" "gcc" "src/model/CMakeFiles/cpg_model.dir/nextg.cpp.o.d"
+  "/root/repo/src/model/semi_markov.cpp" "src/model/CMakeFiles/cpg_model.dir/semi_markov.cpp.o" "gcc" "src/model/CMakeFiles/cpg_model.dir/semi_markov.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/cpg_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/cpg_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_model.dir/aggregate.cpp.o"
+  "CMakeFiles/cpg_model.dir/aggregate.cpp.o.d"
+  "CMakeFiles/cpg_model.dir/fit.cpp.o"
+  "CMakeFiles/cpg_model.dir/fit.cpp.o.d"
+  "CMakeFiles/cpg_model.dir/nextg.cpp.o"
+  "CMakeFiles/cpg_model.dir/nextg.cpp.o.d"
+  "CMakeFiles/cpg_model.dir/semi_markov.cpp.o"
+  "CMakeFiles/cpg_model.dir/semi_markov.cpp.o.d"
+  "libcpg_model.a"
+  "libcpg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/mobility.cpp" "src/ran/CMakeFiles/cpg_ran.dir/mobility.cpp.o" "gcc" "src/ran/CMakeFiles/cpg_ran.dir/mobility.cpp.o.d"
+  "/root/repo/src/ran/topology.cpp" "src/ran/CMakeFiles/cpg_ran.dir/topology.cpp.o" "gcc" "src/ran/CMakeFiles/cpg_ran.dir/topology.cpp.o.d"
+  "/root/repo/src/ran/ue_events.cpp" "src/ran/CMakeFiles/cpg_ran.dir/ue_events.cpp.o" "gcc" "src/ran/CMakeFiles/cpg_ran.dir/ue_events.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

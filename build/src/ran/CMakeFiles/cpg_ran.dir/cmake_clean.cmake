@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_ran.dir/mobility.cpp.o"
+  "CMakeFiles/cpg_ran.dir/mobility.cpp.o.d"
+  "CMakeFiles/cpg_ran.dir/topology.cpp.o"
+  "CMakeFiles/cpg_ran.dir/topology.cpp.o.d"
+  "CMakeFiles/cpg_ran.dir/ue_events.cpp.o"
+  "CMakeFiles/cpg_ran.dir/ue_events.cpp.o.d"
+  "libcpg_ran.a"
+  "libcpg_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statemachine/machine.cpp" "src/statemachine/CMakeFiles/cpg_statemachine.dir/machine.cpp.o" "gcc" "src/statemachine/CMakeFiles/cpg_statemachine.dir/machine.cpp.o.d"
+  "/root/repo/src/statemachine/replay.cpp" "src/statemachine/CMakeFiles/cpg_statemachine.dir/replay.cpp.o" "gcc" "src/statemachine/CMakeFiles/cpg_statemachine.dir/replay.cpp.o.d"
+  "/root/repo/src/statemachine/spec.cpp" "src/statemachine/CMakeFiles/cpg_statemachine.dir/spec.cpp.o" "gcc" "src/statemachine/CMakeFiles/cpg_statemachine.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

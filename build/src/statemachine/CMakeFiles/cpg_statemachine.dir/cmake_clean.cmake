@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_statemachine.dir/machine.cpp.o"
+  "CMakeFiles/cpg_statemachine.dir/machine.cpp.o.d"
+  "CMakeFiles/cpg_statemachine.dir/replay.cpp.o"
+  "CMakeFiles/cpg_statemachine.dir/replay.cpp.o.d"
+  "CMakeFiles/cpg_statemachine.dir/spec.cpp.o"
+  "CMakeFiles/cpg_statemachine.dir/spec.cpp.o.d"
+  "libcpg_statemachine.a"
+  "libcpg_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cpg_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cpg_stats.dir/distribution.cpp.o"
+  "CMakeFiles/cpg_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/cpg_stats.dir/fit.cpp.o"
+  "CMakeFiles/cpg_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/cpg_stats.dir/gof.cpp.o"
+  "CMakeFiles/cpg_stats.dir/gof.cpp.o.d"
+  "CMakeFiles/cpg_stats.dir/variance_time.cpp.o"
+  "CMakeFiles/cpg_stats.dir/variance_time.cpp.o.d"
+  "libcpg_stats.a"
+  "libcpg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_synthetic.dir/profiles.cpp.o"
+  "CMakeFiles/cpg_synthetic.dir/profiles.cpp.o.d"
+  "CMakeFiles/cpg_synthetic.dir/workload.cpp.o"
+  "CMakeFiles/cpg_synthetic.dir/workload.cpp.o.d"
+  "libcpg_synthetic.a"
+  "libcpg_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/count_min.cpp" "src/telemetry/CMakeFiles/cpg_telemetry.dir/count_min.cpp.o" "gcc" "src/telemetry/CMakeFiles/cpg_telemetry.dir/count_min.cpp.o.d"
+  "/root/repo/src/telemetry/heavy_hitters.cpp" "src/telemetry/CMakeFiles/cpg_telemetry.dir/heavy_hitters.cpp.o" "gcc" "src/telemetry/CMakeFiles/cpg_telemetry.dir/heavy_hitters.cpp.o.d"
+  "/root/repo/src/telemetry/sampling.cpp" "src/telemetry/CMakeFiles/cpg_telemetry.dir/sampling.cpp.o" "gcc" "src/telemetry/CMakeFiles/cpg_telemetry.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

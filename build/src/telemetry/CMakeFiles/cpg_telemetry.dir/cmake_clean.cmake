@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_telemetry.dir/count_min.cpp.o"
+  "CMakeFiles/cpg_telemetry.dir/count_min.cpp.o.d"
+  "CMakeFiles/cpg_telemetry.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/cpg_telemetry.dir/heavy_hitters.cpp.o.d"
+  "CMakeFiles/cpg_telemetry.dir/sampling.cpp.o"
+  "CMakeFiles/cpg_telemetry.dir/sampling.cpp.o.d"
+  "libcpg_telemetry.a"
+  "libcpg_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_validation.dir/macro.cpp.o"
+  "CMakeFiles/cpg_validation.dir/macro.cpp.o.d"
+  "CMakeFiles/cpg_validation.dir/micro.cpp.o"
+  "CMakeFiles/cpg_validation.dir/micro.cpp.o.d"
+  "CMakeFiles/cpg_validation.dir/test_sweep.cpp.o"
+  "CMakeFiles/cpg_validation.dir/test_sweep.cpp.o.d"
+  "libcpg_validation.a"
+  "libcpg_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

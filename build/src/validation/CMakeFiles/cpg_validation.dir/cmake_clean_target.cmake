@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpg_validation.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiveg_core_test.dir/fiveg_core_test.cpp.o"
+  "CMakeFiles/fiveg_core_test.dir/fiveg_core_test.cpp.o.d"
+  "fiveg_core_test"
+  "fiveg_core_test.pdb"
+  "fiveg_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiveg_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

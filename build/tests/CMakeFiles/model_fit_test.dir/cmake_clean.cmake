@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_fit_test.dir/model_fit_test.cpp.o"
+  "CMakeFiles/model_fit_test.dir/model_fit_test.cpp.o.d"
+  "model_fit_test"
+  "model_fit_test.pdb"
+  "model_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nextg_test.dir/nextg_test.cpp.o"
+  "CMakeFiles/nextg_test.dir/nextg_test.cpp.o.d"
+  "nextg_test"
+  "nextg_test.pdb"
+  "nextg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nextg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

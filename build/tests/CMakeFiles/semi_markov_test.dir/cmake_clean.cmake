@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_markov_test.dir/semi_markov_test.cpp.o"
+  "CMakeFiles/semi_markov_test.dir/semi_markov_test.cpp.o.d"
+  "semi_markov_test"
+  "semi_markov_test.pdb"
+  "semi_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_gof_test.dir/stats_gof_test.cpp.o"
+  "CMakeFiles/stats_gof_test.dir/stats_gof_test.cpp.o.d"
+  "stats_gof_test"
+  "stats_gof_test.pdb"
+  "stats_gof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_gof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

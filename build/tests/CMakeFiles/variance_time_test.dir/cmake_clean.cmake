@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_time_test.dir/variance_time_test.cpp.o"
+  "CMakeFiles/variance_time_test.dir/variance_time_test.cpp.o.d"
+  "variance_time_test"
+  "variance_time_test.pdb"
+  "variance_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

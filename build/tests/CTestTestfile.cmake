@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_fit_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_gof_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_descriptive_test[1]_include.cmake")
+include("/root/repo/build/tests/variance_time_test[1]_include.cmake")
+include("/root/repo/build/tests/statemachine_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/model_fit_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/nextg_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/mcn_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/fiveg_core_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_property_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/ran_test[1]_include.cmake")
+include("/root/repo/build/tests/semi_markov_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

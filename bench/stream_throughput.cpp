@@ -1,0 +1,212 @@
+// Streaming vs batch generation: throughput and peak memory.
+//
+// For each validation scenario population (38K and 380K UEs at paper scale,
+// scaled down by --scale as usual) this bench generates the same multi-hour
+// trace twice — once with the batch path (gen::generate_trace, whole trace
+// materialized) and once with the streaming runtime (stream::stream_generate
+// into a counting sink, bounded slice buffers) — and reports events/sec plus
+// peak resident-set growth for each.
+//
+// Each measurement runs in a forked child so the two paths cannot pollute
+// each other's heap or high-water mark: fork resets VmHWM to the child's
+// current RSS, so (VmHWM at end) - (VmRSS at start) isolates the memory the
+// measured run actually added. Results also land in ./BENCH_stream.json for
+// machine consumption (scripts/run_benches.sh runs from the repo root).
+#include <malloc.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "stream/event_sink.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::bench {
+namespace {
+
+// Generation window. Batch memory grows linearly with the event count while
+// streaming stays flat, so a multi-hour window is what separates the two.
+constexpr double k_gen_hours = 8.0;
+
+// Per-shard queue bound for the streaming runs (events). Small enough that
+// queue buffering stays a footnote next to the per-UE generator state.
+constexpr std::size_t k_queue_events = 8192;
+
+long read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      std::sscanf(line + key_len + 1, " %ld", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  long peak_kb = 0;  // VmHWM at end minus VmRSS at start, in the child
+  bool ok = false;
+};
+
+// Runs `body` in a forked child and reports its event count, wall time and
+// RSS growth through a pipe. The child only ever writes one short line, so
+// the pipe write is atomic.
+RunResult run_in_child(const std::function<std::uint64_t()>& body) {
+  RunResult result;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  const pid_t pid = fork();
+  if (pid < 0) return result;
+  if (pid == 0) {
+    close(fds[0]);
+    const long start_kb = read_status_kb("VmRSS");
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = body();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const long peak_kb = read_status_kb("VmHWM") - start_kb;
+    char buf[128];
+    const int n = std::snprintf(buf, sizeof buf, "%llu %.6f %ld\n",
+                                static_cast<unsigned long long>(events),
+                                seconds, peak_kb);
+    if (n > 0) {
+      [[maybe_unused]] const ssize_t w = write(fds[1], buf, std::size_t(n));
+    }
+    _exit(0);
+  }
+  close(fds[1]);
+  char buf[128] = {};
+  std::size_t got = 0;
+  while (got < sizeof buf - 1) {
+    const ssize_t n = read(fds[0], buf + got, sizeof buf - 1 - got);
+    if (n <= 0) break;
+    got += std::size_t(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  unsigned long long events = 0;
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+      std::sscanf(buf, "%llu %lf %ld", &events, &result.seconds,
+                  &result.peak_kb) == 3) {
+    result.events = events;
+    result.ok = true;
+  }
+  return result;
+}
+
+double events_per_sec(const RunResult& r) {
+  return r.seconds > 0 ? double(r.events) / r.seconds : 0.0;
+}
+
+void emit_json(std::ostream& os, const RunResult& r) {
+  os << "{\"events\": " << r.events << ", \"seconds\": " << r.seconds
+     << ", \"events_per_sec\": " << std::uint64_t(events_per_sec(r))
+     << ", \"peak_rss_delta_kb\": " << r.peak_kb << "}";
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Streaming vs batch generation",
+               "streaming runtime (src/stream/), not a paper table", config);
+
+  model::ModelSet models = [&] {
+    const Trace fit_trace = make_fit_trace(config);
+    return fit_method(fit_trace, model::Method::ours, config);
+  }();  // fit trace freed before any child forks
+  // Return the freed fit-trace heap to the OS: children inherit the parent's
+  // resident pages, and reusing freed-but-resident heap would hide the
+  // measured runs' real allocations from VmHWM.
+  malloc_trim(0);
+
+  struct Scenario {
+    const char* name;
+    std::size_t ues;
+  };
+  const Scenario scenarios[] = {
+      {"scenario1", config.scenario1_ues()},
+      {"scenario2", config.scenario2_ues()},
+  };
+
+  std::ofstream json("BENCH_stream.json");
+  json << "{\n  \"bench\": \"stream_throughput\",\n  \"scale\": "
+       << config.scale << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"scenarios\": [";
+
+  std::printf("%-10s %9s %12s %14s %14s %14s %9s\n", "scenario", "UEs",
+              "mode", "events", "events/s", "peak RSS (KB)", "RSS x");
+  bool first = true;
+  for (const Scenario& s : scenarios) {
+    gen::GenerationRequest request;
+    request.ue_counts = device_mix(s.ues);
+    request.start_hour = 10;
+    request.duration_hours = k_gen_hours;
+    request.seed = config.seed + 7;
+    request.num_threads = config.threads;
+
+    const RunResult batch = run_in_child([&] {
+      const Trace t = gen::generate_trace(models, request);
+      return t.num_events();
+    });
+    const RunResult streamed = run_in_child([&] {
+      stream::StreamOptions opts;
+      opts.slice_ms = 10 * k_ms_per_minute;
+      opts.max_buffered_events = k_queue_events;
+      stream::CountingSink sink;
+      return stream_generate(models, request, opts, sink).events;
+    });
+    if (!batch.ok || !streamed.ok) {
+      std::fprintf(stderr, "child measurement failed for %s\n", s.name);
+      return 1;
+    }
+
+    const double ratio =
+        streamed.peak_kb > 0 ? double(batch.peak_kb) / streamed.peak_kb : 0.0;
+    std::printf("%-10s %9zu %12s %14llu %14.0f %14ld %9s\n", s.name, s.ues,
+                "batch", (unsigned long long)batch.events,
+                events_per_sec(batch), batch.peak_kb, "");
+    std::printf("%-10s %9zu %12s %14llu %14.0f %14ld %8.1fx\n", s.name, s.ues,
+                "stream", (unsigned long long)streamed.events,
+                events_per_sec(streamed), streamed.peak_kb, ratio);
+
+    json << (first ? "" : ",") << "\n    {\"name\": \"" << s.name
+         << "\", \"ues\": " << s.ues << ",\n     \"batch\": ";
+    emit_json(json, batch);
+    json << ",\n     \"stream\": ";
+    emit_json(json, streamed);
+    json << ",\n     \"rss_ratio\": " << ratio << "}";
+    first = false;
+
+    if (batch.events != streamed.events) {
+      std::fprintf(stderr,
+                   "event count mismatch on %s: batch=%llu stream=%llu\n",
+                   s.name, (unsigned long long)batch.events,
+                   (unsigned long long)streamed.events);
+      return 1;
+    }
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "\nwrote BENCH_stream.json\n";
+  return 0;
+}

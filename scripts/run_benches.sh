@@ -8,3 +8,5 @@ for b in build/bench/*; do
   "$b" "$@"
   echo
 done
+# stream_throughput drops its machine-readable results next to us.
+[ -f BENCH_stream.json ] && echo "machine-readable: $(pwd)/BENCH_stream.json"

@@ -1,239 +1,239 @@
 #include "generator/ue_generator.h"
 
 #include <algorithm>
-#include <limits>
-
-#include "statemachine/machine.h"
 
 namespace cpg::gen {
 
 namespace {
 
-constexpr TimeMs k_never = std::numeric_limits<TimeMs>::max();
-
 TimeMs sojourn_to_ms(double seconds) {
   // Keep strict forward progress: a sojourn is at least 1 ms.
+  constexpr TimeMs k_never = std::numeric_limits<TimeMs>::max();
   const double ms = seconds * 1000.0;
   if (ms >= static_cast<double>(k_never) / 2) return k_never / 2;
   return std::max<TimeMs>(1, static_cast<TimeMs>(ms + 0.5));
 }
 
-class UeGenerator {
- public:
-  UeGenerator(const model::ModelSet& models, DeviceType device,
-              std::uint32_t modeled_ue, TimeMs t_begin, TimeMs t_end,
-              UeId ue_id, Rng& rng, const UeGenOptions& options,
-              std::vector<ControlEvent>& out)
-      : models_(models),
-        dev_(models.device(device)),
-        spec_(*models.spec),
-        traj_(dev_.ue_traj.empty() ? nullptr : &dev_.ue_traj[modeled_ue]),
-        t_begin_(t_begin),
-        t_end_(t_end),
-        ue_id_(ue_id),
-        rng_(rng),
-        options_(options),
-        out_(out),
-        machine_(spec_, TopState::idle) {}
+}  // namespace
 
-  void run() {
-    if (traj_ == nullptr) return;
-    if (!start_with_first_event()) return;
+UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
+                                   DeviceType device,
+                                   std::uint32_t modeled_ue, TimeMs t_begin,
+                                   TimeMs t_end, UeId ue_id, const Rng& rng,
+                                   const UeGenOptions& options)
+    : models_(&models),
+      dev_(&models.device(device)),
+      spec_(models.spec),
+      traj_(dev_->ue_traj.empty() ? nullptr : &dev_->ue_traj[modeled_ue]),
+      t_begin_(t_begin),
+      t_end_(t_end),
+      ue_id_(ue_id),
+      rng_(rng),
+      options_(options),
+      machine_(*spec_, TopState::idle) {}
+
+std::uint32_t UeSliceGenerator::cluster_at(TimeMs t) const {
+  return (*traj_)[static_cast<std::size_t>(hour_of_day(t))];
+}
+
+void UeSliceGenerator::emit(TimeMs t, EventType e) {
+  out_->push_back({t, ue_id_, e});
+  ++emitted_;
+}
+
+// Samples the first event / start time (paper §5.4). Returns false when
+// the UE stays silent over the whole window. Does not emit: the first
+// event is buffered so that a slice boundary before its timestamp can
+// withhold it.
+bool UeSliceGenerator::start_with_first_event() {
+  for (std::int64_t abs_h = hour_index(t_begin_); hour_start(abs_h) < t_end_;
+       ++abs_h) {
+    const int h = static_cast<int>(abs_h % 24);
+    const auto cluster = (*traj_)[static_cast<std::size_t>(h)];
+    const model::FirstEventLaw* fe =
+        model::resolve_first_event(*dev_, h, cluster);
+    if (fe == nullptr) continue;
+    if (options_.respect_activity_probability &&
+        !rng_.bernoulli(fe->p_active)) {
+      continue;
+    }
+    const std::size_t pick = rng_.categorical(fe->type_prob);
+    const EventType e0 = k_all_event_types[pick];
+    double off = fe->offset_s->sample(rng_);
+    off = std::clamp(off, 0.0, 3599.999);
+    const TimeMs t0 =
+        std::max(hour_start(abs_h) + seconds_to_ms(off), t_begin_);
+    if (t0 >= t_end_) return false;
+    machine_ = sm::TwoLevelMachine(*spec_, sm::infer_initial_top(e0));
+    machine_.apply(e0);
+    first_event_ = {t0, ue_id_, e0};
+    pending_first_ = true;
+    ++emitted_;
+    now_ = t0;
+    return true;
+  }
+  return false;
+}
+
+void UeSliceGenerator::schedule_top() {
+  top_deadline_ = k_never;
+  top_edge_ = -1;
+  const model::StateLaw* law = model::resolve_top_law(
+      *dev_, hour_of_day(now_), cluster_at(now_), machine_.top());
+  if (law == nullptr) return;
+  const auto st = model::sample_transition(*law, rng_);
+  if (st.edge < 0) return;
+  top_edge_ = st.edge;
+  top_deadline_ = now_ + sojourn_to_ms(st.sojourn_s);
+}
+
+void UeSliceGenerator::schedule_sub() {
+  sub_deadline_ = k_never;
+  sub_edge_ = -1;
+  if (machine_.sub() == SubState::none) return;
+  const model::StateLaw* law = model::resolve_sub_law(
+      *dev_, hour_of_day(now_), cluster_at(now_), machine_.sub());
+  if (law == nullptr) return;
+  // Pick an edge; the residual mass of the law is the (fitted) probability
+  // that the sub-machine is exited by a top-level switch instead.
+  const model::TransitionLaw* edge = model::sample_edge(*law, rng_);
+  if (edge == nullptr) return;
+  // The fitted waits were observed *conditional on firing before the top
+  // switch*, so draw conditionally on fitting into the current top-level
+  // sojourn (rejection with a small retry budget).
+  const int budget = options_.condition_sub_waits ? 16 : 1;
+  for (int tries = 0; tries < budget; ++tries) {
+    const double s = edge->sojourn ? edge->sojourn->sample(rng_) : 0.0;
+    const TimeMs deadline = now_ + sojourn_to_ms(std::max(s, 0.0));
+    if (deadline < top_deadline_ || top_deadline_ == k_never) {
+      sub_edge_ = edge->edge;
+      sub_deadline_ = deadline;
+      return;
+    }
+  }
+  // Could not fit the event into this state's remaining time: censored.
+}
+
+void UeSliceGenerator::schedule_overlay(EventType e) {
+  const std::size_t i = index_of(e);
+  overlay_deadline_[i] = k_never;
+  const stats::Distribution* law =
+      model::resolve_overlay(*dev_, hour_of_day(now_), cluster_at(now_), e);
+  if (law == nullptr) return;
+  overlay_deadline_[i] = now_ + sojourn_to_ms(law->sample(rng_));
+}
+
+void UeSliceGenerator::schedule_overlays() {
+  overlay_deadline_.fill(k_never);
+  if (!model::uses_overlay_ho_tau(models_->method)) return;
+  schedule_overlay(EventType::ho);
+  schedule_overlay(EventType::tau);
+}
+
+void UeSliceGenerator::loop(TimeMs limit) {
+  while (emitted_ < options_.max_events) {
+    TimeMs t_next = std::min(top_deadline_, sub_deadline_);
+    for (TimeMs d : overlay_deadline_) t_next = std::min(t_next, d);
+    if (t_next >= t_end_ || t_next == k_never) {
+      done_ = true;
+      return;
+    }
+    if (t_next >= limit) return;  // resume in a later slice
+
+    if (t_next == top_deadline_) {
+      fire_top();
+    } else if (t_next == sub_deadline_) {
+      fire_sub();
+    } else {
+      fire_overlay(t_next);
+    }
+  }
+  done_ = true;  // hit the max_events safety valve
+}
+
+void UeSliceGenerator::fire_top() {
+  now_ = top_deadline_;
+  const EventType e =
+      spec_->top_transitions()[static_cast<std::size_t>(top_edge_)].event;
+  // Starred guard (Fig. 5): a SRV_REQ cannot leave IDLE while the idle
+  // sub-machine sits in TAU_S_IDLE — the S1_CONN_REL releasing the TAU
+  // must come first. Flush it immediately before the service request.
+  if (e == EventType::srv_req &&
+      !spec_->srv_req_allowed_from(machine_.sub())) {
+    const auto pending = spec_->sub_out(machine_.top(), machine_.sub());
+    if (!pending.empty()) {
+      emit(now_, pending.front().event);
+      machine_.apply(pending.front().event);
+      now_ += 1;
+    }
+  }
+  emit(now_, e);
+  machine_.apply(e);
+  // A top-level switch drops the pending second-level event and restarts
+  // the sub-machine in the new entry sub-state (paper §7).
+  schedule_top();
+  schedule_sub();
+}
+
+void UeSliceGenerator::fire_sub() {
+  now_ = sub_deadline_;
+  const EventType e =
+      spec_->sub_transitions()[static_cast<std::size_t>(sub_edge_)].event;
+  emit(now_, e);
+  machine_.apply(e);
+  schedule_sub();
+}
+
+void UeSliceGenerator::fire_overlay(TimeMs t) {
+  // Overlay HO/TAU are independent renewal processes; they are suppressed
+  // (not emitted) while the UE is deregistered but keep ticking.
+  EventType e = EventType::ho;
+  for (EventType cand : {EventType::ho, EventType::tau}) {
+    if (overlay_deadline_[index_of(cand)] == t) {
+      e = cand;
+      break;
+    }
+  }
+  now_ = t;
+  if (machine_.top() != TopState::deregistered) emit(now_, e);
+  schedule_overlay(e);
+}
+
+bool UeSliceGenerator::advance(TimeMs t_limit, std::vector<ControlEvent>& out) {
+  if (done_) return false;
+  const TimeMs limit = std::min(t_limit, t_end_);
+  out_ = &out;
+  if (!started_) {
+    started_ = true;
+    if (traj_ == nullptr || !start_with_first_event()) {
+      done_ = true;
+      out_ = nullptr;
+      return false;
+    }
     schedule_top();
     schedule_sub();
     schedule_overlays();
-    loop();
   }
-
- private:
-  std::uint32_t cluster_at(TimeMs t) const {
-    return (*traj_)[static_cast<std::size_t>(hour_of_day(t))];
-  }
-
-  void emit(TimeMs t, EventType e) {
-    out_.push_back({t, ue_id_, e});
-    ++emitted_;
-  }
-
-  // Samples the first event / start time (paper §5.4). Returns false when
-  // the UE stays silent over the whole window.
-  bool start_with_first_event() {
-    for (std::int64_t abs_h = hour_index(t_begin_);
-         hour_start(abs_h) < t_end_; ++abs_h) {
-      const int h = static_cast<int>(abs_h % 24);
-      const auto cluster = (*traj_)[static_cast<std::size_t>(h)];
-      const model::FirstEventLaw* fe =
-          model::resolve_first_event(dev_, h, cluster);
-      if (fe == nullptr) continue;
-      if (options_.respect_activity_probability &&
-          !rng_.bernoulli(fe->p_active)) {
-        continue;
-      }
-      const std::size_t pick = rng_.categorical(fe->type_prob);
-      const EventType e0 = k_all_event_types[pick];
-      double off = fe->offset_s->sample(rng_);
-      off = std::clamp(off, 0.0, 3599.999);
-      const TimeMs t0 =
-          std::max(hour_start(abs_h) + seconds_to_ms(off), t_begin_);
-      if (t0 >= t_end_) return false;
-      machine_ = sm::TwoLevelMachine(spec_, sm::infer_initial_top(e0));
-      machine_.apply(e0);
-      emit(t0, e0);
-      now_ = t0;
-      return true;
+  if (pending_first_) {
+    if (first_event_.t_ms >= limit) {
+      out_ = nullptr;
+      return true;  // the whole UE stream still lies beyond this slice
     }
-    return false;
+    out_->push_back(first_event_);
+    pending_first_ = false;
   }
-
-  void schedule_top() {
-    top_deadline_ = k_never;
-    top_edge_ = -1;
-    const model::StateLaw* law = model::resolve_top_law(
-        dev_, hour_of_day(now_), cluster_at(now_), machine_.top());
-    if (law == nullptr) return;
-    const auto st = model::sample_transition(*law, rng_);
-    if (st.edge < 0) return;
-    top_edge_ = st.edge;
-    top_deadline_ = now_ + sojourn_to_ms(st.sojourn_s);
-  }
-
-  void schedule_sub() {
-    sub_deadline_ = k_never;
-    sub_edge_ = -1;
-    if (machine_.sub() == SubState::none) return;
-    const model::StateLaw* law = model::resolve_sub_law(
-        dev_, hour_of_day(now_), cluster_at(now_), machine_.sub());
-    if (law == nullptr) return;
-    // Pick an edge; the residual mass of the law is the (fitted) probability
-    // that the sub-machine is exited by a top-level switch instead.
-    const model::TransitionLaw* edge = model::sample_edge(*law, rng_);
-    if (edge == nullptr) return;
-    // The fitted waits were observed *conditional on firing before the top
-    // switch*, so draw conditionally on fitting into the current top-level
-    // sojourn (rejection with a small retry budget).
-    const int budget = options_.condition_sub_waits ? 16 : 1;
-    for (int tries = 0; tries < budget; ++tries) {
-      const double s = edge->sojourn ? edge->sojourn->sample(rng_) : 0.0;
-      const TimeMs deadline = now_ + sojourn_to_ms(std::max(s, 0.0));
-      if (deadline < top_deadline_ || top_deadline_ == k_never) {
-        sub_edge_ = edge->edge;
-        sub_deadline_ = deadline;
-        return;
-      }
-    }
-    // Could not fit the event into this state's remaining time: censored.
-  }
-
-  void schedule_overlay(EventType e) {
-    const std::size_t i = index_of(e);
-    overlay_deadline_[i] = k_never;
-    const stats::Distribution* law = model::resolve_overlay(
-        dev_, hour_of_day(now_), cluster_at(now_), e);
-    if (law == nullptr) return;
-    overlay_deadline_[i] = now_ + sojourn_to_ms(law->sample(rng_));
-  }
-
-  void schedule_overlays() {
-    overlay_deadline_.fill(k_never);
-    if (!model::uses_overlay_ho_tau(models_.method)) return;
-    schedule_overlay(EventType::ho);
-    schedule_overlay(EventType::tau);
-  }
-
-  void loop() {
-    while (emitted_ < options_.max_events) {
-      TimeMs t_next = std::min(top_deadline_, sub_deadline_);
-      for (TimeMs d : overlay_deadline_) t_next = std::min(t_next, d);
-      if (t_next >= t_end_ || t_next == k_never) return;
-
-      if (t_next == top_deadline_) {
-        fire_top();
-      } else if (t_next == sub_deadline_) {
-        fire_sub();
-      } else {
-        fire_overlay(t_next);
-      }
-    }
-  }
-
-  void fire_top() {
-    now_ = top_deadline_;
-    const EventType e =
-        spec_.top_transitions()[static_cast<std::size_t>(top_edge_)].event;
-    // Starred guard (Fig. 5): a SRV_REQ cannot leave IDLE while the idle
-    // sub-machine sits in TAU_S_IDLE — the S1_CONN_REL releasing the TAU
-    // must come first. Flush it immediately before the service request.
-    if (e == EventType::srv_req &&
-        !spec_.srv_req_allowed_from(machine_.sub())) {
-      const auto pending = spec_.sub_out(machine_.top(), machine_.sub());
-      if (!pending.empty()) {
-        emit(now_, pending.front().event);
-        machine_.apply(pending.front().event);
-        now_ += 1;
-      }
-    }
-    emit(now_, e);
-    machine_.apply(e);
-    // A top-level switch drops the pending second-level event and restarts
-    // the sub-machine in the new entry sub-state (paper §7).
-    schedule_top();
-    schedule_sub();
-  }
-
-  void fire_sub() {
-    now_ = sub_deadline_;
-    const EventType e =
-        spec_.sub_transitions()[static_cast<std::size_t>(sub_edge_)].event;
-    emit(now_, e);
-    machine_.apply(e);
-    schedule_sub();
-  }
-
-  void fire_overlay(TimeMs t) {
-    // Overlay HO/TAU are independent renewal processes; they are suppressed
-    // (not emitted) while the UE is deregistered but keep ticking.
-    EventType e = EventType::ho;
-    for (EventType cand : {EventType::ho, EventType::tau}) {
-      if (overlay_deadline_[index_of(cand)] == t) {
-        e = cand;
-        break;
-      }
-    }
-    now_ = t;
-    if (machine_.top() != TopState::deregistered) emit(now_, e);
-    schedule_overlay(e);
-  }
-
-  const model::ModelSet& models_;
-  const model::DeviceModel& dev_;
-  const sm::MachineSpec& spec_;
-  const std::array<std::uint32_t, 24>* traj_;
-  TimeMs t_begin_;
-  TimeMs t_end_;
-  UeId ue_id_;
-  Rng& rng_;
-  const UeGenOptions& options_;
-  std::vector<ControlEvent>& out_;
-
-  sm::TwoLevelMachine machine_;
-  std::size_t emitted_ = 0;
-  TimeMs now_ = 0;
-  TimeMs top_deadline_ = k_never;
-  int top_edge_ = -1;
-  TimeMs sub_deadline_ = k_never;
-  int sub_edge_ = -1;
-  std::array<TimeMs, k_num_event_types> overlay_deadline_{};
-};
-
-}  // namespace
+  loop(limit);
+  out_ = nullptr;
+  return !done_;
+}
 
 void generate_ue(const model::ModelSet& models, DeviceType device,
                  std::uint32_t modeled_ue, TimeMs t_begin, TimeMs t_end,
                  UeId ue_id, Rng& rng, const UeGenOptions& options,
                  std::vector<ControlEvent>& out) {
-  UeGenerator g(models, device, modeled_ue, t_begin, t_end, ue_id, rng,
-                options, out);
-  g.run();
+  UeSliceGenerator g(models, device, modeled_ue, t_begin, t_end, ue_id, rng,
+                     options);
+  g.advance(t_end, out);
 }
 
 }  // namespace cpg::gen

@@ -8,13 +8,23 @@
 // the pending second-level event and restarts the sub-machine in the new
 // state's entry sub-state. EMM-ECM methods (Base/B1) additionally run
 // Poisson overlay processes for HO and TAU while the UE is registered.
+//
+// The generator is slice-resumable: `UeSliceGenerator::advance(t)` fires
+// every timer with deadline below t and can be called repeatedly with
+// increasing limits. For a fixed RNG state the concatenation of the slices
+// is identical to a single advance over the whole window, which is what
+// lets the streaming runtime (src/stream/) produce byte-identical output to
+// the batch generator.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/trace.h"
 #include "model/semi_markov.h"
+#include "statemachine/machine.h"
 
 namespace cpg::gen {
 
@@ -37,9 +47,69 @@ struct UeGenOptions {
   std::size_t max_events = 1 << 20;
 };
 
-// Generates events for one synthetic UE over [t_begin, t_end), following
-// the cluster trajectory of `modeled_ue` of `device`. Events are appended
-// to `out` in time order with `ue_id` stamped.
+// Resumable generator for one synthetic UE over [t_begin, t_end), following
+// the cluster trajectory of `modeled_ue` of `device`. Owns its RNG (copied
+// at construction), so per-UE streams stay independent of scheduling.
+class UeSliceGenerator {
+ public:
+  UeSliceGenerator(const model::ModelSet& models, DeviceType device,
+                   std::uint32_t modeled_ue, TimeMs t_begin, TimeMs t_end,
+                   UeId ue_id, const Rng& rng, const UeGenOptions& options);
+
+  // Fires every pending timer with deadline < min(t_limit, t_end),
+  // appending the emitted events to `out` with `ue_id` stamped. Emitted
+  // timestamps are nearly sorted (a starred-guard flush may step back 1 ms)
+  // and never exceed min(t_limit, t_end): an event at exactly the limit can
+  // be emitted only by the guard's +1ms shift. Returns true while the UE
+  // may still emit events at or beyond the limit.
+  bool advance(TimeMs t_limit, std::vector<ControlEvent>& out);
+
+  bool done() const noexcept { return done_; }
+  UeId ue_id() const noexcept { return ue_id_; }
+
+ private:
+  static constexpr TimeMs k_never = std::numeric_limits<TimeMs>::max();
+
+  std::uint32_t cluster_at(TimeMs t) const;
+  void emit(TimeMs t, EventType e);
+  bool start_with_first_event();
+  void schedule_top();
+  void schedule_sub();
+  void schedule_overlay(EventType e);
+  void schedule_overlays();
+  void loop(TimeMs limit);
+  void fire_top();
+  void fire_sub();
+  void fire_overlay(TimeMs t);
+
+  const model::ModelSet* models_;
+  const model::DeviceModel* dev_;
+  const sm::MachineSpec* spec_;
+  const std::array<std::uint32_t, 24>* traj_;
+  TimeMs t_begin_;
+  TimeMs t_end_;
+  UeId ue_id_;
+  Rng rng_;
+  UeGenOptions options_;
+  std::vector<ControlEvent>* out_ = nullptr;  // valid only inside advance()
+
+  sm::TwoLevelMachine machine_;
+  bool started_ = false;
+  bool done_ = false;
+  bool pending_first_ = false;
+  ControlEvent first_event_{};
+  std::size_t emitted_ = 0;
+  TimeMs now_ = 0;
+  TimeMs top_deadline_ = k_never;
+  int top_edge_ = -1;
+  TimeMs sub_deadline_ = k_never;
+  int sub_edge_ = -1;
+  std::array<TimeMs, k_num_event_types> overlay_deadline_{};
+};
+
+// Generates events for one synthetic UE over [t_begin, t_end) in a single
+// batch (one advance to t_end). Events are appended to `out` in time order
+// with `ue_id` stamped.
 void generate_ue(const model::ModelSet& models, DeviceType device,
                  std::uint32_t modeled_ue, TimeMs t_begin, TimeMs t_end,
                  UeId ue_id, Rng& rng, const UeGenOptions& options,

@@ -8,17 +8,27 @@
 
 namespace cpg::io {
 
+void write_events_csv_header(std::ostream& os) { os << "t_ms,ue_id,event\n"; }
+
+void append_event_csv(std::ostream& os, const ControlEvent& e) {
+  os << e.t_ms << ',' << e.ue_id << ',' << to_string(e.type) << '\n';
+}
+
+void write_ues_csv_header(std::ostream& os) { os << "ue_id,device\n"; }
+
+void append_ue_csv(std::ostream& os, UeId ue, DeviceType device) {
+  os << ue << ',' << to_string(device) << '\n';
+}
+
 void write_events_csv(const Trace& trace, std::ostream& os) {
-  os << "t_ms,ue_id,event\n";
-  for (const ControlEvent& e : trace.events()) {
-    os << e.t_ms << ',' << e.ue_id << ',' << to_string(e.type) << '\n';
-  }
+  write_events_csv_header(os);
+  for (const ControlEvent& e : trace.events()) append_event_csv(os, e);
 }
 
 void write_ues_csv(const Trace& trace, std::ostream& os) {
-  os << "ue_id,device\n";
+  write_ues_csv_header(os);
   for (std::size_t u = 0; u < trace.num_ues(); ++u) {
-    os << u << ',' << to_string(trace.device(static_cast<UeId>(u))) << '\n';
+    append_ue_csv(os, static_cast<UeId>(u), trace.device(static_cast<UeId>(u)));
   }
 }
 

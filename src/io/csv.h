@@ -18,6 +18,14 @@ namespace cpg::io {
 void write_events_csv(const Trace& trace, std::ostream& os);
 void write_ues_csv(const Trace& trace, std::ostream& os);
 
+// Incremental variants used by the streaming runtime (src/stream/): write
+// the header once, then one row per event as it arrives. Byte-compatible
+// with write_events_csv / write_ues_csv over the same data.
+void write_events_csv_header(std::ostream& os);
+void append_event_csv(std::ostream& os, const ControlEvent& e);
+void write_ues_csv_header(std::ostream& os);
+void append_ue_csv(std::ostream& os, UeId ue, DeviceType device);
+
 // Convenience: writes <prefix>_events.csv and <prefix>_ues.csv.
 void write_trace(const Trace& trace, const std::string& path_prefix);
 

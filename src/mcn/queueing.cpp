@@ -78,41 +78,67 @@ class Reservoir {
 
 }  // namespace
 
-QueueingResult run_queueing(const Trace& trace,
-                            const ProcedureLookup& procedure,
-                            const QueueingConfig& config) {
-  if (config.num_stations == 0 || config.num_stations > k_max_stations) {
-    throw std::invalid_argument("run_queueing: bad station count");
-  }
-  QueueingResult result;
-  if (trace.empty()) return result;
+struct QueueingEngine::Impl {
+  ProcedureLookup procedure;
+  QueueingConfig config;
+  std::vector<Station> stations;
+  Rng rng;
+  Reservoir latency_all;
+  std::vector<Reservoir> latency_by_event;
 
-  std::vector<Station> stations(config.num_stations);
-  for (std::size_t n = 0; n < config.num_stations; ++n) {
-    stations[n].free_workers = std::max(1, config.workers[n]);
-    stations[n].service_scale =
-        config.service_scale[n] > 0.0 ? config.service_scale[n] : 1.0;
-  }
-
-  Rng rng(config.seed);
-  Reservoir latency_all(config.max_latency_samples, rng);
-  std::vector<Reservoir> latency_by_event(
-      k_num_event_types, Reservoir(config.max_latency_samples / 4, rng));
-
+  // Job slots are recycled through a free list so that memory stays
+  // proportional to in-flight procedures rather than total arrivals.
   std::vector<Job> jobs;
-  jobs.reserve(trace.num_events());
-  for (const ControlEvent& e : trace.events()) {
-    jobs.push_back({e.type, static_cast<double>(e.t_ms) * 1000.0});
-  }
+  std::vector<std::uint32_t> free_slots;
+  std::size_t in_flight = 0;
 
   std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
       heap;
   std::uint64_t seq = 0;
-  std::size_t next_arrival = 0;
-  double last_completion_us = jobs.front().start_us;
+  std::uint64_t procedures = 0;
+  bool has_arrival = false;
+  double first_arrival_us = 0.0;
+  double last_completion_us = 0.0;
 
-  auto begin_service = [&](Station& st, std::uint8_t station_idx,
-                           const QueuedStep& qs, double now_us) {
+  Impl(ProcedureLookup proc, const QueueingConfig& cfg)
+      : procedure(std::move(proc)),
+        config(cfg),
+        stations(cfg.num_stations),
+        rng(cfg.seed),
+        latency_all(cfg.max_latency_samples, rng),
+        latency_by_event(k_num_event_types,
+                         Reservoir(cfg.max_latency_samples / 4, rng)) {
+    if (cfg.num_stations == 0 || cfg.num_stations > k_max_stations) {
+      throw std::invalid_argument("QueueingEngine: bad station count");
+    }
+    for (std::size_t n = 0; n < cfg.num_stations; ++n) {
+      stations[n].free_workers = std::max(1, cfg.workers[n]);
+      stations[n].service_scale =
+          cfg.service_scale[n] > 0.0 ? cfg.service_scale[n] : 1.0;
+    }
+  }
+
+  std::uint32_t alloc_job(EventType event, double start_us) {
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      jobs[slot] = {event, start_us};
+    } else {
+      slot = static_cast<std::uint32_t>(jobs.size());
+      jobs.push_back({event, start_us});
+    }
+    ++in_flight;
+    return slot;
+  }
+
+  void free_job(std::uint32_t slot) {
+    free_slots.push_back(slot);
+    --in_flight;
+  }
+
+  void begin_service(Station& st, std::uint8_t station_idx,
+                     const QueuedStep& qs, double now_us) {
     const GenericStep& step = procedure(jobs[qs.job].event)[qs.step];
     const double service = step.service_us * st.service_scale;
     --st.free_workers;
@@ -123,12 +149,15 @@ QueueingResult run_queueing(const Trace& trace,
     st.wait_max_us = std::max(st.wait_max_us, wait);
     heap.push({now_us + service, seq++, EventKind::completion, qs.job,
                qs.step, station_idx});
-  };
+  }
 
-  auto handle_arrival = [&](std::uint32_t job, std::uint16_t step_idx,
-                            double t_us) {
+  void handle_arrival(std::uint32_t job, std::uint16_t step_idx,
+                      double t_us) {
     const auto proc = procedure(jobs[job].event);
-    if (proc.empty()) return;  // event type not handled by this core
+    if (proc.empty()) {  // event type not handled by this core
+      free_job(job);
+      return;
+    }
     const std::uint8_t station_idx = proc[step_idx].station;
     Station& st = stations[station_idx];
     const QueuedStep qs{t_us, job, step_idx};
@@ -138,26 +167,9 @@ QueueingResult run_queueing(const Trace& trace,
       st.queue.push(qs);
       st.max_queue_depth = std::max(st.max_queue_depth, st.queue.size());
     }
-  };
+  }
 
-  while (next_arrival < jobs.size() || !heap.empty()) {
-    const bool take_trace_arrival =
-        next_arrival < jobs.size() &&
-        (heap.empty() || jobs[next_arrival].start_us <= heap.top().t_us);
-    if (take_trace_arrival) {
-      const auto job = static_cast<std::uint32_t>(next_arrival++);
-      handle_arrival(job, 0, jobs[job].start_us);
-      continue;
-    }
-
-    const SimEvent ev = heap.top();
-    heap.pop();
-
-    if (ev.kind == EventKind::arrival) {
-      handle_arrival(ev.job, ev.step, ev.t_us);
-      continue;
-    }
-
+  void handle_completion(const SimEvent& ev) {
     Station& st = stations[ev.station];
     ++st.free_workers;
     last_completion_us = std::max(last_completion_us, ev.t_us);
@@ -176,34 +188,101 @@ QueueingResult run_queueing(const Trace& trace,
       const double latency = ev.t_us - jobs[ev.job].start_us;
       latency_all.add(latency);
       latency_by_event[index_of(jobs[ev.job].event)].add(latency);
-      ++result.procedures;
+      ++procedures;
+      free_job(ev.job);
     }
   }
 
-  const double makespan_us =
-      std::max(1.0, last_completion_us - jobs.front().start_us);
-  result.makespan_s = makespan_us / 1e6;
-  for (std::size_t n = 0; n < config.num_stations; ++n) {
-    const Station& st = stations[n];
-    StationStats& out = result.stations[n];
-    out.messages = st.messages;
-    out.busy_us = st.busy_us;
-    out.utilization =
-        st.busy_us / (makespan_us * std::max(1, config.workers[n] == 0
-                                                    ? 1
-                                                    : config.workers[n]));
-    out.mean_wait_us =
-        st.messages == 0 ? 0.0
-                         : st.wait_sum_us / static_cast<double>(st.messages);
-    out.max_wait_us = st.wait_max_us;
-    out.max_queue_depth = st.max_queue_depth;
-    result.messages += st.messages;
+  // Processes every internal event strictly before t_us, preserving the
+  // batch loop's arrival-first-on-tie rule.
+  void drain_until(double t_us) {
+    while (!heap.empty() && heap.top().t_us < t_us) {
+      const SimEvent ev = heap.top();
+      heap.pop();
+      if (ev.kind == EventKind::arrival) {
+        handle_arrival(ev.job, ev.step, ev.t_us);
+      } else {
+        handle_completion(ev);
+      }
+    }
   }
-  result.latency_us = latency_all.summarize();
-  for (std::size_t e = 0; e < k_num_event_types; ++e) {
-    result.latency_by_event[e] = latency_by_event[e].summarize();
+
+  void arrive(EventType event, double t_us) {
+    if (!has_arrival) {
+      has_arrival = true;
+      first_arrival_us = t_us;
+      last_completion_us = t_us;
+    }
+    drain_until(t_us);
+    handle_arrival(alloc_job(event, t_us), 0, t_us);
   }
-  return result;
+
+  QueueingResult finish() {
+    QueueingResult result;
+    if (!has_arrival) return result;
+    while (!heap.empty()) {
+      const SimEvent ev = heap.top();
+      heap.pop();
+      if (ev.kind == EventKind::arrival) {
+        handle_arrival(ev.job, ev.step, ev.t_us);
+      } else {
+        handle_completion(ev);
+      }
+    }
+
+    const double makespan_us =
+        std::max(1.0, last_completion_us - first_arrival_us);
+    result.makespan_s = makespan_us / 1e6;
+    result.procedures = procedures;
+    for (std::size_t n = 0; n < config.num_stations; ++n) {
+      const Station& st = stations[n];
+      StationStats& out = result.stations[n];
+      out.messages = st.messages;
+      out.busy_us = st.busy_us;
+      out.utilization =
+          st.busy_us / (makespan_us * std::max(1, config.workers[n] == 0
+                                                      ? 1
+                                                      : config.workers[n]));
+      out.mean_wait_us =
+          st.messages == 0
+              ? 0.0
+              : st.wait_sum_us / static_cast<double>(st.messages);
+      out.max_wait_us = st.wait_max_us;
+      out.max_queue_depth = st.max_queue_depth;
+      result.messages += st.messages;
+    }
+    result.latency_us = latency_all.summarize();
+    for (std::size_t e = 0; e < k_num_event_types; ++e) {
+      result.latency_by_event[e] = latency_by_event[e].summarize();
+    }
+    return result;
+  }
+};
+
+QueueingEngine::QueueingEngine(ProcedureLookup procedure,
+                               const QueueingConfig& config)
+    : impl_(std::make_unique<Impl>(std::move(procedure), config)) {}
+
+QueueingEngine::~QueueingEngine() = default;
+
+void QueueingEngine::arrive(EventType event, double t_us) {
+  impl_->arrive(event, t_us);
+}
+
+QueueingResult QueueingEngine::finish() { return impl_->finish(); }
+
+std::size_t QueueingEngine::in_flight() const noexcept {
+  return impl_->in_flight;
+}
+
+QueueingResult run_queueing(const Trace& trace,
+                            const ProcedureLookup& procedure,
+                            const QueueingConfig& config) {
+  QueueingEngine engine(procedure, config);
+  for (const ControlEvent& e : trace.events()) {
+    engine.arrive(e.type, static_cast<double>(e.t_ms) * 1000.0);
+  }
+  return engine.finish();
 }
 
 }  // namespace cpg::mcn

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "core/trace.h"
@@ -59,5 +60,34 @@ using ProcedureLookup =
 QueueingResult run_queueing(const Trace& trace,
                             const ProcedureLookup& procedure,
                             const QueueingConfig& config);
+
+// Incremental form of run_queueing for streaming ingest: arrivals are fed
+// one at a time in non-decreasing timestamp order, interleaved with the
+// internal completion heap exactly as the batch loop does (an arrival at t
+// is processed before any completion at t). Memory is bounded by the number
+// of in-flight procedures, not the trace length: finished jobs return their
+// slot to a free list. Feeding a finalized trace event-by-event and calling
+// finish() yields the same QueueingResult as run_queueing.
+class QueueingEngine {
+ public:
+  QueueingEngine(ProcedureLookup procedure, const QueueingConfig& config);
+  ~QueueingEngine();
+
+  QueueingEngine(const QueueingEngine&) = delete;
+  QueueingEngine& operator=(const QueueingEngine&) = delete;
+
+  // Feeds one arrival; t_us must be >= every previously fed arrival.
+  void arrive(EventType event, double t_us);
+
+  // Drains all outstanding work and returns the summary. Call once.
+  QueueingResult finish();
+
+  // Number of procedures currently in flight (arrived, not yet completed).
+  std::size_t in_flight() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace cpg::mcn

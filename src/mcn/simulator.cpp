@@ -6,8 +6,6 @@
 
 namespace cpg::mcn {
 
-namespace {
-
 // EPC procedures expressed as generic steps (station = NF index), built
 // once per process.
 std::span<const GenericStep> epc_procedure(EventType event) {
@@ -25,8 +23,6 @@ std::span<const GenericStep> epc_procedure(EventType event) {
       }();
   return procedures[cpg::index_of(event)];
 }
-
-}  // namespace
 
 SimulationResult simulate(const Trace& trace,
                           const SimulationConfig& config) {

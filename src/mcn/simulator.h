@@ -14,6 +14,7 @@
 
 #include "core/trace.h"
 #include "mcn/procedures.h"
+#include "mcn/queueing.h"
 #include "stats/descriptive.h"
 
 namespace cpg::mcn {
@@ -55,6 +56,11 @@ struct SimulationResult {
 // Simulates a finalized trace. Procedures are independent; each event's
 // steps execute sequentially through the NF queues.
 SimulationResult simulate(const Trace& trace, const SimulationConfig& config);
+
+// The EPC signaling procedure of an event, as generic queueing steps
+// (station = NF index). Shared by the batch simulator and the streaming
+// ingest path (stream_ingest.h).
+std::span<const GenericStep> epc_procedure(EventType event);
 
 // Offered load per NF in CPU-seconds per wall-second, from nominal service
 // demands over the trace span: > workers means the NF cannot keep up.

@@ -1,0 +1,46 @@
+#include "mcn/stream_ingest.h"
+
+namespace cpg::mcn {
+
+namespace {
+
+QueueingConfig to_queueing_config(const SimulationConfig& config) {
+  QueueingConfig qc;
+  qc.num_stations = k_num_nfs;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    qc.workers[n] = config.nfs[n].workers;
+    qc.service_scale[n] = config.nfs[n].service_scale;
+  }
+  qc.hop_delay_us = config.hop_delay_us;
+  qc.max_latency_samples = config.max_latency_samples;
+  qc.seed = config.seed;
+  return qc;
+}
+
+}  // namespace
+
+StreamingEpc::StreamingEpc(const SimulationConfig& config)
+    : engine_(&epc_procedure, to_queueing_config(config)) {}
+
+void StreamingEpc::ingest(const ControlEvent& e) {
+  engine_.arrive(e.type, static_cast<double>(e.t_ms) * 1000.0);
+  ++events_;
+}
+
+SimulationResult StreamingEpc::finish() {
+  const QueueingResult qr = engine_.finish();
+  SimulationResult result;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    const StationStats& s = qr.stations[n];
+    result.nf[n] = NfStats{s.messages,    s.busy_us,     s.utilization,
+                           s.mean_wait_us, s.max_wait_us, s.max_queue_depth};
+  }
+  result.latency_us = qr.latency_us;
+  result.latency_by_event = qr.latency_by_event;
+  result.procedures = qr.procedures;
+  result.messages = qr.messages;
+  result.makespan_s = qr.makespan_s;
+  return result;
+}
+
+}  // namespace cpg::mcn

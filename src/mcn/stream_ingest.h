@@ -1,0 +1,37 @@
+// Streaming ingest into the EPC core simulator.
+//
+// The batch entry point (simulator.h) consumes a fully materialized Trace.
+// StreamingEpc instead accepts control-plane events one at a time in
+// timestamp order — the shape produced by the streaming generation runtime
+// (src/stream/) — so a generator→core run never holds the whole trace in
+// memory: the simulator's working set is bounded by in-flight procedures.
+// Feeding a finalized trace event-by-event yields the same result as
+// simulate().
+#pragma once
+
+#include "mcn/simulator.h"
+
+namespace cpg::mcn {
+
+class StreamingEpc {
+ public:
+  explicit StreamingEpc(const SimulationConfig& config);
+
+  // Ingests one event; timestamps must be non-decreasing across calls.
+  void ingest(const ControlEvent& e);
+
+  // Procedures currently in flight inside the core.
+  std::size_t in_flight() const noexcept { return engine_.in_flight(); }
+
+  std::uint64_t events_ingested() const noexcept { return events_; }
+
+  // Drains outstanding procedures and returns the summary. Call once, after
+  // the last ingest.
+  SimulationResult finish();
+
+ private:
+  QueueingEngine engine_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cpg::mcn

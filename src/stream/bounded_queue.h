@@ -1,0 +1,113 @@
+// Bounded single-producer/single-consumer batch queue used between each
+// shard worker and the merging consumer.
+//
+// Capacity is measured in *events* (the sum of queued batch sizes), because
+// that is the quantity the memory bound cares about; slice batches vary in
+// size. To stay deadlock-free an empty queue always accepts one batch, even
+// an oversized one — so the hard bound per queue is
+// max(capacity, largest single batch). Producers block on push when full
+// (backpressure), the consumer blocks on pop when empty.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cpg::stream {
+
+// One shard's events for one time slice, sorted by event_time_less.
+struct SliceBatch {
+  std::uint64_t slice = 0;
+  std::vector<ControlEvent> events;
+};
+
+// Tracks the total number of buffered events across all queues and its
+// high-water mark (reported as StreamStats::peak_buffered_events).
+class BufferGauge {
+ public:
+  void add(std::size_t n) noexcept {
+    const std::size_t now =
+        current_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::size_t n) noexcept {
+    current_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::size_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+class BoundedBatchQueue {
+ public:
+  // `max_events`: backpressure threshold for this queue. `gauge` (optional)
+  // aggregates buffered-event accounting across queues.
+  explicit BoundedBatchQueue(std::size_t max_events,
+                             BufferGauge* gauge = nullptr)
+      : max_events_(max_events), gauge_(gauge) {}
+
+  // Blocks until the batch fits (or the queue is empty), then enqueues.
+  void push(SliceBatch batch) {
+    const std::size_t n = batch.events.size();
+    {
+      std::unique_lock lock(mu_);
+      not_full_.wait(lock, [&] {
+        return queue_.empty() || buffered_ + n <= max_events_;
+      });
+      buffered_ += n;
+      queue_.push_back(std::move(batch));
+    }
+    if (gauge_ != nullptr) gauge_->add(n);
+    not_empty_.notify_one();
+  }
+
+  // Blocks until a batch is available; returns nullopt once the queue is
+  // closed and drained.
+  std::optional<SliceBatch> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    SliceBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    buffered_ -= batch.events.size();
+    lock.unlock();
+    if (gauge_ != nullptr) gauge_->sub(batch.events.size());
+    not_full_.notify_one();
+    return batch;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+ private:
+  const std::size_t max_events_;
+  BufferGauge* gauge_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<SliceBatch> queue_;
+  std::size_t buffered_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cpg::stream

@@ -1,0 +1,52 @@
+#include "stream/csv_sink.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace cpg::stream {
+
+CsvSink::CsvSink(std::ostream& events_os, std::ostream* ues_os)
+    : events_os_(&events_os), ues_os_(ues_os) {}
+
+CsvSink::CsvSink(const std::string& path_prefix) {
+  auto events = std::make_unique<std::ofstream>(path_prefix + "_events.csv");
+  if (!*events) {
+    throw std::runtime_error("CsvSink: cannot open events file");
+  }
+  auto ues = std::make_unique<std::ofstream>(path_prefix + "_ues.csv");
+  if (!*ues) {
+    throw std::runtime_error("CsvSink: cannot open ues file");
+  }
+  events_os_ = events.get();
+  ues_os_ = ues.get();
+  owned_events_ = std::move(events);
+  owned_ues_ = std::move(ues);
+}
+
+CsvSink::~CsvSink() = default;
+
+void CsvSink::on_start(const StreamHeader& header) {
+  if (ues_os_ != nullptr) {
+    io::write_ues_csv_header(*ues_os_);
+    for (std::size_t u = 0; u < header.ue_devices.size(); ++u) {
+      io::append_ue_csv(*ues_os_, static_cast<UeId>(u),
+                        header.ue_devices[u]);
+    }
+  }
+  io::write_events_csv_header(*events_os_);
+}
+
+void CsvSink::on_event(const ControlEvent& e) {
+  io::append_event_csv(*events_os_, e);
+  ++events_;
+}
+
+void CsvSink::on_finish() {
+  events_os_->flush();
+  if (ues_os_ != nullptr) ues_os_->flush();
+}
+
+}  // namespace cpg::stream

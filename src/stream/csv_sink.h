@@ -1,0 +1,40 @@
+// EventSink that writes the stream as it arrives in the src/io CSV trace
+// format, byte-compatible with io::write_events_csv / write_ues_csv over
+// the captured trace — without ever materializing it.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "stream/event_sink.h"
+
+namespace cpg::stream {
+
+class CsvSink final : public EventSink {
+ public:
+  // Writes events to `events_os`; when `ues_os` is non-null, the UE registry
+  // is written there on stream start. Streams must outlive the sink's use.
+  explicit CsvSink(std::ostream& events_os, std::ostream* ues_os = nullptr);
+
+  // Convenience: opens <path_prefix>_events.csv / <path_prefix>_ues.csv,
+  // mirroring io::write_trace. Throws std::runtime_error on open failure.
+  explicit CsvSink(const std::string& path_prefix);
+
+  ~CsvSink() override;
+
+  void on_start(const StreamHeader& header) override;
+  void on_event(const ControlEvent& e) override;
+  void on_finish() override;
+
+  std::uint64_t events_written() const noexcept { return events_; }
+
+ private:
+  std::unique_ptr<std::ostream> owned_events_;
+  std::unique_ptr<std::ostream> owned_ues_;
+  std::ostream* events_os_;
+  std::ostream* ues_os_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cpg::stream

@@ -1,0 +1,111 @@
+// Pluggable consumers for the streaming generation runtime.
+//
+// The runtime (stream_generator.h) delivers a single globally time-ordered
+// event stream to an EventSink on the consumer thread: on_start() once with
+// the UE registry, then on_event() per event in canonical trace order
+// (event_time_less), then on_finish() once. Sinks are not called
+// concurrently, so they need no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cpg::stream {
+
+// Stream metadata delivered before the first event. `ue_devices` is indexed
+// by UeId and only valid for the duration of on_start.
+struct StreamHeader {
+  std::span<const DeviceType> ue_devices;
+  TimeMs t_begin = 0;
+  TimeMs t_end = 0;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void on_start(const StreamHeader& header) { (void)header; }
+  virtual void on_event(const ControlEvent& e) = 0;
+  virtual void on_finish() {}
+};
+
+// Adapts a callable; useful for ad-hoc consumers and tests.
+class CallbackSink final : public EventSink {
+ public:
+  explicit CallbackSink(std::function<void(const ControlEvent&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void on_event(const ControlEvent& e) override { fn_(e); }
+
+ private:
+  std::function<void(const ControlEvent&)> fn_;
+};
+
+// Collects the stream back into a Trace (defeats the purpose of streaming
+// for large runs; meant for tests and small tools).
+class CaptureSink final : public EventSink {
+ public:
+  void on_start(const StreamHeader& header) override {
+    for (DeviceType d : header.ue_devices) trace_.add_ue(d);
+  }
+  void on_event(const ControlEvent& e) override { trace_.add_event(e); }
+  void on_finish() override { trace_.finalize(); }
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+// Counts events per type without retaining them.
+class CountingSink final : public EventSink {
+ public:
+  void on_event(const ControlEvent& e) override {
+    ++counts_[index_of(e.type)];
+    ++total_;
+    last_t_ms_ = e.t_ms;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(EventType e) const noexcept {
+    return counts_[index_of(e)];
+  }
+  TimeMs last_t_ms() const noexcept { return last_t_ms_; }
+
+ private:
+  std::array<std::uint64_t, k_num_event_types> counts_{};
+  std::uint64_t total_ = 0;
+  TimeMs last_t_ms_ = 0;
+};
+
+class NullSink final : public EventSink {
+ public:
+  void on_event(const ControlEvent&) override {}
+};
+
+// Broadcasts the stream to several sinks in order (e.g. CSV + live core).
+class FanoutSink final : public EventSink {
+ public:
+  explicit FanoutSink(std::vector<EventSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void on_start(const StreamHeader& header) override {
+    for (EventSink* s : sinks_) s->on_start(header);
+  }
+  void on_event(const ControlEvent& e) override {
+    for (EventSink* s : sinks_) s->on_event(e);
+  }
+  void on_finish() override {
+    for (EventSink* s : sinks_) s->on_finish();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace cpg::stream

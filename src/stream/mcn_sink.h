@@ -1,0 +1,33 @@
+// EventSink that feeds the stream live into the EPC core simulator
+// (mcn/stream_ingest.h): generator → core without a materialized trace,
+// the paper's §3.1 motivating use case.
+#pragma once
+
+#include <optional>
+
+#include "mcn/stream_ingest.h"
+#include "stream/event_sink.h"
+
+namespace cpg::stream {
+
+class McnLiveSink final : public EventSink {
+ public:
+  explicit McnLiveSink(const mcn::SimulationConfig& config)
+      : epc_(config) {}
+
+  void on_event(const ControlEvent& e) override { epc_.ingest(e); }
+  void on_finish() override { result_ = epc_.finish(); }
+
+  // Valid after the stream finished.
+  const mcn::SimulationResult& result() const { return *result_; }
+
+  std::uint64_t events_ingested() const noexcept {
+    return epc_.events_ingested();
+  }
+
+ private:
+  mcn::StreamingEpc epc_;
+  std::optional<mcn::SimulationResult> result_;
+};
+
+}  // namespace cpg::stream

@@ -1,0 +1,73 @@
+// K-way merge of per-shard sorted event runs through a binary min-heap.
+//
+// Events from different shards can never compare equal (a UE lives in
+// exactly one shard and event_time_less breaks ties down to the UE id and
+// event type), so the merged order equals the canonical finalized-Trace
+// order regardless of shard count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cpg::stream {
+
+// Merges `runs` (each sorted by event_time_less) and invokes
+// `deliver(const ControlEvent&)` on each event in globally sorted order.
+template <typename Deliver>
+void k_way_merge(std::span<const std::vector<ControlEvent>> runs,
+                 Deliver&& deliver) {
+  const std::size_t k = runs.size();
+  if (k == 1) {  // fast path: single shard, already sorted
+    for (const ControlEvent& e : runs[0]) deliver(e);
+    return;
+  }
+
+  // heap_ holds (run index); cursor_[r] is the next unconsumed position.
+  std::vector<std::size_t> cursor(k, 0);
+  std::vector<std::size_t> heap;
+  heap.reserve(k);
+
+  auto less = [&](std::size_t a, std::size_t b) {
+    const ControlEvent& ea = runs[a][cursor[a]];
+    const ControlEvent& eb = runs[b][cursor[b]];
+    if (ea == eb) return a < b;  // unreachable across shards; keep strict
+    return event_time_less(ea, eb);
+  };
+
+  auto sift_down = [&](std::size_t i) {
+    const std::size_t n = heap.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && less(heap[l], heap[smallest])) smallest = l;
+      if (r < n && less(heap[r], heap[smallest])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap[i], heap[smallest]);
+      i = smallest;
+    }
+  };
+
+  for (std::size_t r = 0; r < k; ++r) {
+    if (!runs[r].empty()) heap.push_back(r);
+  }
+  for (std::size_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  while (!heap.empty()) {
+    const std::size_t r = heap[0];
+    deliver(runs[r][cursor[r]]);
+    if (++cursor[r] < runs[r].size()) {
+      sift_down(0);
+    } else {
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) sift_down(0);
+    }
+  }
+}
+
+}  // namespace cpg::stream

@@ -1,0 +1,59 @@
+// Pacing layer: maps trace time onto wall-clock time on the delivery path.
+//
+// as_fast_as_possible  deliver as soon as merged (offline generation).
+// real_time            1 trace second per wall second — the paper's §3.1
+//                      use case of driving a live MCN under test.
+// accelerated          N trace seconds per wall second (N may be < 1 to
+//                      slow a stream down).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "core/time_utils.h"
+
+namespace cpg::stream {
+
+enum class ClockMode : std::uint8_t {
+  as_fast_as_possible = 0,
+  real_time = 1,
+  accelerated = 2,
+};
+
+class Pacer {
+ public:
+  // `accel_factor` is only used in accelerated mode and must be > 0.
+  explicit Pacer(ClockMode mode, double accel_factor = 1.0) noexcept
+      : mode_(mode),
+        factor_(mode == ClockMode::real_time ? 1.0 : accel_factor) {}
+
+  // Blocks until the wall clock reaches the stream position of `t_ms`. The
+  // first call anchors trace time to the wall clock.
+  void pace(TimeMs t_ms) {
+    if (mode_ == ClockMode::as_fast_as_possible || factor_ <= 0.0) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (!anchored_) {
+      anchored_ = true;
+      anchor_wall_ = now;
+      anchor_trace_ms_ = t_ms;
+      return;
+    }
+    const double ahead_ms =
+        static_cast<double>(t_ms - anchor_trace_ms_) / factor_;
+    const auto target =
+        anchor_wall_ + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(ahead_ms));
+    if (target > now) std::this_thread::sleep_until(target);
+  }
+
+ private:
+  ClockMode mode_;
+  double factor_;
+  bool anchored_ = false;
+  std::chrono::steady_clock::time_point anchor_wall_{};
+  TimeMs anchor_trace_ms_ = 0;
+};
+
+}  // namespace cpg::stream

@@ -1,0 +1,179 @@
+#include "stream/stream_generator.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stream/bounded_queue.h"
+#include "stream/merge.h"
+
+namespace cpg::stream {
+
+namespace {
+
+// One shard: the slice-resumable generators of its UEs plus the boundary
+// events carried from the previous slice (an event at exactly the slice
+// limit — produced by the starred-guard +1ms flush — belongs to the next
+// slice).
+struct Shard {
+  std::vector<gen::UeSliceGenerator> gens;
+  std::vector<ControlEvent> carry;
+};
+
+}  // namespace
+
+StreamStats stream_generate(const model::ModelSet& models,
+                            const gen::GenerationRequest& request,
+                            const StreamOptions& options, EventSink& sink) {
+  // UE registry in the same deterministic device-block order as the batch
+  // generator, so UE ids (and with them the RNG streams) line up exactly.
+  std::vector<DeviceType> device_of;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t i = 0; i < request.ue_counts[index_of(d)]; ++i) {
+      device_of.push_back(d);
+    }
+  }
+  const std::size_t total_ues = device_of.size();
+
+  const TimeMs t_begin =
+      static_cast<TimeMs>(request.start_hour) * k_ms_per_hour;
+  const TimeMs t_end =
+      t_begin + static_cast<TimeMs>(request.duration_hours *
+                                    static_cast<double>(k_ms_per_hour));
+
+  sink.on_start(StreamHeader{device_of, t_begin, t_end});
+
+  StreamStats stats;
+  stats.num_ues = total_ues;
+  if (total_ues == 0 || t_end <= t_begin) {
+    sink.on_finish();
+    return stats;
+  }
+
+  unsigned threads = options.num_threads != 0 ? options.num_threads
+                                              : request.num_threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t shards =
+      options.num_shards != 0 ? options.num_shards : threads;
+  shards = std::clamp<std::size_t>(shards, 1, total_ues);
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(shards));
+  stats.num_shards = shards;
+
+  const TimeMs slice = std::max<TimeMs>(1, options.slice_ms);
+  const std::uint64_t num_slices =
+      static_cast<std::uint64_t>((t_end - t_begin + slice - 1) / slice);
+
+  BufferGauge gauge;
+  std::vector<std::unique_ptr<BoundedBatchQueue>> queues;
+  queues.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues.push_back(std::make_unique<BoundedBatchQueue>(
+        options.max_buffered_events, &gauge));
+  }
+
+  std::exception_ptr worker_error;
+  std::mutex error_mu;
+
+  // Worker w owns shards {w, w+threads, ...}; a shard's queue has exactly
+  // one producer. Slices are pushed in (slice, shard) order — the same
+  // order the consumer pops — which together with "an empty queue always
+  // accepts a batch" makes the pipeline deadlock-free.
+  auto work = [&](unsigned w) {
+    try {
+      std::vector<std::size_t> owned;
+      for (std::size_t s = w; s < shards; s += threads) owned.push_back(s);
+
+      std::vector<Shard> shard_state(owned.size());
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        const std::size_t s = owned[i];
+        auto& gens = shard_state[i].gens;
+        for (std::size_t u = s; u < total_ues; u += shards) {
+          const DeviceType d = device_of[u];
+          const model::DeviceModel& dev = models.device(d);
+          if (!dev.has_ues()) continue;
+          Rng rng(request.seed, static_cast<std::uint64_t>(u));
+          const auto modeled_ue = static_cast<std::uint32_t>(
+              rng.uniform_index(dev.ue_traj.size()));
+          gens.emplace_back(models, d, modeled_ue, t_begin, t_end,
+                            static_cast<UeId>(u), rng, request.ue_options);
+        }
+      }
+
+      for (std::uint64_t k = 0; k < num_slices; ++k) {
+        const bool last = k + 1 == num_slices;
+        const TimeMs limit =
+            last ? t_end : t_begin + static_cast<TimeMs>(k + 1) * slice;
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+          Shard& sh = shard_state[i];
+          SliceBatch batch;
+          batch.slice = k;
+          batch.events = std::move(sh.carry);
+          sh.carry = {};
+          for (auto& g : sh.gens) g.advance(limit, batch.events);
+          std::erase_if(sh.gens, [](const gen::UeSliceGenerator& g) {
+            return g.done();
+          });
+          std::sort(batch.events.begin(), batch.events.end(),
+                    event_time_less);
+          if (!last) {
+            // Events at exactly `limit` (guard flush) belong to the next
+            // slice; holding them back keeps the global merge ordered.
+            const auto cut = std::lower_bound(
+                batch.events.begin(), batch.events.end(), limit,
+                [](const ControlEvent& e, TimeMs t) { return e.t_ms < t; });
+            sh.carry.assign(cut, batch.events.end());
+            batch.events.erase(cut, batch.events.end());
+          }
+          queues[owned[i]]->push(std::move(batch));
+        }
+      }
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mu);
+        if (!worker_error) worker_error = std::current_exception();
+      }
+      for (std::size_t s = w; s < shards; s += threads) queues[s]->close();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) workers.emplace_back(work, w);
+
+  // Consumer: pop each shard's batch for the current slice, merge, pace,
+  // deliver. Runs on the calling thread so sinks need no locking.
+  Pacer pacer(options.clock, options.accel_factor);
+  std::vector<std::vector<ControlEvent>> runs(shards);
+  bool aborted = false;
+  for (std::uint64_t k = 0; k < num_slices && !aborted; ++k) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      auto batch = queues[s]->pop();
+      if (!batch.has_value()) {  // producer died before finishing
+        aborted = true;
+        break;
+      }
+      runs[s] = std::move(batch->events);
+    }
+    if (aborted) break;
+    k_way_merge(std::span<const std::vector<ControlEvent>>(runs),
+                [&](const ControlEvent& e) {
+                  pacer.pace(e.t_ms);
+                  sink.on_event(e);
+                  ++stats.events;
+                });
+    ++stats.slices;
+    for (auto& r : runs) r.clear();
+  }
+
+  for (auto& t : workers) t.join();
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  stats.peak_buffered_events = gauge.peak();
+  sink.on_finish();
+  return stats;
+}
+
+}  // namespace cpg::stream

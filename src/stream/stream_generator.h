@@ -1,0 +1,75 @@
+// Streaming generation runtime (bounded-memory population synthesis).
+//
+// The batch generator (generator/traffic_generator.h) materializes the
+// whole Trace before anyone can consume an event — memory-infeasible for
+// the "millions of UEs" target and useless for driving a live core. This
+// runtime instead:
+//
+//   1. shards the UE population across worker threads (UE u -> shard
+//      u % num_shards, each shard owned by one worker),
+//   2. generates in bounded time slices: every shard advances its
+//      slice-resumable per-UE generators (UeSliceGenerator) to the next
+//      slice boundary, sorts the slice locally, and carries boundary
+//      events over to the next slice,
+//   3. pushes per-shard slice batches through bounded queues
+//      (backpressure: a slow sink blocks the producers, nothing is
+//      dropped), and
+//   4. k-way merges the shard batches of each slice through a min-heap on
+//      the consumer thread, pacing delivery (as-fast-as-possible /
+//      real-time / N×-accelerated) into a pluggable EventSink.
+//
+// Determinism contract: for a fixed seed the delivered event sequence is
+// byte-identical to the finalized output of gen::generate_trace, for any
+// shard count, thread count, and slice length. This holds because every UE
+// derives its RNG from (seed, ue_id) alone, slicing never changes a UE's
+// draw sequence, and the slice/merge scheme reproduces the canonical
+// event_time_less order exactly.
+//
+// Peak memory is O(#UEs * per-UE state + buffered slice events), not
+// O(total events).
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_utils.h"
+#include "generator/traffic_generator.h"
+#include "stream/event_sink.h"
+#include "stream/pacing.h"
+
+namespace cpg::stream {
+
+struct StreamOptions {
+  // 0 = one shard per worker thread. Sharding only affects scheduling and
+  // memory, never the delivered sequence.
+  std::size_t num_shards = 0;
+  // 0 = request.num_threads (which itself defaults to hardware threads).
+  unsigned num_threads = 0;
+  // Generation slice length; memory scales with events per slice.
+  TimeMs slice_ms = 10 * k_ms_per_minute;
+  // Backpressure threshold per shard queue, in buffered events. An empty
+  // queue always accepts one batch, so the hard bound per queue is
+  // max(this, largest single slice batch).
+  std::size_t max_buffered_events = 1 << 16;
+  ClockMode clock = ClockMode::as_fast_as_possible;
+  double accel_factor = 1.0;  // accelerated mode: trace seconds per second
+};
+
+struct StreamStats {
+  std::uint64_t events = 0;
+  std::uint64_t slices = 0;
+  std::size_t num_ues = 0;
+  std::size_t num_shards = 0;
+  // High-water mark of events buffered in shard queues (all queues
+  // combined), i.e. the memory the backpressure layer allowed to
+  // accumulate.
+  std::size_t peak_buffered_events = 0;
+};
+
+// Streams the population of `request` into `sink`. Blocks until the stream
+// is fully delivered (on_finish has returned). The sink runs on the calling
+// thread; generation runs on worker threads.
+StreamStats stream_generate(const model::ModelSet& models,
+                            const gen::GenerationRequest& request,
+                            const StreamOptions& options, EventSink& sink);
+
+}  // namespace cpg::stream

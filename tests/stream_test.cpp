@@ -1,0 +1,210 @@
+// Tests for the streaming generation runtime (src/stream/): the
+// determinism contract (streamed == batch, byte-identical, for any shard /
+// thread / slice configuration), backpressure behavior under a slow sink,
+// CSV sink byte-compatibility, and live MCN ingest parity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "generator/traffic_generator.h"
+#include "io/csv.h"
+#include "mcn/simulator.h"
+#include "model/fit.h"
+#include "stream/csv_sink.h"
+#include "stream/mcn_sink.h"
+#include "stream/stream_generator.h"
+#include "test_util.h"
+
+namespace cpg::stream {
+namespace {
+
+const model::ModelSet& ours_model() {
+  static const model::ModelSet set = [] {
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 30;
+    return model::fit_model(testutil::small_ground_truth(200, 48.0, 11),
+                            opts);
+  }();
+  return set;
+}
+
+gen::GenerationRequest small_request() {
+  gen::GenerationRequest req;
+  req.ue_counts = {120, 50, 30};
+  req.start_hour = 10;
+  req.duration_hours = 2.0;
+  req.seed = 99;
+  req.num_threads = 2;
+  return req;
+}
+
+const Trace& batch_trace() {
+  static const Trace t = gen::generate_trace(ours_model(), small_request());
+  return t;
+}
+
+void expect_identical(const Trace& streamed, const Trace& batch) {
+  ASSERT_EQ(streamed.num_ues(), batch.num_ues());
+  for (UeId u = 0; u < batch.num_ues(); ++u) {
+    ASSERT_EQ(streamed.device(u), batch.device(u));
+  }
+  ASSERT_TRUE(streamed.finalized());
+  ASSERT_EQ(streamed.num_events(), batch.num_events());
+  const auto a = streamed.events();
+  const auto b = batch.events();
+  ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(Stream, ByteIdenticalToBatchAcrossShardsSlicesThreads) {
+  const Trace& batch = batch_trace();
+  ASSERT_GT(batch.num_events(), 100u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    for (const TimeMs slice_ms : {7 * k_ms_per_minute, 25 * k_ms_per_minute}) {
+      for (const unsigned threads : {1u, 3u}) {
+        StreamOptions opts;
+        opts.num_shards = shards;
+        opts.num_threads = threads;
+        opts.slice_ms = slice_ms;
+        CaptureSink cap;
+        const StreamStats stats =
+            stream_generate(ours_model(), small_request(), opts, cap);
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " slice_ms=" + std::to_string(slice_ms) +
+                     " threads=" + std::to_string(threads));
+        expect_identical(cap.trace(), batch);
+        EXPECT_EQ(stats.events, batch.num_events());
+        EXPECT_EQ(stats.num_ues, batch.num_ues());
+      }
+    }
+  }
+}
+
+TEST(Stream, DeliversInCanonicalOrder) {
+  bool ordered = true;
+  bool has_prev = false;
+  ControlEvent prev{};
+  CallbackSink sink([&](const ControlEvent& e) {
+    if (has_prev && event_time_less(e, prev)) ordered = false;
+    prev = e;
+    has_prev = true;
+  });
+  StreamOptions opts;
+  opts.num_shards = 4;
+  opts.slice_ms = 10 * k_ms_per_minute;
+  stream_generate(ours_model(), small_request(), opts, sink);
+  EXPECT_TRUE(ordered);
+  EXPECT_TRUE(has_prev);
+}
+
+TEST(Stream, BackpressureBoundsBufferingWithoutLossOrDeadlock) {
+  // A deliberately slow sink: the bounded queues must absorb the mismatch
+  // by blocking producers, never by dropping events or deadlocking.
+  constexpr std::size_t k_cap = 256;
+  constexpr std::size_t k_shards = 4;
+  std::uint64_t received = 0;
+  CallbackSink slow([&](const ControlEvent&) {
+    if (++received % 64 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  StreamOptions opts;
+  opts.num_shards = k_shards;
+  opts.num_threads = 4;
+  opts.slice_ms = 5 * k_ms_per_minute;
+  opts.max_buffered_events = k_cap;
+  const StreamStats stats =
+      stream_generate(ours_model(), small_request(), opts, slow);
+
+  EXPECT_EQ(received, batch_trace().num_events());  // nothing dropped
+  EXPECT_GT(stats.peak_buffered_events, 0u);
+  // Hard bound: per queue max(cap, largest single batch); slices here are
+  // far smaller than the cap, so the total stays under shards * cap.
+  EXPECT_LE(stats.peak_buffered_events, k_shards * k_cap);
+}
+
+TEST(Stream, CsvSinkMatchesBatchCsvByteForByte) {
+  std::ostringstream batch_events, batch_ues;
+  io::write_events_csv(batch_trace(), batch_events);
+  io::write_ues_csv(batch_trace(), batch_ues);
+
+  std::ostringstream stream_events, stream_ues;
+  CsvSink sink(stream_events, &stream_ues);
+  StreamOptions opts;
+  opts.num_shards = 3;
+  opts.slice_ms = 11 * k_ms_per_minute;
+  stream_generate(ours_model(), small_request(), opts, sink);
+
+  EXPECT_EQ(stream_events.str(), batch_events.str());
+  EXPECT_EQ(stream_ues.str(), batch_ues.str());
+}
+
+TEST(Stream, LiveMcnIngestMatchesBatchSimulation) {
+  mcn::SimulationConfig cfg;
+  cfg.nfs[index_of(mcn::NetworkFunction::mme)].workers = 2;
+  const mcn::SimulationResult batch = mcn::simulate(batch_trace(), cfg);
+
+  McnLiveSink sink(cfg);
+  StreamOptions opts;
+  opts.num_shards = 4;
+  stream_generate(ours_model(), small_request(), opts, sink);
+  const mcn::SimulationResult& live = sink.result();
+
+  EXPECT_EQ(live.procedures, batch.procedures);
+  EXPECT_EQ(live.messages, batch.messages);
+  EXPECT_DOUBLE_EQ(live.latency_us.mean, batch.latency_us.mean);
+  EXPECT_DOUBLE_EQ(live.makespan_s, batch.makespan_s);
+  for (std::size_t n = 0; n < mcn::k_num_nfs; ++n) {
+    EXPECT_EQ(live.nf[n].messages, batch.nf[n].messages);
+  }
+}
+
+TEST(Stream, AcceleratedClockPacesDelivery) {
+  // 2 trace hours at 18000x ≈ 400 ms of wall time: fast enough for a test,
+  // slow enough to prove the pacer actually waits.
+  CountingSink sink;
+  StreamOptions opts;
+  opts.num_shards = 2;
+  opts.clock = ClockMode::accelerated;
+  opts.accel_factor = 18'000.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  stream_generate(ours_model(), small_request(), opts, sink);
+  const auto wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(sink.total(), batch_trace().num_events());
+  EXPECT_GE(wall, 0.1);  // the span between first and last event, scaled
+}
+
+TEST(Stream, EmptyPopulationStillOpensAndClosesStream) {
+  gen::GenerationRequest req;  // all counts zero
+  bool started = false;
+  bool finished = false;
+  class Probe final : public EventSink {
+   public:
+    Probe(bool& started, bool& finished)
+        : started_(started), finished_(finished) {}
+    void on_start(const StreamHeader& h) override {
+      started_ = h.ue_devices.empty();
+    }
+    void on_event(const ControlEvent&) override { FAIL(); }
+    void on_finish() override { finished_ = true; }
+
+   private:
+    bool& started_;
+    bool& finished_;
+  } probe(started, finished);
+  const StreamStats stats =
+      stream_generate(ours_model(), req, StreamOptions{}, probe);
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(stats.events, 0u);
+}
+
+}  // namespace
+}  // namespace cpg::stream

@@ -1,0 +1,135 @@
+// Observability overhead: streaming throughput with the metrics registry
+// enabled vs disabled.
+//
+// The obs instrumentation budget is <5% events/s on the streaming hot path
+// (DESIGN.md). This bench generates the same multi-hour population
+// repeatedly through stream::stream_generate into a counting sink,
+// alternating metrics-off and metrics-on runs (full stack: cpg_stream_*,
+// cpg_gen_*, plus a 1s SnapshotReporter serializing Prometheus text in the
+// background), takes the best run of each mode so scheduler noise cancels,
+// and reports the relative overhead. Results land in ./BENCH_obs.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common.h"
+#include "obs/exporters.h"
+#include "obs/reporter.h"
+#include "stream/event_sink.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::bench {
+namespace {
+
+constexpr double k_gen_hours = 4.0;
+constexpr int k_reps = 3;
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+};
+
+double events_per_sec(const RunResult& r) {
+  return r.seconds > 0 ? double(r.events) / r.seconds : 0.0;
+}
+
+RunResult run_once(const model::ModelSet& models,
+                   gen::GenerationRequest request, bool with_metrics) {
+  stream::StreamOptions opts;
+  opts.slice_ms = 10 * k_ms_per_minute;
+
+  obs::Registry registry;
+  gen::GenMetrics gen_metrics;
+  std::unique_ptr<obs::SnapshotReporter> reporter;
+  if (with_metrics) {
+    opts.metrics = &registry;
+    gen_metrics = gen::GenMetrics::register_in(registry);
+    request.ue_options.metrics = &gen_metrics;
+    reporter = std::make_unique<obs::SnapshotReporter>(
+        registry, std::chrono::milliseconds(1000),
+        [](const obs::Registry& reg) {
+          std::ostringstream os;
+          obs::write_prometheus(reg, os);
+        });
+  }
+
+  stream::CountingSink sink;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.events = stream_generate(models, request, opts, sink).events;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (reporter) reporter->stop();
+  return r;
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Observability overhead",
+               "metrics registry cost on the streaming hot path "
+               "(src/obs/), not a paper table",
+               config);
+
+  model::ModelSet models = [&] {
+    const Trace fit_trace = make_fit_trace(config);
+    return fit_method(fit_trace, model::Method::ours, config);
+  }();
+
+  gen::GenerationRequest request;
+  request.ue_counts = device_mix(config.scenario1_ues());
+  request.start_hour = 10;
+  request.duration_hours = k_gen_hours;
+  request.seed = config.seed + 7;
+  request.num_threads = config.threads;
+
+  // Warm-up run (page in the model, prime the allocator), then interleaved
+  // measured reps.
+  (void)run_once(models, request, false);
+  RunResult best_off, best_on;
+  for (int rep = 0; rep < k_reps; ++rep) {
+    const RunResult off = run_once(models, request, false);
+    const RunResult on = run_once(models, request, true);
+    if (events_per_sec(off) > events_per_sec(best_off)) best_off = off;
+    if (events_per_sec(on) > events_per_sec(best_on)) best_on = on;
+  }
+  if (best_off.events == 0 || best_off.events != best_on.events) {
+    std::fprintf(stderr, "event count mismatch: off=%llu on=%llu\n",
+                 (unsigned long long)best_off.events,
+                 (unsigned long long)best_on.events);
+    return 1;
+  }
+
+  const double eps_off = events_per_sec(best_off);
+  const double eps_on = events_per_sec(best_on);
+  const double overhead_pct = 100.0 * (eps_off - eps_on) / eps_off;
+  const bool pass = overhead_pct < 5.0;
+
+  std::printf("%-14s %14s %14s\n", "mode", "events", "events/s");
+  std::printf("%-14s %14llu %14.0f\n", "metrics off",
+              (unsigned long long)best_off.events, eps_off);
+  std::printf("%-14s %14llu %14.0f\n", "metrics on",
+              (unsigned long long)best_on.events, eps_on);
+  std::printf("overhead: %.2f%% (budget < 5%%) -> %s\n", overhead_pct,
+              pass ? "PASS" : "FAIL");
+
+  std::ofstream json("BENCH_obs.json");
+  json << "{\n  \"bench\": \"obs_overhead\",\n  \"scale\": " << config.scale
+       << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"reps\": " << k_reps << ",\n  \"events\": "
+       << best_off.events << ",\n  \"events_per_sec_metrics_off\": "
+       << std::uint64_t(eps_off) << ",\n  \"events_per_sec_metrics_on\": "
+       << std::uint64_t(eps_on) << ",\n  \"overhead_pct\": " << overhead_pct
+       << ",\n  \"budget_pct\": 5.0,\n  \"pass\": "
+       << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "wrote BENCH_obs.json\n";
+  return 0;
+}

@@ -1,8 +1,26 @@
 #include "generator/ue_generator.h"
 
 #include <algorithm>
+#include <string>
 
 namespace cpg::gen {
+
+GenMetrics GenMetrics::register_in(obs::Registry& registry) {
+  GenMetrics m;
+  for (DeviceType d : k_all_device_types) {
+    m.events_by_device[index_of(d)] = &registry.counter(
+        "cpg_gen_events_total", "Control events emitted by the generator",
+        obs::Labels{{"device", std::string(to_string(d))}});
+  }
+  m.sub_wait_redraws = &registry.counter(
+      "cpg_gen_sub_wait_redraws_total",
+      "Second-level wait draws rejected because they overshot the top-level "
+      "switch and were redrawn (conditioning, paper §7)");
+  m.max_events_trips = &registry.counter(
+      "cpg_gen_max_events_trips_total",
+      "UEs stopped early by the max_events safety valve");
+  return m;
+}
 
 namespace {
 
@@ -23,6 +41,7 @@ UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
                                    const UeGenOptions& options)
     : models_(&models),
       dev_(&models.device(device)),
+      device_(device),
       spec_(models.spec),
       traj_(dev_->ue_traj.empty() ? nullptr : &dev_->ue_traj[modeled_ue]),
       t_begin_(t_begin),
@@ -103,6 +122,7 @@ void UeSliceGenerator::schedule_sub() {
   // sojourn (rejection with a small retry budget).
   const int budget = options_.condition_sub_waits ? 16 : 1;
   for (int tries = 0; tries < budget; ++tries) {
+    if (tries > 0) ++pending_redraws_;
     const double s = edge->sojourn ? edge->sojourn->sample(rng_) : 0.0;
     const TimeMs deadline = now_ + sojourn_to_ms(std::max(s, 0.0));
     if (deadline < top_deadline_ || top_deadline_ == k_never) {
@@ -149,6 +169,7 @@ void UeSliceGenerator::loop(TimeMs limit) {
     }
   }
   done_ = true;  // hit the max_events safety valve
+  valve_tripped_ = true;
 }
 
 void UeSliceGenerator::fire_top() {
@@ -202,29 +223,46 @@ void UeSliceGenerator::fire_overlay(TimeMs t) {
 bool UeSliceGenerator::advance(TimeMs t_limit, std::vector<ControlEvent>& out) {
   if (done_) return false;
   const TimeMs limit = std::min(t_limit, t_end_);
+  const std::size_t out_before = out.size();
   out_ = &out;
+  bool more = true;
   if (!started_) {
     started_ = true;
     if (traj_ == nullptr || !start_with_first_event()) {
       done_ = true;
-      out_ = nullptr;
-      return false;
+      more = false;
+    } else {
+      schedule_top();
+      schedule_sub();
+      schedule_overlays();
     }
-    schedule_top();
-    schedule_sub();
-    schedule_overlays();
   }
-  if (pending_first_) {
-    if (first_event_.t_ms >= limit) {
-      out_ = nullptr;
-      return true;  // the whole UE stream still lies beyond this slice
-    }
+  if (!done_ && pending_first_ && first_event_.t_ms < limit) {
     out_->push_back(first_event_);
     pending_first_ = false;
   }
-  loop(limit);
+  // While pending_first_ holds, the whole UE stream still lies beyond this
+  // slice and no timer may fire.
+  if (!done_ && !pending_first_) {
+    loop(limit);
+    more = !done_;
+  }
   out_ = nullptr;
-  return !done_;
+  if (const GenMetrics* m = options_.metrics) {
+    const std::size_t emitted_now = out.size() - out_before;
+    if (emitted_now > 0) {
+      m->events_by_device[index_of(device_)]->inc(emitted_now);
+    }
+    if (pending_redraws_ > 0) {
+      m->sub_wait_redraws->inc(pending_redraws_);
+      pending_redraws_ = 0;
+    }
+    if (valve_tripped_) {
+      m->max_events_trips->inc();
+      valve_tripped_ = false;
+    }
+  }
+  return more;
 }
 
 void generate_ue(const model::ModelSet& models, DeviceType device,

@@ -24,9 +24,23 @@
 
 #include "core/trace.h"
 #include "model/semi_markov.h"
+#include "obs/metrics.h"
 #include "statemachine/machine.h"
 
 namespace cpg::gen {
+
+// The cpg_gen_* instrument set, shared by every UeSliceGenerator of a run
+// through UeGenOptions::metrics. Generators accumulate locally and flush
+// once per advance() call, so instrumentation adds no per-event atomics.
+struct GenMetrics {
+  std::array<obs::Counter*, k_num_device_types> events_by_device{};
+  obs::Counter* sub_wait_redraws = nullptr;
+  obs::Counter* max_events_trips = nullptr;
+
+  // Registers (or re-resolves) the cpg_gen_* families in `registry`, which
+  // must outlive every generator holding the result.
+  static GenMetrics register_in(obs::Registry& registry);
+};
 
 struct UeGenOptions {
   // Gate the first event by the cluster's measured P(active): a synthesized
@@ -45,6 +59,10 @@ struct UeGenOptions {
   bool condition_sub_waits = true;
   // Safety valve against degenerate models (sub-millisecond sojourn loops).
   std::size_t max_events = 1 << 20;
+  // Optional runtime observability (events per device type, sub-wait
+  // redraws, safety-valve trips). The pointed-to instruments must outlive
+  // the generator. Null = no instrumentation cost.
+  const GenMetrics* metrics = nullptr;
 };
 
 // Resumable generator for one synthetic UE over [t_begin, t_end), following
@@ -84,6 +102,7 @@ class UeSliceGenerator {
 
   const model::ModelSet* models_;
   const model::DeviceModel* dev_;
+  DeviceType device_;
   const sm::MachineSpec* spec_;
   const std::array<std::uint32_t, 24>* traj_;
   TimeMs t_begin_;
@@ -105,6 +124,9 @@ class UeSliceGenerator {
   TimeMs sub_deadline_ = k_never;
   int sub_edge_ = -1;
   std::array<TimeMs, k_num_event_types> overlay_deadline_{};
+  // Local tallies flushed to options_.metrics at the end of each advance().
+  std::uint64_t pending_redraws_ = 0;
+  bool valve_tripped_ = false;
 };
 
 // Generates events for one synthetic UE over [t_begin, t_end) in a single

@@ -1,8 +1,10 @@
 #include "mcn/queueing.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/rng.h"
@@ -49,6 +51,54 @@ struct Station {
   std::size_t max_queue_depth = 0;
 };
 
+// The cpg_mcn_* instrument set, registered when QueueingConfig::metrics is
+// set. The engine is single-threaded, so these are plain relaxed-atomic
+// updates with no contention; null instruments cost one branch each.
+struct EngineInstruments {
+  struct PerStation {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* busy_workers = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Histogram* wait_us = nullptr;
+  };
+  std::vector<PerStation> station;
+  obs::Gauge* in_flight = nullptr;
+  obs::Counter* procedures = nullptr;
+  obs::Histogram* latency_us = nullptr;
+
+  EngineInstruments(obs::Registry& reg, const QueueingConfig& cfg) {
+    in_flight = &reg.gauge("cpg_mcn_in_flight_jobs",
+                           "Procedures in flight (job slots in use)");
+    procedures = &reg.counter("cpg_mcn_procedures_total",
+                              "Signaling procedures completed");
+    latency_us = &reg.histogram(
+        "cpg_mcn_procedure_latency_us",
+        "End-to-end procedure latency in microseconds",
+        obs::exponential_buckets(50.0, 2.0, 16));
+    station.resize(cfg.num_stations);
+    for (std::size_t n = 0; n < cfg.num_stations; ++n) {
+      const std::string name =
+          cfg.station_names[n].empty() ? "s" + std::to_string(n)
+                                       : std::string(cfg.station_names[n]);
+      const obs::Labels labels{{"station", name}};
+      station[n].queue_depth =
+          &reg.gauge("cpg_mcn_station_queue_depth",
+                     "Steps queued at one station", labels);
+      station[n].busy_workers =
+          &reg.gauge("cpg_mcn_station_busy_workers",
+                     "Workers currently serving at one station (occupancy)",
+                     labels);
+      station[n].messages = &reg.counter(
+          "cpg_mcn_station_messages_total",
+          "Messages (service steps) handled by one station", labels);
+      station[n].wait_us = &reg.histogram(
+          "cpg_mcn_station_wait_us",
+          "Queue wait before service in microseconds",
+          obs::exponential_buckets(10.0, 2.0, 16), labels);
+    }
+  }
+};
+
 class Reservoir {
  public:
   Reservoir(std::size_t cap, Rng& rng) : cap_(cap), rng_(&rng) {}
@@ -85,6 +135,7 @@ struct QueueingEngine::Impl {
   Rng rng;
   Reservoir latency_all;
   std::vector<Reservoir> latency_by_event;
+  std::unique_ptr<EngineInstruments> ins;
 
   // Job slots are recycled through a free list so that memory stays
   // proportional to in-flight procedures rather than total arrivals.
@@ -116,6 +167,9 @@ struct QueueingEngine::Impl {
       stations[n].service_scale =
           cfg.service_scale[n] > 0.0 ? cfg.service_scale[n] : 1.0;
     }
+    if (cfg.metrics != nullptr) {
+      ins = std::make_unique<EngineInstruments>(*cfg.metrics, cfg);
+    }
   }
 
   std::uint32_t alloc_job(EventType event, double start_us) {
@@ -129,12 +183,14 @@ struct QueueingEngine::Impl {
       jobs.push_back({event, start_us});
     }
     ++in_flight;
+    if (ins) ins->in_flight->add(1);
     return slot;
   }
 
   void free_job(std::uint32_t slot) {
     free_slots.push_back(slot);
     --in_flight;
+    if (ins) ins->in_flight->sub(1);
   }
 
   void begin_service(Station& st, std::uint8_t station_idx,
@@ -147,6 +203,12 @@ struct QueueingEngine::Impl {
     const double wait = now_us - qs.arrival_us;
     st.wait_sum_us += wait;
     st.wait_max_us = std::max(st.wait_max_us, wait);
+    if (ins) {
+      EngineInstruments::PerStation& m = ins->station[station_idx];
+      m.busy_workers->add(1);
+      m.messages->inc();
+      m.wait_us->observe(wait);
+    }
     heap.push({now_us + service, seq++, EventKind::completion, qs.job,
                qs.step, station_idx});
   }
@@ -166,6 +228,7 @@ struct QueueingEngine::Impl {
     } else {
       st.queue.push(qs);
       st.max_queue_depth = std::max(st.max_queue_depth, st.queue.size());
+      if (ins) ins->station[station_idx].queue_depth->add(1);
     }
   }
 
@@ -173,10 +236,12 @@ struct QueueingEngine::Impl {
     Station& st = stations[ev.station];
     ++st.free_workers;
     last_completion_us = std::max(last_completion_us, ev.t_us);
+    if (ins) ins->station[ev.station].busy_workers->sub(1);
 
     if (!st.queue.empty()) {
       const QueuedStep qs = st.queue.front();
       st.queue.pop();
+      if (ins) ins->station[ev.station].queue_depth->sub(1);
       begin_service(st, ev.station, qs, ev.t_us);
     }
 
@@ -189,6 +254,10 @@ struct QueueingEngine::Impl {
       latency_all.add(latency);
       latency_by_event[index_of(jobs[ev.job].event)].add(latency);
       ++procedures;
+      if (ins) {
+        ins->procedures->inc();
+        ins->latency_us->observe(latency);
+      }
       free_job(ev.job);
     }
   }

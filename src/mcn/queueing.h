@@ -12,8 +12,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 
 #include "core/trace.h"
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 
 namespace cpg::mcn {
@@ -32,6 +34,15 @@ struct QueueingConfig {
   double hop_delay_us = 50.0;
   std::size_t max_latency_samples = 100'000;
   std::uint64_t seed = 7;
+  // Optional runtime observability: when set, the engine registers and
+  // maintains the `cpg_mcn_*` instruments (per-station occupancy, queue
+  // depth, queue-wait and procedure-latency histograms, in-flight job-slot
+  // gauge — see DESIGN.md). Must outlive the engine. Null = no
+  // instrumentation cost.
+  obs::Registry* metrics = nullptr;
+  // `station` label values for the cpg_mcn_* series (e.g. NF names); an
+  // empty entry falls back to "s<index>".
+  std::array<std::string_view, k_max_stations> station_names{};
 };
 
 struct StationStats {

@@ -32,6 +32,10 @@ struct SimulationConfig {
   // Per-category latency sample cap (reservoir).
   std::size_t max_latency_samples = 100'000;
   std::uint64_t seed = 7;
+  // Optional runtime observability: forwarded to the queueing engine, which
+  // registers the `cpg_mcn_*` instruments with NF names as the `station`
+  // label. Must outlive the simulation. Null = no instrumentation cost.
+  obs::Registry* metrics = nullptr;
 };
 
 struct NfStats {

@@ -14,6 +14,10 @@ QueueingConfig to_queueing_config(const SimulationConfig& config) {
   qc.hop_delay_us = config.hop_delay_us;
   qc.max_latency_samples = config.max_latency_samples;
   qc.seed = config.seed;
+  qc.metrics = config.metrics;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    qc.station_names[n] = to_string(k_all_nfs[n]);
+  }
   return qc;
 }
 

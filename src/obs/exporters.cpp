@@ -1,0 +1,225 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace cpg::obs {
+
+namespace {
+
+// Shortest %g round-trip form, matching how Prometheus clients print
+// bucket edges and sums.
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = 0.0;
+  for (int prec = 6; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Help text escaping: backslash and newline only.
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders `{k="v",...}` with an optional extra label appended (used for
+// histogram `le`). Empty label sets with no extra render as nothing.
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_labels(const Labels& labels, std::ostream& os) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_prometheus(const std::vector<FamilySnapshot>& families,
+                      std::ostream& os) {
+  for (const FamilySnapshot& f : families) {
+    if (!f.help.empty()) {
+      os << "# HELP " << f.name << ' ' << escape_help(f.help) << '\n';
+    }
+    os << "# TYPE " << f.name << ' ' << to_string(f.kind) << '\n';
+    for (const SeriesSnapshot& s : f.series) {
+      switch (f.kind) {
+        case MetricKind::counter:
+          os << f.name << label_block(s.labels) << ' ' << s.counter << '\n';
+          break;
+        case MetricKind::gauge:
+          os << f.name << label_block(s.labels) << ' ' << s.gauge << '\n';
+          break;
+        case MetricKind::histogram: {
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < s.hist.buckets.size(); ++i) {
+            cum += s.hist.buckets[i];
+            const std::string le = i < s.hist.bounds.size()
+                                       ? fmt_double(s.hist.bounds[i])
+                                       : "+Inf";
+            os << f.name << "_bucket" << label_block(s.labels, "le", le)
+               << ' ' << cum << '\n';
+          }
+          os << f.name << "_sum" << label_block(s.labels) << ' '
+             << fmt_double(s.hist.sum) << '\n';
+          os << f.name << "_count" << label_block(s.labels) << ' '
+             << s.hist.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+void write_json(const std::vector<FamilySnapshot>& families,
+                std::ostream& os) {
+  os << "{\"metrics\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& f : families) {
+    if (!first_family) os << ',';
+    first_family = false;
+    os << "\n {\"name\":\"" << json_escape(f.name) << "\",\"type\":\""
+       << to_string(f.kind) << "\",\"help\":\"" << json_escape(f.help)
+       << "\",\"series\":[";
+    bool first_series = true;
+    for (const SeriesSnapshot& s : f.series) {
+      if (!first_series) os << ',';
+      first_series = false;
+      os << "\n  {\"labels\":";
+      write_json_labels(s.labels, os);
+      switch (f.kind) {
+        case MetricKind::counter:
+          os << ",\"value\":" << s.counter;
+          break;
+        case MetricKind::gauge:
+          os << ",\"value\":" << s.gauge;
+          break;
+        case MetricKind::histogram: {
+          os << ",\"sum\":" << fmt_double(s.hist.sum)
+             << ",\"count\":" << s.hist.count << ",\"buckets\":[";
+          for (std::size_t i = 0; i < s.hist.buckets.size(); ++i) {
+            if (i > 0) os << ',';
+            const std::string le = i < s.hist.bounds.size()
+                                       ? '"' + fmt_double(s.hist.bounds[i]) +
+                                             '"'
+                                       : std::string("\"+Inf\"");
+            os << "{\"le\":" << le << ",\"count\":" << s.hist.buckets[i]
+               << '}';
+          }
+          os << ']';
+          break;
+        }
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+void write_prometheus(const Registry& registry, std::ostream& os) {
+  write_prometheus(registry.snapshot(), os);
+}
+
+void write_json(const Registry& registry, std::ostream& os) {
+  write_json(registry.snapshot(), os);
+}
+
+}  // namespace cpg::obs

@@ -1,0 +1,25 @@
+// Exposition writers over Registry snapshots.
+//
+// write_prometheus emits the Prometheus text exposition format (version
+// 0.0.4): `# HELP` / `# TYPE` per family, one sample line per series,
+// histograms expanded into cumulative `_bucket{le=...}` plus `_sum` and
+// `_count`. write_json emits one self-describing JSON object (stable field
+// order) for programmatic consumers and BENCH_* tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+
+namespace cpg::obs {
+
+void write_prometheus(const Registry& registry, std::ostream& os);
+void write_json(const Registry& registry, std::ostream& os);
+
+// Snapshot-level overloads, for callers that already hold a snapshot.
+void write_prometheus(const std::vector<FamilySnapshot>& families,
+                      std::ostream& os);
+void write_json(const std::vector<FamilySnapshot>& families,
+                std::ostream& os);
+
+}  // namespace cpg::obs

@@ -1,0 +1,69 @@
+#include "obs/reporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/exporters.h"
+
+namespace cpg::obs {
+
+SnapshotReporter::SnapshotReporter(const Registry& registry,
+                                   std::chrono::milliseconds interval,
+                                   Emit emit)
+    : registry_(registry), interval_(interval), emit_(std::move(emit)) {
+  if (interval_ <= std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument(
+        "SnapshotReporter: interval must be positive");
+  }
+  if (!emit_) {
+    throw std::invalid_argument("SnapshotReporter: emit must be callable");
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+SnapshotReporter::~SnapshotReporter() { stop(); }
+
+void SnapshotReporter::run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [&] { return stopping_; })) break;
+    lock.unlock();
+    emit_(registry_);
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void SnapshotReporter::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  emit_(registry_);  // final state, after the thread can no longer race it
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SnapshotReporter::Emit SnapshotReporter::file_writer(std::string path,
+                                                     ExportFormat format) {
+  return [path = std::move(path), format](const Registry& registry) {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) return;  // unwritable path: drop the snapshot, keep running
+      if (format == ExportFormat::prometheus) {
+        write_prometheus(registry, os);
+      } else {
+        write_json(registry, os);
+      }
+    }
+    std::rename(tmp.c_str(), path.c_str());
+  };
+}
+
+}  // namespace cpg::obs

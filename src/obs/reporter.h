@@ -1,0 +1,66 @@
+// Periodic metrics snapshot publisher.
+//
+// SnapshotReporter runs one background thread that invokes an emit callback
+// every `interval` until stopped; stop() (or destruction) wakes the thread,
+// emits one final snapshot — so short runs still publish their end state —
+// and joins. The registry outlives the reporter by construction; emit
+// callbacks run on the reporter thread, concurrent with instrument updates
+// (safe: snapshots read atomics) but never concurrent with themselves.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cpg::obs {
+
+enum class ExportFormat : std::uint8_t { prometheus, json };
+
+class SnapshotReporter {
+ public:
+  using Emit = std::function<void(const Registry&)>;
+
+  // Starts the reporter thread. `interval` must be positive (throws
+  // std::invalid_argument otherwise).
+  SnapshotReporter(const Registry& registry,
+                   std::chrono::milliseconds interval, Emit emit);
+  ~SnapshotReporter();
+
+  SnapshotReporter(const SnapshotReporter&) = delete;
+  SnapshotReporter& operator=(const SnapshotReporter&) = delete;
+
+  // Emits one final snapshot and joins the thread. Idempotent.
+  void stop();
+
+  // Number of emits so far (including the final one after stop).
+  std::uint64_t snapshots() const noexcept {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+  // Emit callback that atomically replaces `path` (write tmp + rename) with
+  // the current snapshot in `format` — a scraper or tail -f never reads a
+  // half-written exposition.
+  static Emit file_writer(std::string path, ExportFormat format);
+
+ private:
+  void run();
+
+  const Registry& registry_;
+  const std::chrono::milliseconds interval_;
+  Emit emit_;
+  std::atomic<std::uint64_t> snapshots_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cpg::obs

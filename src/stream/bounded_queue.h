@@ -7,9 +7,15 @@
 // an oversized one — so the hard bound per queue is
 // max(capacity, largest single batch). Producers block on push when full
 // (backpressure), the consumer blocks on pop when empty.
+//
+// Shutdown: close() releases *both* sides — a producer blocked in push()
+// on a full queue returns false instead of deadlocking when the consumer
+// closes and walks away (e.g. a sink threw mid-stream), and a draining
+// consumer keeps popping until empty, then gets nullopt.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "obs/metrics.h"
 
 namespace cpg::stream {
 
@@ -30,11 +37,16 @@ struct SliceBatch {
 
 // Tracks the total number of buffered events across all queues and its
 // high-water mark (reported as StreamStats::peak_buffered_events).
+// Optionally mirrors the current level into an obs::Gauge so the buffered
+// total is visible while the stream runs, not just post-mortem.
 class BufferGauge {
  public:
+  explicit BufferGauge(obs::Gauge* live = nullptr) noexcept : live_(live) {}
+
   void add(std::size_t n) noexcept {
     const std::size_t now =
         current_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (live_ != nullptr) live_->add(static_cast<std::int64_t>(n));
     std::size_t peak = peak_.load(std::memory_order_relaxed);
     while (now > peak &&
            !peak_.compare_exchange_weak(peak, now,
@@ -43,37 +55,69 @@ class BufferGauge {
   }
   void sub(std::size_t n) noexcept {
     current_.fetch_sub(n, std::memory_order_relaxed);
+    if (live_ != nullptr) live_->sub(static_cast<std::int64_t>(n));
   }
   std::size_t peak() const noexcept {
     return peak_.load(std::memory_order_relaxed);
   }
 
  private:
+  obs::Gauge* live_;
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> peak_{0};
 };
 
+// Per-queue observability hooks; any pointer may be null. `depth_events`
+// follows the queue's buffered event count; `stall_us` accumulates the
+// wall time the producer spent blocked in push() (backpressure stalls).
+struct QueueInstruments {
+  obs::Gauge* depth_events = nullptr;
+  obs::Counter* stall_us = nullptr;
+};
+
 class BoundedBatchQueue {
  public:
+  using Instruments = QueueInstruments;
+
   // `max_events`: backpressure threshold for this queue. `gauge` (optional)
   // aggregates buffered-event accounting across queues.
   explicit BoundedBatchQueue(std::size_t max_events,
-                             BufferGauge* gauge = nullptr)
-      : max_events_(max_events), gauge_(gauge) {}
+                             BufferGauge* gauge = nullptr,
+                             Instruments instruments = {})
+      : max_events_(max_events), gauge_(gauge), instruments_(instruments) {}
 
-  // Blocks until the batch fits (or the queue is empty), then enqueues.
-  void push(SliceBatch batch) {
+  // Blocks until the batch fits (or the queue is empty), then enqueues and
+  // returns true. Returns false — dropping the batch — once the queue is
+  // closed; a producer blocked in push() is woken by close().
+  bool push(SliceBatch batch) {
     const std::size_t n = batch.events.size();
     {
       std::unique_lock lock(mu_);
-      not_full_.wait(lock, [&] {
-        return queue_.empty() || buffered_ + n <= max_events_;
-      });
+      const auto admissible = [&] {
+        return closed_ || queue_.empty() || buffered_ + n <= max_events_;
+      };
+      if (!admissible()) {
+        if (instruments_.stall_us != nullptr) {
+          const auto t0 = std::chrono::steady_clock::now();
+          not_full_.wait(lock, admissible);
+          instruments_.stall_us->inc(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } else {
+          not_full_.wait(lock, admissible);
+        }
+      }
+      if (closed_) return false;
       buffered_ += n;
       queue_.push_back(std::move(batch));
     }
     if (gauge_ != nullptr) gauge_->add(n);
+    if (instruments_.depth_events != nullptr) {
+      instruments_.depth_events->add(static_cast<std::int64_t>(n));
+    }
     not_empty_.notify_one();
+    return true;
   }
 
   // Blocks until a batch is available; returns nullopt once the queue is
@@ -87,22 +131,36 @@ class BoundedBatchQueue {
     buffered_ -= batch.events.size();
     lock.unlock();
     if (gauge_ != nullptr) gauge_->sub(batch.events.size());
+    if (instruments_.depth_events != nullptr) {
+      instruments_.depth_events->sub(
+          static_cast<std::int64_t>(batch.events.size()));
+    }
     not_full_.notify_one();
     return batch;
   }
 
+  // Marks the queue closed and wakes both a blocked consumer (which drains
+  // what is buffered, then sees nullopt) and a blocked producer (whose
+  // push returns false). Idempotent.
   void close() {
     {
       std::lock_guard lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
   }
 
  private:
   const std::size_t max_events_;
   BufferGauge* gauge_;
-  std::mutex mu_;
+  Instruments instruments_;
+  mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<SliceBatch> queue_;

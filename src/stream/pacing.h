@@ -4,11 +4,15 @@
 // real_time            1 trace second per wall second — the paper's §3.1
 //                      use case of driving a live MCN under test.
 // accelerated          N trace seconds per wall second (N may be < 1 to
-//                      slow a stream down).
+//                      slow a stream down; must be > 0 and finite —
+//                      construction throws otherwise, it is never silently
+//                      degraded to as-fast-as-possible).
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 
 #include "core/time_utils.h"
@@ -23,15 +27,22 @@ enum class ClockMode : std::uint8_t {
 
 class Pacer {
  public:
-  // `accel_factor` is only used in accelerated mode and must be > 0.
-  explicit Pacer(ClockMode mode, double accel_factor = 1.0) noexcept
+  // `accel_factor` is only used in accelerated mode and must be > 0 and
+  // finite; throws std::invalid_argument otherwise.
+  explicit Pacer(ClockMode mode, double accel_factor = 1.0)
       : mode_(mode),
-        factor_(mode == ClockMode::real_time ? 1.0 : accel_factor) {}
+        factor_(mode == ClockMode::real_time ? 1.0 : accel_factor) {
+    if (mode_ == ClockMode::accelerated &&
+        (!(accel_factor > 0.0) || !std::isfinite(accel_factor))) {
+      throw std::invalid_argument(
+          "Pacer: accel_factor must be > 0 and finite in accelerated mode");
+    }
+  }
 
   // Blocks until the wall clock reaches the stream position of `t_ms`. The
   // first call anchors trace time to the wall clock.
   void pace(TimeMs t_ms) {
-    if (mode_ == ClockMode::as_fast_as_possible || factor_ <= 0.0) return;
+    if (mode_ == ClockMode::as_fast_as_possible) return;
     const auto now = std::chrono::steady_clock::now();
     if (!anchored_) {
       anchored_ = true;
@@ -45,13 +56,27 @@ class Pacer {
         anchor_wall_ + std::chrono::duration_cast<
                            std::chrono::steady_clock::duration>(
                            std::chrono::duration<double, std::milli>(ahead_ms));
-    if (target > now) std::this_thread::sleep_until(target);
+    if (target > now) {
+      drift_ms_ = 0.0;
+      std::this_thread::sleep_until(target);
+    } else {
+      // Delivery is running behind its wall-clock schedule (slow sink or
+      // slow generation) — the stream's pacing drift.
+      drift_ms_ =
+          std::chrono::duration<double, std::milli>(now - target).count();
+    }
   }
+
+  // Milliseconds the last paced delivery lagged its wall-clock target; 0
+  // while the pacer is keeping up (sleeping). Always 0 in
+  // as_fast_as_possible mode.
+  double drift_ms() const noexcept { return drift_ms_; }
 
  private:
   ClockMode mode_;
   double factor_;
   bool anchored_ = false;
+  double drift_ms_ = 0.0;
   std::chrono::steady_clock::time_point anchor_wall_{};
   TimeMs anchor_trace_ms_ = 0;
 };

@@ -33,6 +33,7 @@
 
 #include "core/time_utils.h"
 #include "generator/traffic_generator.h"
+#include "obs/metrics.h"
 #include "stream/event_sink.h"
 #include "stream/pacing.h"
 
@@ -52,6 +53,12 @@ struct StreamOptions {
   std::size_t max_buffered_events = 1 << 16;
   ClockMode clock = ClockMode::as_fast_as_possible;
   double accel_factor = 1.0;  // accelerated mode: trace seconds per second
+  // Optional runtime observability: when set, the runtime registers and
+  // maintains the `cpg_stream_*` instruments (per-shard events/slices,
+  // queue depth and producer stall time, merge lag, sink throughput,
+  // pacing drift — see DESIGN.md). Null = zero instrumentation cost. The
+  // registry must outlive the stream_generate call.
+  obs::Registry* metrics = nullptr;
 };
 
 struct StreamStats {
@@ -68,6 +75,12 @@ struct StreamStats {
 // Streams the population of `request` into `sink`. Blocks until the stream
 // is fully delivered (on_finish has returned). The sink runs on the calling
 // thread; generation runs on worker threads.
+//
+// Shutdown contract: invalid options (accelerated clock with
+// accel_factor <= 0) throw std::invalid_argument before any work starts. If
+// the sink or a worker throws mid-stream, every shard queue is closed,
+// blocked producers unwind, all workers are joined, and the exception is
+// rethrown — stream_generate never deadlocks or leaks threads on error.
 StreamStats stream_generate(const model::ModelSet& models,
                             const gen::GenerationRequest& request,
                             const StreamOptions& options, EventSink& sink);

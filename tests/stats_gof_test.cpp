@@ -27,6 +27,19 @@ TEST(KolmogorovQ, KnownValuesAndMonotonicity) {
   }
 }
 
+// Pins Q(x) to high-precision reference values across the small-x
+// Jacobi-theta branch (x < 0.3), the alternating-series branch, and both
+// sides of the switchover. The x=0.2 case is the one the alternating series
+// cannot resolve: 1 - Q(0.2) ~ 5.1e-13 would vanish in cancellation.
+TEST(KolmogorovQ, PinnedReferenceValues) {
+  EXPECT_NEAR(1.0 - kolmogorov_q(0.2), 5.0504073387e-13, 1e-16);
+  EXPECT_NEAR(kolmogorov_q(0.5), 0.9639452436648751, 1e-12);
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.2699996716773546, 1e-12);
+  EXPECT_NEAR(kolmogorov_q(1.5), 0.0222179626165251, 1e-12);
+  // The two evaluation branches agree where they meet.
+  EXPECT_NEAR(kolmogorov_q(0.3 - 1e-9), kolmogorov_q(0.3 + 1e-9), 1e-9);
+}
+
 TEST(KsTest, AcceptsTrueDistribution) {
   const Exponential truth(1.0);
   int passed = 0;

@@ -5,14 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "generator/traffic_generator.h"
 #include "io/csv.h"
 #include "mcn/simulator.h"
 #include "model/fit.h"
+#include "obs/metrics.h"
+#include "stream/bounded_queue.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
 #include "stream/stream_generator.h"
@@ -204,6 +209,129 @@ TEST(Stream, EmptyPopulationStillOpensAndClosesStream) {
   EXPECT_TRUE(started);
   EXPECT_TRUE(finished);
   EXPECT_EQ(stats.events, 0u);
+}
+
+SliceBatch make_batch(std::uint64_t slice, std::size_t n) {
+  SliceBatch b;
+  b.slice = slice;
+  b.events.resize(n);
+  return b;
+}
+
+// Regression for the shutdown deadlock: before the fix, close() only
+// notified the consumer side and push() never rechecked closed_, so a
+// producer blocked on a full queue waited forever once the consumer closed
+// the queue and walked away. Now close() wakes the producer and its push
+// returns false.
+TEST(BoundedQueue, CloseReleasesBlockedProducer) {
+  BoundedBatchQueue q(4);
+  ASSERT_TRUE(q.push(make_batch(0, 4)));  // fills the queue to capacity
+
+  std::atomic<bool> push_returned{false};
+  bool accepted = true;
+  std::thread producer([&] {
+    accepted = q.push(make_batch(1, 4));  // 4 + 4 > 4: blocks
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(push_returned.load());  // producer is parked on backpressure
+
+  q.close();  // consumer abandons the stream
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(accepted);  // the blocked push reported shutdown
+}
+
+TEST(BoundedQueue, PushAfterCloseDropsAndPopDrainsThenEnds) {
+  BoundedBatchQueue q(100);
+  ASSERT_TRUE(q.push(make_batch(0, 3)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(make_batch(1, 1)));  // closed: dropped, not queued
+
+  const auto drained = q.pop();  // what was buffered is still delivered
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->events.size(), 3u);
+  EXPECT_FALSE(q.pop().has_value());  // then the stream ends
+}
+
+TEST(Stream, SinkThrowPropagatesWithoutDeadlockOrLeak) {
+  // Small queues + a sink that dies early: producers are blocked on
+  // backpressure at the moment of the throw. The runtime must close the
+  // queues, join every worker, and rethrow the sink's exception.
+  std::uint64_t delivered = 0;
+  CallbackSink dying([&](const ControlEvent&) {
+    if (++delivered == 64) throw std::runtime_error("sink failed");
+  });
+  StreamOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 2;
+  opts.slice_ms = 2 * k_ms_per_minute;
+  opts.max_buffered_events = 64;
+  EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, dying),
+               std::runtime_error);
+  EXPECT_EQ(delivered, 64u);
+}
+
+TEST(Stream, InvalidAccelFactorThrowsBeforeStreamStarts) {
+  class NeverSink final : public EventSink {
+   public:
+    void on_start(const StreamHeader&) override { FAIL(); }
+    void on_event(const ControlEvent&) override { FAIL(); }
+    void on_finish() override { FAIL(); }
+  } sink;
+  StreamOptions opts;
+  opts.clock = ClockMode::accelerated;
+  for (const double bad : {0.0, -3.0,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    opts.accel_factor = bad;
+    EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, sink),
+                 std::invalid_argument)
+        << "accel_factor=" << bad;
+  }
+}
+
+TEST(Stream, MetricsAccountForEveryDeliveredEvent) {
+  obs::Registry registry;
+  gen::GenMetrics gen_metrics = gen::GenMetrics::register_in(registry);
+  gen::GenerationRequest req = small_request();
+  req.ue_options.metrics = &gen_metrics;
+
+  StreamOptions opts;
+  opts.num_shards = 3;
+  opts.num_threads = 2;
+  opts.slice_ms = 7 * k_ms_per_minute;
+  opts.metrics = &registry;
+  CountingSink sink;
+  const StreamStats stats = stream_generate(ours_model(), req, opts, sink);
+  ASSERT_GT(stats.events, 0u);
+
+  std::uint64_t delivered = 0, shard_sum = 0, device_sum = 0, slices = 0;
+  for (const obs::FamilySnapshot& fam : registry.snapshot()) {
+    for (const obs::SeriesSnapshot& s : fam.series) {
+      if (fam.name == "cpg_stream_delivered_events_total") {
+        delivered = s.counter;
+      } else if (fam.name == "cpg_stream_shard_events_total") {
+        shard_sum += s.counter;
+      } else if (fam.name == "cpg_gen_events_total") {
+        device_sum += s.counter;
+      } else if (fam.name == "cpg_stream_slices_delivered_total") {
+        slices = s.counter;
+      }
+    }
+  }
+  // Three independent accountings of the same stream agree exactly: the
+  // consumer-side delivery counter, the per-shard producer counters, and
+  // the per-device generator counters.
+  EXPECT_EQ(delivered, stats.events);
+  EXPECT_EQ(shard_sum, stats.events);
+  EXPECT_EQ(device_sum, stats.events);
+  EXPECT_EQ(slices, stats.slices);
+
+  // The streamed output also stays byte-identical with metrics enabled
+  // (instrumentation must not perturb the delivered sequence).
+  EXPECT_EQ(stats.events, batch_trace().num_events());
 }
 
 }  // namespace

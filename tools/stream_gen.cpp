@@ -3,29 +3,29 @@
 // Streams a synthesized population through the bounded-memory runtime
 // (src/stream/) instead of materializing a Trace: events flow shard-sharded
 // and time-ordered into CSV files, a live EPC core simulation, or are just
-// counted — optionally paced against the wall clock.
-//
-//   stream_gen [--model <file>] --phones N --cars N --tablets N
-//              [--start-hour H] [--hours H] [--seed S]
-//              [--shards K] [--threads T] [--slice-min M] [--queue-events Q]
-//              [--clock afap|realtime|accel] [--accel X]
-//              [--out <prefix>] [--mcn]
+// counted — optionally paced against the wall clock. With --metrics-out the
+// cpg_stream_* / cpg_mcn_* / cpg_gen_* instruments are registered and a
+// background reporter publishes periodic snapshots (Prometheus text
+// exposition, or JSON when the path ends in .json).
 //
 // Without --model, a demo model is fitted on a small synthetic ground-truth
-// trace so the tool runs out of the box. --out writes
-// <prefix>_{events,ues}.csv incrementally; --mcn feeds the stream into the
-// EPC core simulator and prints per-NF stats. With neither, events are
-// counted and throughput is reported.
+// trace so the tool runs out of the box.
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
+#include <stdexcept>
 #include <string>
 
 #include "io/model_io.h"
 #include "io/table.h"
 #include "model/fit.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
 #include "stream/stream_generator.h"
@@ -35,19 +35,86 @@ namespace {
 
 using namespace cpg;
 
+constexpr const char* k_usage = R"(usage: stream_gen [options]
+  --model <file>            load a fitted model (default: fit a demo model)
+  --phones <n>              phone UE count (default 1000)
+  --cars <n>                connected-car UE count (default 0)
+  --tablets <n>             tablet UE count (default 0)
+  --start-hour <h>          starting hour of day (default 10)
+  --hours <h>               duration in hours (default 1.0)
+  --seed <s>                master seed (default 42)
+  --shards <k>              shard count (0 = one per worker thread)
+  --threads <t>             worker threads (0 = hardware concurrency)
+  --slice-min <m>           slice length in minutes (default 10)
+  --queue-events <q>        per-queue backpressure threshold in events
+  --clock <mode>            afap | realtime | accel (default afap)
+  --accel <x>               trace seconds per wall second (accel mode, > 0)
+  --out <prefix>            write <prefix>_{events,ues}.csv incrementally
+  --mcn                     feed the stream into the live EPC core simulator
+  --metrics-out <path>      export runtime metrics to <path>; format is JSON
+                            when the path ends in .json, Prometheus text
+                            exposition otherwise
+  --metrics-interval-s <s>  metrics snapshot period in seconds (default 1.0)
+  --help                    print this message and exit
+)";
+
+// A command-line error: main() prints the message plus the usage string.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+const std::set<std::string>& value_flags() {
+  static const std::set<std::string> flags{
+      "model",      "phones",  "cars",        "tablets",
+      "start-hour", "hours",   "seed",        "shards",
+      "threads",    "slice-min", "queue-events", "clock",
+      "accel",      "out",     "metrics-out", "metrics-interval-s"};
+  return flags;
+}
+
+const std::set<std::string>& switch_flags() {
+  static const std::set<std::string> flags{"mcn", "help"};
+  return flags;
+}
+
+// Parses --flag value / --flag=value against the known-flag tables above.
+// A value flag consumes the following argv entry *unconditionally*, so
+// negative numbers ("--accel -2") reach the numeric parser instead of being
+// mistaken for a flag. Unknown flags and missing values are errors naming
+// the flag.
 std::map<std::string, std::string> parse_flags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    const auto eq = arg.find('=');
-    if (eq != std::string::npos) {
-      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags[arg.substr(2)] = argv[++i];
-    } else {
-      flags[arg.substr(2)] = "1";
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw UsageError("unexpected argument \"" + arg +
+                       "\" (flags start with --)");
     }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (switch_flags().count(name) != 0) {
+      if (has_value) {
+        throw UsageError("--" + name + " does not take a value");
+      }
+      flags[name] = "1";
+      continue;
+    }
+    if (value_flags().count(name) == 0) {
+      throw UsageError("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw UsageError("--" + name + " requires a value");
+      }
+      value = argv[++i];
+    }
+    flags[name] = value;
   }
   return flags;
 }
@@ -55,16 +122,30 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
 std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
                        const std::string& key, std::uint64_t fallback) {
   const auto it = flags.find(key);
-  return it == flags.end()
-             ? fallback
-             : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == flags.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || *end != '\0' || errno == ERANGE || s.front() == '-') {
+    throw UsageError("--" + key + ": expected a non-negative integer, got \"" +
+                     s + "\"");
+  }
+  return v;
 }
 
 double flag_double(const std::map<std::string, std::string>& flags,
                    const std::string& key, double fallback) {
   const auto it = flags.find(key);
-  return it == flags.end() ? fallback
-                           : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || *end != '\0' || errno == ERANGE) {
+    throw UsageError("--" + key + ": expected a number, got \"" + s + "\"");
+  }
+  return v;
 }
 
 model::ModelSet demo_model(std::uint64_t seed) {
@@ -82,11 +163,14 @@ model::ModelSet demo_model(std::uint64_t seed) {
 
 int run(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
+  if (flags.count("help") != 0) {
+    std::cout << k_usage;
+    return 0;
+  }
 
+  // Parse and validate everything before the (expensive) model load, so a
+  // typo fails in milliseconds, not after a demo-model fit.
   const std::uint64_t seed = flag_u64(flags, "seed", 42);
-  const model::ModelSet set = flags.count("model")
-                                  ? io::load_model(flags.at("model"))
-                                  : demo_model(seed);
 
   gen::GenerationRequest request;
   request.ue_counts[index_of(DeviceType::phone)] =
@@ -117,8 +201,46 @@ int run(int argc, char** argv) {
   } else if (clock == "accel") {
     options.clock = stream::ClockMode::accelerated;
   } else {
-    throw std::runtime_error("--clock must be afap, realtime or accel");
+    throw UsageError("--clock must be afap, realtime or accel, got \"" +
+                     clock + "\"");
   }
+  if (options.clock == stream::ClockMode::accelerated &&
+      !(options.accel_factor > 0.0 &&
+        std::isfinite(options.accel_factor))) {
+    throw UsageError("--accel: must be > 0 and finite with --clock accel");
+  }
+
+  // --metrics-out turns on the whole observability stack: the stream
+  // runtime, the per-UE generators, and (with --mcn) the live core all
+  // register their instruments in one registry; a background reporter
+  // publishes it every --metrics-interval-s and once more on shutdown.
+  obs::Registry registry;
+  std::unique_ptr<gen::GenMetrics> gen_metrics;
+  std::unique_ptr<obs::SnapshotReporter> reporter;
+  const bool want_metrics = flags.count("metrics-out") != 0;
+  const double interval_s = flag_double(flags, "metrics-interval-s", 1.0);
+  if (want_metrics) {
+    if (!(interval_s > 0.0)) {
+      throw UsageError("--metrics-interval-s: must be > 0");
+    }
+    options.metrics = &registry;
+    gen_metrics = std::make_unique<gen::GenMetrics>(
+        gen::GenMetrics::register_in(registry));
+    request.ue_options.metrics = gen_metrics.get();
+    const std::string& path = flags.at("metrics-out");
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    reporter = std::make_unique<obs::SnapshotReporter>(
+        registry,
+        std::chrono::milliseconds(std::llround(interval_s * 1000.0)),
+        obs::SnapshotReporter::file_writer(
+            path, json ? obs::ExportFormat::json
+                       : obs::ExportFormat::prometheus));
+  }
+
+  const model::ModelSet set = flags.count("model")
+                                  ? io::load_model(flags.at("model"))
+                                  : demo_model(seed);
 
   stream::CountingSink counter;
   std::vector<stream::EventSink*> sinks{&counter};
@@ -130,6 +252,7 @@ int run(int argc, char** argv) {
   std::unique_ptr<stream::McnLiveSink> mcn_sink;
   if (flags.count("mcn")) {
     mcn::SimulationConfig cfg;
+    cfg.metrics = want_metrics ? &registry : nullptr;
     mcn_sink = std::make_unique<stream::McnLiveSink>(cfg);
     sinks.push_back(mcn_sink.get());
   }
@@ -141,6 +264,7 @@ int run(int argc, char** argv) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (reporter) reporter->stop();  // publishes the final snapshot
 
   std::cout << "streamed " << io::fmt_count(stats.events) << " events for "
             << stats.num_ues << " UEs in " << wall << " s ("
@@ -155,6 +279,10 @@ int run(int argc, char** argv) {
   if (csv) {
     std::cout << "wrote " << flags.at("out") << "_{events,ues}.csv ("
               << csv->events_written() << " rows)\n";
+  }
+  if (reporter) {
+    std::cout << "wrote " << reporter->snapshots() << " metric snapshots to "
+              << flags.at("metrics-out") << "\n";
   }
   if (mcn_sink) {
     const mcn::SimulationResult& r = mcn_sink->result();
@@ -180,6 +308,9 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << k_usage;
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

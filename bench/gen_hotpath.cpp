@@ -1,0 +1,148 @@
+// Hot-path generation and fitting: compiled sampling plan vs legacy walk.
+//
+// Three measurements, all machine-readable in ./BENCH_gen.json:
+//   1. Model fitting wall-clock for 1/2/4 worker threads (the fitted model
+//      is identical for every thread count; see FitOptions::num_threads).
+//   2. Compilation cost and arena footprint of the sampling plan
+//      (model::compile stats: build time, dedup hits, LUT knots).
+//   3. Batch generation throughput over the Scenario-2 population with the
+//      compiled plan vs the legacy ModelSet walk, single-threaded so the
+//      per-event cost difference is not hidden by scheduling.
+//
+// The compiled and legacy paths draw from the RNG in different orders
+// (alias tables vs linear CDF walks), so their traces agree in distribution
+// but not byte-for-byte; tests/compiled_model_test.cpp holds the
+// distributional-equivalence checks while this bench only reports the
+// throughput ratio.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common.h"
+#include "model/compiled.h"
+
+namespace cpg::bench {
+namespace {
+
+constexpr double k_gen_hours = 8.0;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct GenRun {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec() const {
+    return seconds > 0 ? double(events) / seconds : 0.0;
+  }
+};
+
+GenRun time_generation(const model::ModelSet& models,
+                       const gen::GenerationRequest& request) {
+  GenRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Trace t = gen::generate_trace(models, request);
+  run.seconds = seconds_since(t0);
+  run.events = t.num_events();
+  return run;
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Generation hot path: compiled plan vs legacy",
+               "perf harness (src/model/compiled.h), not a paper table",
+               config);
+
+  const Trace fit_trace = make_fit_trace(config);
+
+  // --- fitting wall-clock per thread count -------------------------------
+  model::FitOptions fit_opts;
+  fit_opts.method = model::Method::ours;
+  fit_opts.clustering.theta_n = config.cluster_theta_n();
+  fit_opts.seed = config.seed + 17;
+
+  const unsigned thread_counts[] = {1, 2, 4};
+  double fit_seconds[3] = {};
+  model::ModelSet models;
+  std::printf("%-28s %12s\n", "fit", "seconds");
+  for (std::size_t i = 0; i < 3; ++i) {
+    fit_opts.num_threads = thread_counts[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    model::ModelSet set = model::fit_model(fit_trace, fit_opts);
+    fit_seconds[i] = seconds_since(t0);
+    std::printf("  threads=%-19u %12.3f\n", thread_counts[i],
+                fit_seconds[i]);
+    if (i == 0) models = std::move(set);
+  }
+
+  // --- compilation cost ---------------------------------------------------
+  const model::CompiledModel plan = model::compile(models);
+  std::printf("\n%-28s %12s\n", "compile", "");
+  std::printf("  build_ms                   %12.2f\n", plan.stats.build_ms);
+  std::printf("  arena_kb                   %12zu\n",
+              plan.stats.arena_bytes / 1024);
+  std::printf("  rows                       %12llu\n",
+              (unsigned long long)plan.stats.rows);
+  std::printf("  laws                       %12llu\n",
+              (unsigned long long)plan.stats.laws);
+  std::printf("  samplers                   %12llu\n",
+              (unsigned long long)plan.stats.samplers);
+  std::printf("  dedup_hits                 %12llu\n",
+              (unsigned long long)plan.stats.dedup_hits);
+
+  // --- generation throughput ---------------------------------------------
+  gen::GenerationRequest request;
+  request.ue_counts = device_mix(config.scenario2_ues());
+  request.start_hour = 10;
+  request.duration_hours = k_gen_hours;
+  request.seed = config.seed + 7;
+  request.num_threads = 1;
+
+  request.ue_options.use_compiled = false;
+  const GenRun legacy = time_generation(models, request);
+  request.ue_options.use_compiled = true;
+  const GenRun compiled = time_generation(models, request);
+  const double speedup = legacy.seconds > 0 && compiled.seconds > 0
+                             ? legacy.seconds / compiled.seconds
+                             : 0.0;
+
+  std::printf("\n%-10s %14s %14s %9s\n", "gen", "events", "events/s",
+              "speedup");
+  std::printf("%-10s %14llu %14.0f %9s\n", "legacy",
+              (unsigned long long)legacy.events, legacy.events_per_sec(), "");
+  std::printf("%-10s %14llu %14.0f %8.2fx\n", "compiled",
+              (unsigned long long)compiled.events,
+              compiled.events_per_sec(), speedup);
+
+  std::ofstream json("BENCH_gen.json");
+  json << "{\n  \"bench\": \"gen_hotpath\",\n  \"scale\": " << config.scale
+       << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"gen_ues\": " << config.scenario2_ues()
+       << ",\n  \"fit_seconds\": {\"t1\": " << fit_seconds[0]
+       << ", \"t2\": " << fit_seconds[1] << ", \"t4\": " << fit_seconds[2]
+       << "},\n  \"compile\": {\"build_ms\": " << plan.stats.build_ms
+       << ", \"arena_bytes\": " << plan.stats.arena_bytes
+       << ", \"rows\": " << plan.stats.rows
+       << ", \"laws\": " << plan.stats.laws
+       << ", \"samplers\": " << plan.stats.samplers
+       << ", \"dedup_hits\": " << plan.stats.dedup_hits
+       << ", \"lut_knots\": " << plan.stats.knots
+       << "},\n  \"generation\": {\n    \"legacy\": {\"events\": "
+       << legacy.events << ", \"seconds\": " << legacy.seconds
+       << ", \"events_per_sec\": " << std::uint64_t(legacy.events_per_sec())
+       << "},\n    \"compiled\": {\"events\": " << compiled.events
+       << ", \"seconds\": " << compiled.seconds << ", \"events_per_sec\": "
+       << std::uint64_t(compiled.events_per_sec())
+       << "},\n    \"speedup\": " << speedup << "\n  }\n}\n";
+  std::cout << "\nwrote BENCH_gen.json\n";
+  return 0;
+}

@@ -8,5 +8,6 @@ for b in build/bench/*; do
   "$b" "$@"
   echo
 done
-# stream_throughput drops its machine-readable results next to us.
+# stream_throughput and gen_hotpath drop machine-readable results next to us.
 [ -f BENCH_stream.json ] && echo "machine-readable: $(pwd)/BENCH_stream.json"
+[ -f BENCH_gen.json ] && echo "machine-readable: $(pwd)/BENCH_gen.json"

@@ -162,18 +162,27 @@ class Rng {
     return lambda * std::pow(-std::log(u), 1.0 / k);
   }
 
-  // Samples an index from unnormalized non-negative weights. Returns
-  // weights.size() - 1 on accumulated floating error. Weights must not all
-  // be zero.
+  // Samples an index from unnormalized non-negative weights. Non-finite and
+  // non-positive entries are ignored (never selected, except as the
+  // documented last-index fallback). Degenerate inputs are explicit: an
+  // empty span returns 0 and a span with no usable weight returns the last
+  // index, both without consuming randomness. As with accumulated floating
+  // error, the last index absorbs the slack.
   std::size_t categorical(std::span<const double> weights) noexcept {
+    if (weights.empty()) return 0;
     double total = 0.0;
-    for (double w : weights) total += w;
+    for (double w : weights) {
+      if (std::isfinite(w) && w > 0.0) total += w;
+    }
+    if (!(total > 0.0) || !std::isfinite(total)) return weights.size() - 1;
     double r = uniform() * total;
     for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
-      r -= weights[i];
+      const double w = weights[i];
+      if (!(std::isfinite(w) && w > 0.0)) continue;
+      r -= w;
       if (r < 0.0) return i;
     }
-    return weights.empty() ? 0 : weights.size() - 1;
+    return weights.size() - 1;
   }
 
   Xoshiro256& engine() noexcept { return eng_; }

@@ -1,9 +1,87 @@
 #include "core/trace.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cpg {
+
+namespace {
+
+// Below this size the introsort's cache misses don't matter and the
+// scatter's histogram overhead does.
+constexpr std::size_t k_scatter_min = std::size_t{1} << 12;
+
+void scatter_sort(std::vector<ControlEvent>& events, TimeMs lo, TimeMs hi,
+                  EventSortScratch& s) {
+  const std::size_t n = events.size();
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+
+  // ~16 events per bucket on average; the per-bucket sorts then run in
+  // cache. Bucket index is (t - lo) >> shift, which is monotone in t, so
+  // concatenating sorted buckets yields the globally sorted sequence.
+  // Out-of-hint timestamps clamp into the boundary buckets, which stays
+  // correct: clamping is monotone too, and every bucket is sorted.
+  const std::size_t buckets =
+      std::min(std::bit_ceil(n / 16), std::size_t{1} << 21);
+  unsigned shift = 0;
+  while (((span - 1) >> shift) >= buckets) ++shift;
+  const auto index = [&](const ControlEvent& e) {
+    const std::uint64_t off =
+        e.t_ms <= lo ? 0 : static_cast<std::uint64_t>(e.t_ms - lo);
+    const std::uint64_t b = off >> shift;
+    return b < buckets ? b : buckets - 1;
+  };
+
+  s.start.assign(buckets + 1, 0);
+  for (const ControlEvent& e : events) ++s.start[index(e) + 1];
+  for (std::size_t b = 1; b <= buckets; ++b) s.start[b] += s.start[b - 1];
+
+  s.buf.resize(n);
+  s.cursor.assign(s.start.begin(), s.start.end() - 1);
+  for (const ControlEvent& e : events) s.buf[s.cursor[index(e)]++] = e;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (s.start[b + 1] - s.start[b] > 1) {
+      std::sort(s.buf.begin() + s.start[b], s.buf.begin() + s.start[b + 1],
+                EventTimeLess{});
+    }
+  }
+  // The caller's vector becomes the next call's scratch copy.
+  events.swap(s.buf);
+}
+
+}  // namespace
+
+void sort_events(std::vector<ControlEvent>& events) {
+  if (events.size() < k_scatter_min) {
+    std::sort(events.begin(), events.end(), EventTimeLess{});
+    return;
+  }
+  TimeMs lo = events.front().t_ms;
+  TimeMs hi = lo;
+  for (const ControlEvent& e : events) {
+    lo = std::min(lo, e.t_ms);
+    hi = std::max(hi, e.t_ms);
+  }
+  EventSortScratch scratch;
+  scatter_sort(events, lo, hi, scratch);
+}
+
+void sort_events(std::vector<ControlEvent>& events, TimeMs lo_hint,
+                 TimeMs hi_hint) {
+  EventSortScratch scratch;
+  sort_events(events, lo_hint, hi_hint, scratch);
+}
+
+void sort_events(std::vector<ControlEvent>& events, TimeMs lo_hint,
+                 TimeMs hi_hint, EventSortScratch& scratch) {
+  if (events.size() < k_scatter_min) {
+    std::sort(events.begin(), events.end(), EventTimeLess{});
+    return;
+  }
+  scatter_sort(events, lo_hint, std::max(lo_hint, hi_hint), scratch);
+}
 
 UeId Trace::add_ue(DeviceType device) {
   devices_.push_back(device);
@@ -29,9 +107,31 @@ void Trace::add_event(const ControlEvent& e) {
   events_.push_back(e);
 }
 
+void Trace::append_events(std::span<const ControlEvent> batch) {
+  if (batch.empty()) return;
+  for (const ControlEvent& e : batch) {
+    if (e.ue_id >= devices_.size()) {
+      throw std::out_of_range("Trace::append_events: unregistered UE id");
+    }
+  }
+  if (sorted_ &&
+      (!events_.empty() && event_time_less(batch.front(), events_.back()))) {
+    sorted_ = false;
+  }
+  if (sorted_) {
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      if (event_time_less(batch[i], batch[i - 1])) {
+        sorted_ = false;
+        break;
+      }
+    }
+  }
+  events_.insert(events_.end(), batch.begin(), batch.end());
+}
+
 void Trace::finalize() {
   if (!sorted_) {
-    std::sort(events_.begin(), events_.end(), event_time_less);
+    sort_events(events_);
     sorted_ = true;
   }
 }

@@ -1,9 +1,13 @@
 #include "generator/traffic_generator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "model/compiled.h"
 
 namespace cpg::gen {
 
@@ -42,6 +46,44 @@ Trace generate_trace(const model::ModelSet& models,
   workers = std::min<unsigned>(
       workers, static_cast<unsigned>(std::max<std::size_t>(1, total_ues)));
 
+  // Compile the sampling plan once per call; every worker samples from the
+  // same read-only arenas. Declared before the worker lambda so it outlives
+  // the threads.
+  std::optional<model::CompiledModel> local_plan;
+  UeGenOptions ue_options = request.ue_options;
+  if (ue_options.compiled == nullptr && ue_options.use_compiled) {
+    local_plan.emplace(model::compile(models));
+    ue_options.compiled = &*local_plan;
+  }
+
+  // Generate in trajectory-grouped order: UEs drawing the same modeled
+  // trajectory resolve the same law rows and sampling tables every hour, so
+  // visiting them consecutively keeps those tables cache-hot. The final
+  // sort restores canonical time order, making generation order (and hence
+  // this grouping, the chunking, and the thread count) output-invariant.
+  // The trajectory draw is replayed from each UE's private stream inside
+  // the worker, so the ordering pass costs one extra draw per UE.
+  std::vector<std::uint32_t> order(total_ues);
+  {
+    std::vector<std::uint32_t> modeled(total_ues, 0);
+    for (std::size_t u = 0; u < total_ues; ++u) {
+      order[u] = static_cast<std::uint32_t>(u);
+      const model::DeviceModel& dev = models.device(device_of[u]);
+      if (!dev.has_ues()) continue;
+      Rng rng(request.seed, static_cast<std::uint64_t>(u));
+      modeled[u] =
+          static_cast<std::uint32_t>(rng.uniform_index(dev.ue_traj.size()));
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (device_of[a] != device_of[b]) {
+                  return index_of(device_of[a]) < index_of(device_of[b]);
+                }
+                if (modeled[a] != modeled[b]) return modeled[a] < modeled[b];
+                return a < b;
+              });
+  }
+
   std::vector<std::vector<ControlEvent>> results(workers);
   std::atomic<std::size_t> next{0};
   constexpr std::size_t k_chunk = 256;
@@ -52,7 +94,8 @@ Trace generate_trace(const model::ModelSet& models,
       const std::size_t begin = next.fetch_add(k_chunk);
       if (begin >= total_ues) break;
       const std::size_t end = std::min(begin + k_chunk, total_ues);
-      for (std::size_t u = begin; u < end; ++u) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t u = order[i];
         const DeviceType d = device_of[u];
         const model::DeviceModel& dev = models.device(d);
         if (!dev.has_ues()) continue;
@@ -60,7 +103,7 @@ Trace generate_trace(const model::ModelSet& models,
         const auto modeled_ue = static_cast<std::uint32_t>(
             rng.uniform_index(dev.ue_traj.size()));
         generate_ue(models, d, modeled_ue, t_begin, t_end,
-                    static_cast<UeId>(u), rng, request.ue_options, out);
+                    static_cast<UeId>(u), rng, ue_options, out);
       }
     }
   };
@@ -77,8 +120,11 @@ Trace generate_trace(const model::ModelSet& models,
   std::size_t total_events = 0;
   for (const auto& r : results) total_events += r.size();
   trace.reserve_events(total_events);
-  for (const auto& r : results) {
-    for (const ControlEvent& e : r) trace.add_event(e);
+  for (auto& r : results) {
+    trace.append_events(r);
+    // Return each worker buffer eagerly so finalize()'s scatter scratch
+    // reuses this memory instead of raising the peak RSS.
+    std::vector<ControlEvent>().swap(r);
   }
   trace.finalize();
   return trace;

@@ -22,6 +22,23 @@ GenMetrics GenMetrics::register_in(obs::Registry& registry) {
   return m;
 }
 
+void publish_compile_stats(obs::Registry& registry,
+                           const model::CompileStats& stats) {
+  registry
+      .gauge("cpg_gen_compile_arena_bytes",
+             "Total size of the compiled sampling plan's arenas")
+      .set(static_cast<std::int64_t>(stats.arena_bytes));
+  registry
+      .gauge("cpg_gen_compile_build_us",
+             "Wall time spent compiling the sampling plan, microseconds")
+      .set(static_cast<std::int64_t>(stats.build_ms * 1000.0));
+  registry
+      .counter("cpg_gen_compile_dedup_hits_total",
+               "Laws, samplers, and first-event models reused across "
+               "(cluster, hour, device) during plan compilation")
+      .inc(stats.dedup_hits);
+}
+
 namespace {
 
 TimeMs sojourn_to_ms(double seconds) {
@@ -41,7 +58,11 @@ UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
                                    const UeGenOptions& options)
     : models_(&models),
       dev_(&models.device(device)),
+      cm_(options.compiled),
+      plan_(options.compiled != nullptr ? &options.compiled->device(device)
+                                        : nullptr),
       device_(device),
+      modeled_ue_(modeled_ue),
       spec_(models.spec),
       traj_(dev_->ue_traj.empty() ? nullptr : &dev_->ue_traj[modeled_ue]),
       t_begin_(t_begin),
@@ -49,10 +70,44 @@ UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
       ue_id_(ue_id),
       rng_(rng),
       options_(options),
-      machine_(*spec_, TopState::idle) {}
+      overlays_active_(model::uses_overlay_ho_tau(models.method)),
+      machine_(*spec_, TopState::idle),
+      top_state_(machine_.top()),
+      sub_state_(machine_.sub()) {}
+
+void UeSliceGenerator::apply_event(EventType e) {
+  if (cm_ != nullptr) {
+    const model::StepEntry s = cm_->step(top_state_, sub_state_, e);
+    top_state_ = s.top;
+    sub_state_ = s.sub;
+    return;
+  }
+  machine_.apply(e);
+  top_state_ = machine_.top();
+  sub_state_ = machine_.sub();
+}
+
+std::uint32_t UeSliceGenerator::cluster_for_hour(int hour_of_day) const {
+  // A device model with no modeled UEs has no trajectory to follow
+  // (advance() retires such a UE before any lookup, but keep this lookup
+  // safe locally): an out-of-range cluster id sends every law resolution
+  // into the pooled fallback chain, on the legacy and compiled paths alike.
+  if (traj_ == nullptr) return 0xffffffffu;
+  return (*traj_)[static_cast<std::size_t>(hour_of_day)];
+}
 
 std::uint32_t UeSliceGenerator::cluster_at(TimeMs t) const {
-  return (*traj_)[static_cast<std::size_t>(hour_of_day(t))];
+  return cluster_for_hour(hour_of_day(t));
+}
+
+const model::LawRow& UeSliceGenerator::current_row() {
+  if (now_ >= row_until_) {  // now_ is monotone within a UE's lifetime
+    const std::int64_t abs_h = hour_index(now_);
+    const int h = static_cast<int>(abs_h % 24);
+    row_ = &plan_->row(h, cluster_for_hour(h));
+    row_until_ = hour_start(abs_h + 1);
+  }
+  return *row_;
 }
 
 void UeSliceGenerator::emit(TimeMs t, EventType e) {
@@ -64,13 +119,46 @@ void UeSliceGenerator::emit(TimeMs t, EventType e) {
 // the UE stays silent over the whole window. Does not emit: the first
 // event is buffered so that a slice boundary before its timestamp can
 // withhold it.
+// Arms the machine for a first event of type `first` at `offset_s` seconds
+// into absolute hour `abs_hour`. Returns false when the clamped start time
+// falls at or beyond the window end (the UE stays silent).
+bool UeSliceGenerator::begin_at(std::int64_t abs_hour, EventType first,
+                                double offset_s) {
+  offset_s = std::clamp(offset_s, 0.0, 3599.999);
+  const TimeMs t0 =
+      std::max(hour_start(abs_hour) + seconds_to_ms(offset_s), t_begin_);
+  if (t0 >= t_end_) return false;
+  machine_ = sm::TwoLevelMachine(*spec_, sm::infer_initial_top(first));
+  top_state_ = machine_.top();
+  sub_state_ = machine_.sub();
+  apply_event(first);
+  first_event_ = {t0, ue_id_, first};
+  pending_first_ = true;
+  ++emitted_;
+  now_ = t0;
+  return true;
+}
+
 bool UeSliceGenerator::start_with_first_event() {
   for (std::int64_t abs_h = hour_index(t_begin_); hour_start(abs_h) < t_end_;
        ++abs_h) {
     const int h = static_cast<int>(abs_h % 24);
-    const auto cluster = (*traj_)[static_cast<std::size_t>(h)];
+    if (plan_ != nullptr) {
+      const model::LawRow& row = plan_->row(h, cluster_for_hour(h));
+      if (row.first_event == model::k_no_first_event) continue;
+      const model::CompiledFirstEvent& fe = cm_->first_events[row.first_event];
+      if (options_.respect_activity_probability &&
+          !rng_.bernoulli(fe.p_active)) {
+        continue;
+      }
+      const auto pick = model::sample_alias(*cm_, fe.type_alias, rng_);
+      const EventType e0 =
+          k_all_event_types[static_cast<std::size_t>(pick.edge)];
+      return begin_at(abs_h, e0,
+                      model::sample_value(*cm_, fe.offset_sampler, rng_));
+    }
     const model::FirstEventLaw* fe =
-        model::resolve_first_event(*dev_, h, cluster);
+        model::resolve_first_event(*dev_, h, cluster_for_hour(h));
     if (fe == nullptr) continue;
     if (options_.respect_activity_probability &&
         !rng_.bernoulli(fe->p_active)) {
@@ -78,18 +166,7 @@ bool UeSliceGenerator::start_with_first_event() {
     }
     const std::size_t pick = rng_.categorical(fe->type_prob);
     const EventType e0 = k_all_event_types[pick];
-    double off = fe->offset_s->sample(rng_);
-    off = std::clamp(off, 0.0, 3599.999);
-    const TimeMs t0 =
-        std::max(hour_start(abs_h) + seconds_to_ms(off), t_begin_);
-    if (t0 >= t_end_) return false;
-    machine_ = sm::TwoLevelMachine(*spec_, sm::infer_initial_top(e0));
-    machine_.apply(e0);
-    first_event_ = {t0, ue_id_, e0};
-    pending_first_ = true;
-    ++emitted_;
-    now_ = t0;
-    return true;
+    return begin_at(abs_h, e0, fe->offset_s->sample(rng_));
   }
   return false;
 }
@@ -97,8 +174,18 @@ bool UeSliceGenerator::start_with_first_event() {
 void UeSliceGenerator::schedule_top() {
   top_deadline_ = k_never;
   top_edge_ = -1;
+  if (plan_ != nullptr) {
+    const model::CompiledLaw law = current_row().top[index_of(top_state_)];
+    if (!law.has_data()) return;
+    const auto pick = model::sample_alias(*cm_, law, rng_);
+    if (pick.edge < 0) return;
+    const double s = model::sample_value(*cm_, pick.sampler, rng_);
+    top_edge_ = pick.edge;
+    top_deadline_ = now_ + sojourn_to_ms(std::max(s, 0.0));
+    return;
+  }
   const model::StateLaw* law = model::resolve_top_law(
-      *dev_, hour_of_day(now_), cluster_at(now_), machine_.top());
+      *dev_, hour_of_day(now_), cluster_at(now_), top_state_);
   if (law == nullptr) return;
   const auto st = model::sample_transition(*law, rng_);
   if (st.edge < 0) return;
@@ -109,18 +196,34 @@ void UeSliceGenerator::schedule_top() {
 void UeSliceGenerator::schedule_sub() {
   sub_deadline_ = k_never;
   sub_edge_ = -1;
-  if (machine_.sub() == SubState::none) return;
-  const model::StateLaw* law = model::resolve_sub_law(
-      *dev_, hour_of_day(now_), cluster_at(now_), machine_.sub());
-  if (law == nullptr) return;
+  if (sub_state_ == SubState::none) return;
   // Pick an edge; the residual mass of the law is the (fitted) probability
-  // that the sub-machine is exited by a top-level switch instead.
+  // that the sub-machine is exited by a top-level switch instead. The wait
+  // is then drawn *conditional on firing before the top switch*, matching
+  // how the fitted waits were observed (rejection, small retry budget).
+  const int budget = options_.condition_sub_waits ? 16 : 1;
+  if (plan_ != nullptr) {
+    const model::CompiledLaw law = current_row().sub[index_of(sub_state_)];
+    if (!law.has_data()) return;
+    const auto pick = model::sample_alias(*cm_, law, rng_);
+    if (pick.edge < 0) return;
+    for (int tries = 0; tries < budget; ++tries) {
+      if (tries > 0) ++pending_redraws_;
+      const double s = model::sample_value(*cm_, pick.sampler, rng_);
+      const TimeMs deadline = now_ + sojourn_to_ms(std::max(s, 0.0));
+      if (deadline < top_deadline_ || top_deadline_ == k_never) {
+        sub_edge_ = pick.edge;
+        sub_deadline_ = deadline;
+        return;
+      }
+    }
+    return;  // censored: could not fit before the top switch
+  }
+  const model::StateLaw* law = model::resolve_sub_law(
+      *dev_, hour_of_day(now_), cluster_at(now_), sub_state_);
+  if (law == nullptr) return;
   const model::TransitionLaw* edge = model::sample_edge(*law, rng_);
   if (edge == nullptr) return;
-  // The fitted waits were observed *conditional on firing before the top
-  // switch*, so draw conditionally on fitting into the current top-level
-  // sojourn (rejection with a small retry budget).
-  const int budget = options_.condition_sub_waits ? 16 : 1;
   for (int tries = 0; tries < budget; ++tries) {
     if (tries > 0) ++pending_redraws_;
     const double s = edge->sojourn ? edge->sojourn->sample(rng_) : 0.0;
@@ -137,6 +240,13 @@ void UeSliceGenerator::schedule_sub() {
 void UeSliceGenerator::schedule_overlay(EventType e) {
   const std::size_t i = index_of(e);
   overlay_deadline_[i] = k_never;
+  if (plan_ != nullptr) {
+    const std::uint32_t s = current_row().overlay[i];
+    if (s == model::k_no_sampler) return;
+    overlay_deadline_[i] =
+        now_ + sojourn_to_ms(model::sample_value(*cm_, s, rng_));
+    return;
+  }
   const stats::Distribution* law =
       model::resolve_overlay(*dev_, hour_of_day(now_), cluster_at(now_), e);
   if (law == nullptr) return;
@@ -153,7 +263,9 @@ void UeSliceGenerator::schedule_overlays() {
 void UeSliceGenerator::loop(TimeMs limit) {
   while (emitted_ < options_.max_events) {
     TimeMs t_next = std::min(top_deadline_, sub_deadline_);
-    for (TimeMs d : overlay_deadline_) t_next = std::min(t_next, d);
+    if (overlays_active_) {
+      for (TimeMs d : overlay_deadline_) t_next = std::min(t_next, d);
+    }
     if (t_next >= t_end_ || t_next == k_never) {
       done_ = true;
       return;
@@ -180,16 +292,16 @@ void UeSliceGenerator::fire_top() {
   // sub-machine sits in TAU_S_IDLE — the S1_CONN_REL releasing the TAU
   // must come first. Flush it immediately before the service request.
   if (e == EventType::srv_req &&
-      !spec_->srv_req_allowed_from(machine_.sub())) {
-    const auto pending = spec_->sub_out(machine_.top(), machine_.sub());
+      !spec_->srv_req_allowed_from(sub_state_)) {
+    const auto pending = spec_->sub_out(top_state_, sub_state_);
     if (!pending.empty()) {
       emit(now_, pending.front().event);
-      machine_.apply(pending.front().event);
+      apply_event(pending.front().event);
       now_ += 1;
     }
   }
   emit(now_, e);
-  machine_.apply(e);
+  apply_event(e);
   // A top-level switch drops the pending second-level event and restarts
   // the sub-machine in the new entry sub-state (paper §7).
   schedule_top();
@@ -201,7 +313,7 @@ void UeSliceGenerator::fire_sub() {
   const EventType e =
       spec_->sub_transitions()[static_cast<std::size_t>(sub_edge_)].event;
   emit(now_, e);
-  machine_.apply(e);
+  apply_event(e);
   schedule_sub();
 }
 
@@ -216,7 +328,7 @@ void UeSliceGenerator::fire_overlay(TimeMs t) {
     }
   }
   now_ = t;
-  if (machine_.top() != TopState::deregistered) emit(now_, e);
+  if (top_state_ != TopState::deregistered) emit(now_, e);
   schedule_overlay(e);
 }
 

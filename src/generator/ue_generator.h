@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "model/compiled.h"
 #include "model/semi_markov.h"
 #include "obs/metrics.h"
 #include "statemachine/machine.h"
@@ -41,6 +42,11 @@ struct GenMetrics {
   // must outlive every generator holding the result.
   static GenMetrics register_in(obs::Registry& registry);
 };
+
+// Publishes the cpg_gen_compile_* instruments (arena bytes, dedup hits,
+// build time) of a compiled sampling plan into `registry`.
+void publish_compile_stats(obs::Registry& registry,
+                           const model::CompileStats& stats);
 
 struct UeGenOptions {
   // Gate the first event by the cluster's measured P(active): a synthesized
@@ -63,6 +69,16 @@ struct UeGenOptions {
   // redraws, safety-valve trips). The pointed-to instruments must outlive
   // the generator. Null = no instrumentation cost.
   const GenMetrics* metrics = nullptr;
+  // Hot-path sampling plan (model/compiled.h). When set, the generator
+  // samples through the plan's alias tables and devirtualized samplers
+  // instead of walking the ModelSet; the plan must have been compiled from
+  // the same ModelSet and must outlive the generator. generate_trace and
+  // stream_generate compile one per call when this is null and use_compiled
+  // is true; per-UE entry points default to the legacy path.
+  const model::CompiledModel* compiled = nullptr;
+  // Opt-out for the population-level auto-compilation (benchmarking and
+  // equivalence tests).
+  bool use_compiled = true;
 };
 
 // Resumable generator for one synthetic UE over [t_begin, t_end), following
@@ -84,13 +100,23 @@ class UeSliceGenerator {
 
   bool done() const noexcept { return done_; }
   UeId ue_id() const noexcept { return ue_id_; }
+  DeviceType device() const noexcept { return device_; }
+  // Index of the modeled UE whose cluster trajectory this generator follows.
+  // Generators sharing a trajectory resolve the same law rows and sampling
+  // tables every hour, so schedulers group them to keep those tables hot
+  // (the emitted streams are re-sorted by time, making generation order
+  // output-invariant).
+  std::uint32_t modeled_ue() const noexcept { return modeled_ue_; }
 
  private:
   static constexpr TimeMs k_never = std::numeric_limits<TimeMs>::max();
 
   std::uint32_t cluster_at(TimeMs t) const;
+  std::uint32_t cluster_for_hour(int hour_of_day) const;
+  const model::LawRow& current_row();
   void emit(TimeMs t, EventType e);
   bool start_with_first_event();
+  bool begin_at(std::int64_t abs_hour, EventType first, double offset_s);
   void schedule_top();
   void schedule_sub();
   void schedule_overlay(EventType e);
@@ -99,10 +125,14 @@ class UeSliceGenerator {
   void fire_top();
   void fire_sub();
   void fire_overlay(TimeMs t);
+  void apply_event(EventType e);
 
   const model::ModelSet* models_;
   const model::DeviceModel* dev_;
+  const model::CompiledModel* cm_;          // null = legacy sampling
+  const model::CompiledDevicePlan* plan_;  // device plan of cm_, or null
   DeviceType device_;
+  std::uint32_t modeled_ue_;
   const sm::MachineSpec* spec_;
   const std::array<std::uint32_t, 24>* traj_;
   TimeMs t_begin_;
@@ -112,7 +142,21 @@ class UeSliceGenerator {
   UeGenOptions options_;
   std::vector<ControlEvent>* out_ = nullptr;  // valid only inside advance()
 
+  // Compiled-path law-row cache: a UE's (hour, cluster) row changes only at
+  // hour boundaries, so it is re-resolved when now_ crosses row_until_
+  // instead of per schedule call (hour_of_day costs an integer division).
+  const model::LawRow* row_ = nullptr;
+  TimeMs row_until_ = 0;
+  // EMM-ECM methods only; lets the event loop skip the overlay deadline scan.
+  bool overlays_active_ = false;
+
   sm::TwoLevelMachine machine_;
+  // Authoritative machine configuration, mirrored out of machine_. The
+  // compiled path steps it through CompiledModel::steps (apply()'s state
+  // update as a dense table) without touching machine_; the legacy path
+  // keeps driving machine_ and copies its state here.
+  TopState top_state_;
+  SubState sub_state_;
   bool started_ = false;
   bool done_ = false;
   bool pending_first_ = false;

@@ -1,0 +1,448 @@
+#include "model/compiled.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+namespace cpg::model {
+
+namespace {
+
+// --- Sampler compilation --------------------------------------------------
+
+std::uint64_t sampler_key(const SamplerRef& r) {
+  std::uint64_t h = static_cast<std::uint64_t>(r.kind);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::bit_cast<std::uint64_t>(r.a));
+  mix(std::bit_cast<std::uint64_t>(r.b));
+  mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(r.ext)));
+  mix(r.lut_len);
+  return h;
+}
+
+std::uint32_t push_sampler(CompiledModel& m, SamplerRef ref) {
+  // Value-level dedup for parametric and borrowed-table entries, through a
+  // content-hash index (fine-grained fits produce tens of thousands of
+  // sampler pushes; a linear scan here is quadratic in the cluster count).
+  // Owned LUTs are deduplicated upstream by distribution identity
+  // (compile()'s pointer cache); comparing knot vectors would cost more
+  // than it saves.
+  if (ref.kind != SamplerRef::Kind::lut) {
+    const std::uint64_t key = sampler_key(ref);
+    const auto [lo, hi] = m.sampler_index.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      const SamplerRef& s = m.samplers[it->second];
+      if (s.kind == ref.kind && s.a == ref.a && s.b == ref.b &&
+          s.ext == ref.ext && s.lut_len == ref.lut_len) {
+        ++m.stats.dedup_hits;
+        return it->second;
+      }
+    }
+    const auto index = static_cast<std::uint32_t>(m.samplers.size());
+    m.samplers.push_back(ref);
+    m.sampler_index.emplace(key, index);
+    return index;
+  }
+  m.samplers.push_back(ref);
+  return static_cast<std::uint32_t>(m.samplers.size() - 1);
+}
+
+std::uint32_t push_lut(CompiledModel& m, std::vector<double> knots) {
+  SamplerRef ref;
+  ref.kind = SamplerRef::Kind::lut;
+  ref.lut_base = static_cast<std::uint32_t>(m.knots.size());
+  ref.lut_len = static_cast<std::uint32_t>(knots.size());
+  m.knots.insert(m.knots.end(), knots.begin(), knots.end());
+  return push_sampler(m, ref);
+}
+
+// Tabulates dist.quantile() at k_lut_knots equally spaced probabilities.
+// The upper endpoint backs off until the quantile is finite (e.g. an
+// unbounded support's quantile(1)).
+std::vector<double> quantile_grid(const stats::Distribution& dist,
+                                  double factor) {
+  constexpr std::uint32_t n = k_lut_knots;
+  std::vector<double> knots(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double p = static_cast<double>(i) / (n - 1);
+    knots[i] = factor * dist.quantile(p);
+  }
+  double p_hi = 1.0 - 0.25 / (n - 1);
+  while (!std::isfinite(knots[n - 1]) && p_hi > 0.5) {
+    knots[n - 1] = factor * dist.quantile(p_hi);
+    p_hi = 1.0 - (1.0 - p_hi) * 2.0;
+  }
+  if (!std::isfinite(knots[0])) knots[0] = 0.0;
+  // Monotonicity guard against pathological quantile() implementations; the
+  // interpolating sampler requires non-decreasing knots.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (knots[i] < knots[i - 1]) knots[i] = knots[i - 1];
+  }
+  return knots;
+}
+
+// --- Alias-table construction (Walker/Vose) -------------------------------
+
+struct Outcome {
+  double prob = 0.0;  // probabilities over all outcomes sum to 1
+  std::int32_t edge = -1;
+  std::uint32_t sampler = k_no_sampler;
+};
+
+// Builds the alias table for a discrete law and appends it to m.slots.
+// Deterministic: the worklists are processed in ascending outcome order.
+// Worklists and the staging slot buffer are thread_local scratch: a plan
+// builds ~20K alias tables and per-call vector allocation dominates the
+// actual Vose construction.
+CompiledLaw build_alias(CompiledModel& m, const std::vector<Outcome>& outs) {
+  const auto n = static_cast<std::uint32_t>(outs.size());
+  CompiledLaw law;
+  law.base = static_cast<std::uint32_t>(m.slots.size());
+  law.n = n;
+  if (n == 0) return law;
+
+  static thread_local std::vector<double> scaled;
+  static thread_local std::vector<std::uint32_t> small;
+  static thread_local std::vector<std::uint32_t> large;
+  static thread_local std::vector<AliasSlot> slots;
+
+  scaled.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) scaled[i] = outs[i].prob * n;
+
+  small.clear();
+  large.clear();
+  for (std::uint32_t i = n; i-- > 0;) {  // reversed push => ascending pop
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  slots.assign(n, AliasSlot{});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    slots[i].threshold = 1.0;
+    slots[i].edge = {outs[i].edge, outs[i].edge};
+    slots[i].sampler = {outs[i].sampler, outs[i].sampler};
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    slots[s].threshold = scaled[s];
+    slots[s].edge[1] = outs[l].edge;
+    slots[s].sampler[1] = outs[l].sampler;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (floating error) saturate at threshold 1.
+  m.slots.insert(m.slots.end(), slots.begin(), slots.end());
+  return law;
+}
+
+constexpr double k_full_mass = 0.999999;  // sample_edge()'s slack threshold
+
+}  // namespace
+
+std::uint32_t compile_sampler(CompiledModel& model,
+                              const stats::Distribution& dist) {
+  // Fold any stack of Scaled decorators into the leaf's parameters.
+  double factor = 1.0;
+  const stats::Distribution* d = &dist;
+  while (const auto* s = dynamic_cast<const stats::Scaled*>(d)) {
+    factor *= s->factor();
+    d = &s->inner();
+  }
+
+  SamplerRef ref;
+  // Empirical first: fitted models are overwhelmingly empirical pools, and
+  // each failed dynamic_cast costs a library call (tens of thousands of
+  // sojourn distributions compile per plan).
+  if (const auto* e = dynamic_cast<const stats::Empirical*>(d)) {
+    const auto sample = e->sorted_sample();
+    if (factor == 1.0 && sample.size() >= 2) {
+      // Unscaled samples are borrowed in place, whatever their size:
+      // interpolating uniformly over the order statistics IS
+      // Empirical::quantile (type-7), so the table is exact and costs no
+      // arena memory. Borrowing the large (up to 50K-sample) fitting
+      // reservoirs too keeps the plan's resident footprint flat — copying
+      // them onto private grids tripled the plan's RSS for no measurable
+      // throughput gain (one interpolation touches one or two cache lines
+      // regardless of table size).
+      ref.kind = SamplerRef::Kind::lut_ext;
+      ref.ext = sample.data();
+      ref.lut_len = static_cast<std::uint32_t>(sample.size());
+      return push_sampler(model, ref);
+    }
+    std::vector<double> knots;
+    if (sample.size() <= k_lut_knots && sample.size() >= 2) {
+      // Scaled but small: store the scaled sample verbatim (still exact).
+      knots.assign(sample.begin(), sample.end());
+      for (double& k : knots) k *= factor;
+    } else if (sample.size() == 1) {
+      knots.assign(2, factor * sample.front());
+    } else {
+      // Scaled large pools (nextg frequency-scaled empiricals) are
+      // resampled onto a fixed-resolution grid: bounded error (see
+      // DESIGN.md). The type-7 interpolation is inlined over the sorted
+      // sample, so the knots match factor * Empirical::quantile
+      // bit-for-bit without a virtual call per knot.
+      const std::size_t ns = sample.size();
+      knots.resize(k_lut_knots);
+      for (std::uint32_t i = 0; i < k_lut_knots; ++i) {
+        const double p = static_cast<double>(i) / (k_lut_knots - 1);
+        const double h = p * static_cast<double>(ns - 1);
+        const auto lo = static_cast<std::size_t>(h);
+        const double q =
+            lo + 1 >= ns ? sample[ns - 1]
+                         : sample[lo] + (h - static_cast<double>(lo)) *
+                                            (sample[lo + 1] - sample[lo]);
+        knots[i] = factor * q;
+      }
+    }
+    return push_lut(model, std::move(knots));
+  }
+  if (const auto* e = dynamic_cast<const stats::Exponential*>(d)) {
+    // Rng::exponential takes the mean; scaling an exponential scales its
+    // mean, so the fold is exact per-draw.
+    ref.kind = SamplerRef::Kind::exponential;
+    ref.a = factor / e->lambda();
+    return push_sampler(model, ref);
+  }
+  if (const auto* p = dynamic_cast<const stats::Pareto*>(d)) {
+    ref.kind = SamplerRef::Kind::pareto;
+    ref.a = factor * p->x_m();
+    ref.b = p->alpha();
+    return push_sampler(model, ref);
+  }
+  if (const auto* w = dynamic_cast<const stats::Weibull*>(d)) {
+    ref.kind = SamplerRef::Kind::weibull;
+    ref.a = w->shape();
+    ref.b = factor * w->scale();
+    return push_sampler(model, ref);
+  }
+  if (const auto* l = dynamic_cast<const stats::LogNormal*>(d)) {
+    ref.kind = SamplerRef::Kind::lognormal;
+    ref.a = l->mu() + std::log(factor);
+    ref.b = l->sigma();
+    return push_sampler(model, ref);
+  }
+  // Unknown family: tabulate its inverse CDF.
+  return push_lut(model, quantile_grid(*d, factor));
+}
+
+CompiledLaw compile_state_law(CompiledModel& model, const StateLaw& law) {
+  if (!law.has_data()) return {};
+
+  // Reproduce sample_edge() exactly: r ~ U[0,1) against the *unnormalized*
+  // cumulative masses, so edge i owns [clamp1(acc_{i-1}), clamp1(acc_i)) —
+  // super-unity laws (nextg frequency boosts) truncate at 1. Residual mass
+  // is the explicit no-transition outcome unless the law is full within
+  // floating slack, in which case the last edge absorbs it.
+  double total = 0.0;
+  for (const TransitionLaw& t : law.out) total += t.probability;
+
+  static thread_local std::vector<Outcome> outs;
+  outs.clear();
+  outs.reserve(law.out.size() + 1);
+  double acc = 0.0;
+  for (const TransitionLaw& t : law.out) {
+    const double lo = std::min(acc, 1.0);
+    acc += t.probability;
+    const double hi = std::min(acc, 1.0);
+    Outcome o;
+    o.prob = std::max(0.0, hi - lo);
+    o.edge = t.edge;
+    o.sampler = t.sojourn ? compile_sampler(model, *t.sojourn) : k_no_sampler;
+    outs.push_back(o);
+  }
+  if (total >= k_full_mass) {
+    outs.back().prob += std::max(0.0, 1.0 - std::min(total, 1.0));
+  } else {
+    Outcome residual;
+    residual.prob = 1.0 - total;
+    outs.push_back(residual);
+  }
+  return build_alias(model, outs);
+}
+
+namespace {
+
+std::uint32_t compile_first_event(CompiledModel& m, const FirstEventLaw& fe) {
+  CompiledFirstEvent cfe;
+  cfe.p_active = fe.p_active;
+  cfe.offset_sampler =
+      fe.offset_s ? compile_sampler(m, *fe.offset_s) : k_no_sampler;
+
+  // First-event type choice goes through Rng::categorical, which normalizes
+  // by the total and gives floating slack (or a fully degenerate weight
+  // vector) to the last index.
+  double total = 0.0;
+  for (double w : fe.type_prob) {
+    if (std::isfinite(w) && w > 0.0) total += w;
+  }
+  static thread_local std::vector<Outcome> outs;
+  outs.clear();
+  outs.reserve(k_num_event_types);
+  for (std::size_t i = 0; i < k_num_event_types; ++i) {
+    const double w = fe.type_prob[i];
+    Outcome o;
+    o.edge = static_cast<std::int32_t>(i);
+    o.prob = (std::isfinite(w) && w > 0.0 && total > 0.0) ? w / total : 0.0;
+    outs.push_back(o);
+  }
+  if (total <= 0.0) outs.back().prob = 1.0;
+  cfe.type_alias = build_alias(m, outs);
+  m.first_events.push_back(cfe);
+  return static_cast<std::uint32_t>(m.first_events.size() - 1);
+}
+
+// Per-ModelSet compilation context: identity caches so laws shared through
+// the pooled fallback chain compile once.
+struct Compiler {
+  CompiledModel& m;
+  std::unordered_map<const StateLaw*, CompiledLaw> law_cache;
+  std::unordered_map<const stats::Distribution*, std::uint32_t> dist_cache;
+  std::unordered_map<const FirstEventLaw*, std::uint32_t> fe_cache;
+
+  CompiledLaw law(const StateLaw* l) {
+    if (l == nullptr) return {};
+    auto [it, inserted] = law_cache.try_emplace(l);
+    if (inserted) {
+      it->second = compile_state_law(m, *l);
+    } else {
+      ++m.stats.dedup_hits;
+    }
+    return it->second;
+  }
+
+  std::uint32_t sampler(const stats::Distribution* d) {
+    if (d == nullptr) return k_no_sampler;
+    auto [it, inserted] = dist_cache.try_emplace(d);
+    if (inserted) {
+      it->second = compile_sampler(m, *d);
+    } else {
+      ++m.stats.dedup_hits;
+    }
+    return it->second;
+  }
+
+  std::uint32_t first_event(const FirstEventLaw* fe) {
+    if (fe == nullptr) return k_no_first_event;
+    auto [it, inserted] = fe_cache.try_emplace(fe);
+    if (inserted) {
+      it->second = compile_first_event(m, *fe);
+    } else {
+      ++m.stats.dedup_hits;
+    }
+    return it->second;
+  }
+
+  LawRow row(const DeviceModel& dev, int hour, std::uint32_t cluster) {
+    LawRow r;
+    for (std::size_t s = 0; s < k_num_top_states; ++s) {
+      r.top[s] = law(resolve_top_law(dev, hour, cluster,
+                                     static_cast<TopState>(s)));
+    }
+    for (std::size_t s = 0; s < k_num_sub_states; ++s) {
+      r.sub[s] = law(resolve_sub_law(dev, hour, cluster,
+                                     static_cast<SubState>(s)));
+    }
+    for (std::size_t e = 0; e < k_num_event_types; ++e) {
+      r.overlay[e] =
+          sampler(resolve_overlay(dev, hour, cluster, k_all_event_types[e]));
+    }
+    r.first_event = first_event(resolve_first_event(dev, hour, cluster));
+    return r;
+  }
+};
+
+}  // namespace
+
+CompiledModel compile(const ModelSet& set) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CompiledModel m;
+  m.method = set.method;
+  m.spec = set.spec != nullptr ? set.spec : &spec_for(set.method);
+
+  // State-transition table: TwoLevelMachine::apply's state update evaluated
+  // for every configuration (its precedence order: second level, top level,
+  // then the lenient violation re-sync). tests/compiled_model_test.cpp
+  // checks the table against a live machine over random event sequences.
+  for (TopState top : k_all_top_states) {
+    for (SubState sub : k_all_sub_states) {
+      for (EventType e : k_all_event_types) {
+        TopState nt = top;
+        SubState ns = sub;
+        if (const auto sub_to = m.spec->sub_next(top, sub, e)) {
+          ns = *sub_to;
+        } else if (const auto top_to = m.spec->top_next(top, e)) {
+          nt = *top_to;
+          ns = m.spec->entry_substate(nt);
+        } else {
+          switch (e) {
+            case EventType::atch:
+            case EventType::srv_req:
+              nt = TopState::connected;
+              ns = m.spec->entry_substate(nt);
+              break;
+            case EventType::s1_conn_rel:
+              nt = TopState::idle;
+              ns = m.spec->entry_substate(nt);
+              break;
+            default:
+              break;  // HO / TAU / DTCH violations keep the configuration
+          }
+        }
+        m.steps[step_index(top, sub, e)] = StepEntry{nt, ns};
+      }
+    }
+  }
+
+  m.samplers.push_back(SamplerRef{});  // slot 0: the zero sampler
+  // Sized for a fine-grained fit (tens of thousands of samplers); avoids
+  // rehashing the dedup index during the build.
+  m.sampler_index.reserve(std::size_t{1} << 15);
+
+  Compiler c{m, {}, {}, {}};
+  for (std::size_t d = 0; d < k_num_device_types; ++d) {
+    const DeviceModel& dev = set.devices[d];
+    CompiledDevicePlan& plan = m.devices[d];
+    for (int h = 0; h < 24; ++h) {
+      plan.hour_base[static_cast<std::size_t>(h)] =
+          static_cast<std::uint32_t>(plan.rows.size());
+      const auto nc = static_cast<std::uint32_t>(dev.num_clusters(h));
+      plan.clusters[static_cast<std::size_t>(h)] = nc;
+      // One row per modeled cluster, plus the pooled fallback row any
+      // out-of-range cluster id clamps to.
+      for (std::uint32_t cl = 0; cl <= nc; ++cl) {
+        plan.rows.push_back(c.row(dev, h, cl));
+      }
+    }
+    plan.hour_base[24] = static_cast<std::uint32_t>(plan.rows.size());
+    m.stats.rows += plan.rows.size();
+  }
+
+  m.sampler_index.clear();  // builder state; keep the finished plan lean
+  m.stats.laws = c.law_cache.size();
+  m.stats.samplers = m.samplers.size();
+  m.stats.knots = m.knots.size();
+  m.stats.arena_bytes = m.slots.size() * sizeof(AliasSlot) +
+                        m.samplers.size() * sizeof(SamplerRef) +
+                        m.knots.size() * sizeof(double) +
+                        m.first_events.size() * sizeof(CompiledFirstEvent);
+  for (const auto& plan : m.devices) {
+    m.stats.arena_bytes += plan.rows.size() * sizeof(LawRow);
+  }
+  m.stats.build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return m;
+}
+
+}  // namespace cpg::model

@@ -1,0 +1,280 @@
+// Compiled sampling plans: the per-event hot path of the generator, flattened.
+//
+// A fitted ModelSet is a pointer-rich object graph: every sojourn draw walks
+// shared_ptr<const stats::Distribution> -> virtual sample() -> (for the
+// empirical family) an interpolation into a reservoir of up to 50K doubles,
+// and every transition choice linearly scans a vector<TransitionLaw> after a
+// three-level resolve_* fallback chain. At carrier scale (the ROADMAP's
+// millions of UEs) that pointer-chasing dominates generation time.
+//
+// compile() runs once per ModelSet and flattens everything the generator
+// touches per event into four dense arenas:
+//
+//   * SamplerRef — a tagged union replacing virtual Distribution dispatch:
+//     exponential / Pareto / Weibull / lognormal parameters inline, and the
+//     empirical family as a fixed-resolution inverse-CDF lookup table
+//     (<= k_lut_knots knots, exact when the sample is at most that large;
+//     see DESIGN.md for the error bound). stats::Scaled decorators are folded
+//     into the parameters / knots at compile time.
+//   * AliasSlot — Walker/Vose alias tables for transition-edge choice and
+//     first-event type choice: one uniform draw picks an outcome in O(1),
+//     replacing the linear categorical scan. Residual ("no transition") mass
+//     is an explicit outcome, reproducing sample_edge()'s semantics exactly,
+//     including its truncate-at-1 handling of super-unity laws (nextg
+//     frequency boosts) and the >= 0.999999 floating-slack rule.
+//   * knots — all inverse-CDF lookup tables, back to back.
+//   * LawRow — dense (device, hour, cluster, state) -> law index tables with
+//     the resolve_top_law / resolve_sub_law / resolve_overlay /
+//     resolve_first_event fallback chains evaluated at compile time; one
+//     extra row per hour holds the pooled fallback for out-of-range clusters.
+//
+// Identical laws and distributions are deduplicated across (cluster, hour,
+// device) — the fallback pools are shared by construction, so the compiled
+// arenas stay small and cache-resident.
+//
+// Sampling from a compiled plan is distributionally equivalent to the legacy
+// path (tests/compiled_model_test.cpp: chi-square on alias draws, LUT
+// quantile error bound, K-S on sojourn samples) but consumes the RNG
+// differently, so traces differ draw-by-draw for the same seed. The
+// stream-equals-batch byte-identity invariant is unaffected: both runtimes
+// compile the same ModelSet to the same plan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "model/semi_markov.h"
+
+namespace cpg::model {
+
+// Inverse-CDF lookup resolution (knots per empirical distribution). 1025
+// knots = 1024 equal-probability cells; empirical samples of up to this many
+// points are stored exactly instead.
+inline constexpr std::uint32_t k_lut_knots = 1025;
+
+inline constexpr std::uint32_t k_no_sampler = 0;  // arena slot 0 samples 0.0
+inline constexpr std::uint32_t k_no_first_event = 0xffffffffu;
+
+// Devirtualized distribution reference: family parameters inline, or an
+// inverse-CDF lookup table (owned in CompiledModel::knots, or borrowed from
+// an Empirical's sorted sample — interpolating uniformly over the order
+// statistics IS the type-7 Empirical::quantile, so a borrowed table is
+// exact and costs no memory).
+struct SamplerRef {
+  enum class Kind : std::uint8_t {
+    zero,         // always 0.0 (absent sojourn laws)
+    exponential,  // a = mean
+    pareto,       // a = x_m, b = alpha
+    weibull,      // a = shape k, b = scale lambda
+    lognormal,    // a = mu, b = sigma
+    lut,          // knots[lut_base .. lut_base + lut_len)
+    lut_ext,      // ext[0 .. lut_len): borrowed from the source ModelSet
+  };
+  Kind kind = Kind::zero;
+  double a = 0.0;
+  double b = 0.0;
+  std::uint32_t lut_base = 0;
+  std::uint32_t lut_len = 0;
+  const double* ext = nullptr;
+};
+
+// One column of a Walker/Vose alias table. A draw lands in a column
+// uniformly and picks the primary outcome (index 0) when the intra-column
+// fraction is below `threshold`, the alias outcome (index 1) otherwise.
+// Outcomes carry the spec edge index (-1 = residual mass, no transition) and
+// the sojourn sampler of that edge.
+struct AliasSlot {
+  double threshold = 1.0;
+  std::array<std::int32_t, 2> edge{-1, -1};
+  std::array<std::uint32_t, 2> sampler{k_no_sampler, k_no_sampler};
+};
+
+// A compiled StateLaw: `n` alias columns starting at `base` in
+// CompiledModel::slots. n == 0 means the law has no data (legacy nullptr).
+struct CompiledLaw {
+  std::uint32_t base = 0;
+  std::uint32_t n = 0;
+
+  bool has_data() const noexcept { return n != 0; }
+};
+
+// Compiled FirstEventLaw (paper §5.4): alias table over event types (edge =
+// index into k_all_event_types), offset-within-hour sampler, P(active).
+struct CompiledFirstEvent {
+  CompiledLaw type_alias;
+  std::uint32_t offset_sampler = k_no_sampler;
+  double p_active = 0.0;
+};
+
+// Every law the generator can touch for one (hour, cluster), fallbacks
+// already resolved.
+struct LawRow {
+  std::array<CompiledLaw, k_num_top_states> top{};
+  std::array<CompiledLaw, k_num_sub_states> sub{};
+  // Overlay inter-arrival sampler per event type (k_no_sampler = none; only
+  // HO / TAU are ever populated).
+  std::array<std::uint32_t, k_num_event_types> overlay{};
+  std::uint32_t first_event = k_no_first_event;
+};
+
+// Dense (hour, cluster) -> LawRow index for one device type. Hour h owns
+// rows [hour_base[h], hour_base[h + 1]); the last row of each hour is the
+// pooled fallback used for out-of-range cluster ids.
+struct CompiledDevicePlan {
+  std::array<std::uint32_t, 25> hour_base{};
+  std::array<std::uint32_t, 24> clusters{};  // modeled clusters per hour
+  std::vector<LawRow> rows;
+
+  const LawRow& row(int hour, std::uint32_t cluster) const noexcept {
+    const auto h = static_cast<std::size_t>(hour);
+    const std::uint32_t c = cluster < clusters[h] ? cluster : clusters[h];
+    return rows[hour_base[h] + c];
+  }
+};
+
+// Post-event machine configuration: TwoLevelMachine::apply's state update
+// (second level first, then top level, then the lenient violation re-sync)
+// evaluated at compile time for every (top, sub, event) configuration. The
+// generator fires millions of events per second; a 252-byte table lookup
+// replaces two cross-library calls that linearly scan the spec's edge lists.
+struct StepEntry {
+  TopState top = TopState::deregistered;
+  SubState sub = SubState::none;
+};
+
+constexpr std::size_t step_index(TopState top, SubState sub,
+                                 EventType event) noexcept {
+  return (index_of(top) * k_num_sub_states + index_of(sub)) *
+             k_num_event_types +
+         index_of(event);
+}
+
+struct CompileStats {
+  std::size_t arena_bytes = 0;   // total size of the four arenas
+  std::uint64_t dedup_hits = 0;  // laws/samplers reused instead of rebuilt
+  double build_ms = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t laws = 0;      // distinct compiled state laws
+  std::uint64_t samplers = 0;  // distinct samplers (incl. the zero sampler)
+  std::uint64_t knots = 0;     // total LUT knots
+};
+
+// The compiled plan BORROWS from its source ModelSet: the machine spec and
+// every lut_ext sampler point into it, so the ModelSet must outlive the
+// plan (generate_trace / stream_generate compile per call, trivially
+// satisfying this).
+struct CompiledModel {
+  Method method = Method::ours;
+  const sm::MachineSpec* spec = nullptr;
+  std::array<CompiledDevicePlan, k_num_device_types> devices;
+
+  // Dense state-transition table over the machine spec (see StepEntry).
+  std::array<StepEntry,
+             k_num_top_states * k_num_sub_states * k_num_event_types>
+      steps{};
+
+  StepEntry step(TopState top, SubState sub, EventType event) const noexcept {
+    return steps[step_index(top, sub, event)];
+  }
+
+  // Arenas shared by every device plan.
+  std::vector<AliasSlot> slots;
+  std::vector<SamplerRef> samplers;
+  std::vector<double> knots;
+  std::vector<CompiledFirstEvent> first_events;
+
+  CompileStats stats;
+
+  // Build-time value-dedup index (content hash -> sampler arena indices);
+  // never touched on the hot path, cleared when compile() finishes.
+  std::unordered_multimap<std::uint64_t, std::uint32_t> sampler_index;
+
+  const CompiledDevicePlan& device(DeviceType d) const noexcept {
+    return devices[index_of(d)];
+  }
+};
+
+// Flattens `set` into a compiled plan. Deterministic: the same ModelSet
+// always compiles to the same arenas, which is what keeps the streaming and
+// batch runtimes byte-identical when both compile their own plan.
+CompiledModel compile(const ModelSet& set);
+
+// Appends (with parameter-level dedup) a sampler for `dist` to `model`'s
+// arenas and returns its index. compile() uses this internally; exposed for
+// the sampler-equivalence tests and tools.
+std::uint32_t compile_sampler(CompiledModel& model,
+                              const stats::Distribution& dist);
+
+// Appends a compiled law for `law` (no dedup at this level; compile()
+// deduplicates by resolved-law identity). Exposed for tests.
+CompiledLaw compile_state_law(CompiledModel& model, const StateLaw& law);
+
+// --- Hot-path sampling (inline, allocation- and virtual-free) -------------
+
+struct AliasPick {
+  std::int32_t edge = -1;
+  std::uint32_t sampler = k_no_sampler;
+};
+
+// O(1) outcome draw from a compiled law. `law.n` must be > 0.
+inline AliasPick sample_alias(const CompiledModel& m, CompiledLaw law,
+                              Rng& rng) noexcept {
+  const double u = rng.uniform() * static_cast<double>(law.n);
+  auto i = static_cast<std::uint32_t>(u);
+  if (i >= law.n) i = law.n - 1;  // floating-point guard; uniform() < 1
+  const AliasSlot& s = m.slots[law.base + i];
+  const std::size_t k = (u - static_cast<double>(i)) < s.threshold ? 0 : 1;
+  return {s.edge[k], s.sampler[k]};
+}
+
+// Resolves a LUT sampler's knot array (owned arena or borrowed sample).
+inline const double* lut_data(const CompiledModel& m,
+                              const SamplerRef& s) noexcept {
+  return s.kind == SamplerRef::Kind::lut_ext ? s.ext
+                                             : m.knots.data() + s.lut_base;
+}
+
+// Inverse-CDF interpolation at h in [0, lut_len - 1].
+inline double lut_interp(const double* k, std::uint32_t len,
+                         double h) noexcept {
+  const auto lo = static_cast<std::uint32_t>(h);
+  if (lo + 1 >= len) return k[len - 1];
+  return k[lo] + (h - static_cast<double>(lo)) * (k[lo + 1] - k[lo]);
+}
+
+// O(1) value draw from a compiled sampler.
+inline double sample_value(const CompiledModel& m, std::uint32_t sampler,
+                           Rng& rng) noexcept {
+  const SamplerRef& s = m.samplers[sampler];
+  switch (s.kind) {
+    case SamplerRef::Kind::zero:
+      return 0.0;
+    case SamplerRef::Kind::exponential:
+      return rng.exponential(s.a);
+    case SamplerRef::Kind::pareto:
+      return rng.pareto(s.a, s.b);
+    case SamplerRef::Kind::weibull:
+      return rng.weibull(s.a, s.b);
+    case SamplerRef::Kind::lognormal:
+      return rng.lognormal(s.a, s.b);
+    case SamplerRef::Kind::lut:
+    case SamplerRef::Kind::lut_ext:
+      return lut_interp(lut_data(m, s), s.lut_len,
+                        rng.uniform() * static_cast<double>(s.lut_len - 1));
+  }
+  return 0.0;
+}
+
+// Deterministic LUT evaluation at probability p (the sampler must be a LUT;
+// used by the equivalence tests).
+inline double lut_quantile(const CompiledModel& m, std::uint32_t sampler,
+                           double p) noexcept {
+  const SamplerRef& s = m.samplers[sampler];
+  return lut_interp(lut_data(m, s), s.lut_len,
+                    p * static_cast<double>(s.lut_len - 1));
+}
+
+}  // namespace cpg::model

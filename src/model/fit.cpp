@@ -1,7 +1,12 @@
 #include "model/fit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
 
 #include "clustering/features.h"
 #include "statemachine/replay.h"
@@ -58,60 +63,116 @@ struct Pools {
   }
 };
 
-struct DeviceFitContext {
-  const sm::MachineSpec* spec = nullptr;
-  std::size_t cap = 0;
-  Rng* rng = nullptr;
+// One replayed sample, materialized so the pool-feeding phase can run as
+// independent per-hour tasks. Replay itself consumes no randomness; only
+// the reservoir downsampling does, and it happens inside the task that owns
+// the destination pools with a task-private RNG stream. That is what makes
+// the fitted model identical for every thread count.
+struct SampleRecord {
+  enum class Kind : std::uint8_t {
+    top_edge,
+    sub_edge,
+    sub_exit,
+    interarrival,
+    first_event,  // value = offset seconds, index = event type
+  };
 
-  std::array<std::vector<Pools>, 24> by_hour;  // [hour][cluster]
-  std::array<Pools, 24> pooled_hour;
-  Pools pooled_all;
-
-  std::array<std::vector<std::uint32_t>, 24> cluster_sizes;  // UEs per cluster
+  double value = 0.0;
+  std::uint32_t cluster = 0;
+  Kind kind = Kind::top_edge;
+  std::uint8_t index = 0;
 };
 
-// Routes one UE's replay samples into the (cluster, hour) pools plus the
-// hour-level and device-level fallback pools.
-struct RouteVisitor : sm::ReplayVisitor {
-  DeviceFitContext* ctx = nullptr;
+// Replay visitor that materializes every routed sample into its hour's
+// record list (statically dispatched; see statemachine/replay.h).
+struct RecordVisitor : sm::ReplayVisitor {
+  std::array<std::vector<SampleRecord>, 24>* records = nullptr;
   const std::array<std::uint32_t, 24>* traj = nullptr;
 
-  template <typename Fn>
-  void route(int hour, Fn&& fn) {
+  void push(int hour, SampleRecord::Kind kind, std::size_t index,
+            double value) {
     const auto h = static_cast<std::size_t>(hour);
-    fn(ctx->by_hour[h][(*traj)[h]]);
-    fn(ctx->pooled_hour[h]);
-    fn(ctx->pooled_all);
+    (*records)[h].push_back(SampleRecord{
+        value, (*traj)[h], kind, static_cast<std::uint8_t>(index)});
   }
 
   void on_top_edge(int edge, double sec, int hour) {
-    route(hour, [&](Pools& p) {
-      p.top_edge[static_cast<std::size_t>(edge)].add(sec, *ctx->rng, ctx->cap);
-    });
+    push(hour, SampleRecord::Kind::top_edge,
+         static_cast<std::size_t>(edge), sec);
   }
   void on_sub_edge(int edge, double sec, int hour) {
-    route(hour, [&](Pools& p) {
-      p.sub_edge[static_cast<std::size_t>(edge)].add(sec, *ctx->rng, ctx->cap);
-    });
+    push(hour, SampleRecord::Kind::sub_edge,
+         static_cast<std::size_t>(edge), sec);
   }
   void on_sub_exit(SubState s, double /*sec*/, int hour) {
-    route(hour, [&](Pools& p) { ++p.sub_exit[index_of(s)]; });
+    push(hour, SampleRecord::Kind::sub_exit, index_of(s), 0.0);
   }
   void on_interarrival(EventType t, double sec, int hour) {
-    route(hour, [&](Pools& p) {
-      p.interarrival[index_of(t)].add(sec, *ctx->rng, ctx->cap);
-    });
+    push(hour, SampleRecord::Kind::interarrival, index_of(t), sec);
   }
   void on_first_event_in_hour(std::int64_t hour_idx, EventType t,
                               TimeMs offset_ms) {
-    const int hour = static_cast<int>(hour_idx % 24);
-    route(hour, [&](Pools& p) {
-      ++p.first_type_count[index_of(t)];
-      p.first_offsets.add(ms_to_seconds(offset_ms), *ctx->rng, ctx->cap);
-      ++p.active_ue_hours;
-    });
+    push(static_cast<int>(hour_idx % 24), SampleRecord::Kind::first_event,
+         index_of(t), ms_to_seconds(offset_ms));
   }
 };
+
+// Feeds one materialized record into a pool group.
+void apply_record(Pools& p, const SampleRecord& r, Rng& rng,
+                  std::size_t cap) {
+  switch (r.kind) {
+    case SampleRecord::Kind::top_edge:
+      p.top_edge[r.index].add(r.value, rng, cap);
+      break;
+    case SampleRecord::Kind::sub_edge:
+      p.sub_edge[r.index].add(r.value, rng, cap);
+      break;
+    case SampleRecord::Kind::sub_exit:
+      ++p.sub_exit[r.index];
+      break;
+    case SampleRecord::Kind::interarrival:
+      p.interarrival[r.index].add(r.value, rng, cap);
+      break;
+    case SampleRecord::Kind::first_event:
+      ++p.first_type_count[r.index];
+      p.first_offsets.add(r.value, rng, cap);
+      ++p.active_ue_hours;
+      break;
+  }
+}
+
+// Runs task(0..n) across `workers` threads (inline when single-threaded).
+// Tasks must write to disjoint state; the first exception wins and is
+// rethrown on the calling thread.
+void run_tasks(unsigned workers, std::size_t n,
+               const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(work);
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
 
 std::shared_ptr<const stats::Distribution> make_exponential(double mean_s) {
   // Guard against degenerate zero-duration pools (events sharing the same
@@ -222,6 +283,15 @@ HourClusterModel build_hour_model(const sm::MachineSpec& spec,
   return m;
 }
 
+// RNG stream ids: hour task h of device d draws from stream d * 32 + h, the
+// device-level pool from d * 32 + 24. Streams never overlap across tasks,
+// which (together with the fixed record order within each hour) pins every
+// reservoir draw regardless of scheduling.
+std::uint64_t fit_stream_id(DeviceType device, std::size_t task) {
+  return static_cast<std::uint64_t>(index_of(device)) * 32 +
+         static_cast<std::uint64_t>(task);
+}
+
 }  // namespace
 
 ModelSet fit_model(const Trace& trace, const FitOptions& options) {
@@ -238,87 +308,103 @@ ModelSet fit_model(const Trace& trace, const FitOptions& options) {
                     : std::max<int>(1, day_of(trace.end_time()) + 1);
   set.num_days_fitted = num_days;
 
-  Rng reservoir_rng(options.seed);
+  const unsigned workers =
+      options.num_threads != 0
+          ? options.num_threads
+          : std::max(1u, std::thread::hardware_concurrency());
 
   for (DeviceType device : k_all_device_types) {
     DeviceModel& dev = set.devices[index_of(device)];
     const auto groups = trace.group_by_ue(device);
     if (groups.empty()) continue;
 
-    // --- clustering per hour-of-day -------------------------------------
+    // --- clustering per hour-of-day (parallel; no shared state) ----------
     dev.ue_traj.assign(groups.size(), {});
-    DeviceFitContext ctx;
-    ctx.spec = &spec;
-    ctx.cap = options.max_pool_samples;
-    ctx.rng = &reservoir_rng;
+    std::array<std::vector<std::uint32_t>, 24> cluster_sizes;
+    std::array<std::uint32_t, 24> num_clusters{};
 
     if (uses_clustering(options.method)) {
       const auto features =
           clustering::extract_features(spec, groups, num_days);
-      for (int h = 0; h < 24; ++h) {
+      run_tasks(workers, 24, [&](std::size_t h) {
         std::vector<clustering::UeHourFeatures> hour_features(groups.size());
         for (std::size_t u = 0; u < groups.size(); ++u) {
-          hour_features[u] = features[u][static_cast<std::size_t>(h)];
+          hour_features[u] = features[u][h];
         }
         const auto clusters =
             clustering::adaptive_cluster(hour_features, options.clustering);
-        ctx.by_hour[static_cast<std::size_t>(h)].resize(
-            clusters.num_clusters);
-        ctx.cluster_sizes[static_cast<std::size_t>(h)].assign(
-            clusters.num_clusters, 0);
+        num_clusters[h] = clusters.num_clusters;
+        cluster_sizes[h].assign(clusters.num_clusters, 0);
         for (std::size_t u = 0; u < groups.size(); ++u) {
-          dev.ue_traj[u][static_cast<std::size_t>(h)] =
-              clusters.assignment[u];
-          ++ctx.cluster_sizes[static_cast<std::size_t>(h)]
-                             [clusters.assignment[u]];
+          dev.ue_traj[u][h] = clusters.assignment[u];
+          ++cluster_sizes[h][clusters.assignment[u]];
         }
-      }
+      });
     } else {
-      for (int h = 0; h < 24; ++h) {
-        ctx.by_hour[static_cast<std::size_t>(h)].resize(1);
-        ctx.cluster_sizes[static_cast<std::size_t>(h)].assign(
-            1, static_cast<std::uint32_t>(groups.size()));
+      for (std::size_t h = 0; h < 24; ++h) {
+        num_clusters[h] = 1;
+        cluster_sizes[h].assign(1,
+                                static_cast<std::uint32_t>(groups.size()));
       }
     }
 
+    // --- replay, materializing per-hour sample records (no RNG) ----------
+    std::array<std::vector<SampleRecord>, 24> records;
+    {
+      RecordVisitor visitor;
+      visitor.records = &records;
+      for (std::size_t u = 0; u < groups.size(); ++u) {
+        visitor.traj = &dev.ue_traj[u];
+        sm::replay_ue(spec, groups[u], visitor);
+      }
+    }
+
+    // --- pool feeding + law construction (parallel per hour) -------------
+    // Task h < 24 owns hour h's cluster pools and pooled-hour fallback;
+    // task 24 owns the device-level pool. Each draws from its private
+    // stream, so the reservoirs are reproduced for any worker count.
     const std::size_t n_top = spec.top_transitions().size();
     const std::size_t n_sub = spec.sub_transitions().size();
-    for (int h = 0; h < 24; ++h) {
-      for (Pools& p : ctx.by_hour[static_cast<std::size_t>(h)]) {
-        p.init(n_top, n_sub);
-      }
-      ctx.pooled_hour[static_cast<std::size_t>(h)].init(n_top, n_sub);
-    }
-    ctx.pooled_all.init(n_top, n_sub);
-
-    // --- sample routing ----------------------------------------------------
-    RouteVisitor visitor;
-    visitor.ctx = &ctx;
-    for (std::size_t u = 0; u < groups.size(); ++u) {
-      visitor.traj = &dev.ue_traj[u];
-      sm::replay_ue(spec, groups[u], visitor);
-    }
-
-    // --- law construction ---------------------------------------------------
     const auto days = static_cast<std::uint64_t>(num_days);
-    for (int h = 0; h < 24; ++h) {
-      const auto hs = static_cast<std::size_t>(h);
-      dev.by_hour[hs].reserve(ctx.by_hour[hs].size());
-      for (std::size_t c = 0; c < ctx.by_hour[hs].size(); ++c) {
-        dev.by_hour[hs].push_back(build_hour_model(
-            spec, ctx.by_hour[hs][c], options.method,
-            static_cast<std::uint64_t>(ctx.cluster_sizes[hs][c]) * days,
+    const std::size_t cap = options.max_pool_samples;
+
+    run_tasks(workers, 25, [&](std::size_t task) {
+      Rng rng(options.seed, fit_stream_id(device, task));
+      if (task == 24) {
+        Pools pooled_all;
+        pooled_all.init(n_top, n_sub);
+        for (const auto& hour_records : records) {
+          for (const SampleRecord& r : hour_records) {
+            apply_record(pooled_all, r, rng, cap);
+          }
+        }
+        dev.pooled_all = build_hour_model(
+            spec, pooled_all, options.method,
+            static_cast<std::uint64_t>(groups.size()) * days * 24,
+            options.model_censored_exits);
+        return;
+      }
+      const std::size_t h = task;
+      std::vector<Pools> by_cluster(num_clusters[h]);
+      for (Pools& p : by_cluster) p.init(n_top, n_sub);
+      Pools pooled_hour;
+      pooled_hour.init(n_top, n_sub);
+      for (const SampleRecord& r : records[h]) {
+        apply_record(by_cluster[r.cluster], r, rng, cap);
+        apply_record(pooled_hour, r, rng, cap);
+      }
+      dev.by_hour[h].reserve(by_cluster.size());
+      for (std::size_t c = 0; c < by_cluster.size(); ++c) {
+        dev.by_hour[h].push_back(build_hour_model(
+            spec, by_cluster[c], options.method,
+            static_cast<std::uint64_t>(cluster_sizes[h][c]) * days,
             options.model_censored_exits));
       }
-      dev.pooled_hour[hs] = build_hour_model(
-          spec, ctx.pooled_hour[hs], options.method,
+      dev.pooled_hour[h] = build_hour_model(
+          spec, pooled_hour, options.method,
           static_cast<std::uint64_t>(groups.size()) * days,
           options.model_censored_exits);
-    }
-    dev.pooled_all = build_hour_model(
-        spec, ctx.pooled_all, options.method,
-        static_cast<std::uint64_t>(groups.size()) * days * 24,
-        options.model_censored_exits);
+    });
   }
 
   return set;

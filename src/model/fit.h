@@ -17,6 +17,12 @@ struct FitOptions {
   std::size_t max_pool_samples = 50'000;
   // Seed for the (deterministic) reservoir sampling.
   std::uint64_t seed = 0x5eedULL;
+  // Worker threads for the per-hour clustering and law-building phases.
+  // 0 = hardware concurrency. The fitted ModelSet is identical for every
+  // value: each parallel task owns a disjoint slice of the model and a
+  // private RNG stream derived from (seed, device, hour), so scheduling
+  // cannot reorder any reservoir draw.
+  unsigned num_threads = 0;
   // Ablation switch: when false, second-level transition probabilities are
   // normalized over observed transitions only (no censored-exit mass), the
   // literal reading of §5.2. The default accounts for top-level exits so the

@@ -191,6 +191,7 @@ class Scaled final : public Distribution {
   }
 
   double factor() const noexcept { return factor_; }
+  const Distribution& inner() const noexcept { return *inner_; }
 
  private:
   std::shared_ptr<const Distribution> inner_;

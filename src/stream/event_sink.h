@@ -30,6 +30,13 @@ class EventSink {
 
   virtual void on_start(const StreamHeader& header) { (void)header; }
   virtual void on_event(const ControlEvent& e) = 0;
+  // Batch delivery: the same events in the same canonical order as
+  // repeated on_event calls, but one virtual dispatch per merged slice
+  // instead of per event. The runtime uses this whenever it is not pacing
+  // deliveries; sinks with cheap bulk handling should override.
+  virtual void on_events(std::span<const ControlEvent> events) {
+    for (const ControlEvent& e : events) on_event(e);
+  }
   virtual void on_finish() {}
 };
 
@@ -53,6 +60,9 @@ class CaptureSink final : public EventSink {
     for (DeviceType d : header.ue_devices) trace_.add_ue(d);
   }
   void on_event(const ControlEvent& e) override { trace_.add_event(e); }
+  void on_events(std::span<const ControlEvent> events) override {
+    trace_.append_events(events);
+  }
   void on_finish() override { trace_.finalize(); }
 
   const Trace& trace() const noexcept { return trace_; }
@@ -71,6 +81,12 @@ class CountingSink final : public EventSink {
     last_t_ms_ = e.t_ms;
   }
 
+  void on_events(std::span<const ControlEvent> events) override {
+    for (const ControlEvent& e : events) ++counts_[index_of(e.type)];
+    total_ += events.size();
+    if (!events.empty()) last_t_ms_ = events.back().t_ms;
+  }
+
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t count(EventType e) const noexcept {
     return counts_[index_of(e)];
@@ -86,6 +102,7 @@ class CountingSink final : public EventSink {
 class NullSink final : public EventSink {
  public:
   void on_event(const ControlEvent&) override {}
+  void on_events(std::span<const ControlEvent>) override {}
 };
 
 // Broadcasts the stream to several sinks in order (e.g. CSV + live core).
@@ -99,6 +116,9 @@ class FanoutSink final : public EventSink {
   }
   void on_event(const ControlEvent& e) override {
     for (EventSink* s : sinks_) s->on_event(e);
+  }
+  void on_events(std::span<const ControlEvent> events) override {
+    for (EventSink* s : sinks_) s->on_events(events);
   }
   void on_finish() override {
     for (EventSink* s : sinks_) s->on_finish();

@@ -67,6 +67,12 @@ class Pacer {
     }
   }
 
+  // True when the pacer never blocks (as_fast_as_possible): deliveries can
+  // skip the per-event pace call entirely.
+  bool passthrough() const noexcept {
+    return mode_ == ClockMode::as_fast_as_possible;
+  }
+
   // Milliseconds the last paced delivery lagged its wall-clock target; 0
   // while the pacer is keeping up (sleeping). Always 0 in
   // as_fast_as_possible mode.

@@ -1,0 +1,373 @@
+// Equivalence tests for the compiled sampling plan (model/compiled.h): the
+// compiled hot path must agree with the legacy ModelSet walk — exactly where
+// exactness is promised (LUT borrows, alias outcome probabilities, the step
+// table) and distributionally where only the RNG consumption differs.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "generator/traffic_generator.h"
+#include "model/compiled.h"
+#include "model/fit.h"
+#include "statemachine/machine.h"
+#include "stats/gof.h"
+#include "test_util.h"
+
+namespace cpg {
+namespace {
+
+model::CompiledModel fresh_plan() {
+  model::CompiledModel m;
+  m.samplers.push_back(model::SamplerRef{});  // slot 0: the zero sampler
+  return m;
+}
+
+model::StateLaw make_law(
+    std::initializer_list<std::pair<int, double>> edges) {
+  model::StateLaw law;
+  for (const auto& [edge, p] : edges) {
+    model::TransitionLaw t;
+    t.edge = edge;
+    t.probability = p;
+    law.out.push_back(std::move(t));
+  }
+  return law;
+}
+
+// Draws `n` outcomes from a compiled law and returns counts per edge id
+// (index k_num is the residual / no-transition outcome).
+std::vector<std::uint64_t> draw_alias(const model::CompiledModel& m,
+                                      model::CompiledLaw law, int max_edge,
+                                      std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(max_edge) + 2,
+                                    0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pick = model::sample_alias(m, law, rng);
+    const std::size_t slot = pick.edge < 0
+                                 ? counts.size() - 1
+                                 : static_cast<std::size_t>(pick.edge);
+    ++counts[slot];
+  }
+  return counts;
+}
+
+TEST(AliasTable, ChiSquareMatchesExactProbabilities) {
+  auto m = fresh_plan();
+  const auto law =
+      compile_state_law(m, make_law({{0, 0.5}, {1, 0.3}, {2, 0.1}}));
+  ASSERT_TRUE(law.has_data());
+
+  constexpr std::size_t n = 200'000;
+  Rng rng(20240805, 1);
+  const auto counts = draw_alias(m, law, 2, n, rng);
+  const double expect[] = {0.5, 0.3, 0.1, 0.1};  // last = residual mass
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double e = expect[i] * static_cast<double>(n);
+    const double d = static_cast<double>(counts[i]) - e;
+    chi2 += d * d / e;
+  }
+  // 3 degrees of freedom; chi2_{0.999} = 16.27.
+  EXPECT_LT(chi2, 16.27) << "counts: " << counts[0] << " " << counts[1]
+                         << " " << counts[2] << " " << counts[3];
+}
+
+TEST(AliasTable, SuperUnityLawTruncatesAtOne) {
+  // sample_edge() walks the unnormalized cumulative masses against
+  // r ~ U[0,1): a law summing past 1 (nextg frequency boosts) gives edge 0
+  // its full 0.8 and edge 1 only the remaining 0.2. The compiled table must
+  // reproduce that truncation, with no residual outcome.
+  auto m = fresh_plan();
+  const auto law = compile_state_law(m, make_law({{0, 0.8}, {1, 0.5}}));
+
+  constexpr std::size_t n = 200'000;
+  Rng rng(20240805, 2);
+  const auto counts = draw_alias(m, law, 1, n, rng);
+  EXPECT_EQ(counts[2], 0u) << "super-unity law produced a residual outcome";
+  const double expect[] = {0.8, 0.2};
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double e = expect[i] * static_cast<double>(n);
+    const double d = static_cast<double>(counts[i]) - e;
+    chi2 += d * d / e;
+  }
+  EXPECT_LT(chi2, 10.83);  // 1 dof, p = 0.001
+}
+
+TEST(AliasTable, FullMassWithinSlackNeverReturnsResidual) {
+  auto m = fresh_plan();
+  const auto law =
+      compile_state_law(m, make_law({{0, 0.6}, {1, 0.4 - 1e-8}}));
+  Rng rng(20240805, 3);
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    EXPECT_GE(model::sample_alias(m, law, rng).edge, 0);
+  }
+}
+
+TEST(CompiledSampler, SmallEmpiricalLutIsExact) {
+  std::vector<double> sample;
+  Rng rng(20240805, 4);
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.lognormal(1.0, 0.8));
+  const stats::Empirical emp(sample);
+
+  auto m = fresh_plan();
+  const std::uint32_t s = compile_sampler(m, emp);
+  ASSERT_EQ(m.samplers[s].kind, model::SamplerRef::Kind::lut_ext);
+  for (int i = 0; i <= 1000; ++i) {
+    const double p = static_cast<double>(i) / 1000.0;
+    EXPECT_DOUBLE_EQ(model::lut_quantile(m, s, p), emp.quantile(p));
+  }
+}
+
+TEST(CompiledSampler, LargeEmpiricalLutIsBorrowedExactly) {
+  // Unscaled pools above k_lut_knots are borrowed in place (lut_ext), not
+  // resampled: the compiled quantile matches Empirical::quantile exactly
+  // and the pool contributes nothing to the knots arena.
+  std::vector<double> sample;
+  Rng rng(20240805, 5);
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.pareto(0.5, 1.7));
+  const stats::Empirical emp(sample);
+
+  auto m = fresh_plan();
+  const std::uint32_t s = compile_sampler(m, emp);
+  ASSERT_EQ(m.samplers[s].kind, model::SamplerRef::Kind::lut_ext);
+  EXPECT_TRUE(m.knots.empty());
+  for (int i = 0; i <= 4096; ++i) {
+    const double p = static_cast<double>(i) / 4096.0;
+    EXPECT_DOUBLE_EQ(model::lut_quantile(m, s, p), emp.quantile(p));
+  }
+}
+
+TEST(CompiledSampler, ScaledLargeEmpiricalLutWithinCellBound) {
+  // A *scaled* pool above k_lut_knots (nextg frequency scaling) is
+  // resampled onto a 1024-cell grid. The LUT interpolates linearly inside
+  // a cell, so its value stays within the cell's quantile span
+  // [Q(i/1024), Q((i+1)/1024)] — the DESIGN.md error bound — and is exact
+  // at the knots themselves.
+  std::vector<double> sample;
+  Rng rng(20240805, 5);
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.pareto(0.5, 1.7));
+  const auto emp = std::make_shared<const stats::Empirical>(sample);
+  const stats::Scaled scaled(emp, 2.5);
+
+  auto m = fresh_plan();
+  const std::uint32_t s = compile_sampler(m, scaled);
+  ASSERT_EQ(m.samplers[s].kind, model::SamplerRef::Kind::lut);
+  constexpr double cells = model::k_lut_knots - 1;
+  for (int i = 0; i <= 4096; ++i) {
+    const double p = static_cast<double>(i) / 4096.0;
+    const double q = model::lut_quantile(m, s, p);
+    const double cell = std::min(std::floor(p * cells), cells - 1);
+    EXPECT_GE(q, scaled.quantile(cell / cells) - 1e-9);
+    EXPECT_LE(q, scaled.quantile((cell + 1) / cells) + 1e-9);
+  }
+  for (int i = 0; i <= 1024; ++i) {
+    const double p = static_cast<double>(i) / cells;
+    EXPECT_NEAR(model::lut_quantile(m, s, p), scaled.quantile(p), 1e-9);
+  }
+}
+
+class CompiledModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(testutil::small_ground_truth(300, 48.0, 11));
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 20;
+    opts.seed = 99;
+    models_ = new model::ModelSet(model::fit_model(*trace_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static Trace* trace_;
+  static model::ModelSet* models_;
+};
+
+Trace* CompiledModelFixture::trace_ = nullptr;
+model::ModelSet* CompiledModelFixture::models_ = nullptr;
+
+TEST_F(CompiledModelFixture, SojournsMatchLegacyKs) {
+  const auto plan = model::compile(*models_);
+
+  // Find a fitted top-state law with edge data and compare N draws through
+  // both paths: same model, different RNG consumption, so agreement is
+  // distributional (two-sample K-S), not byte-wise.
+  for (DeviceType d : k_all_device_types) {
+    const model::DeviceModel& dev = models_->device(d);
+    if (!dev.has_ues()) continue;
+    for (TopState s : k_all_top_states) {
+      const model::StateLaw* law = model::resolve_top_law(dev, 12, 0, s);
+      if (law == nullptr || !law->has_data()) continue;
+
+      const auto& row = plan.device(d).row(12, 0);
+      const auto claw = row.top[index_of(s)];
+      ASSERT_TRUE(claw.has_data());
+
+      constexpr std::size_t n = 20'000;
+      std::vector<double> legacy, compiled;
+      Rng rng_a(7, 1), rng_b(7, 2);
+      std::size_t legacy_hits = 0, compiled_hits = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto st = model::sample_transition(*law, rng_a);
+        if (st.edge >= 0) {
+          ++legacy_hits;
+          legacy.push_back(st.sojourn_s);
+        }
+        const auto pick = model::sample_alias(plan, claw, rng_b);
+        if (pick.edge >= 0) {
+          ++compiled_hits;
+          compiled.push_back(
+              std::max(0.0, model::sample_value(plan, pick.sampler, rng_b)));
+        }
+      }
+      // Transition rates agree within sampling noise...
+      EXPECT_NEAR(static_cast<double>(legacy_hits) / n,
+                  static_cast<double>(compiled_hits) / n, 0.02);
+      // ...and so do the sojourn laws.
+      ASSERT_FALSE(legacy.empty());
+      ASSERT_FALSE(compiled.empty());
+      std::sort(legacy.begin(), legacy.end());
+      std::sort(compiled.begin(), compiled.end());
+      EXPECT_LT(stats::ks_two_sample_statistic(legacy, compiled), 0.025);
+      return;  // one populated law is enough
+    }
+  }
+  FAIL() << "no fitted top-state law found";
+}
+
+TEST_F(CompiledModelFixture, CompileIsDeterministic) {
+  const auto a = model::compile(*models_);
+  const auto b = model::compile(*models_);
+  ASSERT_EQ(a.samplers.size(), b.samplers.size());
+  for (std::size_t i = 0; i < a.samplers.size(); ++i) {
+    EXPECT_EQ(a.samplers[i].kind, b.samplers[i].kind);
+    EXPECT_EQ(a.samplers[i].a, b.samplers[i].a);
+    EXPECT_EQ(a.samplers[i].b, b.samplers[i].b);
+    EXPECT_EQ(a.samplers[i].lut_base, b.samplers[i].lut_base);
+    EXPECT_EQ(a.samplers[i].lut_len, b.samplers[i].lut_len);
+    EXPECT_EQ(a.samplers[i].ext, b.samplers[i].ext);
+  }
+  EXPECT_EQ(a.knots, b.knots);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].threshold, b.slots[i].threshold);
+    EXPECT_EQ(a.slots[i].edge, b.slots[i].edge);
+    EXPECT_EQ(a.slots[i].sampler, b.slots[i].sampler);
+  }
+  EXPECT_EQ(a.stats.rows, b.stats.rows);
+  EXPECT_EQ(a.stats.laws, b.stats.laws);
+  EXPECT_EQ(a.stats.samplers, b.stats.samplers);
+}
+
+TEST_F(CompiledModelFixture, DedupKeepsArenasSmall) {
+  const auto plan = model::compile(*models_);
+  EXPECT_GT(plan.stats.rows, 0u);
+  EXPECT_GT(plan.stats.laws, 0u);
+  EXPECT_GT(plan.stats.samplers, 1u);
+  EXPECT_GT(plan.stats.arena_bytes, 0u);
+  // The pooled fallbacks alone guarantee cross-(cluster, hour) reuse.
+  EXPECT_GT(plan.stats.dedup_hits, 0u);
+  // The build-time index must not linger on the hot-path object.
+  EXPECT_TRUE(plan.sampler_index.empty());
+}
+
+TEST_F(CompiledModelFixture, GeneratedTraceMatchesLegacyDistribution) {
+  gen::GenerationRequest req;
+  req.ue_counts = {120, 60, 30};
+  req.start_hour = 10;
+  req.duration_hours = 6.0;
+  req.seed = 404;
+  req.num_threads = 2;
+
+  req.ue_options.use_compiled = false;
+  const Trace legacy = gen::generate_trace(*models_, req);
+  req.ue_options.use_compiled = true;
+  const Trace compiled = gen::generate_trace(*models_, req);
+
+  ASSERT_GT(legacy.num_events(), 100u);
+  ASSERT_GT(compiled.num_events(), 100u);
+  const double ratio = static_cast<double>(compiled.num_events()) /
+                       static_cast<double>(legacy.num_events());
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.18);
+
+  std::array<std::uint64_t, k_num_event_types> la{}, ca{};
+  for (const ControlEvent& e : legacy.events()) ++la[index_of(e.type)];
+  for (const ControlEvent& e : compiled.events()) ++ca[index_of(e.type)];
+  for (std::size_t t = 0; t < k_num_event_types; ++t) {
+    const double lf = static_cast<double>(la[t]) /
+                      static_cast<double>(legacy.num_events());
+    const double cf = static_cast<double>(ca[t]) /
+                      static_cast<double>(compiled.num_events());
+    EXPECT_NEAR(lf, cf, 0.03) << "event type " << t;
+  }
+}
+
+TEST(CompiledStepTable, MatchesLiveMachineOnRandomSequences) {
+  for (const model::Method method :
+       {model::Method::ours, model::Method::base}) {
+    model::ModelSet set;
+    set.method = method;
+    set.spec = &model::spec_for(method);
+    const auto plan = model::compile(set);
+
+    Rng rng(31337, static_cast<std::uint64_t>(method));
+    for (int run = 0; run < 64; ++run) {
+      const EventType first =
+          k_all_event_types[rng.uniform_index(k_num_event_types)];
+      sm::TwoLevelMachine machine(*set.spec, sm::infer_initial_top(first));
+      TopState top = machine.top();
+      SubState sub = machine.sub();
+      for (int step = 0; step < 256; ++step) {
+        const EventType e =
+            k_all_event_types[rng.uniform_index(k_num_event_types)];
+        machine.apply(e);
+        const model::StepEntry s = plan.step(top, sub, e);
+        top = s.top;
+        sub = s.sub;
+        ASSERT_EQ(top, machine.top())
+            << "method " << static_cast<int>(method) << " run " << run
+            << " step " << step;
+        ASSERT_EQ(sub, machine.sub())
+            << "method " << static_cast<int>(method) << " run " << run
+            << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(CompiledGenerator, DeviceWithoutModeledUesStaysSilent) {
+  // Regression: a DeviceModel with no fitted UEs has no cluster trajectory;
+  // cluster lookups must fall back to the pooled chain instead of
+  // dereferencing a null trajectory, on both sampling paths.
+  model::ModelSet set;
+  set.method = model::Method::ours;
+  set.spec = &model::spec_for(set.method);
+  set.num_days_fitted = 1;
+  const auto plan = model::compile(set);
+
+  for (const model::CompiledModel* cm : {(const model::CompiledModel*)nullptr,
+                                         &plan}) {
+    gen::UeGenOptions options;
+    options.compiled = cm;
+    gen::UeSliceGenerator g(set, DeviceType::phone, 0, 0,
+                            4 * k_ms_per_hour, 1, Rng(5, 6), options);
+    std::vector<ControlEvent> out;
+    while (g.advance(4 * k_ms_per_hour, out)) {
+    }
+    EXPECT_TRUE(g.done());
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+}  // namespace
+}  // namespace cpg

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/rng.h"
@@ -281,6 +283,62 @@ TEST(Trace, GroupByUeDeviceFilter) {
   const auto cars = t.group_by_ue(DeviceType::connected_car);
   ASSERT_EQ(cars.size(), 1u);
   EXPECT_EQ(cars[0][0].type, EventType::srv_req);
+}
+
+TEST(Rng, CategoricalDegenerateInputs) {
+  Rng rng(17);
+  Rng untouched = rng;
+
+  // Empty span: index 0, no randomness consumed.
+  EXPECT_EQ(rng.categorical({}), 0u);
+
+  // No usable weight (zero, negative, NaN, infinite): last index, still no
+  // randomness consumed.
+  const double unusable[] = {0.0, -2.0, std::nan(""),
+                             std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(rng.categorical(unusable), 3u);
+  EXPECT_EQ(rng.uniform(), untouched.uniform());
+
+  // Non-finite and non-positive entries are never selected.
+  const double mixed[] = {-1.0, std::nan(""), 3.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.categorical(mixed), 2u);
+  }
+}
+
+TEST(Trace, SortEventsMatchesStdSort) {
+  // Exercise both the small-input std::sort fallback and the scatter path
+  // (n above k_scatter_min), against std::sort over the same total order.
+  for (const std::size_t n : {std::size_t{257}, std::size_t{10'000}}) {
+    Rng rng(23 + n);
+    constexpr TimeMs lo = 1'000'000, hi = 4'600'000;
+    std::vector<ControlEvent> events;
+    events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back(
+          {lo + static_cast<TimeMs>(rng.uniform_index(hi - lo)),
+           static_cast<UeId>(rng.uniform_index(500)),
+           k_all_event_types[rng.uniform_index(k_num_event_types)]});
+    }
+    std::vector<ControlEvent> expected = events;
+    std::sort(expected.begin(), expected.end(), EventTimeLess{});
+
+    std::vector<ControlEvent> plain = events;
+    sort_events(plain);
+    ASSERT_EQ(plain, expected);
+
+    std::vector<ControlEvent> hinted = events;
+    sort_events(hinted, lo, hi);
+    ASSERT_EQ(hinted, expected);
+
+    // Scratch overload, reused across calls like the streaming producers.
+    EventSortScratch scratch;
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<ControlEvent> scratched = events;
+      sort_events(scratched, lo, hi, scratch);
+      ASSERT_EQ(scratched, expected);
+    }
+  }
 }
 
 TEST(Trace, EventTimeLessIsTotalOrderTiebreak) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "io/model_io.h"
 #include "model/fit.h"
 #include "test_util.h"
 
@@ -215,6 +219,26 @@ TEST(SampleTransition, EmptyLawYieldsNoEdge) {
   StateLaw law;
   Rng rng(35);
   EXPECT_EQ(sample_transition(law, rng).edge, -1);
+}
+
+TEST(FitModel, ParallelFittingIsThreadCountInvariant) {
+  // Every parallel task owns a disjoint model slice and a private
+  // (seed, device, hour) RNG stream, so the fitted model must serialize
+  // byte-identically for any worker count.
+  auto fit_serialized = [](unsigned threads) {
+    FitOptions opts;
+    opts.method = Method::ours;
+    opts.clustering.theta_n = 30;
+    opts.num_threads = threads;
+    const ModelSet set = fit_model(fit_trace(), opts);
+    std::ostringstream os;
+    io::save_model(set, os);
+    return os.str();
+  };
+  const std::string baseline = fit_serialized(1);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, fit_serialized(2));
+  EXPECT_EQ(baseline, fit_serialized(5));
 }
 
 }  // namespace

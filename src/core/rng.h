@@ -7,6 +7,8 @@
 // thread counts.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -49,6 +51,15 @@ class Xoshiro256 {
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  // Raw engine state, for exact save/restore (checkpointing). A restored
+  // engine continues the identical draw sequence.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
   result_type operator()() noexcept {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
@@ -186,6 +197,28 @@ class Rng {
   }
 
   Xoshiro256& engine() noexcept { return eng_; }
+
+  // Exact state capture for checkpointing: the engine state plus the
+  // Box-Muller cache (normal() draws two values per round trip through the
+  // engine, so the cached second value is part of the draw sequence). The
+  // cached double travels as its bit pattern so the round trip is lossless.
+  struct State {
+    std::array<std::uint64_t, 4> engine{};
+    std::uint64_t cached_bits = 0;
+    bool has_cached = false;
+  };
+  State save_state() const noexcept {
+    State st;
+    st.engine = eng_.state();
+    st.cached_bits = std::bit_cast<std::uint64_t>(cached_);
+    st.has_cached = has_cached_;
+    return st;
+  }
+  void restore_state(const State& st) noexcept {
+    eng_.set_state(st.engine);
+    cached_ = std::bit_cast<double>(st.cached_bits);
+    has_cached_ = st.has_cached;
+  }
 
  private:
   Xoshiro256 eng_;

@@ -1,0 +1,200 @@
+#include "fault/failpoint.h"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "core/rng.h"
+
+namespace cpg::fault {
+
+struct Failpoint::State {
+  std::mutex mu;
+  FailpointSpec spec;
+  Rng rng{0};
+};
+
+void Failpoint::arm(const FailpointSpec& spec) {
+  if (state_ == nullptr) state_ = new State();  // lives for the process
+  {
+    std::lock_guard lock(state_->mu);
+    state_->spec = spec;
+    state_->rng = Rng(spec.seed);
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  armed_.store(spec.action != Action::off, std::memory_order_relaxed);
+}
+
+void Failpoint::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void Failpoint::fire() {
+  bool retryable = false;
+  {
+    std::lock_guard lock(state_->mu);
+    // Re-check under the lock: a concurrent disarm() may have raced the
+    // relaxed armed_ load in evaluate().
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    const FailpointSpec& spec = state_->spec;
+    const std::uint64_t hit =
+        hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit <= spec.skip) return;
+    if (spec.max_fires != 0 &&
+        fires_.load(std::memory_order_relaxed) >= spec.max_fires) {
+      return;
+    }
+    if (spec.probability < 1.0 && !state_->rng.bernoulli(spec.probability)) {
+      return;
+    }
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    retryable = spec.action == Action::error;
+  }
+  throw InjectedFault("injected fault at failpoint '" + name_ + "'",
+                      retryable);
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::deque<Failpoint> points;  // deque: references stay stable
+
+  Failpoint& get(std::string_view name) {
+    std::lock_guard lock(mu);
+    for (Failpoint& fp : points) {
+      if (fp.name() == name) return fp;
+    }
+    return points.emplace_back(std::string(name));
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: no exit races
+  return *r;
+}
+
+[[noreturn]] void bad_entry(std::string_view entry, const char* why) {
+  throw std::invalid_argument("CPG_FAILPOINTS: " + std::string(why) +
+                              " in entry \"" + std::string(entry) + "\"");
+}
+
+// Parses one "name=action(args)" entry and arms it.
+bool arm_entry(std::string_view entry) {
+  const auto eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    bad_entry(entry, "expected name=action");
+  }
+  const std::string_view name = entry.substr(0, eq);
+  std::string_view rhs = entry.substr(eq + 1);
+
+  std::string_view args;
+  if (const auto paren = rhs.find('('); paren != std::string_view::npos) {
+    if (rhs.empty() || rhs.back() != ')') {
+      bad_entry(entry, "unterminated argument list");
+    }
+    args = rhs.substr(paren + 1, rhs.size() - paren - 2);
+    rhs = rhs.substr(0, paren);
+  }
+
+  FailpointSpec spec;
+  if (rhs == "off") {
+    spec.action = Action::off;
+  } else if (rhs == "error") {
+    spec.action = Action::error;
+  } else if (rhs == "fatal") {
+    spec.action = Action::fatal;
+  } else {
+    bad_entry(entry, "unknown action (want off, error or fatal)");
+  }
+
+  // args: prob[,seed[,skip[,max_fires]]]
+  int idx = 0;
+  while (!args.empty() || idx == 0) {
+    if (args.empty() && idx > 0) break;
+    std::string_view tok = args;
+    if (const auto comma = args.find(','); comma != std::string_view::npos) {
+      tok = args.substr(0, comma);
+      args = args.substr(comma + 1);
+    } else {
+      args = {};
+    }
+    if (tok.empty()) {
+      if (idx == 0 && args.empty()) break;  // empty arg list: "action()"
+      bad_entry(entry, "empty argument");
+    }
+    char* end = nullptr;
+    const std::string tok_s(tok);
+    errno = 0;
+    switch (idx) {
+      case 0: {
+        const double p = std::strtod(tok_s.c_str(), &end);
+        if (*end != '\0' || errno == ERANGE || !(p >= 0.0 && p <= 1.0)) {
+          bad_entry(entry, "probability must be in [0, 1]");
+        }
+        spec.probability = p;
+        break;
+      }
+      case 1:
+      case 2:
+      case 3: {
+        const unsigned long long v = std::strtoull(tok_s.c_str(), &end, 10);
+        if (*end != '\0' || errno == ERANGE || tok_s.front() == '-') {
+          bad_entry(entry, "expected a non-negative integer");
+        }
+        if (idx == 1) spec.seed = v;
+        if (idx == 2) spec.skip = v;
+        if (idx == 3) spec.max_fires = v;
+        break;
+      }
+      default:
+        bad_entry(entry, "too many arguments (max 4)");
+    }
+    ++idx;
+  }
+
+  failpoint(name).arm(spec);
+  return spec.action != Action::off;
+}
+
+}  // namespace
+
+Failpoint& failpoint(std::string_view name) { return registry().get(name); }
+
+void arm(std::string_view name, const FailpointSpec& spec) {
+  failpoint(name).arm(spec);
+}
+
+void disarm(std::string_view name) { failpoint(name).disarm(); }
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (Failpoint& fp : r.points) fp.disarm();
+}
+
+std::size_t arm_from_spec(std::string_view spec) {
+  std::size_t armed = 0;
+  while (!spec.empty()) {
+    std::string_view entry = spec;
+    if (const auto semi = spec.find(';'); semi != std::string_view::npos) {
+      entry = spec.substr(0, semi);
+      spec = spec.substr(semi + 1);
+    } else {
+      spec = {};
+    }
+    if (entry.empty()) continue;
+    if (arm_entry(entry)) ++armed;
+  }
+  return armed;
+}
+
+std::size_t arm_from_env() {
+  const char* env = std::getenv("CPG_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  return arm_from_spec(env);
+}
+
+}  // namespace cpg::fault

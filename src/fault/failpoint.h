@@ -1,0 +1,137 @@
+// Deterministic failpoint injection.
+//
+// A failpoint is a named site in the code (`CPG_FAILPOINT("sink.deliver")`)
+// that normally does nothing — a disarmed evaluation is one relaxed atomic
+// load and a predicted branch, cheap enough to leave compiled into release
+// hot paths. Arming a failpoint (programmatically or via the
+// `CPG_FAILPOINTS` environment variable) makes the site throw an
+// InjectedFault according to a spec: fire probability, a seed for the
+// per-failpoint RNG, hits to skip before becoming eligible, and a cap on
+// total fires. Every draw comes from the failpoint's own seeded engine, so
+// an injected failure schedule is exactly reproducible run over run — the
+// property the fault-tolerance tests (sink retry, spill, checkpoint/resume)
+// are built on.
+//
+// Env syntax (entries separated by ';'):
+//   CPG_FAILPOINTS="sink.deliver=error(0.1,42);stream.deliver_slice=fatal(1,7,5,1)"
+//   name=action                 action with prob=1, seed=0
+//   name=action(prob)
+//   name=action(prob,seed)
+//   name=action(prob,seed,skip)       skip: hits to let pass first
+//   name=action(prob,seed,skip,max)   max: total fires cap (0 = unlimited)
+//   name=off                    disarm
+// Actions: `error` throws a retryable InjectedFault, `fatal` a
+// non-retryable one (the distinction feeds the resilient sink's failure
+// classification, stream/resilient_sink.h).
+//
+// The registry is process-wide; names are created on first use and live for
+// the process lifetime, so `Failpoint&` references never dangle. Evaluation
+// is thread-safe: the armed flag is atomic and the armed slow path locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cpg::fault {
+
+// Thrown by an armed failpoint that fires. `retryable()` tells a supervisor
+// whether the simulated failure models a transient condition (worth
+// retrying) or a permanent one.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(const std::string& what, bool retryable)
+      : std::runtime_error(what), retryable_(retryable) {}
+
+  bool retryable() const noexcept { return retryable_; }
+
+ private:
+  bool retryable_;
+};
+
+enum class Action : std::uint8_t {
+  off = 0,    // disarmed
+  error = 1,  // throw a retryable InjectedFault
+  fatal = 2,  // throw a non-retryable InjectedFault
+};
+
+struct FailpointSpec {
+  Action action = Action::off;
+  double probability = 1.0;     // per-eligible-hit fire probability
+  std::uint64_t seed = 0;       // seeds the per-failpoint RNG on arm()
+  std::uint64_t skip = 0;       // hits to let pass before becoming eligible
+  std::uint64_t max_fires = 0;  // total fires cap; 0 = unlimited
+};
+
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  // Hot path. Disarmed: one relaxed load. Armed: locks, counts the hit,
+  // draws, and throws per the spec.
+  void evaluate() {
+    if (armed_.load(std::memory_order_relaxed)) fire();
+  }
+
+  // (Re)arms with `spec`, resetting hit/fire counters and reseeding the
+  // RNG — arming the same spec twice yields the same failure schedule.
+  // Arming with Action::off disarms.
+  void arm(const FailpointSpec& spec);
+  void disarm();
+
+  const std::string& name() const noexcept { return name_; }
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  // Evaluations observed while armed / faults actually thrown.
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void fire();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+  // Guarded state (armed slow path only).
+  struct State;
+  State* state_ = nullptr;  // lazily allocated, never freed (process-wide)
+};
+
+// Process-wide registry: returns the failpoint named `name`, creating it on
+// first use. References stay valid for the process lifetime.
+Failpoint& failpoint(std::string_view name);
+
+// Convenience: arm/disarm by name through the registry.
+void arm(std::string_view name, const FailpointSpec& spec);
+void disarm(std::string_view name);
+// Disarms every registered failpoint (test teardown).
+void disarm_all();
+
+// Parses the CPG_FAILPOINTS syntax above and arms accordingly. Returns the
+// number of failpoints armed; throws std::invalid_argument naming the
+// offending entry on a syntax error.
+std::size_t arm_from_spec(std::string_view spec);
+// Reads the CPG_FAILPOINTS environment variable; no-op when unset or empty.
+std::size_t arm_from_env();
+
+}  // namespace cpg::fault
+
+// Marks a failpoint site. The registry lookup happens once (function-local
+// static); per-evaluation cost when disarmed is one relaxed atomic load.
+#define CPG_FAILPOINT(name_literal)                                   \
+  do {                                                                \
+    static ::cpg::fault::Failpoint& cpg_fp_ =                         \
+        ::cpg::fault::failpoint(name_literal);                        \
+    cpg_fp_.evaluate();                                               \
+  } while (0)

@@ -75,6 +75,68 @@ UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
       top_state_(machine_.top()),
       sub_state_(machine_.sub()) {}
 
+UeSliceGenerator::UeSliceGenerator(const model::ModelSet& models,
+                                   const UeGenSnapshot& snap, TimeMs t_begin,
+                                   TimeMs t_end, const UeGenOptions& options)
+    : models_(&models),
+      dev_(&models.device(snap.device)),
+      cm_(options.compiled),
+      plan_(options.compiled != nullptr
+                ? &options.compiled->device(snap.device)
+                : nullptr),
+      device_(snap.device),
+      modeled_ue_(snap.modeled_ue),
+      spec_(models.spec),
+      traj_(dev_->ue_traj.empty() ? nullptr
+                                  : &dev_->ue_traj[snap.modeled_ue]),
+      t_begin_(t_begin),
+      t_end_(t_end),
+      ue_id_(snap.ue_id),
+      rng_(0),
+      options_(options),
+      overlays_active_(model::uses_overlay_ho_tau(models.method)),
+      machine_(*spec_, TopState::idle),
+      top_state_(snap.top_state),
+      sub_state_(snap.sub_state) {
+  rng_.restore_state(snap.rng);
+  machine_.restore(snap.top_state, snap.sub_state);
+  started_ = snap.started;
+  done_ = snap.done;
+  pending_first_ = snap.pending_first;
+  first_event_ = snap.first_event;
+  emitted_ = snap.emitted;
+  now_ = snap.now;
+  top_deadline_ = snap.top_deadline;
+  sub_deadline_ = snap.sub_deadline;
+  top_edge_ = snap.top_edge;
+  sub_edge_ = snap.sub_edge;
+  overlay_deadline_ = snap.overlay_deadline;
+  // row_/row_until_ stay at their lazy defaults: current_row() re-resolves
+  // on the first compiled-path lookup (now_ >= 0 == row_until_).
+}
+
+UeGenSnapshot UeSliceGenerator::snapshot() const {
+  UeGenSnapshot s;
+  s.ue_id = ue_id_;
+  s.device = device_;
+  s.modeled_ue = modeled_ue_;
+  s.rng = rng_.save_state();
+  s.top_state = top_state_;
+  s.sub_state = sub_state_;
+  s.started = started_;
+  s.done = done_;
+  s.pending_first = pending_first_;
+  s.first_event = first_event_;
+  s.emitted = emitted_;
+  s.now = now_;
+  s.top_deadline = top_deadline_;
+  s.sub_deadline = sub_deadline_;
+  s.top_edge = top_edge_;
+  s.sub_edge = sub_edge_;
+  s.overlay_deadline = overlay_deadline_;
+  return s;
+}
+
 void UeSliceGenerator::apply_event(EventType e) {
   if (cm_ != nullptr) {
     const model::StepEntry s = cm_->step(top_state_, sub_state_, e);

@@ -81,6 +81,34 @@ struct UeGenOptions {
   bool use_compiled = true;
 };
 
+// Exact between-advance() state of one UeSliceGenerator, sufficient to
+// reconstruct a generator that continues the identical event stream
+// (checkpoint/resume, stream/checkpoint.h). Everything that influences
+// future draws is captured: the RNG (engine + Box-Muller cache), the
+// machine configuration, armed timer deadlines and chosen edges, and the
+// buffered first event. Caches (law row) are rebuilt lazily after restore
+// and per-advance metric tallies are flushed by advance() itself, so
+// neither is part of the snapshot.
+struct UeGenSnapshot {
+  UeId ue_id = 0;
+  DeviceType device = DeviceType::phone;
+  std::uint32_t modeled_ue = 0;
+  Rng::State rng{};
+  TopState top_state = TopState::idle;
+  SubState sub_state = SubState::none;
+  bool started = false;
+  bool done = false;
+  bool pending_first = false;
+  ControlEvent first_event{};
+  std::uint64_t emitted = 0;
+  TimeMs now = 0;
+  TimeMs top_deadline = 0;
+  TimeMs sub_deadline = 0;
+  std::int32_t top_edge = -1;
+  std::int32_t sub_edge = -1;
+  std::array<TimeMs, k_num_event_types> overlay_deadline{};
+};
+
 // Resumable generator for one synthetic UE over [t_begin, t_end), following
 // the cluster trajectory of `modeled_ue` of `device`. Owns its RNG (copied
 // at construction), so per-UE streams stay independent of scheduling.
@@ -89,6 +117,17 @@ class UeSliceGenerator {
   UeSliceGenerator(const model::ModelSet& models, DeviceType device,
                    std::uint32_t modeled_ue, TimeMs t_begin, TimeMs t_end,
                    UeId ue_id, const Rng& rng, const UeGenOptions& options);
+
+  // Reconstructs a generator from a snapshot taken against the same
+  // ModelSet, window, and options; the restored generator emits exactly the
+  // events the snapshotted one would have from this point on.
+  UeSliceGenerator(const model::ModelSet& models, const UeGenSnapshot& snap,
+                   TimeMs t_begin, TimeMs t_end,
+                   const UeGenOptions& options);
+
+  // Captures the full between-advance state (call only between advance()
+  // calls, never mid-advance).
+  UeGenSnapshot snapshot() const;
 
   // Fires every pending timer with deadline < min(t_limit, t_end),
   // appending the emitted events to `out` with `ue_id` stamped. Emitted

@@ -1,5 +1,6 @@
 #include "io/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -31,6 +32,48 @@ const sm::MachineSpec* spec_by_name(std::string_view name) {
   if (name == "fiveg_sa") return &sm::fiveg_sa_spec();
   throw std::runtime_error("load_model: unknown machine spec");
 }
+
+// Caps applied while loading. A truncated or bit-flipped count field must
+// fail with a diagnostic, not drive a multi-gigabyte allocation; the caps
+// are far above anything fit_model produces.
+constexpr std::size_t k_max_ues_per_device = std::size_t{1} << 24;
+constexpr std::size_t k_max_clusters_per_hour = std::size_t{1} << 16;
+constexpr std::size_t k_max_edges_per_state = std::size_t{1} << 12;
+constexpr std::size_t k_max_quantile_knots = std::size_t{1} << 20;
+
+// Threaded through the load path so every parse failure names the model
+// section being read and the byte offset where the stream gave out — a
+// corrupt file then fails with an actionable diagnostic instead of a
+// generic "bad header".
+struct LoadContext {
+  std::istream& is;
+  std::string section = "header";
+
+  [[noreturn]] void fail(const std::string& what) {
+    is.clear();  // a failed extraction poisons tellg()
+    std::ostringstream msg;
+    msg << "load_model: " << what << " (section '" << section
+        << "', near byte " << static_cast<long long>(is.tellg()) << ")";
+    throw std::runtime_error(msg.str());
+  }
+
+  void require_finite(double v, const char* what) {
+    if (!std::isfinite(v)) fail(std::string(what) + " is not finite");
+  }
+  // Fitted and 5G-transformed models accumulate floating error that can
+  // leave a probability an epsilon outside [0, 1]; those are clamped.
+  // Anything further out is corruption and fails.
+  void require_probability(double& v, const char* what) {
+    if (!std::isfinite(v)) fail(std::string(what) + " is not finite");
+    constexpr double tol = 1e-6;
+    if (v < -tol || v > 1.0 + tol) {
+      std::ostringstream msg;
+      msg << what << " out of [0, 1]: " << std::setprecision(17) << v;
+      fail(msg.str());
+    }
+    v = std::min(1.0, std::max(0.0, v));
+  }
+};
 
 // --- distribution serialization --------------------------------------------
 
@@ -71,24 +114,29 @@ void write_distribution(const stats::Distribution& dist, std::ostream& os,
 }
 
 std::shared_ptr<const stats::Distribution> read_distribution(
-    std::istream& is) {
+    LoadContext& ctx) {
+  std::istream& is = ctx.is;
   std::string kind;
-  if (!(is >> kind)) throw std::runtime_error("model: missing distribution");
+  if (!(is >> kind)) ctx.fail("missing distribution");
   if (kind == "exp") {
     double lambda = 0.0;
-    if (!(is >> lambda)) throw std::runtime_error("model: bad exp lambda");
+    if (!(is >> lambda)) ctx.fail("truncated exp lambda");
+    ctx.require_finite(lambda, "exp lambda");
+    if (!(lambda > 0.0)) ctx.fail("exp lambda must be > 0");
     return std::make_shared<stats::Exponential>(lambda);
   }
   if (kind == "empq") {
     std::size_t n = 0;
-    if (!(is >> n) || n == 0) throw std::runtime_error("model: bad empq size");
+    if (!(is >> n) || n == 0) ctx.fail("bad empq size");
+    if (n > k_max_quantile_knots) ctx.fail("empq size exceeds sanity cap");
     std::vector<double> values(n);
     for (double& v : values) {
-      if (!(is >> v)) throw std::runtime_error("model: bad empq value");
+      if (!(is >> v)) ctx.fail("truncated empq values");
+      ctx.require_finite(v, "empq value");
     }
     return std::make_shared<stats::Empirical>(std::move(values), false);
   }
-  throw std::runtime_error("model: unknown distribution kind '" + kind + "'");
+  ctx.fail("unknown distribution kind '" + kind + "'");
 }
 
 // --- law serialization ----------------------------------------------------
@@ -103,21 +151,21 @@ void write_state_law(const StateLaw& law, std::ostream& os,
   }
 }
 
-StateLaw read_state_law(std::istream& is) {
+StateLaw read_state_law(LoadContext& ctx) {
+  std::istream& is = ctx.is;
   StateLaw law;
   std::size_t n = 0;
-  if (!(is >> n)) throw std::runtime_error("model: bad law size");
+  if (!(is >> n)) ctx.fail("truncated state-law size");
+  if (n > k_max_edges_per_state) ctx.fail("state-law size exceeds sanity cap");
   law.out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::string tag;
-    if (!(is >> tag) || tag != "edge") {
-      throw std::runtime_error("model: expected edge");
-    }
+    if (!(is >> tag) || tag != "edge") ctx.fail("expected 'edge' record");
     TransitionLaw t;
-    if (!(is >> t.edge >> t.probability)) {
-      throw std::runtime_error("model: bad edge header");
-    }
-    t.sojourn = read_distribution(is);
+    if (!(is >> t.edge >> t.probability)) ctx.fail("truncated edge header");
+    if (t.edge < 0) ctx.fail("negative edge index");
+    ctx.require_probability(t.probability, "edge probability");
+    t.sojourn = read_distribution(ctx);
     law.out.push_back(std::move(t));
   }
   return law;
@@ -147,39 +195,38 @@ void write_hour_model(const HourClusterModel& m, std::ostream& os,
   }
 }
 
-HourClusterModel read_hour_model(std::istream& is) {
+HourClusterModel read_hour_model(LoadContext& ctx) {
+  std::istream& is = ctx.is;
   HourClusterModel m;
-  for (StateLaw& law : m.top) law = read_state_law(is);
-  for (StateLaw& law : m.sub) law = read_state_law(is);
+  for (StateLaw& law : m.top) law = read_state_law(ctx);
+  for (StateLaw& law : m.sub) law = read_state_law(ctx);
   for (auto& overlay : m.overlay) {
     std::string tag;
-    if (!(is >> tag)) throw std::runtime_error("model: missing overlay");
+    if (!(is >> tag)) ctx.fail("missing overlay record");
     if (tag == "overlay") {
-      overlay = read_distribution(is);
+      overlay = read_distribution(ctx);
     } else if (tag != "none") {
-      throw std::runtime_error("model: bad overlay tag");
+      ctx.fail("bad overlay tag '" + tag + "'");
     }
   }
   std::string tag;
-  if (!(is >> tag)) throw std::runtime_error("model: missing first-event");
+  if (!(is >> tag)) ctx.fail("missing first-event record");
   if (tag == "first") {
     FirstEventLaw fe;
-    if (!(is >> fe.p_active)) {
-      throw std::runtime_error("model: bad p_active");
-    }
+    if (!(is >> fe.p_active)) ctx.fail("truncated p_active");
+    ctx.require_probability(fe.p_active, "p_active");
     for (double& p : fe.type_prob) {
-      if (!(is >> p)) throw std::runtime_error("model: bad first-event prob");
+      if (!(is >> p)) ctx.fail("truncated first-event type probabilities");
+      ctx.require_probability(p, "first-event type probability");
     }
-    auto dist = read_distribution(is);
+    auto dist = read_distribution(ctx);
     const auto* emp = dynamic_cast<const stats::Empirical*>(dist.get());
-    if (emp == nullptr) {
-      throw std::runtime_error("model: first-event offsets must be empirical");
-    }
+    if (emp == nullptr) ctx.fail("first-event offsets must be empirical");
     fe.offset_s = std::shared_ptr<const stats::Empirical>(
         std::move(dist), emp);
     m.first_event = std::move(fe);
   } else if (tag != "first_none") {
-    throw std::runtime_error("model: bad first-event tag");
+    ctx.fail("bad first-event tag '" + tag + "'");
   }
   return m;
 }
@@ -223,67 +270,93 @@ void save_model(const ModelSet& set, const std::string& path,
 }
 
 ModelSet load_model(std::istream& is) {
+  LoadContext ctx{is};
   std::string magic;
   int version = 0;
-  if (!(is >> magic >> version) || magic != k_magic || version != k_version) {
-    throw std::runtime_error("load_model: bad header");
+  if (!(is >> magic >> version) || magic != k_magic) {
+    ctx.fail("bad magic (not a cptraffgen model file?)");
+  }
+  if (version != k_version) {
+    ctx.fail("unsupported version " + std::to_string(version));
   }
   ModelSet set;
   std::string tag;
   int method_int = 0;
   if (!(is >> tag >> method_int) || tag != "method") {
-    throw std::runtime_error("load_model: bad method");
+    ctx.fail("truncated method record");
+  }
+  if (method_int < static_cast<int>(model::Method::base) ||
+      method_int > static_cast<int>(model::Method::ours)) {
+    ctx.fail("method id out of range: " + std::to_string(method_int));
   }
   set.method = static_cast<model::Method>(method_int);
   std::string spec;
-  if (!(is >> tag >> spec) || tag != "spec") {
-    throw std::runtime_error("load_model: bad spec");
-  }
+  if (!(is >> tag >> spec) || tag != "spec") ctx.fail("truncated spec record");
   set.spec = spec_by_name(spec);
   if (!(is >> tag >> set.num_days_fitted) || tag != "num_days") {
-    throw std::runtime_error("load_model: bad num_days");
+    ctx.fail("truncated num_days record");
   }
+  if (set.num_days_fitted < 0) ctx.fail("negative num_days");
 
   for (DeviceType d : k_all_device_types) {
     model::DeviceModel& dev = set.devices[index_of(d)];
+    ctx.section = std::string("device ") + std::string(to_string(d));
     std::string device_name;
     std::size_t num_ues = 0;
     if (!(is >> tag >> device_name >> num_ues) || tag != "device" ||
         device_name != to_string(d)) {
-      throw std::runtime_error("load_model: bad device header");
+      ctx.fail("bad device header");
+    }
+    if (num_ues > k_max_ues_per_device) {
+      ctx.fail("UE count exceeds sanity cap");
     }
     dev.ue_traj.resize(num_ues);
     for (auto& traj : dev.ue_traj) {
-      if (!(is >> tag) || tag != "traj") {
-        throw std::runtime_error("load_model: bad traj");
-      }
+      if (!(is >> tag) || tag != "traj") ctx.fail("bad trajectory record");
       for (auto& c : traj) {
-        if (!(is >> c)) throw std::runtime_error("load_model: bad traj id");
+        if (!(is >> c)) ctx.fail("truncated trajectory cluster ids");
       }
     }
     for (int h = 0; h < 24; ++h) {
+      ctx.section = std::string("device ") + std::string(to_string(d)) +
+                    ", hour " + std::to_string(h);
       int hour = -1;
       std::size_t clusters = 0;
       if (!(is >> tag >> hour >> clusters) || tag != "hour" || hour != h) {
-        throw std::runtime_error("load_model: bad hour header");
+        ctx.fail("bad hour header");
+      }
+      if (clusters > k_max_clusters_per_hour) {
+        ctx.fail("cluster count exceeds sanity cap");
       }
       dev.by_hour[h].reserve(clusters);
       for (std::size_t c = 0; c < clusters; ++c) {
-        dev.by_hour[h].push_back(read_hour_model(is));
+        dev.by_hour[h].push_back(read_hour_model(ctx));
       }
       if (!(is >> tag) || tag != "pooled_hour") {
-        throw std::runtime_error("load_model: missing pooled_hour");
+        ctx.fail("missing pooled_hour");
       }
-      dev.pooled_hour[h] = read_hour_model(is);
+      dev.pooled_hour[h] = read_hour_model(ctx);
     }
-    if (!(is >> tag) || tag != "pooled_all") {
-      throw std::runtime_error("load_model: missing pooled_all");
+    ctx.section = std::string("device ") + std::string(to_string(d)) +
+                  ", pooled_all";
+    if (!(is >> tag) || tag != "pooled_all") ctx.fail("missing pooled_all");
+    dev.pooled_all = read_hour_model(ctx);
+
+    // Trajectories index the clusters just read: reject dangling cluster
+    // ids now rather than crashing generation later.
+    for (const auto& traj : dev.ue_traj) {
+      for (int h = 0; h < 24; ++h) {
+        if (!dev.by_hour[h].empty() &&
+            traj[static_cast<std::size_t>(h)] >= dev.by_hour[h].size()) {
+          ctx.section = std::string("device ") + std::string(to_string(d));
+          ctx.fail("trajectory cluster id out of range for hour " +
+                   std::to_string(h));
+        }
+      }
     }
-    dev.pooled_all = read_hour_model(is);
   }
-  if (!(is >> tag) || tag != "end") {
-    throw std::runtime_error("load_model: missing trailer");
-  }
+  ctx.section = "trailer";
+  if (!(is >> tag) || tag != "end") ctx.fail("missing 'end' trailer");
   return set;
 }
 

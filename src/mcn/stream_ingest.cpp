@@ -1,5 +1,7 @@
 #include "mcn/stream_ingest.h"
 
+#include "fault/failpoint.h"
+
 namespace cpg::mcn {
 
 namespace {
@@ -27,6 +29,7 @@ StreamingEpc::StreamingEpc(const SimulationConfig& config)
     : engine_(&epc_procedure, to_queueing_config(config)) {}
 
 void StreamingEpc::ingest(const ControlEvent& e) {
+  CPG_FAILPOINT("mcn.ingest");
   engine_.arrive(e.type, static_cast<double>(e.t_ms) * 1000.0);
   ++events_;
 }

@@ -45,6 +45,14 @@ class TwoLevelMachine {
   // Forces the configuration (used for re-sync after violations).
   void force(TopState top);
 
+  // Restores an exact (top, sub) configuration captured earlier — used by
+  // checkpoint/resume, which must not re-run the entry-sub-state logic a
+  // force() would apply.
+  void restore(TopState top, SubState sub) noexcept {
+    top_ = top;
+    sub_ = sub;
+  }
+
  private:
   const MachineSpec* spec_;
   TopState top_;

@@ -19,20 +19,28 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/trace.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace cpg::stream {
+
+struct ShardCheckpoint;  // stream/checkpoint.h
 
 // One shard's events for one time slice, sorted by event_time_less.
 struct SliceBatch {
   std::uint64_t slice = 0;
   std::vector<ControlEvent> events;
+  // Set by the producer on checkpoint slices: the shard's resumable state
+  // at this slice's lower boundary, rendezvoused with the consumer through
+  // the queue so no extra synchronization is needed.
+  std::shared_ptr<ShardCheckpoint> checkpoint;
 };
 
 // Tracks the total number of buffered events across all queues and its
@@ -90,6 +98,7 @@ class BoundedBatchQueue {
   // returns true. Returns false — dropping the batch — once the queue is
   // closed; a producer blocked in push() is woken by close().
   bool push(SliceBatch batch) {
+    CPG_FAILPOINT("stream.queue_push");
     const std::size_t n = batch.events.size();
     {
       std::unique_lock lock(mu_);

@@ -1,0 +1,218 @@
+#include "stream/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/failpoint.h"
+
+namespace cpg::stream {
+
+namespace {
+
+constexpr std::string_view k_magic = "cpg-checkpoint";
+constexpr int k_version = 1;
+// Caps applied while reading, so a corrupt count field fails with a
+// diagnostic instead of a giant allocation.
+constexpr std::size_t k_max_shards = 1 << 20;
+constexpr std::size_t k_max_gens_per_shard = std::size_t{1} << 32;
+constexpr std::size_t k_max_carry = std::size_t{1} << 32;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("load_checkpoint: " + what);
+}
+
+// Doubles travel as their bit patterns: the fingerprint comparison and the
+// RNG cache must round-trip exactly, which decimal formatting does not
+// guarantee portably.
+std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void write_gen(std::ostream& os, const gen::UeGenSnapshot& g) {
+  os << "gen " << g.ue_id << ' ' << static_cast<int>(index_of(g.device))
+     << ' ' << g.modeled_ue;
+  for (std::uint64_t s : g.rng.engine) os << ' ' << s;
+  os << ' ' << g.rng.cached_bits << ' ' << (g.rng.has_cached ? 1 : 0);
+  os << ' ' << static_cast<int>(index_of(g.top_state)) << ' '
+     << static_cast<int>(index_of(g.sub_state));
+  os << ' ' << (g.started ? 1 : 0) << ' ' << (g.done ? 1 : 0) << ' '
+     << (g.pending_first ? 1 : 0);
+  os << ' ' << g.first_event.t_ms << ' ' << g.first_event.ue_id << ' '
+     << static_cast<int>(index_of(g.first_event.type));
+  os << ' ' << g.emitted << ' ' << g.now << ' ' << g.top_deadline << ' '
+     << g.sub_deadline << ' ' << g.top_edge << ' ' << g.sub_edge;
+  for (TimeMs d : g.overlay_deadline) os << ' ' << d;
+  os << '\n';
+}
+
+gen::UeGenSnapshot read_gen(std::istream& is) {
+  std::string tag;
+  if (!(is >> tag) || tag != "gen") fail("expected 'gen' record");
+  gen::UeGenSnapshot g;
+  int device = 0, top = 0, sub = 0, started = 0, done = 0, pending = 0,
+      first_type = 0, has_cached = 0;
+  if (!(is >> g.ue_id >> device >> g.modeled_ue)) fail("bad gen identity");
+  for (std::uint64_t& s : g.rng.engine) {
+    if (!(is >> s)) fail("bad gen rng state");
+  }
+  if (!(is >> g.rng.cached_bits >> has_cached)) fail("bad gen rng cache");
+  if (!(is >> top >> sub >> started >> done >> pending)) {
+    fail("bad gen machine state");
+  }
+  if (!(is >> g.first_event.t_ms >> g.first_event.ue_id >> first_type)) {
+    fail("bad gen first event");
+  }
+  if (!(is >> g.emitted >> g.now >> g.top_deadline >> g.sub_deadline >>
+        g.top_edge >> g.sub_edge)) {
+    fail("bad gen timers");
+  }
+  for (TimeMs& d : g.overlay_deadline) {
+    if (!(is >> d)) fail("bad gen overlay deadline");
+  }
+  if (device < 0 || device >= static_cast<int>(k_num_device_types)) {
+    fail("gen device out of range");
+  }
+  if (top < 0 || top >= static_cast<int>(k_num_top_states) || sub < 0 ||
+      sub >= static_cast<int>(k_num_sub_states) || first_type < 0 ||
+      first_type >= static_cast<int>(k_num_event_types)) {
+    fail("gen state out of range");
+  }
+  g.device = k_all_device_types[static_cast<std::size_t>(device)];
+  g.top_state = k_all_top_states[static_cast<std::size_t>(top)];
+  g.sub_state = k_all_sub_states[static_cast<std::size_t>(sub)];
+  g.first_event.type = k_all_event_types[static_cast<std::size_t>(first_type)];
+  g.rng.has_cached = has_cached != 0;
+  g.started = started != 0;
+  g.done = done != 0;
+  g.pending_first = pending != 0;
+  return g;
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir) {
+  return dir + "/stream.ckpt";
+}
+
+void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
+  CPG_FAILPOINT("checkpoint.save");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  const std::string path = checkpoint_path(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("save_checkpoint: cannot open " + tmp);
+    }
+    os << k_magic << ' ' << k_version << '\n';
+    os << "seed " << ck.seed << '\n';
+    os << "ue_counts";
+    for (std::size_t c : ck.ue_counts) os << ' ' << c;
+    os << '\n';
+    os << "window " << ck.start_hour << ' ' << to_bits(ck.duration_hours)
+       << '\n';
+    os << "layout " << ck.num_shards << ' ' << ck.slice_ms << '\n';
+    os << "resume_slice " << ck.resume_slice << '\n';
+    os << "sink_token " << ck.sink_token.size() << ' ' << ck.sink_token
+       << '\n';
+    os << "shards " << ck.shards.size() << '\n';
+    for (const ShardCheckpoint& sh : ck.shards) {
+      os << "shard " << sh.gens.size() << ' ' << sh.carry.size() << '\n';
+      for (const gen::UeGenSnapshot& g : sh.gens) write_gen(os, g);
+      for (const ControlEvent& e : sh.carry) {
+        os << "carry " << e.t_ms << ' ' << e.ue_id << ' '
+           << static_cast<int>(index_of(e.type)) << '\n';
+      }
+    }
+    os << "end\n";
+    os.flush();
+    if (!os) {
+      throw std::runtime_error("save_checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_checkpoint: rename to " + path +
+                             " failed");
+  }
+}
+
+std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+
+  std::string magic, tag;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != k_magic) fail("bad header");
+  if (version != k_version) fail("unsupported version");
+
+  StreamCheckpoint ck;
+  if (!(is >> tag >> ck.seed) || tag != "seed") fail("bad seed");
+  if (!(is >> tag) || tag != "ue_counts") fail("bad ue_counts");
+  for (std::size_t& c : ck.ue_counts) {
+    if (!(is >> c)) fail("bad ue_counts value");
+  }
+  std::uint64_t duration_bits = 0;
+  if (!(is >> tag >> ck.start_hour >> duration_bits) || tag != "window") {
+    fail("bad window");
+  }
+  ck.duration_hours = from_bits(duration_bits);
+  if (!(is >> tag >> ck.num_shards >> ck.slice_ms) || tag != "layout") {
+    fail("bad layout");
+  }
+  if (!(is >> tag >> ck.resume_slice) || tag != "resume_slice") {
+    fail("bad resume_slice");
+  }
+  std::size_t token_len = 0;
+  if (!(is >> tag >> token_len) || tag != "sink_token") {
+    fail("bad sink_token");
+  }
+  if (token_len > (1u << 20)) fail("sink_token too long");
+  is.get();  // the separating space
+  ck.sink_token.resize(token_len);
+  if (token_len > 0 &&
+      !is.read(ck.sink_token.data(),
+               static_cast<std::streamsize>(token_len))) {
+    fail("truncated sink_token");
+  }
+  std::size_t num_shards = 0;
+  if (!(is >> tag >> num_shards) || tag != "shards") fail("bad shard count");
+  if (num_shards != ck.num_shards || num_shards > k_max_shards) {
+    fail("shard count mismatch");
+  }
+  ck.shards.resize(num_shards);
+  for (ShardCheckpoint& sh : ck.shards) {
+    std::size_t num_gens = 0, num_carry = 0;
+    if (!(is >> tag >> num_gens >> num_carry) || tag != "shard") {
+      fail("bad shard header");
+    }
+    if (num_gens > k_max_gens_per_shard || num_carry > k_max_carry) {
+      fail("shard sizes out of range");
+    }
+    sh.gens.reserve(num_gens);
+    for (std::size_t i = 0; i < num_gens; ++i) {
+      sh.gens.push_back(read_gen(is));
+    }
+    sh.carry.reserve(num_carry);
+    for (std::size_t i = 0; i < num_carry; ++i) {
+      ControlEvent e;
+      int type = 0;
+      if (!(is >> tag >> e.t_ms >> e.ue_id >> type) || tag != "carry") {
+        fail("bad carry event");
+      }
+      if (type < 0 || type >= static_cast<int>(k_num_event_types)) {
+        fail("carry event type out of range");
+      }
+      e.type = k_all_event_types[static_cast<std::size_t>(type)];
+      sh.carry.push_back(e);
+    }
+  }
+  if (!(is >> tag) || tag != "end") fail("missing trailer");
+  return ck;
+}
+
+}  // namespace cpg::stream

@@ -1,0 +1,79 @@
+// Checkpoint/resume for the streaming generation runtime.
+//
+// A StreamCheckpoint captures, at a slice boundary W, everything a future
+// process needs to continue the stream as if it had never died:
+//
+//   * per-shard generator snapshots (gen::UeGenSnapshot — RNG, machine
+//     configuration, armed timers) taken by each shard worker *before*
+//     generating slice W, plus the carry events belonging to slice W;
+//   * the delivered-through watermark: every slice < W has been fully
+//     handed to the sink;
+//   * the sink's own resume token (CheckpointParticipant::checkpoint_save,
+//     e.g. a flushed byte offset for CsvSink), captured on the consumer
+//     thread after slice W-1 was delivered and before slice W is;
+//   * a run fingerprint (seed, population, window, shard count, slice
+//     length) — resuming under a different configuration would desynchronize
+//     the slice-indexed watermarks, so load validation rejects it.
+//
+// Invariants (see DESIGN.md "Failure semantics & recovery"):
+//   1. The file is written with the atomic write-tmp-then-rename pattern; a
+//      crash mid-write leaves the previous checkpoint intact.
+//   2. A checkpoint is written only after its sink token is durable, so
+//      resume never skips events the sink does not actually have.
+//   3. Generator snapshots are exact: an uninterrupted run and a
+//      killed-and-resumed run deliver byte-identical streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "generator/ue_generator.h"
+
+namespace cpg::stream {
+
+// Checkpointing knobs inside StreamOptions. `dir` empty = disabled.
+struct CheckpointOptions {
+  std::string dir;
+  // A checkpoint is taken at every slice index divisible by this (the
+  // snapshot cost is proportional to live UEs, so very small intervals tax
+  // throughput). Must be >= 1.
+  std::uint64_t interval_slices = 16;
+};
+
+// One shard's resumable state at a slice boundary.
+struct ShardCheckpoint {
+  std::vector<gen::UeGenSnapshot> gens;  // live (not done) generators only
+  std::vector<ControlEvent> carry;       // boundary events of the next slice
+};
+
+struct StreamCheckpoint {
+  // --- run fingerprint ---------------------------------------------------
+  std::uint64_t seed = 0;
+  std::array<std::size_t, k_num_device_types> ue_counts{};
+  int start_hour = 0;
+  double duration_hours = 0.0;
+  std::size_t num_shards = 0;
+  TimeMs slice_ms = 0;
+  // --- progress ----------------------------------------------------------
+  std::uint64_t resume_slice = 0;  // first slice not yet delivered
+  std::string sink_token;          // opaque; empty = sink not participating
+  std::vector<ShardCheckpoint> shards;  // size == num_shards
+};
+
+// Path of the (single, latest) checkpoint file inside `dir`.
+std::string checkpoint_path(const std::string& dir);
+
+// Atomically replaces the checkpoint file in `dir` (write `.tmp`, rename).
+// Creates `dir` if missing. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir);
+
+// Loads the checkpoint from `dir`. Returns nullopt when no checkpoint file
+// exists (a resume request then starts from scratch); throws
+// std::runtime_error naming the offending section on a corrupt file.
+std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir);
+
+}  // namespace cpg::stream

@@ -1,24 +1,61 @@
 #include "stream/csv_sink.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "io/csv.h"
 
 namespace cpg::stream {
 
+namespace {
+
+std::string events_tmp(const std::string& prefix) {
+  return prefix + "_events.csv.tmp";
+}
+std::string ues_tmp(const std::string& prefix) {
+  return prefix + "_ues.csv.tmp";
+}
+
+void rename_or_throw(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw std::runtime_error("CsvSink: rename " + from + " -> " + to +
+                             " failed");
+  }
+}
+
+}  // namespace
+
 CsvSink::CsvSink(std::ostream& events_os, std::ostream* ues_os)
     : events_os_(&events_os), ues_os_(ues_os) {}
 
-CsvSink::CsvSink(const std::string& path_prefix) {
-  auto events = std::make_unique<std::ofstream>(path_prefix + "_events.csv");
-  if (!*events) {
-    throw std::runtime_error("CsvSink: cannot open events file");
+CsvSink::CsvSink(const std::string& path_prefix)
+    : path_prefix_(path_prefix) {
+  if (path_prefix_.empty()) {
+    throw std::invalid_argument("CsvSink: empty path prefix");
   }
-  auto ues = std::make_unique<std::ofstream>(path_prefix + "_ues.csv");
+}
+
+CsvSink::~CsvSink() = default;
+
+void CsvSink::open_tmp_files(bool resume) {
+  // Resume re-attaches to the partial files a killed run left behind;
+  // truncating them in the constructor would destroy the very bytes the
+  // checkpoint token vouches for, hence in|out there.
+  const auto mode =
+      resume ? std::ios::in | std::ios::out : std::ios::out | std::ios::trunc;
+  auto events =
+      std::make_unique<std::ofstream>(events_tmp(path_prefix_), mode);
+  if (!*events) {
+    throw std::runtime_error("CsvSink: cannot open " +
+                             events_tmp(path_prefix_));
+  }
+  auto ues = std::make_unique<std::ofstream>(ues_tmp(path_prefix_), mode);
   if (!*ues) {
-    throw std::runtime_error("CsvSink: cannot open ues file");
+    throw std::runtime_error("CsvSink: cannot open " + ues_tmp(path_prefix_));
   }
   events_os_ = events.get();
   ues_os_ = ues.get();
@@ -26,9 +63,7 @@ CsvSink::CsvSink(const std::string& path_prefix) {
   owned_ues_ = std::move(ues);
 }
 
-CsvSink::~CsvSink() = default;
-
-void CsvSink::on_start(const StreamHeader& header) {
+void CsvSink::write_headers(const StreamHeader& header) {
   if (ues_os_ != nullptr) {
     io::write_ues_csv_header(*ues_os_);
     for (std::size_t u = 0; u < header.ue_devices.size(); ++u) {
@@ -39,14 +74,90 @@ void CsvSink::on_start(const StreamHeader& header) {
   io::write_events_csv_header(*events_os_);
 }
 
+void CsvSink::on_start(const StreamHeader& header) {
+  if (!path_prefix_.empty()) open_tmp_files(/*resume=*/false);
+  events_ = 0;
+  write_headers(header);
+}
+
 void CsvSink::on_event(const ControlEvent& e) {
   io::append_event_csv(*events_os_, e);
   ++events_;
 }
 
+void CsvSink::on_events(std::span<const ControlEvent> events) {
+  for (const ControlEvent& e : events) io::append_event_csv(*events_os_, e);
+  events_ += events.size();
+}
+
 void CsvSink::on_finish() {
   events_os_->flush();
   if (ues_os_ != nullptr) ues_os_->flush();
+  if (!*events_os_ || (ues_os_ != nullptr && !*ues_os_)) {
+    throw std::runtime_error("CsvSink: flush failed at finish");
+  }
+  if (path_prefix_.empty()) return;
+  // Close before renaming so the final files are complete when they appear.
+  owned_events_.reset();
+  owned_ues_.reset();
+  events_os_ = nullptr;
+  ues_os_ = nullptr;
+  rename_or_throw(events_tmp(path_prefix_), path_prefix_ + "_events.csv");
+  rename_or_throw(ues_tmp(path_prefix_), path_prefix_ + "_ues.csv");
+}
+
+std::string CsvSink::checkpoint_save() {
+  // Stream-backed sinks cannot truncate at resume; an empty token tells the
+  // runtime to fall back to a plain on_start.
+  if (path_prefix_.empty()) return {};
+  if (events_os_ == nullptr) {
+    throw std::runtime_error("CsvSink: checkpoint_save before on_start");
+  }
+  events_os_->flush();
+  ues_os_->flush();
+  if (!*events_os_ || !*ues_os_) {
+    throw std::runtime_error("CsvSink: flush failed during checkpoint");
+  }
+  const auto ev_off = events_os_->tellp();
+  const auto ue_off = ues_os_->tellp();
+  if (ev_off < 0 || ue_off < 0) {
+    throw std::runtime_error("CsvSink: cannot determine file offsets");
+  }
+  std::ostringstream token;
+  token << "csv " << ev_off << ' ' << ue_off << ' ' << events_;
+  return token.str();
+}
+
+void CsvSink::checkpoint_resume(const std::string& token,
+                                const StreamHeader& header) {
+  if (path_prefix_.empty() || token.empty()) {
+    on_start(header);
+    return;
+  }
+  std::istringstream is(token);
+  std::string tag;
+  std::uint64_t ev_off = 0, ue_off = 0, events = 0;
+  if (!(is >> tag >> ev_off >> ue_off >> events) || tag != "csv") {
+    throw std::runtime_error("CsvSink: malformed checkpoint token '" + token +
+                             "'");
+  }
+  // Cut the partial files back to the durable watermark; everything past it
+  // will be re-generated and re-delivered.
+  std::error_code ec;
+  std::filesystem::resize_file(events_tmp(path_prefix_), ev_off, ec);
+  if (ec) {
+    throw std::runtime_error("CsvSink: cannot truncate " +
+                             events_tmp(path_prefix_) + ": " + ec.message());
+  }
+  std::filesystem::resize_file(ues_tmp(path_prefix_), ue_off, ec);
+  if (ec) {
+    throw std::runtime_error("CsvSink: cannot truncate " +
+                             ues_tmp(path_prefix_) + ": " + ec.message());
+  }
+  open_tmp_files(/*resume=*/true);
+  events_os_->seekp(0, std::ios::end);
+  ues_os_->seekp(0, std::ios::end);
+  events_ = events;
 }
 
 }  // namespace cpg::stream

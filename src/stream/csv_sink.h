@@ -11,29 +11,52 @@
 
 namespace cpg::stream {
 
-class CsvSink final : public EventSink {
+// The file-backed sink is crash-safe: it writes `<prefix>_events.csv.tmp` /
+// `<prefix>_ues.csv.tmp` (opened lazily at on_start, so a constructed-but-
+// unused sink leaves no files) and renames both to their final names at
+// on_finish. A reader therefore never observes a torn final file, and a
+// killed run leaves only `.tmp` files behind — which checkpoint_resume
+// re-attaches to.
+//
+// As a CheckpointParticipant the file-backed sink saves its flushed byte
+// offsets; resume truncates the `.tmp` files back to those offsets so the
+// re-delivered events continue byte-identically. The stream-backed
+// constructor cannot truncate and does not participate (empty token;
+// a resumed stream gets a plain on_start).
+class CsvSink final : public EventSink, public CheckpointParticipant {
  public:
   // Writes events to `events_os`; when `ues_os` is non-null, the UE registry
   // is written there on stream start. Streams must outlive the sink's use.
   explicit CsvSink(std::ostream& events_os, std::ostream* ues_os = nullptr);
 
-  // Convenience: opens <path_prefix>_events.csv / <path_prefix>_ues.csv,
-  // mirroring io::write_trace. Throws std::runtime_error on open failure.
+  // File-backed: will produce <path_prefix>_events.csv and
+  // <path_prefix>_ues.csv, mirroring io::write_trace. Files open at
+  // on_start (std::runtime_error on failure), land under their final names
+  // at on_finish.
   explicit CsvSink(const std::string& path_prefix);
 
   ~CsvSink() override;
 
   void on_start(const StreamHeader& header) override;
   void on_event(const ControlEvent& e) override;
+  void on_events(std::span<const ControlEvent> events) override;
   void on_finish() override;
+
+  std::string checkpoint_save() override;
+  void checkpoint_resume(const std::string& token,
+                         const StreamHeader& header) override;
 
   std::uint64_t events_written() const noexcept { return events_; }
 
  private:
+  void open_tmp_files(bool resume);
+  void write_headers(const StreamHeader& header);
+
+  std::string path_prefix_;  // empty for the stream-backed variant
   std::unique_ptr<std::ostream> owned_events_;
   std::unique_ptr<std::ostream> owned_ues_;
-  std::ostream* events_os_;
-  std::ostream* ues_os_;
+  std::ostream* events_os_ = nullptr;
+  std::ostream* ues_os_ = nullptr;
   std::uint64_t events_ = 0;
 };
 

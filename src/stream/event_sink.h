@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/trace.h"
@@ -38,6 +40,31 @@ class EventSink {
     for (const ControlEvent& e : events) on_event(e);
   }
   virtual void on_finish() {}
+};
+
+// Optional side interface for sinks that can participate in
+// checkpoint/resume (stream/checkpoint.h). The runtime discovers it via
+// dynamic_cast; sinks that do not implement it still work — a resumed
+// stream then calls on_start() and re-delivers from the checkpointed slice
+// watermark, which is fine for stateless consumers (counting, live ingest)
+// but cannot give byte-identical files.
+class CheckpointParticipant {
+ public:
+  virtual ~CheckpointParticipant() = default;
+
+  // Called on the delivery thread between two slices (delivery quiescent):
+  // make everything delivered so far durable and return an opaque resume
+  // token (e.g. a flushed byte offset). The token is stored inside the
+  // checkpoint file.
+  virtual std::string checkpoint_save() = 0;
+
+  // Called *instead of* on_start() when a stream resumes from a
+  // checkpoint: re-attach to the partially delivered output and discard
+  // anything beyond `token` (events after the token were re-generated and
+  // will be delivered again). Throws if the token no longer matches the
+  // on-disk state.
+  virtual void checkpoint_resume(const std::string& token,
+                                 const StreamHeader& header) = 0;
 };
 
 // Adapts a callable; useful for ad-hoc consumers and tests.
@@ -106,7 +133,11 @@ class NullSink final : public EventSink {
 };
 
 // Broadcasts the stream to several sinks in order (e.g. CSV + live core).
-class FanoutSink final : public EventSink {
+// Participates in checkpointing on behalf of its children: the fanout token
+// concatenates the child tokens (length-prefixed); children that are not
+// CheckpointParticipants contribute an empty token and get a plain
+// on_start() at resume.
+class FanoutSink final : public EventSink, public CheckpointParticipant {
  public:
   explicit FanoutSink(std::vector<EventSink*> sinks)
       : sinks_(std::move(sinks)) {}
@@ -122,6 +153,44 @@ class FanoutSink final : public EventSink {
   }
   void on_finish() override {
     for (EventSink* s : sinks_) s->on_finish();
+  }
+
+  std::string checkpoint_save() override {
+    std::string token;
+    for (EventSink* s : sinks_) {
+      std::string child;
+      if (auto* p = dynamic_cast<CheckpointParticipant*>(s)) {
+        child = p->checkpoint_save();
+      }
+      token += std::to_string(child.size());
+      token += ':';
+      token += child;
+    }
+    return token;
+  }
+
+  void checkpoint_resume(const std::string& token,
+                         const StreamHeader& header) override {
+    std::size_t pos = 0;
+    for (EventSink* s : sinks_) {
+      const auto colon = token.find(':', pos);
+      if (colon == std::string::npos) {
+        throw std::runtime_error(
+            "FanoutSink: checkpoint token does not match sink list");
+      }
+      const std::size_t len =
+          static_cast<std::size_t>(std::stoull(token.substr(pos, colon - pos)));
+      if (colon + 1 + len > token.size()) {
+        throw std::runtime_error("FanoutSink: truncated checkpoint token");
+      }
+      const std::string child = token.substr(colon + 1, len);
+      pos = colon + 1 + len;
+      if (auto* p = dynamic_cast<CheckpointParticipant*>(s)) {
+        p->checkpoint_resume(child, header);
+      } else {
+        s->on_start(header);
+      }
+    }
   }
 
  private:

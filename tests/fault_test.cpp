@@ -1,0 +1,158 @@
+// Tests for the deterministic failpoint library (src/fault/): disarmed
+// sites are inert, armed sites throw per spec (action, probability, skip,
+// fire cap), schedules are reproducible from the seed, and the
+// CPG_FAILPOINTS spec/env parser accepts the documented syntax and rejects
+// everything else.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/failpoint.h"
+
+namespace cpg::fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_all(); }
+};
+
+FailpointSpec spec(Action a, double prob = 1.0, std::uint64_t seed = 0,
+                   std::uint64_t skip = 0, std::uint64_t max_fires = 0) {
+  FailpointSpec s;
+  s.action = a;
+  s.probability = prob;
+  s.seed = seed;
+  s.skip = skip;
+  s.max_fires = max_fires;
+  return s;
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsInert) {
+  for (int i = 0; i < 100; ++i) {
+    CPG_FAILPOINT("test.disarmed");
+  }
+  EXPECT_FALSE(failpoint("test.disarmed").armed());
+  EXPECT_EQ(failpoint("test.disarmed").fires(), 0u);
+}
+
+TEST_F(FailpointTest, RegistryReturnsSameInstanceByName) {
+  Failpoint& a = failpoint("test.registry");
+  Failpoint& b = failpoint("test.registry");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsRetryableFault) {
+  arm("test.error", spec(Action::error));
+  try {
+    CPG_FAILPOINT("test.error");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& f) {
+    EXPECT_TRUE(f.retryable());
+    EXPECT_NE(std::string(f.what()).find("test.error"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, FatalActionThrowsNonRetryableFault) {
+  arm("test.fatal", spec(Action::fatal));
+  try {
+    CPG_FAILPOINT("test.fatal");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& f) {
+    EXPECT_FALSE(f.retryable());
+  }
+}
+
+TEST_F(FailpointTest, SkipThenFireCapThenPass) {
+  arm("test.sched", spec(Action::error, 1.0, 0, /*skip=*/3, /*max_fires=*/2));
+  Failpoint& fp = failpoint("test.sched");
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      fp.evaluate();
+    } catch (const InjectedFault&) {
+      ++fired;
+      // Fires exactly at the 4th and 5th eligible hits.
+      EXPECT_TRUE(i == 3 || i == 4) << "fired at hit " << i;
+    }
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(fp.fires(), 2u);
+  EXPECT_EQ(fp.hits(), 10u);
+}
+
+std::vector<bool> fire_pattern(std::uint64_t seed, int n) {
+  arm("test.prob", spec(Action::error, 0.4, seed));
+  std::vector<bool> pattern;
+  for (int i = 0; i < n; ++i) {
+    try {
+      failpoint("test.prob").evaluate();
+      pattern.push_back(false);
+    } catch (const InjectedFault&) {
+      pattern.push_back(true);
+    }
+  }
+  return pattern;
+}
+
+TEST_F(FailpointTest, ProbabilisticScheduleIsReproducibleFromSeed) {
+  const auto a = fire_pattern(1234, 200);
+  const auto b = fire_pattern(1234, 200);
+  EXPECT_EQ(a, b);
+  // Some fires, some passes — p=0.4 over 200 draws.
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+  // A different seed gives a different schedule.
+  EXPECT_NE(fire_pattern(77, 200), a);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  arm("test.disarm", spec(Action::error));
+  EXPECT_THROW(failpoint("test.disarm").evaluate(), InjectedFault);
+  disarm("test.disarm");
+  EXPECT_NO_THROW(failpoint("test.disarm").evaluate());
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesDocumentedSyntax) {
+  EXPECT_EQ(arm_from_spec("a.one=error;a.two=fatal(1,7,5,1);a.three=off"),
+            2u);  // `off` disarms, does not count as armed
+  EXPECT_TRUE(failpoint("a.one").armed());
+  EXPECT_TRUE(failpoint("a.two").armed());
+  EXPECT_FALSE(failpoint("a.three").armed());
+  EXPECT_THROW(failpoint("a.one").evaluate(), InjectedFault);
+  // a.two: skip 5, then exactly one fatal fire.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(failpoint("a.two").evaluate());
+  }
+  EXPECT_THROW(failpoint("a.two").evaluate(), InjectedFault);
+  EXPECT_NO_THROW(failpoint("a.two").evaluate());
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsBadEntries) {
+  EXPECT_THROW(arm_from_spec("noequals"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("x=unknown_action"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("x=error(notanumber)"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("=error"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsVariable) {
+  ::setenv("CPG_FAILPOINTS", "env.point=error", 1);
+  EXPECT_EQ(arm_from_env(), 1u);
+  EXPECT_TRUE(failpoint("env.point").armed());
+  ::unsetenv("CPG_FAILPOINTS");
+  EXPECT_EQ(arm_from_env(), 0u);
+}
+
+TEST_F(FailpointTest, RearmingResetsCountersAndSchedule) {
+  arm("test.rearm", spec(Action::error, 1.0, 0, 0, /*max_fires=*/1));
+  EXPECT_THROW(failpoint("test.rearm").evaluate(), InjectedFault);
+  EXPECT_NO_THROW(failpoint("test.rearm").evaluate());  // cap reached
+  arm("test.rearm", spec(Action::error, 1.0, 0, 0, 1));
+  EXPECT_THROW(failpoint("test.rearm").evaluate(), InjectedFault);
+}
+
+}  // namespace
+}  // namespace cpg::fault

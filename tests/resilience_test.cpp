@@ -1,0 +1,620 @@
+// Tests for the fault-tolerant streaming layer: ResilientSink retry/backoff
+// math under a fake clock (exact delays, cap, jitter bounds, deadline
+// abort), degradation policies (fail / drop / spill + recover_spill), and
+// checkpoint/resume — including the central guarantee that a run killed at
+// a failpoint-chosen slice and resumed from its checkpoint delivers a
+// byte-identical stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/time_utils.h"
+#include "fault/failpoint.h"
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "stream/checkpoint.h"
+#include "stream/csv_sink.h"
+#include "stream/event_sink.h"
+#include "stream/resilient_sink.h"
+#include "stream/stream_generator.h"
+#include "test_util.h"
+
+namespace cpg::stream {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// ResilientSink: retry / backoff / degradation
+// ---------------------------------------------------------------------------
+
+// Inner sink that fails the first `fail_first` deliveries with the given
+// exception, then accepts everything.
+class FlakySink final : public EventSink {
+ public:
+  FlakySink(int fail_first, bool retryable)
+      : fail_first_(fail_first), retryable_(retryable) {}
+
+  void on_event(const ControlEvent& e) override {
+    maybe_throw();
+    events.push_back(e);
+  }
+  void on_events(std::span<const ControlEvent> es) override {
+    maybe_throw();
+    events.insert(events.end(), es.begin(), es.end());
+  }
+
+  int attempts = 0;
+  std::vector<ControlEvent> events;
+
+ private:
+  void maybe_throw() {
+    ++attempts;
+    if (attempts <= fail_first_) {
+      if (retryable_) throw fault::InjectedFault("flaky", true);
+      throw SinkError("permanent", FailureClass::fatal);
+    }
+  }
+
+  int fail_first_;
+  bool retryable_;
+};
+
+ControlEvent make_event(TimeMs t, UeId u, EventType type) {
+  ControlEvent e;
+  e.t_ms = t;
+  e.ue_id = u;
+  e.type = type;
+  return e;
+}
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy rp;
+  rp.max_attempts = 5;
+  rp.initial_backoff = milliseconds(10);
+  rp.backoff_multiplier = 2.0;
+  rp.max_backoff = milliseconds(2000);
+  rp.jitter = 0.0;
+  rp.deadline = milliseconds(60'000);
+  return rp;
+}
+
+TEST(ResilientSink, RetriesWithExponentialBackoffThenSucceeds) {
+  FlakySink inner(/*fail_first=*/3, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  ResilientSink sink(inner, opts, &clock);
+
+  sink.on_event(make_event(1, 0, EventType::srv_req));
+  ASSERT_EQ(inner.events.size(), 1u);
+  EXPECT_EQ(inner.attempts, 4);
+  // Deterministic delays with jitter off: 10, 20, 40 ms.
+  const std::vector<milliseconds> want{milliseconds(10), milliseconds(20),
+                                       milliseconds(40)};
+  EXPECT_EQ(clock.sleeps(), want);
+  EXPECT_EQ(sink.stats().retries, 3u);
+  EXPECT_EQ(sink.stats().backoff_ms, 70u);
+  EXPECT_EQ(sink.stats().delivered_events, 1u);
+}
+
+TEST(ResilientSink, BackoffIsCappedAtMaxBackoff) {
+  FlakySink inner(/*fail_first=*/6, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  opts.retry.max_attempts = 8;
+  opts.retry.max_backoff = milliseconds(50);
+  ResilientSink sink(inner, opts, &clock);
+
+  sink.on_event(make_event(1, 0, EventType::srv_req));
+  // 10, 20, 40 then clamped to 50.
+  const std::vector<milliseconds> want{milliseconds(10), milliseconds(20),
+                                       milliseconds(40), milliseconds(50),
+                                       milliseconds(50), milliseconds(50)};
+  EXPECT_EQ(clock.sleeps(), want);
+}
+
+TEST(ResilientSink, JitterStaysWithinConfiguredBounds) {
+  FlakySink inner(/*fail_first=*/4, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  opts.retry.jitter = 0.2;
+  opts.retry.jitter_seed = 99;
+  ResilientSink sink(inner, opts, &clock);
+
+  sink.on_event(make_event(1, 0, EventType::srv_req));
+  ASSERT_EQ(clock.sleeps().size(), 4u);
+  const double base[] = {10.0, 20.0, 40.0, 80.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double d = static_cast<double>(clock.sleeps()[i].count());
+    EXPECT_GE(d, 0.8 * base[i] - 1.0) << "delay " << i;
+    EXPECT_LE(d, 1.2 * base[i] + 1.0) << "delay " << i;
+  }
+}
+
+TEST(ResilientSink, JitterScheduleIsReproducibleFromSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FlakySink inner(4, true);
+    FakeRetryClock clock;
+    ResilientSinkOptions opts;
+    opts.retry = no_jitter_policy();
+    opts.retry.jitter = 0.3;
+    opts.retry.jitter_seed = seed;
+    ResilientSink sink(inner, opts, &clock);
+    sink.on_event(make_event(1, 0, EventType::srv_req));
+    return clock.sleeps();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(ResilientSink, DeadlineAbortsBeforeMaxAttempts) {
+  FlakySink inner(/*fail_first=*/100, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  opts.retry.max_attempts = 100;
+  // Budget admits 10 + 20 + 40 = 70 ms of backoff; the next delay (80 ms)
+  // would overrun 100 ms, so the delivery gives up after 4 attempts.
+  opts.retry.deadline = milliseconds(100);
+  ResilientSink sink(inner, opts, &clock);
+
+  EXPECT_THROW(sink.on_event(make_event(1, 0, EventType::srv_req)),
+               fault::InjectedFault);
+  EXPECT_EQ(inner.attempts, 4);
+  EXPECT_EQ(sink.stats().exhausted_deliveries, 1u);
+}
+
+TEST(ResilientSink, FatalFailureIsNotRetried) {
+  FlakySink inner(/*fail_first=*/1, /*retryable=*/false);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  ResilientSink sink(inner, opts, &clock);
+
+  EXPECT_THROW(sink.on_event(make_event(1, 0, EventType::srv_req)),
+               SinkError);
+  EXPECT_EQ(inner.attempts, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(ResilientSink, DropPolicyCountsAndContinues) {
+  FlakySink inner(/*fail_first=*/1000, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.policy = SinkPolicy::drop;
+  opts.retry = no_jitter_policy();
+  opts.retry.max_attempts = 2;
+  ResilientSink sink(inner, opts, &clock);
+
+  const std::vector<ControlEvent> batch{
+      make_event(1, 0, EventType::srv_req),
+      make_event(2, 1, EventType::dtch)};
+  EXPECT_NO_THROW(sink.on_events(batch));
+  EXPECT_EQ(sink.stats().dropped_events, 2u);
+  EXPECT_EQ(sink.stats().delivered_events, 0u);
+}
+
+TEST(ResilientSink, SpillPolicyWritesRecoverableDeadLetterFile) {
+  const std::string spill_path =
+      ::testing::TempDir() + "/cpg_resilience_spill.csv";
+  std::remove(spill_path.c_str());
+
+  FlakySink inner(/*fail_first=*/1000, /*retryable=*/true);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.policy = SinkPolicy::spill;
+  opts.spill_path = spill_path;
+  opts.retry = no_jitter_policy();
+  opts.retry.max_attempts = 2;
+  ResilientSink sink(inner, opts, &clock);
+
+  const std::vector<ControlEvent> batch{
+      make_event(10, 3, EventType::srv_req),
+      make_event(20, 4, EventType::ho)};
+  EXPECT_NO_THROW(sink.on_events(batch));
+  sink.on_event(make_event(30, 5, EventType::s1_conn_rel));
+  EXPECT_EQ(sink.stats().spilled_events, 3u);
+
+  // The spill file leads with its magic line and is fully re-deliverable.
+  std::ifstream is(spill_path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(is, first_line));
+  EXPECT_EQ(first_line, "cpg-spill 1");
+
+  std::vector<ControlEvent> recovered;
+  CallbackSink collect([&](const ControlEvent& e) { recovered.push_back(e); });
+  EXPECT_EQ(recover_spill(spill_path, collect), 3u);
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_TRUE(std::equal(batch.begin(), batch.end(), recovered.begin()));
+  EXPECT_EQ(recovered[2].ue_id, 5u);
+  std::remove(spill_path.c_str());
+}
+
+TEST(ResilientSink, RecoverSpillRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/cpg_bad_spill.csv";
+  {
+    std::ofstream os(path);
+    os << "cpg-spill 1\n123,4,NOT_A_TYPE\n";
+  }
+  NullSink sink;
+  EXPECT_THROW(recover_spill(path, sink), std::runtime_error);
+  {
+    std::ofstream os(path);
+    os << "something else\n";
+  }
+  EXPECT_THROW(recover_spill(path, sink), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSink, SpillPolicyRequiresPath) {
+  FlakySink inner(0, true);
+  ResilientSinkOptions opts;
+  opts.policy = SinkPolicy::spill;
+  EXPECT_THROW(ResilientSink(inner, opts), std::invalid_argument);
+}
+
+TEST(Classify, MapsExceptionTypesToFailureClasses) {
+  EXPECT_EQ(classify_failure(fault::InjectedFault("x", true)),
+            FailureClass::retryable);
+  EXPECT_EQ(classify_failure(fault::InjectedFault("x", false)),
+            FailureClass::fatal);
+  EXPECT_EQ(classify_failure(SinkError("x", FailureClass::retryable)),
+            FailureClass::retryable);
+  EXPECT_EQ(classify_failure(std::system_error(
+                std::make_error_code(std::errc::io_error))),
+            FailureClass::retryable);
+  EXPECT_EQ(classify_failure(std::runtime_error("unknown")),
+            FailureClass::fatal);
+  EXPECT_EQ(classify_failure(std::logic_error("bug")), FailureClass::fatal);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file round trip
+// ---------------------------------------------------------------------------
+
+class CheckpointDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/cpg_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    fault::disarm_all();
+  }
+  std::string dir_;
+};
+
+TEST_F(CheckpointDir, SaveLoadRoundTrip) {
+  StreamCheckpoint ck;
+  ck.seed = 42;
+  ck.ue_counts = {10, 5, 2};
+  ck.start_hour = 9;
+  ck.duration_hours = 1.5;
+  ck.num_shards = 2;
+  ck.slice_ms = 60'000;
+  ck.resume_slice = 7;
+  ck.sink_token = "csv 1234 56 78";
+  ck.shards.resize(2);
+  gen::UeGenSnapshot g;
+  g.ue_id = 3;
+  g.device = DeviceType::tablet;
+  g.modeled_ue = 1;
+  g.rng.engine = {1, 2, 3, 4};
+  g.rng.has_cached = true;
+  g.rng.cached_bits = 0xdeadbeefULL;
+  g.started = true;
+  g.now = 123456;
+  g.top_deadline = 234567;
+  g.top_edge = 2;
+  g.overlay_deadline[0] = 99;
+  ck.shards[0].gens.push_back(g);
+  ck.shards[1].carry.push_back(make_event(777, 3, EventType::tau));
+
+  save_checkpoint(ck, dir_);
+  const auto loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seed, 42u);
+  EXPECT_EQ(loaded->ue_counts, ck.ue_counts);
+  EXPECT_EQ(loaded->start_hour, 9);
+  EXPECT_DOUBLE_EQ(loaded->duration_hours, 1.5);
+  EXPECT_EQ(loaded->resume_slice, 7u);
+  EXPECT_EQ(loaded->sink_token, ck.sink_token);
+  ASSERT_EQ(loaded->shards.size(), 2u);
+  ASSERT_EQ(loaded->shards[0].gens.size(), 1u);
+  const gen::UeGenSnapshot& lg = loaded->shards[0].gens[0];
+  EXPECT_EQ(lg.ue_id, 3u);
+  EXPECT_EQ(lg.device, DeviceType::tablet);
+  EXPECT_EQ(lg.rng.engine, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  EXPECT_TRUE(lg.rng.has_cached);
+  EXPECT_EQ(lg.rng.cached_bits, 0xdeadbeefULL);
+  EXPECT_TRUE(lg.started);
+  EXPECT_EQ(lg.now, 123456);
+  EXPECT_EQ(lg.top_edge, 2);
+  EXPECT_EQ(lg.overlay_deadline[0], 99);
+  ASSERT_EQ(loaded->shards[1].carry.size(), 1u);
+  EXPECT_EQ(loaded->shards[1].carry[0], make_event(777, 3, EventType::tau));
+}
+
+TEST_F(CheckpointDir, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_checkpoint(dir_).has_value());
+}
+
+TEST_F(CheckpointDir, CorruptFileThrowsWithDiagnostic) {
+  StreamCheckpoint ck;
+  ck.num_shards = 1;
+  ck.shards.resize(1);
+  save_checkpoint(ck, dir_);
+  // Truncate the file mid-way.
+  const std::string path = checkpoint_path(dir_);
+  std::string content;
+  {
+    std::ifstream is(path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    content = buf.str();
+  }
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << content.substr(0, content.size() / 2);
+  }
+  EXPECT_THROW(load_checkpoint(dir_), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume byte identity
+// ---------------------------------------------------------------------------
+
+const model::ModelSet& ours_model() {
+  static const model::ModelSet set = [] {
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 30;
+    return model::fit_model(testutil::small_ground_truth(200, 48.0, 11),
+                            opts);
+  }();
+  return set;
+}
+
+gen::GenerationRequest small_request() {
+  gen::GenerationRequest req;
+  req.ue_counts = {60, 25, 15};
+  req.start_hour = 10;
+  req.duration_hours = 1.0;
+  req.seed = 424;
+  req.num_threads = 2;
+  return req;
+}
+
+StreamOptions checkpointed_options(const std::string& dir) {
+  StreamOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 2;
+  opts.slice_ms = 5 * k_ms_per_minute;  // 12 slices over 1 h
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.interval_slices = 3;
+  return opts;
+}
+
+// Emulates a durable sink across "process death": the event store outlives
+// the sink (like a file on disk outlives the process). checkpoint_save
+// makes the store durable and returns its size; checkpoint_resume truncates
+// it back to the token, exactly as CsvSink truncates its .tmp files.
+class DurableStoreSink final : public EventSink, public CheckpointParticipant {
+ public:
+  explicit DurableStoreSink(std::vector<ControlEvent>& store)
+      : store_(store) {}
+
+  void on_start(const StreamHeader&) override { store_.clear(); }
+  void on_event(const ControlEvent& e) override { store_.push_back(e); }
+  void on_events(std::span<const ControlEvent> es) override {
+    store_.insert(store_.end(), es.begin(), es.end());
+  }
+
+  std::string checkpoint_save() override {
+    return std::to_string(store_.size());
+  }
+  void checkpoint_resume(const std::string& token,
+                         const StreamHeader&) override {
+    store_.resize(std::stoull(token));
+  }
+
+ private:
+  std::vector<ControlEvent>& store_;
+};
+
+std::vector<ControlEvent> reference_events() {
+  static const std::vector<ControlEvent> events = [] {
+    std::vector<ControlEvent> store;
+    DurableStoreSink sink(store);
+    StreamOptions opts;
+    opts.num_shards = 4;
+    opts.num_threads = 2;
+    opts.slice_ms = 5 * k_ms_per_minute;
+    stream_generate(ours_model(), small_request(), opts, sink);
+    return store;
+  }();
+  return events;
+}
+
+TEST_F(CheckpointDir, KillAndResumeIsByteIdenticalAcrossKillPoints) {
+  const std::vector<ControlEvent>& want = reference_events();
+  ASSERT_GT(want.size(), 100u);
+
+  // Kill at the failpoint-chosen slice: before the first checkpoint (kill
+  // at slice 1 -> resume is a fresh start), just past a checkpoint (slice
+  // 4 -> resume from 3), at a checkpoint slice (6), and late (10 ->
+  // resume from 9).
+  for (const std::uint64_t kill_slice : {1u, 4u, 6u, 10u}) {
+    std::vector<ControlEvent> store;
+    DurableStoreSink sink(store);
+    std::filesystem::remove_all(dir_);
+
+    fault::FailpointSpec kill;
+    kill.action = fault::Action::fatal;
+    kill.skip = kill_slice;  // fire on the (kill_slice+1)-th delivered slice
+    kill.max_fires = 1;
+    fault::arm("stream.deliver_slice", kill);
+
+    EXPECT_THROW(stream_generate(ours_model(), small_request(),
+                                 checkpointed_options(dir_), sink),
+                 fault::InjectedFault)
+        << "kill_slice=" << kill_slice;
+    fault::disarm_all();
+
+    StreamOptions resume_opts = checkpointed_options(dir_);
+    resume_opts.resume = true;
+    const StreamStats stats =
+        stream_generate(ours_model(), small_request(), resume_opts, sink);
+    if (kill_slice >= 4) {
+      EXPECT_GT(stats.start_slice, 0u) << "kill_slice=" << kill_slice;
+    }
+    ASSERT_EQ(store.size(), want.size()) << "kill_slice=" << kill_slice;
+    EXPECT_TRUE(std::equal(store.begin(), store.end(), want.begin()))
+        << "kill_slice=" << kill_slice;
+    // A completed run retires its checkpoint.
+    EXPECT_FALSE(load_checkpoint(dir_).has_value());
+  }
+}
+
+TEST_F(CheckpointDir, SurvivesRepeatedKills) {
+  const std::vector<ControlEvent>& want = reference_events();
+  std::vector<ControlEvent> store;
+  DurableStoreSink sink(store);
+
+  for (const std::uint64_t skip : {4u, 3u}) {
+    fault::FailpointSpec kill;
+    kill.action = fault::Action::fatal;
+    kill.skip = skip;
+    kill.max_fires = 1;
+    fault::arm("stream.deliver_slice", kill);
+    StreamOptions opts = checkpointed_options(dir_);
+    opts.resume = true;  // harmless on the first run (no checkpoint yet)
+    EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, sink),
+                 fault::InjectedFault);
+    fault::disarm_all();
+  }
+  StreamOptions opts = checkpointed_options(dir_);
+  opts.resume = true;
+  stream_generate(ours_model(), small_request(), opts, sink);
+  ASSERT_EQ(store.size(), want.size());
+  EXPECT_TRUE(std::equal(store.begin(), store.end(), want.begin()));
+}
+
+TEST_F(CheckpointDir, ResumeRejectsMismatchedFingerprint) {
+  std::vector<ControlEvent> store;
+  DurableStoreSink sink(store);
+  fault::FailpointSpec kill;
+  kill.action = fault::Action::fatal;
+  kill.skip = 5;
+  kill.max_fires = 1;
+  fault::arm("stream.deliver_slice", kill);
+  EXPECT_THROW(stream_generate(ours_model(), small_request(),
+                               checkpointed_options(dir_), sink),
+               fault::InjectedFault);
+  fault::disarm_all();
+
+  gen::GenerationRequest other = small_request();
+  other.seed = 425;
+  StreamOptions resume_opts = checkpointed_options(dir_);
+  resume_opts.resume = true;
+  try {
+    stream_generate(ours_model(), other, resume_opts, sink);
+    FAIL() << "expected fingerprint mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointDir, WorkerFailpointUnwindsCleanly) {
+  // A fault in a shard worker must shut the pipeline down and surface the
+  // fault — no deadlock, no silent truncation.
+  std::vector<ControlEvent> store;
+  DurableStoreSink sink(store);
+  fault::FailpointSpec kill;
+  kill.action = fault::Action::fatal;
+  kill.skip = 3;
+  kill.max_fires = 1;
+  fault::arm("stream.shard_slice", kill);
+  EXPECT_THROW(stream_generate(ours_model(), small_request(),
+                               checkpointed_options(dir_), sink),
+               fault::InjectedFault);
+}
+
+TEST_F(CheckpointDir, CsvSinkKillAndResumeProducesIdenticalFiles) {
+  const std::string ref_prefix = dir_ + "/ref";
+  const std::string run_prefix = dir_ + "/run";
+  std::filesystem::create_directories(dir_);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+  };
+
+  {
+    CsvSink ref(ref_prefix);
+    StreamOptions opts = checkpointed_options(dir_ + "/ck_ref");
+    opts.checkpoint.dir.clear();  // plain run
+    stream_generate(ours_model(), small_request(), opts, ref);
+  }
+  ASSERT_TRUE(std::filesystem::exists(ref_prefix + "_events.csv"));
+  // The tmp staging files were renamed away.
+  EXPECT_FALSE(std::filesystem::exists(ref_prefix + "_events.csv.tmp"));
+
+  {
+    CsvSink run(run_prefix);
+    fault::FailpointSpec kill;
+    kill.action = fault::Action::fatal;
+    kill.skip = 7;
+    kill.max_fires = 1;
+    fault::arm("stream.deliver_slice", kill);
+    EXPECT_THROW(stream_generate(ours_model(), small_request(),
+                                 checkpointed_options(dir_ + "/ck"), run),
+                 fault::InjectedFault);
+    fault::disarm_all();
+  }
+  // The killed run left only staging files.
+  EXPECT_TRUE(std::filesystem::exists(run_prefix + "_events.csv.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(run_prefix + "_events.csv"));
+
+  {
+    CsvSink run(run_prefix);
+    StreamOptions opts = checkpointed_options(dir_ + "/ck");
+    opts.resume = true;
+    const StreamStats stats =
+        stream_generate(ours_model(), small_request(), opts, run);
+    EXPECT_EQ(stats.start_slice, 6u);
+  }
+  EXPECT_EQ(read_file(run_prefix + "_events.csv"),
+            read_file(ref_prefix + "_events.csv"));
+  EXPECT_EQ(read_file(run_prefix + "_ues.csv"),
+            read_file(ref_prefix + "_ues.csv"));
+}
+
+TEST_F(CheckpointDir, ResumeWithoutCheckpointStartsFresh) {
+  std::vector<ControlEvent> store;
+  DurableStoreSink sink(store);
+  StreamOptions opts = checkpointed_options(dir_);
+  opts.resume = true;  // no checkpoint file exists
+  const StreamStats stats =
+      stream_generate(ours_model(), small_request(), opts, sink);
+  EXPECT_EQ(stats.start_slice, 0u);
+  EXPECT_EQ(store.size(), reference_events().size());
+}
+
+}  // namespace
+}  // namespace cpg::stream

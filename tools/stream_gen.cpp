@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/failpoint.h"
 #include "io/model_io.h"
 #include "io/table.h"
 #include "model/fit.h"
@@ -28,6 +29,7 @@
 #include "obs/reporter.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
+#include "stream/resilient_sink.h"
 #include "stream/stream_generator.h"
 #include "synthetic/workload.h"
 
@@ -51,6 +53,15 @@ constexpr const char* k_usage = R"(usage: stream_gen [options]
   --accel <x>               trace seconds per wall second (accel mode, > 0)
   --out <prefix>            write <prefix>_{events,ues}.csv incrementally
   --mcn                     feed the stream into the live EPC core simulator
+  --checkpoint-dir <dir>    periodically checkpoint stream progress to <dir>
+  --checkpoint-interval <k> slices between checkpoints (default 16)
+  --resume                  continue from the checkpoint in --checkpoint-dir
+                            (byte-identical output; fresh start if absent)
+  --sink-policy <p>         supervise the sink with retry/backoff; on retry
+                            exhaustion: fail | drop | spill (default: no
+                            supervision). Failpoints arm via CPG_FAILPOINTS.
+  --spill-file <path>       dead-letter file for --sink-policy spill
+                            (default <out>_spill.csv)
   --metrics-out <path>      export runtime metrics to <path>; format is JSON
                             when the path ends in .json, Prometheus text
                             exposition otherwise
@@ -68,12 +79,13 @@ const std::set<std::string>& value_flags() {
       "model",      "phones",  "cars",        "tablets",
       "start-hour", "hours",   "seed",        "shards",
       "threads",    "slice-min", "queue-events", "clock",
-      "accel",      "out",     "metrics-out", "metrics-interval-s"};
+      "accel",      "out",     "metrics-out", "metrics-interval-s",
+      "checkpoint-dir", "checkpoint-interval", "sink-policy", "spill-file"};
   return flags;
 }
 
 const std::set<std::string>& switch_flags() {
-  static const std::set<std::string> flags{"mcn", "help"};
+  static const std::set<std::string> flags{"mcn", "resume", "help"};
   return flags;
 }
 
@@ -210,6 +222,53 @@ int run(int argc, char** argv) {
     throw UsageError("--accel: must be > 0 and finite with --clock accel");
   }
 
+  options.checkpoint.dir =
+      flags.count("checkpoint-dir") ? flags.at("checkpoint-dir") : "";
+  options.checkpoint.interval_slices =
+      flag_u64(flags, "checkpoint-interval", 16);
+  options.resume = flags.count("resume") != 0;
+  if (options.resume && options.checkpoint.dir.empty()) {
+    throw UsageError("--resume requires --checkpoint-dir");
+  }
+  if (options.resume && flags.count("mcn") != 0) {
+    // The live core accumulates queueing state the checkpoint does not
+    // capture; resuming would silently skip its head of the stream.
+    throw UsageError("--resume cannot be combined with --mcn");
+  }
+  if (options.checkpoint.interval_slices == 0) {
+    throw UsageError("--checkpoint-interval: must be >= 1");
+  }
+
+  stream::ResilientSinkOptions resilience;
+  const bool supervise = flags.count("sink-policy") != 0;
+  if (supervise) {
+    const std::string& policy = flags.at("sink-policy");
+    if (policy == "fail") {
+      resilience.policy = stream::SinkPolicy::fail;
+    } else if (policy == "drop") {
+      resilience.policy = stream::SinkPolicy::drop;
+    } else if (policy == "spill") {
+      resilience.policy = stream::SinkPolicy::spill;
+      if (flags.count("spill-file")) {
+        resilience.spill_path = flags.at("spill-file");
+      } else if (flags.count("out")) {
+        resilience.spill_path = flags.at("out") + "_spill.csv";
+      } else {
+        throw UsageError(
+            "--sink-policy spill needs --spill-file (or --out to derive it)");
+      }
+    } else {
+      throw UsageError("--sink-policy must be fail, drop or spill, got \"" +
+                       policy + "\"");
+    }
+  }
+
+  // Deterministic fault injection: CPG_FAILPOINTS arms named sites (see
+  // src/fault/failpoint.h for the syntax).
+  if (const std::size_t armed = fault::arm_from_env(); armed > 0) {
+    std::cerr << "armed " << armed << " failpoint(s) from CPG_FAILPOINTS\n";
+  }
+
   // --metrics-out turns on the whole observability stack: the stream
   // runtime, the per-UE generators, and (with --mcn) the live core all
   // register their instruments in one registry; a background reporter
@@ -257,10 +316,17 @@ int run(int argc, char** argv) {
     sinks.push_back(mcn_sink.get());
   }
   stream::FanoutSink fanout(sinks);
+  std::unique_ptr<stream::ResilientSink> resilient;
+  stream::EventSink* delivery = &fanout;
+  if (supervise) {
+    if (want_metrics) resilience.metrics = &registry;
+    resilient = std::make_unique<stream::ResilientSink>(fanout, resilience);
+    delivery = resilient.get();
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const stream::StreamStats stats =
-      stream::stream_generate(set, request, options, fanout);
+      stream::stream_generate(set, request, options, *delivery);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -273,6 +339,21 @@ int run(int argc, char** argv) {
             << " events/s) | shards=" << stats.num_shards
             << " slices=" << stats.slices
             << " peak_buffered=" << stats.peak_buffered_events << "\n";
+  if (stats.start_slice > 0) {
+    std::cout << "resumed from slice " << stats.start_slice << "\n";
+  }
+  if (stats.checkpoints_written > 0) {
+    std::cout << "wrote " << stats.checkpoints_written << " checkpoint(s) to "
+              << options.checkpoint.dir << "\n";
+  }
+  if (resilient != nullptr) {
+    const stream::ResilientSinkStats& rs = resilient->stats();
+    if (rs.retries + rs.dropped_events + rs.spilled_events > 0) {
+      std::cout << "sink supervision: " << rs.retries << " retries ("
+                << rs.backoff_ms << " ms backoff), " << rs.dropped_events
+                << " dropped, " << rs.spilled_events << " spilled\n";
+    }
+  }
   for (EventType e : k_all_event_types) {
     std::cout << "  " << to_string(e) << ": " << counter.count(e) << "\n";
   }
@@ -313,6 +394,9 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown failure\n";
     return 1;
   }
 }

@@ -1,0 +1,271 @@
+// Scenario engine overhead: churning population vs stationary baseline.
+//
+// Three measurements on the large validation population (380K UEs at paper
+// scale, scaled down by --scale as usual), each a multi-hour streamed run
+// into a counting sink:
+//
+//   1. stationary : the plain stationary stream path (no scenario engine)
+//   2. equivalent : a scenario spec that compiles to the same stationary
+//                   population — must produce the identical event count, and
+//                   its throughput overhead vs (1) must stay within 10%
+//   3. churning   : a flash-crowd + churn + 4G->5G migration scenario over
+//                   the same total population — reports the cost of a
+//                   realistic dynamic workload (different event count by
+//                   construction; joins/leaves/migrations are printed)
+//
+// Each measurement runs in a forked child so runs cannot pollute each
+// other's heap high-water mark (fork resets VmHWM to the child's current
+// RSS). Results land in ./BENCH_scenario.json for machine consumption
+// (scripts/run_benches.sh runs from the repo root).
+#include <malloc.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common.h"
+#include "scenario/scenario.h"
+#include "scenario/spec.h"
+#include "stream/event_sink.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::bench {
+namespace {
+
+// Generation window. Long enough that per-UE generator state, not slice
+// buffering, dominates memory, and that churn windows have room to play out.
+constexpr double k_gen_hours = 4.0;
+constexpr int k_start_hour = 10;
+
+// Per-shard queue bound (events), matching stream_throughput.
+constexpr std::size_t k_queue_events = 8192;
+
+long read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      std::sscanf(line + key_len + 1, " %ld", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  long peak_kb = 0;  // VmHWM at end minus VmRSS at start, in the child
+  bool ok = false;
+};
+
+RunResult run_in_child(const std::function<std::uint64_t()>& body) {
+  RunResult result;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  const pid_t pid = fork();
+  if (pid < 0) return result;
+  if (pid == 0) {
+    close(fds[0]);
+    const long start_kb = read_status_kb("VmRSS");
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = body();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const long peak_kb = read_status_kb("VmHWM") - start_kb;
+    char buf[128];
+    const int n = std::snprintf(buf, sizeof buf, "%llu %.6f %ld\n",
+                                static_cast<unsigned long long>(events),
+                                seconds, peak_kb);
+    if (n > 0) {
+      [[maybe_unused]] const ssize_t w = write(fds[1], buf, std::size_t(n));
+    }
+    _exit(0);
+  }
+  close(fds[1]);
+  char buf[128] = {};
+  std::size_t got = 0;
+  while (got < sizeof buf - 1) {
+    const ssize_t n = read(fds[0], buf + got, sizeof buf - 1 - got);
+    if (n <= 0) break;
+    got += std::size_t(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  unsigned long long events = 0;
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+      std::sscanf(buf, "%llu %lf %ld", &events, &result.seconds,
+                  &result.peak_kb) == 3) {
+    result.events = events;
+    result.ok = true;
+  }
+  return result;
+}
+
+double events_per_sec(const RunResult& r) {
+  return r.seconds > 0 ? double(r.events) / r.seconds : 0.0;
+}
+
+void emit_json(std::ostream& os, const RunResult& r) {
+  os << "{\"events\": " << r.events << ", \"seconds\": " << r.seconds
+     << ", \"events_per_sec\": " << std::uint64_t(events_per_sec(r))
+     << ", \"peak_rss_delta_kb\": " << r.peak_kb << "}";
+}
+
+// A spec whose compiled plan is the stationary population laid out exactly
+// like the plain stream path: device blocks phone, car, tablet, everyone
+// present for the whole window.
+std::string equivalent_spec(const std::array<std::size_t, 3>& mix) {
+  std::ostringstream os;
+  os << "scenario equivalent\nstart-hour " << k_start_hour << "\nduration "
+     << k_gen_hours << "\n";
+  const char* devices[] = {"phone", "car", "tablet"};
+  for (int d = 0; d < 3; ++d) {
+    if (mix[std::size_t(d)] == 0) continue;
+    os << "cohort " << devices[d] << "s\n  device " << devices[d]
+       << "\n  count " << mix[std::size_t(d)] << "\n  join 0\n";
+  }
+  return os.str();
+}
+
+// The same total population, but dynamic: a third of the phones arrive as a
+// flash crowd mid-window and leave again, cars migrate to NSA, tablets to
+// SA, and the crowd phase runs against a degraded core.
+std::string churning_spec(const std::array<std::size_t, 3>& mix) {
+  const std::size_t crowd = mix[0] / 3;
+  const std::size_t base = mix[0] - crowd;
+  std::ostringstream os;
+  os << "scenario churning\nstart-hour " << k_start_hour << "\nduration "
+     << k_gen_hours << "\n"
+     << "phase steady 0 1.5\n"
+     << "phase crowd 1.5 3\n  mcn-scale 2.0\n"
+     << "phase drain 3 " << k_gen_hours << "\n"
+     << "cohort base\n  device phone\n  count " << base << "\n  join 0\n"
+     << "cohort crowd\n  device phone\n  count " << crowd
+     << "\n  join 1.5 2\n  leave 2.5 3\n"
+     << "cohort cars\n  device car\n  count " << mix[1]
+     << "\n  join 0\n  migrate 2 nsa\n"
+     << "cohort tablets\n  device tablet\n  count " << mix[2]
+     << "\n  join 0\n  migrate 1 sa\n";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Scenario engine overhead",
+               "scenario engine (src/scenario/), not a paper table", config);
+
+  model::ModelSet models = [&] {
+    const Trace fit_trace = make_fit_trace(config);
+    return fit_method(fit_trace, model::Method::ours, config);
+  }();  // fit trace freed before any child forks
+  malloc_trim(0);
+
+  const std::size_t total_ues = config.scenario2_ues();
+  const auto mix = device_mix(total_ues);
+
+  gen::GenerationRequest request;
+  request.ue_counts = mix;
+  request.start_hour = k_start_hour;
+  request.duration_hours = k_gen_hours;
+  request.seed = config.seed + 7;
+  request.num_threads = config.threads;
+
+  stream::StreamOptions opts;
+  opts.slice_ms = 10 * k_ms_per_minute;
+  opts.max_buffered_events = k_queue_events;
+  opts.num_threads = config.threads;
+
+  auto run_spec = [&](const std::string& text) {
+    return run_in_child([&] {
+      const scenario::ScenarioSpec spec =
+          scenario::parse_scenario_string(text, "<bench>");
+      scenario::CompileOptions copts;
+      copts.seed = request.seed;
+      copts.ue_options = request.ue_options;
+      const scenario::CompiledScenario sc =
+          scenario::compile(spec, models, copts);
+      stream::CountingSink sink;
+      return stream_generate(sc.plan, opts, sink).events;
+    });
+  };
+
+  const RunResult stationary = run_in_child([&] {
+    stream::CountingSink sink;
+    return stream_generate(models, request, opts, sink).events;
+  });
+  const RunResult equivalent = run_spec(equivalent_spec(mix));
+  const RunResult churning = run_spec(churning_spec(mix));
+  if (!stationary.ok || !equivalent.ok || !churning.ok) {
+    std::fprintf(stderr, "child measurement failed\n");
+    return 1;
+  }
+
+  struct Row {
+    const char* name;
+    const RunResult* r;
+  };
+  const Row rows[] = {{"stationary", &stationary},
+                      {"equivalent", &equivalent},
+                      {"churning", &churning}};
+  std::printf("%-12s %14s %14s %14s\n", "mode", "events", "events/s",
+              "peak RSS (KB)");
+  for (const Row& row : rows) {
+    std::printf("%-12s %14llu %14.0f %14ld\n", row.name,
+                (unsigned long long)row.r->events, events_per_sec(*row.r),
+                row.r->peak_kb);
+  }
+
+  // Overhead of routing the identical workload through the scenario engine.
+  const double overhead =
+      events_per_sec(equivalent) > 0
+          ? events_per_sec(stationary) / events_per_sec(equivalent) - 1.0
+          : 1.0;
+  std::printf("\nscenario-engine overhead on the stationary workload: %.1f%%\n",
+              overhead * 100.0);
+
+  std::ofstream json("BENCH_scenario.json");
+  json << "{\n  \"bench\": \"scenario_throughput\",\n  \"scale\": "
+       << config.scale << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"ues\": " << total_ues << ",\n  \"stationary\": ";
+  emit_json(json, stationary);
+  json << ",\n  \"scenario_stationary\": ";
+  emit_json(json, equivalent);
+  json << ",\n  \"scenario_churning\": ";
+  emit_json(json, churning);
+  json << ",\n  \"stationary_overhead\": " << overhead << "\n}\n";
+  std::cout << "wrote BENCH_scenario.json\n";
+
+  if (stationary.events != equivalent.events) {
+    std::fprintf(stderr,
+                 "event count mismatch: stationary=%llu via-scenario=%llu\n",
+                 (unsigned long long)stationary.events,
+                 (unsigned long long)equivalent.events);
+    return 1;
+  }
+  if (overhead > 0.10) {
+    std::fprintf(stderr, "scenario-engine overhead %.1f%% exceeds 10%%\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}

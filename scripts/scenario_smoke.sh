@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the scenario engine (DESIGN.md "Scenario
+# engine"): a 3-phase spec with a flash crowd, churn and a 4G->5G
+# migration wave, driven through stream_gen.
+#
+#   1. reference : undisturbed scenario run -> golden CSVs
+#   2. determinism: same spec under a different shard/thread/slice
+#                  configuration -> identical CSVs
+#   3. kill+resume: killed mid-flash-crowd with checkpoints armed; a
+#                  resume against an EDITED spec must be rejected (the
+#                  checkpoint pins the scenario fingerprint), then the
+#                  real resume completes -> identical CSVs
+#
+# Usage: scripts/scenario_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GEN="$BUILD_DIR/stream_gen"
+if [[ ! -x "$GEN" ]]; then
+  echo "scenario_smoke: $GEN not found (build first, or pass the build dir)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/smoke.scn" <<'EOF'
+# 3 phases over 3 hours: calm -> rush (flash crowd, degraded core) -> cool.
+scenario smoke
+start-hour 8
+duration 3
+
+phase calm 0 1
+phase rush 1 2
+  accel 50
+  mcn-scale 2.0
+phase cool 2 3
+
+cohort base
+  device phone
+  count 500
+  join 0
+  leave 2.2 2.8
+cohort crowd
+  device phone
+  count 300
+  join 1 1.3
+  leave 1.7 2.0
+cohort cars
+  device car
+  count 200
+  join 0
+  migrate 1.5 nsa
+EOF
+
+ARGS=(--scenario "$WORK/smoke.scn" --seed 7)
+
+echo "== reference run (4 shards, 2 threads, 5-min slices)"
+"$GEN" "${ARGS[@]}" --shards 4 --threads 2 --slice-min 5 --out "$WORK/ref"
+
+echo "== determinism across configs (8 shards, 4 threads, 3-min slices)"
+"$GEN" "${ARGS[@]}" --shards 8 --threads 4 --slice-min 3 --out "$WORK/alt"
+cmp "$WORK/ref_events.csv" "$WORK/alt_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/alt_ues.csv"
+echo "   reconfigured run byte-identical"
+
+# 3 h at 5-min slices = 36 slices; slice 16 lands at 80 min, inside the
+# flash crowd's join window.
+echo "== kill at slice 16, mid-flash-crowd (checkpoints every 5 slices)"
+if CPG_FAILPOINTS='stream.deliver_slice=fatal(1,0,16,1)' \
+    "$GEN" "${ARGS[@]}" --shards 4 --threads 2 --slice-min 5 \
+    --out "$WORK/run" --checkpoint-dir "$WORK/ck" --checkpoint-interval 5
+then
+  echo "scenario_smoke: killed run unexpectedly exited 0" >&2
+  exit 1
+fi
+[[ -f "$WORK/ck/stream.ckpt" ]] || {
+  echo "scenario_smoke: no checkpoint written before the kill" >&2; exit 1; }
+
+echo "== resume with an edited spec must be rejected"
+sed 's/count 300/count 301/' "$WORK/smoke.scn" > "$WORK/edited.scn"
+if "$GEN" --scenario "$WORK/edited.scn" --seed 7 \
+    --shards 4 --threads 2 --slice-min 5 \
+    --out "$WORK/run" --checkpoint-dir "$WORK/ck" --checkpoint-interval 5 \
+    --resume 2> "$WORK/reject.err"
+then
+  echo "scenario_smoke: resume with edited spec unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -qi scenario "$WORK/reject.err" || {
+  echo "scenario_smoke: rejection did not mention the scenario fingerprint:" >&2
+  cat "$WORK/reject.err" >&2
+  exit 1
+}
+echo "   edited-spec resume rejected"
+
+echo "== resume with the original spec"
+"$GEN" "${ARGS[@]}" --shards 4 --threads 2 --slice-min 5 \
+  --out "$WORK/run" --checkpoint-dir "$WORK/ck" --checkpoint-interval 5 \
+  --resume
+cmp "$WORK/ref_events.csv" "$WORK/run_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/run_ues.csv"
+[[ ! -f "$WORK/ck/stream.ckpt" ]] || {
+  echo "scenario_smoke: completed run left its checkpoint behind" >&2; exit 1; }
+echo "   resumed run byte-identical"
+
+echo "scenario_smoke: OK"

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,8 +21,29 @@ GenerationRequest scaled(GenerationRequest req, double factor) {
   return req;
 }
 
+void validate(const GenerationRequest& request) {
+  if (request.start_hour < 0 || request.start_hour > 23) {
+    throw std::invalid_argument(
+        "GenerationRequest: start_hour must be an hour of day in [0, 23], "
+        "got " +
+        std::to_string(request.start_hour));
+  }
+  if (!(request.duration_hours > 0.0) ||
+      !std::isfinite(request.duration_hours)) {
+    throw std::invalid_argument(
+        "GenerationRequest: duration_hours must be > 0 and finite");
+  }
+  std::size_t total = 0;
+  for (std::size_t c : request.ue_counts) total += c;
+  if (total == 0) {
+    throw std::invalid_argument(
+        "GenerationRequest: ue_counts must request at least one UE");
+  }
+}
+
 Trace generate_trace(const model::ModelSet& models,
                      const GenerationRequest& request) {
+  validate(request);
   Trace trace;
   // Register UEs in deterministic device-block order.
   std::vector<DeviceType> device_of;

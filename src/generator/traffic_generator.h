@@ -33,6 +33,13 @@ struct GenerationRequest {
 // (1x) vs Scenario 2 (10x) populations.
 GenerationRequest scaled(GenerationRequest req, double factor);
 
+// Validates the request shape, throwing std::invalid_argument naming the
+// offending field: start_hour must be an hour of day in [0, 23],
+// duration_hours must be > 0 and finite, and ue_counts must ask for at
+// least one UE. generate_trace and the streaming runtime both call this
+// before doing any work.
+void validate(const GenerationRequest& request);
+
 Trace generate_trace(const model::ModelSet& models,
                      const GenerationRequest& request);
 

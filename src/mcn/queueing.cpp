@@ -1,6 +1,7 @@
 #include "mcn/queueing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -147,6 +148,10 @@ struct QueueingEngine::Impl {
       heap;
   std::uint64_t seq = 0;
   std::uint64_t procedures = 0;
+  // Global multiplier on top of the per-station service_scale; applied to
+  // services as they start, so a mid-run change never rewrites completion
+  // times already on the heap.
+  double global_service_scale = 1.0;
   bool has_arrival = false;
   double first_arrival_us = 0.0;
   double last_completion_us = 0.0;
@@ -196,7 +201,8 @@ struct QueueingEngine::Impl {
   void begin_service(Station& st, std::uint8_t station_idx,
                      const QueuedStep& qs, double now_us) {
     const GenericStep& step = procedure(jobs[qs.job].event)[qs.step];
-    const double service = step.service_us * st.service_scale;
+    const double service =
+        step.service_us * st.service_scale * global_service_scale;
     --st.free_workers;
     ++st.messages;
     st.busy_us += service;
@@ -336,6 +342,14 @@ QueueingEngine::~QueueingEngine() = default;
 
 void QueueingEngine::arrive(EventType event, double t_us) {
   impl_->arrive(event, t_us);
+}
+
+void QueueingEngine::set_service_time_scale(double scale) {
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument(
+        "QueueingEngine: service time scale must be > 0 and finite");
+  }
+  impl_->global_service_scale = scale;
 }
 
 QueueingResult QueueingEngine::finish() { return impl_->finish(); }

@@ -90,6 +90,14 @@ class QueueingEngine {
   // Feeds one arrival; t_us must be >= every previously fed arrival.
   void arrive(EventType event, double t_us);
 
+  // Scales the service time of every service started from now on (core
+  // degradation: > 1 slows every NF down). Composes multiplicatively with
+  // the per-station QueueingConfig::service_scale; messages already in
+  // service keep their original completion times. Scenario phase hooks
+  // drive this between arrivals. Throws std::invalid_argument on a
+  // non-positive or non-finite scale.
+  void set_service_time_scale(double scale);
+
   // Drains all outstanding work and returns the summary. Call once.
   QueueingResult finish();
 

@@ -23,6 +23,12 @@ class StreamingEpc {
   // Procedures currently in flight inside the core.
   std::size_t in_flight() const noexcept { return engine_.in_flight(); }
 
+  // Per-phase core degradation: forwards to
+  // QueueingEngine::set_service_time_scale (newly started services only).
+  void set_service_time_scale(double scale) {
+    engine_.set_service_time_scale(scale);
+  }
+
   std::uint64_t events_ingested() const noexcept { return events_; }
 
   // Drains outstanding procedures and returns the summary. Call once, after

@@ -15,9 +15,9 @@
 //      point-in-time view, so exposition formats never touch live atomics.
 //
 // Naming follows the Prometheus conventions used across the repo's metrics
-// namespace: `cpg_stream_*`, `cpg_mcn_*`, `cpg_gen_*` (see DESIGN.md),
-// counters suffixed `_total`, time series carrying their unit (`_us`,
-// `_events`, `_slices`).
+// namespace: `cpg_stream_*`, `cpg_mcn_*`, `cpg_gen_*`, `cpg_scenario_*`
+// (see DESIGN.md), counters suffixed `_total`, time series carrying their
+// unit (`_us`, `_events`, `_slices`).
 #pragma once
 
 #include <atomic>

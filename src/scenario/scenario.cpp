@@ -1,0 +1,134 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "model/nextg.h"
+
+namespace cpg::scenario {
+
+namespace {
+
+// Seed perturbation for the lifecycle streams: join/leave draws must never
+// alias a generator stream Rng(seed, ue + salt<<32), so they use a
+// different seed entirely.
+constexpr std::uint64_t k_lifecycle_seed_salt = 0x6c69666563796c65ull;
+
+TimeMs to_ms(TimeMs t_begin, double hours) {
+  return t_begin +
+         static_cast<TimeMs>(std::llround(hours * double(k_ms_per_hour)));
+}
+
+// Uniform draw in [from, to) ms (exactly `from` for a degenerate window).
+TimeMs draw_in_window(Rng& rng, TimeMs from, TimeMs to) {
+  if (to <= from) return from;
+  return from + static_cast<TimeMs>(
+                    rng.uniform_index(static_cast<std::uint64_t>(to - from)));
+}
+
+}  // namespace
+
+CompiledScenario compile(const ScenarioSpec& spec,
+                         const model::ModelSet& lte,
+                         const CompileOptions& options) {
+  CompiledScenario out;
+  stream::PopulationPlan& plan = out.plan;
+  plan.seed = options.seed;
+  plan.fingerprint = spec.fingerprint;
+  plan.ue_options = options.ue_options;
+  plan.ue_options.compiled = nullptr;  // the executor compiles per model
+  plan.t_begin = spec.start_hour * k_ms_per_hour;
+  plan.t_end = to_ms(plan.t_begin, spec.duration_hours);
+
+  // Model bank, built on demand: lte plus any referenced 5G derivation.
+  std::array<int, 3> bank_index = {-1, -1, -1};
+  auto model_index = [&](ModelKind kind) -> std::uint32_t {
+    int& idx = bank_index[static_cast<std::size_t>(kind)];
+    if (idx < 0) {
+      const model::ModelSet* set = &lte;
+      if (kind != ModelKind::lte) {
+        out.derived_models.push_back(std::make_unique<model::ModelSet>(
+            model::derive_5g(lte, kind == ModelKind::sa
+                                      ? model::sa_defaults()
+                                      : model::nsa_defaults())));
+        set = out.derived_models.back().get();
+      }
+      idx = static_cast<int>(plan.models.size());
+      plan.models.push_back(stream::ModelRef{set, nullptr});
+    }
+    return static_cast<std::uint32_t>(idx);
+  };
+
+  for (const CohortSpec& c : spec.cohorts) {
+    const std::uint32_t model = model_index(c.model);
+    const std::uint32_t wave_model =
+        c.has_migrate ? model_index(c.migrate_model) : model;
+    const TimeMs join_from = to_ms(plan.t_begin, c.join_from_h);
+    const TimeMs join_to = to_ms(plan.t_begin, c.join_to_h);
+    const TimeMs leave_from =
+        c.has_leave ? to_ms(plan.t_begin, c.leave_from_h) : plan.t_end;
+    const TimeMs leave_to =
+        c.has_leave ? to_ms(plan.t_begin, c.leave_to_h) : plan.t_end;
+    const TimeMs wave =
+        c.has_migrate ? to_ms(plan.t_begin, c.migrate_h) : plan.t_end;
+
+    for (std::size_t i = 0; i < c.count; ++i) {
+      const UeId ue = static_cast<UeId>(plan.device_of.size());
+      plan.device_of.push_back(c.device);
+
+      Rng life(options.seed ^ k_lifecycle_seed_salt, ue);
+      const TimeMs t_join = draw_in_window(life, join_from, join_to);
+      const TimeMs t_leave =
+          std::max(draw_in_window(life, leave_from, leave_to), t_join + 1);
+      if (t_join >= plan.t_end) continue;
+
+      const TimeMs t_end = std::min(t_leave, plan.t_end);
+      stream::UeSegment seg;
+      seg.ue = ue;
+      seg.model = model;
+      seg.t_start = t_join;
+      seg.counts_join = t_join > plan.t_begin;
+      // The spec's ordering rules pin the wave strictly inside every UE's
+      // lifetime; the guards below only shield sub-ms rounding collapses
+      // (wave == join or wave == leave), where the UE simply runs one model
+      // throughout.
+      if (c.has_migrate && wave < t_end) {
+        if (wave > t_join) {
+          seg.t_end = wave;
+          plan.segments.push_back(seg);
+          seg = stream::UeSegment{};
+          seg.ue = ue;
+          seg.t_start = wave;
+          seg.rng_salt = 1;
+          seg.counts_migration = true;
+        }
+        seg.model = wave_model;
+      }
+      seg.t_end = t_end;
+      seg.counts_leave = t_end < plan.t_end;
+      plan.segments.push_back(seg);
+    }
+  }
+
+  for (const PhaseSpec& p : spec.phases) {
+    stream::PhaseRow row;
+    row.name = p.name;
+    row.t_start = to_ms(plan.t_begin, p.from_h);
+    row.t_end = to_ms(plan.t_begin, p.to_h);
+    row.accel = p.accel;
+    row.mcn_scale = p.mcn_scale;
+    plan.phases.push_back(std::move(row));
+  }
+
+  std::sort(plan.segments.begin(), plan.segments.end(),
+            [](const stream::UeSegment& a, const stream::UeSegment& b) {
+              return a.t_start != b.t_start ? a.t_start < b.t_start
+                                            : a.ue < b.ue;
+            });
+  return out;
+}
+
+}  // namespace cpg::scenario

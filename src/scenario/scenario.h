@@ -1,0 +1,64 @@
+// Scenario compilation: ScenarioSpec -> executor-ready PopulationPlan.
+//
+// compile() turns the declarative timeline (spec.h) into the deterministic
+// per-UE segment schedule the streaming runtime executes
+// (stream/population.h):
+//
+//   * UE ids are assigned cohort by cohort in spec order, so the id layout
+//     — and with it the UE -> shard mapping — is a pure function of the
+//     spec.
+//   * Each UE's join/leave instants are drawn uniformly inside its cohort's
+//     windows from a dedicated lifecycle RNG stream keyed by (seed, ue) —
+//     independent of the generator streams and of any shard/thread/slice
+//     configuration.
+//   * A migration wave splits each cohort UE into two segments: the
+//     pre-wave span on the old model (salt 0) handing off at the wave time
+//     to a span on the new model (salt 1).
+//   * `nsa`/`sa` cohorts run on 5G ModelSets derived on the spot from the
+//     fitted LTE model (model/nextg.h); CompiledScenario owns those, so it
+//     must outlive any stream_generate call using its plan.
+//
+// The plan carries the spec fingerprint, making scenario runs
+// checkpoint-safe: a resume under an edited spec is rejected by the
+// runtime's fingerprint check.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "generator/ue_generator.h"
+#include "model/semi_markov.h"
+#include "scenario/spec.h"
+#include "stream/population.h"
+
+namespace cpg::scenario {
+
+struct CompileOptions {
+  std::uint64_t seed = 1;  // becomes plan.seed; also keys lifecycle draws
+  // Per-UE generation options (plan.ue_options). The `compiled` pointer is
+  // ignored: the executor compiles each bank model itself.
+  gen::UeGenOptions ue_options;
+};
+
+// A compiled scenario: the plan plus the derived 5G models it points into.
+// Move-only; moving keeps the plan's model pointers valid.
+struct CompiledScenario {
+  stream::PopulationPlan plan;
+  // Owned `nextg` derivations referenced by plan.models (empty when every
+  // cohort runs plain LTE).
+  std::vector<std::unique_ptr<model::ModelSet>> derived_models;
+
+  CompiledScenario() = default;
+  CompiledScenario(CompiledScenario&&) = default;
+  CompiledScenario& operator=(CompiledScenario&&) = default;
+  CompiledScenario(const CompiledScenario&) = delete;
+  CompiledScenario& operator=(const CompiledScenario&) = delete;
+};
+
+// Compiles `spec` against a fitted LTE model. The spec is assumed valid
+// (parse_scenario validates); `lte` must outlive the returned scenario.
+CompiledScenario compile(const ScenarioSpec& spec,
+                         const model::ModelSet& lte,
+                         const CompileOptions& options = {});
+
+}  // namespace cpg::scenario

@@ -1,0 +1,368 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <string_view>
+
+namespace cpg::scenario {
+
+namespace {
+
+// FNV-1a 64-bit over the canonical (parsed, not textual) spec content.
+struct Fnv1a {
+  std::uint64_t h = 14695981039346656037ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(std::string_view s) {
+    bytes(s.data(), s.size());
+    bytes("\0", 1);  // length delimiter: ("ab","c") != ("a","bc")
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    // Hash the bit pattern: canonical as long as values are parsed the same
+    // way (strtod), which is all the fingerprint promises.
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+// What block the cursor is inside: block-scoped keys attach to the entity
+// opened by the most recent header line.
+enum class Context { top, phase, cohort };
+
+class Parser {
+ public:
+  Parser(std::istream& is, const std::string& filename)
+      : is_(is), file_(filename) {}
+
+  ScenarioSpec run() {
+    std::string raw;
+    while (std::getline(is_, raw)) {
+      ++line_;
+      parse_line(raw);
+    }
+    finish();
+    return std::move(spec_);
+  }
+
+ private:
+  [[noreturn]] void err(std::string_view field, std::string_view msg,
+                        int line = 0) const {
+    std::ostringstream os;
+    os << file_ << ':' << (line > 0 ? line : line_) << ": field '" << field
+       << "': " << msg;
+    throw ScenarioError(os.str());
+  }
+
+  double num(std::string_view field, const std::string& tok) const {
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v)) {
+      err(field, "expected a number, got '" + tok + "'");
+    }
+    return v;
+  }
+
+  double hours(std::string_view field, const std::string& tok) const {
+    const double v = num(field, tok);
+    if (v < 0.0) err(field, "hour offset must be >= 0");
+    return v;
+  }
+
+  ModelKind model_kind(std::string_view field, const std::string& tok) const {
+    if (tok == "lte") return ModelKind::lte;
+    if (tok == "nsa") return ModelKind::nsa;
+    if (tok == "sa") return ModelKind::sa;
+    err(field, "unknown model '" + tok + "' (expected lte, nsa, or sa)");
+  }
+
+  void parse_line(const std::string& raw) {
+    std::string text = raw;
+    if (const auto hash = text.find('#'); hash != std::string::npos) {
+      text.resize(hash);
+    }
+    std::istringstream ls(text);
+    std::string key;
+    if (!(ls >> key)) return;  // blank / comment-only line
+
+    std::vector<std::string> args;
+    for (std::string tok; ls >> tok;) args.push_back(std::move(tok));
+
+    if (key == "scenario") {
+      want_args(key, args, 1, 1);
+      spec_.name = args[0];
+    } else if (key == "start-hour") {
+      want_args(key, args, 1, 1);
+      const double h = num(key, args[0]);
+      if (h != std::floor(h) || h < 0.0 || h > 23.0) {
+        err(key, "must be an integer hour of day in [0, 23]");
+      }
+      spec_.start_hour = static_cast<int>(h);
+    } else if (key == "duration") {
+      want_args(key, args, 1, 1);
+      spec_.duration_hours = num(key, args[0]);
+      if (!(spec_.duration_hours > 0.0)) err(key, "must be > 0 hours");
+      have_duration_ = true;
+    } else if (key == "phase") {
+      want_args(key, args, 3, 3);
+      PhaseSpec p;
+      p.name = args[0];
+      p.from_h = hours(key, args[1]);
+      p.to_h = hours(key, args[2]);
+      if (!(p.from_h < p.to_h)) err(key, "phase end must be after its start");
+      p.line = line_;
+      spec_.phases.push_back(std::move(p));
+      ctx_ = Context::phase;
+    } else if (key == "cohort") {
+      want_args(key, args, 1, 1);
+      CohortSpec c;
+      c.name = args[0];
+      c.line = line_;
+      spec_.cohorts.push_back(std::move(c));
+      ctx_ = Context::cohort;
+    } else if (key == "accel" || key == "mcn-scale") {
+      if (ctx_ != Context::phase) {
+        err(key, "only valid inside a phase block");
+      }
+      want_args(key, args, 1, 1);
+      const double v = num(key, args[0]);
+      if (!(v > 0.0)) err(key, "must be > 0");
+      (key == "accel" ? spec_.phases.back().accel
+                      : spec_.phases.back().mcn_scale) = v;
+    } else if (key == "device" || key == "count" || key == "model" ||
+               key == "join" || key == "leave" || key == "migrate") {
+      if (ctx_ != Context::cohort) {
+        err(key, "only valid inside a cohort block");
+      }
+      cohort_key(key, args);
+    } else {
+      err(key, "unknown key");
+    }
+  }
+
+  void cohort_key(const std::string& key,
+                  const std::vector<std::string>& args) {
+    CohortSpec& c = spec_.cohorts.back();
+    if (key == "device") {
+      want_args(key, args, 1, 1);
+      if (args[0] == "phone") {
+        c.device = DeviceType::phone;
+      } else if (args[0] == "car") {
+        c.device = DeviceType::connected_car;
+      } else if (args[0] == "tablet") {
+        c.device = DeviceType::tablet;
+      } else {
+        err(key, "unknown device '" + args[0] +
+                     "' (expected phone, car, or tablet)");
+      }
+    } else if (key == "count") {
+      want_args(key, args, 1, 1);
+      const double v = num(key, args[0]);
+      if (v != std::floor(v) || !(v > 0.0)) {
+        err(key, "cohort size must be a positive integer");
+      }
+      if (v > 1e12) err(key, "cohort size is implausibly large");
+      c.count = static_cast<std::size_t>(v);
+    } else if (key == "model") {
+      want_args(key, args, 1, 1);
+      c.model = model_kind(key, args[0]);
+    } else if (key == "join") {
+      want_args(key, args, 1, 2);
+      c.join_from_h = hours(key, args[0]);
+      c.join_to_h = args.size() > 1 ? hours(key, args[1]) : c.join_from_h;
+      if (c.join_to_h < c.join_from_h) {
+        err(key, "window end must not precede its start");
+      }
+    } else if (key == "leave") {
+      want_args(key, args, 1, 2);
+      c.has_leave = true;
+      c.leave_from_h = hours(key, args[0]);
+      c.leave_to_h = args.size() > 1 ? hours(key, args[1]) : c.leave_from_h;
+      if (c.leave_to_h < c.leave_from_h) {
+        err(key, "window end must not precede its start");
+      }
+    } else {  // migrate
+      want_args(key, args, 2, 2);
+      c.has_migrate = true;
+      c.migrate_h = hours(key, args[0]);
+      c.migrate_model = model_kind(key, args[1]);
+    }
+  }
+
+  void want_args(std::string_view key, const std::vector<std::string>& args,
+                 std::size_t lo, std::size_t hi) const {
+    if (args.size() < lo || args.size() > hi) {
+      std::ostringstream os;
+      os << "expected " << lo;
+      if (hi != lo) os << " to " << hi;
+      os << (hi == 1 ? " value" : " values") << ", got " << args.size();
+      err(key, os.str());
+    }
+  }
+
+  // Cross-line validation + fingerprint, once the whole file is read.
+  void finish() {
+    if (!have_duration_) {
+      err("duration", "missing (a scenario must declare its duration)", 1);
+    }
+    const double dur = spec_.duration_hours;
+
+    std::stable_sort(spec_.phases.begin(), spec_.phases.end(),
+                     [](const PhaseSpec& a, const PhaseSpec& b) {
+                       return a.from_h < b.from_h;
+                     });
+    for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+      const PhaseSpec& p = spec_.phases[i];
+      if (p.to_h > dur) {
+        err("phase", "phase '" + p.name + "' ends after the scenario",
+            p.line);
+      }
+      if (i > 0 && p.from_h < spec_.phases[i - 1].to_h) {
+        err("phase",
+            "phase '" + p.name + "' overlaps phase '" +
+                spec_.phases[i - 1].name + "'",
+            p.line);
+      }
+    }
+
+    if (spec_.cohorts.empty()) {
+      err("cohort", "scenario declares no cohorts", 1);
+    }
+    for (const CohortSpec& c : spec_.cohorts) {
+      if (c.count == 0) {
+        err("count", "cohort '" + c.name + "' declares no size", c.line);
+      }
+      if (c.join_to_h > dur) {
+        err("join", "join window ends after the scenario", c.line);
+      }
+      if (c.join_from_h == c.join_to_h && c.join_from_h >= dur) {
+        err("join", "cohort would join at or after the scenario end",
+            c.line);
+      }
+      if (c.has_leave) {
+        if (c.leave_to_h > dur) {
+          err("leave", "leave window ends after the scenario", c.line);
+        }
+        // Every drawn leave must come strictly after every drawn join.
+        // Joins draw in [from, to) when the window is open, exactly `from`
+        // when degenerate — hence > vs >= below.
+        if (c.leave_from_h < c.join_to_h ||
+            (c.join_from_h == c.join_to_h &&
+             c.leave_from_h <= c.join_from_h)) {
+          err("leave", "leave window must start after the join window",
+              c.line);
+        }
+      }
+      if (c.has_migrate) {
+        if (c.migrate_h > dur) {
+          err("migrate", "migration hour is after the scenario ends",
+              c.line);
+        }
+        if (c.migrate_h < c.join_to_h ||
+            (c.join_from_h == c.join_to_h &&
+             c.migrate_h <= c.join_from_h)) {
+          err("migrate", "migration must happen after the join window",
+              c.line);
+        }
+        if (c.has_leave && c.migrate_h >= c.leave_from_h) {
+          err("migrate", "migration must happen before the leave window",
+              c.line);
+        }
+        if (c.migrate_model == c.model) {
+          err("migrate", "cohort already runs the '" +
+                             std::string(to_string(c.model)) + "' model",
+              c.line);
+        }
+      }
+    }
+
+    spec_.fingerprint = fingerprint();
+  }
+
+  std::uint64_t fingerprint() const {
+    Fnv1a f;
+    f.str("cpg-scenario-v1");
+    f.u64(static_cast<std::uint64_t>(spec_.start_hour));
+    f.f64(spec_.duration_hours);
+    f.u64(spec_.phases.size());
+    for (const PhaseSpec& p : spec_.phases) {
+      f.str(p.name);
+      f.f64(p.from_h);
+      f.f64(p.to_h);
+      f.f64(p.accel);
+      f.f64(p.mcn_scale);
+    }
+    f.u64(spec_.cohorts.size());
+    for (const CohortSpec& c : spec_.cohorts) {
+      f.str(c.name);
+      f.u64(static_cast<std::uint64_t>(index_of(c.device)));
+      f.u64(c.count);
+      f.u64(static_cast<std::uint64_t>(c.model));
+      f.f64(c.join_from_h);
+      f.f64(c.join_to_h);
+      f.u64(c.has_leave ? 1 : 0);
+      f.f64(c.leave_from_h);
+      f.f64(c.leave_to_h);
+      f.u64(c.has_migrate ? 1 : 0);
+      f.f64(c.migrate_h);
+      f.u64(static_cast<std::uint64_t>(c.migrate_model));
+    }
+    // The checkpoint encodes "no scenario" as fingerprint 0; a real spec
+    // must never collide with that.
+    return f.h != 0 ? f.h : 1;
+  }
+
+  std::istream& is_;
+  const std::string file_;
+  int line_ = 0;
+  Context ctx_ = Context::top;
+  bool have_duration_ = false;
+  ScenarioSpec spec_;
+};
+
+}  // namespace
+
+const char* to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::lte:
+      return "lte";
+    case ModelKind::nsa:
+      return "nsa";
+    case ModelKind::sa:
+      return "sa";
+  }
+  return "?";
+}
+
+ScenarioSpec parse_scenario(std::istream& is, const std::string& filename) {
+  return Parser(is, filename).run();
+}
+
+ScenarioSpec parse_scenario_string(const std::string& text,
+                                   const std::string& filename) {
+  std::istringstream is(text);
+  return parse_scenario(is, filename);
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw ScenarioError(path + ": cannot open scenario spec");
+  }
+  return parse_scenario(is, path);
+}
+
+}  // namespace cpg::scenario

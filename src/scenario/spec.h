@@ -1,0 +1,104 @@
+// Scenario spec: the declarative input of the scenario engine.
+//
+// A spec is a line-oriented text file describing a non-stationary run as a
+// timeline the paper's stationary generator cannot express: cohorts of UEs
+// joining and leaving mid-run (diurnal churn, flash crowds), 4G→5G
+// migration waves onto the `nextg`-derived models, and phases that retune
+// pacing or degrade core service rates. Grammar (`#` starts a comment,
+// blank lines are ignored, indentation is free-form):
+//
+//   scenario <name>              # optional title
+//   start-hour <0..23>           # hour-of-day the run starts (default 0)
+//   duration <hours>             # run length, > 0 — required
+//
+//   phase <name> <from_h> <to_h> # a [from, to) span, hours from run start
+//     accel <factor>             # pacing factor while active (optional)
+//     mcn-scale <factor>         # NF service-time multiplier (optional)
+//
+//   cohort <name>                # a population cohort
+//     device phone|car|tablet    # default phone
+//     count <n>                  # cohort size, > 0 — required
+//     model lte|nsa|sa           # generation model (default lte)
+//     join <h> [<h2>]            # per-UE join time, uniform in [h, h2)
+//                                # (default 0 = present from the start)
+//     leave <h> [<h2>]           # per-UE leave time, uniform in [h, h2)
+//                                # (default: stays to the end)
+//     migrate <h> lte|nsa|sa     # switch the cohort to another model at h
+//
+// Every malformed input — unknown key, value of the wrong shape,
+// out-of-range hour, overlapping phases, negative cohort size, lifecycle
+// windows out of order — is rejected with a one-line diagnostic of the form
+// `<file>:<line>: field '<field>': <message>` (ScenarioError).
+//
+// The parser also computes the spec's fingerprint: a hash of the parsed
+// content (not the bytes — comments and whitespace don't count) that the
+// streaming checkpoint stores so a resume under an edited scenario is
+// rejected (stream/checkpoint.h).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cpg::scenario {
+
+// Which fitted/derived model drives a cohort (model/nextg.h: NSA and SA are
+// derived from the LTE model at compile time).
+enum class ModelKind : std::uint8_t { lte = 0, nsa = 1, sa = 2 };
+
+const char* to_string(ModelKind kind) noexcept;
+
+struct PhaseSpec {
+  std::string name;
+  double from_h = 0.0;
+  double to_h = 0.0;
+  double accel = 0.0;      // 0 = keep the run's base pacing factor
+  double mcn_scale = 1.0;  // 1 = nominal core service rates
+  int line = 0;            // spec line of the `phase` header (diagnostics)
+};
+
+struct CohortSpec {
+  std::string name;
+  DeviceType device = DeviceType::phone;
+  std::size_t count = 0;
+  ModelKind model = ModelKind::lte;
+  double join_from_h = 0.0;  // per-UE join uniform in [join_from, join_to)
+  double join_to_h = 0.0;    // == join_from: everyone joins exactly then
+  bool has_leave = false;
+  double leave_from_h = 0.0;
+  double leave_to_h = 0.0;
+  bool has_migrate = false;
+  double migrate_h = 0.0;
+  ModelKind migrate_model = ModelKind::lte;
+  int line = 0;  // spec line of the `cohort` header (diagnostics)
+};
+
+struct ScenarioSpec {
+  std::string name;
+  int start_hour = 0;
+  double duration_hours = 0.0;
+  std::vector<PhaseSpec> phases;    // sorted by from_h, pairwise disjoint
+  std::vector<CohortSpec> cohorts;  // in spec order (fixes UE id layout)
+  // Content hash (always nonzero): identical parsed content — regardless of
+  // comments or whitespace — hashes identically.
+  std::uint64_t fingerprint = 0;
+};
+
+// One-line parse/validation diagnostic: `<file>:<line>: field '<f>': ...`.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses and validates a spec; throws ScenarioError on the first problem.
+// `filename` only labels diagnostics.
+ScenarioSpec parse_scenario(std::istream& is, const std::string& filename);
+ScenarioSpec parse_scenario_string(const std::string& text,
+                                   const std::string& filename = "<spec>");
+ScenarioSpec parse_scenario_file(const std::string& path);
+
+}  // namespace cpg::scenario

@@ -1,6 +1,5 @@
 #include "stream/checkpoint.h"
 
-#include <bit>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,7 +13,11 @@ namespace cpg::stream {
 namespace {
 
 constexpr std::string_view k_magic = "cpg-checkpoint";
-constexpr int k_version = 1;
+// Version 2: exact window endpoints in ms (was hour + duration bits), the
+// scenario fingerprint, and per-shard segment bookkeeping (gen_seg,
+// next_seg). Version-1 files predate population plans and cannot be resumed
+// safely, so they are rejected as unsupported.
+constexpr int k_version = 2;
 // Caps applied while reading, so a corrupt count field fails with a
 // diagnostic instead of a giant allocation.
 constexpr std::size_t k_max_shards = 1 << 20;
@@ -25,15 +28,10 @@ constexpr std::size_t k_max_carry = std::size_t{1} << 32;
   throw std::runtime_error("load_checkpoint: " + what);
 }
 
-// Doubles travel as their bit patterns: the fingerprint comparison and the
-// RNG cache must round-trip exactly, which decimal formatting does not
-// guarantee portably.
-std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
-double from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
-
-void write_gen(std::ostream& os, const gen::UeGenSnapshot& g) {
-  os << "gen " << g.ue_id << ' ' << static_cast<int>(index_of(g.device))
-     << ' ' << g.modeled_ue;
+void write_gen(std::ostream& os, const gen::UeGenSnapshot& g,
+               std::uint64_t seg) {
+  os << "gen " << seg << ' ' << g.ue_id << ' '
+     << static_cast<int>(index_of(g.device)) << ' ' << g.modeled_ue;
   for (std::uint64_t s : g.rng.engine) os << ' ' << s;
   os << ' ' << g.rng.cached_bits << ' ' << (g.rng.has_cached ? 1 : 0);
   os << ' ' << static_cast<int>(index_of(g.top_state)) << ' '
@@ -48,13 +46,15 @@ void write_gen(std::ostream& os, const gen::UeGenSnapshot& g) {
   os << '\n';
 }
 
-gen::UeGenSnapshot read_gen(std::istream& is) {
+gen::UeGenSnapshot read_gen(std::istream& is, std::uint64_t& seg) {
   std::string tag;
   if (!(is >> tag) || tag != "gen") fail("expected 'gen' record");
   gen::UeGenSnapshot g;
   int device = 0, top = 0, sub = 0, started = 0, done = 0, pending = 0,
       first_type = 0, has_cached = 0;
-  if (!(is >> g.ue_id >> device >> g.modeled_ue)) fail("bad gen identity");
+  if (!(is >> seg >> g.ue_id >> device >> g.modeled_ue)) {
+    fail("bad gen identity");
+  }
   for (std::uint64_t& s : g.rng.engine) {
     if (!(is >> s)) fail("bad gen rng state");
   }
@@ -113,16 +113,20 @@ void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
     os << "ue_counts";
     for (std::size_t c : ck.ue_counts) os << ' ' << c;
     os << '\n';
-    os << "window " << ck.start_hour << ' ' << to_bits(ck.duration_hours)
-       << '\n';
+    os << "window " << ck.t_begin << ' ' << ck.t_end << '\n';
     os << "layout " << ck.num_shards << ' ' << ck.slice_ms << '\n';
+    os << "scenario " << ck.scenario_fingerprint << '\n';
     os << "resume_slice " << ck.resume_slice << '\n';
     os << "sink_token " << ck.sink_token.size() << ' ' << ck.sink_token
        << '\n';
     os << "shards " << ck.shards.size() << '\n';
     for (const ShardCheckpoint& sh : ck.shards) {
-      os << "shard " << sh.gens.size() << ' ' << sh.carry.size() << '\n';
-      for (const gen::UeGenSnapshot& g : sh.gens) write_gen(os, g);
+      os << "shard " << sh.gens.size() << ' ' << sh.carry.size() << ' '
+         << sh.next_seg << '\n';
+      for (std::size_t i = 0; i < sh.gens.size(); ++i) {
+        write_gen(os, sh.gens[i],
+                  i < sh.gen_seg.size() ? sh.gen_seg[i] : 0);
+      }
       for (const ControlEvent& e : sh.carry) {
         os << "carry " << e.t_ms << ' ' << e.ue_id << ' '
            << static_cast<int>(index_of(e.type)) << '\n';
@@ -156,13 +160,14 @@ std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
   for (std::size_t& c : ck.ue_counts) {
     if (!(is >> c)) fail("bad ue_counts value");
   }
-  std::uint64_t duration_bits = 0;
-  if (!(is >> tag >> ck.start_hour >> duration_bits) || tag != "window") {
+  if (!(is >> tag >> ck.t_begin >> ck.t_end) || tag != "window") {
     fail("bad window");
   }
-  ck.duration_hours = from_bits(duration_bits);
   if (!(is >> tag >> ck.num_shards >> ck.slice_ms) || tag != "layout") {
     fail("bad layout");
+  }
+  if (!(is >> tag >> ck.scenario_fingerprint) || tag != "scenario") {
+    fail("bad scenario fingerprint");
   }
   if (!(is >> tag >> ck.resume_slice) || tag != "resume_slice") {
     fail("bad resume_slice");
@@ -187,15 +192,19 @@ std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
   ck.shards.resize(num_shards);
   for (ShardCheckpoint& sh : ck.shards) {
     std::size_t num_gens = 0, num_carry = 0;
-    if (!(is >> tag >> num_gens >> num_carry) || tag != "shard") {
+    if (!(is >> tag >> num_gens >> num_carry >> sh.next_seg) ||
+        tag != "shard") {
       fail("bad shard header");
     }
     if (num_gens > k_max_gens_per_shard || num_carry > k_max_carry) {
       fail("shard sizes out of range");
     }
     sh.gens.reserve(num_gens);
+    sh.gen_seg.reserve(num_gens);
     for (std::size_t i = 0; i < num_gens; ++i) {
-      sh.gens.push_back(read_gen(is));
+      std::uint64_t seg = 0;
+      sh.gens.push_back(read_gen(is, seg));
+      sh.gen_seg.push_back(seg);
     }
     sh.carry.reserve(num_carry);
     for (std::size_t i = 0; i < num_carry; ++i) {

@@ -47,17 +47,29 @@ struct CheckpointOptions {
 // One shard's resumable state at a slice boundary.
 struct ShardCheckpoint {
   std::vector<gen::UeGenSnapshot> gens;  // live (not done) generators only
-  std::vector<ControlEvent> carry;       // boundary events of the next slice
+  // Plan segment index each live generator was activated from, parallel to
+  // `gens` (stream/population.h; 0 for every generator of a stationary
+  // run's trivial plan).
+  std::vector<std::uint64_t> gen_seg;
+  // Shard-local activation cursor: how many of this shard's plan segments
+  // (in plan order) have already been activated. A resumed worker re-enters
+  // the slice loop with the remaining segments still pending.
+  std::uint64_t next_seg = 0;
+  std::vector<ControlEvent> carry;  // boundary events of the next slice
 };
 
 struct StreamCheckpoint {
   // --- run fingerprint ---------------------------------------------------
   std::uint64_t seed = 0;
   std::array<std::size_t, k_num_device_types> ue_counts{};
-  int start_hour = 0;
-  double duration_hours = 0.0;
+  TimeMs t_begin = 0;
+  TimeMs t_end = 0;
   std::size_t num_shards = 0;
   TimeMs slice_ms = 0;
+  // Fingerprint of the compiled scenario (0 for a stationary run). Resuming
+  // under an edited scenario spec would replay a different plan against
+  // slice-indexed state, so load validation rejects a mismatch.
+  std::uint64_t scenario_fingerprint = 0;
   // --- progress ----------------------------------------------------------
   std::uint64_t resume_slice = 0;  // first slice not yet delivered
   std::string sink_token;          // opaque; empty = sink not participating

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "stream/phase.h"
 
 namespace cpg::stream {
 
@@ -136,8 +137,11 @@ class NullSink final : public EventSink {
 // Participates in checkpointing on behalf of its children: the fanout token
 // concatenates the child tokens (length-prefixed); children that are not
 // CheckpointParticipants contribute an empty token and get a plain
-// on_start() at resume.
-class FanoutSink final : public EventSink, public CheckpointParticipant {
+// on_start() at resume. Phase boundaries are forwarded to every child that
+// listens.
+class FanoutSink final : public EventSink,
+                         public CheckpointParticipant,
+                         public PhaseListener {
  public:
   explicit FanoutSink(std::vector<EventSink*> sinks)
       : sinks_(std::move(sinks)) {}
@@ -153,6 +157,12 @@ class FanoutSink final : public EventSink, public CheckpointParticipant {
   }
   void on_finish() override {
     for (EventSink* s : sinks_) s->on_finish();
+  }
+
+  void on_phase(const PhaseRow* phase) override {
+    for (EventSink* s : sinks_) {
+      if (auto* p = dynamic_cast<PhaseListener*>(s)) p->on_phase(phase);
+    }
   }
 
   std::string checkpoint_save() override {

@@ -7,16 +7,23 @@
 
 #include "mcn/stream_ingest.h"
 #include "stream/event_sink.h"
+#include "stream/phase.h"
 
 namespace cpg::stream {
 
-class McnLiveSink final : public EventSink {
+class McnLiveSink final : public EventSink, public PhaseListener {
  public:
   explicit McnLiveSink(const mcn::SimulationConfig& config)
       : epc_(config) {}
 
   void on_event(const ControlEvent& e) override { epc_.ingest(e); }
   void on_finish() override { result_ = epc_.finish(); }
+
+  // Scenario core-degradation hook: a phase's mcn_scale stretches NF
+  // service times while the phase is active; a gap restores 1.0.
+  void on_phase(const PhaseRow* phase) override {
+    epc_.set_service_time_scale(phase != nullptr ? phase->mcn_scale : 1.0);
+  }
 
   // Valid after the stream finished.
   const mcn::SimulationResult& result() const { return *result_; }

@@ -67,6 +67,23 @@ class Pacer {
     }
   }
 
+  // Retunes the pacing factor mid-stream (scenario phase boundaries) and
+  // re-anchors on the next pace() call, so the new rate applies from the
+  // current stream position instead of being applied retroactively to the
+  // whole elapsed stream. No-op in as_fast_as_possible mode; throws
+  // std::invalid_argument on a non-positive or non-finite factor.
+  void set_factor(double factor) {
+    if (mode_ == ClockMode::as_fast_as_possible) return;
+    if (!(factor > 0.0) || !std::isfinite(factor)) {
+      throw std::invalid_argument(
+          "Pacer: set_factor requires a factor > 0 and finite");
+    }
+    factor_ = factor;
+    anchored_ = false;
+  }
+
+  double factor() const noexcept { return factor_; }
+
   // True when the pacer never blocks (as_fast_as_possible): deliveries can
   // skip the per-event pace call entirely.
   bool passthrough() const noexcept {

@@ -1,0 +1,41 @@
+// Scenario phases: named spans of the generation window that retune the
+// delivery side of a streaming run (pacing factor, core service rates)
+// without touching what is generated. Phase boundaries are applied on the
+// consumer thread at exact trace times, so for a fixed plan the delivered
+// event sequence is independent of shard/thread/slice configuration.
+#pragma once
+
+#include <string>
+
+#include "core/time_utils.h"
+
+namespace cpg::stream {
+
+// One declared phase over [t_start, t_end). Phases never overlap; in the
+// gaps between them the run's defaults apply (base pacing factor, core
+// service scale 1.0).
+struct PhaseRow {
+  std::string name;
+  TimeMs t_start = 0;
+  TimeMs t_end = 0;
+  // Pacing factor while the phase is active (real_time / accelerated clock
+  // modes only; ignored as-fast-as-possible). 0 = keep the run's base
+  // factor.
+  double accel = 0.0;
+  // Multiplier on NF service times for live-core sinks (core degradation:
+  // > 1 slows the core down). Delivered to PhaseListener sinks.
+  double mcn_scale = 1.0;
+};
+
+// Optional side interface for sinks that react to phase boundaries (e.g.
+// McnLiveSink rescaling NF service times). The runtime discovers it via
+// dynamic_cast, like CheckpointParticipant. Called on the delivery thread
+// before the first event at or after the boundary; `phase` is null when a
+// gap between declared phases begins (defaults restored).
+class PhaseListener {
+ public:
+  virtual ~PhaseListener() = default;
+  virtual void on_phase(const PhaseRow* phase) = 0;
+};
+
+}  // namespace cpg::stream

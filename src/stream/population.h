@@ -1,0 +1,81 @@
+// Population plans: the time-varying generalization of GenerationRequest.
+//
+// A PopulationPlan describes every UE of a run as one or more *segments* —
+// contiguous spans [t_start, t_end) during which the UE is alive and driven
+// by one model — plus the phase timeline (stream/phase.h). A stationary run
+// is the trivial plan: one segment per UE spanning the whole window on
+// model 0. Scenario compilation (src/scenario/) produces richer plans:
+// cohorts joining or leaving mid-run (churn, flash crowds) become segments
+// with interior endpoints, and a 4G→5G migration wave becomes two segments
+// per UE — the LTE span handing off to a segment on the derived `nextg`
+// model at the wave time.
+//
+// Determinism: a segment's generator derives its RNG from
+// (plan.seed, ue + (rng_salt << 32)) alone. Salt 0 is a UE's first segment,
+// so a trivial plan reproduces the stationary runtime's streams bit for
+// bit; migration segments use salts >= 1, giving the handed-off UE an
+// independent stream that no shard/thread/slice configuration can perturb.
+// A joining segment draws its first event from its model's first-event law
+// at the hour of t_start (UeSliceGenerator clamps into [t_start, t_end)),
+// which is exactly the paper's treatment of a UE entering at that hour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_utils.h"
+#include "core/trace.h"
+#include "generator/ue_generator.h"
+#include "model/compiled.h"
+#include "model/semi_markov.h"
+#include "stream/phase.h"
+
+namespace cpg::stream {
+
+// One entry of the plan's model bank. `compiled` is optional: when null the
+// executor compiles the ModelSet itself (and owns the plan for the run).
+struct ModelRef {
+  const model::ModelSet* models = nullptr;
+  const model::CompiledModel* compiled = nullptr;
+};
+
+// One alive-and-generating span of one UE.
+struct UeSegment {
+  UeId ue = 0;
+  std::uint32_t model = 0;     // index into PopulationPlan::models
+  std::uint32_t rng_salt = 0;  // 0 = the UE's first segment
+  TimeMs t_start = 0;
+  TimeMs t_end = 0;
+  // Observability flags (cpg_scenario_* counters / StreamStats): whether
+  // this segment represents a mid-run join, a mid-run departure, or a
+  // migration handoff. The executor never derives behavior from them.
+  bool counts_join = false;
+  bool counts_leave = false;
+  bool counts_migration = false;
+};
+
+// A compiled, executor-ready description of a (possibly non-stationary)
+// run. Invariants — established by scenario::compile and by the trivial
+// plan builder, assumed by the executor:
+//   * segments are sorted by (t_start, ue) and satisfy
+//     t_begin <= t_start < t_end <= t_end(plan);
+//   * segments of the same UE do not overlap and have distinct salts;
+//   * phases are sorted by t_start and pairwise disjoint, inside
+//     [t_begin, t_end);
+//   * every segment's model index is < models.size().
+struct PopulationPlan {
+  std::vector<DeviceType> device_of;  // indexed by UeId; fixes the registry
+  std::vector<UeSegment> segments;
+  std::vector<ModelRef> models;
+  std::vector<PhaseRow> phases;
+  std::uint64_t seed = 1;
+  TimeMs t_begin = 0;
+  TimeMs t_end = 0;
+  // Scenario fingerprint, stored in checkpoints so a resume under an edited
+  // spec is rejected. 0 = trivial (stationary) plan; scenario compilation
+  // always produces a nonzero value.
+  std::uint64_t fingerprint = 0;
+  gen::UeGenOptions ue_options;
+};
+
+}  // namespace cpg::stream

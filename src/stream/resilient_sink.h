@@ -127,7 +127,9 @@ struct ResilientSinkStats {
   std::uint64_t exhausted_deliveries = 0;
 };
 
-class ResilientSink final : public EventSink, public CheckpointParticipant {
+class ResilientSink final : public EventSink,
+                            public CheckpointParticipant,
+                            public PhaseListener {
  public:
   // `inner` must outlive the decorator. `clock` defaults to the process
   // clock; tests inject a FakeRetryClock.
@@ -143,6 +145,13 @@ class ResilientSink final : public EventSink, public CheckpointParticipant {
   std::string checkpoint_save() override;
   void checkpoint_resume(const std::string& token,
                          const StreamHeader& header) override;
+
+  // Phase boundaries are control flow, not deliveries: forwarded to a
+  // listening inner sink without retry/backoff (a failing phase hook is a
+  // configuration error, not a transient).
+  void on_phase(const PhaseRow* phase) override {
+    if (auto* p = dynamic_cast<PhaseListener*>(&inner_)) p->on_phase(phase);
+  }
 
   const ResilientSinkStats& stats() const noexcept { return stats_; }
 

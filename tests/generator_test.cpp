@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "generator/traffic_generator.h"
 #include "model/fit.h"
 #include "statemachine/replay.h"
@@ -99,11 +103,47 @@ TEST(Generator, ScaledHelperRounds) {
   EXPECT_EQ(big.ue_counts[2], 3u);
 }
 
-TEST(Generator, EmptyRequestYieldsEmptyTrace) {
+TEST(Generator, EmptyRequestIsRejected) {
+  // A request for zero UEs is a caller bug, not a silent empty trace.
   GenerationRequest req;
-  const Trace t = generate_trace(ours_model(), req);
-  EXPECT_EQ(t.num_ues(), 0u);
-  EXPECT_TRUE(t.empty());
+  try {
+    generate_trace(ours_model(), req);
+    FAIL() << "empty request must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ue_counts"), std::string::npos);
+  }
+}
+
+TEST(Generator, ValidationNamesTheBadField) {
+  // Each malformed field is rejected before any work, and the error says
+  // which field is at fault.
+  const auto field_of = [](const GenerationRequest& req) -> std::string {
+    try {
+      validate(req);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  GenerationRequest req = small_request();
+  EXPECT_EQ(field_of(req), "");
+
+  for (int hour : {-1, 24, 100}) {
+    GenerationRequest bad = req;
+    bad.start_hour = hour;
+    EXPECT_NE(field_of(bad).find("start_hour"), std::string::npos)
+        << "start_hour = " << hour;
+  }
+  for (double dur : {0.0, -2.0, std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    GenerationRequest bad = req;
+    bad.duration_hours = dur;
+    EXPECT_NE(field_of(bad).find("duration_hours"), std::string::npos)
+        << "duration_hours = " << dur;
+  }
+  GenerationRequest bad = req;
+  bad.ue_counts = {0, 0, 0};
+  EXPECT_NE(field_of(bad).find("ue_counts"), std::string::npos);
 }
 
 TEST(Generator, MultiHourGenerationCrossesHours) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <stdexcept>
+
 #include "mcn/simulator.h"
+#include "mcn/stream_ingest.h"
 #include "test_util.h"
 
 namespace cpg::mcn {
@@ -167,6 +171,66 @@ TEST(Simulator, DeterministicResults) {
   EXPECT_EQ(a.messages, b.messages);
   EXPECT_DOUBLE_EQ(a.latency_us.p99, b.latency_us.p99);
   EXPECT_DOUBLE_EQ(a.nf[0].busy_us, b.nf[0].busy_us);
+}
+
+TEST(StreamingEpcScale, ServiceTimeScaleAppliesToNewServices) {
+  // The scenario engine's core-degradation hook. Retuning before any work
+  // scales every service exactly; retuning mid-stream affects only
+  // services that start afterwards, so the first step of the already
+  // in-flight procedure (started at ingest time) keeps its 1x duration and
+  // the total lands strictly between the 1x and 3x runs.
+  auto busy_of = [](bool pre_set, bool mid_set) {
+    StreamingEpc epc({});
+    if (pre_set) epc.set_service_time_scale(3.0);
+    epc.ingest({1'000, 0, EventType::tau});
+    if (mid_set) epc.set_service_time_scale(3.0);
+    epc.ingest({10 * k_ms_per_minute, 0, EventType::tau});
+    const SimulationResult r = epc.finish();
+    std::array<double, k_num_nfs> busy{};
+    for (std::size_t n = 0; n < k_num_nfs; ++n) busy[n] = r.nf[n].busy_us;
+    return busy;
+  };
+  const auto base = busy_of(false, false);
+  const auto degraded = busy_of(true, false);
+  const auto mixed = busy_of(false, true);
+  double base_sum = 0.0, mixed_sum = 0.0;
+  for (std::size_t n = 0; n < k_num_nfs; ++n) {
+    EXPECT_DOUBLE_EQ(degraded[n], 3.0 * base[n]) << "nf " << n;
+    base_sum += base[n];
+    mixed_sum += mixed[n];
+  }
+  ASSERT_GT(base_sum, 0.0);
+  EXPECT_GT(mixed_sum, base_sum);
+  EXPECT_LT(mixed_sum, 3.0 * base_sum);
+}
+
+TEST(StreamingEpcScale, DegradationRaisesLatencyUnderContention) {
+  // Same burst, degraded core: every latency statistic moves up.
+  Trace trace;
+  for (int i = 0; i < 16; ++i) {
+    const UeId u = trace.add_ue(DeviceType::phone);
+    trace.add_event(1'000, u, EventType::srv_req);
+  }
+  trace.finalize();
+  auto run = [&](double scale) {
+    StreamingEpc epc({});
+    epc.set_service_time_scale(scale);
+    for (const ControlEvent& e : trace.events()) epc.ingest(e);
+    return epc.finish();
+  };
+  const auto nominal = run(1.0);
+  const auto degraded = run(4.0);
+  EXPECT_GT(degraded.latency_us.p50, nominal.latency_us.p50);
+  EXPECT_GT(degraded.latency_us.max, nominal.latency_us.max);
+  EXPECT_GT(degraded.nf[index_of(NetworkFunction::mme)].max_wait_us,
+            nominal.nf[index_of(NetworkFunction::mme)].max_wait_us);
+}
+
+TEST(StreamingEpcScale, InvalidScaleThrows) {
+  StreamingEpc epc({});
+  EXPECT_THROW(epc.set_service_time_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(epc.set_service_time_scale(-2.0), std::invalid_argument);
+  EXPECT_THROW(epc.set_service_time_scale(1.0 / 0.0), std::invalid_argument);
 }
 
 }  // namespace

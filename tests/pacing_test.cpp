@@ -1,0 +1,121 @@
+// Direct unit tests of the pacing layer: anchoring, lag (drift)
+// accounting, catch-up after a slow delivery, and mid-stream retuning
+// (Pacer::set_factor, the primitive behind scenario phase `accel`). Sleeps
+// are kept to a few tens of milliseconds; assertions use generous margins
+// so a loaded CI machine cannot produce flakes.
+#include "stream/pacing.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace cpg::stream {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+TEST(Pacer, PassthroughNeverBlocksOrDrifts) {
+  Pacer p(ClockMode::as_fast_as_possible);
+  EXPECT_TRUE(p.passthrough());
+  const auto t0 = Clock::now();
+  for (TimeMs t = 0; t < 100'000'000; t += 10'000'000) p.pace(t);
+  EXPECT_LT(elapsed_ms(t0), 1'000.0);  // no sleeping happened
+  EXPECT_EQ(p.drift_ms(), 0.0);
+}
+
+TEST(Pacer, FirstCallAnchorsWithoutSleeping) {
+  Pacer p(ClockMode::real_time);
+  const auto t0 = Clock::now();
+  p.pace(5 * k_ms_per_hour);  // arbitrary stream position
+  EXPECT_LT(elapsed_ms(t0), 1'000.0);
+  EXPECT_EQ(p.drift_ms(), 0.0);
+}
+
+TEST(Pacer, RealTimePacesAfterTheAnchor) {
+  Pacer p(ClockMode::real_time);
+  p.pace(1'000);
+  const auto t0 = Clock::now();
+  p.pace(1'040);  // 40 trace ms after the anchor -> ~40 wall ms
+  const double waited = elapsed_ms(t0);
+  EXPECT_GE(waited, 30.0);
+  EXPECT_LT(waited, 5'000.0);
+  EXPECT_EQ(p.drift_ms(), 0.0);  // we slept, so we kept up
+}
+
+TEST(Pacer, AcceleratedDividesTheWait) {
+  Pacer p(ClockMode::accelerated, 10.0);
+  EXPECT_DOUBLE_EQ(p.factor(), 10.0);
+  p.pace(0);
+  const auto t0 = Clock::now();
+  p.pace(300);  // 300 trace ms at 10x -> ~30 wall ms
+  const double waited = elapsed_ms(t0);
+  EXPECT_GE(waited, 20.0);
+  EXPECT_LT(waited, 5'000.0);
+}
+
+TEST(Pacer, LagIsAccountedThenCaughtUp) {
+  Pacer p(ClockMode::accelerated, 1'000.0);
+  p.pace(0);
+  // Simulate a slow sink: wall time passes with no stream progress, so the
+  // next delivery is behind schedule and must report drift instead of
+  // sleeping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = Clock::now();
+  p.pace(1);  // target was ~0.001 wall ms after the anchor
+  EXPECT_LT(elapsed_ms(t0), 20.0);  // a lagging pace() must not sleep
+  EXPECT_GT(p.drift_ms(), 20.0);
+  // Far-future stream position: the pacer sleeps again and the drift
+  // resets — catch-up is complete.
+  p.pace(80'000);  // ~80 wall ms after the anchor at 1000x
+  EXPECT_EQ(p.drift_ms(), 0.0);
+}
+
+TEST(Pacer, SetFactorReanchorsAtTheCurrentPosition) {
+  Pacer p(ClockMode::accelerated, 1.0e9);  // effectively instant
+  p.pace(0);
+  p.pace(10 * k_ms_per_minute);
+  // Retune to 100x: the next pace() re-anchors, so the hour of stream time
+  // that already elapsed is not billed at the new rate (which would demand
+  // a ~36 s sleep).
+  p.set_factor(100.0);
+  EXPECT_DOUBLE_EQ(p.factor(), 100.0);
+  const auto t0 = Clock::now();
+  p.pace(k_ms_per_hour);       // re-anchor: returns immediately
+  p.pace(k_ms_per_hour + 3'000);  // 3 s of stream at 100x -> ~30 wall ms
+  const double waited = elapsed_ms(t0);
+  EXPECT_GE(waited, 20.0);
+  EXPECT_LT(waited, 5'000.0);
+}
+
+TEST(Pacer, SetFactorIsIgnoredInPassthrough) {
+  Pacer p(ClockMode::as_fast_as_possible);
+  p.set_factor(0.25);  // no throw, no effect
+  EXPECT_TRUE(p.passthrough());
+  const auto t0 = Clock::now();
+  p.pace(0);
+  p.pace(10 * k_ms_per_hour);
+  EXPECT_LT(elapsed_ms(t0), 1'000.0);
+}
+
+TEST(Pacer, InvalidFactorsThrow) {
+  EXPECT_THROW(Pacer(ClockMode::accelerated, 0.0), std::invalid_argument);
+  EXPECT_THROW(Pacer(ClockMode::accelerated, -3.0), std::invalid_argument);
+  EXPECT_THROW(Pacer(ClockMode::accelerated, 1.0 / 0.0),
+               std::invalid_argument);
+  Pacer p(ClockMode::real_time);
+  EXPECT_THROW(p.set_factor(0.0), std::invalid_argument);
+  EXPECT_THROW(p.set_factor(-1.0), std::invalid_argument);
+  EXPECT_THROW(p.set_factor(0.0 / 0.0), std::invalid_argument);
+  // A failed retune leaves the pacer untouched.
+  EXPECT_DOUBLE_EQ(p.factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace cpg::stream

@@ -301,13 +301,15 @@ TEST_F(CheckpointDir, SaveLoadRoundTrip) {
   StreamCheckpoint ck;
   ck.seed = 42;
   ck.ue_counts = {10, 5, 2};
-  ck.start_hour = 9;
-  ck.duration_hours = 1.5;
+  ck.t_begin = 9 * k_ms_per_hour;
+  ck.t_end = ck.t_begin + k_ms_per_hour + k_ms_per_hour / 2;
+  ck.scenario_fingerprint = 0xfeedface;
   ck.num_shards = 2;
   ck.slice_ms = 60'000;
   ck.resume_slice = 7;
   ck.sink_token = "csv 1234 56 78";
   ck.shards.resize(2);
+  ck.shards[0].next_seg = 11;
   gen::UeGenSnapshot g;
   g.ue_id = 3;
   g.device = DeviceType::tablet;
@@ -321,6 +323,7 @@ TEST_F(CheckpointDir, SaveLoadRoundTrip) {
   g.top_edge = 2;
   g.overlay_deadline[0] = 99;
   ck.shards[0].gens.push_back(g);
+  ck.shards[0].gen_seg.push_back(23);
   ck.shards[1].carry.push_back(make_event(777, 3, EventType::tau));
 
   save_checkpoint(ck, dir_);
@@ -328,12 +331,16 @@ TEST_F(CheckpointDir, SaveLoadRoundTrip) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->seed, 42u);
   EXPECT_EQ(loaded->ue_counts, ck.ue_counts);
-  EXPECT_EQ(loaded->start_hour, 9);
-  EXPECT_DOUBLE_EQ(loaded->duration_hours, 1.5);
+  EXPECT_EQ(loaded->t_begin, ck.t_begin);
+  EXPECT_EQ(loaded->t_end, ck.t_end);
+  EXPECT_EQ(loaded->scenario_fingerprint, 0xfeedfaceu);
   EXPECT_EQ(loaded->resume_slice, 7u);
   EXPECT_EQ(loaded->sink_token, ck.sink_token);
   ASSERT_EQ(loaded->shards.size(), 2u);
+  EXPECT_EQ(loaded->shards[0].next_seg, 11u);
   ASSERT_EQ(loaded->shards[0].gens.size(), 1u);
+  ASSERT_EQ(loaded->shards[0].gen_seg.size(), 1u);
+  EXPECT_EQ(loaded->shards[0].gen_seg[0], 23u);
   const gen::UeGenSnapshot& lg = loaded->shards[0].gens[0];
   EXPECT_EQ(lg.ue_id, 3u);
   EXPECT_EQ(lg.device, DeviceType::tablet);

@@ -3,6 +3,9 @@
 // degenerate populations, and pathological model contents.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "generator/traffic_generator.h"
 #include "model/aggregate.h"
 #include "model/fit.h"
@@ -134,15 +137,20 @@ TEST(Robustness, RequestedDeviceAbsentFromModel) {
   EXPECT_EQ(t.num_ues(), 25u);
 }
 
-TEST(Robustness, ZeroDurationWindow) {
+TEST(Robustness, ZeroDurationWindowRejected) {
   model::FitOptions opts;
   const auto set =
       model::fit_model(testutil::small_ground_truth(60, 12.0, 114), opts);
   gen::GenerationRequest req;
   req.ue_counts = {30, 10, 5};
   req.duration_hours = 0.0;
-  const Trace t = gen::generate_trace(set, req);
-  EXPECT_TRUE(t.empty());
+  try {
+    gen::generate_trace(set, req);
+    FAIL() << "zero duration must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duration_hours"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

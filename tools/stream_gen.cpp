@@ -17,6 +17,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -27,6 +28,8 @@
 #include "model/fit.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
+#include "scenario/scenario.h"
+#include "scenario/spec.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
 #include "stream/resilient_sink.h"
@@ -39,6 +42,10 @@ using namespace cpg;
 
 constexpr const char* k_usage = R"(usage: stream_gen [options]
   --model <file>            load a fitted model (default: fit a demo model)
+  --scenario <file>         drive the run from a scenario spec (population
+                            churn, flash crowds, 4G->5G migration waves,
+                            phase pacing / core degradation); replaces
+                            --phones/--cars/--tablets/--start-hour/--hours
   --phones <n>              phone UE count (default 1000)
   --cars <n>                connected-car UE count (default 0)
   --tablets <n>             tablet UE count (default 0)
@@ -76,10 +83,10 @@ struct UsageError : std::runtime_error {
 
 const std::set<std::string>& value_flags() {
   static const std::set<std::string> flags{
-      "model",      "phones",  "cars",        "tablets",
-      "start-hour", "hours",   "seed",        "shards",
+      "model",      "scenario", "phones",      "cars",        "tablets",
+      "start-hour", "hours",    "seed",        "shards",
       "threads",    "slice-min", "queue-events", "clock",
-      "accel",      "out",     "metrics-out", "metrics-interval-s",
+      "accel",      "out",      "metrics-out", "metrics-interval-s",
       "checkpoint-dir", "checkpoint-interval", "sink-policy", "spill-file"};
   return flags;
 }
@@ -183,6 +190,24 @@ int run(int argc, char** argv) {
   // Parse and validate everything before the (expensive) model load, so a
   // typo fails in milliseconds, not after a demo-model fit.
   const std::uint64_t seed = flag_u64(flags, "seed", 42);
+
+  const bool scenario_run = flags.count("scenario") != 0;
+  if (scenario_run) {
+    for (const char* f :
+         {"phones", "cars", "tablets", "start-hour", "hours"}) {
+      if (flags.count(f) != 0) {
+        throw UsageError(std::string("--") + f +
+                         " conflicts with --scenario (the spec declares the "
+                         "population and window)");
+      }
+    }
+  }
+  // Parsing the spec up front also makes a malformed file fail fast; the
+  // compile against the model happens after the model load below.
+  std::optional<scenario::ScenarioSpec> spec;
+  if (scenario_run) {
+    spec = scenario::parse_scenario_file(flags.at("scenario"));
+  }
 
   gen::GenerationRequest request;
   request.ue_counts[index_of(DeviceType::phone)] =
@@ -301,6 +326,21 @@ int run(int argc, char** argv) {
                                   ? io::load_model(flags.at("model"))
                                   : demo_model(seed);
 
+  std::optional<scenario::CompiledScenario> scen;
+  if (spec.has_value()) {
+    scenario::CompileOptions copts;
+    copts.seed = seed;
+    copts.ue_options = request.ue_options;
+    scen.emplace(scenario::compile(*spec, set, copts));
+    // The plan overload takes the thread count from the stream options.
+    options.num_threads = request.num_threads;
+    std::cerr << "scenario '" << spec->name << "': "
+              << scen->plan.device_of.size() << " UEs across "
+              << spec->cohorts.size() << " cohort(s), "
+              << spec->phases.size() << " phase(s), start-hour "
+              << spec->start_hour << ", " << spec->duration_hours << " h\n";
+  }
+
   stream::CountingSink counter;
   std::vector<stream::EventSink*> sinks{&counter};
   std::unique_ptr<stream::CsvSink> csv;
@@ -326,7 +366,9 @@ int run(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   const stream::StreamStats stats =
-      stream::stream_generate(set, request, options, *delivery);
+      scen.has_value()
+          ? stream::stream_generate(scen->plan, options, *delivery)
+          : stream::stream_generate(set, request, options, *delivery);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -339,6 +381,11 @@ int run(int argc, char** argv) {
             << " events/s) | shards=" << stats.num_shards
             << " slices=" << stats.slices
             << " peak_buffered=" << stats.peak_buffered_events << "\n";
+  if (scen.has_value()) {
+    std::cout << "scenario lifecycle: " << stats.cohort_joins
+              << " joins, " << stats.cohort_leaves << " leaves, "
+              << stats.migrations << " migrations\n";
+  }
   if (stats.start_slice > 0) {
     std::cout << "resumed from slice " << stats.start_slice << "\n";
   }

@@ -1,0 +1,189 @@
+// Distributed generation scaling: merged throughput at N worker ranks.
+//
+// For each rank count N in {1, 2, 4} this bench runs the real distributed
+// stack — N forked worker processes, each generating its rank slice of the
+// same stationary population and shipping framed event batches over an
+// AF_UNIX socketpair, with the coordinator k-way merging the rank streams
+// into a counting sink (src/dist/). The model is fitted once before the
+// forks, so children inherit it copy-on-write and the measured window is
+// pure generate + ship + merge.
+//
+// The merged stream is byte-count-checked across rank counts (the
+// determinism contract makes any divergence a hard error), and results land
+// in ./BENCH_distributed.json including the host's core count — rank
+// scaling is only expected to materialize when the host actually has cores
+// to run the ranks on.
+//
+// Population: ~1M UEs at --scale=1 (dist_ues below); a short window keeps
+// the suite's default runtime in minutes.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
+#include "stream/event_sink.h"
+#include "stream/population.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::bench {
+namespace {
+
+constexpr double k_gen_hours = 0.25;
+constexpr TimeMs k_slice = 5 * k_ms_per_minute;
+
+std::size_t dist_ues(const BenchConfig& config) {
+  const double ues = 1'000'000.0 * config.scale;
+  return ues < 1000.0 ? 1000 : static_cast<std::size_t>(ues);
+}
+
+struct RankRun {
+  unsigned ranks = 0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+};
+
+// Runs one N-rank distributed generation: fork N workers over socketpairs,
+// merge in this process. Returns the merged event count and the wall time
+// of the merge (worker lifetime is contained in it — workers exit when
+// their stream is fully shipped).
+RankRun run_ranks(const stream::PopulationPlan& plan, unsigned n,
+                  unsigned worker_threads) {
+  std::vector<pid_t> pids;
+  std::vector<std::unique_ptr<dist::FdTransport>> coord_ends;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned r = 0; r < n; ++r) {
+    auto [worker_end, coord_end] = dist::make_transport_pair();
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid == 0) {
+      coord_end.reset();
+      for (auto& t : coord_ends) t.reset();
+      dist::WorkerOptions w;
+      w.rank = r;
+      w.num_ranks = n;
+      w.stream.num_threads = worker_threads;
+      w.stream.slice_ms = k_slice;
+      try {
+        run_worker(plan, *worker_end, w);
+      } catch (...) {
+        _exit(1);
+      }
+      _exit(0);
+    }
+    worker_end.reset();
+    pids.push_back(pid);
+    coord_ends.push_back(std::move(coord_end));
+  }
+
+  dist::CoordinatorOptions copts;
+  copts.stream.slice_ms = k_slice;
+  std::vector<dist::RankTransport*> transports;
+  for (auto& t : coord_ends) transports.push_back(t.get());
+  stream::CountingSink sink;
+  const dist::DistStats stats = run_merge(plan, transports, sink, copts);
+
+  RankRun out;
+  out.ranks = n;
+  out.events = stats.totals.events;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "worker exited abnormally\n");
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Distributed generation scaling",
+               "distributed runtime (src/dist/), not a paper table", config);
+
+  const std::size_t ues = dist_ues(config);
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("population: %zu UEs over %.2f h, host cores: %u\n\n", ues,
+              k_gen_hours, host_cpus);
+
+  const model::ModelSet models = [&] {
+    const Trace fit_trace = make_fit_trace(config);
+    return fit_method(fit_trace, model::Method::ours, config);
+  }();
+
+  gen::GenerationRequest request;
+  request.ue_counts = device_mix(ues);
+  request.start_hour = 10;
+  request.duration_hours = k_gen_hours;
+  request.seed = config.seed + 11;
+  request.num_threads = 1;  // per-worker threads; ranks are the scaling axis
+  const stream::PopulationPlan plan =
+      stream::stationary_plan(models, request);
+
+  std::printf("%6s %14s %10s %14s %9s\n", "ranks", "events", "seconds",
+              "events/s", "speedup");
+  std::vector<RankRun> runs;
+  for (const unsigned n : {1u, 2u, 4u}) {
+    const RankRun r = run_ranks(plan, n, request.num_threads);
+    if (!runs.empty() && r.events != runs.front().events) {
+      std::fprintf(stderr,
+                   "merged event count diverged: %llu at 1 rank vs %llu at "
+                   "%u ranks\n",
+                   (unsigned long long)runs.front().events,
+                   (unsigned long long)r.events, n);
+      return 1;
+    }
+    const double speedup =
+        runs.empty() ? 1.0
+                     : (runs.front().seconds > 0 && r.seconds > 0
+                            ? runs.front().seconds / r.seconds
+                            : 0.0);
+    std::printf("%6u %14llu %10.3f %14.0f %8.2fx\n", n,
+                (unsigned long long)r.events, r.seconds,
+                r.seconds > 0 ? double(r.events) / r.seconds : 0.0, speedup);
+    runs.push_back(r);
+  }
+
+  std::ofstream json("BENCH_distributed.json");
+  json << "{\n  \"bench\": \"dist_throughput\",\n  \"scale\": "
+       << config.scale << ",\n  \"ues\": " << ues
+       << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"host_cpus\": " << host_cpus << ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RankRun& r = runs[i];
+    const double eps = r.seconds > 0 ? double(r.events) / r.seconds : 0.0;
+    const double speedup =
+        i == 0 ? 1.0
+               : (runs[0].seconds > 0 && r.seconds > 0
+                      ? runs[0].seconds / r.seconds
+                      : 0.0);
+    json << (i == 0 ? "" : ",") << "\n    {\"ranks\": " << r.ranks
+         << ", \"events\": " << r.events << ", \"seconds\": " << r.seconds
+         << ", \"events_per_sec\": " << std::uint64_t(eps)
+         << ", \"speedup_vs_1rank\": " << speedup << "}";
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "\nwrote BENCH_distributed.json\n";
+  return 0;
+}

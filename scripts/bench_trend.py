@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Aggregate machine-readable bench results into a trend file.
+
+Every bench binary that emits a BENCH_<name>.json (stream_throughput,
+gen_hotpath, dist_throughput, ...) drops it in the repo root. This script
+folds all of them into one BENCH_trajectory.json: the flattened numeric
+metrics of each bench, keyed by bench name, plus a bounded history of past
+snapshots so throughput regressions are visible as a trend rather than a
+single point. Run it at the end of a bench sweep (scripts/run_benches.sh
+does), or manually after any individual bench.
+
+Usage: scripts/bench_trend.py [--root DIR] [--max-history N]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+TRAJECTORY = "BENCH_trajectory.json"
+MAX_HISTORY_DEFAULT = 50
+
+
+def flatten(value, prefix=""):
+    """Flattens nested dicts/lists to dotted keys, keeping numeric leaves."""
+    out = {}
+    if isinstance(value, dict):
+        for k, v in value.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten(v, key))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            out.update(flatten(v, f"{prefix}[{i}]"))
+    elif isinstance(value, bool):
+        pass  # bools are ints in Python; not a metric
+    elif isinstance(value, (int, float)):
+        out[prefix] = value
+    return out
+
+
+def git_describe(root):
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def collect(root):
+    benches = {}
+    for name in sorted(os.listdir(root)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name == TRAJECTORY:
+            continue
+        path = os.path.join(root, name)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_trend: skipping {name}: {e}", file=sys.stderr)
+            continue
+        bench = data.get("bench", name[len("BENCH_"):-len(".json")])
+        benches[bench] = {"file": name, "metrics": flatten(data)}
+    return benches
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="directory holding BENCH_*.json (default: repo root)")
+    ap.add_argument("--max-history", type=int, default=MAX_HISTORY_DEFAULT)
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    benches = collect(root)
+    if not benches:
+        print("bench_trend: no BENCH_*.json found, nothing to do")
+        return 0
+
+    out_path = os.path.join(root, TRAJECTORY)
+    history = []
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as f:
+                prev = json.load(f)
+            history = prev.get("history", [])
+            latest = prev.get("latest")
+            # The previous latest becomes the first history entry unless it
+            # is already recorded (same commit re-run just replaces it).
+            if latest and (not history or
+                           history[0].get("commit") != latest.get("commit")):
+                history.insert(0, latest)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_trend: ignoring unreadable {TRAJECTORY}: {e}",
+                  file=sys.stderr)
+
+    commit = git_describe(root)
+    history = [h for h in history if h.get("commit") != commit]
+    history = history[: args.max_history]
+
+    trajectory = {
+        "generated_by": "scripts/bench_trend.py",
+        "latest": {"commit": commit, "benches": benches},
+        "history": history,
+    }
+    tmp = out_path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, out_path)
+
+    print(f"bench_trend: {len(benches)} bench(es) at {commit} -> {out_path}")
+    for bench, entry in sorted(benches.items()):
+        eps = [v for k, v in entry["metrics"].items()
+               if k.endswith("events_per_sec")]
+        if eps:
+            print(f"  {bench}: max events/s {max(eps):,.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the distributed runtime (DESIGN.md "Distributed
+# generation"): stream_gen --ranks N spawning real worker processes over
+# socketpair transports, coordinator k-way merge into the CSV sink chain.
+#
+#   1. identity   : 1-rank and 4-rank runs -> CSVs byte-identical to the
+#                  single-process reference
+#   2. scenario   : a churn+migration spec merged across 4 ranks ->
+#                  identical to its single-process run
+#   3. kill+resume: one rank killed at two different points (per-rank
+#                  failpoint schedule, checkpoints armed); each resume
+#                  completes the exact reference CSVs
+#   4. rank death : a worker dying with no checkpoints must surface as a
+#                  clean coordinator error naming the rank — never a hang
+#                  (every run below is under `timeout`)
+#
+# Usage: scripts/dist_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GEN="$BUILD_DIR/stream_gen"
+if [[ ! -x "$GEN" ]]; then
+  echo "dist_smoke: $GEN not found (build first, or pass the build dir)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Sanitizer builds and 5 concurrent processes on small CI runners are slow;
+# cap every run so a deadlock is a failure, not a stuck job.
+RUN="timeout 300"
+
+ARGS=(--phones 120 --cars 50 --tablets 30 --hours 1 --seed 21 --slice-min 5)
+
+echo "== single-process reference"
+$RUN "$GEN" "${ARGS[@]}" --out "$WORK/ref"
+
+echo "== 1-rank distributed run"
+$RUN "$GEN" "${ARGS[@]}" --ranks 1 --out "$WORK/d1"
+cmp "$WORK/ref_events.csv" "$WORK/d1_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/d1_ues.csv"
+
+echo "== 4-rank distributed run"
+$RUN "$GEN" "${ARGS[@]}" --ranks 4 --out "$WORK/d4"
+cmp "$WORK/ref_events.csv" "$WORK/d4_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/d4_ues.csv"
+echo "   merged streams byte-identical"
+
+echo "== scenario run across 4 ranks"
+cat > "$WORK/smoke.scn" <<'EOF'
+scenario dist-smoke
+start-hour 8
+duration 2
+
+phase calm 0 1
+phase rush 1 2
+  accel 50
+
+cohort base
+  device phone
+  count 300
+  join 0
+  leave 1.5 1.9
+cohort crowd
+  device phone
+  count 150
+  join 0.8 1.0
+cohort cars
+  device car
+  count 100
+  migrate 1.2 nsa
+EOF
+$RUN "$GEN" --scenario "$WORK/smoke.scn" --seed 5 --slice-min 5 \
+  --out "$WORK/sref"
+$RUN "$GEN" --scenario "$WORK/smoke.scn" --seed 5 --slice-min 5 \
+  --ranks 4 --out "$WORK/s4"
+cmp "$WORK/sref_events.csv" "$WORK/s4_events.csv"
+cmp "$WORK/sref_ues.csv" "$WORK/s4_ues.csv"
+echo "   scenario merge byte-identical"
+
+# Two kill points: rank 2's transport dies on its Nth frame, once early and
+# once deep into the run. Checkpoints every 2 slices; the resume must finish
+# the exact reference CSVs from whatever the last committed manifest was.
+for SKIP in 9 15; do
+  echo "== kill rank 2 at frame $SKIP, then resume"
+  rm -rf "$WORK/ck" "$WORK/kr_events.csv" "$WORK/kr_ues.csv"
+  if CPG_FAILPOINTS_RANK2="dist.send_frame=fatal(1,0,$SKIP,1)" \
+      $RUN "$GEN" "${ARGS[@]}" --ranks 4 --out "$WORK/kr" \
+      --checkpoint-dir "$WORK/ck" --checkpoint-interval 2 2> "$WORK/kill.err"
+  then
+    echo "dist_smoke: killed run unexpectedly exited 0" >&2
+    exit 1
+  fi
+  grep -q "rank 2" "$WORK/kill.err" || {
+    echo "dist_smoke: coordinator error did not name the dead rank:" >&2
+    cat "$WORK/kill.err" >&2
+    exit 1
+  }
+  [[ -f "$WORK/ck/dist.manifest" ]] || {
+    echo "dist_smoke: no distributed checkpoint committed before the kill" >&2
+    exit 1
+  }
+  $RUN "$GEN" "${ARGS[@]}" --ranks 4 --out "$WORK/kr" \
+    --checkpoint-dir "$WORK/ck" --checkpoint-interval 2 --resume
+  cmp "$WORK/ref_events.csv" "$WORK/kr_events.csv"
+  cmp "$WORK/ref_ues.csv" "$WORK/kr_ues.csv"
+  echo "   resumed run byte-identical"
+done
+
+echo "== worker death without checkpoints is a clean coordinator error"
+if CPG_FAILPOINTS_RANK1='dist.send_frame=fatal(1,0,5,1)' \
+    $RUN "$GEN" "${ARGS[@]}" --ranks 3 --out "$WORK/dead" \
+    2> "$WORK/dead.err"
+then
+  echo "dist_smoke: run with a dead rank unexpectedly exited 0" >&2
+  exit 1
+fi
+grep -q "rank 1" "$WORK/dead.err" || {
+  echo "dist_smoke: coordinator did not name the dead rank:" >&2
+  cat "$WORK/dead.err" >&2
+  exit 1
+}
+echo "   coordinator surfaced the dead rank and exited"
+
+echo "dist_smoke: OK"

@@ -8,6 +8,9 @@ for b in build/bench/*; do
   "$b" "$@"
   echo
 done
-# stream_throughput and gen_hotpath drop machine-readable results next to us.
+# stream_throughput, gen_hotpath and dist_throughput drop machine-readable
+# results next to us; bench_trend.py folds them into BENCH_trajectory.json.
 [ -f BENCH_stream.json ] && echo "machine-readable: $(pwd)/BENCH_stream.json"
 [ -f BENCH_gen.json ] && echo "machine-readable: $(pwd)/BENCH_gen.json"
+[ -f BENCH_distributed.json ] && echo "machine-readable: $(pwd)/BENCH_distributed.json"
+python3 scripts/bench_trend.py

@@ -1,0 +1,749 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "obs/merge.h"
+#include "stream/checkpoint.h"
+#include "stream/merge.h"
+#include "stream/pacing.h"
+
+namespace cpg::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view k_manifest_magic = "cpg-dist-manifest";
+constexpr int k_manifest_version = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("dist: " + what);
+}
+
+[[noreturn]] void manifest_fail(const std::string& what,
+                                const std::string& path) {
+  throw std::runtime_error("dist manifest: " + what + " [" + path + "]");
+}
+
+// --- per-rank receive pipeline -------------------------------------------
+
+struct RankItem {
+  enum class Kind {
+    events,
+    slice_end,
+    checkpoint,
+    obs,
+    finish,
+    eof,
+    error
+  };
+  Kind kind = Kind::error;
+  std::vector<ControlEvent> events;
+  SliceEndFrame slice_end{};
+  std::uint64_t ck_watermark = 0;
+  std::string text;  // checkpoint bytes / obs payload / error message
+  stream::StreamStats stats{};
+};
+
+// Bounded by buffered events with the same invariant as the in-process
+// shard queues: an empty queue always accepts one item, so the hard bound
+// is max(max_events, largest single frame) and the pipeline cannot
+// deadlock. Closing releases both sides; a push after close is dropped.
+class RankQueue {
+ public:
+  explicit RankQueue(std::size_t max_events)
+      : max_events_(std::max<std::size_t>(1, max_events)) {}
+
+  bool push(RankItem item) {
+    std::unique_lock lock(mu_);
+    const std::size_t ev = item.events.size();
+    cv_push_.wait(lock, [&] {
+      return closed_ || items_.empty() || buffered_ + ev <= max_events_;
+    });
+    if (closed_) return false;
+    buffered_ += ev;
+    peak_ = std::max(peak_, buffered_);
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  std::optional<RankItem> pop() {
+    std::unique_lock lock(mu_);
+    cv_pop_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    RankItem item = std::move(items_.front());
+    items_.pop_front();
+    buffered_ -= item.events.size();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  std::size_t peak() const {
+    std::lock_guard lock(mu_);
+    return peak_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<RankItem> items_;
+  std::size_t buffered_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t max_events_ = 0;
+  bool closed_ = false;
+};
+
+// Reader thread: turns one rank's frame stream into typed queue items.
+// Protocol violations become error items (the merge loop reports them);
+// the thread itself never throws out.
+void reader_loop(RankTransport& transport, unsigned rank, unsigned num_ranks,
+                 RankQueue& queue) {
+  auto push_error = [&](const std::string& msg) {
+    RankItem it;
+    it.kind = RankItem::Kind::error;
+    it.text = msg;
+    queue.push(std::move(it));
+  };
+  try {
+    auto hello = transport.recv();
+    if (!hello.has_value()) {
+      RankItem it;
+      it.kind = RankItem::Kind::eof;
+      queue.push(std::move(it));
+      return;
+    }
+    if (hello->type != FrameType::hello) {
+      push_error("stream did not start with hello");
+      return;
+    }
+    const HelloFrame h = decode_hello(hello->payload);
+    if (h.proto != k_proto_version) {
+      push_error("protocol version mismatch (worker speaks " +
+                 std::to_string(h.proto) + ", coordinator speaks " +
+                 std::to_string(k_proto_version) + ")");
+      return;
+    }
+    if (h.rank != rank || h.num_ranks != num_ranks) {
+      push_error("hello identifies rank " + std::to_string(h.rank) + "/" +
+                 std::to_string(h.num_ranks) + ", expected " +
+                 std::to_string(rank) + "/" + std::to_string(num_ranks));
+      return;
+    }
+    while (true) {
+      auto f = transport.recv();
+      RankItem it;
+      if (!f.has_value()) {
+        it.kind = RankItem::Kind::eof;
+        queue.push(std::move(it));
+        return;
+      }
+      switch (f->type) {
+        case FrameType::events:
+          it.kind = RankItem::Kind::events;
+          decode_events(f->payload, it.events);
+          break;
+        case FrameType::slice_end:
+          it.kind = RankItem::Kind::slice_end;
+          it.slice_end = decode_slice_end(f->payload);
+          break;
+        case FrameType::checkpoint: {
+          it.kind = RankItem::Kind::checkpoint;
+          const auto [watermark, bytes] = decode_checkpoint(f->payload);
+          it.ck_watermark = watermark;
+          it.text.assign(bytes);
+          break;
+        }
+        case FrameType::obs:
+          it.kind = RankItem::Kind::obs;
+          it.text = std::move(f->payload);
+          break;
+        case FrameType::finish:
+          it.kind = RankItem::Kind::finish;
+          it.stats = decode_finish(f->payload);
+          break;
+        case FrameType::error:
+          push_error(f->payload.empty() ? "worker reported an unnamed error"
+                                        : f->payload);
+          return;
+        case FrameType::hello:
+          push_error("duplicate hello");
+          return;
+      }
+      if (!queue.push(std::move(it))) return;  // coordinator shut down
+    }
+  } catch (const std::exception& e) {
+    push_error(e.what());
+  }
+}
+
+// Coordinator-side instruments (cpg_dist_*), plus the scenario set the
+// in-process consumer would have maintained.
+struct DistInstruments {
+  obs::Counter* delivered_events = nullptr;
+  obs::Counter* delivered_slices = nullptr;
+  obs::Counter* checkpoints = nullptr;
+  obs::Gauge* last_checkpoint_slice = nullptr;
+  std::vector<obs::Counter*> rank_events;
+
+  DistInstruments(obs::Registry& reg, unsigned ranks) {
+    delivered_events =
+        &reg.counter("cpg_dist_delivered_events_total",
+                     "Events delivered by the distributed merge");
+    delivered_slices =
+        &reg.counter("cpg_dist_slices_delivered_total",
+                     "Slices fully merged across all ranks and delivered");
+    checkpoints =
+        &reg.counter("cpg_dist_checkpoints_total",
+                     "Distributed checkpoints committed (manifest replaces)");
+    last_checkpoint_slice =
+        &reg.gauge("cpg_dist_last_checkpoint_slice",
+                   "Slice watermark of the most recent committed manifest");
+    rank_events.resize(ranks);
+    for (unsigned r = 0; r < ranks; ++r) {
+      rank_events[r] =
+          &reg.counter("cpg_dist_rank_events_total",
+                       "Events received from one worker rank",
+                       {{"rank", std::to_string(r)}});
+    }
+  }
+};
+
+struct ScenarioInstruments {
+  obs::Gauge* active_ues = nullptr;
+  obs::Gauge* phase = nullptr;
+  obs::Counter* joins = nullptr;
+  obs::Counter* leaves = nullptr;
+  obs::Counter* migrations = nullptr;
+
+  explicit ScenarioInstruments(obs::Registry& reg) {
+    active_ues = &reg.gauge(
+        "cpg_scenario_active_ues",
+        "UEs with a currently open plan segment (scheduled population)");
+    phase = &reg.gauge(
+        "cpg_scenario_phase",
+        "Index of the active scenario phase (-1 between phases)");
+    joins = &reg.counter("cpg_scenario_cohort_joins_total",
+                         "UEs that joined the population mid-run");
+    leaves = &reg.counter("cpg_scenario_cohort_leaves_total",
+                          "UEs that left the population before the run end");
+    migrations = &reg.counter(
+        "cpg_scenario_migrations_total",
+        "UEs handed off to another model by a migration wave");
+  }
+};
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/dist.manifest";
+}
+
+std::string rank_checkpoint_dir(const std::string& dir,
+                                std::uint64_t watermark, unsigned rank) {
+  return dir + "/w" + std::to_string(watermark) + "/rank" +
+         std::to_string(rank);
+}
+
+void save_manifest(const DistManifest& m, const std::string& dir) {
+  fs::create_directories(dir);
+  const std::string path = manifest_path(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) manifest_fail("cannot open for writing", tmp);
+    os << k_manifest_magic << ' ' << k_manifest_version << '\n'
+       << "num_ranks " << m.num_ranks << '\n'
+       << "watermark " << m.watermark << '\n'
+       << "seed " << m.seed << '\n'
+       << "fingerprint " << m.fingerprint << '\n'
+       << "window " << m.t_begin << ' ' << m.t_end << '\n'
+       << "slice_ms " << m.slice_ms << '\n'
+       << "sink_token " << m.sink_token.size() << ':' << m.sink_token << '\n';
+    os.flush();
+    if (!os) manifest_fail("write failed", tmp);
+  }
+  fs::rename(tmp, path);  // the commit point; throws on failure
+}
+
+std::optional<DistManifest> load_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::string magic, tag;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != k_manifest_magic) {
+    manifest_fail(
+        "unreadable or truncated header (not a dist manifest; remove the "
+        "checkpoint directory to start over)",
+        path);
+  }
+  if (version > k_manifest_version) {
+    manifest_fail("manifest format version " + std::to_string(version) +
+                      " is newer than this build understands (version " +
+                      std::to_string(k_manifest_version) +
+                      "); resume with a newer build or remove the checkpoint "
+                      "directory to start over",
+                  path);
+  }
+  DistManifest m;
+  auto expect = [&](const char* want) {
+    if (!(is >> tag) || tag != want) {
+      manifest_fail(std::string("missing or misordered field \"") + want +
+                        "\" (remove the checkpoint directory to start over)",
+                    path);
+    }
+  };
+  expect("num_ranks");
+  if (!(is >> m.num_ranks)) manifest_fail("bad num_ranks", path);
+  expect("watermark");
+  if (!(is >> m.watermark)) manifest_fail("bad watermark", path);
+  expect("seed");
+  if (!(is >> m.seed)) manifest_fail("bad seed", path);
+  expect("fingerprint");
+  if (!(is >> m.fingerprint)) manifest_fail("bad fingerprint", path);
+  expect("window");
+  if (!(is >> m.t_begin >> m.t_end)) manifest_fail("bad window", path);
+  expect("slice_ms");
+  if (!(is >> m.slice_ms)) manifest_fail("bad slice_ms", path);
+  expect("sink_token");
+  std::size_t token_len = 0;
+  if (!(is >> token_len) || is.get() != ':') {
+    manifest_fail("bad sink_token length", path);
+  }
+  m.sink_token.resize(token_len);
+  if (token_len > 0 &&
+      !is.read(m.sink_token.data(),
+               static_cast<std::streamsize>(token_len))) {
+    manifest_fail("truncated sink_token", path);
+  }
+  return m;
+}
+
+std::optional<DistManifest> prepare_resume(const std::string& dir,
+                                           const stream::PopulationPlan& plan,
+                                           unsigned num_ranks,
+                                           TimeMs slice_ms) {
+  const auto m = load_manifest(dir);
+  if (!m.has_value()) return std::nullopt;
+  const auto mismatch = [](const char* field) {
+    throw std::runtime_error(
+        std::string("dist resume: manifest mismatch on ") + field +
+        " (remove the checkpoint directory to start over)");
+  };
+  if (m->num_ranks != num_ranks) mismatch("num_ranks");
+  if (m->fingerprint != plan.fingerprint) mismatch("scenario");
+  if (m->seed != plan.seed) mismatch("seed");
+  if (m->t_begin != plan.t_begin || m->t_end != plan.t_end) {
+    mismatch("window");
+  }
+  if (m->slice_ms != std::max<TimeMs>(1, slice_ms)) mismatch("slice_ms");
+  for (unsigned r = 0; r < num_ranks; ++r) {
+    const std::string ck =
+        stream::checkpoint_path(rank_checkpoint_dir(dir, m->watermark, r));
+    if (!fs::exists(ck)) {
+      throw std::runtime_error(
+          "dist resume: manifest references missing rank checkpoint " + ck +
+          " (remove the checkpoint directory to start over)");
+    }
+  }
+  return m;
+}
+
+DistStats run_merge(const stream::PopulationPlan& plan,
+                    const std::vector<RankTransport*>& ranks,
+                    stream::EventSink& sink,
+                    const CoordinatorOptions& options) {
+  const auto n = static_cast<unsigned>(ranks.size());
+  if (n == 0) throw std::invalid_argument("dist: no rank transports");
+  for (RankTransport* t : ranks) {
+    if (t == nullptr) throw std::invalid_argument("dist: null rank transport");
+  }
+
+  // Validates accelerated-clock options before any thread starts, exactly
+  // like the in-process runtime.
+  stream::Pacer pacer(options.stream.clock, options.stream.accel_factor);
+  const double base_factor = pacer.factor();
+
+  const std::size_t total_ues = plan.device_of.size();
+  const TimeMs t_begin = plan.t_begin;
+  const TimeMs t_end = plan.t_end;
+  const TimeMs slice = std::max<TimeMs>(1, options.stream.slice_ms);
+  // Workers skip the slice loop entirely for an empty run (no population or
+  // empty window) — they send hello + finish and nothing in between.
+  const std::uint64_t num_slices =
+      (total_ues == 0 || t_end <= t_begin)
+          ? 0
+          : static_cast<std::uint64_t>((t_end - t_begin + slice - 1) / slice);
+
+  const std::string& ck_dir = options.stream.checkpoint.dir;
+  std::uint64_t start_slice = 0;
+  if (options.resume.has_value()) {
+    if (ck_dir.empty()) {
+      throw std::invalid_argument(
+          "dist resume requires a checkpoint directory");
+    }
+    start_slice = options.resume->watermark;
+  }
+
+  auto* participant = dynamic_cast<stream::CheckpointParticipant*>(&sink);
+  auto* phase_sink = dynamic_cast<stream::PhaseListener*>(&sink);
+  auto* slice_sink = dynamic_cast<stream::SliceListener*>(&sink);
+
+  const stream::StreamHeader header{plan.device_of, t_begin, t_end};
+  if (options.resume.has_value() && participant != nullptr) {
+    participant->checkpoint_resume(options.resume->sink_token, header);
+  } else {
+    sink.on_start(header);
+  }
+
+  const bool scenario = plan.fingerprint != 0;
+  std::unique_ptr<DistInstruments> ins;
+  std::unique_ptr<ScenarioInstruments> scn;
+  if (options.stream.metrics != nullptr) {
+    ins = std::make_unique<DistInstruments>(*options.stream.metrics, n);
+    if (scenario) {
+      scn = std::make_unique<ScenarioInstruments>(*options.stream.metrics);
+    }
+  }
+
+  // Phase timeline and pacing, owned here: workers generate as fast as
+  // possible and the merged stream is paced once, with phase boundaries
+  // applied at identical stream positions to the in-process consumer.
+  stream::PhaseSchedule schedule(plan.phases);
+  auto apply_phase = [&](int idx) {
+    const stream::PhaseRow* row =
+        idx >= 0 ? &plan.phases[static_cast<std::size_t>(idx)] : nullptr;
+    if (!pacer.passthrough()) {
+      pacer.set_factor(row != nullptr && row->accel > 0.0 ? row->accel
+                                                          : base_factor);
+    }
+    if (phase_sink != nullptr) phase_sink->on_phase(row);
+    if (scn) scn->phase->set(idx);
+  };
+
+  // Scheduled-population bookkeeping over the full plan (the coordinator
+  // sees every rank's segments), mirroring the in-process consumer.
+  struct StartMark {
+    TimeMs t;
+    bool join;
+    bool migration;
+  };
+  struct EndMark {
+    TimeMs t;
+    bool leave;
+  };
+  std::vector<StartMark> starts;
+  std::vector<EndMark> ends;
+  if (scenario) {
+    starts.reserve(plan.segments.size());
+    ends.reserve(plan.segments.size());
+    for (const stream::UeSegment& seg : plan.segments) {
+      starts.push_back({seg.t_start, seg.counts_join, seg.counts_migration});
+      ends.push_back({seg.t_end, seg.counts_leave});
+    }
+    std::sort(ends.begin(), ends.end(),
+              [](const EndMark& a, const EndMark& b) { return a.t < b.t; });
+  }
+  std::size_t start_cursor = 0;
+  std::size_t end_cursor = 0;
+  if (start_slice > 0) {
+    const TimeMs resume_t =
+        t_begin + static_cast<TimeMs>(start_slice) * slice;
+    schedule.resume_at(resume_t, apply_phase);
+    while (start_cursor < starts.size() && starts[start_cursor].t < resume_t) {
+      ++start_cursor;
+    }
+    while (end_cursor < ends.size() && ends[end_cursor].t <= resume_t) {
+      ++end_cursor;
+    }
+  }
+  if (scn) {
+    scn->active_ues->set(static_cast<std::int64_t>(start_cursor - end_cursor));
+  }
+
+  std::array<std::size_t, k_num_device_types> ue_counts{};
+  for (DeviceType d : plan.device_of) ++ue_counts[index_of(d)];
+
+  DistStats out;
+  out.totals.start_slice = start_slice;
+  out.totals.num_ues = total_ues;
+  out.ranks.resize(n);
+
+  std::vector<std::unique_ptr<RankQueue>> queues;
+  queues.reserve(n);
+  for (unsigned r = 0; r < n; ++r) {
+    queues.push_back(
+        std::make_unique<RankQueue>(options.stream.max_buffered_events));
+  }
+  std::vector<std::thread> readers;
+  readers.reserve(n);
+  for (unsigned r = 0; r < n; ++r) {
+    readers.emplace_back(reader_loop, std::ref(*ranks[r]), r, n,
+                         std::ref(*queues[r]));
+  }
+
+  std::vector<std::vector<ControlEvent>> runs(n);
+  std::vector<std::optional<std::string>> pending_ck(n);
+  std::vector<ControlEvent> merged;
+
+  auto rank_tag = [](unsigned r) { return "rank " + std::to_string(r); };
+
+  // Pops rank r's queue until slice k's slice_end, accumulating its events
+  // into runs[r] and stashing an in-band checkpoint part.
+  auto collect_slice = [&](unsigned r, std::uint64_t k) {
+    runs[r].clear();
+    std::uint64_t count = 0;
+    while (true) {
+      auto item = queues[r]->pop();
+      if (!item.has_value()) fail(rank_tag(r) + " pipeline closed");
+      switch (item->kind) {
+        case RankItem::Kind::error:
+          fail(rank_tag(r) + " failed: " + item->text);
+        case RankItem::Kind::eof:
+          fail(rank_tag(r) + " stream ended before slice " +
+               std::to_string(k));
+        case RankItem::Kind::finish:
+          fail(rank_tag(r) + " finished before slice " + std::to_string(k));
+        case RankItem::Kind::obs:
+          fail(rank_tag(r) + " sent obs mid-stream");
+        case RankItem::Kind::checkpoint:
+          if (pending_ck[r].has_value()) {
+            fail(rank_tag(r) + " sent a duplicate checkpoint");
+          }
+          if (item->ck_watermark != k) {
+            fail(rank_tag(r) + " checkpoint watermark " +
+                 std::to_string(item->ck_watermark) +
+                 " arrived out of order at slice " + std::to_string(k));
+          }
+          pending_ck[r] = std::move(item->text);
+          break;
+        case RankItem::Kind::events:
+          count += item->events.size();
+          if (runs[r].empty()) {
+            runs[r] = std::move(item->events);
+          } else {
+            runs[r].insert(runs[r].end(), item->events.begin(),
+                           item->events.end());
+          }
+          break;
+        case RankItem::Kind::slice_end:
+          if (item->slice_end.slice != k) {
+            fail(rank_tag(r) + " slice out of order (got " +
+                 std::to_string(item->slice_end.slice) + ", expected " +
+                 std::to_string(k) + ")");
+          }
+          if (item->slice_end.events != count) {
+            fail(rank_tag(r) + " torn slice " + std::to_string(k) +
+                 ": received " + std::to_string(count) + " events, header "
+                 "says " + std::to_string(item->slice_end.events));
+          }
+          return;
+      }
+    }
+  };
+
+  // Commits the distributed checkpoint at watermark k: sink token first
+  // (delivery is quiescent here), rank bytes into a fresh bundle, manifest
+  // rename as the commit point, then GC of superseded bundles.
+  auto commit_checkpoint = [&](std::uint64_t k) {
+    CPG_FAILPOINT("dist.checkpoint_commit");
+    if (ck_dir.empty()) {
+      fail("checkpoint frames arrived but the coordinator has no checkpoint "
+           "directory configured");
+    }
+    DistManifest m;
+    m.num_ranks = n;
+    m.watermark = k;
+    m.seed = plan.seed;
+    m.fingerprint = plan.fingerprint;
+    m.t_begin = t_begin;
+    m.t_end = t_end;
+    m.slice_ms = slice;
+    if (participant != nullptr) m.sink_token = participant->checkpoint_save();
+    for (unsigned r = 0; r < n; ++r) {
+      const std::string rdir = rank_checkpoint_dir(ck_dir, k, r);
+      fs::create_directories(rdir);
+      const std::string path = stream::checkpoint_path(rdir);
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      if (!os) fail("cannot write rank checkpoint " + path);
+      os << *pending_ck[r];
+      os.flush();
+      if (!os) fail("write failed for rank checkpoint " + path);
+      pending_ck[r].reset();
+    }
+    save_manifest(m, ck_dir);
+    const std::string keep = "w" + std::to_string(k);
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(ck_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 1 && name[0] == 'w' && name != keep &&
+          name.find_first_not_of("0123456789", 1) == std::string::npos) {
+        fs::remove_all(entry.path(), ec);
+      }
+    }
+    ++out.totals.checkpoints_written;
+    if (ins) {
+      ins->checkpoints->inc();
+      ins->last_checkpoint_slice->set(static_cast<std::int64_t>(k));
+    }
+  };
+
+  auto deliver_batch = [&](std::span<const ControlEvent> evs) {
+    deliver_phased(sink, evs, schedule, apply_phase);
+    out.totals.events += evs.size();
+  };
+
+  std::exception_ptr err;
+  try {
+    for (std::uint64_t k = start_slice; k < num_slices; ++k) {
+      for (unsigned r = 0; r < n; ++r) collect_slice(r, k);
+      const auto ck_parts = static_cast<unsigned>(
+          std::count_if(pending_ck.begin(), pending_ck.end(),
+                        [](const auto& p) { return p.has_value(); }));
+      if (ck_parts == n) {
+        commit_checkpoint(k);
+      } else if (ck_parts != 0) {
+        fail("inconsistent rank checkpoints at slice " + std::to_string(k) +
+             " (" + std::to_string(ck_parts) + " of " + std::to_string(n) +
+             " parts)");
+      }
+      const std::uint64_t before = out.totals.events;
+      if (pacer.passthrough()) {
+        if (n == 1) {
+          deliver_batch(runs[0]);
+        } else {
+          merged.clear();
+          stream::k_way_merge(
+              std::span<const std::vector<ControlEvent>>(runs),
+              [&](const ControlEvent& e) { merged.push_back(e); });
+          deliver_batch(merged);
+        }
+      } else {
+        stream::k_way_merge(std::span<const std::vector<ControlEvent>>(runs),
+                            [&](const ControlEvent& e) {
+                              schedule.fire_until(e.t_ms, apply_phase);
+                              pacer.pace(e.t_ms);
+                              sink.on_event(e);
+                              ++out.totals.events;
+                            });
+      }
+      ++out.totals.slices;
+      if (slice_sink != nullptr) slice_sink->on_slice_delivered(k);
+      if (ins) {
+        const std::uint64_t slice_events = out.totals.events - before;
+        ins->delivered_events->inc(slice_events);
+        ins->delivered_slices->inc();
+        for (unsigned r = 0; r < n; ++r) {
+          ins->rank_events[r]->inc(runs[r].size());
+        }
+      }
+      for (auto& run : runs) run.clear();
+      if (scenario) {
+        const bool last = k + 1 == num_slices;
+        const TimeMs limit =
+            last ? t_end : t_begin + static_cast<TimeMs>(k + 1) * slice;
+        while (start_cursor < starts.size() &&
+               starts[start_cursor].t < limit) {
+          const StartMark& m = starts[start_cursor++];
+          if (m.join) {
+            ++out.totals.cohort_joins;
+            if (scn) scn->joins->inc();
+          }
+          if (m.migration) {
+            ++out.totals.migrations;
+            if (scn) scn->migrations->inc();
+          }
+        }
+        while (end_cursor < ends.size() && ends[end_cursor].t <= limit) {
+          if (ends[end_cursor++].leave) {
+            ++out.totals.cohort_leaves;
+            if (scn) scn->leaves->inc();
+          }
+        }
+        if (scn) {
+          scn->active_ues->set(
+              static_cast<std::int64_t>(start_cursor - end_cursor));
+        }
+      }
+    }
+
+    // Trailer per rank: optional obs snapshot, then finish. The reader may
+    // still be blocked waiting for EOF afterwards — the shutdown below
+    // aborts the transports to release it.
+    for (unsigned r = 0; r < n; ++r) {
+      bool have_obs = false;
+      while (true) {
+        auto item = queues[r]->pop();
+        if (!item.has_value()) fail(rank_tag(r) + " pipeline closed");
+        if (item->kind == RankItem::Kind::error) {
+          fail(rank_tag(r) + " failed: " + item->text);
+        }
+        if (item->kind == RankItem::Kind::eof) {
+          fail(rank_tag(r) + " stream ended before finish");
+        }
+        if (item->kind == RankItem::Kind::obs) {
+          if (have_obs) fail(rank_tag(r) + " sent a duplicate obs snapshot");
+          have_obs = true;
+          if (options.stream.metrics != nullptr) {
+            obs::merge_snapshot(*options.stream.metrics,
+                                obs::parse_snapshot(item->text),
+                                {{"rank", std::to_string(r)}});
+          }
+          continue;
+        }
+        if (item->kind == RankItem::Kind::finish) {
+          out.ranks[r] = item->stats;
+          break;
+        }
+        fail(rank_tag(r) + " sent an unexpected frame after its last slice");
+      }
+    }
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  // Shutdown (both paths): aborting the transports releases readers blocked
+  // in recv and workers blocked in send; closing the queues releases a
+  // reader blocked on backpressure. Joins then always complete.
+  for (RankTransport* t : ranks) t->abort();
+  for (auto& q : queues) q->close();
+  for (auto& th : readers) th.join();
+  if (err) std::rethrow_exception(err);
+
+  std::uint64_t rank_total = 0;
+  for (unsigned r = 0; r < n; ++r) {
+    rank_total += out.ranks[r].events;
+    out.totals.num_shards += out.ranks[r].num_shards;
+    out.totals.peak_buffered_events =
+        std::max(out.totals.peak_buffered_events, queues[r]->peak());
+  }
+  if (rank_total != out.totals.events) {
+    fail("merged event count " + std::to_string(out.totals.events) +
+         " disagrees with rank totals " + std::to_string(rank_total));
+  }
+  sink.on_finish();
+  return out;
+}
+
+}  // namespace cpg::dist

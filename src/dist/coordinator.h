@@ -1,0 +1,100 @@
+// Coordinator side of the distributed runtime: merges N rank streams
+// (dist/wire.h protocol) into the ordinary pluggable sink chain and owns
+// everything the workers gave up — pacing, phase application, scenario
+// bookkeeping, checkpoint durability and obs aggregation.
+//
+// Merge model: ranks generate on the same slice grid, so the coordinator
+// collects every rank's batch for slice k (a reader thread per rank feeds a
+// bounded queue; backpressure reaches the worker through the socket), k-way
+// merges them into canonical event order, and delivers the slice exactly
+// like the in-process consumer — deliver_phased + Pacer — so the delivered
+// stream is byte-identical to a 1-process run for any rank count.
+//
+// Distributed checkpoints: every rank ships its checkpoint for watermark W
+// just before its slice-W events. The coordinator commits only when all N
+// parts arrived — capture the sink token (delivery is quiescent between
+// slices), persist each rank's bytes under <dir>/w<W>/rank<r>/, then
+// atomically replace <dir>/dist.manifest (the commit point), then GC older
+// bundles. A crash anywhere leaves either the old or the new checkpoint
+// fully intact, never a torn mix of rank generations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "stream/event_sink.h"
+#include "stream/population.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::dist {
+
+// The committed state of a distributed checkpoint, persisted as
+// <dir>/dist.manifest. The sink token is the coordinator's — rank tokens
+// are always empty (workers do not own durable outputs).
+struct DistManifest {
+  unsigned num_ranks = 0;
+  std::uint64_t watermark = 0;  // first slice not yet delivered
+  std::uint64_t seed = 0;
+  std::uint64_t fingerprint = 0;  // plan scenario fingerprint (0 stationary)
+  TimeMs t_begin = 0;
+  TimeMs t_end = 0;
+  TimeMs slice_ms = 0;
+  std::string sink_token;
+};
+
+std::string manifest_path(const std::string& dir);
+// <dir>/w<watermark>/rank<r> — the directory a resumed rank reads its
+// checkpoint back from (it contains the usual stream.ckpt file).
+std::string rank_checkpoint_dir(const std::string& dir,
+                                std::uint64_t watermark, unsigned rank);
+
+void save_manifest(const DistManifest& m, const std::string& dir);
+// nullopt when no manifest file exists; throws std::runtime_error with a
+// one-line actionable message on a corrupt or newer-version file.
+std::optional<DistManifest> load_manifest(const std::string& dir);
+
+// Resume gate, run before spawning workers: loads the manifest (nullopt =
+// no checkpoint, start fresh) and validates it against this run — rank
+// count, seed, scenario fingerprint, window, slice length, and that every
+// rank's checkpoint directory is present. Throws std::runtime_error
+// ("dist resume: ...") naming the offending field.
+std::optional<DistManifest> prepare_resume(const std::string& dir,
+                                           const stream::PopulationPlan& plan,
+                                           unsigned num_ranks,
+                                           TimeMs slice_ms);
+
+struct CoordinatorOptions {
+  // Coordinator-side knobs reused from the single-process runtime: clock /
+  // accel_factor (pacing of the merged stream), slice_ms (must match the
+  // workers' — it defines the shared grid), max_buffered_events (per-rank
+  // receive buffer bound), metrics, checkpoint.dir (empty = distributed
+  // checkpointing off). num_shards / num_threads are ignored here; they
+  // shape the workers.
+  stream::StreamOptions stream;
+  // Set from prepare_resume to continue a committed distributed checkpoint;
+  // workers must have been started with the matching resume_dir.
+  std::optional<DistManifest> resume;
+};
+
+struct DistStats {
+  // Coordinator-side totals, shaped like a single-process run: events and
+  // slices count the merged deliveries, checkpoints_written the committed
+  // distributed checkpoints, num_shards the sum over ranks.
+  stream::StreamStats totals;
+  std::vector<stream::StreamStats> ranks;  // each rank's finish stats
+};
+
+// Merges the rank streams of `plan` from `ranks` (one connected transport
+// per rank, index = rank id) into `sink`. Blocks until every rank finished
+// and the merged stream is fully delivered. On a rank failure (error frame,
+// premature EOF, torn or out-of-order stream) every transport is aborted,
+// reader threads are joined and std::runtime_error names the rank; a sink
+// exception shuts down the same way and is rethrown.
+DistStats run_merge(const stream::PopulationPlan& plan,
+                    const std::vector<RankTransport*>& ranks,
+                    stream::EventSink& sink, const CoordinatorOptions& options);
+
+}  // namespace cpg::dist

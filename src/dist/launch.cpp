@@ -1,0 +1,147 @@
+#include "dist/launch.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "fault/failpoint.h"
+
+namespace cpg::dist {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("dist launch: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t r = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (r < 0) sys_fail("readlink /proc/self/exe failed");
+  return std::string(buf, static_cast<std::size_t>(r));
+}
+
+SpawnedWorker spawn_worker(const std::vector<std::string>& argv) {
+  CPG_FAILPOINT("dist.spawn");
+  if (argv.empty()) {
+    throw std::invalid_argument("dist launch: empty worker argv");
+  }
+  int fds[2];
+  // CLOEXEC on both: the child re-arms its end explicitly via dup2 (which
+  // clears the flag on the copy), so no worker inherits a sibling's socket
+  // and EOF detection stays crisp.
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    sys_fail("socketpair failed");
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(fds[0]);
+    ::close(fds[1]);
+    errno = err;
+    sys_fail("fork failed");
+  }
+  if (pid == 0) {
+    // Child: transport on k_worker_fd, then exec. Only async-signal-safe
+    // calls between fork and exec. The parent end goes first — it may
+    // itself occupy fd k_worker_fd, which dup2 is about to claim.
+    ::close(fds[0]);
+    if (fds[1] != k_worker_fd) {
+      if (::dup2(fds[1], k_worker_fd) < 0) _exit(127);
+      ::close(fds[1]);
+    } else {
+      // Already the right number; just clear CLOEXEC.
+      const int flags = ::fcntl(k_worker_fd, F_GETFD);
+      if (flags < 0 ||
+          ::fcntl(k_worker_fd, F_SETFD, flags & ~FD_CLOEXEC) < 0) {
+        _exit(127);
+      }
+    }
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+
+  ::close(fds[1]);
+  SpawnedWorker w;
+  w.pid = pid;
+  w.transport = std::make_unique<FdTransport>(fds[0]);
+  return w;
+}
+
+DistStats run_distributed(stream::EventSink& sink,
+                          const stream::PopulationPlan& plan,
+                          const LaunchOptions& options) {
+  if (options.num_ranks == 0) {
+    throw std::invalid_argument("dist launch: num_ranks must be >= 1");
+  }
+  if (!options.args_for) {
+    throw std::invalid_argument("dist launch: args_for is required");
+  }
+
+  std::vector<SpawnedWorker> workers;
+  workers.reserve(options.num_ranks);
+  auto reap = [&](bool kill_first) {
+    std::string late_failure;
+    for (SpawnedWorker& w : workers) {
+      if (w.pid < 0) continue;
+      if (kill_first) ::kill(w.pid, SIGTERM);
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      w.pid = -1;
+      if (!kill_first && late_failure.empty()) {
+        const unsigned r =
+            static_cast<unsigned>(&w - workers.data());
+        if (WIFSIGNALED(status)) {
+          late_failure = "dist: worker rank " + std::to_string(r) +
+                         " killed by signal " +
+                         std::to_string(WTERMSIG(status));
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+          late_failure = "dist: worker rank " + std::to_string(r) +
+                         " exited with status " +
+                         std::to_string(WEXITSTATUS(status));
+        }
+      }
+    }
+    return late_failure;
+  };
+
+  DistStats stats;
+  try {
+    for (unsigned r = 0; r < options.num_ranks; ++r) {
+      workers.push_back(spawn_worker(options.args_for(r)));
+    }
+    std::vector<RankTransport*> transports;
+    transports.reserve(workers.size());
+    for (SpawnedWorker& w : workers) transports.push_back(w.transport.get());
+    stats = run_merge(plan, transports, sink, options.coordinator);
+  } catch (...) {
+    reap(/*kill_first=*/true);
+    throw;
+  }
+  // A worker that survived the merge but died on exit still fails the run:
+  // its stream was complete, but a nonzero exit means it hit something on
+  // the way out worth surfacing.
+  const std::string late = reap(/*kill_first=*/false);
+  if (!late.empty()) throw std::runtime_error(late);
+  return stats;
+}
+
+}  // namespace cpg::dist

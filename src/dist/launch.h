@@ -1,0 +1,56 @@
+// Process launcher for the distributed runtime: forks one worker process
+// per rank (re-execing the current binary with worker-mode flags), hands
+// each child its end of a socketpair on fd 3, and drives the coordinator
+// merge over the parent ends.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+
+namespace cpg::dist {
+
+// The fd number a spawned worker finds its transport on (stdin/out/err + 1;
+// stdout/stderr stay the worker's own for diagnostics).
+constexpr int k_worker_fd = 3;
+
+// Absolute path of the running executable (/proc/self/exe), for re-exec.
+std::string self_exe();
+
+struct SpawnedWorker {
+  pid_t pid = -1;
+  std::unique_ptr<FdTransport> transport;  // coordinator end
+};
+
+// Forks and execs `argv` (argv[0] = executable path) with the worker end of
+// a fresh socketpair on k_worker_fd. All other inherited descriptors follow
+// normal CLOEXEC rules; the coordinator ends are close-on-exec so sibling
+// workers cannot hold each other's sockets open. Throws std::runtime_error
+// on fork/socketpair failure; an exec failure surfaces as the child exiting
+// 127 (and a transport at EOF).
+SpawnedWorker spawn_worker(const std::vector<std::string>& argv);
+
+struct LaunchOptions {
+  unsigned num_ranks = 1;
+  CoordinatorOptions coordinator;
+  // Worker command line per rank; must put the child into worker mode
+  // (stream_gen --dist-worker ...) with generation flags that rebuild the
+  // exact same population plan this process holds.
+  std::function<std::vector<std::string>(unsigned rank)> args_for;
+};
+
+// Spawns num_ranks workers, merges their streams into `sink` (run_merge),
+// then reaps every child. A merge failure kills the remaining workers
+// (SIGTERM) before rethrowing; a worker that exits nonzero or on a signal
+// after a clean merge raises std::runtime_error naming the rank.
+DistStats run_distributed(stream::EventSink& sink,
+                          const stream::PopulationPlan& plan,
+                          const LaunchOptions& options);
+
+}  // namespace cpg::dist

@@ -1,0 +1,128 @@
+#include "dist/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "fault/failpoint.h"
+
+namespace cpg::dist {
+
+namespace {
+
+// Generous ceiling on a single frame (events frames chunk far below this);
+// anything larger means a corrupt or hostile length prefix, not real data.
+constexpr std::uint32_t k_max_frame_bytes = 1u << 30;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("dist transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+// Reads exactly n bytes. Returns false on EOF at offset 0 (clean close);
+// throws if the stream ends mid-read or errors.
+bool read_exact(int fd, char* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("dist transport: peer closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    sys_fail("recv failed");
+  }
+  return true;
+}
+
+void write_all(int fd, const char* src, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE here, not as a
+    // process-wide SIGPIPE.
+    const ssize_t r = ::send(fd, src + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    sys_fail("send failed");
+  }
+}
+
+}  // namespace
+
+FdTransport::FdTransport(int fd) : fd_(fd) {
+  if (fd_ < 0) {
+    throw std::invalid_argument("dist transport: bad fd");
+  }
+}
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FdTransport::send(FrameType type, std::string_view payload) {
+  CPG_FAILPOINT("dist.send_frame");
+  if (payload.size() > k_max_frame_bytes) {
+    throw std::runtime_error("dist transport: frame too large");
+  }
+  std::string head;
+  put_u32(head, static_cast<std::uint32_t>(payload.size()));
+  put_u8(head, static_cast<std::uint8_t>(type));
+  write_all(fd_, head.data(), head.size());
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<Frame> FdTransport::recv() {
+  CPG_FAILPOINT("dist.recv_frame");
+  char head[5];
+  if (!read_exact(fd_, head, sizeof head)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[i]))
+           << (8 * i);
+  }
+  const auto type = static_cast<std::uint8_t>(head[4]);
+  if (type < static_cast<std::uint8_t>(FrameType::hello) ||
+      type > static_cast<std::uint8_t>(FrameType::error)) {
+    throw std::runtime_error("dist transport: unknown frame type " +
+                             std::to_string(type));
+  }
+  if (len > k_max_frame_bytes) {
+    throw std::runtime_error("dist transport: frame length out of range");
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.payload.resize(len);
+  if (len > 0 && !read_exact(fd_, f.payload.data(), len)) {
+    throw std::runtime_error("dist transport: peer closed mid-frame");
+  }
+  return f;
+}
+
+void FdTransport::abort() {
+  // shutdown (not close) so the fd number stays valid for the destructor
+  // while every blocked send/recv — ours and the peer's — wakes up now.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::pair<std::unique_ptr<FdTransport>, std::unique_ptr<FdTransport>>
+make_transport_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    sys_fail("socketpair failed");
+  }
+  return {std::make_unique<FdTransport>(fds[0]),
+          std::make_unique<FdTransport>(fds[1])};
+}
+
+}  // namespace cpg::dist

@@ -1,0 +1,65 @@
+// Rank transport: framed, length-prefixed byte-stream messaging between a
+// worker rank and the coordinator (wire format in dist/wire.h).
+//
+// The concrete transport is a connected AF_UNIX socketpair end — one fd,
+// bidirectional, inherited across fork/exec for spawned ranks or held by a
+// thread for in-process tests. Sockets (rather than pipes) buy the one
+// property shutdown needs: ::shutdown(2) from any thread reliably unblocks
+// a peer blocked in send/recv on either end, so the coordinator can abort a
+// run without racing fd closes against blocked readers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "dist/wire.h"
+
+namespace cpg::dist {
+
+class RankTransport {
+ public:
+  virtual ~RankTransport() = default;
+
+  // Sends one frame. Throws std::runtime_error when the peer is gone
+  // (shutdown or death) — a worker treats that as its stop signal.
+  virtual void send(FrameType type, std::string_view payload) = 0;
+
+  // Receives the next frame; nullopt on clean EOF (peer closed). Throws on
+  // a torn frame or transport error.
+  virtual std::optional<Frame> recv() = 0;
+
+  // Unblocks any thread blocked in send/recv on this transport *and* on
+  // the peer end, permanently: subsequent sends throw, recvs drain to EOF.
+  // Safe to call from any thread, any number of times.
+  virtual void abort() {}
+};
+
+// Transport over one stream-socket fd; owns and closes the fd.
+class FdTransport final : public RankTransport {
+ public:
+  explicit FdTransport(int fd);
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  void send(FrameType type, std::string_view payload) override;
+  std::optional<Frame> recv() override;
+  void abort() override;
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string recv_buf_;
+};
+
+// A connected (worker end, coordinator end) transport pair over an AF_UNIX
+// socketpair — the in-process harness the distributed tests are built on.
+std::pair<std::unique_ptr<FdTransport>, std::unique_ptr<FdTransport>>
+make_transport_pair();
+
+}  // namespace cpg::dist

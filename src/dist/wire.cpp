@@ -1,0 +1,185 @@
+#include "dist/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cpg::dist {
+
+namespace {
+
+[[noreturn]] void truncated() {
+  throw std::runtime_error("dist wire: truncated frame");
+}
+
+constexpr std::size_t k_event_bytes = 13;  // i64 t_ms + u32 ue_id + u8 type
+
+}  // namespace
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+
+std::uint8_t WireReader::u8() {
+  if (pos + 1 > buf.size()) truncated();
+  return static_cast<std::uint8_t>(buf[pos++]);
+}
+
+std::uint32_t WireReader::u32() {
+  if (pos + 4 > buf.size()) truncated();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (pos + 8 > buf.size()) truncated();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+std::int64_t WireReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+std::string_view WireReader::rest() {
+  std::string_view r = buf.substr(pos);
+  pos = buf.size();
+  return r;
+}
+
+std::string encode_hello(const HelloFrame& h) {
+  std::string p;
+  put_u32(p, h.proto);
+  put_u32(p, h.rank);
+  put_u32(p, h.num_ranks);
+  return p;
+}
+
+HelloFrame decode_hello(std::string_view payload) {
+  WireReader r{payload};
+  HelloFrame h;
+  h.proto = r.u32();
+  h.rank = r.u32();
+  h.num_ranks = r.u32();
+  return h;
+}
+
+std::string encode_slice_end(const SliceEndFrame& s) {
+  std::string p;
+  put_u64(p, s.slice);
+  put_u64(p, s.events);
+  return p;
+}
+
+SliceEndFrame decode_slice_end(std::string_view payload) {
+  WireReader r{payload};
+  SliceEndFrame s;
+  s.slice = r.u64();
+  s.events = r.u64();
+  return s;
+}
+
+void append_events(std::string& payload, std::span<const ControlEvent> events) {
+  std::string head;
+  put_u32(head, static_cast<std::uint32_t>(events.size()));
+  payload.reserve(payload.size() + head.size() +
+                  events.size() * k_event_bytes);
+  payload += head;
+  for (const ControlEvent& e : events) {
+    put_i64(payload, e.t_ms);
+    put_u32(payload, e.ue_id);
+    put_u8(payload, static_cast<std::uint8_t>(index_of(e.type)));
+  }
+}
+
+void decode_events(std::string_view payload, std::vector<ControlEvent>& out) {
+  WireReader r{payload};
+  const std::uint32_t count = r.u32();
+  if (payload.size() - r.pos != count * k_event_bytes) {
+    throw std::runtime_error("dist wire: events frame size mismatch");
+  }
+  out.reserve(out.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ControlEvent e;
+    e.t_ms = r.i64();
+    e.ue_id = r.u32();
+    const std::uint8_t type = r.u8();
+    if (type >= k_num_event_types) {
+      throw std::runtime_error("dist wire: event type out of range");
+    }
+    e.type = k_all_event_types[type];
+    out.push_back(e);
+  }
+}
+
+std::string encode_checkpoint(std::uint64_t watermark,
+                              std::string_view bytes) {
+  std::string p;
+  p.reserve(8 + bytes.size());
+  put_u64(p, watermark);
+  p.append(bytes);
+  return p;
+}
+
+std::pair<std::uint64_t, std::string_view> decode_checkpoint(
+    std::string_view payload) {
+  WireReader r{payload};
+  const std::uint64_t watermark = r.u64();
+  return {watermark, r.rest()};
+}
+
+std::string encode_finish(const stream::StreamStats& stats) {
+  std::string p;
+  put_u64(p, stats.events);
+  put_u64(p, stats.slices);
+  put_u64(p, stats.start_slice);
+  put_u64(p, stats.checkpoints_written);
+  put_u64(p, stats.num_ues);
+  put_u64(p, stats.num_shards);
+  put_u64(p, stats.peak_buffered_events);
+  put_u64(p, stats.cohort_joins);
+  put_u64(p, stats.cohort_leaves);
+  put_u64(p, stats.migrations);
+  return p;
+}
+
+stream::StreamStats decode_finish(std::string_view payload) {
+  WireReader r{payload};
+  stream::StreamStats s;
+  s.events = r.u64();
+  s.slices = r.u64();
+  s.start_slice = r.u64();
+  s.checkpoints_written = r.u64();
+  s.num_ues = r.u64();
+  s.num_shards = r.u64();
+  s.peak_buffered_events = r.u64();
+  s.cohort_joins = r.u64();
+  s.cohort_leaves = r.u64();
+  s.migrations = r.u64();
+  return s;
+}
+
+}  // namespace cpg::dist

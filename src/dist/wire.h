@@ -1,0 +1,108 @@
+// Wire format of the rank transport (src/dist/transport.h).
+//
+// Every message is one frame: [u32 length][u8 type][payload], length
+// covering the payload only, all integers little-endian fixed-width. A
+// worker rank's stream is strictly ordered:
+//
+//   hello
+//   repeated per slice (every slice of the run window, even empty ones):
+//     checkpoint?     (the rank's checkpoint at watermark == this slice,
+//                      shipped before the slice's events — mirroring the
+//                      in-process invariant that a checkpoint is taken
+//                      before its slice is delivered)
+//     events*         (chunked batches, canonical order within the slice)
+//     slice_end       (slice index + total event count, for torn-stream
+//                      detection)
+//   obs?              (serialized obs::Registry snapshot)
+//   finish            (the rank's StreamStats)
+//
+// An error frame may replace anything after hello; EOF before finish means
+// the rank died. Events encode as 13 bytes (i64 t_ms, u32 ue_id, u8 type):
+// the arithmetic-free fixed layout keeps encode/decode off the profile at
+// millions of events per second.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/trace.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::dist {
+
+constexpr std::uint32_t k_proto_version = 1;
+
+enum class FrameType : std::uint8_t {
+  hello = 1,
+  events = 2,
+  slice_end = 3,
+  checkpoint = 4,
+  obs = 5,
+  finish = 6,
+  error = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::error;
+  std::string payload;
+};
+
+// --- primitive codec (append / cursor-read over std::string payloads) ----
+
+void put_u8(std::string& buf, std::uint8_t v);
+void put_u32(std::string& buf, std::uint32_t v);
+void put_u64(std::string& buf, std::uint64_t v);
+void put_i64(std::string& buf, std::int64_t v);
+
+// Cursor over a payload; every read throws std::runtime_error ("dist wire:
+// truncated frame") on overrun, so a torn payload is always a clean error.
+struct WireReader {
+  std::string_view buf;
+  std::size_t pos = 0;
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  std::string_view rest();
+  bool done() const noexcept { return pos == buf.size(); }
+};
+
+// --- frame payloads ------------------------------------------------------
+
+struct HelloFrame {
+  std::uint32_t proto = k_proto_version;
+  std::uint32_t rank = 0;
+  std::uint32_t num_ranks = 1;
+};
+
+struct SliceEndFrame {
+  std::uint64_t slice = 0;
+  std::uint64_t events = 0;  // total events of the slice, across its frames
+};
+
+std::string encode_hello(const HelloFrame& h);
+HelloFrame decode_hello(std::string_view payload);
+
+std::string encode_slice_end(const SliceEndFrame& s);
+SliceEndFrame decode_slice_end(std::string_view payload);
+
+// events payload: u32 count, then count fixed-width events.
+void append_events(std::string& payload, std::span<const ControlEvent> events);
+void decode_events(std::string_view payload, std::vector<ControlEvent>& out);
+
+// checkpoint payload: u64 watermark, then the checkpoint bytes verbatim
+// (stream/checkpoint.h write_checkpoint format — opaque to the coordinator,
+// which persists them for the rank to read back at resume).
+std::string encode_checkpoint(std::uint64_t watermark, std::string_view bytes);
+std::pair<std::uint64_t, std::string_view> decode_checkpoint(
+    std::string_view payload);
+
+std::string encode_finish(const stream::StreamStats& stats);
+stream::StreamStats decode_finish(std::string_view payload);
+
+}  // namespace cpg::dist

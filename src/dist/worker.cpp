@@ -1,0 +1,127 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/merge.h"
+#include "stream/checkpoint.h"
+#include "stream/event_sink.h"
+
+namespace cpg::dist {
+
+namespace {
+
+// Events per events-frame: big enough that framing overhead vanishes, small
+// enough that a frame never strains the coordinator's per-rank buffer.
+constexpr std::size_t k_events_per_frame = std::size_t{1} << 16;
+
+// EventSink that encodes the rank's stream onto the transport. All calls
+// arrive on the runtime's delivery thread, so frame order is the protocol
+// order by construction.
+class TransportSink final : public stream::EventSink,
+                            public stream::SliceListener {
+ public:
+  TransportSink(RankTransport& transport, unsigned rank, unsigned num_ranks)
+      : transport_(transport), rank_(rank), num_ranks_(num_ranks) {}
+
+  void on_start(const stream::StreamHeader&) override {
+    HelloFrame h;
+    h.rank = rank_;
+    h.num_ranks = num_ranks_;
+    transport_.send(FrameType::hello, encode_hello(h));
+  }
+
+  void on_event(const ControlEvent& e) override { on_events({&e, 1}); }
+
+  void on_events(std::span<const ControlEvent> events) override {
+    slice_events_ += events.size();
+    while (!events.empty()) {
+      const std::size_t n = std::min(events.size(), k_events_per_frame);
+      payload_.clear();
+      append_events(payload_, events.first(n));
+      transport_.send(FrameType::events, payload_);
+      events = events.subspan(n);
+    }
+  }
+
+  void on_slice_delivered(std::uint64_t slice) override {
+    SliceEndFrame s;
+    s.slice = slice;
+    s.events = slice_events_;
+    slice_events_ = 0;
+    transport_.send(FrameType::slice_end, encode_slice_end(s));
+  }
+
+  void ship_checkpoint(const stream::StreamCheckpoint& ck) {
+    std::ostringstream os;
+    stream::write_checkpoint(os, ck);
+    transport_.send(FrameType::checkpoint,
+                    encode_checkpoint(ck.resume_slice, os.str()));
+  }
+
+ private:
+  RankTransport& transport_;
+  unsigned rank_;
+  unsigned num_ranks_;
+  std::uint64_t slice_events_ = 0;
+  std::string payload_;
+};
+
+}  // namespace
+
+stream::StreamStats run_worker(const stream::PopulationPlan& plan,
+                               RankTransport& transport,
+                               const WorkerOptions& opts) {
+  if (opts.num_ranks == 0 || opts.rank >= opts.num_ranks) {
+    throw std::invalid_argument("dist worker: rank out of range");
+  }
+  if (!opts.resume_dir.empty() && !opts.ship_checkpoints) {
+    throw std::invalid_argument(
+        "dist worker: resume_dir requires ship_checkpoints");
+  }
+
+  const stream::PopulationPlan rank_plan =
+      stream::slice_plan_for_rank(plan, opts.rank, opts.num_ranks);
+
+  TransportSink sink(transport, opts.rank, opts.num_ranks);
+
+  stream::StreamOptions so = opts.stream;
+  so.clock = stream::ClockMode::as_fast_as_possible;
+  so.accel_factor = 1.0;
+  so.checkpoint.dir.clear();
+  so.resume = false;
+  so.checkpoint_sink = nullptr;
+  if (opts.ship_checkpoints) {
+    so.checkpoint_sink = [&sink](const stream::StreamCheckpoint& ck) {
+      sink.ship_checkpoint(ck);
+    };
+    if (!opts.resume_dir.empty()) {
+      so.checkpoint.dir = opts.resume_dir;
+      so.resume = true;
+    }
+  }
+
+  stream::StreamStats stats;
+  try {
+    stats = stream::stream_generate(rank_plan, so, sink);
+  } catch (const std::exception& e) {
+    try {
+      transport.send(FrameType::error, e.what());
+    } catch (...) {
+      // The transport itself may be what failed; the rethrow below is the
+      // authoritative report.
+    }
+    throw;
+  }
+
+  if (so.metrics != nullptr) {
+    transport.send(FrameType::obs,
+                   obs::serialize_snapshot(so.metrics->snapshot()));
+  }
+  transport.send(FrameType::finish, encode_finish(stats));
+  return stats;
+}
+
+}  // namespace cpg::dist

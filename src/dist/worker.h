@@ -1,0 +1,47 @@
+// Worker side of the distributed runtime: runs one rank's slice of a
+// population plan through the in-process streaming runtime and ships the
+// resulting stream — slice-framed events, periodic checkpoints, the rank's
+// obs snapshot and final stats — to the coordinator over a RankTransport.
+//
+// The worker always generates as fast as possible; pacing (real-time /
+// accelerated) is the coordinator's job, applied once to the merged stream.
+// Backpressure still reaches the worker: a slow coordinator fills the
+// socket, send() blocks, and the worker's own bounded queues throttle its
+// shard threads.
+#pragma once
+
+#include <string>
+
+#include "dist/transport.h"
+#include "stream/population.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::dist {
+
+struct WorkerOptions {
+  unsigned rank = 0;
+  unsigned num_ranks = 1;
+  // Per-rank streaming configuration (shards, threads, slice_ms, buffering,
+  // metrics). The clock mode is forced to as_fast_as_possible; checkpoint
+  // fields are driven by the two knobs below, not by `checkpoint.dir`.
+  stream::StreamOptions stream;
+  // Ship a checkpoint frame every stream.checkpoint.interval_slices slices.
+  // The worker never persists checkpoints itself — the coordinator commits
+  // a distributed checkpoint only once every rank's part arrived.
+  bool ship_checkpoints = false;
+  // Directory holding this rank's coordinator-committed checkpoint (the
+  // rank<r> directory of a manifest bundle); non-empty = resume from it.
+  // Requires ship_checkpoints.
+  std::string resume_dir;
+};
+
+// Runs rank `opts.rank` of `plan` (sliced via slice_plan_for_rank) and
+// streams it through `transport` per the dist/wire.h protocol. Blocks until
+// the rank's stream is fully sent (finish frame) and returns the rank's
+// StreamStats. On failure a best-effort error frame is sent and the
+// exception is rethrown; the caller owns process exit codes.
+stream::StreamStats run_worker(const stream::PopulationPlan& plan,
+                               RankTransport& transport,
+                               const WorkerOptions& opts);
+
+}  // namespace cpg::dist

@@ -191,8 +191,10 @@ std::size_t arm_from_spec(std::string_view spec) {
   return armed;
 }
 
-std::size_t arm_from_env() {
-  const char* env = std::getenv("CPG_FAILPOINTS");
+std::size_t arm_from_env() { return arm_from_env("CPG_FAILPOINTS"); }
+
+std::size_t arm_from_env(const std::string& var) {
+  const char* env = std::getenv(var.c_str());
   if (env == nullptr || *env == '\0') return 0;
   return arm_from_spec(env);
 }

@@ -124,6 +124,11 @@ void disarm_all();
 std::size_t arm_from_spec(std::string_view spec);
 // Reads the CPG_FAILPOINTS environment variable; no-op when unset or empty.
 std::size_t arm_from_env();
+// Same, but reading `var` instead of CPG_FAILPOINTS. The distributed
+// worker arms CPG_FAILPOINTS_RANK<r> through this, so a fault schedule can
+// target one rank of a multi-process run (plain CPG_FAILPOINTS is
+// inherited by every spawned rank).
+std::size_t arm_from_env(const std::string& var);
 
 }  // namespace cpg::fault
 

@@ -1,0 +1,225 @@
+#include "obs/merge.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpg::obs {
+
+namespace {
+
+constexpr std::string_view k_magic = "obsreg";
+constexpr int k_version = 1;
+// Caps applied while parsing, so a corrupt count field fails with a
+// diagnostic instead of a giant allocation.
+constexpr std::size_t k_max_labels = 64;
+constexpr std::size_t k_max_bounds = 4096;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("obs parse_snapshot: " + what);
+}
+
+bool needs_escape(char c) {
+  return c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Percent-encodes whitespace and '%' so every field stays one
+// whitespace-delimited token. An empty string encodes as "%" alone (a bare
+// empty token would vanish under operator>>).
+std::string encode(std::string_view s) {
+  if (s.empty()) return "%";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (needs_escape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string decode(const std::string& s) {
+  if (s == "%") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) fail("truncated percent escape");
+    const int hi = hex_digit(s[i + 1]);
+    const int lo = hex_digit(s[i + 2]);
+    if (hi < 0 || lo < 0) fail("bad percent escape");
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+// Hexfloat round-trips doubles exactly through text; operator>> cannot
+// parse them portably, so sums go through strtod on a token.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (token.empty() || end == nullptr || *end != '\0') {
+    fail("bad floating-point value \"" + token + "\"");
+  }
+  return v;
+}
+
+MetricKind parse_kind(const std::string& s) {
+  if (s == "counter") return MetricKind::counter;
+  if (s == "gauge") return MetricKind::gauge;
+  if (s == "histogram") return MetricKind::histogram;
+  fail("unknown metric kind \"" + s + "\"");
+}
+
+}  // namespace
+
+std::string serialize_snapshot(const std::vector<FamilySnapshot>& families) {
+  std::ostringstream os;
+  os << k_magic << ' ' << k_version << '\n';
+  for (const FamilySnapshot& fam : families) {
+    os << "family " << encode(fam.name) << ' ' << to_string(fam.kind) << ' '
+       << encode(fam.help) << '\n';
+    for (const SeriesSnapshot& s : fam.series) {
+      os << "series " << s.labels.size();
+      for (const auto& [k, v] : s.labels) {
+        os << ' ' << encode(k) << ' ' << encode(v);
+      }
+      switch (fam.kind) {
+        case MetricKind::counter:
+          os << " c " << s.counter;
+          break;
+        case MetricKind::gauge:
+          os << " g " << s.gauge;
+          break;
+        case MetricKind::histogram:
+          os << " h " << s.hist.count << ' ' << fmt_double(s.hist.sum) << ' '
+             << s.hist.bounds.size();
+          for (const double b : s.hist.bounds) os << ' ' << fmt_double(b);
+          for (const std::uint64_t c : s.hist.buckets) os << ' ' << c;
+          break;
+      }
+      os << '\n';
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::vector<FamilySnapshot> parse_snapshot(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string magic, tag;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != k_magic) {
+    fail("unreadable header (not an obsreg payload)");
+  }
+  if (version != k_version) {
+    fail("unsupported obsreg version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(k_version) + ")");
+  }
+
+  std::vector<FamilySnapshot> families;
+  while (is >> tag) {
+    if (tag == "end") return families;
+    if (tag == "family") {
+      std::string name, kind, help;
+      if (!(is >> name >> kind >> help)) fail("bad family line");
+      FamilySnapshot fam;
+      fam.name = decode(name);
+      fam.kind = parse_kind(kind);
+      fam.help = decode(help);
+      families.push_back(std::move(fam));
+      continue;
+    }
+    if (tag != "series") fail("unexpected record \"" + tag + "\"");
+    if (families.empty()) fail("series before any family");
+    FamilySnapshot& fam = families.back();
+    SeriesSnapshot s;
+    std::size_t nlabels = 0;
+    if (!(is >> nlabels)) fail("bad series label count");
+    if (nlabels > k_max_labels) fail("series label count out of range");
+    s.labels.reserve(nlabels);
+    for (std::size_t i = 0; i < nlabels; ++i) {
+      std::string k, v;
+      if (!(is >> k >> v)) fail("truncated series labels");
+      s.labels.emplace_back(decode(k), decode(v));
+    }
+    std::string vtag;
+    if (!(is >> vtag)) fail("truncated series value");
+    if (vtag == "c") {
+      if (fam.kind != MetricKind::counter) fail("value kind mismatch");
+      if (!(is >> s.counter)) fail("bad counter value");
+    } else if (vtag == "g") {
+      if (fam.kind != MetricKind::gauge) fail("value kind mismatch");
+      if (!(is >> s.gauge)) fail("bad gauge value");
+    } else if (vtag == "h") {
+      if (fam.kind != MetricKind::histogram) fail("value kind mismatch");
+      std::string sum;
+      std::size_t nbounds = 0;
+      if (!(is >> s.hist.count >> sum >> nbounds)) fail("bad histogram head");
+      if (nbounds > k_max_bounds) fail("histogram bound count out of range");
+      s.hist.sum = parse_double(sum);
+      s.hist.bounds.resize(nbounds);
+      for (double& b : s.hist.bounds) {
+        std::string tok;
+        if (!(is >> tok)) fail("truncated histogram bounds");
+        b = parse_double(tok);
+      }
+      s.hist.buckets.resize(nbounds + 1);
+      for (std::uint64_t& c : s.hist.buckets) {
+        if (!(is >> c)) fail("truncated histogram buckets");
+      }
+    } else {
+      fail("unknown series value tag \"" + vtag + "\"");
+    }
+    fam.series.push_back(std::move(s));
+  }
+  fail("missing trailer");
+}
+
+void merge_snapshot(Registry& into,
+                    const std::vector<FamilySnapshot>& families,
+                    const Labels& extra) {
+  for (const FamilySnapshot& fam : families) {
+    for (const SeriesSnapshot& s : fam.series) {
+      Labels labels = s.labels;
+      labels.insert(labels.end(), extra.begin(), extra.end());
+      switch (fam.kind) {
+        case MetricKind::counter:
+          into.counter(fam.name, fam.help, std::move(labels)).inc(s.counter);
+          break;
+        case MetricKind::gauge:
+          into.gauge(fam.name, fam.help, std::move(labels)).add(s.gauge);
+          break;
+        case MetricKind::histogram:
+          into.histogram(fam.name, fam.help, s.hist.bounds, std::move(labels))
+              .absorb(s.hist);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace cpg::obs

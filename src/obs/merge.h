@@ -1,0 +1,42 @@
+// Registry snapshot serialization and cross-process aggregation.
+//
+// The distributed runtime (src/dist/) runs one obs::Registry per worker
+// rank; at end of stream each rank serializes its snapshot, ships it over
+// the rank transport, and the coordinator folds every rank's families into
+// its own registry — so one exporter pass (Prometheus text or JSON) covers
+// the whole multi-process run.
+//
+// The wire format is line-based versioned text ("obsreg 1"): one `family`
+// line per family, one `series` line per series, values in full precision
+// (histogram sums as hexfloats, so parse(serialize(x)) == x bit for bit).
+// Free-form strings (help, label values) are percent-encoded, keeping the
+// format whitespace-delimited.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cpg::obs {
+
+// Serializes a snapshot (Registry::snapshot()) to the text format above.
+std::string serialize_snapshot(const std::vector<FamilySnapshot>& families);
+
+// Parses a serialized snapshot. Throws std::runtime_error with a one-line
+// message on a malformed or version-incompatible payload.
+std::vector<FamilySnapshot> parse_snapshot(std::string_view text);
+
+// Folds `families` into `into`: counters add their value, gauges add
+// (per-rank levels sum to the fleet level), histograms absorb per-bucket
+// (bounds must match — std::invalid_argument otherwise). `extra` labels are
+// appended to every series before registration, so callers can keep
+// per-rank resolution (e.g. {{"rank", "2"}}) instead of collapsing
+// same-labeled series from different ranks into one. Families whose name or
+// labels collide with existing instruments of a different kind throw, like
+// any registration would.
+void merge_snapshot(Registry& into, const std::vector<FamilySnapshot>& families,
+                    const Labels& extra = {});
+
+}  // namespace cpg::obs

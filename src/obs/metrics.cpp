@@ -59,6 +59,20 @@ Histogram::Histogram(std::vector<double> bounds)
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
 }
 
+void Histogram::absorb(const HistogramSnapshot& snap) {
+  if (snap.bounds.size() != bounds_.size() ||
+      !std::equal(snap.bounds.begin(), snap.bounds.end(), bounds_.begin()) ||
+      snap.buckets.size() != bounds_.size() + 1) {
+    throw std::invalid_argument(
+        "obs: Histogram::absorb requires identical bucket bounds");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_.fetch_add(snap.sum, std::memory_order_relaxed);
+}
+
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t n) {
   if (!(start > 0.0) || !(factor > 1.0) || n == 0) {

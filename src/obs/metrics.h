@@ -94,6 +94,13 @@ class Histogram {
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
+  // Folds a snapshotted histogram into this one: per-bucket counts, total
+  // count and sum all add. The snapshot's bounds must equal this
+  // histogram's bounds exactly (throws std::invalid_argument otherwise) —
+  // merging across different ladders would silently misbin. Used to
+  // aggregate per-rank registry snapshots into one registry.
+  void absorb(const struct HistogramSnapshot& snap);
+
   std::span<const double> bounds() const noexcept { return bounds_; }
   // i in [0, bounds().size()]; the last index is the +Inf bucket.
   std::uint64_t bucket(std::size_t i) const noexcept {

@@ -97,6 +97,35 @@ std::string checkpoint_path(const std::string& dir) {
   return dir + "/stream.ckpt";
 }
 
+void write_checkpoint(std::ostream& os, const StreamCheckpoint& ck) {
+  os << k_magic << ' ' << k_version << '\n';
+  os << "seed " << ck.seed << '\n';
+  os << "ue_counts";
+  for (std::size_t c : ck.ue_counts) os << ' ' << c;
+  os << '\n';
+  os << "window " << ck.t_begin << ' ' << ck.t_end << '\n';
+  os << "layout " << ck.num_shards << ' ' << ck.slice_ms << '\n';
+  os << "scenario " << ck.scenario_fingerprint << '\n';
+  os << "resume_slice " << ck.resume_slice << '\n';
+  os << "sink_token " << ck.sink_token.size() << ' ' << ck.sink_token
+     << '\n';
+  os << "shards " << ck.shards.size() << '\n';
+  for (const ShardCheckpoint& sh : ck.shards) {
+    os << "shard " << sh.gens.size() << ' ' << sh.carry.size() << ' '
+       << sh.next_seg << '\n';
+    for (std::size_t i = 0; i < sh.gens.size(); ++i) {
+      write_gen(os, sh.gens[i], i < sh.gen_seg.size() ? sh.gen_seg[i] : 0);
+    }
+    for (const ControlEvent& e : sh.carry) {
+      os << "carry " << e.t_ms << ' ' << e.ue_id << ' '
+         << static_cast<int>(index_of(e.type)) << '\n';
+    }
+  }
+  os << "end\n";
+  os.flush();
+  if (!os) throw std::runtime_error("write_checkpoint: stream write failed");
+}
+
 void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
   CPG_FAILPOINT("checkpoint.save");
   std::error_code ec;
@@ -108,33 +137,9 @@ void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
     if (!os) {
       throw std::runtime_error("save_checkpoint: cannot open " + tmp);
     }
-    os << k_magic << ' ' << k_version << '\n';
-    os << "seed " << ck.seed << '\n';
-    os << "ue_counts";
-    for (std::size_t c : ck.ue_counts) os << ' ' << c;
-    os << '\n';
-    os << "window " << ck.t_begin << ' ' << ck.t_end << '\n';
-    os << "layout " << ck.num_shards << ' ' << ck.slice_ms << '\n';
-    os << "scenario " << ck.scenario_fingerprint << '\n';
-    os << "resume_slice " << ck.resume_slice << '\n';
-    os << "sink_token " << ck.sink_token.size() << ' ' << ck.sink_token
-       << '\n';
-    os << "shards " << ck.shards.size() << '\n';
-    for (const ShardCheckpoint& sh : ck.shards) {
-      os << "shard " << sh.gens.size() << ' ' << sh.carry.size() << ' '
-         << sh.next_seg << '\n';
-      for (std::size_t i = 0; i < sh.gens.size(); ++i) {
-        write_gen(os, sh.gens[i],
-                  i < sh.gen_seg.size() ? sh.gen_seg[i] : 0);
-      }
-      for (const ControlEvent& e : sh.carry) {
-        os << "carry " << e.t_ms << ' ' << e.ue_id << ' '
-           << static_cast<int>(index_of(e.type)) << '\n';
-      }
-    }
-    os << "end\n";
-    os.flush();
-    if (!os) {
+    try {
+      write_checkpoint(os, ck);
+    } catch (const std::runtime_error&) {
       throw std::runtime_error("save_checkpoint: write failed for " + tmp);
     }
   }
@@ -144,15 +149,26 @@ void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
   }
 }
 
-std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
-  const std::string path = checkpoint_path(dir);
-  std::ifstream is(path);
-  if (!is) return std::nullopt;
-
+StreamCheckpoint read_checkpoint(std::istream& is) {
   std::string magic, tag;
   int version = 0;
-  if (!(is >> magic >> version) || magic != k_magic) fail("bad header");
-  if (version != k_version) fail("unsupported version");
+  if (!(is >> magic >> version) || magic != k_magic) {
+    fail(
+        "unreadable or truncated header (not a cpg-checkpoint file; remove "
+        "the checkpoint directory to start over)");
+  }
+  if (version > k_version) {
+    fail("checkpoint format version " + std::to_string(version) +
+         " is newer than this build understands (version " +
+         std::to_string(k_version) +
+         "); resume with a newer build or remove the checkpoint directory "
+         "to start over");
+  }
+  if (version != k_version) {
+    fail("unsupported checkpoint format version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(k_version) +
+         "); remove the checkpoint directory to start over");
+  }
 
   StreamCheckpoint ck;
   if (!(is >> tag >> ck.seed) || tag != "seed") fail("bad seed");
@@ -222,6 +238,19 @@ std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
   }
   if (!(is >> tag) || tag != "end") fail("missing trailer");
   return ck;
+}
+
+std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  try {
+    return read_checkpoint(is);
+  } catch (const std::runtime_error& e) {
+    // One line, with the offending file named: the operator-facing message
+    // every caller (tool, worker, coordinator) surfaces verbatim.
+    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+  }
 }
 
 }  // namespace cpg::stream

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,7 +86,18 @@ void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir);
 
 // Loads the checkpoint from `dir`. Returns nullopt when no checkpoint file
 // exists (a resume request then starts from scratch); throws
-// std::runtime_error naming the offending section on a corrupt file.
+// std::runtime_error naming the offending section on a corrupt file, with a
+// one-line actionable message — an unknown (newer) format version or a
+// truncated header is always a clean error, never a crash or a silent
+// fresh start.
 std::optional<StreamCheckpoint> load_checkpoint(const std::string& dir);
+
+// Stream-level (de)serialization of the checkpoint format: write_checkpoint
+// emits exactly the bytes save_checkpoint persists, read_checkpoint is the
+// parser behind load_checkpoint (same errors, minus the path context). The
+// distributed runtime uses these to ship rank checkpoints through the rank
+// transport instead of the filesystem.
+void write_checkpoint(std::ostream& os, const StreamCheckpoint& ck);
+StreamCheckpoint read_checkpoint(std::istream& is);
 
 }  // namespace cpg::stream

@@ -7,6 +7,7 @@
 // concurrently, so they need no internal locking.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -67,6 +68,42 @@ class CheckpointParticipant {
   virtual void checkpoint_resume(const std::string& token,
                                  const StreamHeader& header) = 0;
 };
+
+// Optional side interface for sinks that need slice-grain framing on top of
+// the event stream (e.g. the distributed worker's transport sink, which
+// must mark where one slice's batches end so the coordinator can merge
+// rank streams slice by slice). The runtime discovers it via dynamic_cast,
+// like CheckpointParticipant, and calls it on the delivery thread after
+// every slice — including empty ones — has been fully handed to the sink.
+class SliceListener {
+ public:
+  virtual ~SliceListener() = default;
+  virtual void on_slice_delivered(std::uint64_t slice) = 0;
+};
+
+// Delivers one sorted batch, split at the schedule's pending phase change
+// points: spans with no boundary inside reach the sink in one on_events
+// call, and `apply(phase_index)` fires for every point crossed (-1 = gap)
+// before the first event at or after it. The in-process consumer and the
+// distributed coordinator share this helper, so phase effects land at
+// identical stream positions in either runtime.
+template <typename Apply>
+void deliver_phased(EventSink& sink, std::span<const ControlEvent> evs,
+                    PhaseSchedule& schedule, Apply&& apply) {
+  std::size_t i = 0;
+  while (schedule.has_pending() && !evs.empty() &&
+         evs.back().t_ms >= schedule.next_time()) {
+    const auto it = std::lower_bound(
+        evs.begin() + static_cast<std::ptrdiff_t>(i), evs.end(),
+        schedule.next_time(),
+        [](const ControlEvent& e, TimeMs t) { return e.t_ms < t; });
+    const auto cut = static_cast<std::size_t>(it - evs.begin());
+    if (cut > i) sink.on_events(evs.subspan(i, cut - i));
+    schedule.fire_until(it->t_ms, apply);
+    i = cut;
+  }
+  if (i < evs.size() || i == 0) sink.on_events(evs.subspan(i));
+}
 
 // Adapts a callable; useful for ad-hoc consumers and tests.
 class CallbackSink final : public EventSink {
@@ -141,7 +178,8 @@ class NullSink final : public EventSink {
 // listens.
 class FanoutSink final : public EventSink,
                          public CheckpointParticipant,
-                         public PhaseListener {
+                         public PhaseListener,
+                         public SliceListener {
  public:
   explicit FanoutSink(std::vector<EventSink*> sinks)
       : sinks_(std::move(sinks)) {}
@@ -162,6 +200,14 @@ class FanoutSink final : public EventSink,
   void on_phase(const PhaseRow* phase) override {
     for (EventSink* s : sinks_) {
       if (auto* p = dynamic_cast<PhaseListener*>(s)) p->on_phase(phase);
+    }
+  }
+
+  void on_slice_delivered(std::uint64_t slice) override {
+    for (EventSink* s : sinks_) {
+      if (auto* p = dynamic_cast<SliceListener*>(s)) {
+        p->on_slice_delivered(slice);
+      }
     }
   }
 

@@ -1,0 +1,71 @@
+#include "stream/population.h"
+
+#include <stdexcept>
+
+#include "generator/traffic_generator.h"
+
+namespace cpg::stream {
+
+PopulationPlan stationary_plan(const model::ModelSet& models,
+                               const gen::GenerationRequest& request) {
+  // Window and seed shape are validated like the batch path, but the count
+  // rule is waived: an empty population is a valid (silent) stream, still
+  // framed by on_start/on_finish.
+  {
+    gen::GenerationRequest checked = request;
+    bool any = false;
+    for (std::size_t c : checked.ue_counts) any = any || c > 0;
+    if (!any) checked.ue_counts[0] = 1;
+    gen::validate(checked);
+  }
+  PopulationPlan plan;
+  for (DeviceType d : k_all_device_types) {
+    for (std::size_t i = 0; i < request.ue_counts[index_of(d)]; ++i) {
+      plan.device_of.push_back(d);
+    }
+  }
+  plan.seed = request.seed;
+  plan.ue_options = request.ue_options;
+  plan.t_begin = static_cast<TimeMs>(request.start_hour) * k_ms_per_hour;
+  plan.t_end =
+      plan.t_begin + static_cast<TimeMs>(request.duration_hours *
+                                         static_cast<double>(k_ms_per_hour));
+  plan.models.push_back(ModelRef{&models, request.ue_options.compiled});
+  if (plan.t_end > plan.t_begin) {
+    plan.segments.reserve(plan.device_of.size());
+    for (std::size_t u = 0; u < plan.device_of.size(); ++u) {
+      UeSegment seg;
+      seg.ue = static_cast<UeId>(u);
+      seg.t_start = plan.t_begin;
+      seg.t_end = plan.t_end;
+      plan.segments.push_back(seg);
+    }
+  }
+  return plan;
+}
+
+PopulationPlan slice_plan_for_rank(const PopulationPlan& plan, unsigned rank,
+                                   unsigned num_ranks) {
+  if (num_ranks == 0) {
+    throw std::invalid_argument("slice_plan_for_rank: num_ranks must be >= 1");
+  }
+  if (rank >= num_ranks) {
+    throw std::invalid_argument(
+        "slice_plan_for_rank: rank must be < num_ranks");
+  }
+  PopulationPlan sliced;
+  sliced.device_of = plan.device_of;
+  sliced.models = plan.models;
+  sliced.phases = plan.phases;
+  sliced.seed = plan.seed;
+  sliced.t_begin = plan.t_begin;
+  sliced.t_end = plan.t_end;
+  sliced.fingerprint = plan.fingerprint;
+  sliced.ue_options = plan.ue_options;
+  for (const UeSegment& seg : plan.segments) {
+    if (seg.ue % num_ranks == rank) sliced.segments.push_back(seg);
+  }
+  return sliced;
+}
+
+}  // namespace cpg::stream

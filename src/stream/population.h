@@ -30,6 +30,10 @@
 #include "model/semi_markov.h"
 #include "stream/phase.h"
 
+namespace cpg::gen {
+struct GenerationRequest;
+}
+
 namespace cpg::stream {
 
 // One entry of the plan's model bank. `compiled` is optional: when null the
@@ -77,5 +81,28 @@ struct PopulationPlan {
   std::uint64_t fingerprint = 0;
   gen::UeGenOptions ue_options;
 };
+
+// The stationary run as a trivial plan: the UE registry in the same
+// deterministic device-block order as the batch generator (so UE ids — and
+// with them the RNG streams — line up exactly), one whole-window segment
+// per UE on model 0 with rng_salt 0, no phases, fingerprint 0. Validates
+// the request like the batch path (throws std::invalid_argument), except
+// that an empty population is allowed — it is a valid (silent) stream.
+// This is exactly the plan the ModelSet overload of stream_generate runs.
+PopulationPlan stationary_plan(const model::ModelSet& models,
+                               const gen::GenerationRequest& request);
+
+// Restriction of `plan` to worker rank `rank` of `num_ranks`: keeps the
+// full UE registry, window, seed, model bank, phases, ue_options and
+// fingerprint — so UE ids, RNG streams, the slice grid and the checkpoint
+// fingerprint are all unchanged — but drops every segment whose UE is not
+// owned by the rank (ownership: ue % num_ranks == rank). The rank slices
+// partition the plan's segment multiset, and because each UE's events
+// depend on (seed, ue, salt) alone, merging the rank streams in canonical
+// event order reproduces the unsliced stream byte for byte for any
+// num_ranks. Throws std::invalid_argument on num_ranks == 0 or
+// rank >= num_ranks.
+PopulationPlan slice_plan_for_rank(const PopulationPlan& plan, unsigned rank,
+                                   unsigned num_ranks);
 
 }  // namespace cpg::stream

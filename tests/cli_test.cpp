@@ -1,0 +1,118 @@
+// Audit of the stream_gen command-line surface (tools/stream_gen_cli.*):
+// the usage text and the parser's flag tables must agree exactly — every
+// accepted flag is documented in --help, and --help mentions no flag the
+// parser would reject — plus parser behaviors (=-values, unconditional
+// value consumption, unknown flags, typed lookups).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stream_gen_cli.h"
+
+namespace cpg::cli {
+namespace {
+
+// Every "--flag" token mentioned anywhere in the usage text.
+std::set<std::string> flags_in_usage() {
+  std::set<std::string> found;
+  const std::string text = k_usage;
+  const std::regex flag_re("--([a-z][a-z0-9-]*)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), flag_re);
+       it != std::sregex_iterator(); ++it) {
+    found.insert((*it)[1].str());
+  }
+  return found;
+}
+
+TEST(CliSurface, HelpDocumentsEveryAcceptedFlag) {
+  const std::set<std::string> documented = flags_in_usage();
+  for (const std::string& f : value_flags()) {
+    EXPECT_TRUE(documented.count(f))
+        << "--" << f << " is accepted by the parser but missing from --help";
+  }
+  for (const std::string& f : switch_flags()) {
+    EXPECT_TRUE(documented.count(f))
+        << "--" << f << " is accepted by the parser but missing from --help";
+  }
+}
+
+TEST(CliSurface, HelpMentionsNoUnknownFlag) {
+  for (const std::string& f : flags_in_usage()) {
+    EXPECT_TRUE(value_flags().count(f) || switch_flags().count(f))
+        << "--" << f << " appears in --help but the parser rejects it";
+  }
+}
+
+TEST(CliSurface, ValueAndSwitchTablesAreDisjoint) {
+  for (const std::string& f : value_flags()) {
+    EXPECT_FALSE(switch_flags().count(f)) << "--" << f << " is in both tables";
+  }
+}
+
+std::map<std::string, std::string> parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "stream_gen");
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  return parse_flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParse, ValueFlagsTakeSeparateOrEqualsValues) {
+  const auto a = parse({"--phones", "100", "--seed=7"});
+  EXPECT_EQ(a.at("phones"), "100");
+  EXPECT_EQ(a.at("seed"), "7");
+}
+
+TEST(CliParse, ValueFlagsConsumeNegativeNumbers) {
+  const auto a = parse({"--accel", "-2"});
+  EXPECT_EQ(a.at("accel"), "-2");
+}
+
+TEST(CliParse, SwitchesTakeNoValue) {
+  const auto a = parse({"--resume", "--ranks", "4"});
+  EXPECT_TRUE(a.count("resume"));
+  EXPECT_EQ(a.at("resume"), "1");
+  EXPECT_EQ(a.at("ranks"), "4");
+  EXPECT_THROW(parse({"--resume=yes"}), UsageError);
+}
+
+TEST(CliParse, UnknownFlagNamesTheFlag) {
+  try {
+    parse({"--frobnicate", "1"});
+    FAIL() << "expected a UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(CliParse, MissingValueNamesTheFlag) {
+  try {
+    parse({"--phones"});
+    FAIL() << "expected a UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("phones"), std::string::npos);
+  }
+}
+
+TEST(CliParse, TypedLookupsValidate) {
+  const auto a = parse({"--phones", "100", "--accel", "2.5"});
+  EXPECT_EQ(flag_u64(a, "phones", 0), 100u);
+  EXPECT_EQ(flag_u64(a, "cars", 7), 7u);
+  EXPECT_DOUBLE_EQ(flag_double(a, "accel", 1.0), 2.5);
+  const auto bad = parse({"--phones", "abc"});
+  EXPECT_THROW(flag_u64(bad, "phones", 0), UsageError);
+}
+
+TEST(CliSurface, DistributedFlagsAreOnTheSurface) {
+  // The distributed entry points must stay part of the audited surface.
+  EXPECT_TRUE(value_flags().count("ranks"));
+  EXPECT_TRUE(value_flags().count("dist-worker"));
+  EXPECT_TRUE(value_flags().count("dist-resume-dir"));
+  EXPECT_TRUE(switch_flags().count("dist-obs"));
+}
+
+}  // namespace
+}  // namespace cpg::cli

@@ -1,0 +1,711 @@
+// Tests for the distributed runtime (src/dist/): wire codec round-trips,
+// transport framing and shutdown, rank plan slicing, the coordinator merge
+// determinism contract (merged N-rank stream == single-process stream, byte
+// for byte, for any rank count and worker configuration), distributed
+// checkpoint commit + kill/resume, failure surfacing (rank death, torn
+// streams, hello mismatches) and cross-rank obs aggregation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "generator/traffic_generator.h"
+#include "model/fit.h"
+#include "obs/metrics.h"
+#include "scenario/scenario.h"
+#include "scenario/spec.h"
+#include "stream/stream_generator.h"
+#include "test_util.h"
+
+namespace cpg::dist {
+namespace {
+
+const model::ModelSet& ours_model() {
+  static const model::ModelSet set = [] {
+    model::FitOptions opts;
+    opts.method = model::Method::ours;
+    opts.clustering.theta_n = 30;
+    return model::fit_model(testutil::small_ground_truth(200, 48.0, 11),
+                            opts);
+  }();
+  return set;
+}
+
+gen::GenerationRequest small_request() {
+  gen::GenerationRequest req;
+  req.ue_counts = {40, 16, 8};
+  req.start_hour = 10;
+  req.duration_hours = 2.0;
+  req.seed = 99;
+  req.num_threads = 1;
+  return req;
+}
+
+const stream::PopulationPlan& stationary() {
+  static const stream::PopulationPlan plan =
+      stream::stationary_plan(ours_model(), small_request());
+  return plan;
+}
+
+constexpr const char* k_scn_spec = R"(scenario dist-mix
+start-hour 9
+duration 2
+
+phase warmup 0 1
+phase rush 1 2
+  accel 50
+
+cohort base
+  device phone
+  count 24
+  join 0
+  leave 1.6 1.9
+cohort crowd
+  device phone
+  count 12
+  join 0.5 0.7
+cohort cars
+  device car
+  count 8
+  migrate 1 nsa
+)";
+
+const scenario::CompiledScenario& churny() {
+  static const scenario::CompiledScenario sc = scenario::compile(
+      scenario::parse_scenario_string(k_scn_spec), ours_model());
+  return sc;
+}
+
+constexpr TimeMs k_slice = 15 * k_ms_per_minute;
+
+std::vector<ControlEvent> run_single(const stream::PopulationPlan& plan) {
+  stream::StreamOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 1;
+  opts.slice_ms = k_slice;
+  std::vector<ControlEvent> store;
+  stream::CallbackSink sink(
+      [&](const ControlEvent& e) { store.push_back(e); });
+  stream::stream_generate(plan, opts, sink);
+  return store;
+}
+
+// A transport decorator that injects a deterministic rank death: after
+// `limit` successful sends every further send (including the worker's
+// best-effort error frame) fails — exactly what a SIGKILLed worker process
+// looks like from the coordinator (EOF mid-stream).
+class DyingTransport final : public RankTransport {
+ public:
+  DyingTransport(RankTransport& inner, std::size_t limit)
+      : inner_(inner), remaining_(limit) {}
+
+  void send(FrameType type, std::string_view payload) override {
+    if (remaining_ == 0) {
+      inner_.abort();
+      throw std::runtime_error("dist test: injected rank death");
+    }
+    --remaining_;
+    inner_.send(type, payload);
+  }
+  std::optional<Frame> recv() override { return inner_.recv(); }
+  void abort() override { inner_.abort(); }
+
+ private:
+  RankTransport& inner_;
+  std::size_t remaining_;
+};
+
+struct DistResult {
+  std::vector<ControlEvent> events;
+  DistStats stats;
+};
+
+struct DistConfig {
+  std::string ckpt_dir;        // empty = checkpointing off
+  std::uint64_t interval = 2;  // checkpoint interval in slices
+  bool resume = false;
+  // Rank -> kill that rank's transport after this many sends (0 = never).
+  std::vector<std::size_t> kill_after;
+  // Per-rank obs registries (size num_ranks) + a coordinator registry.
+  std::vector<obs::Registry>* rank_metrics = nullptr;
+  obs::Registry* coord_metrics = nullptr;
+  std::size_t worker_shards = 1;
+};
+
+// Runs an in-process distributed generation: one std::thread per worker
+// rank over socketpair transports, run_merge on the calling thread.
+DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
+                    const DistConfig& cfg = {}) {
+  std::vector<std::unique_ptr<FdTransport>> worker_ends;
+  std::vector<std::unique_ptr<FdTransport>> coord_ends;
+  for (unsigned r = 0; r < n; ++r) {
+    auto [w, c] = make_transport_pair();
+    worker_ends.push_back(std::move(w));
+    coord_ends.push_back(std::move(c));
+  }
+
+  CoordinatorOptions copts;
+  copts.stream.slice_ms = k_slice;
+  copts.stream.checkpoint.dir = cfg.ckpt_dir;
+  copts.stream.checkpoint.interval_slices = cfg.interval;
+  copts.stream.metrics = cfg.coord_metrics;
+  if (cfg.resume) {
+    copts.resume = prepare_resume(cfg.ckpt_dir, plan, n, k_slice);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      WorkerOptions w;
+      w.rank = r;
+      w.num_ranks = n;
+      w.stream.num_shards = cfg.worker_shards;
+      w.stream.num_threads = 1;
+      w.stream.slice_ms = k_slice;
+      w.stream.checkpoint.interval_slices = cfg.interval;
+      w.ship_checkpoints = !cfg.ckpt_dir.empty();
+      if (cfg.resume && copts.resume) {
+        w.resume_dir =
+            rank_checkpoint_dir(cfg.ckpt_dir, copts.resume->watermark, r);
+      }
+      if (cfg.rank_metrics) w.stream.metrics = &(*cfg.rank_metrics)[r];
+      const std::size_t kill =
+          r < cfg.kill_after.size() ? cfg.kill_after[r] : 0;
+      try {
+        if (kill != 0) {
+          DyingTransport dying(*worker_ends[r], kill);
+          run_worker(plan, dying, w);
+        } else {
+          run_worker(plan, *worker_ends[r], w);
+        }
+      } catch (...) {
+        // The coordinator surfaces the failure; the thread just exits.
+      }
+    });
+  }
+
+  DistResult out;
+  stream::CallbackSink sink(
+      [&](const ControlEvent& e) { out.events.push_back(e); });
+  std::vector<RankTransport*> transports;
+  for (auto& t : coord_ends) transports.push_back(t.get());
+  try {
+    out.stats = run_merge(plan, transports, sink, copts);
+  } catch (...) {
+    for (auto& t : coord_ends) t->abort();
+    for (auto& t : threads) t.join();
+    throw;
+  }
+  for (auto& t : threads) t.join();
+  return out;
+}
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("cpg_dist_") + tag + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+TEST(DistWire, HelloRoundTrip) {
+  HelloFrame h;
+  h.rank = 3;
+  h.num_ranks = 8;
+  const HelloFrame d = decode_hello(encode_hello(h));
+  EXPECT_EQ(d.proto, k_proto_version);
+  EXPECT_EQ(d.rank, 3u);
+  EXPECT_EQ(d.num_ranks, 8u);
+}
+
+TEST(DistWire, SliceEndRoundTrip) {
+  SliceEndFrame s;
+  s.slice = 17;
+  s.events = 123456789;
+  const SliceEndFrame d = decode_slice_end(encode_slice_end(s));
+  EXPECT_EQ(d.slice, 17u);
+  EXPECT_EQ(d.events, 123456789u);
+}
+
+TEST(DistWire, EventsRoundTrip) {
+  std::vector<ControlEvent> in;
+  for (int i = 0; i < 100; ++i) {
+    ControlEvent e;
+    e.t_ms = i * 1000 - 50;  // include a negative timestamp
+    e.ue_id = static_cast<UeId>(i * 7);
+    e.type = static_cast<EventType>(i % 4);
+    in.push_back(e);
+  }
+  std::string payload;
+  append_events(payload, in);
+  std::vector<ControlEvent> out;
+  decode_events(payload, out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].t_ms, in[i].t_ms);
+    EXPECT_EQ(out[i].ue_id, in[i].ue_id);
+    EXPECT_EQ(out[i].type, in[i].type);
+  }
+}
+
+TEST(DistWire, CheckpointRoundTrip) {
+  const std::string bytes = "opaque checkpoint\0bytes";
+  const std::string payload = encode_checkpoint(42, bytes);
+  const auto [wm, got] = decode_checkpoint(payload);
+  EXPECT_EQ(wm, 42u);
+  EXPECT_EQ(got, bytes);
+}
+
+TEST(DistWire, FinishRoundTrip) {
+  stream::StreamStats s;
+  s.events = 1000;
+  s.slices = 12;
+  s.start_slice = 4;
+  s.checkpoints_written = 3;
+  s.num_ues = 64;
+  s.num_shards = 2;
+  s.peak_buffered_events = 555;
+  s.cohort_joins = 7;
+  s.cohort_leaves = 5;
+  s.migrations = 2;
+  const stream::StreamStats d = decode_finish(encode_finish(s));
+  EXPECT_EQ(d.events, s.events);
+  EXPECT_EQ(d.slices, s.slices);
+  EXPECT_EQ(d.start_slice, s.start_slice);
+  EXPECT_EQ(d.checkpoints_written, s.checkpoints_written);
+  EXPECT_EQ(d.num_ues, s.num_ues);
+  EXPECT_EQ(d.num_shards, s.num_shards);
+  EXPECT_EQ(d.peak_buffered_events, s.peak_buffered_events);
+  EXPECT_EQ(d.cohort_joins, s.cohort_joins);
+  EXPECT_EQ(d.cohort_leaves, s.cohort_leaves);
+  EXPECT_EQ(d.migrations, s.migrations);
+}
+
+TEST(DistWire, TruncatedPayloadIsCleanError) {
+  const std::string payload = encode_slice_end({17, 9});
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW(decode_slice_end(payload.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+  std::string evs;
+  append_events(evs, std::vector<ControlEvent>(3));
+  EXPECT_THROW(
+      {
+        std::vector<ControlEvent> out;
+        decode_events(evs.substr(0, evs.size() - 1), out);
+      },
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+TEST(DistTransport, FramesCrossThePair) {
+  auto [a, b] = make_transport_pair();
+  a->send(FrameType::hello, "payload-1");
+  a->send(FrameType::events, std::string(100000, 'x'));
+  auto f1 = b->recv();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, FrameType::hello);
+  EXPECT_EQ(f1->payload, "payload-1");
+  auto f2 = b->recv();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, FrameType::events);
+  EXPECT_EQ(f2->payload.size(), 100000u);
+}
+
+TEST(DistTransport, CleanEofIsNullopt) {
+  auto [a, b] = make_transport_pair();
+  a->send(FrameType::finish, "");
+  a.reset();  // close the peer
+  auto f = b->recv();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::finish);
+  EXPECT_FALSE(b->recv().has_value());
+}
+
+TEST(DistTransport, TornFrameThrows) {
+  auto [a, b] = make_transport_pair();
+  // Half a length prefix, then EOF: a torn frame, not a clean close.
+  const char partial[2] = {0x10, 0x00};
+  ASSERT_EQ(::write(a->fd(), partial, sizeof partial),
+            static_cast<ssize_t>(sizeof partial));
+  a.reset();
+  EXPECT_THROW(b->recv(), std::runtime_error);
+}
+
+TEST(DistTransport, AbortUnblocksABlockedReceiver) {
+  auto [a, b] = make_transport_pair();
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    b->abort();
+  });
+  // recv blocks until the abort; afterwards it must not hang and must not
+  // report a clean finish-capable stream.
+  try {
+    auto f = b->recv();
+    EXPECT_FALSE(f.has_value());
+  } catch (const std::runtime_error&) {
+    // acceptable: shutdown may surface as an error
+  }
+  aborter.join();
+  EXPECT_THROW(a->send(FrameType::hello, "x"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Rank plan slicing
+
+TEST(DistPlan, RankSlicesPartitionTheSegments) {
+  const stream::PopulationPlan& plan = churny().plan;
+  for (const unsigned n : {1u, 3u, 4u}) {
+    std::size_t total = 0;
+    for (unsigned r = 0; r < n; ++r) {
+      const stream::PopulationPlan s =
+          stream::slice_plan_for_rank(plan, r, n);
+      // Shared identity: registry, window, seed, models, phases,
+      // fingerprint are untouched.
+      EXPECT_EQ(s.device_of.size(), plan.device_of.size());
+      EXPECT_EQ(s.seed, plan.seed);
+      EXPECT_EQ(s.t_begin, plan.t_begin);
+      EXPECT_EQ(s.t_end, plan.t_end);
+      EXPECT_EQ(s.fingerprint, plan.fingerprint);
+      EXPECT_EQ(s.models.size(), plan.models.size());
+      EXPECT_EQ(s.phases.size(), plan.phases.size());
+      for (const stream::UeSegment& seg : s.segments) {
+        EXPECT_EQ(seg.ue % n, r);
+      }
+      total += s.segments.size();
+    }
+    EXPECT_EQ(total, plan.segments.size());
+  }
+}
+
+TEST(DistPlan, InvalidRankArgsThrow) {
+  EXPECT_THROW(stream::slice_plan_for_rank(stationary(), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(stream::slice_plan_for_rank(stationary(), 2, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Merge determinism: N ranks == 1 process, any configuration
+
+TEST(DistMerge, StationaryMatchesSingleProcessForAnyRankCount) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  ASSERT_GT(ref.size(), 50u);
+  for (const unsigned n : {1u, 2u, 4u}) {
+    const DistResult got = run_dist(stationary(), n);
+    ASSERT_EQ(got.events.size(), ref.size()) << "ranks=" << n;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got.events[i].t_ms, ref[i].t_ms) << "ranks=" << n;
+      ASSERT_EQ(got.events[i].ue_id, ref[i].ue_id) << "ranks=" << n;
+      ASSERT_EQ(got.events[i].type, ref[i].type) << "ranks=" << n;
+    }
+    EXPECT_EQ(got.stats.totals.events, ref.size());
+    EXPECT_EQ(got.stats.ranks.size(), n);
+    std::uint64_t rank_sum = 0;
+    for (const stream::StreamStats& rs : got.stats.ranks) {
+      rank_sum += rs.events;
+    }
+    EXPECT_EQ(rank_sum, ref.size());
+  }
+}
+
+TEST(DistMerge, ScenarioMatchesSingleProcessForAnyRankCount) {
+  const std::vector<ControlEvent> ref = run_single(churny().plan);
+  ASSERT_GT(ref.size(), 50u);
+  for (const unsigned n : {1u, 2u, 4u}) {
+    const DistResult got = run_dist(churny().plan, n);
+    ASSERT_EQ(got.events.size(), ref.size()) << "ranks=" << n;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got.events[i].t_ms, ref[i].t_ms) << "ranks=" << n;
+      ASSERT_EQ(got.events[i].ue_id, ref[i].ue_id) << "ranks=" << n;
+      ASSERT_EQ(got.events[i].type, ref[i].type) << "ranks=" << n;
+    }
+  }
+}
+
+TEST(DistMerge, WorkerShardCountNeverChangesTheMergedStream) {
+  const std::vector<ControlEvent> ref = run_single(churny().plan);
+  DistConfig cfg;
+  cfg.worker_shards = 3;
+  const DistResult got = run_dist(churny().plan, 2, cfg);
+  ASSERT_EQ(got.events.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(got.events[i].t_ms, ref[i].t_ms);
+    ASSERT_EQ(got.events[i].ue_id, ref[i].ue_id);
+    ASSERT_EQ(got.events[i].type, ref[i].type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed checkpointing: kill a rank, resume, identical stream
+
+void expect_tail_matches(const std::vector<ControlEvent>& ref,
+                         const std::vector<ControlEvent>& tail,
+                         const stream::PopulationPlan& plan,
+                         std::uint64_t watermark) {
+  const TimeMs boundary = plan.t_begin + static_cast<TimeMs>(watermark) *
+                                             k_slice;
+  std::vector<ControlEvent> want;
+  for (const ControlEvent& e : ref) {
+    if (e.t_ms >= boundary) want.push_back(e);
+  }
+  ASSERT_EQ(tail.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(tail[i].t_ms, want[i].t_ms);
+    ASSERT_EQ(tail[i].ue_id, want[i].ue_id);
+    ASSERT_EQ(tail[i].type, want[i].type);
+  }
+}
+
+TEST(DistCheckpoint, KillAndResumeReproducesTheStream) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  // Two distinct kill points: early (just after the first commit window)
+  // and late — resume must reproduce the exact remaining stream from both.
+  for (const std::size_t kill_at : {std::size_t{9}, std::size_t{14}}) {
+    const std::string dir =
+        temp_dir(("kill" + std::to_string(kill_at)).c_str());
+    DistConfig cfg;
+    cfg.ckpt_dir = dir;
+    cfg.kill_after = {0, 0, kill_at, 0};  // rank 2 dies
+    EXPECT_THROW(run_dist(stationary(), 4, cfg), std::runtime_error);
+
+    const std::optional<DistManifest> m = load_manifest(dir);
+    ASSERT_TRUE(m.has_value()) << "kill_at=" << kill_at
+                               << ": no checkpoint was committed";
+    EXPECT_GT(m->watermark, 0u);
+    EXPECT_EQ(m->num_ranks, 4u);
+
+    DistConfig res;
+    res.ckpt_dir = dir;
+    res.resume = true;
+    const DistResult got = run_dist(stationary(), 4, res);
+    expect_tail_matches(ref, got.events, stationary(), m->watermark);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(DistCheckpoint, ScenarioKillAndResumeReproducesTheStream) {
+  const std::vector<ControlEvent> ref = run_single(churny().plan);
+  const std::string dir = temp_dir("scn_kill");
+  DistConfig cfg;
+  cfg.ckpt_dir = dir;
+  cfg.kill_after = {0, 11};  // rank 1 of 2 dies
+  EXPECT_THROW(run_dist(churny().plan, 2, cfg), std::runtime_error);
+  const std::optional<DistManifest> m = load_manifest(dir);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GT(m->watermark, 0u);
+
+  DistConfig res;
+  res.ckpt_dir = dir;
+  res.resume = true;
+  const DistResult got = run_dist(churny().plan, 2, res);
+  expect_tail_matches(ref, got.events, churny().plan, m->watermark);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistCheckpoint, ResumeWithNoManifestStartsFresh) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  const std::string dir = temp_dir("fresh");
+  DistConfig cfg;
+  cfg.ckpt_dir = dir;
+  cfg.resume = true;  // no manifest on disk yet
+  const DistResult got = run_dist(stationary(), 2, cfg);
+  ASSERT_EQ(got.events.size(), ref.size());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Failure surfacing
+
+TEST(DistMerge, RankDeathWithoutCheckpointingNamesTheRank) {
+  DistConfig cfg;
+  cfg.kill_after = {0, 0, 5};  // rank 2 of 3 dies, nothing to resume from
+  try {
+    run_dist(stationary(), 3, cfg);
+    FAIL() << "expected the merge to fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DistMerge, EofBeforeHelloNamesTheRank) {
+  auto [w, c] = make_transport_pair();
+  w.reset();  // worker dies before saying hello
+  std::vector<RankTransport*> transports{c.get()};
+  stream::NullSink sink;
+  CoordinatorOptions copts;
+  copts.stream.slice_ms = k_slice;
+  try {
+    run_merge(stationary(), transports, sink, copts);
+    FAIL() << "expected the merge to fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DistMerge, HelloRankMismatchIsRejected) {
+  auto [w, c] = make_transport_pair();
+  std::thread impostor([&] {
+    HelloFrame h;
+    h.rank = 5;  // claims a rank the coordinator did not assign
+    h.num_ranks = 1;
+    try {
+      w->send(FrameType::hello, encode_hello(h));
+    } catch (...) {
+    }
+    while (w->recv().has_value()) {
+    }
+  });
+  std::vector<RankTransport*> transports{c.get()};
+  stream::NullSink sink;
+  CoordinatorOptions copts;
+  copts.stream.slice_ms = k_slice;
+  EXPECT_THROW(run_merge(stationary(), transports, sink, copts),
+               std::runtime_error);
+  c->abort();
+  impostor.join();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+TEST(DistManifestIo, SaveLoadRoundTrip) {
+  const std::string dir = temp_dir("manifest");
+  DistManifest m;
+  m.num_ranks = 4;
+  m.watermark = 6;
+  m.seed = 99;
+  m.fingerprint = 0xdeadbeef;
+  m.t_begin = 1000;
+  m.t_end = 2000;
+  m.slice_ms = 100;
+  m.sink_token = "tok:with spaces\nand a newline";
+  save_manifest(m, dir);
+  const std::optional<DistManifest> got = load_manifest(dir);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->num_ranks, m.num_ranks);
+  EXPECT_EQ(got->watermark, m.watermark);
+  EXPECT_EQ(got->seed, m.seed);
+  EXPECT_EQ(got->fingerprint, m.fingerprint);
+  EXPECT_EQ(got->t_begin, m.t_begin);
+  EXPECT_EQ(got->t_end, m.t_end);
+  EXPECT_EQ(got->slice_ms, m.slice_ms);
+  EXPECT_EQ(got->sink_token, m.sink_token);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistManifestIo, MissingManifestIsNullopt) {
+  const std::string dir = temp_dir("nomanifest");
+  EXPECT_FALSE(load_manifest(dir).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistManifestIo, NewerVersionIsAOneLineActionableError) {
+  const std::string dir = temp_dir("newver");
+  {
+    std::ofstream os(manifest_path(dir));
+    os << "cpg-dist-manifest 99\n";
+  }
+  try {
+    load_manifest(dir);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find('\n'), std::string::npos) << msg;
+    EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistManifestIo, PrepareResumeNamesTheMismatchedField) {
+  const std::string dir = temp_dir("mismatch");
+  DistManifest m;
+  m.num_ranks = 4;
+  m.watermark = 2;
+  m.seed = stationary().seed;
+  m.fingerprint = stationary().fingerprint;
+  m.t_begin = stationary().t_begin;
+  m.t_end = stationary().t_end;
+  m.slice_ms = k_slice;
+  save_manifest(m, dir);
+  for (unsigned r = 0; r < 4; ++r) {
+    std::filesystem::create_directories(rank_checkpoint_dir(dir, 2, r));
+    std::ofstream(rank_checkpoint_dir(dir, 2, r) + "/stream.ckpt") << "x";
+  }
+
+  // Matching run resumes.
+  EXPECT_TRUE(prepare_resume(dir, stationary(), 4, k_slice).has_value());
+
+  struct Case {
+    const char* field;
+    unsigned ranks;
+    TimeMs slice;
+  };
+  for (const Case& c : {Case{"rank", 2u, k_slice},
+                        Case{"slice", 4u, k_slice / 3}}) {
+    try {
+      prepare_resume(dir, stationary(), c.ranks, c.slice);
+      FAIL() << "expected a mismatch error for " << c.field;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.field), std::string::npos)
+          << e.what();
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-rank obs aggregation
+
+TEST(DistObs, CoordinatorAggregatesRankRegistriesWithRankLabels) {
+  std::vector<obs::Registry> rank_regs(2);
+  obs::Registry coord;
+  DistConfig cfg;
+  cfg.rank_metrics = &rank_regs;
+  cfg.coord_metrics = &coord;
+  const DistResult got = run_dist(stationary(), 2, cfg);
+  ASSERT_GT(got.events.size(), 0u);
+
+  std::uint64_t merged_rank_events = 0;
+  bool saw_rank_label = false;
+  for (const obs::FamilySnapshot& fam : coord.snapshot()) {
+    if (fam.name != "cpg_stream_delivered_events_total") continue;
+    for (const obs::SeriesSnapshot& s : fam.series) {
+      for (const auto& [k, v] : s.labels) {
+        if (k == "rank") {
+          saw_rank_label = true;
+          merged_rank_events += s.counter;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_rank_label)
+      << "per-rank series did not reach the coordinator registry";
+  EXPECT_EQ(merged_rank_events, got.events.size());
+}
+
+}  // namespace
+}  // namespace cpg::dist

@@ -16,6 +16,7 @@
 
 #include "mcn/simulator.h"
 #include "obs/exporters.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 
@@ -283,6 +284,195 @@ TEST(McnMetrics, SimulationRegistersAndCountsProcedures) {
   EXPECT_EQ(latency_count, result.procedures);
   EXPECT_EQ(in_flight, 0);  // everything drained by finish()
   EXPECT_TRUE(saw_mme_label);  // station labels carry NF names
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization + cross-process merge (obs/merge.h)
+
+Registry& sample_registry(Registry& reg) {
+  reg.counter("cpg_t_total", "a counter").inc(5);
+  reg.counter("cpg_t_total", "a counter", {{"shard", "1"}}).inc(7);
+  reg.gauge("cpg_t_level", "a gauge").set(-3);
+  auto& h = reg.histogram("cpg_t_wait", "a histogram", {0.5, 2.0, 8.0});
+  h.observe(0.1);
+  h.observe(1.7);
+  h.observe(100.0);
+  h.observe(0.3333333333333333);  // exercises full-precision sums
+  return reg;
+}
+
+TEST(Merge, SerializeParseRoundTripIsExact) {
+  Registry reg;
+  const auto families = sample_registry(reg).snapshot();
+  const std::string text = serialize_snapshot(families);
+  const auto parsed = parse_snapshot(text);
+  ASSERT_EQ(parsed.size(), families.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, families[i].name);
+    EXPECT_EQ(parsed[i].help, families[i].help);
+    EXPECT_EQ(parsed[i].kind, families[i].kind);
+    ASSERT_EQ(parsed[i].series.size(), families[i].series.size());
+    for (std::size_t j = 0; j < families[i].series.size(); ++j) {
+      const SeriesSnapshot& a = parsed[i].series[j];
+      const SeriesSnapshot& b = families[i].series[j];
+      EXPECT_EQ(a.labels, b.labels);
+      EXPECT_EQ(a.counter, b.counter);
+      EXPECT_EQ(a.gauge, b.gauge);
+      EXPECT_EQ(a.hist.bounds, b.hist.bounds);
+      EXPECT_EQ(a.hist.buckets, b.hist.buckets);
+      EXPECT_EQ(a.hist.count, b.hist.count);
+      // Hexfloat sums make the round trip bit-exact, not approximate.
+      EXPECT_EQ(a.hist.sum, b.hist.sum);
+    }
+  }
+}
+
+TEST(Merge, MalformedSnapshotsAreCleanErrors) {
+  EXPECT_THROW(parse_snapshot("obsreg 99\n"), std::runtime_error);
+  EXPECT_THROW(parse_snapshot("not a snapshot"), std::runtime_error);
+  EXPECT_THROW(parse_snapshot("obsreg 1\nseries before family\n"),
+               std::runtime_error);
+}
+
+TEST(Merge, FoldsCountersGaugesAndHistograms) {
+  Registry rank_a;
+  Registry rank_b;
+  sample_registry(rank_a);
+  sample_registry(rank_b);
+  Registry coord;
+  merge_snapshot(coord, rank_a.snapshot());
+  merge_snapshot(coord, rank_b.snapshot());
+  for (const FamilySnapshot& f : coord.snapshot()) {
+    if (f.name == "cpg_t_total") {
+      for (const SeriesSnapshot& s : f.series) {
+        EXPECT_EQ(s.counter, s.labels.empty() ? 10u : 14u);
+      }
+    } else if (f.name == "cpg_t_level") {
+      EXPECT_EQ(f.series.at(0).gauge, -6);
+    } else if (f.name == "cpg_t_wait") {
+      EXPECT_EQ(f.series.at(0).hist.count, 8u);
+    }
+  }
+}
+
+TEST(Merge, ExtraLabelsKeepPerRankResolution) {
+  Registry rank_a;
+  Registry rank_b;
+  sample_registry(rank_a);
+  sample_registry(rank_b);
+  Registry coord;
+  merge_snapshot(coord, rank_a.snapshot(), {{"rank", "0"}});
+  merge_snapshot(coord, rank_b.snapshot(), {{"rank", "1"}});
+  std::size_t rank_series = 0;
+  for (const FamilySnapshot& f : coord.snapshot()) {
+    if (f.name != "cpg_t_total") continue;
+    for (const SeriesSnapshot& s : f.series) {
+      for (const auto& [k, v] : s.labels) {
+        if (k == "rank") ++rank_series;
+      }
+      EXPECT_TRUE(s.counter == 5 || s.counter == 7);  // never summed
+    }
+  }
+  EXPECT_EQ(rank_series, 4u);  // 2 series x 2 ranks, kept distinct
+}
+
+TEST(Merge, HistogramAbsorbRequiresMatchingBounds) {
+  Registry a;
+  auto& h = a.histogram("cpg_t_lat", "h", {1.0, 2.0});
+  h.observe(1.5);
+  HistogramSnapshot snap;
+  snap.bounds = {1.0, 4.0};  // different ladder
+  snap.buckets = {0, 1, 0};
+  snap.count = 1;
+  EXPECT_THROW(h.absorb(snap), std::invalid_argument);
+
+  Registry b;
+  b.histogram("cpg_t_lat", "h", {1.0, 4.0}).observe(0.5);
+  Registry coord;
+  merge_snapshot(coord, a.snapshot());
+  EXPECT_ANY_THROW(merge_snapshot(coord, b.snapshot()));
+
+  // Matching bounds fold per-bucket.
+  Registry c;
+  auto& hc = c.histogram("cpg_t_lat", "h", {1.0, 2.0});
+  hc.observe(0.2);
+  hc.observe(10.0);
+  merge_snapshot(coord, c.snapshot());
+  for (const FamilySnapshot& f : coord.snapshot()) {
+    if (f.name != "cpg_t_lat") continue;
+    EXPECT_EQ(f.series.at(0).hist.count, 3u);
+    EXPECT_EQ(f.series.at(0).hist.buckets.at(0), 1u);  // 0.2
+    EXPECT_EQ(f.series.at(0).hist.buckets.at(1), 1u);  // 1.5
+    EXPECT_EQ(f.series.at(0).hist.buckets.at(2), 1u);  // 10.0 (+Inf)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-vs-mutation races: these exist to run under TSan (the tsan CI
+// preset builds and runs the whole test suite instrumented). Writers hammer
+// every instrument kind while readers snapshot, serialize and merge — any
+// unsynchronized access in Registry::snapshot, Histogram::absorb or the
+// merge path is a TSan report.
+
+TEST(Races, SnapshotWhileAllInstrumentKindsMutate) {
+  Registry reg;
+  auto& c = reg.counter("cpg_r_total", "c");
+  auto& g = reg.gauge("cpg_r_level", "g");
+  auto& h = reg.histogram("cpg_r_wait", "h", exponential_buckets(1, 2, 6));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc(1);
+        g.add(2);
+        g.add(-1);
+        h.observe(3.7);
+      }
+    });
+  }
+  // Registration of new series during snapshots is part of the contract.
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) {
+      reg.counter("cpg_r_total", "c", {{"shard", std::to_string(i % 8)}})
+          .inc(1);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = reg.snapshot();
+    ASSERT_GE(snap.size(), 3u);
+    // Serialization + merge read the snapshot concurrently with writers.
+    Registry scratch;
+    merge_snapshot(scratch, parse_snapshot(serialize_snapshot(snap)));
+  }
+  registrar.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  const auto final_snap = reg.snapshot();
+  std::uint64_t total = 0;
+  for (const FamilySnapshot& f : final_snap) {
+    if (f.name != "cpg_r_total") continue;
+    for (const SeriesSnapshot& s : f.series) total += s.counter;
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Races, AbsorbWhileTheTargetHistogramMutates) {
+  Registry reg;
+  auto& h = reg.histogram("cpg_r_lat", "h", {1.0, 10.0, 100.0});
+  HistogramSnapshot snap;
+  snap.bounds = {1.0, 10.0, 100.0};
+  snap.buckets = {1, 2, 3, 4};
+  snap.count = 10;
+  snap.sum = 314.0;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) h.observe(5.0);
+  });
+  for (int i = 0; i < 1000; ++i) h.absorb(snap);
+  stop.store(true);
+  writer.join();
+  EXPECT_GE(h.count(), 10000u);
 }
 
 }  // namespace

@@ -381,6 +381,70 @@ TEST_F(CheckpointDir, CorruptFileThrowsWithDiagnostic) {
 }
 
 // ---------------------------------------------------------------------------
+// Forward compatibility: files written by a newer build (or mangled beyond
+// recognition) must die with one actionable line — never crash, and never
+// be treated as "no checkpoint" (a silent fresh start would overwrite the
+// newer run's durable state).
+// ---------------------------------------------------------------------------
+
+class CheckpointForwardCompat : public CheckpointDir {
+ protected:
+  void write_raw(const std::string& content) {
+    std::filesystem::create_directories(dir_);
+    std::ofstream os(checkpoint_path(dir_), std::ios::trunc);
+    os << content;
+    ASSERT_TRUE(os.good());
+  }
+
+  std::string load_error() {
+    try {
+      const auto ck = load_checkpoint(dir_);
+      EXPECT_TRUE(ck.has_value() || !ck.has_value());
+      ADD_FAILURE() << "load_checkpoint accepted the file (has_value="
+                    << ck.has_value()
+                    << ") instead of raising a clean error";
+      return {};
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+  }
+
+  void expect_actionable(const std::string& msg) {
+    EXPECT_FALSE(msg.empty());
+    // One line, and it names the offending file so the operator knows what
+    // to remove or inspect.
+    EXPECT_EQ(msg.find('\n'), std::string::npos) << msg;
+    EXPECT_NE(msg.find(checkpoint_path(dir_)), std::string::npos) << msg;
+  }
+};
+
+TEST_F(CheckpointForwardCompat, NewerVersionIsAOneLineActionableError) {
+  write_raw("cpg-checkpoint 3\nfuture fields this build cannot know\n");
+  const std::string msg = load_error();
+  expect_actionable(msg);
+  EXPECT_NE(msg.find("newer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find('3'), std::string::npos) << msg;
+}
+
+TEST_F(CheckpointForwardCompat, FarFutureVersionIsStillACleanError) {
+  write_raw("cpg-checkpoint 2147483000\n");
+  expect_actionable(load_error());
+}
+
+TEST_F(CheckpointForwardCompat, TruncatedHeaderIsACleanError) {
+  for (const char* header : {"", "cpg-checkpo", "cpg-checkpoint",
+                             "cpg-checkpoint\n"}) {
+    write_raw(header);
+    expect_actionable(load_error());
+  }
+}
+
+TEST_F(CheckpointForwardCompat, ForeignFileIsACleanError) {
+  write_raw("PK\x03\x04 this is definitely not a checkpoint");
+  expect_actionable(load_error());
+}
+
+// ---------------------------------------------------------------------------
 // Kill-and-resume byte identity
 // ---------------------------------------------------------------------------
 
@@ -403,6 +467,20 @@ gen::GenerationRequest small_request() {
   req.seed = 424;
   req.num_threads = 2;
   return req;
+}
+
+TEST_F(CheckpointForwardCompat, ResumeRunNeverSilentlyRestartsOnNewerFile) {
+  write_raw("cpg-checkpoint 3\n");
+  StreamOptions opts;
+  opts.num_shards = 1;
+  opts.num_threads = 1;
+  opts.checkpoint.dir = dir_;
+  opts.resume = true;
+  NullSink sink;
+  // The run must refuse to start (a fresh start would clobber the newer
+  // build's checkpoint), not crash and not generate from slice 0.
+  EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, sink),
+               std::runtime_error);
 }
 
 StreamOptions checkpointed_options(const std::string& dir) {

@@ -8,20 +8,26 @@
 // background reporter publishes periodic snapshots (Prometheus text
 // exposition, or JSON when the path ends in .json).
 //
+// With --ranks N the population is split across N spawned worker processes
+// (src/dist/): each rank re-execs this binary in --dist-worker mode,
+// generates its UE slice, and streams it back over a socket; the
+// coordinator k-way merges the rank streams into the same sink chain,
+// byte-identical to a single-process run.
+//
 // Without --model, a demo model is fitted on a small synthetic ground-truth
 // trace so the tool runs out of the box.
-#include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <stdexcept>
 #include <string>
 
+#include "dist/coordinator.h"
+#include "dist/launch.h"
+#include "dist/worker.h"
 #include "fault/failpoint.h"
 #include "io/model_io.h"
 #include "io/table.h"
@@ -32,140 +38,16 @@
 #include "scenario/spec.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
+#include "stream/population.h"
 #include "stream/resilient_sink.h"
 #include "stream/stream_generator.h"
+#include "stream_gen_cli.h"
 #include "synthetic/workload.h"
 
 namespace {
 
 using namespace cpg;
-
-constexpr const char* k_usage = R"(usage: stream_gen [options]
-  --model <file>            load a fitted model (default: fit a demo model)
-  --scenario <file>         drive the run from a scenario spec (population
-                            churn, flash crowds, 4G->5G migration waves,
-                            phase pacing / core degradation); replaces
-                            --phones/--cars/--tablets/--start-hour/--hours
-  --phones <n>              phone UE count (default 1000)
-  --cars <n>                connected-car UE count (default 0)
-  --tablets <n>             tablet UE count (default 0)
-  --start-hour <h>          starting hour of day (default 10)
-  --hours <h>               duration in hours (default 1.0)
-  --seed <s>                master seed (default 42)
-  --shards <k>              shard count (0 = one per worker thread)
-  --threads <t>             worker threads (0 = hardware concurrency)
-  --slice-min <m>           slice length in minutes (default 10)
-  --queue-events <q>        per-queue backpressure threshold in events
-  --clock <mode>            afap | realtime | accel (default afap)
-  --accel <x>               trace seconds per wall second (accel mode, > 0)
-  --out <prefix>            write <prefix>_{events,ues}.csv incrementally
-  --mcn                     feed the stream into the live EPC core simulator
-  --checkpoint-dir <dir>    periodically checkpoint stream progress to <dir>
-  --checkpoint-interval <k> slices between checkpoints (default 16)
-  --resume                  continue from the checkpoint in --checkpoint-dir
-                            (byte-identical output; fresh start if absent)
-  --sink-policy <p>         supervise the sink with retry/backoff; on retry
-                            exhaustion: fail | drop | spill (default: no
-                            supervision). Failpoints arm via CPG_FAILPOINTS.
-  --spill-file <path>       dead-letter file for --sink-policy spill
-                            (default <out>_spill.csv)
-  --metrics-out <path>      export runtime metrics to <path>; format is JSON
-                            when the path ends in .json, Prometheus text
-                            exposition otherwise
-  --metrics-interval-s <s>  metrics snapshot period in seconds (default 1.0)
-  --help                    print this message and exit
-)";
-
-// A command-line error: main() prints the message plus the usage string.
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-const std::set<std::string>& value_flags() {
-  static const std::set<std::string> flags{
-      "model",      "scenario", "phones",      "cars",        "tablets",
-      "start-hour", "hours",    "seed",        "shards",
-      "threads",    "slice-min", "queue-events", "clock",
-      "accel",      "out",      "metrics-out", "metrics-interval-s",
-      "checkpoint-dir", "checkpoint-interval", "sink-policy", "spill-file"};
-  return flags;
-}
-
-const std::set<std::string>& switch_flags() {
-  static const std::set<std::string> flags{"mcn", "resume", "help"};
-  return flags;
-}
-
-// Parses --flag value / --flag=value against the known-flag tables above.
-// A value flag consumes the following argv entry *unconditionally*, so
-// negative numbers ("--accel -2") reach the numeric parser instead of being
-// mistaken for a flag. Unknown flags and missing values are errors naming
-// the flag.
-std::map<std::string, std::string> parse_flags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      throw UsageError("unexpected argument \"" + arg +
-                       "\" (flags start with --)");
-    }
-    std::string name = arg.substr(2);
-    std::string value;
-    bool has_value = false;
-    if (const auto eq = name.find('='); eq != std::string::npos) {
-      value = name.substr(eq + 1);
-      name = name.substr(0, eq);
-      has_value = true;
-    }
-    if (switch_flags().count(name) != 0) {
-      if (has_value) {
-        throw UsageError("--" + name + " does not take a value");
-      }
-      flags[name] = "1";
-      continue;
-    }
-    if (value_flags().count(name) == 0) {
-      throw UsageError("unknown flag --" + name);
-    }
-    if (!has_value) {
-      if (i + 1 >= argc) {
-        throw UsageError("--" + name + " requires a value");
-      }
-      value = argv[++i];
-    }
-    flags[name] = value;
-  }
-  return flags;
-}
-
-std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
-                       const std::string& key, std::uint64_t fallback) {
-  const auto it = flags.find(key);
-  if (it == flags.end()) return fallback;
-  const std::string& s = it->second;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (s.empty() || *end != '\0' || errno == ERANGE || s.front() == '-') {
-    throw UsageError("--" + key + ": expected a non-negative integer, got \"" +
-                     s + "\"");
-  }
-  return v;
-}
-
-double flag_double(const std::map<std::string, std::string>& flags,
-                   const std::string& key, double fallback) {
-  const auto it = flags.find(key);
-  if (it == flags.end()) return fallback;
-  const std::string& s = it->second;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s.c_str(), &end);
-  if (s.empty() || *end != '\0' || errno == ERANGE) {
-    throw UsageError("--" + key + ": expected a number, got \"" + s + "\"");
-  }
-  return v;
-}
+using cli::UsageError;
 
 model::ModelSet demo_model(std::uint64_t seed) {
   std::cerr << "no --model given: fitting a demo model on a synthetic "
@@ -180,16 +62,63 @@ model::ModelSet demo_model(std::uint64_t seed) {
   return model::fit_model(fit_trace, fit);
 }
 
+// Flags a spawned worker inherits verbatim from the coordinator's command
+// line: everything that shapes the population plan and the per-rank
+// runtime, nothing that shapes coordinator-side delivery.
+constexpr const char* k_worker_passthrough[] = {
+    "model",     "scenario",  "phones",       "cars",
+    "tablets",   "start-hour", "hours",       "seed",
+    "shards",    "threads",   "slice-min",    "queue-events",
+    "checkpoint-dir", "checkpoint-interval"};
+
 int run(int argc, char** argv) {
-  const auto flags = parse_flags(argc, argv);
+  const auto flags = cli::parse_flags(argc, argv);
   if (flags.count("help") != 0) {
-    std::cout << k_usage;
+    std::cout << cli::k_usage;
     return 0;
   }
 
   // Parse and validate everything before the (expensive) model load, so a
   // typo fails in milliseconds, not after a demo-model fit.
-  const std::uint64_t seed = flag_u64(flags, "seed", 42);
+  const std::uint64_t seed = cli::flag_u64(flags, "seed", 42);
+
+  const bool worker_mode = flags.count("dist-worker") != 0;
+  const bool dist_run = !worker_mode && flags.count("ranks") != 0;
+  const auto num_ranks =
+      static_cast<unsigned>(cli::flag_u64(flags, "ranks", 1));
+  if (flags.count("ranks") != 0 && num_ranks == 0) {
+    throw UsageError("--ranks: must be >= 1");
+  }
+  if (worker_mode) {
+    if (flags.count("ranks") == 0) {
+      throw UsageError("--dist-worker requires --ranks");
+    }
+    for (const char* f : {"out", "metrics-out", "sink-policy", "spill-file",
+                          "clock", "accel"}) {
+      if (flags.count(f) != 0) {
+        throw UsageError(std::string("--") + f +
+                         " belongs to the coordinator, not a --dist-worker");
+      }
+    }
+    for (const char* f : {"mcn", "resume"}) {
+      if (flags.count(f) != 0) {
+        throw UsageError(std::string("--") + f +
+                         " belongs to the coordinator, not a --dist-worker");
+      }
+    }
+  } else {
+    for (const char* f : {"dist-resume-dir", "dist-obs"}) {
+      if (flags.count(f) != 0) {
+        throw UsageError(std::string("--") + f +
+                         " is internal to --dist-worker mode");
+      }
+    }
+  }
+  const auto worker_rank =
+      static_cast<unsigned>(cli::flag_u64(flags, "dist-worker", 0));
+  if (worker_mode && worker_rank >= num_ranks) {
+    throw UsageError("--dist-worker: rank must be < --ranks");
+  }
 
   const bool scenario_run = flags.count("scenario") != 0;
   if (scenario_run) {
@@ -211,24 +140,26 @@ int run(int argc, char** argv) {
 
   gen::GenerationRequest request;
   request.ue_counts[index_of(DeviceType::phone)] =
-      flag_u64(flags, "phones", 1000);
+      cli::flag_u64(flags, "phones", 1000);
   request.ue_counts[index_of(DeviceType::connected_car)] =
-      flag_u64(flags, "cars", 0);
+      cli::flag_u64(flags, "cars", 0);
   request.ue_counts[index_of(DeviceType::tablet)] =
-      flag_u64(flags, "tablets", 0);
-  request.start_hour = static_cast<int>(flag_u64(flags, "start-hour", 10));
-  request.duration_hours = flag_double(flags, "hours", 1.0);
+      cli::flag_u64(flags, "tablets", 0);
+  request.start_hour =
+      static_cast<int>(cli::flag_u64(flags, "start-hour", 10));
+  request.duration_hours = cli::flag_double(flags, "hours", 1.0);
   request.seed = seed;
   request.num_threads =
-      static_cast<unsigned>(flag_u64(flags, "threads", 0));
+      static_cast<unsigned>(cli::flag_u64(flags, "threads", 0));
 
   stream::StreamOptions options;
-  options.num_shards = flag_u64(flags, "shards", 0);
+  options.num_shards = cli::flag_u64(flags, "shards", 0);
+  options.num_threads = request.num_threads;
   options.slice_ms = static_cast<TimeMs>(
-      flag_double(flags, "slice-min", 10.0) * k_ms_per_minute);
+      cli::flag_double(flags, "slice-min", 10.0) * k_ms_per_minute);
   options.max_buffered_events =
-      flag_u64(flags, "queue-events", options.max_buffered_events);
-  options.accel_factor = flag_double(flags, "accel", 1.0);
+      cli::flag_u64(flags, "queue-events", options.max_buffered_events);
+  options.accel_factor = cli::flag_double(flags, "accel", 1.0);
   const std::string clock =
       flags.count("clock") ? flags.at("clock") : "afap";
   if (clock == "afap") {
@@ -250,7 +181,7 @@ int run(int argc, char** argv) {
   options.checkpoint.dir =
       flags.count("checkpoint-dir") ? flags.at("checkpoint-dir") : "";
   options.checkpoint.interval_slices =
-      flag_u64(flags, "checkpoint-interval", 16);
+      cli::flag_u64(flags, "checkpoint-interval", 16);
   options.resume = flags.count("resume") != 0;
   if (options.resume && options.checkpoint.dir.empty()) {
     throw UsageError("--resume requires --checkpoint-dir");
@@ -288,29 +219,42 @@ int run(int argc, char** argv) {
     }
   }
 
-  // Deterministic fault injection: CPG_FAILPOINTS arms named sites (see
-  // src/fault/failpoint.h for the syntax).
+  // Deterministic fault injection: CPG_FAILPOINTS arms named sites in every
+  // process; a worker rank additionally arms CPG_FAILPOINTS_RANK<r>, so a
+  // test can kill one rank of a distributed run.
   if (const std::size_t armed = fault::arm_from_env(); armed > 0) {
     std::cerr << "armed " << armed << " failpoint(s) from CPG_FAILPOINTS\n";
+  }
+  if (worker_mode) {
+    const std::string var =
+        "CPG_FAILPOINTS_RANK" + std::to_string(worker_rank);
+    if (const std::size_t armed = fault::arm_from_env(var); armed > 0) {
+      std::cerr << "rank " << worker_rank << ": armed " << armed
+                << " failpoint(s) from " << var << "\n";
+    }
   }
 
   // --metrics-out turns on the whole observability stack: the stream
   // runtime, the per-UE generators, and (with --mcn) the live core all
   // register their instruments in one registry; a background reporter
-  // publishes it every --metrics-interval-s and once more on shutdown.
+  // publishes it every --metrics-interval-s and once more on shutdown. A
+  // worker rank instead registers silently (--dist-obs) and ships one final
+  // snapshot to the coordinator.
   obs::Registry registry;
   std::unique_ptr<gen::GenMetrics> gen_metrics;
   std::unique_ptr<obs::SnapshotReporter> reporter;
   const bool want_metrics = flags.count("metrics-out") != 0;
-  const double interval_s = flag_double(flags, "metrics-interval-s", 1.0);
-  if (want_metrics) {
-    if (!(interval_s > 0.0)) {
-      throw UsageError("--metrics-interval-s: must be > 0");
-    }
+  const double interval_s = cli::flag_double(flags, "metrics-interval-s", 1.0);
+  if (want_metrics || flags.count("dist-obs") != 0) {
     options.metrics = &registry;
     gen_metrics = std::make_unique<gen::GenMetrics>(
         gen::GenMetrics::register_in(registry));
     request.ue_options.metrics = gen_metrics.get();
+  }
+  if (want_metrics) {
+    if (!(interval_s > 0.0)) {
+      throw UsageError("--metrics-interval-s: must be > 0");
+    }
     const std::string& path = flags.at("metrics-out");
     const bool json = path.size() >= 5 &&
                       path.compare(path.size() - 5, 5, ".json") == 0;
@@ -332,13 +276,44 @@ int run(int argc, char** argv) {
     copts.seed = seed;
     copts.ue_options = request.ue_options;
     scen.emplace(scenario::compile(*spec, set, copts));
-    // The plan overload takes the thread count from the stream options.
-    options.num_threads = request.num_threads;
     std::cerr << "scenario '" << spec->name << "': "
               << scen->plan.device_of.size() << " UEs across "
               << spec->cohorts.size() << " cohort(s), "
               << spec->phases.size() << " phase(s), start-hour "
               << spec->start_hour << ", " << spec->duration_hours << " h\n";
+  }
+
+  // The distributed modes run an explicit population plan on both sides of
+  // the wire; the single-process stationary path keeps using the ModelSet
+  // overload (which builds the identical trivial plan internally).
+  std::optional<stream::PopulationPlan> stationary;
+  const stream::PopulationPlan* plan = nullptr;
+  if (scen.has_value()) {
+    plan = &scen->plan;
+  } else if (worker_mode || dist_run) {
+    stationary = stream::stationary_plan(set, request);
+    plan = &*stationary;
+  }
+
+  if (worker_mode) {
+    dist::FdTransport transport(dist::k_worker_fd);
+    dist::WorkerOptions wopts;
+    wopts.rank = worker_rank;
+    wopts.num_ranks = num_ranks;
+    wopts.stream = options;
+    wopts.ship_checkpoints = !options.checkpoint.dir.empty();
+    wopts.resume_dir =
+        flags.count("dist-resume-dir") ? flags.at("dist-resume-dir") : "";
+    const auto t0 = std::chrono::steady_clock::now();
+    const stream::StreamStats stats =
+        dist::run_worker(*plan, transport, wopts);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::cerr << "rank " << worker_rank << ": streamed "
+              << io::fmt_count(stats.events) << " events in " << wall
+              << " s (shards=" << stats.num_shards << ")\n";
+    return 0;
   }
 
   stream::CountingSink counter;
@@ -365,10 +340,44 @@ int run(int argc, char** argv) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const stream::StreamStats stats =
-      scen.has_value()
-          ? stream::stream_generate(scen->plan, options, *delivery)
-          : stream::stream_generate(set, request, options, *delivery);
+  stream::StreamStats stats;
+  std::optional<dist::DistStats> dstats;
+  if (dist_run) {
+    dist::LaunchOptions lopts;
+    lopts.num_ranks = num_ranks;
+    lopts.coordinator.stream = options;
+    std::optional<dist::DistManifest> manifest;
+    if (options.resume) {
+      manifest = dist::prepare_resume(options.checkpoint.dir, *plan,
+                                      num_ranks,
+                                      std::max<TimeMs>(1, options.slice_ms));
+      lopts.coordinator.resume = manifest;
+    }
+    const std::string exe = dist::self_exe();
+    lopts.args_for = [&](unsigned r) {
+      std::vector<std::string> args{exe, "--dist-worker", std::to_string(r),
+                                    "--ranks", std::to_string(num_ranks)};
+      for (const char* f : k_worker_passthrough) {
+        if (const auto it = flags.find(f); it != flags.end()) {
+          args.push_back(std::string("--") + f);
+          args.push_back(it->second);
+        }
+      }
+      if (want_metrics) args.push_back("--dist-obs");
+      if (manifest.has_value()) {
+        args.push_back("--dist-resume-dir");
+        args.push_back(dist::rank_checkpoint_dir(options.checkpoint.dir,
+                                                 manifest->watermark, r));
+      }
+      return args;
+    };
+    dstats = dist::run_distributed(*delivery, *plan, lopts);
+    stats = dstats->totals;
+  } else if (scen.has_value()) {
+    stats = stream::stream_generate(scen->plan, options, *delivery);
+  } else {
+    stats = stream::stream_generate(set, request, options, *delivery);
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -381,6 +390,13 @@ int run(int argc, char** argv) {
             << " events/s) | shards=" << stats.num_shards
             << " slices=" << stats.slices
             << " peak_buffered=" << stats.peak_buffered_events << "\n";
+  if (dstats.has_value()) {
+    std::cout << "distributed: " << num_ranks << " rank(s); events per rank:";
+    for (unsigned r = 0; r < num_ranks; ++r) {
+      std::cout << " " << dstats->ranks[r].events;
+    }
+    std::cout << "\n";
+  }
   if (scen.has_value()) {
     std::cout << "scenario lifecycle: " << stats.cohort_joins
               << " joins, " << stats.cohort_leaves << " leaves, "
@@ -437,7 +453,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const UsageError& e) {
-    std::cerr << "error: " << e.what() << "\n\n" << k_usage;
+    std::cerr << "error: " << e.what() << "\n\n" << cli::k_usage;
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

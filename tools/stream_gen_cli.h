@@ -1,0 +1,44 @@
+// Command-line surface of the stream_gen tool, split out as a library so
+// tests can audit it: the usage text, the flag tables, and the parser are
+// one compilation unit, and a test asserts --help documents every flag the
+// parser accepts (and vice versa).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace cpg::cli {
+
+// The stream_gen usage text; every flag in value_flags()/switch_flags()
+// appears here as "--<name>" and nothing else does.
+extern const char* const k_usage;
+
+// A command-line error: main() prints the message plus the usage string and
+// exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Flags taking a value (--flag value or --flag=value).
+const std::set<std::string>& value_flags();
+// Boolean switches (--flag, no value).
+const std::set<std::string>& switch_flags();
+
+// Parses --flag value / --flag=value against the known-flag tables above.
+// A value flag consumes the following argv entry *unconditionally*, so
+// negative numbers ("--accel -2") reach the numeric parser instead of being
+// mistaken for a flag. Unknown flags and missing values are UsageErrors
+// naming the flag.
+std::map<std::string, std::string> parse_flags(int argc, char** argv);
+
+// Typed flag lookups; throw UsageError naming the flag on a malformed
+// value. Absent flags return `fallback`.
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback);
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback);
+
+}  // namespace cpg::cli

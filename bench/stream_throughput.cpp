@@ -16,15 +16,22 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <span>
 #include <vector>
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "common.h"
+#include "stream/binary_sink.h"
+#include "stream/csv_sink.h"
 #include "stream/event_sink.h"
 #include "stream/stream_generator.h"
 
@@ -206,7 +213,84 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],";
+
+  // --- to-disk sink comparison: CSV vs cpgt ------------------------------
+  // Sink-path throughput in isolation: the trace is generated once in the
+  // parent, and each forked child only delivers it — batch on_events spans
+  // through the sink to disk, on_finish included (encode + write + rename).
+  // Isolating the sink is the point: the full pipeline above is generation-
+  // bound (~7.5M ev/s), which would hide the encode-cost gap this section
+  // exists to track. The cpgt columnar sink is the ROADMAP item's reason to
+  // exist: it must beat the CSV sink by >=2x events/s to disk.
+  {
+    char sink_dir[] = "/tmp/cpg_bench_sink_XXXXXX";
+    if (::mkdtemp(sink_dir) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    const std::string dir(sink_dir);
+    gen::GenerationRequest request;
+    request.ue_counts = device_mix(config.scenario2_ues());
+    request.start_hour = 10;
+    request.duration_hours = k_gen_hours;
+    request.seed = config.seed + 7;
+    request.num_threads = config.threads;
+    const Trace trace = gen::generate_trace(models, request);
+    const stream::StreamHeader header{trace.devices(), 0, 0};
+    constexpr std::size_t k_span = 1 << 16;  // BinarySink's block size
+    const auto deliver = [&](stream::EventSink& sink) {
+      sink.on_start(header);
+      const std::span<const ControlEvent> all = trace.events();
+      for (std::size_t i = 0; i < all.size(); i += k_span) {
+        sink.on_events(all.subspan(i, std::min(k_span, all.size() - i)));
+      }
+      sink.on_finish();
+      return std::uint64_t{all.size()};
+    };
+
+    const RunResult csv_run = run_in_child([&] {
+      stream::CsvSink sink(dir + "/c");
+      return deliver(sink);
+    });
+    const RunResult cpgt_run = run_in_child([&] {
+      stream::BinarySink sink(dir + "/b");
+      return deliver(sink);
+    });
+    if (!csv_run.ok || !cpgt_run.ok || csv_run.events != cpgt_run.events) {
+      std::fprintf(stderr, "to-disk sink measurement failed\n");
+      return 1;
+    }
+    std::error_code ec;
+    const auto csv_bytes =
+        std::filesystem::file_size(dir + "/c_events.csv", ec);
+    const auto cpgt_bytes =
+        std::filesystem::file_size(stream::BinarySink::path_for(dir + "/b"),
+                                   ec);
+    const double speedup = csv_run.seconds > 0 && cpgt_run.seconds > 0
+                               ? csv_run.seconds / cpgt_run.seconds
+                               : 0.0;
+    std::printf("\n%-10s %14s %14s %14s %9s\n", "to-disk", "events",
+                "events/s", "bytes", "speedup");
+    std::printf("%-10s %14llu %14.0f %14llu %9s\n", "csv",
+                (unsigned long long)csv_run.events, events_per_sec(csv_run),
+                (unsigned long long)csv_bytes, "");
+    std::printf("%-10s %14llu %14.0f %14llu %8.2fx\n", "cpgt",
+                (unsigned long long)cpgt_run.events,
+                events_per_sec(cpgt_run), (unsigned long long)cpgt_bytes,
+                speedup);
+
+    json << "\n  \"to_disk\": {\n    \"csv\": ";
+    emit_json(json, csv_run);
+    json << ",\n    \"cpgt\": ";
+    emit_json(json, cpgt_run);
+    json << ",\n    \"csv_bytes\": " << csv_bytes
+         << ", \"cpgt_bytes\": " << cpgt_bytes
+         << ", \"events_per_sec_speedup\": " << speedup << "\n  }";
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  json << "\n}\n";
   std::cout << "\nwrote BENCH_stream.json\n";
   return 0;
 }

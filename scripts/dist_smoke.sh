@@ -13,6 +13,9 @@
 #   4. rank death : a worker dying with no checkpoints must surface as a
 #                  clean coordinator error naming the rank — never a hang
 #                  (every run below is under `timeout`)
+#   5. cpgt       : a 4-rank --format cpgt run converted with trace_cat
+#                  -> byte-identical to the 1-rank CSV reference, and a
+#                  CSV->cpgt->CSV round trip reproduces itself
 #
 # Usage: scripts/dist_smoke.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -107,6 +110,28 @@ for SKIP in 9 15; do
   cmp "$WORK/ref_ues.csv" "$WORK/kr_ues.csv"
   echo "   resumed run byte-identical"
 done
+
+echo "== 4-rank cpgt run converts to the reference CSV byte-identically"
+CAT="$BUILD_DIR/trace_cat"
+if [[ ! -x "$CAT" ]]; then
+  echo "dist_smoke: $CAT not found (build first)" >&2
+  exit 2
+fi
+$RUN "$GEN" "${ARGS[@]}" --ranks 4 --out "$WORK/b4" --format cpgt
+[[ -f "$WORK/b4.cpgt" ]] || {
+  echo "dist_smoke: 4-rank cpgt run produced no b4.cpgt" >&2
+  exit 1
+}
+$RUN "$CAT" to-csv "$WORK/b4.cpgt" "$WORK/b4"
+cmp "$WORK/ref_events.csv" "$WORK/b4_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/b4_ues.csv"
+echo "   cpgt -> CSV byte-identical to the single-process reference"
+
+$RUN "$CAT" to-cpgt "$WORK/ref" "$WORK/rt.cpgt"
+$RUN "$CAT" to-csv "$WORK/rt.cpgt" "$WORK/rt"
+cmp "$WORK/ref_events.csv" "$WORK/rt_events.csv"
+cmp "$WORK/ref_ues.csv" "$WORK/rt_ues.csv"
+echo "   CSV -> cpgt -> CSV round trip reproduces itself"
 
 echo "== worker death without checkpoints is a clean coordinator error"
 if CPG_FAILPOINTS_RANK1='dist.send_frame=fatal(1,0,5,1)' \

@@ -11,10 +11,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
 #include "fault/failpoint.h"
+#include "io/file_util.h"
 #include "obs/merge.h"
 #include "stream/checkpoint.h"
 #include "stream/merge.h"
@@ -267,23 +269,24 @@ std::string rank_checkpoint_dir(const std::string& dir,
 
 void save_manifest(const DistManifest& m, const std::string& dir) {
   fs::create_directories(dir);
-  const std::string path = manifest_path(dir);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) manifest_fail("cannot open for writing", tmp);
-    os << k_manifest_magic << ' ' << k_manifest_version << '\n'
-       << "num_ranks " << m.num_ranks << '\n'
-       << "watermark " << m.watermark << '\n'
-       << "seed " << m.seed << '\n'
-       << "fingerprint " << m.fingerprint << '\n'
-       << "window " << m.t_begin << ' ' << m.t_end << '\n'
-       << "slice_ms " << m.slice_ms << '\n'
-       << "sink_token " << m.sink_token.size() << ':' << m.sink_token << '\n';
-    os.flush();
-    if (!os) manifest_fail("write failed", tmp);
+  // The manifest rename is the commit point of the whole distributed
+  // checkpoint; io::write_file_atomic fsyncs before renaming so a crash
+  // right after the commit cannot leave a manifest whose bytes never hit
+  // the disk, and its checked close catches a buffered ENOSPC.
+  std::ostringstream os;
+  os << k_manifest_magic << ' ' << k_manifest_version << '\n'
+     << "num_ranks " << m.num_ranks << '\n'
+     << "watermark " << m.watermark << '\n'
+     << "seed " << m.seed << '\n'
+     << "fingerprint " << m.fingerprint << '\n'
+     << "window " << m.t_begin << ' ' << m.t_end << '\n'
+     << "slice_ms " << m.slice_ms << '\n'
+     << "sink_token " << m.sink_token.size() << ':' << m.sink_token << '\n';
+  try {
+    io::write_file_atomic(manifest_path(dir), os.str());
+  } catch (const std::system_error& e) {
+    manifest_fail(e.what(), manifest_path(dir));
   }
-  fs::rename(tmp, path);  // the commit point; throws on failure
 }
 
 std::optional<DistManifest> load_manifest(const std::string& dir) {
@@ -585,11 +588,11 @@ DistStats run_merge(const stream::PopulationPlan& plan,
       const std::string rdir = rank_checkpoint_dir(ck_dir, k, r);
       fs::create_directories(rdir);
       const std::string path = stream::checkpoint_path(rdir);
-      std::ofstream os(path, std::ios::binary | std::ios::trunc);
-      if (!os) fail("cannot write rank checkpoint " + path);
-      os << *pending_ck[r];
-      os.flush();
-      if (!os) fail("write failed for rank checkpoint " + path);
+      try {
+        io::write_file_atomic(path, *pending_ck[r]);
+      } catch (const std::system_error& e) {
+        fail("cannot write rank checkpoint " + path + ": " + e.what());
+      }
       pending_ck[r].reset();
     }
     save_manifest(m, ck_dir);

@@ -20,6 +20,12 @@ namespace cpg::dist {
 // stdout/stderr stay the worker's own for diagnostics).
 constexpr int k_worker_fd = 3;
 
+// Ceiling on --ranks: each rank is a forked process plus a socketpair, so
+// the practical limit is fd/process budget, not protocol width. 512 is far
+// beyond any sane single-host fan-out while keeping a mistyped rank count
+// from forking the machine into the ground.
+constexpr unsigned k_max_ranks = 512;
+
 // Absolute path of the running executable (/proc/self/exe), for re-exec.
 std::string self_exe();
 

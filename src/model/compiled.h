@@ -268,6 +268,40 @@ inline double sample_value(const CompiledModel& m, std::uint32_t sampler,
   return 0.0;
 }
 
+// Batched value draw: fills out[0..n) with exactly the values n successive
+// sample_value() calls would produce — same RNG consumption, bit-identical
+// results (tests/compiled_model_test.cpp holds this as an invariant). For
+// LUT samplers the work splits into two passes: the inherently sequential
+// uniform draws first (the RNG state chains draw to draw), then the
+// inverse-CDF interpolation over the whole batch, which has no loop-carried
+// dependency and vectorizes. The split is what the per-call path cannot do:
+// sample_value() interleaves a ~25ns RNG step with a cache-missing LUT read
+// per draw, while the batch pass streams the LUT reads back to back.
+inline void sample_values(const CompiledModel& m, std::uint32_t sampler,
+                          Rng& rng, double* out, std::size_t n) noexcept {
+  const SamplerRef& s = m.samplers[sampler];
+  switch (s.kind) {
+    case SamplerRef::Kind::zero:
+      for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+      return;
+    case SamplerRef::Kind::lut:
+    case SamplerRef::Kind::lut_ext: {
+      const double scale = static_cast<double>(s.lut_len - 1);
+      for (std::size_t i = 0; i < n; ++i) out[i] = rng.uniform() * scale;
+      const double* k = lut_data(m, s);
+      const std::uint32_t len = s.lut_len;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = lut_interp(k, len, out[i]);
+      }
+      return;
+    }
+    default:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = sample_value(m, sampler, rng);
+      }
+  }
+}
+
 // Deterministic LUT evaluation at probability p (the sampler must be a LUT;
 // used by the equivalence tests).
 inline double lut_quantile(const CompiledModel& m, std::uint32_t sampler,

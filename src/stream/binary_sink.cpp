@@ -1,0 +1,116 @@
+#include "stream/binary_sink.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace_fmt/writer.h"
+
+namespace cpg::stream {
+
+namespace {
+
+std::string tmp_path(const std::string& prefix) {
+  return BinarySink::path_for(prefix) + ".tmp";
+}
+
+}  // namespace
+
+BinarySink::BinarySink(const std::string& path_prefix,
+                       std::size_t block_events)
+    : path_prefix_(path_prefix), block_events_(block_events) {
+  if (path_prefix_.empty()) {
+    throw std::invalid_argument("BinarySink: empty path prefix");
+  }
+}
+
+BinarySink::~BinarySink() = default;
+
+void BinarySink::on_start(const StreamHeader& header) {
+  trace_fmt::TraceWriter::Options options;
+  options.block_events = block_events_;
+  writer_ = std::make_unique<trace_fmt::TraceWriter>(tmp_path(path_prefix_),
+                                                     options);
+  writer_->begin(header.ue_devices, header.t_begin, header.t_end);
+  pending_replay_ = false;
+}
+
+void BinarySink::on_event(const ControlEvent& e) {
+  on_events(std::span<const ControlEvent>(&e, 1));
+}
+
+void BinarySink::on_events(std::span<const ControlEvent> events) {
+  if (events.empty()) return;
+  const bool replay = pending_replay_ && events.size() == replay_size_ &&
+                      events.front() == replay_first_ &&
+                      events.back() == replay_last_;
+  pending_replay_ = false;
+  try {
+    if (replay) {
+      // The failed attempt already buffered these events; just retry the
+      // block writes.
+      writer_->pump();
+    } else {
+      writer_->append(events);
+    }
+  } catch (...) {
+    pending_replay_ = true;
+    replay_size_ = events.size();
+    replay_first_ = events.front();
+    replay_last_ = events.back();
+    throw;
+  }
+}
+
+void BinarySink::on_finish() {
+  if (writer_ == nullptr) {
+    throw std::runtime_error("BinarySink: on_finish before on_start");
+  }
+  writer_->finish();
+  const std::string from = tmp_path(path_prefix_);
+  const std::string to = path_for(path_prefix_);
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw std::runtime_error("BinarySink: rename " + from + " -> " + to +
+                             " failed");
+  }
+}
+
+std::string BinarySink::checkpoint_save() {
+  if (writer_ == nullptr) {
+    throw std::runtime_error("BinarySink: checkpoint_save before on_start");
+  }
+  // Cut everything buffered so the committed offset covers every delivered
+  // event; the token then lands on a block boundary resume can truncate to.
+  writer_->flush();
+  std::ostringstream token;
+  token << "cpgt " << writer_->committed_offset() << ' '
+        << writer_->events_committed();
+  return token.str();
+}
+
+void BinarySink::checkpoint_resume(const std::string& token,
+                                   const StreamHeader& header) {
+  if (token.empty()) {
+    on_start(header);
+    return;
+  }
+  std::istringstream is(token);
+  std::string tag;
+  std::uint64_t offset = 0, events = 0;
+  if (!(is >> tag >> offset >> events) || tag != "cpgt") {
+    throw std::runtime_error("BinarySink: malformed checkpoint token '" +
+                             token + "'");
+  }
+  trace_fmt::TraceWriter::Options options;
+  options.block_events = block_events_;
+  writer_ = std::make_unique<trace_fmt::TraceWriter>(
+      tmp_path(path_prefix_), header.ue_devices, header.t_begin, header.t_end,
+      offset, events, options);
+  pending_replay_ = false;
+}
+
+std::uint64_t BinarySink::events_written() const noexcept {
+  return writer_ != nullptr ? writer_->events_appended() : 0;
+}
+
+}  // namespace cpg::stream

@@ -1,0 +1,68 @@
+// EventSink that writes the stream in the cpgt columnar binary format
+// (trace_fmt/cpgt.h) — the fast path past the CSV text-encode wall.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "stream/event_sink.h"
+
+namespace cpg::trace_fmt {
+class TraceWriter;
+}
+
+namespace cpg::stream {
+
+// File-backed and crash-safe, mirroring CsvSink's contract: events stage in
+// `<prefix>.cpgt.tmp` (created at on_start) and land under `<prefix>.cpgt`
+// at on_finish, so a reader never observes a file without its end block. A
+// killed run leaves only the `.tmp` behind, which checkpoint_resume
+// re-attaches to after validating the header fingerprint and truncating to
+// the committed block offset in the resume token.
+//
+// Unlike CsvSink there is exactly one output file: the UE registry is
+// inlined as the leading ues block, so `.cpgt` is self-contained and
+// tools/trace_cat can reconstruct both CSV files from it.
+//
+// Retry safety: the resilient sink re-delivers the *same* span after a
+// retryable failure. The sink remembers the shape of a failed span (size +
+// first/last event) and, when the identical span arrives again, skips
+// re-buffering and just retries the block writes — no duplicated and no
+// dropped events, whatever point the write failed at.
+class BinarySink final : public EventSink, public CheckpointParticipant {
+ public:
+  // Will produce <path_prefix>.cpgt. `block_events` overrides the block
+  // cut size (0 = format default; tests shrink it to force many blocks).
+  explicit BinarySink(const std::string& path_prefix,
+                      std::size_t block_events = 0);
+  ~BinarySink() override;
+
+  void on_start(const StreamHeader& header) override;
+  void on_event(const ControlEvent& e) override;
+  void on_events(std::span<const ControlEvent> events) override;
+  void on_finish() override;
+
+  std::string checkpoint_save() override;
+  void checkpoint_resume(const std::string& token,
+                         const StreamHeader& header) override;
+
+  std::uint64_t events_written() const noexcept;
+
+  static std::string path_for(const std::string& prefix) {
+    return prefix + ".cpgt";
+  }
+
+ private:
+  std::string path_prefix_;
+  std::size_t block_events_;
+  std::unique_ptr<trace_fmt::TraceWriter> writer_;
+
+  // Shape of the last span whose delivery failed mid-write; a re-delivered
+  // identical span is a retry, not new data.
+  bool pending_replay_ = false;
+  std::size_t replay_size_ = 0;
+  ControlEvent replay_first_{};
+  ControlEvent replay_last_{};
+};
+
+}  // namespace cpg::stream

@@ -5,8 +5,10 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "fault/failpoint.h"
+#include "io/file_util.h"
 
 namespace cpg::stream {
 
@@ -130,22 +132,16 @@ void save_checkpoint(const StreamCheckpoint& ck, const std::string& dir) {
   CPG_FAILPOINT("checkpoint.save");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);  // best effort; open reports
-  const std::string path = checkpoint_path(dir);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("save_checkpoint: cannot open " + tmp);
-    }
-    try {
-      write_checkpoint(os, ck);
-    } catch (const std::runtime_error&) {
-      throw std::runtime_error("save_checkpoint: write failed for " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("save_checkpoint: rename to " + path +
-                             " failed");
+  // Serialize to memory, then publish with the fsync-before-rename helper:
+  // the previous ofstream+rename version could rename a page-cache-only tmp
+  // file into place and lose the *old* checkpoint too on a crash, and its
+  // unchecked close could publish a short file on ENOSPC.
+  std::ostringstream os;
+  write_checkpoint(os, ck);
+  try {
+    io::write_file_atomic(checkpoint_path(dir), os.str());
+  } catch (const std::system_error& e) {
+    throw std::runtime_error(std::string("save_checkpoint: ") + e.what());
   }
 }
 

@@ -1,5 +1,6 @@
 #include "stream/csv_sink.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -7,7 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/failpoint.h"
 #include "io/csv.h"
+#include "stream/resilient_sink.h"
 
 namespace cpg::stream {
 
@@ -77,31 +80,95 @@ void CsvSink::write_headers(const StreamHeader& header) {
 void CsvSink::on_start(const StreamHeader& header) {
   if (!path_prefix_.empty()) open_tmp_files(/*resume=*/false);
   events_ = 0;
+  rewound_ = false;
   write_headers(header);
+  if (!*events_os_ || (ues_os_ != nullptr && !*ues_os_)) {
+    throw std::runtime_error("CsvSink: writing the CSV headers failed");
+  }
+  const std::streamoff off = events_os_->tellp();
+  rewind_ok_ = off >= 0;
+  committed_ = rewind_ok_ ? off : 0;
+}
+
+void CsvSink::commit_batch(std::uint64_t n) {
+  events_ += n;
+  if (rewind_ok_) {
+    const std::streamoff off = events_os_->tellp();
+    if (off >= 0) {
+      committed_ = off;
+    } else {
+      events_os_->clear();
+      rewind_ok_ = false;
+    }
+  }
+}
+
+void CsvSink::handle_write_failure(std::uint64_t n) {
+  // Rewind to the last committed batch boundary so a retry re-delivers the
+  // identical span onto clean ground. The stream's failbit is what brought
+  // us here; clear it or seekp is a no-op.
+  events_os_->clear();
+  if (rewind_ok_) {
+    events_os_->seekp(committed_, std::ios::beg);
+    if (*events_os_) {
+      rewound_ = true;
+      throw SinkError("CsvSink: write failed after " +
+                          std::to_string(events_) + " events (" +
+                          std::to_string(n) +
+                          "-event batch rewound for retry)",
+                      FailureClass::retryable);
+    }
+    events_os_->clear();
+  }
+  throw SinkError(
+      "CsvSink: write failed after " + std::to_string(events_) +
+          " events and the stream cannot rewind; a retry would duplicate "
+          "rows",
+      FailureClass::fatal);
 }
 
 void CsvSink::on_event(const ControlEvent& e) {
+  CPG_FAILPOINT("csv_sink.write");
   io::append_event_csv(*events_os_, e);
-  ++events_;
+  if (!*events_os_) handle_write_failure(1);
+  commit_batch(1);
 }
 
 void CsvSink::on_events(std::span<const ControlEvent> events) {
+  CPG_FAILPOINT("csv_sink.write");
   for (const ControlEvent& e : events) io::append_event_csv(*events_os_, e);
-  events_ += events.size();
+  if (!*events_os_) handle_write_failure(events.size());
+  commit_batch(events.size());
 }
 
 void CsvSink::on_finish() {
   events_os_->flush();
   if (ues_os_ != nullptr) ues_os_->flush();
   if (!*events_os_ || (ues_os_ != nullptr && !*ues_os_)) {
-    throw std::runtime_error("CsvSink: flush failed at finish");
+    throw SinkError("CsvSink: flush failed at finish",
+                    FailureClass::retryable);
   }
   if (path_prefix_.empty()) return;
+  // A rewind followed by a dropped (shorter) re-delivery can leave stale
+  // bytes from the failed write past the current position; cut them off so
+  // the final file ends at the last row actually committed.
+  const std::streamoff final_size =
+      rewound_ ? static_cast<std::streamoff>(events_os_->tellp())
+               : std::streamoff{-1};
   // Close before renaming so the final files are complete when they appear.
   owned_events_.reset();
   owned_ues_.reset();
   events_os_ = nullptr;
   ues_os_ = nullptr;
+  if (final_size >= 0) {
+    std::error_code ec;
+    std::filesystem::resize_file(events_tmp(path_prefix_),
+                                 static_cast<std::uintmax_t>(final_size), ec);
+    if (ec) {
+      throw std::runtime_error("CsvSink: cannot truncate " +
+                               events_tmp(path_prefix_) + ": " + ec.message());
+    }
+  }
   rename_or_throw(events_tmp(path_prefix_), path_prefix_ + "_events.csv");
   rename_or_throw(ues_tmp(path_prefix_), path_prefix_ + "_ues.csv");
 }
@@ -158,6 +225,10 @@ void CsvSink::checkpoint_resume(const std::string& token,
   events_os_->seekp(0, std::ios::end);
   ues_os_->seekp(0, std::ios::end);
   events_ = events;
+  rewound_ = false;
+  const std::streamoff off = events_os_->tellp();
+  rewind_ok_ = off >= 0;
+  committed_ = rewind_ok_ ? off : 0;
 }
 
 }  // namespace cpg::stream

@@ -23,6 +23,15 @@ namespace cpg::stream {
 // re-delivered events continue byte-identically. The stream-backed
 // constructor cannot truncate and does not participate (empty token;
 // a resumed stream gets a plain on_start).
+//
+// Write failures (a full disk, a yanked mount) are detected at every batch
+// boundary — ofstream alone would swallow them until someone happened to
+// check failbit. On failure the sink rewinds the stream to the last
+// committed batch boundary and throws a *retryable* SinkError, so a
+// supervising ResilientSink can re-deliver the identical span without
+// duplicating or losing rows; if rewinding is impossible (non-seekable
+// stream) the error is fatal instead, because a blind retry would duplicate
+// whatever prefix reached the device.
 class CsvSink final : public EventSink, public CheckpointParticipant {
  public:
   // Writes events to `events_os`; when `ues_os` is non-null, the UE registry
@@ -51,6 +60,8 @@ class CsvSink final : public EventSink, public CheckpointParticipant {
  private:
   void open_tmp_files(bool resume);
   void write_headers(const StreamHeader& header);
+  void commit_batch(std::uint64_t n);
+  [[noreturn]] void handle_write_failure(std::uint64_t n);
 
   std::string path_prefix_;  // empty for the stream-backed variant
   std::unique_ptr<std::ostream> owned_events_;
@@ -58,6 +69,11 @@ class CsvSink final : public EventSink, public CheckpointParticipant {
   std::ostream* events_os_ = nullptr;
   std::ostream* ues_os_ = nullptr;
   std::uint64_t events_ = 0;
+  // Offset of the last successful batch boundary (rewind target), and
+  // whether the stream supports seeking back to it.
+  std::streamoff committed_ = 0;
+  bool rewind_ok_ = false;
+  bool rewound_ = false;  // a retry/drop may have left stale bytes past EOF
 };
 
 }  // namespace cpg::stream

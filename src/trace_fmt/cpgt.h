@@ -1,0 +1,147 @@
+// The cpgt columnar binary trace format (ROADMAP open item 1).
+//
+// CSV encode became the first-order cost of streaming generation once the
+// compiled sampler passed ~8M ev/s: every event pays decimal formatting and
+// a per-event virtual sink call. cpgt replaces the text encode with a
+// block-based columnar layout that batch-encodes whole event slices:
+//
+//   file   := header block*
+//   header := magic "cpgt" | u32 version | u64 fingerprint
+//   block  := u8 type | u32 payload_len | payload | u32 crc32
+//
+// Block types:
+//   ues    (1): u64 num_ues, then one device-index byte per UE — the UE
+//               registry a CSV companion file would hold, inlined so a
+//               .cpgt file is self-contained.
+//   events (2): u32 n_events | i64 base_t_ms | u32 ts_bytes | u32 ue_bytes,
+//               then three per-column runs:
+//                 ts: zigzag-varint deltas between consecutive timestamps
+//                     (first delta is against base_t_ms),
+//                 ue: LEB128 varint UE ids,
+//                 ev: one event-type byte per event.
+//   end    (3): u64 total_events — the clean-EOF marker. A file without it
+//               is torn (a killed writer), and readers say so.
+//
+// The CRC32 (IEEE, reflected) covers the five type/length bytes plus the
+// payload, so a flipped bit anywhere in a block — including its framing —
+// is a one-line diagnostic, never silently wrong data. The length prefix
+// makes blocks skippable without decoding (seekable scans, column-only
+// readers). The header fingerprint ties a file to its generation run:
+// writers derive it from the stream window and UE registry, and resume
+// validates it before re-attaching (stream/binary_sink.h).
+//
+// Timestamps are nondecreasing in canonical trace order, so the zigzag
+// deltas are small nonnegative varints (typically 1-3 bytes at carrier
+// event rates); zigzag keeps arbitrary (unsorted) input legal, which the
+// CSV->cpgt converter relies on for foreign traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/trace.h"
+#include "core/types.h"
+
+namespace cpg::trace_fmt {
+
+inline constexpr std::string_view k_magic = "cpgt";
+inline constexpr std::uint32_t k_version = 1;
+// magic + version + fingerprint.
+inline constexpr std::size_t k_header_bytes = 4 + 4 + 8;
+// type byte + payload length.
+inline constexpr std::size_t k_block_head_bytes = 1 + 4;
+inline constexpr std::size_t k_crc_bytes = 4;
+
+enum class BlockType : std::uint8_t { ues = 1, events = 2, end = 3 };
+
+// Writers cut an events block once it holds this many events (64K events
+// encode to ~300-600 KB — large enough to amortize the block framing, small
+// enough that a reader's decode buffer stays cache-friendly).
+inline constexpr std::size_t k_default_block_events = std::size_t{1} << 16;
+
+// Ceilings applied while reading, so a corrupt count field fails with a
+// diagnostic instead of a giant allocation.
+inline constexpr std::uint32_t k_max_block_bytes = 1u << 30;
+inline constexpr std::uint64_t k_max_ues = std::uint64_t{1} << 33;
+
+// --- primitives -----------------------------------------------------------
+
+// IEEE CRC32 (reflected polynomial 0xEDB88320), the zlib/zip polynomial.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) noexcept;
+
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_varint(std::string& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf.push_back(static_cast<char>(v));
+}
+
+// Decodes one varint at `pos`, advancing it. Throws std::runtime_error on a
+// truncated or over-long (> 10 byte) encoding.
+std::uint64_t get_varint(std::string_view buf, std::size_t& pos);
+
+void put_u32_le(std::string& buf, std::uint32_t v);
+void put_u64_le(std::string& buf, std::uint64_t v);
+std::uint32_t get_u32_le(std::string_view buf, std::size_t pos);
+std::uint64_t get_u64_le(std::string_view buf, std::size_t pos);
+
+// Run fingerprint: FNV-1a over the stream window and the UE registry. Both
+// the writer (header) and resume validation (stream/binary_sink.cpp)
+// compute it from the same StreamHeader-shaped inputs.
+std::uint64_t run_fingerprint(std::span<const DeviceType> devices,
+                              TimeMs t_begin, TimeMs t_end) noexcept;
+
+// --- block encode ---------------------------------------------------------
+
+// Appends the 16-byte file header to `out`.
+void encode_header(std::string& out, std::uint64_t fingerprint);
+
+// Appends a complete, CRC-framed UE registry block.
+void encode_ues_block(std::string& out, std::span<const DeviceType> devices);
+
+// Appends a complete, CRC-framed events block (columnar encode). `events`
+// may hold any timestamps (zigzag handles regressions); empty spans are
+// skipped (no block emitted).
+void encode_events_block(std::string& out,
+                         std::span<const ControlEvent> events);
+
+// Appends the end-of-stream block.
+void encode_end_block(std::string& out, std::uint64_t total_events);
+
+// --- block decode ---------------------------------------------------------
+
+struct DecodedBlock {
+  BlockType type = BlockType::end;
+  std::uint64_t total_events = 0;        // end blocks
+  std::vector<DeviceType> devices;       // ues blocks
+  std::vector<ControlEvent> events;      // events blocks (appended to)
+};
+
+// Decodes the block starting at `pos` in `data`, advancing `pos` past it.
+// Events are *appended* to `block.events` (the caller clears between blocks
+// to reuse the allocation). Throws std::runtime_error with a one-line
+// actionable message on a truncated block, a CRC mismatch, or an unknown
+// block type; `context` (e.g. a file path) prefixes every message.
+void decode_block(std::string_view data, std::size_t& pos,
+                  DecodedBlock& block, const std::string& context);
+
+// Validates the 16-byte header at the start of `data` and returns the run
+// fingerprint. Throws on bad magic, a newer version, or truncation.
+std::uint64_t decode_header(std::string_view data,
+                            const std::string& context);
+
+}  // namespace cpg::trace_fmt

@@ -1,0 +1,68 @@
+#include "trace_fmt/reader.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "io/file_util.h"
+#include "trace_fmt/cpgt.h"
+
+namespace cpg::trace_fmt {
+
+TraceReader::TraceReader(const std::string& path) : path_(path) {
+  data_ = io::read_file(path_);
+  fingerprint_ = decode_header(data_, path_);
+  pos_ = k_header_bytes;
+  DecodedBlock block;
+  decode_block(data_, pos_, block, path_);
+  if (block.type != BlockType::ues) {
+    throw std::runtime_error(
+        path_ + ": first block is not the UE registry (corrupt file or "
+                "unsupported writer)");
+  }
+  devices_ = std::move(block.devices);
+}
+
+bool TraceReader::next_events(std::vector<ControlEvent>& out) {
+  out.clear();
+  if (done_) return false;
+  DecodedBlock block;
+  block.events = std::move(out);
+  decode_block(data_, pos_, block, path_);
+  switch (block.type) {
+    case BlockType::events:
+      decoded_events_ += block.events.size();
+      out = std::move(block.events);
+      return true;
+    case BlockType::end:
+      out = std::move(block.events);
+      done_ = true;
+      total_events_ = block.total_events;
+      if (total_events_ != decoded_events_) {
+        throw std::runtime_error(
+            path_ + ": end block records " + std::to_string(total_events_) +
+            " events but the file holds " + std::to_string(decoded_events_) +
+            " (corrupt or mismatched blocks)");
+      }
+      if (pos_ != data_.size()) {
+        throw std::runtime_error(path_ +
+                                 ": trailing data after the end block");
+      }
+      return false;
+    case BlockType::ues:
+      throw std::runtime_error(
+          path_ + ": unexpected second UE registry block (corrupt file)");
+  }
+  throw std::runtime_error(path_ + ": unreachable block type");
+}
+
+Trace read_trace_cpgt(const std::string& path) {
+  TraceReader reader(path);
+  Trace trace;
+  for (const DeviceType d : reader.devices()) trace.add_ue(d);
+  std::vector<ControlEvent> block;
+  while (reader.next_events(block)) trace.append_events(block);
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cpg::trace_fmt

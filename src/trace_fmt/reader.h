@@ -1,0 +1,52 @@
+// Streaming cpgt reader (see cpgt.h for the format).
+//
+// TraceReader walks a .cpgt file block by block without loading event data
+// twice: each next_events() call decodes exactly one events block into the
+// caller's buffer. Corruption anywhere — torn tail, flipped bit, foreign
+// magic, newer version — surfaces as a one-line std::runtime_error naming
+// the file and the failure, never as silently wrong events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "core/types.h"
+
+namespace cpg::trace_fmt {
+
+class TraceReader {
+ public:
+  // Opens `path`, validates the header and reads the UE registry block
+  // (which the writer always emits first). Throws std::runtime_error on any
+  // malformed input.
+  explicit TraceReader(const std::string& path);
+
+  // Decodes the next events block into `out` (replacing its contents).
+  // Returns false — with `out` empty — once the end block is reached; the
+  // end block's event count is checked against the events actually decoded.
+  // Throws on a torn file (EOF without an end block) or corrupt block.
+  bool next_events(std::vector<ControlEvent>& out);
+
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  const std::vector<DeviceType>& devices() const noexcept { return devices_; }
+  // Total events per the end block; valid once next_events returned false.
+  std::uint64_t total_events() const noexcept { return total_events_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::string data_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t decoded_events_ = 0;
+  std::uint64_t total_events_ = 0;
+  std::vector<DeviceType> devices_;
+};
+
+// Convenience: reads a whole .cpgt file into a Trace (registry + events).
+Trace read_trace_cpgt(const std::string& path);
+
+}  // namespace cpg::trace_fmt

@@ -106,6 +106,65 @@ TEST(CliParse, TypedLookupsValidate) {
   EXPECT_THROW(flag_u64(bad, "phones", 0), UsageError);
 }
 
+TEST(CliParse, RangeCheckedLookupsNameTheFlagAndTheRange) {
+  // The bugfix this guards: absurd numerics (--ranks 99999999999, negative
+  // intervals) used to flow into the runtime and fail deep inside it; now
+  // they die at the parser with a one-line error naming the flag.
+  const auto a = parse({"--ranks", "99999999999"});
+  try {
+    flag_u64_range(a, "ranks", 1, 1, 512);
+    FAIL() << "expected a UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--ranks"), std::string::npos) << what;
+    EXPECT_NE(what.find("between 1 and 512"), std::string::npos) << what;
+    EXPECT_NE(what.find("99999999999"), std::string::npos) << what;
+  }
+  EXPECT_THROW(flag_u64_range(parse({"--ranks", "0"}), "ranks", 1, 1, 512),
+               UsageError);
+  EXPECT_THROW(flag_u64_range(parse({"--ranks", "-3"}), "ranks", 1, 1, 512),
+               UsageError);
+  EXPECT_EQ(flag_u64_range(parse({"--ranks", "512"}), "ranks", 1, 1, 512),
+            512u);
+  EXPECT_EQ(flag_u64_range(parse({}), "ranks", 1, 1, 512), 1u);  // fallback
+}
+
+TEST(CliParse, PositiveDoubleLookupsRejectNonPositiveAndNan) {
+  EXPECT_THROW(
+      flag_double_positive(parse({"--hours", "-1"}), "hours", 1.0, 1e6),
+      UsageError);
+  EXPECT_THROW(
+      flag_double_positive(parse({"--hours", "0"}), "hours", 1.0, 1e6),
+      UsageError);
+  EXPECT_THROW(
+      flag_double_positive(parse({"--hours", "nan"}), "hours", 1.0, 1e6),
+      UsageError);
+  EXPECT_THROW(
+      flag_double_positive(parse({"--hours", "1e300"}), "hours", 1.0, 1e6),
+      UsageError);
+  try {
+    flag_double_positive(parse({"--metrics-interval-s", "-0.5"}),
+                         "metrics-interval-s", 1.0, 86400.0);
+    FAIL() << "expected a UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("--metrics-interval-s"),
+              std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(
+      flag_double_positive(parse({"--hours", "6.5"}), "hours", 1.0, 1e6),
+      6.5);
+  EXPECT_DOUBLE_EQ(flag_double_positive(parse({}), "hours", 1.0, 1e6), 1.0);
+}
+
+TEST(CliSurface, TraceFormatFlagIsOnTheSurface) {
+  // --format selects the sink encoding (csv | cpgt); the usage text must
+  // document it and the parser must accept it.
+  EXPECT_TRUE(value_flags().count("format"));
+  EXPECT_NE(std::string(k_usage).find("cpgt"), std::string::npos);
+  const auto a = parse({"--format", "cpgt", "--out", "x"});
+  EXPECT_EQ(a.at("format"), "cpgt");
+}
+
 TEST(CliSurface, DistributedFlagsAreOnTheSurface) {
   // The distributed entry points must stay part of the audited surface.
   EXPECT_TRUE(value_flags().count("ranks"));

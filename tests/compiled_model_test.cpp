@@ -268,6 +268,37 @@ TEST_F(CompiledModelFixture, CompileIsDeterministic) {
   EXPECT_EQ(a.stats.samplers, b.stats.samplers);
 }
 
+TEST_F(CompiledModelFixture, SampleValuesMatchesSampleValueBitwise) {
+  // sample_values() promises the exact values (and RNG consumption) of n
+  // successive sample_value() calls, for every sampler kind the compiled
+  // plan contains — the batch sink path leans on this to reorder the LUT
+  // reads without changing a single emitted timestamp.
+  const auto plan = model::compile(*models_);
+  ASSERT_GT(plan.samplers.size(), 1u);
+
+  constexpr std::size_t n = 257;  // odd size: exercises the tail of the batch
+  std::array<bool, 8> kind_seen{};
+  for (std::uint32_t s = 0; s < plan.samplers.size(); ++s) {
+    kind_seen[static_cast<std::size_t>(plan.samplers[s].kind)] = true;
+    Rng rng_a(11, s), rng_b(11, s);
+    std::vector<double> one_by_one(n), batched(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      one_by_one[i] = model::sample_value(plan, s, rng_a);
+    }
+    model::sample_values(plan, s, rng_b, batched.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(one_by_one[i], batched[i])
+          << "sampler " << s << " draw " << i;
+    }
+    // Identical RNG consumption: the next draw from each stream agrees.
+    EXPECT_EQ(rng_a.uniform(), rng_b.uniform()) << "sampler " << s;
+  }
+  // The fixture's fitted models must cover the fast paths under test.
+  EXPECT_TRUE(kind_seen[static_cast<std::size_t>(model::SamplerRef::Kind::zero)]);
+  EXPECT_TRUE(kind_seen[static_cast<std::size_t>(model::SamplerRef::Kind::lut)] ||
+              kind_seen[static_cast<std::size_t>(model::SamplerRef::Kind::lut_ext)]);
+}
+
 TEST_F(CompiledModelFixture, DedupKeepsArenasSmall) {
   const auto plan = model::compile(*models_);
   EXPECT_GT(plan.stats.rows, 0u);

@@ -6,9 +6,14 @@
 // streams, hello mismatches) and cross-rank obs aggregation.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -369,6 +374,71 @@ TEST(DistTransport, AbortUnblocksABlockedReceiver) {
   }
   aborter.join();
   EXPECT_THROW(a->send(FrameType::hello, "x"), std::runtime_error);
+}
+
+// Regression for the short-write/EINTR audit: force every send through the
+// partial-write path (tiny socket buffers) while peppering both endpoints
+// with signals, so send/recv return short counts and EINTR constantly. The
+// frames must still arrive complete and byte-identical — the failure mode
+// this guards against is a write_all/read_exact that treats a short count
+// or EINTR as success or as an error.
+TEST(DistTransport, LargeFramesSurviveShortWritesAndSignals) {
+  // No-op handler installed *without* SA_RESTART, so a signal interrupts
+  // send/recv with EINTR instead of transparently restarting it.
+  struct sigaction sa{}, old{};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;
+  sigemptyset(&sa.sa_mask);
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  auto [a, b] = make_transport_pair();
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(a->fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof small), 0);
+  ASSERT_EQ(::setsockopt(b->fd(), SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof small), 0);
+
+  std::string payload(4 * 1024 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 131 + (i >> 9));
+  }
+
+  constexpr int k_frames = 4;
+  std::atomic<bool> done{false};
+  const pthread_t receiver = ::pthread_self();
+  std::thread sender([&] {
+    for (int i = 0; i < k_frames; ++i) {
+      a->send(FrameType::events, payload);
+    }
+    a->send(FrameType::finish, "");
+  });
+  std::thread pepperer([&] {
+    while (!done.load()) {
+      ::pthread_kill(sender.native_handle(), SIGUSR1);
+      ::pthread_kill(receiver, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (int i = 0; i < k_frames; ++i) {
+    auto f = b->recv();
+    ASSERT_TRUE(f.has_value()) << "frame " << i;
+    EXPECT_EQ(f->type, FrameType::events);
+    ASSERT_EQ(f->payload.size(), payload.size()) << "frame " << i;
+    EXPECT_TRUE(f->payload == payload) << "frame " << i << " corrupted";
+  }
+  auto fin = b->recv();
+  ASSERT_TRUE(fin.has_value());
+  EXPECT_EQ(fin->type, FrameType::finish);
+
+  // The receiver drained every frame, so the sender cannot be blocked; stop
+  // the pepperer before joining it (pthread_kill on a joined thread is UB).
+  done = true;
+  pepperer.join();
+  sender.join();
+  a.reset();  // clean close
+  EXPECT_FALSE(b->recv().has_value());
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 // ---------------------------------------------------------------------------

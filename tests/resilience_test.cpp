@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -280,6 +281,188 @@ TEST(Classify, MapsExceptionTypesToFailureClasses) {
 }
 
 // ---------------------------------------------------------------------------
+// CsvSink write-failure detection (the silent-ENOSPC bug): a failed stream
+// write must surface as a *retryable* SinkError at the batch boundary, the
+// sink must rewind to the last committed row, and a supervised retry of the
+// identical span must produce byte-identical output — no duplicated or lost
+// rows.
+// ---------------------------------------------------------------------------
+
+// Seekable string buffer that rejects exactly one write: the first one
+// attempted at or past `fail_at` bytes. Models an ENOSPC that clears by the
+// time the supervisor retries (space was freed), on a device that still
+// seeks — the shape CsvSink promises to recover from.
+class FlakyOnceBuf final : public std::stringbuf {
+ public:
+  explicit FlakyOnceBuf(std::streamoff fail_at)
+      : std::stringbuf(std::ios::out), fail_at_(fail_at) {}
+
+  bool fired = false;
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (should_fail()) return 0;
+    return std::stringbuf::xsputn(s, n);
+  }
+  int_type overflow(int_type ch) override {
+    if (should_fail()) return traits_type::eof();
+    return std::stringbuf::overflow(ch);
+  }
+
+ private:
+  bool should_fail() {
+    if (fired) return false;
+    const pos_type pos = seekoff(0, std::ios::cur, std::ios::out);
+    if (pos == pos_type(off_type(-1)) ||
+        static_cast<std::streamoff>(pos) < fail_at_) {
+      return false;
+    }
+    fired = true;
+    return true;
+  }
+
+  std::streamoff fail_at_;
+};
+
+// Write buffer with no seek support at all — CsvSink must refuse to retry
+// (a blind re-delivery would duplicate whatever prefix reached the device).
+class UnseekableBuf final : public std::streambuf {
+ public:
+  std::string written;
+  bool reject = false;
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (reject) return 0;
+    written.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+  int_type overflow(int_type ch) override {
+    if (reject || ch == traits_type::eof()) return traits_type::eof();
+    written.push_back(traits_type::to_char_type(ch));
+    return ch;
+  }
+};
+
+std::vector<ControlEvent> csv_failure_events() {
+  std::vector<ControlEvent> events;
+  for (int i = 0; i < 60; ++i) {
+    events.push_back(make_event(1000 + 17 * i, static_cast<UeId>(i % 3),
+                                k_all_event_types[static_cast<std::size_t>(
+                                    i % static_cast<int>(k_num_event_types))]));
+  }
+  return events;
+}
+
+StreamHeader csv_failure_header(const std::vector<DeviceType>& devices) {
+  StreamHeader header;
+  header.ue_devices = devices;
+  header.t_begin = 0;
+  header.t_end = 10'000;
+  return header;
+}
+
+TEST(CsvSinkFailure, WriteFailureRewindsAndRetryIsByteIdentical) {
+  const std::vector<DeviceType> devices{
+      DeviceType::phone, DeviceType::connected_car, DeviceType::tablet};
+  const StreamHeader header = csv_failure_header(devices);
+  const std::vector<ControlEvent> events = csv_failure_events();
+  const std::span<const ControlEvent> all(events);
+
+  // Reference: the same batches through a clean stream.
+  std::ostringstream ref;
+  {
+    CsvSink sink(ref);
+    sink.on_start(header);
+    sink.on_events(all.subspan(0, 25));
+    sink.on_events(all.subspan(25));
+    sink.on_finish();
+  }
+  ASSERT_GT(ref.str().size(), 400u);
+
+  // Fail one write mid-file; ResilientSink must re-deliver the batch and the
+  // bytes must come out as if nothing happened.
+  FlakyOnceBuf buf(static_cast<std::streamoff>(ref.str().size() / 2));
+  std::ostream out(&buf);
+  CsvSink inner(out);
+  FakeRetryClock clock;
+  ResilientSinkOptions opts;
+  opts.retry = no_jitter_policy();
+  ResilientSink sink(inner, opts, &clock);
+  sink.on_start(header);
+  sink.on_events(all.subspan(0, 25));
+  sink.on_events(all.subspan(25));
+  sink.on_finish();
+
+  EXPECT_TRUE(buf.fired);
+  EXPECT_EQ(sink.stats().retries, 1u);
+  EXPECT_EQ(sink.stats().dropped_events, 0u);
+  EXPECT_EQ(inner.events_written(), events.size());
+  EXPECT_EQ(buf.str(), ref.str());
+}
+
+TEST(CsvSinkFailure, UnseekableStreamFailureIsFatalNotDuplicated) {
+  const std::vector<DeviceType> devices{DeviceType::phone};
+  const StreamHeader header = csv_failure_header(devices);
+  const std::vector<ControlEvent> events = csv_failure_events();
+
+  UnseekableBuf buf;
+  std::ostream out(&buf);
+  CsvSink sink(out);
+  sink.on_start(header);
+  buf.reject = true;
+  try {
+    sink.on_events(std::span(events));
+    FAIL() << "write failure was swallowed";
+  } catch (const SinkError& e) {
+    EXPECT_EQ(e.failure_class(), FailureClass::fatal);
+    EXPECT_NE(std::string(e.what()).find("cannot rewind"), std::string::npos);
+  }
+}
+
+TEST(CsvSinkFailure, WriteFailpointEngagesResilientSink) {
+  const std::vector<DeviceType> devices{DeviceType::phone};
+  const StreamHeader header = csv_failure_header(devices);
+  const std::vector<ControlEvent> events = csv_failure_events();
+  const std::span<const ControlEvent> all(events);
+
+  std::ostringstream ref;
+  {
+    CsvSink sink(ref);
+    sink.on_start(header);
+    for (std::size_t i = 0; i < all.size(); i += 10) {
+      sink.on_events(all.subspan(i, std::min<std::size_t>(10, all.size() - i)));
+    }
+    sink.on_finish();
+  }
+
+  fault::FailpointSpec spec;
+  spec.action = fault::Action::error;  // retryable, like a transient ENOSPC
+  spec.skip = 2;
+  spec.max_fires = 2;
+  fault::arm("csv_sink.write", spec);
+
+  std::ostringstream got;
+  {
+    CsvSink inner(got);
+    FakeRetryClock clock;
+    ResilientSinkOptions opts;
+    opts.retry = no_jitter_policy();
+    ResilientSink sink(inner, opts, &clock);
+    sink.on_start(header);
+    for (std::size_t i = 0; i < all.size(); i += 10) {
+      sink.on_events(all.subspan(i, std::min<std::size_t>(10, all.size() - i)));
+    }
+    sink.on_finish();
+    EXPECT_GE(sink.stats().retries, 1u);
+    EXPECT_EQ(sink.stats().dropped_events, 0u);
+  }
+  fault::disarm_all();
+
+  EXPECT_EQ(got.str(), ref.str());
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint file round trip
 // ---------------------------------------------------------------------------
 
@@ -357,6 +540,30 @@ TEST_F(CheckpointDir, SaveLoadRoundTrip) {
 
 TEST_F(CheckpointDir, MissingFileIsNullopt) {
   EXPECT_FALSE(load_checkpoint(dir_).has_value());
+}
+
+TEST_F(CheckpointDir, FailedSaveLeavesThePreviousCheckpointIntact) {
+  // The atomic-publish contract: a save that dies mid-write (ENOSPC, crash)
+  // must never clobber the checkpoint a resume depends on.
+  StreamCheckpoint ck;
+  ck.seed = 42;
+  ck.ue_counts = {1, 0, 0};
+  ck.num_shards = 1;
+  ck.slice_ms = 60'000;
+  ck.resume_slice = 3;
+  ck.shards.resize(1);
+  save_checkpoint(ck, dir_);
+
+  fault::FailpointSpec spec;
+  spec.action = fault::Action::error;
+  fault::arm("io.write_file", spec);
+  ck.resume_slice = 9;
+  EXPECT_THROW(save_checkpoint(ck, dir_), fault::InjectedFault);
+  fault::disarm_all();
+
+  const auto loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->resume_slice, 3u);  // the failed save changed nothing
 }
 
 TEST_F(CheckpointDir, CorruptFileThrowsWithDiagnostic) {

@@ -36,6 +36,7 @@
 #include "obs/reporter.h"
 #include "scenario/scenario.h"
 #include "scenario/spec.h"
+#include "stream/binary_sink.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
 #include "stream/population.h"
@@ -84,17 +85,17 @@ int run(int argc, char** argv) {
 
   const bool worker_mode = flags.count("dist-worker") != 0;
   const bool dist_run = !worker_mode && flags.count("ranks") != 0;
-  const auto num_ranks =
-      static_cast<unsigned>(cli::flag_u64(flags, "ranks", 1));
-  if (flags.count("ranks") != 0 && num_ranks == 0) {
-    throw UsageError("--ranks: must be >= 1");
-  }
+  // Range-checked: the value is truncated into an unsigned below, and a
+  // silently wrapped --ranks 99999999999 would fork a nonsense process
+  // count.
+  const auto num_ranks = static_cast<unsigned>(
+      cli::flag_u64_range(flags, "ranks", 1, 1, dist::k_max_ranks));
   if (worker_mode) {
     if (flags.count("ranks") == 0) {
       throw UsageError("--dist-worker requires --ranks");
     }
-    for (const char* f : {"out", "metrics-out", "sink-policy", "spill-file",
-                          "clock", "accel"}) {
+    for (const char* f : {"out", "format", "metrics-out", "sink-policy",
+                          "spill-file", "clock", "accel"}) {
       if (flags.count(f) != 0) {
         throw UsageError(std::string("--") + f +
                          " belongs to the coordinator, not a --dist-worker");
@@ -114,10 +115,19 @@ int run(int argc, char** argv) {
       }
     }
   }
-  const auto worker_rank =
-      static_cast<unsigned>(cli::flag_u64(flags, "dist-worker", 0));
+  const auto worker_rank = static_cast<unsigned>(
+      cli::flag_u64_range(flags, "dist-worker", 0, 0, dist::k_max_ranks - 1));
   if (worker_mode && worker_rank >= num_ranks) {
     throw UsageError("--dist-worker: rank must be < --ranks");
+  }
+
+  const std::string format =
+      flags.count("format") != 0 ? flags.at("format") : "csv";
+  if (format != "csv" && format != "cpgt") {
+    throw UsageError("--format must be csv or cpgt, got \"" + format + "\"");
+  }
+  if (flags.count("format") != 0 && flags.count("out") == 0) {
+    throw UsageError("--format requires --out");
   }
 
   const bool scenario_run = flags.count("scenario") != 0;
@@ -138,28 +148,35 @@ int run(int argc, char** argv) {
     spec = scenario::parse_scenario_file(flags.at("scenario"));
   }
 
+  // UE counts share a dense 32-bit id space; hour-of-day and thread/shard
+  // counts are truncated into narrower types below — all range-checked so an
+  // absurd or overflowing value is a one-line error, not a wrapped cast.
+  constexpr std::uint64_t k_max_ues_per_type = (std::uint64_t{1} << 32) - 1;
   gen::GenerationRequest request;
   request.ue_counts[index_of(DeviceType::phone)] =
-      cli::flag_u64(flags, "phones", 1000);
+      cli::flag_u64_range(flags, "phones", 1000, 0, k_max_ues_per_type);
   request.ue_counts[index_of(DeviceType::connected_car)] =
-      cli::flag_u64(flags, "cars", 0);
+      cli::flag_u64_range(flags, "cars", 0, 0, k_max_ues_per_type);
   request.ue_counts[index_of(DeviceType::tablet)] =
-      cli::flag_u64(flags, "tablets", 0);
+      cli::flag_u64_range(flags, "tablets", 0, 0, k_max_ues_per_type);
   request.start_hour =
-      static_cast<int>(cli::flag_u64(flags, "start-hour", 10));
-  request.duration_hours = cli::flag_double(flags, "hours", 1.0);
+      static_cast<int>(cli::flag_u64_range(flags, "start-hour", 10, 0, 23));
+  request.duration_hours =
+      cli::flag_double_positive(flags, "hours", 1.0, 24.0 * 365 * 100);
   request.seed = seed;
-  request.num_threads =
-      static_cast<unsigned>(cli::flag_u64(flags, "threads", 0));
+  request.num_threads = static_cast<unsigned>(
+      cli::flag_u64_range(flags, "threads", 0, 0, 4096));
 
   stream::StreamOptions options;
-  options.num_shards = cli::flag_u64(flags, "shards", 0);
+  options.num_shards = cli::flag_u64_range(flags, "shards", 0, 0, 4096);
   options.num_threads = request.num_threads;
   options.slice_ms = static_cast<TimeMs>(
-      cli::flag_double(flags, "slice-min", 10.0) * k_ms_per_minute);
-  options.max_buffered_events =
-      cli::flag_u64(flags, "queue-events", options.max_buffered_events);
-  options.accel_factor = cli::flag_double(flags, "accel", 1.0);
+      cli::flag_double_positive(flags, "slice-min", 10.0, 24.0 * 60 * 365) *
+      k_ms_per_minute);
+  options.max_buffered_events = cli::flag_u64_range(
+      flags, "queue-events", options.max_buffered_events, 1,
+      std::uint64_t{1} << 40);
+  options.accel_factor = cli::flag_double_positive(flags, "accel", 1.0, 1e9);
   const std::string clock =
       flags.count("clock") ? flags.at("clock") : "afap";
   if (clock == "afap") {
@@ -172,16 +189,10 @@ int run(int argc, char** argv) {
     throw UsageError("--clock must be afap, realtime or accel, got \"" +
                      clock + "\"");
   }
-  if (options.clock == stream::ClockMode::accelerated &&
-      !(options.accel_factor > 0.0 &&
-        std::isfinite(options.accel_factor))) {
-    throw UsageError("--accel: must be > 0 and finite with --clock accel");
-  }
-
   options.checkpoint.dir =
       flags.count("checkpoint-dir") ? flags.at("checkpoint-dir") : "";
-  options.checkpoint.interval_slices =
-      cli::flag_u64(flags, "checkpoint-interval", 16);
+  options.checkpoint.interval_slices = cli::flag_u64_range(
+      flags, "checkpoint-interval", 16, 1, std::uint64_t{1} << 20);
   options.resume = flags.count("resume") != 0;
   if (options.resume && options.checkpoint.dir.empty()) {
     throw UsageError("--resume requires --checkpoint-dir");
@@ -190,9 +201,6 @@ int run(int argc, char** argv) {
     // The live core accumulates queueing state the checkpoint does not
     // capture; resuming would silently skip its head of the stream.
     throw UsageError("--resume cannot be combined with --mcn");
-  }
-  if (options.checkpoint.interval_slices == 0) {
-    throw UsageError("--checkpoint-interval: must be >= 1");
   }
 
   stream::ResilientSinkOptions resilience;
@@ -244,7 +252,8 @@ int run(int argc, char** argv) {
   std::unique_ptr<gen::GenMetrics> gen_metrics;
   std::unique_ptr<obs::SnapshotReporter> reporter;
   const bool want_metrics = flags.count("metrics-out") != 0;
-  const double interval_s = cli::flag_double(flags, "metrics-interval-s", 1.0);
+  const double interval_s =
+      cli::flag_double_positive(flags, "metrics-interval-s", 1.0, 86400.0);
   if (want_metrics || flags.count("dist-obs") != 0) {
     options.metrics = &registry;
     gen_metrics = std::make_unique<gen::GenMetrics>(
@@ -252,9 +261,6 @@ int run(int argc, char** argv) {
     request.ue_options.metrics = gen_metrics.get();
   }
   if (want_metrics) {
-    if (!(interval_s > 0.0)) {
-      throw UsageError("--metrics-interval-s: must be > 0");
-    }
     const std::string& path = flags.at("metrics-out");
     const bool json = path.size() >= 5 &&
                       path.compare(path.size() - 5, 5, ".json") == 0;
@@ -319,9 +325,15 @@ int run(int argc, char** argv) {
   stream::CountingSink counter;
   std::vector<stream::EventSink*> sinks{&counter};
   std::unique_ptr<stream::CsvSink> csv;
+  std::unique_ptr<stream::BinarySink> binary;
   if (flags.count("out")) {
-    csv = std::make_unique<stream::CsvSink>(flags.at("out"));
-    sinks.push_back(csv.get());
+    if (format == "cpgt") {
+      binary = std::make_unique<stream::BinarySink>(flags.at("out"));
+      sinks.push_back(binary.get());
+    } else {
+      csv = std::make_unique<stream::CsvSink>(flags.at("out"));
+      sinks.push_back(csv.get());
+    }
   }
   std::unique_ptr<stream::McnLiveSink> mcn_sink;
   if (flags.count("mcn")) {
@@ -423,6 +435,10 @@ int run(int argc, char** argv) {
   if (csv) {
     std::cout << "wrote " << flags.at("out") << "_{events,ues}.csv ("
               << csv->events_written() << " rows)\n";
+  }
+  if (binary) {
+    std::cout << "wrote " << stream::BinarySink::path_for(flags.at("out"))
+              << " (" << binary->events_written() << " events)\n";
   }
   if (reporter) {
     std::cout << "wrote " << reporter->snapshots() << " metric snapshots to "

@@ -23,7 +23,12 @@ const char* const k_usage = R"(usage: stream_gen [options]
   --queue-events <q>        per-queue backpressure threshold in events
   --clock <mode>            afap | realtime | accel (default afap)
   --accel <x>               trace seconds per wall second (accel mode, > 0)
-  --out <prefix>            write <prefix>_{events,ues}.csv incrementally
+  --out <prefix>            write the trace incrementally; --format picks the
+                            encoding
+  --format <f>              trace encoding for --out: csv (default, writes
+                            <prefix>_{events,ues}.csv) or cpgt (the columnar
+                            binary format, writes <prefix>.cpgt; convert with
+                            trace_cat)
   --mcn                     feed the stream into the live EPC core simulator
   --ranks <n>               distributed generation: spawn n worker processes
                             (one rank each) and merge their streams here;
@@ -57,7 +62,8 @@ const std::set<std::string>& value_flags() {
       "model",      "scenario", "phones",      "cars",        "tablets",
       "start-hour", "hours",    "seed",        "shards",
       "threads",    "slice-min", "queue-events", "clock",
-      "accel",      "out",      "metrics-out", "metrics-interval-s",
+      "accel",      "out",      "format",      "metrics-out",
+      "metrics-interval-s",
       "checkpoint-dir", "checkpoint-interval", "sink-policy", "spill-file",
       "ranks",      "dist-worker", "dist-resume-dir"};
   return flags;
@@ -129,8 +135,34 @@ double flag_double(const std::map<std::string, std::string>& flags,
   char* end = nullptr;
   errno = 0;
   const double v = std::strtod(s.c_str(), &end);
-  if (s.empty() || *end != '\0' || errno == ERANGE) {
+  if (s.empty() || *end != '\0' || errno == ERANGE || v != v) {
     throw UsageError("--" + key + ": expected a number, got \"" + s + "\"");
+  }
+  return v;
+}
+
+std::uint64_t flag_u64_range(const std::map<std::string, std::string>& flags,
+                             const std::string& key, std::uint64_t fallback,
+                             std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t v = flag_u64(flags, key, fallback);
+  if (v < lo || v > hi) {
+    throw UsageError("--" + key + ": must be between " + std::to_string(lo) +
+                     " and " + std::to_string(hi) + ", got " +
+                     std::to_string(v));
+  }
+  return v;
+}
+
+double flag_double_positive(const std::map<std::string, std::string>& flags,
+                            const std::string& key, double fallback,
+                            double hi) {
+  const double v = flag_double(flags, key, fallback);
+  if (!(v > 0.0) || !(v <= hi)) {
+    throw UsageError("--" + key + ": must be > 0 and at most " +
+                     std::to_string(hi) + ", got \"" +
+                     (flags.count(key) ? flags.at(key)
+                                       : std::to_string(fallback)) +
+                     "\"");
   }
   return v;
 }

@@ -35,10 +35,24 @@ const std::set<std::string>& switch_flags();
 std::map<std::string, std::string> parse_flags(int argc, char** argv);
 
 // Typed flag lookups; throw UsageError naming the flag on a malformed
-// value. Absent flags return `fallback`.
+// value. Absent flags return `fallback`. flag_double rejects NaN (strtod
+// happily parses "nan", which no flag here means).
 std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
                        const std::string& key, std::uint64_t fallback);
 double flag_double(const std::map<std::string, std::string>& flags,
                    const std::string& key, double fallback);
+
+// Range-checked lookups: like the above, but values outside [lo, hi] are
+// UsageErrors naming the flag and the accepted range. Callers that truncate
+// to a narrower type (e.g. --ranks into an unsigned) must use these — a
+// silent static_cast of an overflowing u64 wraps to an arbitrary small
+// number, which is far worse than an error. flag_double_positive requires a
+// finite value > 0 (durations, rates, intervals).
+std::uint64_t flag_u64_range(const std::map<std::string, std::string>& flags,
+                             const std::string& key, std::uint64_t fallback,
+                             std::uint64_t lo, std::uint64_t hi);
+double flag_double_positive(const std::map<std::string, std::string>& flags,
+                            const std::string& key, double fallback,
+                            double hi);
 
 }  // namespace cpg::cli

@@ -1,0 +1,130 @@
+// trace_cat — convert and inspect cpgt columnar binary traces.
+//
+//   trace_cat to-csv  <in.cpgt> <out-prefix>   cpgt -> <out-prefix>_{events,ues}.csv
+//   trace_cat to-cpgt <in-prefix> <out.cpgt>   CSV pair -> cpgt
+//   trace_cat info    <in.cpgt>                header + block summary
+//
+// to-csv emits exactly the bytes `stream_gen --format csv` would have
+// written for the same stream (same io::append_* formatting, same canonical
+// event order), so a cpgt run converts to a CSV run byte-identically — the
+// invariant scripts/dist_smoke.sh checks across rank counts and
+// kill/resume. to-cpgt inverts it: CSV -> cpgt -> CSV round-trips
+// byte-identically for any canonically ordered trace.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/csv.h"
+#include "trace_fmt/cpgt.h"
+#include "trace_fmt/reader.h"
+#include "trace_fmt/writer.h"
+
+namespace {
+
+using namespace cpg;
+
+constexpr const char* k_usage = R"(usage: trace_cat <command> ...
+  to-csv <in.cpgt> <out-prefix>    convert to <out-prefix>_{events,ues}.csv
+  to-cpgt <in-prefix> <out.cpgt>   convert <in-prefix>_{events,ues}.csv to cpgt
+  info <in.cpgt>                   print header and block summary
+)";
+
+void checked(std::ostream& os, const std::string& path) {
+  if (!os) {
+    throw std::runtime_error("write failed for " + path +
+                             " (disk full or path not writable)");
+  }
+}
+
+int to_csv(const std::string& in, const std::string& out_prefix) {
+  trace_fmt::TraceReader reader(in);
+
+  const std::string ues_path = out_prefix + "_ues.csv";
+  std::ofstream ues(ues_path, std::ios::trunc);
+  if (!ues) throw std::runtime_error("cannot open " + ues_path);
+  io::write_ues_csv_header(ues);
+  const auto& devices = reader.devices();
+  for (std::size_t u = 0; u < devices.size(); ++u) {
+    io::append_ue_csv(ues, static_cast<UeId>(u), devices[u]);
+  }
+  ues.flush();
+  checked(ues, ues_path);
+
+  const std::string events_path = out_prefix + "_events.csv";
+  std::ofstream events(events_path, std::ios::trunc);
+  if (!events) throw std::runtime_error("cannot open " + events_path);
+  io::write_events_csv_header(events);
+  std::vector<ControlEvent> block;
+  std::uint64_t n = 0;
+  while (reader.next_events(block)) {
+    for (const ControlEvent& e : block) io::append_event_csv(events, e);
+    checked(events, events_path);
+    n += block.size();
+  }
+  events.flush();
+  checked(events, events_path);
+  std::cerr << "wrote " << out_prefix << "_{events,ues}.csv (" << n
+            << " events, " << devices.size() << " UEs)\n";
+  return 0;
+}
+
+int to_cpgt(const std::string& in_prefix, const std::string& out) {
+  const Trace trace = io::read_trace(in_prefix);
+  // A converted file has no generation window; fingerprint over the
+  // registry alone (t_begin = t_end = 0) still ties resumes/appends to the
+  // same population.
+  trace_fmt::TraceWriter writer(out);
+  writer.begin(trace.devices(), 0, 0);
+  writer.append(trace.events());
+  writer.finish();
+  std::cerr << "wrote " << out << " (" << trace.num_events() << " events, "
+            << trace.num_ues() << " UEs)\n";
+  return 0;
+}
+
+int info(const std::string& in) {
+  trace_fmt::TraceReader reader(in);
+  std::cout << "file:        " << in << "\n"
+            << "version:     " << trace_fmt::k_version << "\n"
+            << "fingerprint: " << reader.fingerprint() << "\n"
+            << "ues:         " << reader.devices().size() << "\n";
+  std::vector<ControlEvent> block;
+  std::uint64_t blocks = 0;
+  TimeMs t_first = 0, t_last = 0;
+  bool any = false;
+  while (reader.next_events(block)) {
+    ++blocks;
+    if (!block.empty()) {
+      if (!any) t_first = block.front().t_ms;
+      t_last = block.back().t_ms;
+      any = true;
+    }
+  }
+  std::cout << "events:      " << reader.total_events() << "\n"
+            << "blocks:      " << blocks << "\n";
+  if (any) {
+    std::cout << "t_ms range:  [" << t_first << ", " << t_last << "]\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc >= 2 ? argv[1] : "";
+    if (cmd == "to-csv" && argc == 4) return to_csv(argv[2], argv[3]);
+    if (cmd == "to-cpgt" && argc == 4) return to_cpgt(argv[2], argv[3]);
+    if (cmd == "info" && argc == 3) return info(argv[2]);
+    if (cmd == "--help" || cmd == "help") {
+      std::cout << k_usage;
+      return 0;
+    }
+    std::cerr << k_usage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

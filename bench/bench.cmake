@@ -29,7 +29,7 @@ cpg_add_bench(table6_active_split)
 cpg_add_bench(fig7_perue_cdfs)
 cpg_add_bench(table7_5g)
 cpg_add_bench(micro_perf benchmark::benchmark)
-cpg_add_bench(gen_hotpath)
+cpg_add_bench(gen_hotpath cpg_stream)
 cpg_add_bench(stream_throughput cpg_stream)
 cpg_add_bench(scenario_throughput cpg_scenario cpg_stream)
 cpg_add_bench(obs_overhead cpg_stream cpg_obs)

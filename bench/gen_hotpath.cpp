@@ -22,6 +22,8 @@
 
 #include "common.h"
 #include "model/compiled.h"
+#include "stream/event_sink.h"
+#include "stream/stream_generator.h"
 
 namespace cpg::bench {
 namespace {
@@ -164,6 +166,28 @@ int main(int argc, char** argv) {
               (unsigned long long)compiled.events,
               compiled.events_per_sec(), speedup);
 
+  // --- end-to-end streaming (the CI perf smoke gate's number) -------------
+  // The scenario2 population through the full streaming runtime — SoA slice
+  // buffers, radix sort, gallop merge, counting sink — matching the
+  // "stream" measurement of bench/stream_throughput but without the fork
+  // harness, so a scaled-down run is cheap enough for CI
+  // (scripts/perf_smoke.sh compares it against the committed
+  // BENCH_stream.json).
+  GenRun streaming;
+  {
+    stream::StreamOptions opts;
+    opts.slice_ms = 10 * k_ms_per_minute;
+    opts.max_buffered_events = 8192;
+    opts.num_threads = config.threads;
+    stream::CountingSink sink;
+    const auto t0 = std::chrono::steady_clock::now();
+    streaming.events = stream_generate(models, request, opts, sink).events;
+    streaming.seconds = seconds_since(t0);
+  }
+  std::printf("%-10s %14llu %14.0f\n", "streaming",
+              (unsigned long long)streaming.events,
+              streaming.events_per_sec());
+
   std::ofstream json("BENCH_gen.json");
   json << "{\n  \"bench\": \"gen_hotpath\",\n  \"scale\": " << config.scale
        << ",\n  \"gen_hours\": " << k_gen_hours
@@ -186,7 +210,10 @@ int main(int argc, char** argv) {
        << "},\n    \"compiled\": {\"events\": " << compiled.events
        << ", \"seconds\": " << compiled.seconds << ", \"events_per_sec\": "
        << std::uint64_t(compiled.events_per_sec())
-       << "},\n    \"speedup\": " << speedup << "\n  }\n}\n";
+       << "},\n    \"speedup\": " << speedup
+       << ",\n    \"streaming\": {\"events\": " << streaming.events
+       << ", \"seconds\": " << streaming.seconds << ", \"events_per_sec\": "
+       << std::uint64_t(streaming.events_per_sec()) << "}\n  }\n}\n";
   std::cout << "\nwrote BENCH_gen.json\n";
   return 0;
 }

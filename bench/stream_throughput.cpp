@@ -33,6 +33,7 @@
 #include "stream/binary_sink.h"
 #include "stream/csv_sink.h"
 #include "stream/event_sink.h"
+#include "stream/merge.h"
 #include "stream/stream_generator.h"
 
 namespace cpg::bench {
@@ -288,6 +289,80 @@ int main(int argc, char** argv) {
          << ", \"cpgt_bytes\": " << cpgt_bytes
          << ", \"events_per_sec_speedup\": " << speedup << "\n  }";
     std::filesystem::remove_all(dir, ec);
+  }
+
+  json << ",";
+
+  // --- k-way merge micro-bench: heap vs gallop ---------------------------
+  // Merge cost in isolation over realistic shard runs: the scenario2 event
+  // stream split round-robin by ue % k into k sorted runs (exactly how the
+  // streaming runtime shards), merged with the reference per-event heap and
+  // the run-aware gallop merge. No fork needed — a pure CPU loop, and the
+  // runs are shared read-only across both variants.
+  {
+    gen::GenerationRequest request;
+    request.ue_counts = device_mix(config.scenario2_ues());
+    request.start_hour = 10;
+    request.duration_hours = 1.0;
+    request.seed = config.seed + 7;
+    request.num_threads = config.threads;
+    const Trace trace = gen::generate_trace(models, request);
+    const std::span<const ControlEvent> all = trace.events();
+
+    std::printf("\n%-10s %6s %14s %14s %14s %9s\n", "merge", "k", "events",
+                "heap ev/s", "gallop ev/s", "speedup");
+    json << "\n  \"merge_microbench\": [";
+    bool first_k = true;
+    for (const std::size_t k : {1u, 2u, 4u, 16u}) {
+      std::vector<std::vector<ControlEvent>> runs(k);
+      for (const ControlEvent& e : all) runs[e.ue_id % k].push_back(e);
+
+      const auto time_merge = [&](auto&& merge_once) {
+        // One warm-up pass, then the best of three timed passes (the loop
+        // is allocation-free after the first pass reserves the output).
+        merge_once();
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+          const auto t0 = std::chrono::steady_clock::now();
+          merge_once();
+          best = std::min(
+              best, std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+        }
+        return best;
+      };
+
+      std::vector<ControlEvent> out;
+      out.reserve(all.size());
+      const double heap_s = time_merge([&] {
+        out.clear();
+        stream::k_way_merge(std::span<const std::vector<ControlEvent>>(runs),
+                            [&](const ControlEvent& e) { out.push_back(e); });
+      });
+      const double gallop_s = time_merge([&] {
+        out.clear();
+        stream::gallop_merge(
+            std::span<const std::vector<ControlEvent>>(runs),
+            [&](std::size_t r, std::size_t b, std::size_t e) {
+              out.insert(out.end(), runs[r].begin() + std::ptrdiff_t(b),
+                         runs[r].begin() + std::ptrdiff_t(e));
+            });
+      });
+      const double heap_eps = heap_s > 0 ? double(all.size()) / heap_s : 0.0;
+      const double gallop_eps =
+          gallop_s > 0 ? double(all.size()) / gallop_s : 0.0;
+      const double speedup = gallop_s > 0 ? heap_s / gallop_s : 0.0;
+      std::printf("%-10s %6zu %14zu %14.0f %14.0f %8.2fx\n", "", k,
+                  all.size(), heap_eps, gallop_eps, speedup);
+      json << (first_k ? "" : ",") << "\n    {\"k\": " << k
+           << ", \"events\": " << all.size()
+           << ", \"heap_events_per_sec\": " << std::uint64_t(heap_eps)
+           << ", \"gallop_events_per_sec\": " << std::uint64_t(gallop_eps)
+           << ", \"speedup\": " << speedup << "}";
+      first_k = false;
+    }
+    json << "\n  ]";
   }
 
   json << "\n}\n";

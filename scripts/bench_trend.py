@@ -63,6 +63,10 @@ def collect(root):
         except (OSError, json.JSONDecodeError) as e:
             print(f"bench_trend: skipping {name}: {e}", file=sys.stderr)
             continue
+        if not isinstance(data, dict):
+            print(f"bench_trend: skipping {name}: not a JSON object",
+                  file=sys.stderr)
+            continue
         bench = data.get("bench", name[len("BENCH_"):-len(".json")])
         benches[bench] = {"file": name, "metrics": flatten(data)}
     return benches
@@ -88,16 +92,30 @@ def main():
         try:
             with open(out_path) as f:
                 prev = json.load(f)
-            history = prev.get("history", [])
+            if not isinstance(prev, dict):
+                raise ValueError(f"expected a JSON object, got "
+                                 f"{type(prev).__name__}")
+            # A hand-edited or truncated trajectory must never kill the
+            # sweep: tolerate a null/non-list history and non-dict entries,
+            # keeping whatever is well-formed.
+            history = prev.get("history") or []
+            if not isinstance(history, list):
+                print(f"bench_trend: {TRAJECTORY} history is not a list; "
+                      "starting fresh", file=sys.stderr)
+                history = []
+            history = [h for h in history if isinstance(h, dict)]
             latest = prev.get("latest")
+            if not isinstance(latest, dict):
+                latest = None
             # The previous latest becomes the first history entry unless it
             # is already recorded (same commit re-run just replaces it).
             if latest and (not history or
                            history[0].get("commit") != latest.get("commit")):
                 history.insert(0, latest)
-        except (OSError, json.JSONDecodeError) as e:
+        except (OSError, json.JSONDecodeError, ValueError) as e:
             print(f"bench_trend: ignoring unreadable {TRAJECTORY}: {e}",
                   file=sys.stderr)
+            history = []
 
     commit = git_describe(root)
     history = [h for h in history if h.get("commit") != commit]

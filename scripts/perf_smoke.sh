@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CI perf smoke gate for the streaming hot path.
+#
+# Runs a scaled-down bench/gen_hotpath (fit + compile + generation +
+# end-to-end streaming over the scenario2 population) in a temp directory
+# and compares its streaming events/sec against the committed
+# BENCH_stream.json scenario2 streaming number. The run fails when
+# throughput drops below FLOOR x committed — a coarse gate meant to catch
+# order-of-magnitude regressions (an accidental debug build, a per-event
+# virtual call reintroduced on the hot path), not small machine-to-machine
+# noise; hence the generous default floor.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: ./build)
+# Env:
+#   PERF_SMOKE_FLOOR  fraction of the committed number to require
+#                     (default 0.60)
+#   PERF_SMOKE_SCALE  --scale passed to gen_hotpath (default 0.4; smaller
+#                     is faster but noisier)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="$REPO_ROOT/$BUILD_DIR/bench/gen_hotpath"
+COMMITTED="$REPO_ROOT/BENCH_stream.json"
+FLOOR="${PERF_SMOKE_FLOOR:-0.60}"
+SCALE="${PERF_SMOKE_SCALE:-0.4}"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "perf_smoke: $BENCH not found (build first, or pass the build dir)" >&2
+  exit 2
+fi
+if [[ ! -f "$COMMITTED" ]]; then
+  echo "perf_smoke: no committed $COMMITTED to gate against, skipping" >&2
+  exit 0
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== gen_hotpath --scale=$SCALE (streaming measurement)"
+(cd "$WORK" && "$BENCH" --scale="$SCALE")
+
+python3 - "$COMMITTED" "$WORK/BENCH_gen.json" "$FLOOR" <<'EOF'
+import json
+import sys
+
+committed_path, measured_path, floor_s = sys.argv[1:4]
+floor = float(floor_s)
+
+with open(committed_path) as f:
+    committed = json.load(f)
+baseline = next(s for s in committed["scenarios"] if s["name"] == "scenario2")
+baseline_eps = baseline["stream"]["events_per_sec"]
+
+with open(measured_path) as f:
+    measured = json.load(f)
+got_eps = measured["generation"]["streaming"]["events_per_sec"]
+
+need = floor * baseline_eps
+print(f"perf_smoke: streaming {got_eps:,.0f} ev/s vs committed "
+      f"{baseline_eps:,.0f} ev/s (floor {floor:.0%} = {need:,.0f})")
+if got_eps < need:
+    print(f"perf_smoke: FAIL - streaming throughput below the floor; "
+          f"if this machine is genuinely slower, lower PERF_SMOKE_FLOOR",
+          file=sys.stderr)
+    sys.exit(1)
+print("perf_smoke: OK")
+EOF

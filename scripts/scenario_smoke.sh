@@ -64,6 +64,23 @@ cmp "$WORK/ref_events.csv" "$WORK/alt_events.csv"
 cmp "$WORK/ref_ues.csv" "$WORK/alt_ues.csv"
 echo "   reconfigured run byte-identical"
 
+# The cpgt sink takes the zero-copy SoA path (on_event_columns straight
+# into the columnar encoder); trace_cat to-csv promises the exact bytes the
+# CSV sink would have written, so converting closes the loop on the whole
+# columnar pipeline: emit -> radix sort -> gallop merge -> columnar encode.
+echo "== SoA hot path: cpgt output converts back to the reference CSVs"
+CAT="$BUILD_DIR/trace_cat"
+if [[ -x "$CAT" ]]; then
+  "$GEN" "${ARGS[@]}" --shards 4 --threads 2 --slice-min 5 \
+    --out "$WORK/soa" --format cpgt
+  "$CAT" to-csv "$WORK/soa.cpgt" "$WORK/soa"
+  cmp "$WORK/ref_events.csv" "$WORK/soa_events.csv"
+  cmp "$WORK/ref_ues.csv" "$WORK/soa_ues.csv"
+  echo "   columnar sink output byte-identical after conversion"
+else
+  echo "scenario_smoke: $CAT not found, skipping the SoA-path step" >&2
+fi
+
 # 3 h at 5-min slices = 36 slices; slice 16 lands at 80 min, inside the
 # flash crowd's join window.
 echo "== kill at slice 16, mid-flash-crowd (checkpoints every 5 slices)"

@@ -1,0 +1,149 @@
+#include "core/event_columns.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace cpg {
+
+void EventColumnsView::materialize(std::vector<ControlEvent>& out) const {
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ControlEvent{ts[i], ue[i], type[i]});
+  }
+}
+
+void EventColumns::append(const EventColumnsView& v) {
+  ts.insert(ts.end(), v.ts, v.ts + v.n);
+  ue.insert(ue.end(), v.ue, v.ue + v.n);
+  type.insert(type.end(), v.type, v.type + v.n);
+}
+
+void EventColumns::append(std::span<const ControlEvent> events) {
+  reserve(size() + events.size());
+  for (const ControlEvent& e : events) push_back(e);
+}
+
+void EventColumns::assign(std::span<const ControlEvent> events) {
+  clear();
+  append(events);
+}
+
+namespace {
+
+// Below this the per-digit histograms cost more than they save; a plain
+// std::sort over the packed keys is already comparator-free and branch-cheap.
+constexpr std::size_t k_radix_min = std::size_t{1} << 10;
+
+struct KeyLayout {
+  unsigned ts_shift = 0;   // ue_bits + 3
+  std::uint64_t ue_mask = 0;
+  TimeMs ts_lo = 0;
+};
+
+inline std::uint64_t pack_key(const EventColumns& c, std::size_t i,
+                              const KeyLayout& l) noexcept {
+  return (static_cast<std::uint64_t>(c.ts[i] - l.ts_lo) << l.ts_shift) |
+         (static_cast<std::uint64_t>(c.ue[i]) << 3) |
+         static_cast<std::uint64_t>(c.type[i]);
+}
+
+inline void unpack_keys(EventColumns& c, const std::uint64_t* keys,
+                        std::size_t n, const KeyLayout& l) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    c.ts[i] = l.ts_lo + static_cast<TimeMs>(k >> l.ts_shift);
+    c.ue[i] = static_cast<UeId>((k >> 3) & l.ue_mask);
+    c.type[i] = static_cast<EventType>(k & 7);
+  }
+}
+
+}  // namespace
+
+void sort_columns(EventColumns& cols, ColumnSortScratch& s) {
+  const std::size_t n = cols.size();
+  if (n < 2) return;
+
+  TimeMs ts_lo = cols.ts[0];
+  TimeMs ts_hi = cols.ts[0];
+  for (const TimeMs t : cols.ts) {
+    ts_lo = std::min(ts_lo, t);
+    ts_hi = std::max(ts_hi, t);
+  }
+  UeId ue_max = 0;
+  for (const UeId u : cols.ue) ue_max = std::max(ue_max, u);
+
+  const unsigned ts_bits = static_cast<unsigned>(
+      std::bit_width(static_cast<std::uint64_t>(ts_hi - ts_lo)));
+  const unsigned ue_bits =
+      static_cast<unsigned>(std::bit_width(static_cast<std::uint64_t>(ue_max)));
+  if (ts_bits + ue_bits + 3 > 64) {
+    // The (ts, ue, type) key does not fit one machine word; exact-order
+    // sorting falls back to the comparison path on a gathered AoS copy.
+    // Generated slices never take this branch (a slice's timestamp span and
+    // the UE id range are both far below 61 shared bits); arbitrary foreign
+    // input still sorts correctly.
+    s.aos.clear();
+    cols.view().materialize(s.aos);
+    sort_events(s.aos);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.ts[i] = s.aos[i].t_ms;
+      cols.ue[i] = s.aos[i].ue_id;
+      cols.type[i] = s.aos[i].type;
+    }
+    return;
+  }
+
+  const KeyLayout layout{
+      ue_bits + 3,
+      ue_bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << ue_bits) - 1,
+      ts_lo};
+  const unsigned total_bits = ts_bits + ue_bits + 3;
+  const std::size_t nbytes = (total_bits + 7) / 8;
+
+  s.keys.resize(n);
+  if (n < k_radix_min) {
+    for (std::size_t i = 0; i < n; ++i) {
+      s.keys[i] = pack_key(cols, i, layout);
+    }
+    std::sort(s.keys.begin(), s.keys.begin() + static_cast<std::ptrdiff_t>(n));
+    unpack_keys(cols, s.keys.data(), n, layout);
+    return;
+  }
+
+  // One pass builds the keys and all byte histograms; digits whose
+  // histogram has a single occupied bucket (the high timestamp bytes of a
+  // short slice, the type byte's unused high bits) cost no scatter pass.
+  std::array<std::array<std::uint32_t, 256>, 8> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = pack_key(cols, i, layout);
+    s.keys[i] = k;
+    for (std::size_t d = 0; d < nbytes; ++d) {
+      ++hist[d][(k >> (8 * d)) & 0xff];
+    }
+  }
+
+  s.keys_tmp.resize(n);
+  std::uint64_t* src = s.keys.data();
+  std::uint64_t* dst = s.keys_tmp.data();
+  for (std::size_t d = 0; d < nbytes; ++d) {
+    const auto& h = hist[d];
+    if (h[(src[0] >> (8 * d)) & 0xff] == n) continue;  // uniform digit
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += h[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = src[i];
+      dst[offset[(k >> (8 * d)) & 0xff]++] = k;
+    }
+    std::swap(src, dst);
+  }
+  unpack_keys(cols, src, n, layout);
+}
+
+}  // namespace cpg

@@ -1,0 +1,128 @@
+// Structure-of-arrays event spans for the generation hot path.
+//
+// The streaming runtime moves events from emission (generator) through
+// sort, queue, merge, and sink encode. The AoS ControlEvent costs 16 bytes
+// per event and forces every stage to shuffle whole structs; the cpgt sink
+// then re-derives columns anyway (the on-disk format is columnar). Keeping
+// the three columns — timestamp, UE id, event type — as separate arrays
+// from emission onward lets the sort run on packed integer keys, the merge
+// copy sub-spans column-wise, and the binary sink encode straight from the
+// buffers it is handed (13 bytes/event of traffic instead of 16, and every
+// per-column loop vectorizes).
+//
+// EventColumns owns the buffers; EventColumnsView is the non-owning span
+// handed across stage boundaries (EventSink::on_event_columns). Both
+// describe exactly the event sequence the equivalent
+// std::span<const ControlEvent> would: element i is {ts[i], ue[i], type[i]}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trace.h"
+#include "core/types.h"
+
+namespace cpg {
+
+struct EventColumnsView {
+  const TimeMs* ts = nullptr;
+  const UeId* ue = nullptr;
+  const EventType* type = nullptr;
+  std::size_t n = 0;
+
+  std::size_t size() const noexcept { return n; }
+  bool empty() const noexcept { return n == 0; }
+
+  // Gathers element i as an AoS event (boundary inspection, shims).
+  ControlEvent operator[](std::size_t i) const noexcept {
+    return ControlEvent{ts[i], ue[i], type[i]};
+  }
+
+  EventColumnsView subview(std::size_t offset, std::size_t count) const
+      noexcept {
+    return EventColumnsView{ts + offset, ue + offset, type + offset, count};
+  }
+
+  std::span<const TimeMs> ts_span() const noexcept { return {ts, n}; }
+
+  // Appends the gathered AoS events to `out`.
+  void materialize(std::vector<ControlEvent>& out) const;
+};
+
+// Owning SoA event buffer. The three vectors always have identical length.
+struct EventColumns {
+  std::vector<TimeMs> ts;
+  std::vector<UeId> ue;
+  std::vector<EventType> type;
+
+  std::size_t size() const noexcept { return ts.size(); }
+  bool empty() const noexcept { return ts.empty(); }
+
+  void clear() noexcept {
+    ts.clear();
+    ue.clear();
+    type.clear();
+  }
+
+  void reserve(std::size_t n) {
+    ts.reserve(n);
+    ue.reserve(n);
+    type.reserve(n);
+  }
+
+  std::size_t capacity() const noexcept { return ts.capacity(); }
+
+  void push_back(TimeMs t, UeId u, EventType e) {
+    ts.push_back(t);
+    ue.push_back(u);
+    type.push_back(e);
+  }
+
+  void push_back(const ControlEvent& e) { push_back(e.t_ms, e.ue_id, e.type); }
+
+  // Drops everything from index `n` on (the slice-boundary carry split).
+  void truncate(std::size_t n) {
+    ts.resize(n);
+    ue.resize(n);
+    type.resize(n);
+  }
+
+  void append(const EventColumnsView& v);
+  void append(std::span<const ControlEvent> events);
+  void assign(std::span<const ControlEvent> events);
+
+  EventColumnsView view() const noexcept {
+    return EventColumnsView{ts.data(), ue.data(), type.data(), ts.size()};
+  }
+
+  ControlEvent operator[](std::size_t i) const noexcept {
+    return ControlEvent{ts[i], ue[i], type[i]};
+  }
+};
+
+// Reusable buffers for sort_columns; one per repeated caller (the streaming
+// runtime keeps one per shard), so the key arrays are allocated once, not
+// once per slice.
+struct ColumnSortScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> keys_tmp;
+  std::vector<ControlEvent> aos;  // wide-key fallback only
+};
+
+// Sorts the columns into canonical event_time_less order — the exact
+// permutation std::sort(EventTimeLess) produces on the equivalent AoS span.
+//
+// Implementation: each event packs into one 64-bit key,
+// (ts - ts_min) << (ue_bits + 3) | ue << 3 | type, whose unsigned order is
+// the lexicographic (ts, ue, type) order, i.e. event_time_less. Keys are
+// LSD-radix-sorted byte-wise (digits whose histogram is concentrated in one
+// bucket are skipped — the top timestamp bytes of a 10-minute slice never
+// vary), then decoded back into the columns; the key is injective, so no
+// separate payload permutation is needed. Runs whose timestamp span and UE
+// range cannot share 61 bits fall back to materialize + sort_events, which
+// preserves the exact-order contract for arbitrary inputs.
+void sort_columns(EventColumns& cols, ColumnSortScratch& scratch);
+
+}  // namespace cpg

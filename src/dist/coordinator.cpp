@@ -636,20 +636,29 @@ DistStats run_merge(const stream::PopulationPlan& plan,
         if (n == 1) {
           deliver_batch(runs[0]);
         } else {
+          // Run-aware merge: rank slices interleave coarsely, so whole
+          // sub-spans move in one insert each instead of per-event pushes.
           merged.clear();
-          stream::k_way_merge(
+          stream::gallop_merge(
               std::span<const std::vector<ControlEvent>>(runs),
-              [&](const ControlEvent& e) { merged.push_back(e); });
+              [&](std::size_t r, std::size_t b, std::size_t e) {
+                merged.insert(merged.end(),
+                              runs[r].begin() + static_cast<std::ptrdiff_t>(b),
+                              runs[r].begin() + static_cast<std::ptrdiff_t>(e));
+              });
           deliver_batch(merged);
         }
       } else {
-        stream::k_way_merge(std::span<const std::vector<ControlEvent>>(runs),
-                            [&](const ControlEvent& e) {
-                              schedule.fire_until(e.t_ms, apply_phase);
-                              pacer.pace(e.t_ms);
-                              sink.on_event(e);
-                              ++out.totals.events;
-                            });
+        stream::gallop_merge(std::span<const std::vector<ControlEvent>>(runs),
+                             [&](std::size_t r, std::size_t b, std::size_t e) {
+                               for (std::size_t i = b; i < e; ++i) {
+                                 const ControlEvent& ev = runs[r][i];
+                                 schedule.fire_until(ev.t_ms, apply_phase);
+                                 pacer.pace(ev.t_ms);
+                                 sink.on_event(ev);
+                                 ++out.totals.events;
+                               }
+                             });
       }
       ++out.totals.slices;
       if (slice_sink != nullptr) slice_sink->on_slice_delivered(k);

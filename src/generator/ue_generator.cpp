@@ -173,8 +173,23 @@ const model::LawRow& UeSliceGenerator::current_row() {
 }
 
 void UeSliceGenerator::emit(TimeMs t, EventType e) {
-  out_->push_back({t, ue_id_, e});
+  if (cols_out_ != nullptr) {
+    cols_out_->push_back(t, ue_id_, e);
+  } else {
+    out_->push_back({t, ue_id_, e});
+  }
   ++emitted_;
+}
+
+// Releases the buffered first event (begin_at already counted it in
+// emitted_) into whichever output is bound.
+void UeSliceGenerator::emit_first() {
+  if (cols_out_ != nullptr) {
+    cols_out_->push_back(first_event_);
+  } else {
+    out_->push_back(first_event_);
+  }
+  pending_first_ = false;
 }
 
 // Samples the first event / start time (paper §5.4). Returns false when
@@ -394,11 +409,10 @@ void UeSliceGenerator::fire_overlay(TimeMs t) {
   schedule_overlay(e);
 }
 
-bool UeSliceGenerator::advance(TimeMs t_limit, std::vector<ControlEvent>& out) {
-  if (done_) return false;
+// Shared advance body; exactly one of out_/cols_out_ is bound by the
+// public overloads around this call.
+bool UeSliceGenerator::run_to(TimeMs t_limit) {
   const TimeMs limit = std::min(t_limit, t_end_);
-  const std::size_t out_before = out.size();
-  out_ = &out;
   bool more = true;
   if (!started_) {
     started_ = true;
@@ -411,31 +425,49 @@ bool UeSliceGenerator::advance(TimeMs t_limit, std::vector<ControlEvent>& out) {
       schedule_overlays();
     }
   }
-  if (!done_ && pending_first_ && first_event_.t_ms < limit) {
-    out_->push_back(first_event_);
-    pending_first_ = false;
-  }
+  if (!done_ && pending_first_ && first_event_.t_ms < limit) emit_first();
   // While pending_first_ holds, the whole UE stream still lies beyond this
   // slice and no timer may fire.
   if (!done_ && !pending_first_) {
     loop(limit);
     more = !done_;
   }
-  out_ = nullptr;
-  if (const GenMetrics* m = options_.metrics) {
-    const std::size_t emitted_now = out.size() - out_before;
-    if (emitted_now > 0) {
-      m->events_by_device[index_of(device_)]->inc(emitted_now);
-    }
-    if (pending_redraws_ > 0) {
-      m->sub_wait_redraws->inc(pending_redraws_);
-      pending_redraws_ = 0;
-    }
-    if (valve_tripped_) {
-      m->max_events_trips->inc();
-      valve_tripped_ = false;
-    }
+  return more;
+}
+
+void UeSliceGenerator::flush_advance_metrics(std::size_t emitted_now) {
+  const GenMetrics* m = options_.metrics;
+  if (m == nullptr) return;
+  if (emitted_now > 0) {
+    m->events_by_device[index_of(device_)]->inc(emitted_now);
   }
+  if (pending_redraws_ > 0) {
+    m->sub_wait_redraws->inc(pending_redraws_);
+    pending_redraws_ = 0;
+  }
+  if (valve_tripped_) {
+    m->max_events_trips->inc();
+    valve_tripped_ = false;
+  }
+}
+
+bool UeSliceGenerator::advance(TimeMs t_limit, std::vector<ControlEvent>& out) {
+  if (done_) return false;
+  const std::size_t out_before = out.size();
+  out_ = &out;
+  const bool more = run_to(t_limit);
+  out_ = nullptr;
+  flush_advance_metrics(out.size() - out_before);
+  return more;
+}
+
+bool UeSliceGenerator::advance(TimeMs t_limit, EventColumns& out) {
+  if (done_) return false;
+  const std::size_t out_before = out.size();
+  cols_out_ = &out;
+  const bool more = run_to(t_limit);
+  cols_out_ = nullptr;
+  flush_advance_metrics(out.size() - out_before);
   return more;
 }
 

@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "model/compiled.h"
 #include "model/semi_markov.h"
@@ -137,6 +138,11 @@ class UeSliceGenerator {
   // may still emit events at or beyond the limit.
   bool advance(TimeMs t_limit, std::vector<ControlEvent>& out);
 
+  // Columnar twin: appends the same events to an SoA buffer instead (the
+  // streaming runtime's per-shard slice buffers). Identical draws, identical
+  // event sequence — only the output layout differs.
+  bool advance(TimeMs t_limit, EventColumns& out);
+
   bool done() const noexcept { return done_; }
   UeId ue_id() const noexcept { return ue_id_; }
   DeviceType device() const noexcept { return device_; }
@@ -154,6 +160,9 @@ class UeSliceGenerator {
   std::uint32_t cluster_for_hour(int hour_of_day) const;
   const model::LawRow& current_row();
   void emit(TimeMs t, EventType e);
+  void emit_first();
+  bool run_to(TimeMs t_limit);
+  void flush_advance_metrics(std::size_t emitted_now);
   bool start_with_first_event();
   bool begin_at(std::int64_t abs_hour, EventType first, double offset_s);
   void schedule_top();
@@ -179,7 +188,9 @@ class UeSliceGenerator {
   UeId ue_id_;
   Rng rng_;
   UeGenOptions options_;
-  std::vector<ControlEvent>* out_ = nullptr;  // valid only inside advance()
+  // Exactly one output is bound inside advance(); both are null outside.
+  std::vector<ControlEvent>* out_ = nullptr;
+  EventColumns* cols_out_ = nullptr;
 
   // Compiled-path law-row cache: a UE's (hour, cluster) row changes only at
   // hour boundaries, so it is re-resolved when now_ crosses row_until_

@@ -62,6 +62,27 @@ void BinarySink::on_events(std::span<const ControlEvent> events) {
   }
 }
 
+void BinarySink::on_event_columns(const EventColumnsView& cols) {
+  if (cols.empty()) return;
+  const bool replay = pending_replay_ && cols.n == replay_size_ &&
+                      cols[0] == replay_first_ &&
+                      cols[cols.n - 1] == replay_last_;
+  pending_replay_ = false;
+  try {
+    if (replay) {
+      writer_->pump();
+    } else {
+      writer_->append(cols);
+    }
+  } catch (...) {
+    pending_replay_ = true;
+    replay_size_ = cols.n;
+    replay_first_ = cols[0];
+    replay_last_ = cols[cols.n - 1];
+    throw;
+  }
+}
+
 void BinarySink::on_finish() {
   if (writer_ == nullptr) {
     throw std::runtime_error("BinarySink: on_finish before on_start");

@@ -40,6 +40,9 @@ class BinarySink final : public EventSink, public CheckpointParticipant {
   void on_start(const StreamHeader& header) override;
   void on_event(const ControlEvent& e) override;
   void on_events(std::span<const ControlEvent> events) override;
+  // Zero-copy path: the columns go straight into the writer's SoA staging
+  // buffer and are block-encoded column-wise — no ControlEvent gather.
+  void on_event_columns(const EventColumnsView& cols) override;
   void on_finish() override;
 
   std::string checkpoint_save() override;

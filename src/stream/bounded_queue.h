@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
@@ -33,10 +34,14 @@ namespace cpg::stream {
 
 struct ShardCheckpoint;  // stream/checkpoint.h
 
-// One shard's events for one time slice, sorted by event_time_less.
+// One shard's events for one time slice, sorted by event_time_less. The
+// events travel as SoA columns (core/event_columns.h): emitted into the
+// buffer by the shard's generators, radix-sorted in place, and consumed
+// column-wise by the merging consumer, which recycles the buffer through a
+// ColumnBufferPool.
 struct SliceBatch {
   std::uint64_t slice = 0;
-  std::vector<ControlEvent> events;
+  EventColumns events;
   // Set by the producer on checkpoint slices: the shard's resumable state
   // at this slice's lower boundary, rendezvoused with the consumer through
   // the queue so no extra synchronization is needed.

@@ -1,0 +1,63 @@
+// Recycling pool for the SoA slice buffers that cross the producer →
+// consumer queues.
+//
+// Without a pool every slice allocates a fresh multi-hundred-KB column
+// buffer on the producer, ships it through the queue, and frees it on the
+// consumer — past glibc's mmap threshold that is an mmap/munmap pair plus
+// kernel page-zeroing per slice, which shows up as several ns/event of pure
+// pipeline overhead. The pool keeps retired buffers (with their grown
+// capacity and already-faulted pages) on a free list; a slice then costs
+// one mutex round-trip per shard instead of one page-fault storm.
+//
+// Thread safety: acquire() and release() take a mutex. Both run once per
+// slice per shard — never per event — so contention is irrelevant; the
+// mutex also carries the release→acquire happens-before edge that hands a
+// buffer's pages from the consumer thread back to a producer thread (the
+// TSan suite drives exactly this path).
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/event_columns.h"
+
+namespace cpg::stream {
+
+class ColumnBufferPool {
+ public:
+  ColumnBufferPool() = default;
+  ColumnBufferPool(const ColumnBufferPool&) = delete;
+  ColumnBufferPool& operator=(const ColumnBufferPool&) = delete;
+
+  // Returns a cleared buffer, reusing a retired one when available.
+  EventColumns acquire() {
+    {
+      std::lock_guard lock(mu_);
+      if (!free_.empty()) {
+        EventColumns cols = std::move(free_.back());
+        free_.pop_back();
+        cols.clear();
+        return cols;
+      }
+    }
+    return EventColumns{};
+  }
+
+  // Retires a buffer; its capacity survives for the next acquire().
+  void release(EventColumns cols) {
+    std::lock_guard lock(mu_);
+    free_.push_back(std::move(cols));
+  }
+
+  std::size_t idle() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EventColumns> free_;
+};
+
+}  // namespace cpg::stream

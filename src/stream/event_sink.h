@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "stream/phase.h"
 
@@ -41,7 +42,23 @@ class EventSink {
   virtual void on_events(std::span<const ControlEvent> events) {
     for (const ControlEvent& e : events) on_event(e);
   }
+  // Columnar delivery: the same events in the same canonical order as the
+  // equivalent on_events span, but as SoA column views straight out of the
+  // runtime's merge buffers. Sinks that consume columns (the cpgt binary
+  // sink, counting) override this and skip the AoS round-trip; everything
+  // else falls back through this materializing shim, which gathers into a
+  // reused scratch vector and forwards to on_events — so a sink written
+  // before columns existed behaves exactly as it always has.
+  virtual void on_event_columns(const EventColumnsView& cols) {
+    if (cols.empty()) return;
+    columns_shim_.clear();
+    cols.materialize(columns_shim_);
+    on_events(columns_shim_);
+  }
   virtual void on_finish() {}
+
+ private:
+  std::vector<ControlEvent> columns_shim_;
 };
 
 // Optional side interface for sinks that can participate in
@@ -105,6 +122,25 @@ void deliver_phased(EventSink& sink, std::span<const ControlEvent> evs,
   if (i < evs.size() || i == 0) sink.on_events(evs.subspan(i));
 }
 
+// Columnar twin of deliver_phased: identical split points (binary search on
+// the timestamp column), identical phase-effect positions, but each span
+// reaches the sink through on_event_columns.
+template <typename Apply>
+void deliver_phased_columns(EventSink& sink, const EventColumnsView& evs,
+                            PhaseSchedule& schedule, Apply&& apply) {
+  std::size_t i = 0;
+  while (schedule.has_pending() && !evs.empty() &&
+         evs.ts[evs.n - 1] >= schedule.next_time()) {
+    const TimeMs* it = std::lower_bound(evs.ts + i, evs.ts + evs.n,
+                                        schedule.next_time());
+    const auto cut = static_cast<std::size_t>(it - evs.ts);
+    if (cut > i) sink.on_event_columns(evs.subview(i, cut - i));
+    schedule.fire_until(*it, apply);
+    i = cut;
+  }
+  if (i < evs.n || i == 0) sink.on_event_columns(evs.subview(i, evs.n - i));
+}
+
 // Adapts a callable; useful for ad-hoc consumers and tests.
 class CallbackSink final : public EventSink {
  public:
@@ -152,6 +188,13 @@ class CountingSink final : public EventSink {
     if (!events.empty()) last_t_ms_ = events.back().t_ms;
   }
 
+  // Columnar fast path: only the 1-byte type column is touched.
+  void on_event_columns(const EventColumnsView& cols) override {
+    for (std::size_t i = 0; i < cols.n; ++i) ++counts_[index_of(cols.type[i])];
+    total_ += cols.n;
+    if (cols.n > 0) last_t_ms_ = cols.ts[cols.n - 1];
+  }
+
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t count(EventType e) const noexcept {
     return counts_[index_of(e)];
@@ -168,6 +211,7 @@ class NullSink final : public EventSink {
  public:
   void on_event(const ControlEvent&) override {}
   void on_events(std::span<const ControlEvent>) override {}
+  void on_event_columns(const EventColumnsView&) override {}
 };
 
 // Broadcasts the stream to several sinks in order (e.g. CSV + live core).
@@ -192,6 +236,11 @@ class FanoutSink final : public EventSink,
   }
   void on_events(std::span<const ControlEvent> events) override {
     for (EventSink* s : sinks_) s->on_events(events);
+  }
+  void on_event_columns(const EventColumnsView& cols) override {
+    // Each child picks its own path: columnar consumers stay zero-copy,
+    // the rest materialize once in their own shim.
+    for (EventSink* s : sinks_) s->on_event_columns(cols);
   }
   void on_finish() override {
     for (EventSink* s : sinks_) s->on_finish();

@@ -1,16 +1,29 @@
-// K-way merge of per-shard sorted event runs through a binary min-heap.
+// K-way merge of per-shard sorted event runs.
 //
 // Events from different shards can never compare equal (a UE lives in
 // exactly one shard and event_time_less breaks ties down to the UE id and
 // event type), so the merged order equals the canonical finalized-Trace
 // order regardless of shard count.
+//
+// Two implementations with the same output order:
+//   - k_way_merge: classic per-event binary min-heap (kept as the
+//     reference and the micro-bench baseline).
+//   - gallop_merge: run-aware. Instead of one heap pop per event it finds
+//     the run with the smallest head, binary-searches (after a galloping
+//     probe) how far that run stays below every other run's head, and hands
+//     the whole sub-span to the caller in one call. Sorted runs that
+//     interleave coarsely — shards covering disjoint UE populations emit
+//     bursts — then cost O(log run) per sub-span instead of O(log k) per
+//     event, and the caller can move the sub-span with column memcpys.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 
 namespace cpg::stream {
@@ -67,6 +80,119 @@ void k_way_merge(std::span<const std::vector<ControlEvent>> runs,
       heap.pop_back();
       if (!heap.empty()) sift_down(0);
     }
+  }
+}
+
+// --- run-aware gallop merge ------------------------------------------------
+
+// Total order key of one event; operator< is exactly event_time_less.
+struct EventKey {
+  TimeMs t_ms;
+  UeId ue_id;
+  std::uint8_t type;
+
+  friend constexpr bool operator<(const EventKey& a,
+                                  const EventKey& b) noexcept {
+    if (a.t_ms != b.t_ms) return a.t_ms < b.t_ms;
+    if (a.ue_id != b.ue_id) return a.ue_id < b.ue_id;
+    return a.type < b.type;
+  }
+  friend constexpr bool operator==(const EventKey& a,
+                                   const EventKey& b) noexcept = default;
+};
+
+// Run accessors: gallop_merge works over AoS runs (the distributed
+// coordinator merges deserialized rank slices) and SoA runs (the in-process
+// consumer merges shard columns) through these two overload sets.
+inline std::size_t run_size(const std::vector<ControlEvent>& r) noexcept {
+  return r.size();
+}
+inline EventKey run_key(const std::vector<ControlEvent>& r,
+                        std::size_t i) noexcept {
+  return EventKey{r[i].t_ms, r[i].ue_id, static_cast<std::uint8_t>(r[i].type)};
+}
+inline std::size_t run_size(const EventColumns& r) noexcept { return r.size(); }
+inline EventKey run_key(const EventColumns& r, std::size_t i) noexcept {
+  return EventKey{r.ts[i], r.ue[i], static_cast<std::uint8_t>(r.type[i])};
+}
+
+// Merges `runs` (each sorted by event_time_less) and invokes
+// `deliver_sub(run_index, begin, end)` with half-open index sub-ranges in
+// globally sorted order. Equal events across runs are delivered lower run
+// index first — the exact tie order k_way_merge's heap produces — so the
+// concatenation of the sub-spans is permutation-identical to the heap
+// merge for any input, duplicates included.
+template <typename Run, typename DeliverSub>
+void gallop_merge(std::span<const Run> runs, DeliverSub&& deliver_sub) {
+  const std::size_t k = runs.size();
+  std::vector<std::size_t> cursor(k, 0);
+  std::vector<std::size_t> active;
+  active.reserve(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    if (run_size(runs[r]) > 0) active.push_back(r);
+  }
+
+  while (!active.empty()) {
+    if (active.size() == 1) {
+      const std::size_t r = active[0];
+      deliver_sub(r, cursor[r], run_size(runs[r]));
+      return;
+    }
+    // Smallest and second-smallest heads; head ties resolve to the smaller
+    // run index, like the heap's strict comparator.
+    std::size_t min_i = 0;
+    EventKey min_key = run_key(runs[active[0]], cursor[active[0]]);
+    std::size_t sec_r = active[1];
+    EventKey sec_key = run_key(runs[active[1]], cursor[active[1]]);
+    if (sec_key < min_key) {
+      min_i = 1;
+      std::swap(min_key, sec_key);
+      sec_r = active[0];
+    }
+    for (std::size_t i = 2; i < active.size(); ++i) {
+      const EventKey key = run_key(runs[active[i]], cursor[active[i]]);
+      if (key < min_key) {
+        sec_key = min_key;
+        sec_r = active[min_i];
+        min_key = key;
+        min_i = i;
+      } else if (key < sec_key) {
+        sec_key = key;
+        sec_r = active[i];
+      }
+    }
+    const std::size_t r = active[min_i];
+    const Run& run = runs[r];
+    const std::size_t size = run_size(run);
+    // Elements equal to the bound still belong to this sub-span when this
+    // run's index is smaller than the bound owner's (heap tie order).
+    const bool incl = r < sec_r;
+    const auto belongs = [&](std::size_t i) {
+      const EventKey key = run_key(run, i);
+      return incl ? !(sec_key < key) : key < sec_key;
+    };
+    // Galloping probe: the head belongs by construction; double the step
+    // until a probe fails (or the run ends), then binary-search the
+    // boundary inside the last interval.
+    std::size_t lo = cursor[r];  // belongs
+    std::size_t step = 1;
+    std::size_t hi = lo + 1;
+    while (hi < size && belongs(hi)) {
+      lo = hi;
+      step <<= 1;
+      hi = lo + step < size ? lo + step : size;
+    }
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (belongs(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    deliver_sub(r, cursor[r], hi);
+    cursor[r] = hi;
+    if (hi == size) active.erase(active.begin() + static_cast<std::ptrdiff_t>(min_i));
   }
 }
 

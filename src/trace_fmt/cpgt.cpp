@@ -218,6 +218,40 @@ void encode_events_block(std::string& out,
   frame_block(out, BlockType::events, payload);
 }
 
+void encode_events_block(std::string& out, const EventColumnsView& events) {
+  if (events.empty()) return;
+  const std::size_t n = events.n;
+  // Same worst-case scratch + patch-the-header scheme as the AoS overload;
+  // each column loop walks one contiguous array.
+  std::string payload;
+  payload.resize(20 + n * 16);
+  char* const base_p = payload.data();
+  const TimeMs base = events.ts[0];
+  char* p = base_p + 20;
+  TimeMs prev = base;
+  for (std::size_t i = 0; i < n; ++i) {
+    p = put_varint_raw(p, zigzag_encode(events.ts[i] - prev));
+    prev = events.ts[i];
+  }
+  const std::size_t ts_bytes = static_cast<std::size_t>(p - (base_p + 20));
+  for (std::size_t i = 0; i < n; ++i) p = put_varint_raw(p, events.ue[i]);
+  const std::size_t ue_bytes =
+      static_cast<std::size_t>(p - (base_p + 20)) - ts_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    *p++ = static_cast<char>(index_of(events.type[i]));
+  }
+  payload.resize(static_cast<std::size_t>(p - base_p));
+
+  std::string head;
+  head.reserve(20);
+  put_u32_le(head, static_cast<std::uint32_t>(n));
+  put_u64_le(head, static_cast<std::uint64_t>(base));
+  put_u32_le(head, static_cast<std::uint32_t>(ts_bytes));
+  put_u32_le(head, static_cast<std::uint32_t>(ue_bytes));
+  payload.replace(0, 20, head);
+  frame_block(out, BlockType::events, payload);
+}
+
 void encode_end_block(std::string& out, std::uint64_t total_events) {
   std::string payload;
   put_u64_le(payload, total_events);

@@ -42,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "core/types.h"
 
@@ -118,6 +119,12 @@ void encode_ues_block(std::string& out, std::span<const DeviceType> devices);
 // skipped (no block emitted).
 void encode_events_block(std::string& out,
                          std::span<const ControlEvent> events);
+
+// Columnar twin: byte-for-byte the same block the AoS overload would emit
+// for the equivalent event sequence, but encoded straight from SoA buffers
+// (the streaming runtime's zero-copy sink path — no gather into
+// ControlEvents in between).
+void encode_events_block(std::string& out, const EventColumnsView& events);
 
 // Appends the end-of-stream block.
 void encode_end_block(std::string& out, std::uint64_t total_events);

@@ -5,10 +5,18 @@
 // caller's buffer. Corruption anywhere — torn tail, flipped bit, foreign
 // magic, newer version — surfaces as a one-line std::runtime_error naming
 // the file and the failure, never as silently wrong events.
+//
+// The file bytes are mmapped read-only (MADV_SEQUENTIAL) rather than read
+// into a heap buffer: block decode then works directly over the page cache,
+// so opening a multi-GB trace costs no up-front copy and cat/validate scans
+// touch each page once. Files mmap cannot handle (empty files, pipes,
+// filesystems without mmap) fall back to a plain read — identical behavior,
+// just buffered.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/trace.h"
@@ -22,6 +30,10 @@ class TraceReader {
   // (which the writer always emits first). Throws std::runtime_error on any
   // malformed input.
   explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
 
   // Decodes the next events block into `out` (replacing its contents).
   // Returns false — with `out` empty — once the end block is reached; the
@@ -34,10 +46,15 @@ class TraceReader {
   // Total events per the end block; valid once next_events returned false.
   std::uint64_t total_events() const noexcept { return total_events_; }
   const std::string& path() const noexcept { return path_; }
+  // True when the file bytes are mmapped (false = read-file fallback).
+  bool mapped() const noexcept { return map_ != nullptr; }
 
  private:
   std::string path_;
-  std::string data_;
+  void* map_ = nullptr;    // mmap base, or null on the fallback path
+  std::size_t map_len_ = 0;
+  std::string buf_;        // fallback storage when mmap is unavailable
+  std::string_view data_;  // the file bytes, whichever way they arrived
   std::size_t pos_ = 0;
   bool done_ = false;
   std::uint64_t fingerprint_ = 0;

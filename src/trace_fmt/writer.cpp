@@ -97,7 +97,16 @@ void TraceWriter::append(std::span<const ControlEvent> events) {
   if (finished_) {
     throw std::logic_error(path_ + ": append() after finish()");
   }
-  pending_.insert(pending_.end(), events.begin(), events.end());
+  pending_.append(events);
+  events_appended_ += events.size();
+  pump();
+}
+
+void TraceWriter::append(const EventColumnsView& events) {
+  if (finished_) {
+    throw std::logic_error(path_ + ": append() after finish()");
+  }
+  pending_.append(events);
   events_appended_ += events.size();
   pump();
 }
@@ -130,8 +139,7 @@ void TraceWriter::finish() {
 
 void TraceWriter::write_block(std::size_t n) {
   out_buf_.clear();
-  encode_events_block(
-      out_buf_, std::span<const ControlEvent>(pending_.data() + consumed_, n));
+  encode_events_block(out_buf_, pending_.view().subview(consumed_, n));
   write_buf();
   consumed_ += n;
   events_committed_ += n;

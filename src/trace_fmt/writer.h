@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "core/types.h"
 
@@ -55,6 +56,12 @@ class TraceWriter {
   // Buffers `events`, cutting and writing full blocks as the buffer fills.
   void append(std::span<const ControlEvent> events);
 
+  // Columnar twin: buffers the same events with three column memcpys and
+  // encodes blocks straight from the SoA buffer. Byte-identical output to
+  // the AoS overload for the same event sequence; the two may be mixed
+  // freely on one writer.
+  void append(const EventColumnsView& events);
+
   // Retries writing already-buffered events without appending anything new
   // (the resilient sink calls this when it re-delivers a span whose first
   // attempt failed after buffering).
@@ -87,7 +94,7 @@ class TraceWriter {
   std::size_t block_events_;
   std::uint64_t fingerprint_ = 0;
 
-  std::vector<ControlEvent> pending_;
+  EventColumns pending_;
   std::size_t consumed_ = 0;  // prefix of pending_ already written
   std::string out_buf_;
 

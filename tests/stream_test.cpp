@@ -214,7 +214,9 @@ TEST(Stream, EmptyPopulationStillOpensAndClosesStream) {
 SliceBatch make_batch(std::uint64_t slice, std::size_t n) {
   SliceBatch b;
   b.slice = slice;
-  b.events.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.events.push_back(0, static_cast<UeId>(i), EventType::atch);
+  }
   return b;
 }
 

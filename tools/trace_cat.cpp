@@ -88,7 +88,9 @@ int info(const std::string& in) {
   std::cout << "file:        " << in << "\n"
             << "version:     " << trace_fmt::k_version << "\n"
             << "fingerprint: " << reader.fingerprint() << "\n"
-            << "ues:         " << reader.devices().size() << "\n";
+            << "ues:         " << reader.devices().size() << "\n"
+            << "read via:    " << (reader.mapped() ? "mmap" : "buffered")
+            << "\n";
   std::vector<ControlEvent> block;
   std::uint64_t blocks = 0;
   TimeMs t_first = 0, t_last = 0;

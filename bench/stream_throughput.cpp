@@ -309,11 +309,12 @@ int main(int argc, char** argv) {
     const Trace trace = gen::generate_trace(models, request);
     const std::span<const ControlEvent> all = trace.events();
 
-    std::printf("\n%-10s %6s %14s %14s %14s %9s\n", "merge", "k", "events",
-                "heap ev/s", "gallop ev/s", "speedup");
+    std::printf("\n%-10s %6s %14s %14s %14s %14s %9s\n", "merge", "k",
+                "events", "heap ev/s", "gallop ev/s", "loser ev/s",
+                "speedup");
     json << "\n  \"merge_microbench\": [";
     bool first_k = true;
-    for (const std::size_t k : {1u, 2u, 4u, 16u}) {
+    for (const std::size_t k : {1u, 2u, 4u, 16u, 32u}) {
       std::vector<std::vector<ControlEvent>> runs(k);
       for (const ControlEvent& e : all) runs[e.ue_id % k].push_back(e);
 
@@ -340,9 +341,22 @@ int main(int argc, char** argv) {
         stream::k_way_merge(std::span<const std::vector<ControlEvent>>(runs),
                             [&](const ControlEvent& e) { out.push_back(e); });
       });
+      // Both variants forced explicitly (production gallop_merge dispatches
+      // to the loser tree at k >= k_loser_tree_min_runs; the bench keeps
+      // the raw curves visible so the crossover stays honest).
       const double gallop_s = time_merge([&] {
         out.clear();
         stream::gallop_merge(
+            std::span<const std::vector<ControlEvent>>(runs),
+            [&](std::size_t r, std::size_t b, std::size_t e) {
+              out.insert(out.end(), runs[r].begin() + std::ptrdiff_t(b),
+                         runs[r].begin() + std::ptrdiff_t(e));
+            },
+            /*loser_tree_min_runs=*/SIZE_MAX);
+      });
+      const double loser_s = time_merge([&] {
+        out.clear();
+        stream::loser_tree_merge(
             std::span<const std::vector<ControlEvent>>(runs),
             [&](std::size_t r, std::size_t b, std::size_t e) {
               out.insert(out.end(), runs[r].begin() + std::ptrdiff_t(b),
@@ -352,13 +366,19 @@ int main(int argc, char** argv) {
       const double heap_eps = heap_s > 0 ? double(all.size()) / heap_s : 0.0;
       const double gallop_eps =
           gallop_s > 0 ? double(all.size()) / gallop_s : 0.0;
-      const double speedup = gallop_s > 0 ? heap_s / gallop_s : 0.0;
-      std::printf("%-10s %6zu %14zu %14.0f %14.0f %8.2fx\n", "", k,
-                  all.size(), heap_eps, gallop_eps, speedup);
+      const double loser_eps =
+          loser_s > 0 ? double(all.size()) / loser_s : 0.0;
+      // Speedup of what production dispatch picks at this k, vs the heap.
+      const double picked_s =
+          k >= stream::k_loser_tree_min_runs ? loser_s : gallop_s;
+      const double speedup = picked_s > 0 ? heap_s / picked_s : 0.0;
+      std::printf("%-10s %6zu %14zu %14.0f %14.0f %14.0f %8.2fx\n", "", k,
+                  all.size(), heap_eps, gallop_eps, loser_eps, speedup);
       json << (first_k ? "" : ",") << "\n    {\"k\": " << k
            << ", \"events\": " << all.size()
            << ", \"heap_events_per_sec\": " << std::uint64_t(heap_eps)
            << ", \"gallop_events_per_sec\": " << std::uint64_t(gallop_eps)
+           << ", \"loser_events_per_sec\": " << std::uint64_t(loser_eps)
            << ", \"speedup\": " << speedup << "}";
       first_k = false;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -35,6 +36,21 @@ constexpr int k_manifest_version = 1;
   throw std::runtime_error("dist: " + what);
 }
 
+// A failure attributable to one rank — the unit the supervisor can heal.
+// Thrown only inside run_merge and always caught there: unsupervised it is
+// converted to the classic fail() error, supervised it triggers a
+// kill/respawn/replay cycle.
+struct RankFailure {
+  unsigned rank = 0;
+  std::string message;  // full "rank r ..." text
+  bool hung = false;
+};
+
+[[noreturn]] void fail_rank(unsigned rank, const std::string& message,
+                            bool hung = false) {
+  throw RankFailure{rank, message, hung};
+}
+
 [[noreturn]] void manifest_fail(const std::string& what,
                                 const std::string& path) {
   throw std::runtime_error("dist manifest: " + what + " [" + path + "]");
@@ -50,7 +66,8 @@ struct RankItem {
     obs,
     finish,
     eof,
-    error
+    error,
+    hung  // heartbeat deadline expired: no frames for the silence window
   };
   Kind kind = Kind::error;
   std::vector<ControlEvent> events;
@@ -119,20 +136,68 @@ class RankQueue {
 // Reader thread: turns one rank's frame stream into typed queue items.
 // Protocol violations become error items (the merge loop reports them);
 // the thread itself never throws out.
+//
+// With deadline_ms > 0 the reader polls the transport in poll_ms windows,
+// accumulating silence. Any frame — heartbeats included — resets the
+// silence clock and the rank's lag gauge; silence >= deadline_ms pushes a
+// hung item and ends the thread. Heartbeat frames themselves never reach
+// the queue: they prove liveness and carry nothing else.
 void reader_loop(RankTransport& transport, unsigned rank, unsigned num_ranks,
-                 RankQueue& queue) {
+                 RankQueue& queue, int deadline_ms, int poll_ms,
+                 obs::Gauge* lag) {
   auto push_error = [&](const std::string& msg) {
     RankItem it;
     it.kind = RankItem::Kind::error;
     it.text = msg;
     queue.push(std::move(it));
   };
-  try {
-    auto hello = transport.recv();
-    if (!hello.has_value()) {
-      RankItem it;
+  bool hung = false;
+  // Next non-heartbeat frame; nullopt = EOF, or hang when `hung` got set.
+  auto next_frame = [&]() -> std::optional<Frame> {
+    if (deadline_ms <= 0) {
+      while (true) {
+        auto f = transport.recv();
+        if (f.has_value() && f->type == FrameType::heartbeat) continue;
+        return f;
+      }
+    }
+    int silent = 0;
+    std::optional<Frame> f;
+    while (true) {
+      const int window = std::max(1, std::min(poll_ms, deadline_ms));
+      const RecvStatus s = transport.recv_timed(f, window);
+      if (s == RecvStatus::eof) {
+        if (lag != nullptr) lag->set(0);
+        return std::nullopt;
+      }
+      if (s == RecvStatus::frame) {
+        silent = 0;
+        if (lag != nullptr) lag->set(0);
+        if (f->type == FrameType::heartbeat) continue;
+        return f;
+      }
+      silent += window;
+      if (lag != nullptr) lag->set(silent);
+      if (silent >= deadline_ms) {
+        hung = true;
+        return std::nullopt;
+      }
+    }
+  };
+  auto push_silence = [&] {
+    RankItem it;
+    if (hung) {
+      it.kind = RankItem::Kind::hung;
+      it.text = "no frames for " + std::to_string(deadline_ms) + " ms";
+    } else {
       it.kind = RankItem::Kind::eof;
-      queue.push(std::move(it));
+    }
+    queue.push(std::move(it));
+  };
+  try {
+    auto hello = next_frame();
+    if (!hello.has_value()) {
+      push_silence();
       return;
     }
     if (hello->type != FrameType::hello) {
@@ -153,11 +218,10 @@ void reader_loop(RankTransport& transport, unsigned rank, unsigned num_ranks,
       return;
     }
     while (true) {
-      auto f = transport.recv();
+      auto f = next_frame();
       RankItem it;
       if (!f.has_value()) {
-        it.kind = RankItem::Kind::eof;
-        queue.push(std::move(it));
+        push_silence();
         return;
       }
       switch (f->type) {
@@ -191,6 +255,8 @@ void reader_loop(RankTransport& transport, unsigned rank, unsigned num_ranks,
         case FrameType::hello:
           push_error("duplicate hello");
           return;
+        case FrameType::heartbeat:
+          continue;  // filtered by next_frame; defensive
       }
       if (!queue.push(std::move(it))) return;  // coordinator shut down
     }
@@ -206,7 +272,10 @@ struct DistInstruments {
   obs::Counter* delivered_slices = nullptr;
   obs::Counter* checkpoints = nullptr;
   obs::Gauge* last_checkpoint_slice = nullptr;
+  obs::Counter* restarts = nullptr;
+  obs::Counter* degraded_ms = nullptr;
   std::vector<obs::Counter*> rank_events;
+  std::vector<obs::Gauge*> rank_lag;
 
   DistInstruments(obs::Registry& reg, unsigned ranks) {
     delivered_events =
@@ -221,12 +290,25 @@ struct DistInstruments {
     last_checkpoint_slice =
         &reg.gauge("cpg_dist_last_checkpoint_slice",
                    "Slice watermark of the most recent committed manifest");
+    restarts =
+        &reg.counter("cpg_dist_restarts_total",
+                     "Worker ranks killed and respawned by the supervisor");
+    degraded_ms = &reg.counter(
+        "cpg_dist_degraded_ms_total",
+        "Milliseconds the merge spent healing (failure detected to replay "
+        "caught up)");
     rank_events.resize(ranks);
+    rank_lag.resize(ranks);
     for (unsigned r = 0; r < ranks; ++r) {
       rank_events[r] =
           &reg.counter("cpg_dist_rank_events_total",
                        "Events received from one worker rank",
                        {{"rank", std::to_string(r)}});
+      rank_lag[r] = &reg.gauge(
+          "cpg_dist_heartbeat_lag_ms",
+          "Milliseconds since the last frame (heartbeats included) from "
+          "one worker rank",
+          {{"rank", std::to_string(r)}});
     }
   }
 };
@@ -413,6 +495,13 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   auto* phase_sink = dynamic_cast<stream::PhaseListener*>(&sink);
   auto* slice_sink = dynamic_cast<stream::SliceListener*>(&sink);
 
+  const SuperviseOptions& sup = options.supervise;
+  if (sup.enabled && options.control == nullptr) {
+    throw std::invalid_argument(
+        "dist: supervision requires a RankControl (respawn seam)");
+  }
+  const int deadline_ms = sup.enabled ? sup.heartbeat_deadline_ms : 0;
+
   const stream::StreamHeader header{plan.device_of, t_begin, t_end};
   if (options.resume.has_value() && participant != nullptr) {
     participant->checkpoint_resume(options.resume->sink_token, header);
@@ -493,27 +582,50 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   out.totals.num_ues = total_ues;
   out.ranks.resize(n);
 
-  std::vector<std::unique_ptr<RankQueue>> queues;
-  queues.reserve(n);
-  for (unsigned r = 0; r < n; ++r) {
-    queues.push_back(
-        std::make_unique<RankQueue>(options.stream.max_buffered_events));
-  }
-  std::vector<std::thread> readers;
-  readers.reserve(n);
-  for (unsigned r = 0; r < n; ++r) {
-    readers.emplace_back(reader_loop, std::ref(*ranks[r]), r, n,
-                         std::ref(*queues[r]));
-  }
+  // `live` holds the current incarnation of each rank's transport; a heal
+  // swaps in the respawned one. Queue and reader slots are swapped with it.
+  std::vector<RankTransport*> live(ranks);
+  std::vector<std::unique_ptr<RankQueue>> queues(n);
+  std::vector<std::thread> readers(n);
+  auto spawn_reader = [&](unsigned r) {
+    queues[r] =
+        std::make_unique<RankQueue>(options.stream.max_buffered_events);
+    obs::Gauge* lag = ins ? ins->rank_lag[r] : nullptr;
+    readers[r] = std::thread(reader_loop, std::ref(*live[r]), r, n,
+                             std::ref(*queues[r]), deadline_ms, sup.poll_ms,
+                             lag);
+  };
+  for (unsigned r = 0; r < n; ++r) spawn_reader(r);
 
   std::vector<std::vector<ControlEvent>> runs(n);
   std::vector<std::optional<std::string>> pending_ck(n);
   std::vector<ControlEvent> merged;
 
+  // Per-incarnation event accounting: everything the *current* incarnation
+  // of a rank emitted was either delivered (merged into the sink) or
+  // discarded as checkpoint replay. Its finish stats must account for
+  // exactly that sum — the distributed analogue of the single-process
+  // merged-vs-generated cross-check, and the proof the replay dedupe
+  // dropped neither too little nor too much.
+  std::vector<std::uint64_t> cur_delivered(n, 0);
+  std::vector<std::uint64_t> cur_discarded(n, 0);
+  // Events merged from incarnations that later died (they stay part of the
+  // delivered stream; their replacement replays past them).
+  std::uint64_t retired_delivered = 0;
+  // Watermark of the last committed distributed checkpoint — where a
+  // respawned rank resumes from. nullopt = none: respawn regenerates from
+  // the start of the run.
+  std::optional<std::uint64_t> committed_w;
+  if (options.resume.has_value()) committed_w = options.resume->watermark;
+  std::vector<unsigned> rank_restarts(n, 0);
+
   auto rank_tag = [](unsigned r) { return "rank " + std::to_string(r); };
 
   // Pops rank r's queue until slice k's slice_end, accumulating its events
-  // into runs[r] and stashing an in-band checkpoint part.
+  // into runs[r] and stashing an in-band checkpoint part. Rank-attributable
+  // failures throw RankFailure — the caller heals or converts to a fatal
+  // error; only a coordinator-side shutdown ("pipeline closed") stays a
+  // plain failure.
   auto collect_slice = [&](unsigned r, std::uint64_t k) {
     runs[r].clear();
     std::uint64_t count = 0;
@@ -522,22 +634,26 @@ DistStats run_merge(const stream::PopulationPlan& plan,
       if (!item.has_value()) fail(rank_tag(r) + " pipeline closed");
       switch (item->kind) {
         case RankItem::Kind::error:
-          fail(rank_tag(r) + " failed: " + item->text);
+          fail_rank(r, rank_tag(r) + " failed: " + item->text);
         case RankItem::Kind::eof:
-          fail(rank_tag(r) + " stream ended before slice " +
-               std::to_string(k));
+          fail_rank(r, rank_tag(r) + " stream ended before slice " +
+                           std::to_string(k));
+        case RankItem::Kind::hung:
+          fail_rank(r, rank_tag(r) + " hung: " + item->text, true);
         case RankItem::Kind::finish:
-          fail(rank_tag(r) + " finished before slice " + std::to_string(k));
+          fail_rank(r, rank_tag(r) + " finished before slice " +
+                           std::to_string(k));
         case RankItem::Kind::obs:
-          fail(rank_tag(r) + " sent obs mid-stream");
+          fail_rank(r, rank_tag(r) + " sent obs mid-stream");
         case RankItem::Kind::checkpoint:
           if (pending_ck[r].has_value()) {
-            fail(rank_tag(r) + " sent a duplicate checkpoint");
+            fail_rank(r, rank_tag(r) + " sent a duplicate checkpoint");
           }
           if (item->ck_watermark != k) {
-            fail(rank_tag(r) + " checkpoint watermark " +
-                 std::to_string(item->ck_watermark) +
-                 " arrived out of order at slice " + std::to_string(k));
+            fail_rank(r, rank_tag(r) + " checkpoint watermark " +
+                             std::to_string(item->ck_watermark) +
+                             " arrived out of order at slice " +
+                             std::to_string(k));
           }
           pending_ck[r] = std::move(item->text);
           break;
@@ -552,17 +668,159 @@ DistStats run_merge(const stream::PopulationPlan& plan,
           break;
         case RankItem::Kind::slice_end:
           if (item->slice_end.slice != k) {
-            fail(rank_tag(r) + " slice out of order (got " +
-                 std::to_string(item->slice_end.slice) + ", expected " +
-                 std::to_string(k) + ")");
+            fail_rank(r, rank_tag(r) + " slice out of order (got " +
+                             std::to_string(item->slice_end.slice) +
+                             ", expected " + std::to_string(k) + ")");
           }
           if (item->slice_end.events != count) {
-            fail(rank_tag(r) + " torn slice " + std::to_string(k) +
-                 ": received " + std::to_string(count) + " events, header "
-                 "says " + std::to_string(item->slice_end.events));
+            fail_rank(r, rank_tag(r) + " torn slice " + std::to_string(k) +
+                             ": received " + std::to_string(count) +
+                             " events, header says " +
+                             std::to_string(item->slice_end.events));
           }
           return;
       }
+    }
+  };
+
+  // Consumes and validates the respawned rank's replayed slices
+  // [from, to) without delivering anything — the replay-mark dedupe at the
+  // sink boundary: workers are deterministic, so the replayed events are
+  // byte-identical to what already reached the sink before the failure, and
+  // dropping them here keeps the merged output byte-identical to an
+  // unfaulted run. Checkpoint frames for already-committed watermarks are
+  // dropped with the events.
+  auto discard_replay = [&](unsigned r, std::uint64_t from, std::uint64_t to) {
+    for (std::uint64_t s = from; s < to; ++s) {
+      std::uint64_t count = 0;
+      bool done = false;
+      while (!done) {
+        auto item = queues[r]->pop();
+        if (!item.has_value()) fail(rank_tag(r) + " pipeline closed");
+        switch (item->kind) {
+          case RankItem::Kind::error:
+            fail_rank(r, rank_tag(r) + " failed during replay: " + item->text);
+          case RankItem::Kind::eof:
+            fail_rank(r, rank_tag(r) + " stream ended during replay of "
+                             "slice " + std::to_string(s));
+          case RankItem::Kind::hung:
+            fail_rank(r, rank_tag(r) + " hung during replay: " + item->text,
+                      true);
+          case RankItem::Kind::finish:
+          case RankItem::Kind::obs:
+            fail_rank(r, rank_tag(r) + " truncated its replay at slice " +
+                             std::to_string(s));
+          case RankItem::Kind::checkpoint:
+            if (item->ck_watermark >= to) {
+              fail_rank(r, rank_tag(r) + " replay checkpoint watermark " +
+                               std::to_string(item->ck_watermark) +
+                               " reaches past the replay window");
+            }
+            break;  // superseded by the committed checkpoint: drop
+          case RankItem::Kind::events:
+            count += item->events.size();
+            cur_discarded[r] += item->events.size();
+            break;
+          case RankItem::Kind::slice_end:
+            if (item->slice_end.slice != s) {
+              fail_rank(r, rank_tag(r) + " replay slice out of order (got " +
+                               std::to_string(item->slice_end.slice) +
+                               ", expected " + std::to_string(s) + ")");
+            }
+            if (item->slice_end.events != count) {
+              fail_rank(r, rank_tag(r) + " torn replay slice " +
+                               std::to_string(s));
+            }
+            done = true;
+            break;
+        }
+      }
+    }
+  };
+
+  // Heals a rank failure: kill and reap just that rank, roll its stream
+  // back to the last committed distributed checkpoint, respawn it through
+  // the RankControl and discard the replayed slices so the merge resumes at
+  // `target_k` as if nothing happened. Loops because the replacement can
+  // itself fail mid-replay (each attempt consumes restart budget). Throws
+  // std::runtime_error when supervision is off or the budget runs out.
+  auto heal = [&](RankFailure f, std::uint64_t target_k) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      if (!sup.enabled || options.control == nullptr) fail(f.message);
+      if (out.restarts >= sup.max_restarts) {
+        const std::string msg =
+            "restart budget exhausted (" + std::to_string(sup.max_restarts) +
+            " restart" + (sup.max_restarts == 1 ? "" : "s") +
+            " used); last failure: " + f.message;
+        if (sup.on_incident) {
+          Incident inc;
+          inc.rank = f.rank;
+          inc.restart = out.restarts;
+          inc.slice = target_k;
+          inc.hung = f.hung;
+          inc.cause = msg;
+          sup.on_incident(inc);
+        }
+        fail(msg);
+      }
+      const unsigned r = f.rank;
+      ++out.restarts;
+      ++rank_restarts[r];
+      if (ins) ins->restarts->inc();
+
+      // Tear down the failed incarnation: unblock and retire its reader,
+      // then reap the process (SIGKILL — also the only way out of a hang).
+      live[r]->abort();
+      queues[r]->close();
+      readers[r].join();
+      options.control->kill_rank(r);
+      runs[r].clear();
+      pending_ck[r].reset();
+      retired_delivered += cur_delivered[r];
+      cur_delivered[r] = 0;
+      cur_discarded[r] = 0;
+
+      const std::uint64_t replay_from = committed_w.value_or(0);
+      Incident inc;
+      inc.rank = r;
+      inc.restart = out.restarts;
+      inc.slice = target_k;
+      inc.replay_from = replay_from;
+      inc.hung = f.hung;
+      inc.cause = f.message;
+      out.incidents.push_back(inc);
+      if (sup.on_incident) sup.on_incident(inc);
+
+      // Exponential backoff per rank: a crash-looping rank slows down, a
+      // first-time failure respawns almost immediately.
+      const int shift = static_cast<int>(
+          std::min<unsigned>(rank_restarts[r] - 1, 20));
+      const long long backoff = std::min<long long>(
+          sup.backoff_cap_ms,
+          static_cast<long long>(sup.backoff_base_ms) << shift);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+
+      const std::string resume_dir =
+          committed_w.has_value() && !ck_dir.empty()
+              ? rank_checkpoint_dir(ck_dir, *committed_w, r)
+              : std::string();
+      live[r] = options.control->respawn(r, resume_dir);
+      spawn_reader(r);
+      try {
+        discard_replay(r, replay_from, target_k);
+        break;
+      } catch (RankFailure& again) {
+        f = std::move(again);  // replacement failed too: loop, spend budget
+      }
+    }
+    if (ins) {
+      const auto healed = std::chrono::steady_clock::now();
+      ins->degraded_ms->inc(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(healed - t0)
+              .count()));
     }
   };
 
@@ -606,6 +864,7 @@ DistStats run_merge(const stream::PopulationPlan& plan,
       }
     }
     ++out.totals.checkpoints_written;
+    committed_w = k;
     if (ins) {
       ins->checkpoints->inc();
       ins->last_checkpoint_slice->set(static_cast<std::int64_t>(k));
@@ -618,14 +877,43 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   };
 
   std::exception_ptr err;
+  bool stopping = false;
   try {
     for (std::uint64_t k = start_slice; k < num_slices; ++k) {
-      for (unsigned r = 0; r < n; ++r) collect_slice(r, k);
+      // Graceful stop mirrors the single-process runtime: without a
+      // checkpoint directory, stop at this slice boundary; with one, keep
+      // merging until the next distributed checkpoint commits (all rank
+      // parts arrive on the shared cadence), keep it as the resume point,
+      // and stop without delivering its watermark slice.
+      if (!stopping && options.stream.stop_check &&
+          options.stream.stop_check()) {
+        stopping = true;
+        if (ck_dir.empty()) {
+          out.totals.stopped = true;
+          break;
+        }
+      }
+      for (unsigned r = 0; r < n; ++r) {
+        while (true) {
+          try {
+            collect_slice(r, k);
+            break;
+          } catch (RankFailure& f) {
+            heal(std::move(f), k);
+          }
+        }
+      }
       const auto ck_parts = static_cast<unsigned>(
           std::count_if(pending_ck.begin(), pending_ck.end(),
                         [](const auto& p) { return p.has_value(); }));
       if (ck_parts == n) {
         commit_checkpoint(k);
+        if (stopping) {
+          // The committed watermark is k; delivering slice k now would
+          // double it on resume.
+          out.totals.stopped = true;
+          break;
+        }
       } else if (ck_parts != 0) {
         fail("inconsistent rank checkpoints at slice " + std::to_string(k) +
              " (" + std::to_string(ck_parts) + " of " + std::to_string(n) +
@@ -670,6 +958,7 @@ DistStats run_merge(const stream::PopulationPlan& plan,
           ins->rank_events[r]->inc(runs[r].size());
         }
       }
+      for (unsigned r = 0; r < n; ++r) cur_delivered[r] += runs[r].size();
       for (auto& run : runs) run.clear();
       if (scenario) {
         const bool last = k + 1 == num_slices;
@@ -702,33 +991,54 @@ DistStats run_merge(const stream::PopulationPlan& plan,
 
     // Trailer per rank: optional obs snapshot, then finish. The reader may
     // still be blocked waiting for EOF afterwards — the shutdown below
-    // aborts the transports to release it.
-    for (unsigned r = 0; r < n; ++r) {
-      bool have_obs = false;
+    // aborts the transports to release it. The obs snapshot is merged only
+    // once finish arrives, so a rank that dies between the two and gets
+    // respawned never double-counts its metrics.
+    auto collect_trailer = [&](unsigned r) {
+      std::optional<std::string> obs_text;
       while (true) {
         auto item = queues[r]->pop();
         if (!item.has_value()) fail(rank_tag(r) + " pipeline closed");
         if (item->kind == RankItem::Kind::error) {
-          fail(rank_tag(r) + " failed: " + item->text);
+          fail_rank(r, rank_tag(r) + " failed: " + item->text);
         }
         if (item->kind == RankItem::Kind::eof) {
-          fail(rank_tag(r) + " stream ended before finish");
+          fail_rank(r, rank_tag(r) + " stream ended before finish");
+        }
+        if (item->kind == RankItem::Kind::hung) {
+          fail_rank(r, rank_tag(r) + " hung: " + item->text, true);
         }
         if (item->kind == RankItem::Kind::obs) {
-          if (have_obs) fail(rank_tag(r) + " sent a duplicate obs snapshot");
-          have_obs = true;
-          if (options.stream.metrics != nullptr) {
-            obs::merge_snapshot(*options.stream.metrics,
-                                obs::parse_snapshot(item->text),
-                                {{"rank", std::to_string(r)}});
+          if (obs_text.has_value()) {
+            fail_rank(r, rank_tag(r) + " sent a duplicate obs snapshot");
           }
+          obs_text = std::move(item->text);
           continue;
         }
         if (item->kind == RankItem::Kind::finish) {
           out.ranks[r] = item->stats;
-          break;
+          if (obs_text.has_value() && options.stream.metrics != nullptr) {
+            obs::merge_snapshot(*options.stream.metrics,
+                                obs::parse_snapshot(*obs_text),
+                                {{"rank", std::to_string(r)}});
+          }
+          return;
         }
-        fail(rank_tag(r) + " sent an unexpected frame after its last slice");
+        fail_rank(r,
+                  rank_tag(r) + " sent an unexpected frame after its last "
+                  "slice");
+      }
+    };
+    if (!out.totals.stopped) {
+      for (unsigned r = 0; r < n; ++r) {
+        while (true) {
+          try {
+            collect_trailer(r);
+            break;
+          } catch (RankFailure& f) {
+            heal(std::move(f), num_slices);
+          }
+        }
       }
     }
   } catch (...) {
@@ -738,19 +1048,32 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   // Shutdown (both paths): aborting the transports releases readers blocked
   // in recv and workers blocked in send; closing the queues releases a
   // reader blocked on backpressure. Joins then always complete.
-  for (RankTransport* t : ranks) t->abort();
+  for (RankTransport* t : live) t->abort();
   for (auto& q : queues) q->close();
   for (auto& th : readers) th.join();
   if (err) std::rethrow_exception(err);
 
-  std::uint64_t rank_total = 0;
+  std::uint64_t rank_total = retired_delivered;
   for (unsigned r = 0; r < n; ++r) {
-    rank_total += out.ranks[r].events;
+    // Each current incarnation's generated events were either merged or
+    // discarded as checkpoint replay; any other split lost or duplicated
+    // events. (Without restarts this reduces to delivered == generated.)
+    // A graceful stop skips the accounting: ranks never sent their finish
+    // stats, and undelivered in-flight slices are expected.
+    if (!out.totals.stopped) {
+      if (out.ranks[r].events != cur_delivered[r] + cur_discarded[r]) {
+        fail(rank_tag(r) + " generated " +
+             std::to_string(out.ranks[r].events) + " events but " +
+             std::to_string(cur_delivered[r]) + " were merged and " +
+             std::to_string(cur_discarded[r]) + " discarded as replay");
+      }
+      rank_total += cur_delivered[r];
+    }
     out.totals.num_shards += out.ranks[r].num_shards;
     out.totals.peak_buffered_events =
         std::max(out.totals.peak_buffered_events, queues[r]->peak());
   }
-  if (rank_total != out.totals.events) {
+  if (!out.totals.stopped && rank_total != out.totals.events) {
     fail("merged event count " + std::to_string(out.totals.events) +
          " disagrees with rank totals " + std::to_string(rank_total));
   }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,6 +67,62 @@ std::optional<DistManifest> prepare_resume(const std::string& dir,
                                            unsigned num_ranks,
                                            TimeMs slice_ms);
 
+// One line of the supervisor's incident log: a rank died or hung and was
+// (or could not be) healed.
+struct Incident {
+  unsigned rank = 0;
+  unsigned restart = 0;           // 1-based restart ordinal (global budget)
+  std::uint64_t slice = 0;        // slice the merge was collecting
+  std::uint64_t replay_from = 0;  // watermark the respawned rank resumes at
+  bool hung = false;              // heartbeat deadline (vs death/torn stream)
+  std::string cause;              // one-line failure description
+};
+
+// Process-control seam the supervisor heals through. The fork/exec launcher
+// implements it over real worker processes (dist/launch.h); the tests
+// implement it over in-process worker threads.
+class RankControl {
+ public:
+  virtual ~RankControl() = default;
+
+  // Forcibly terminates rank `rank` and reaps it. Must be idempotent and
+  // safe on an already-dead rank (the common case: the rank crashed and the
+  // supervisor is cleaning up).
+  virtual void kill_rank(unsigned rank) = 0;
+
+  // Starts a fresh incarnation of rank `rank`, resuming from `resume_dir`
+  // (a rank_checkpoint_dir of the last committed distributed checkpoint;
+  // empty = regenerate from the start of the run — workers are
+  // deterministic, so replay is byte-identical either way). Returns the new
+  // incarnation's transport; the control retains ownership. Throws on
+  // spawn failure (the supervisor gives up: respawn failure is not a
+  // budget-countable rank fault).
+  virtual RankTransport* respawn(unsigned rank,
+                                 const std::string& resume_dir) = 0;
+};
+
+// Self-healing policy (--supervise). Default-constructed = disabled: any
+// rank failure aborts the run exactly as before.
+struct SuperviseOptions {
+  bool enabled = false;
+  // Total respawns allowed across all ranks before the run fails with a
+  // budget-exhaustion error.
+  unsigned max_restarts = 3;
+  // > 0: declare a rank hung after this many ms without a single frame
+  // (heartbeats count — workers send them every heartbeat_ms, so a healthy
+  // but compute-bound rank never trips this). 0: hang detection off; only
+  // death (EOF / torn stream / error frame) is healed.
+  int heartbeat_deadline_ms = 0;
+  // Granularity of the reader's silence polling (tests shrink it).
+  int poll_ms = 50;
+  // Respawn backoff: min(cap, base << (per-rank restarts so far)) ms.
+  int backoff_base_ms = 100;
+  int backoff_cap_ms = 5000;
+  // Structured incident log, invoked once per heal attempt (and once for
+  // the final budget-exhaustion failure) from the merge thread.
+  std::function<void(const Incident&)> on_incident;
+};
+
 struct CoordinatorOptions {
   // Coordinator-side knobs reused from the single-process runtime: clock /
   // accel_factor (pacing of the merged stream), slice_ms (must match the
@@ -77,6 +134,9 @@ struct CoordinatorOptions {
   // Set from prepare_resume to continue a committed distributed checkpoint;
   // workers must have been started with the matching resume_dir.
   std::optional<DistManifest> resume;
+  // Self-healing: requires `control` when enabled.
+  SuperviseOptions supervise;
+  RankControl* control = nullptr;
 };
 
 struct DistStats {
@@ -85,14 +145,22 @@ struct DistStats {
   // distributed checkpoints, num_shards the sum over ranks.
   stream::StreamStats totals;
   std::vector<stream::StreamStats> ranks;  // each rank's finish stats
+  unsigned restarts = 0;                   // supervisor respawns performed
+  std::vector<Incident> incidents;         // one entry per respawn
 };
 
 // Merges the rank streams of `plan` from `ranks` (one connected transport
 // per rank, index = rank id) into `sink`. Blocks until every rank finished
 // and the merged stream is fully delivered. On a rank failure (error frame,
-// premature EOF, torn or out-of-order stream) every transport is aborted,
-// reader threads are joined and std::runtime_error names the rank; a sink
-// exception shuts down the same way and is rethrown.
+// premature EOF, torn or out-of-order stream, heartbeat silence) every
+// transport is aborted, reader threads are joined and std::runtime_error
+// names the rank; a sink exception shuts down the same way and is rethrown.
+// With options.supervise.enabled and a RankControl, a rank failure is
+// healed instead: the rank is killed and respawned from the last committed
+// distributed checkpoint (or from scratch), its replayed slices are
+// discarded at the sink boundary, and the merge continues — merged output
+// stays byte-identical to an unfaulted run until the restart budget runs
+// out.
 DistStats run_merge(const stream::PopulationPlan& plan,
                     const std::vector<RankTransport*>& ranks,
                     stream::EventSink& sink, const CoordinatorOptions& options);

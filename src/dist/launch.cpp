@@ -85,6 +85,42 @@ SpawnedWorker spawn_worker(const std::vector<std::string>& argv) {
   return w;
 }
 
+namespace {
+
+// Process-level heal seam: SIGKILL + reap for kill_rank, fork/exec through
+// the caller's args_for for respawn. Owns nothing — it mutates the
+// launcher's worker table in place so the final reap sees only live pids.
+class ProcessRankControl final : public RankControl {
+ public:
+  ProcessRankControl(std::vector<SpawnedWorker>& workers,
+                     const LaunchOptions& options)
+      : workers_(workers), options_(options) {}
+
+  void kill_rank(unsigned rank) override {
+    SpawnedWorker& w = workers_[rank];
+    if (w.pid < 0) return;
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+  }
+
+  RankTransport* respawn(unsigned rank,
+                         const std::string& resume_dir) override {
+    // Replacing the slot destroys the dead incarnation's transport (the
+    // merge joined its reader before calling this).
+    workers_[rank] = spawn_worker(options_.args_for(rank, resume_dir));
+    return workers_[rank].transport.get();
+  }
+
+ private:
+  std::vector<SpawnedWorker>& workers_;
+  const LaunchOptions& options_;
+};
+
+}  // namespace
+
 DistStats run_distributed(stream::EventSink& sink,
                           const stream::PopulationPlan& plan,
                           const LaunchOptions& options) {
@@ -123,23 +159,35 @@ DistStats run_distributed(stream::EventSink& sink,
     return late_failure;
   };
 
+  // The initial resume bundle per rank, from the committed manifest.
+  auto initial_resume_dir = [&](unsigned r) -> std::string {
+    if (!options.coordinator.resume.has_value()) return {};
+    return rank_checkpoint_dir(options.coordinator.stream.checkpoint.dir,
+                               options.coordinator.resume->watermark, r);
+  };
+
+  ProcessRankControl control(workers, options);
+
   DistStats stats;
   try {
     for (unsigned r = 0; r < options.num_ranks; ++r) {
-      workers.push_back(spawn_worker(options.args_for(r)));
+      workers.push_back(spawn_worker(options.args_for(r, initial_resume_dir(r))));
     }
     std::vector<RankTransport*> transports;
     transports.reserve(workers.size());
     for (SpawnedWorker& w : workers) transports.push_back(w.transport.get());
-    stats = run_merge(plan, transports, sink, options.coordinator);
+    CoordinatorOptions copts = options.coordinator;
+    copts.control = &control;
+    stats = run_merge(plan, transports, sink, copts);
   } catch (...) {
     reap(/*kill_first=*/true);
     throw;
   }
   // A worker that survived the merge but died on exit still fails the run:
   // its stream was complete, but a nonzero exit means it hit something on
-  // the way out worth surfacing.
-  const std::string late = reap(/*kill_first=*/false);
+  // the way out worth surfacing. After a graceful stop the workers are
+  // mid-stream by design — kill them and ignore their exit status.
+  const std::string late = reap(/*kill_first=*/stats.totals.stopped);
   if (!late.empty()) throw std::runtime_error(late);
   return stats;
 }

@@ -47,14 +47,22 @@ struct LaunchOptions {
   CoordinatorOptions coordinator;
   // Worker command line per rank; must put the child into worker mode
   // (stream_gen --dist-worker ...) with generation flags that rebuild the
-  // exact same population plan this process holds.
-  std::function<std::vector<std::string>(unsigned rank)> args_for;
+  // exact same population plan this process holds. `resume_dir` is the
+  // rank's committed checkpoint directory to resume from — empty for a
+  // fresh start; the launcher passes the initial resume bundle here and the
+  // supervisor passes the latest committed one on respawn.
+  std::function<std::vector<std::string>(unsigned rank,
+                                         const std::string& resume_dir)>
+      args_for;
 };
 
 // Spawns num_ranks workers, merges their streams into `sink` (run_merge),
 // then reaps every child. A merge failure kills the remaining workers
 // (SIGTERM) before rethrowing; a worker that exits nonzero or on a signal
-// after a clean merge raises std::runtime_error naming the rank.
+// after a clean merge raises std::runtime_error naming the rank. When
+// options.coordinator.supervise is enabled, the merge heals rank failures
+// through a process-level RankControl (SIGKILL + respawn via args_for)
+// instead of aborting.
 DistStats run_distributed(stream::EventSink& sink,
                           const stream::PopulationPlan& plan,
                           const LaunchOptions& options);

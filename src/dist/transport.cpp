@@ -1,5 +1,6 @@
 #include "dist/transport.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,26 +22,6 @@ constexpr std::uint32_t k_max_frame_bytes = 1u << 30;
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error("dist transport: " + what + ": " +
                            std::strerror(errno));
-}
-
-// Reads exactly n bytes. Returns false on EOF at offset 0 (clean close);
-// throws if the stream ends mid-read or errors.
-bool read_exact(int fd, char* dst, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r == 0) {
-      if (got == 0) return false;
-      throw std::runtime_error("dist transport: peer closed mid-frame");
-    }
-    if (errno == EINTR) continue;
-    sys_fail("recv failed");
-  }
-  return true;
 }
 
 void write_all(int fd, const char* src, std::size_t n) {
@@ -78,35 +59,102 @@ void FdTransport::send(FrameType type, std::string_view payload) {
   std::string head;
   put_u32(head, static_cast<std::uint32_t>(payload.size()));
   put_u8(head, static_cast<std::uint8_t>(type));
+  // One frame at a time on the wire: the worker's heartbeat thread and its
+  // event sink share this transport, and an interleaved frame would tear
+  // the stream for the coordinator.
+  std::lock_guard<std::mutex> lock(send_mu_);
   write_all(fd_, head.data(), head.size());
   write_all(fd_, payload.data(), payload.size());
 }
 
 std::optional<Frame> FdTransport::recv() {
-  CPG_FAILPOINT("dist.recv_frame");
-  char head[5];
-  if (!read_exact(fd_, head, sizeof head)) return std::nullopt;
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[i]))
-           << (8 * i);
+  std::optional<Frame> out;
+  // Infinite poll window: recv_step only ever reports frame or eof.
+  recv_step(out, -1);
+  return out;
+}
+
+RecvStatus FdTransport::recv_timed(std::optional<Frame>& out, int timeout_ms) {
+  return recv_step(out, timeout_ms);
+}
+
+RecvStatus FdTransport::recv_step(std::optional<Frame>& out, int timeout_ms) {
+  // Fire the per-frame failpoint only when a *new* frame begins, so timed
+  // re-polls of a half-received frame don't inflate failpoint schedules.
+  if (!in_body_ && head_buf_.empty()) CPG_FAILPOINT("dist.recv_frame");
+  out.reset();
+  for (;;) {
+    struct pollfd pfd {fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll failed");
+    }
+    // The deadline applies to the *next byte*; progress below re-arms it,
+    // so a slow-but-flowing frame never times out.
+    if (pr == 0) return RecvStatus::timeout;
+
+    if (!in_body_) {
+      char tmp[5];
+      const std::size_t need = 5 - head_buf_.size();
+      const ssize_t r = ::recv(fd_, tmp, need, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("recv failed");
+      }
+      if (r == 0) {
+        if (head_buf_.empty()) return RecvStatus::eof;
+        throw std::runtime_error("dist transport: peer closed mid-frame");
+      }
+      head_buf_.append(tmp, static_cast<std::size_t>(r));
+      if (head_buf_.size() < 5) continue;
+
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(head_buf_[i]))
+               << (8 * i);
+      }
+      const auto type = static_cast<std::uint8_t>(head_buf_[4]);
+      if (type < static_cast<std::uint8_t>(FrameType::hello) ||
+          type > static_cast<std::uint8_t>(FrameType::heartbeat)) {
+        throw std::runtime_error("dist transport: unknown frame type " +
+                                 std::to_string(type));
+      }
+      if (len > k_max_frame_bytes) {
+        throw std::runtime_error("dist transport: frame length out of range");
+      }
+      partial_.type = static_cast<FrameType>(type);
+      partial_.payload.resize(len);
+      body_got_ = 0;
+      if (len == 0) {
+        out = std::move(partial_);
+        partial_ = Frame{};
+        head_buf_.clear();
+        return RecvStatus::frame;
+      }
+      in_body_ = true;
+      continue;
+    }
+
+    const std::size_t want = partial_.payload.size() - body_got_;
+    const ssize_t r = ::recv(fd_, partial_.payload.data() + body_got_, want, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv failed");
+    }
+    if (r == 0) {
+      throw std::runtime_error("dist transport: peer closed mid-frame");
+    }
+    body_got_ += static_cast<std::size_t>(r);
+    if (body_got_ < partial_.payload.size()) continue;
+    out = std::move(partial_);
+    partial_ = Frame{};
+    head_buf_.clear();
+    in_body_ = false;
+    body_got_ = 0;
+    return RecvStatus::frame;
   }
-  const auto type = static_cast<std::uint8_t>(head[4]);
-  if (type < static_cast<std::uint8_t>(FrameType::hello) ||
-      type > static_cast<std::uint8_t>(FrameType::error)) {
-    throw std::runtime_error("dist transport: unknown frame type " +
-                             std::to_string(type));
-  }
-  if (len > k_max_frame_bytes) {
-    throw std::runtime_error("dist transport: frame length out of range");
-  }
-  Frame f;
-  f.type = static_cast<FrameType>(type);
-  f.payload.resize(len);
-  if (len > 0 && !read_exact(fd_, f.payload.data(), len)) {
-    throw std::runtime_error("dist transport: peer closed mid-frame");
-  }
-  return f;
 }
 
 void FdTransport::abort() {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <utility>
@@ -19,17 +20,40 @@
 
 namespace cpg::dist {
 
+// Outcome of a deadline-aware receive (RankTransport::recv_timed).
+enum class RecvStatus : std::uint8_t {
+  frame,    // a whole frame arrived
+  eof,      // peer closed cleanly before the next frame
+  timeout,  // nothing (or only part of a frame) arrived within the window
+};
+
 class RankTransport {
  public:
   virtual ~RankTransport() = default;
 
   // Sends one frame. Throws std::runtime_error when the peer is gone
-  // (shutdown or death) — a worker treats that as its stop signal.
+  // (shutdown or death) — a worker treats that as its stop signal. Safe to
+  // call from multiple threads (the worker's heartbeat thread interleaves
+  // whole frames with the sink's event frames).
   virtual void send(FrameType type, std::string_view payload) = 0;
 
   // Receives the next frame; nullopt on clean EOF (peer closed). Throws on
   // a torn frame or transport error.
   virtual std::optional<Frame> recv() = 0;
+
+  // Deadline-aware receive: waits at most `timeout_ms` for the *next byte*
+  // of the stream. Returns RecvStatus::frame with `out` filled, eof on a
+  // clean close, or timeout — in which case any partially received frame is
+  // retained and the call may simply be repeated (the supervisor uses the
+  // repeat to accumulate a silence window). Throws on a torn frame or
+  // transport error. The default implementation ignores the deadline and
+  // blocks (keeps simple test decorators working; the supervisor requires a
+  // real implementation only when a deadline is configured).
+  virtual RecvStatus recv_timed(std::optional<Frame>& out, int timeout_ms) {
+    (void)timeout_ms;
+    out = recv();
+    return out ? RecvStatus::frame : RecvStatus::eof;
+  }
 
   // Unblocks any thread blocked in send/recv on this transport *and* on
   // the peer end, permanently: subsequent sends throw, recvs drain to EOF.
@@ -48,13 +72,24 @@ class FdTransport final : public RankTransport {
 
   void send(FrameType type, std::string_view payload) override;
   std::optional<Frame> recv() override;
+  RecvStatus recv_timed(std::optional<Frame>& out, int timeout_ms) override;
   void abort() override;
 
   int fd() const noexcept { return fd_; }
 
  private:
+  // One poll()+recv step of the frame state machine; shared by recv (which
+  // loops with an infinite timeout) and recv_timed. Returns timeout only
+  // when timeout_ms >= 0 expired with the frame still incomplete.
+  RecvStatus recv_step(std::optional<Frame>& out, int timeout_ms);
+
   int fd_ = -1;
-  std::string recv_buf_;
+  std::mutex send_mu_;  // serializes whole frames from concurrent senders
+  // Resumable receive state: a frame survives across recv_timed timeouts.
+  std::string head_buf_;   // partial 5-byte header
+  Frame partial_;          // frame under assembly once the header is whole
+  std::size_t body_got_ = 0;
+  bool in_body_ = false;
 };
 
 // A connected (worker end, coordinator end) transport pair over an AF_UNIX

@@ -182,4 +182,15 @@ stream::StreamStats decode_finish(std::string_view payload) {
   return s;
 }
 
+std::string encode_heartbeat(std::uint64_t seq) {
+  std::string p;
+  put_u64(p, seq);
+  return p;
+}
+
+std::uint64_t decode_heartbeat(std::string_view payload) {
+  WireReader r{payload};
+  return r.u64();
+}
+
 }  // namespace cpg::dist

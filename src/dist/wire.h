@@ -17,9 +17,13 @@
 //   finish            (the rank's StreamStats)
 //
 // An error frame may replace anything after hello; EOF before finish means
-// the rank died. Events encode as 13 bytes (i64 t_ms, u32 ue_id, u8 type):
-// the arithmetic-free fixed layout keeps encode/decode off the profile at
-// millions of events per second.
+// the rank died. A heartbeat frame may appear anywhere after hello: it
+// carries a u64 sequence number, proves only that the worker process is
+// alive and making progress, and is ignored by the merge state machine —
+// the coordinator's supervisor uses it to distinguish "slow" from "hung"
+// (src/dist/coordinator.h SuperviseOptions). Events encode as 13 bytes
+// (i64 t_ms, u32 ue_id, u8 type): the arithmetic-free fixed layout keeps
+// encode/decode off the profile at millions of events per second.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +48,7 @@ enum class FrameType : std::uint8_t {
   obs = 5,
   finish = 6,
   error = 7,
+  heartbeat = 8,
 };
 
 struct Frame {
@@ -104,5 +109,10 @@ std::pair<std::uint64_t, std::string_view> decode_checkpoint(
 
 std::string encode_finish(const stream::StreamStats& stats);
 stream::StreamStats decode_finish(std::string_view payload);
+
+// heartbeat payload: u64 monotone sequence number (per worker process —
+// restarts begin again at 0, which is fine: any heartbeat is liveness).
+std::string encode_heartbeat(std::uint64_t seq);
+std::uint64_t decode_heartbeat(std::string_view payload);
 
 }  // namespace cpg::dist

@@ -1,9 +1,16 @@
 #include "dist/worker.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include "fault/failpoint.h"
 
 #include "obs/merge.h"
 #include "stream/checkpoint.h"
@@ -47,6 +54,11 @@ class TransportSink final : public stream::EventSink,
   }
 
   void on_slice_delivered(std::uint64_t slice) override {
+    // Chaos site: `kill` here dies after the slice's events but before its
+    // slice_end (a torn slice for the coordinator); `hang` wedges the
+    // delivery thread mid-protocol. scripts/chaos_smoke.sh arms this per
+    // rank via CPG_FAILPOINTS_RANK<r>.
+    CPG_FAILPOINT("dist.worker_slice");
     SliceEndFrame s;
     s.slice = slice;
     s.events = slice_events_;
@@ -67,6 +79,56 @@ class TransportSink final : public stream::EventSink,
   unsigned num_ranks_;
   std::uint64_t slice_events_ = 0;
   std::string payload_;
+};
+
+// Sends a heartbeat frame every `interval_ms` until stopped. Liveness only:
+// the coordinator ignores heartbeat content, so a send failure (coordinator
+// gone, transport aborted) just ends the loop — the delivery thread's own
+// send will surface the authoritative error.
+class Heartbeater {
+ public:
+  Heartbeater(RankTransport& transport, int interval_ms)
+      : transport_(transport), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Heartbeater() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::uint64_t seq = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; })) {
+        return;
+      }
+      lock.unlock();
+      try {
+        transport_.send(FrameType::heartbeat, encode_heartbeat(seq++));
+      } catch (...) {
+        return;  // peer gone; nothing left to prove alive to
+      }
+      lock.lock();
+    }
+  }
+
+  RankTransport& transport_;
+  int interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 }  // namespace
@@ -103,10 +165,18 @@ stream::StreamStats run_worker(const stream::PopulationPlan& plan,
     }
   }
 
+  // Heartbeats start after on_start's hello frame would normally go out —
+  // but hello is sent from inside stream_generate, so start the beater
+  // first and let the coordinator accept heartbeats from byte 0. (The
+  // protocol allows heartbeat anywhere; the supervisor only cares that
+  // bytes flow.)
+  Heartbeater heartbeat(transport, opts.heartbeat_ms);
+
   stream::StreamStats stats;
   try {
     stats = stream::stream_generate(rank_plan, so, sink);
   } catch (const std::exception& e) {
+    heartbeat.stop();
     try {
       transport.send(FrameType::error, e.what());
     } catch (...) {
@@ -115,6 +185,7 @@ stream::StreamStats run_worker(const stream::PopulationPlan& plan,
     }
     throw;
   }
+  heartbeat.stop();
 
   if (so.metrics != nullptr) {
     transport.send(FrameType::obs,

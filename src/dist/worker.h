@@ -33,6 +33,10 @@ struct WorkerOptions {
   // rank<r> directory of a manifest bundle); non-empty = resume from it.
   // Requires ship_checkpoints.
   std::string resume_dir;
+  // > 0 enables a heartbeat thread that sends a heartbeat frame every
+  // `heartbeat_ms` while the run is in flight, so the coordinator's
+  // supervisor can tell a slow slice from a wedged worker. 0 = none.
+  int heartbeat_ms = 0;
 };
 
 // Runs rank `opts.rank` of `plan` (sliced via slice_plan_for_rank) and

@@ -1,8 +1,11 @@
 #include "fault/failpoint.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "core/rng.h"
@@ -32,7 +35,7 @@ void Failpoint::disarm() {
 }
 
 void Failpoint::fire() {
-  bool retryable = false;
+  Action action = Action::off;
   {
     std::lock_guard lock(state_->mu);
     // Re-check under the lock: a concurrent disarm() may have raced the
@@ -50,10 +53,20 @@ void Failpoint::fire() {
       return;
     }
     fires_.fetch_add(1, std::memory_order_relaxed);
-    retryable = spec.action == Action::error;
+    action = spec.action;
+  }
+  if (action == Action::kill) {
+    // The crashed-worker simulation: die here, without unwinding, exactly
+    // as OOM-kill or a segfault would look from the coordinator's side.
+    std::raise(SIGKILL);
+  }
+  if (action == Action::hang) {
+    // The wedged-worker simulation: never return, never unwind. Only
+    // SIGKILL from the supervisor ends this loop.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
   }
   throw InjectedFault("injected fault at failpoint '" + name_ + "'",
-                      retryable);
+                      action == Action::error);
 }
 
 namespace {
@@ -106,8 +119,12 @@ bool arm_entry(std::string_view entry) {
     spec.action = Action::error;
   } else if (rhs == "fatal") {
     spec.action = Action::fatal;
+  } else if (rhs == "kill") {
+    spec.action = Action::kill;
+  } else if (rhs == "hang") {
+    spec.action = Action::hang;
   } else {
-    bad_entry(entry, "unknown action (want off, error or fatal)");
+    bad_entry(entry, "unknown action (want off, error, fatal, kill or hang)");
   }
 
   // args: prob[,seed[,skip[,max_fires]]]

@@ -22,7 +22,12 @@
 //   name=off                    disarm
 // Actions: `error` throws a retryable InjectedFault, `fatal` a
 // non-retryable one (the distinction feeds the resilient sink's failure
-// classification, stream/resilient_sink.h).
+// classification, stream/resilient_sink.h). Two process-level actions back
+// the distributed chaos tests: `kill` raises SIGKILL (an instant worker
+// death the coordinator sees as EOF), `hang` parks the calling thread in an
+// uninterruptible-by-design sleep loop (a wedged worker the coordinator
+// must detect by heartbeat silence). Both are for spawned worker processes;
+// arming them in-process wedges or kills the test runner.
 //
 // The registry is process-wide; names are created on first use and live for
 // the process lifetime, so `Failpoint&` references never dangle. Evaluation
@@ -55,6 +60,8 @@ enum class Action : std::uint8_t {
   off = 0,    // disarmed
   error = 1,  // throw a retryable InjectedFault
   fatal = 2,  // throw a non-retryable InjectedFault
+  kill = 3,   // raise(SIGKILL): simulates a crashed worker process
+  hang = 4,   // sleep forever: simulates a wedged worker process
 };
 
 struct FailpointSpec {

@@ -1,6 +1,7 @@
 #include "stream/binary_sink.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
@@ -121,6 +122,19 @@ void BinarySink::checkpoint_resume(const std::string& token,
   if (!(is >> tag >> offset >> events) || tag != "cpgt") {
     throw std::runtime_error("BinarySink: malformed checkpoint token '" +
                              token + "'");
+  }
+  // A graceful stop finalizes the staged file (rename .tmp -> final, no
+  // litter); resuming such a run moves it back into staging first. The
+  // writer's resume constructor truncates to the committed offset, cutting
+  // the finalized end block off again.
+  const std::string staged = tmp_path(path_prefix_);
+  const std::string final_path = path_for(path_prefix_);
+  if (!std::filesystem::exists(staged) &&
+      std::filesystem::exists(final_path)) {
+    if (std::rename(final_path.c_str(), staged.c_str()) != 0) {
+      throw std::runtime_error("BinarySink: rename " + final_path + " -> " +
+                               staged + " failed");
+    }
   }
   trace_fmt::TraceWriter::Options options;
   options.block_events = block_events_;

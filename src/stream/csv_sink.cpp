@@ -208,6 +208,16 @@ void CsvSink::checkpoint_resume(const std::string& token,
     throw std::runtime_error("CsvSink: malformed checkpoint token '" + token +
                              "'");
   }
+  // A graceful stop finalizes the staged files (rename .tmp -> final, no
+  // litter); resuming such a run moves them back into staging first.
+  for (const char* name : {"_events.csv", "_ues.csv"}) {
+    const std::string final_path = path_prefix_ + name;
+    const std::string staged = final_path + ".tmp";
+    if (!std::filesystem::exists(staged) &&
+        std::filesystem::exists(final_path)) {
+      rename_or_throw(final_path, staged);
+    }
+  }
   // Cut the partial files back to the durable watermark; everything past it
   // will be re-generated and re-delivered.
   std::error_code ec;

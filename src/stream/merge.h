@@ -15,6 +15,16 @@
 //     interleave coarsely — shards covering disjoint UE populations emit
 //     bursts — then cost O(log run) per sub-span instead of O(log k) per
 //     event, and the caller can move the sub-span with column memcpys.
+//
+// Galloping scans all k heads per sub-span, so its advantage inverts once
+// runs are many and finely interleaved (the merge_microbench in
+// BENCH_stream.json measures ~0.8x vs the heap at k = 16). gallop_merge
+// therefore dispatches on run count: k >= k_loser_tree_min_runs switches to
+// loser_tree_merge, a tournament tree doing exactly ceil(log2 k)
+// comparisons per event — strictly fewer than the binary heap's sift —
+// while still handing the caller maximal same-run sub-spans (1.29x the
+// heap at k = 16, 1.38x at k = 32). All three produce the identical
+// sequence, equal events across runs always lower run index first.
 #pragma once
 
 #include <cstddef>
@@ -116,15 +126,103 @@ inline EventKey run_key(const EventColumns& r, std::size_t i) noexcept {
   return EventKey{r.ts[i], r.ue[i], static_cast<std::uint8_t>(r.type[i])};
 }
 
+// Run-count threshold above which gallop_merge delegates to the loser
+// tree: below it the head scan is cheap and galloping's whole-sub-span
+// delivery wins; at and above it the scan dominates (~0.8x vs the heap at
+// k = 16 in merge_microbench) and the tournament tree's log2(k)
+// comparisons per event win (1.29x at k = 16, 1.38x at k = 32).
+inline constexpr std::size_t k_loser_tree_min_runs = 16;
+
+// Tournament (loser) tree merge: internal nodes remember the loser of
+// their sub-tournament, so replacing the winner's head replays exactly one
+// leaf-to-root path of ceil(log2 k) comparisons. Ties and the deliver_sub
+// contract match gallop_merge / k_way_merge: equal events across runs
+// surface lower run index first, and consecutive wins by the same run are
+// handed over as one [begin, end) sub-span.
+template <typename Run, typename DeliverSub>
+void loser_tree_merge(std::span<const Run> runs, DeliverSub&& deliver_sub) {
+  const std::size_t k = runs.size();
+  if (k == 1) {
+    if (run_size(runs[0]) > 0) deliver_sub(0, 0, run_size(runs[0]));
+    return;
+  }
+  if (k == 0) return;
+
+  std::vector<std::size_t> cursor(k, 0);
+  auto exhausted = [&](std::size_t r) {
+    return r == k || cursor[r] >= run_size(runs[r]);
+  };
+  auto beats = [&](std::size_t a, std::size_t b) {
+    const bool ea = exhausted(a);
+    const bool eb = exhausted(b);
+    if (ea || eb) return !ea || (eb && a < b);
+    const EventKey ka = run_key(runs[a], cursor[a]);
+    const EventKey kb = run_key(runs[b], cursor[b]);
+    if (ka < kb) return true;
+    if (kb < ka) return false;
+    return a < b;  // heap tie order: lower run index first
+  };
+
+  // loser[1..k-1] hold the losers of each internal match; leaves live at
+  // conceptual nodes k..2k-1, so leaf r's parent is (k + r) / 2 and node
+  // n's children are 2n and 2n+1 — valid for any k, not just powers of
+  // two. Replaying a path carries the current winner up, swapping whenever
+  // the parked loser beats it.
+  std::vector<std::size_t> loser(k, k);
+  auto play_up = [&](std::size_t leaf) {
+    std::size_t w = leaf;
+    for (std::size_t node = (k + leaf) >> 1; node >= 1; node >>= 1) {
+      if (beats(loser[node], w)) std::swap(w, loser[node]);
+    }
+    return w;
+  };
+  // Full tournament build: each internal node seats its match's loser and
+  // sends the winner up. (An incremental play_up-per-leaf build would be
+  // wrong — two sibling leaves never meet, the earlier one just vanishes
+  // into the overwritten winner variable.)
+  auto build = [&](auto&& self, std::size_t node) -> std::size_t {
+    if (node >= k) return node - k;
+    const std::size_t a = self(self, 2 * node);
+    const std::size_t b = self(self, 2 * node + 1);
+    if (beats(a, b)) {
+      loser[node] = b;
+      return a;
+    }
+    loser[node] = a;
+    return b;
+  };
+  std::size_t winner = build(build, 1);
+
+  while (!exhausted(winner)) {
+    const std::size_t r = winner;
+    const std::size_t begin = cursor[r];
+    do {
+      ++cursor[r];
+      winner = play_up(r);
+      // The second conjunct matters only at the very end: with every run
+      // exhausted the replay can keep naming r, which would spin.
+    } while (winner == r && !exhausted(r));
+    deliver_sub(r, begin, cursor[r]);
+  }
+}
+
 // Merges `runs` (each sorted by event_time_less) and invokes
 // `deliver_sub(run_index, begin, end)` with half-open index sub-ranges in
 // globally sorted order. Equal events across runs are delivered lower run
 // index first — the exact tie order k_way_merge's heap produces — so the
 // concatenation of the sub-spans is permutation-identical to the heap
-// merge for any input, duplicates included.
+// merge for any input, duplicates included. Dispatches to loser_tree_merge
+// at k >= loser_tree_min_runs (same output, better per-event cost); the
+// threshold parameter exists so benches and equivalence tests can force
+// either variant.
 template <typename Run, typename DeliverSub>
-void gallop_merge(std::span<const Run> runs, DeliverSub&& deliver_sub) {
+void gallop_merge(std::span<const Run> runs, DeliverSub&& deliver_sub,
+                  std::size_t loser_tree_min_runs = k_loser_tree_min_runs) {
   const std::size_t k = runs.size();
+  if (k >= loser_tree_min_runs) {
+    loser_tree_merge(runs, std::forward<DeliverSub>(deliver_sub));
+    return;
+  }
   std::vector<std::size_t> cursor(k, 0);
   std::vector<std::size_t> active;
   active.reserve(k);

@@ -1,0 +1,75 @@
+#include "trace_fmt/salvage.h"
+
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+
+#include "io/file_util.h"
+#include "trace_fmt/cpgt.h"
+
+namespace cpg::trace_fmt {
+
+SalvageResult salvage_trace(const std::string& in_path,
+                            const std::string& out_path) {
+  std::ifstream f(in_path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("salvage: cannot open " + in_path);
+  }
+  const std::string data((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+  // An unusable header means nothing is recoverable — the fingerprint the
+  // output must carry is gone. decode_header's message names the cause.
+  const std::uint64_t fingerprint = decode_header(data, in_path);
+
+  std::string out;
+  out.reserve(data.size() + 32);
+  encode_header(out, fingerprint);
+
+  SalvageResult res;
+  std::size_t pos = k_header_bytes;
+  res.valid_bytes = pos;
+  DecodedBlock block;
+  while (pos < data.size()) {
+    const std::size_t block_start = pos;
+    block.events.clear();
+    try {
+      decode_block(data, pos, block, in_path);
+    } catch (const std::exception& e) {
+      res.failure = e.what();
+      pos = block_start;
+      break;
+    }
+    if (block.type == BlockType::end) {
+      // Clean EOF marker: everything before it was already accounted for.
+      // Trailing bytes after it (an interrupted append?) are still dropped.
+      res.intact = pos == data.size();
+      res.valid_bytes = pos;
+      if (!res.intact) {
+        res.failure = in_path + ": trailing bytes after the end block";
+      }
+      break;
+    }
+    if (block.type == BlockType::ues) {
+      encode_ues_block(out, std::span<const DeviceType>(block.devices));
+      res.ues_recovered += block.devices.size();
+    } else {
+      encode_events_block(out, std::span<const ControlEvent>(block.events));
+      res.events_recovered += block.events.size();
+    }
+    ++res.blocks_recovered;
+    res.valid_bytes = pos;
+  }
+  res.dropped_bytes = data.size() - res.valid_bytes;
+  if (!res.intact && res.failure.empty()) {
+    // Every block decoded but no end marker: a writer killed exactly on a
+    // block boundary.
+    res.failure = in_path + ": missing end block (torn file)";
+  }
+
+  encode_end_block(out, res.events_recovered);
+  io::write_file_atomic(out_path, out);
+  return res;
+}
+
+}  // namespace cpg::trace_fmt

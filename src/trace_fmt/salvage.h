@@ -1,0 +1,39 @@
+// Torn-file recovery for cpgt traces (trace_cat salvage).
+//
+// A writer killed mid-block — a crashed rank, a full disk, a power cut —
+// leaves a cpgt file without its end block, possibly with a truncated or
+// bit-flipped final block. Every complete block is still independently
+// CRC-framed, so the valid prefix is recoverable exactly: decode blocks
+// until the first failure (truncation, CRC mismatch, unknown type), re-emit
+// them under the original header fingerprint, and close the output with a
+// fresh end block so ordinary readers accept it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpg::trace_fmt {
+
+struct SalvageResult {
+  // True when the input already carried a clean end block — the output is a
+  // (re-encoded) copy and nothing was dropped.
+  bool intact = false;
+  std::uint64_t blocks_recovered = 0;   // ues + events blocks re-emitted
+  std::uint64_t events_recovered = 0;
+  std::uint64_t ues_recovered = 0;
+  // Byte offset of the first undecodable byte (== file size when intact or
+  // the file ends exactly on a block boundary).
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t dropped_bytes = 0;      // input size - valid_bytes
+  std::string failure;                  // decode error that ended the scan
+};
+
+// Recovers the valid prefix of `in_path` into `out_path` (written
+// atomically: temp file + rename, so a crash mid-salvage never leaves a
+// half-written output). Throws std::runtime_error when the input cannot be
+// read or its 16-byte header is itself unusable — then there is nothing to
+// salvage — and on output I/O errors.
+SalvageResult salvage_trace(const std::string& in_path,
+                            const std::string& out_path);
+
+}  // namespace cpg::trace_fmt

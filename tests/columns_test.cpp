@@ -135,13 +135,17 @@ std::vector<ControlEvent> heap_merged(
   return out;
 }
 
+// min_runs forces the dispatch: std::size_t(-1) = always gallop,
+// 0 = always loser tree, k_loser_tree_min_runs = production behaviour.
 std::vector<ControlEvent> gallop_merged_aos(
-    const std::vector<std::vector<ControlEvent>>& runs) {
+    const std::vector<std::vector<ControlEvent>>& runs,
+    std::size_t min_runs = stream::k_loser_tree_min_runs) {
   std::vector<ControlEvent> out;
   gallop_merge(std::span<const std::vector<ControlEvent>>(runs),
                [&](std::size_t r, std::size_t b, std::size_t e) {
                  out.insert(out.end(), runs[r].begin() + b, runs[r].begin() + e);
-               });
+               },
+               min_runs);
   return out;
 }
 
@@ -165,6 +169,17 @@ void expect_gallop_matches_heap(std::vector<std::vector<ControlEvent>> runs) {
   ASSERT_EQ(aos.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) {
     ASSERT_EQ(aos[i], want[i]) << "AoS gallop diverges at " << i;
+  }
+  // Both dispatch arms, regardless of k: galloping binary-search merge and
+  // the loser tree must agree with the heap event for event.
+  const std::vector<ControlEvent> forced_gallop =
+      gallop_merged_aos(runs, std::size_t(-1));
+  const std::vector<ControlEvent> forced_loser = gallop_merged_aos(runs, 0);
+  ASSERT_EQ(forced_gallop.size(), want.size());
+  ASSERT_EQ(forced_loser.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(forced_gallop[i], want[i]) << "forced gallop diverges at " << i;
+    ASSERT_EQ(forced_loser[i], want[i]) << "loser tree diverges at " << i;
   }
   const std::vector<ControlEvent> soa = gallop_merged_soa(runs);
   for (std::size_t i = 0; i < want.size(); ++i) {
@@ -220,6 +235,45 @@ TEST(GallopMerge, RandomizedSweep) {
     for (auto& r : runs) {
       r = random_events(rng, n_dist(rng), 0, 2000, 200);
     }
+    expect_gallop_matches_heap(std::move(runs));
+  }
+}
+
+TEST(LoserTreeMerge, ThresholdBoundaryRunCountsMatchHeap) {
+  // k around the dispatch threshold (k_loser_tree_min_runs = 16): below it
+  // the gallop path serves, at/above it the loser tree takes over — the
+  // merged stream must be identical either way, including via the forced
+  // paths expect_gallop_matches_heap always checks.
+  std::mt19937_64 rng(37);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{33}}) {
+    std::vector<std::vector<ControlEvent>> runs(k);
+    std::uniform_int_distribution<std::size_t> n_dist(0, 300);
+    for (auto& r : runs) r = random_events(rng, n_dist(rng), 0, 1500, 120);
+    expect_gallop_matches_heap(std::move(runs));
+  }
+}
+
+TEST(LoserTreeMerge, DuplicateEventsAcrossManyRunsKeepHeapTieOrder) {
+  // 17 identical runs: every comparison in the tree is a tie, and the
+  // production dispatch picks the loser tree (k >= 16). Equal heads must
+  // resolve lower-run-index-first, exactly like the heap.
+  std::mt19937_64 rng(41);
+  std::vector<ControlEvent> base = random_events(rng, 120, 0, 40, 4);
+  std::sort(base.begin(), base.end(), EventTimeLess{});
+  std::vector<std::vector<ControlEvent>> runs(17, base);
+  runs[3].clear();  // an exhausted-from-the-start leaf inside the tree
+  expect_gallop_matches_heap(std::move(runs));
+}
+
+TEST(LoserTreeMerge, RandomizedSweepAroundAndAboveThreshold) {
+  std::mt19937_64 rng(43);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::uniform_int_distribution<std::size_t> k_dist(12, 36);
+    std::uniform_int_distribution<std::size_t> n_dist(0, 250);
+    std::vector<std::vector<ControlEvent>> runs(k_dist(rng));
+    for (auto& r : runs) r = random_events(rng, n_dist(rng), 0, 900, 80);
     expect_gallop_matches_heap(std::move(runs));
   }
 }

@@ -13,11 +13,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -133,6 +138,59 @@ class DyingTransport final : public RankTransport {
   std::size_t remaining_;
 };
 
+// A transport decorator that injects a wedge: after `limit` successful
+// sends every further send (the worker's events *and* its heartbeats — a
+// truly stuck process sends nothing) blocks silently until abort(). From
+// the coordinator the rank looks alive-but-silent, which is exactly what
+// the heartbeat deadline exists to catch.
+class SilentTransport final : public RankTransport {
+ public:
+  SilentTransport(RankTransport& inner, std::size_t limit)
+      : inner_(inner), remaining_(limit) {}
+
+  void send(FrameType type, std::string_view payload) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (remaining_ == 0) {
+        cv_.wait(lock, [this] { return aborted_; });
+        throw std::runtime_error("dist test: transport aborted while hung");
+      }
+      --remaining_;
+    }
+    inner_.send(type, payload);
+  }
+  std::optional<Frame> recv() override { return inner_.recv(); }
+  void abort() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+    inner_.abort();
+  }
+
+ private:
+  RankTransport& inner_;
+  std::size_t remaining_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool aborted_ = false;
+};
+
+// RankControl over in-process worker threads (the tests' analogue of the
+// fork/exec launcher's ProcessRankControl).
+class LambdaRankControl final : public RankControl {
+ public:
+  std::function<void(unsigned)> kill;
+  std::function<RankTransport*(unsigned, const std::string&)> resp;
+
+  void kill_rank(unsigned rank) override { kill(rank); }
+  RankTransport* respawn(unsigned rank,
+                         const std::string& resume_dir) override {
+    return resp(rank, resume_dir);
+  }
+};
+
 struct DistResult {
   std::vector<ControlEvent> events;
   DistStats stats;
@@ -144,6 +202,18 @@ struct DistConfig {
   bool resume = false;
   // Rank -> kill that rank's transport after this many sends (0 = never).
   std::vector<std::size_t> kill_after;
+  // Rank -> wedge that rank's transport after this many sends (0 = never).
+  // Only meaningful under supervision with a heartbeat deadline — an
+  // unsupervised merge would block on the silent rank forever.
+  std::vector<std::size_t> hang_after;
+  // Re-arm the configured fault on every respawned incarnation too (drives
+  // the restart budget to exhaustion). Default: only the first incarnation
+  // is faulty, so a heal succeeds.
+  bool fault_every_incarnation = false;
+  // Worker heartbeat period (WorkerOptions::heartbeat_ms); 0 = none.
+  int heartbeat_ms = 0;
+  // Self-healing policy; enabled wires a thread-respawning RankControl.
+  SuperviseOptions supervise;
   // Per-rank obs registries (size num_ranks) + a coordinator registry.
   std::vector<obs::Registry>* rank_metrics = nullptr;
   obs::Registry* coord_metrics = nullptr;
@@ -151,16 +221,16 @@ struct DistConfig {
 };
 
 // Runs an in-process distributed generation: one std::thread per worker
-// rank over socketpair transports, run_merge on the calling thread.
+// rank (respawned incarnations included) over socketpair transports,
+// run_merge on the calling thread.
 DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
                     const DistConfig& cfg = {}) {
-  std::vector<std::unique_ptr<FdTransport>> worker_ends;
-  std::vector<std::unique_ptr<FdTransport>> coord_ends;
-  for (unsigned r = 0; r < n; ++r) {
-    auto [w, c] = make_transport_pair();
-    worker_ends.push_back(std::move(w));
-    coord_ends.push_back(std::move(c));
-  }
+  // Transports (and fault decorators) for every incarnation; pointers into
+  // this vector stay valid as it grows.
+  std::vector<std::unique_ptr<RankTransport>> owned;
+  std::vector<std::thread> rank_thread(n);        // current incarnation
+  std::vector<RankTransport*> worker_end(n, nullptr);
+  std::vector<unsigned> incarnation(n, 0);
 
   CoordinatorOptions copts;
   copts.stream.slice_ms = k_slice;
@@ -171,10 +241,33 @@ DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
     copts.resume = prepare_resume(cfg.ckpt_dir, plan, n, k_slice);
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (unsigned r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
+  // Starts one incarnation of rank r and returns its coordinator-side
+  // transport. Called from the merge thread only (initial spawn + respawn),
+  // so the bookkeeping needs no locking.
+  auto start_worker = [&](unsigned r,
+                          const std::string& resume_dir) -> RankTransport* {
+    auto [w, c] = make_transport_pair();
+    RankTransport* base = w.get();
+    RankTransport* coord = c.get();
+    owned.push_back(std::move(w));
+    owned.push_back(std::move(c));
+    const bool faulty = incarnation[r] == 0 || cfg.fault_every_incarnation;
+    ++incarnation[r];
+    RankTransport* use = base;
+    const std::size_t kill =
+        r < cfg.kill_after.size() ? cfg.kill_after[r] : 0;
+    const std::size_t hang =
+        r < cfg.hang_after.size() ? cfg.hang_after[r] : 0;
+    if (faulty && kill != 0) {
+      owned.push_back(std::make_unique<DyingTransport>(*base, kill));
+      use = owned.back().get();
+    } else if (faulty && hang != 0) {
+      owned.push_back(std::make_unique<SilentTransport>(*base, hang));
+      use = owned.back().get();
+    }
+    worker_end[r] = use;
+    rank_thread[r] = std::thread([&plan, &cfg, &copts, n, r, use,
+                                  resume_dir] {
       WorkerOptions w;
       w.rank = r;
       w.num_ranks = n;
@@ -183,39 +276,57 @@ DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
       w.stream.slice_ms = k_slice;
       w.stream.checkpoint.interval_slices = cfg.interval;
       w.ship_checkpoints = !cfg.ckpt_dir.empty();
-      if (cfg.resume && copts.resume) {
-        w.resume_dir =
-            rank_checkpoint_dir(cfg.ckpt_dir, copts.resume->watermark, r);
-      }
+      w.resume_dir = resume_dir;
+      w.heartbeat_ms = cfg.heartbeat_ms;
       if (cfg.rank_metrics) w.stream.metrics = &(*cfg.rank_metrics)[r];
-      const std::size_t kill =
-          r < cfg.kill_after.size() ? cfg.kill_after[r] : 0;
       try {
-        if (kill != 0) {
-          DyingTransport dying(*worker_ends[r], kill);
-          run_worker(plan, dying, w);
-        } else {
-          run_worker(plan, *worker_ends[r], w);
-        }
+        run_worker(plan, *use, w);
       } catch (...) {
         // The coordinator surfaces the failure; the thread just exits.
       }
     });
+    return coord;
+  };
+
+  std::vector<RankTransport*> transports;
+  for (unsigned r = 0; r < n; ++r) {
+    std::string resume_dir;
+    if (cfg.resume && copts.resume) {
+      resume_dir =
+          rank_checkpoint_dir(cfg.ckpt_dir, copts.resume->watermark, r);
+    }
+    transports.push_back(start_worker(r, resume_dir));
   }
+
+  LambdaRankControl control;
+  control.kill = [&](unsigned r) {
+    // abort() releases a sender blocked (or wedged) in the decorator and
+    // makes every further send throw — the thread analogue of SIGKILL.
+    if (worker_end[r] != nullptr) worker_end[r]->abort();
+    if (rank_thread[r].joinable()) rank_thread[r].join();
+  };
+  control.resp = [&](unsigned r, const std::string& resume_dir) {
+    return start_worker(r, resume_dir);
+  };
+  copts.supervise = cfg.supervise;
+  if (cfg.supervise.enabled) copts.control = &control;
 
   DistResult out;
   stream::CallbackSink sink(
       [&](const ControlEvent& e) { out.events.push_back(e); });
-  std::vector<RankTransport*> transports;
-  for (auto& t : coord_ends) transports.push_back(t.get());
+  auto shutdown_workers = [&] {
+    for (unsigned r = 0; r < n; ++r) {
+      if (worker_end[r] != nullptr) worker_end[r]->abort();
+      if (rank_thread[r].joinable()) rank_thread[r].join();
+    }
+  };
   try {
     out.stats = run_merge(plan, transports, sink, copts);
   } catch (...) {
-    for (auto& t : coord_ends) t->abort();
-    for (auto& t : threads) t.join();
+    shutdown_workers();
     throw;
   }
-  for (auto& t : threads) t.join();
+  shutdown_workers();
   return out;
 }
 
@@ -775,6 +886,190 @@ TEST(DistObs, CoordinatorAggregatesRankRegistriesWithRankLabels) {
   EXPECT_TRUE(saw_rank_label)
       << "per-rank series did not reach the coordinator registry";
   EXPECT_EQ(merged_rank_events, got.events.size());
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: kill/hang a rank mid-run, heal it, and the merged stream must
+// stay byte-identical to an unfaulted run.
+
+void expect_same_stream(const std::vector<ControlEvent>& got,
+                        const std::vector<ControlEvent>& ref,
+                        const std::string& what) {
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(got[i].t_ms, ref[i].t_ms) << what << " @" << i;
+    ASSERT_EQ(got[i].ue_id, ref[i].ue_id) << what << " @" << i;
+    ASSERT_EQ(got[i].type, ref[i].type) << what << " @" << i;
+  }
+}
+
+SuperviseOptions fast_supervise(unsigned max_restarts = 4) {
+  SuperviseOptions sup;
+  sup.enabled = true;
+  sup.max_restarts = max_restarts;
+  sup.backoff_base_ms = 1;
+  sup.backoff_cap_ms = 4;
+  return sup;
+}
+
+TEST(Supervision, KilledRankIsHealedAndTheStreamStaysByteIdentical) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  // Early and late kill sites: the heal must replay correctly both before
+  // the first committed checkpoint and from a mid-run one.
+  for (const std::size_t kill_at : {std::size_t{5}, std::size_t{13}}) {
+    const std::string dir =
+        temp_dir(("sup_kill" + std::to_string(kill_at)).c_str());
+    DistConfig cfg;
+    cfg.ckpt_dir = dir;
+    cfg.kill_after = {0, kill_at, 0};
+    cfg.supervise = fast_supervise();
+    const DistResult got = run_dist(stationary(), 3, cfg);
+    expect_same_stream(got.events, ref,
+                       "kill_at=" + std::to_string(kill_at));
+    EXPECT_EQ(got.stats.restarts, 1u);
+    ASSERT_EQ(got.stats.incidents.size(), 1u);
+    const Incident& inc = got.stats.incidents[0];
+    EXPECT_EQ(inc.rank, 1u);
+    EXPECT_EQ(inc.restart, 1u);
+    EXPECT_FALSE(inc.hung);
+    EXPECT_FALSE(inc.cause.empty());
+    EXPECT_EQ(got.stats.totals.events, ref.size());
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Supervision, ScenarioKilledRankIsHealed) {
+  const std::vector<ControlEvent> ref = run_single(churny().plan);
+  const std::string dir = temp_dir("sup_scn");
+  DistConfig cfg;
+  cfg.ckpt_dir = dir;
+  cfg.kill_after = {9, 0};
+  cfg.supervise = fast_supervise();
+  const DistResult got = run_dist(churny().plan, 2, cfg);
+  expect_same_stream(got.events, ref, "scenario heal");
+  EXPECT_EQ(got.stats.restarts, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Supervision, HealWithoutCheckpointDirReplaysFromScratch) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  DistConfig cfg;  // no ckpt_dir: the respawned rank regenerates everything
+  cfg.kill_after = {0, 8};
+  cfg.supervise = fast_supervise();
+  const DistResult got = run_dist(stationary(), 2, cfg);
+  expect_same_stream(got.events, ref, "heal from scratch");
+  EXPECT_EQ(got.stats.restarts, 1u);
+  ASSERT_EQ(got.stats.incidents.size(), 1u);
+  EXPECT_EQ(got.stats.incidents[0].replay_from, 0u);
+}
+
+TEST(Supervision, HungRankTripsTheHeartbeatDeadlineAndIsHealed) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  DistConfig cfg;
+  cfg.hang_after = {0, 10, 0};
+  cfg.heartbeat_ms = 15;
+  cfg.supervise = fast_supervise();
+  cfg.supervise.heartbeat_deadline_ms = 400;
+  cfg.supervise.poll_ms = 10;
+  const DistResult got = run_dist(stationary(), 3, cfg);
+  expect_same_stream(got.events, ref, "hang heal");
+  EXPECT_EQ(got.stats.restarts, 1u);
+  ASSERT_EQ(got.stats.incidents.size(), 1u);
+  EXPECT_EQ(got.stats.incidents[0].rank, 1u);
+  EXPECT_TRUE(got.stats.incidents[0].hung);
+}
+
+TEST(Supervision, RestartBudgetExhaustionIsAOneLineActionableError) {
+  DistConfig cfg;
+  cfg.kill_after = {0, 6};
+  cfg.fault_every_incarnation = true;  // the rank dies every incarnation
+  cfg.supervise = fast_supervise(/*max_restarts=*/2);
+  std::vector<Incident> log;
+  cfg.supervise.on_incident = [&](const Incident& i) { log.push_back(i); };
+  try {
+    run_dist(stationary(), 2, cfg);
+    FAIL() << "expected restart budget exhaustion";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("restart budget exhausted (2 restarts used)"),
+              std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find('\n'), std::string::npos) << msg;
+  }
+  // Two heals were attempted and logged, plus the terminal budget incident.
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(Supervision, EnabledWithoutAControlSeamIsAnInvalidArgument) {
+  auto [w, c] = make_transport_pair();
+  CoordinatorOptions copts;
+  copts.stream.slice_ms = k_slice;
+  copts.supervise.enabled = true;  // but no copts.control
+  stream::CallbackSink sink([](const ControlEvent&) {});
+  std::vector<RankTransport*> ranks{c.get()};
+  EXPECT_THROW(run_merge(stationary(), ranks, sink, copts),
+               std::invalid_argument);
+}
+
+TEST(Supervision, RestartsAndDegradedTimeAreExportedAsMetrics) {
+  obs::Registry coord;
+  const std::string dir = temp_dir("sup_obs");
+  DistConfig cfg;
+  cfg.ckpt_dir = dir;
+  cfg.kill_after = {7, 0};
+  cfg.supervise = fast_supervise();
+  cfg.coord_metrics = &coord;
+  const DistResult got = run_dist(stationary(), 2, cfg);
+  EXPECT_EQ(got.stats.restarts, 1u);
+  std::uint64_t restarts = 0;
+  bool saw_degraded = false;
+  for (const obs::FamilySnapshot& fam : coord.snapshot()) {
+    if (fam.name == "cpg_dist_restarts_total") {
+      for (const obs::SeriesSnapshot& s : fam.series) restarts += s.counter;
+    }
+    if (fam.name == "cpg_dist_degraded_ms_total") saw_degraded = true;
+  }
+  EXPECT_EQ(restarts, 1u);
+  EXPECT_TRUE(saw_degraded);
+  std::filesystem::remove_all(dir);
+}
+
+// Randomized chaos sweep: seeded kill/hang schedules across rank counts,
+// with and without checkpointing. Every trial must either heal to a
+// byte-identical stream or (never, with this budget) fail loudly.
+TEST(SupervisionChaos, RandomKillAndHangSchedulesStayByteIdentical) {
+  const std::vector<ControlEvent> ref = run_single(stationary());
+  std::mt19937 rng(20260809u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const unsigned n = 2 + rng() % 2;  // 2..3 ranks
+    DistConfig cfg;
+    cfg.supervise = fast_supervise(/*max_restarts=*/8);
+    const bool use_ckpt = trial % 2 == 0;
+    std::string dir;
+    if (use_ckpt) {
+      dir = temp_dir(("chaos" + std::to_string(trial)).c_str());
+      cfg.ckpt_dir = dir;
+    }
+    cfg.kill_after.assign(n, 0);
+    cfg.hang_after.assign(n, 0);
+    const unsigned victim = rng() % n;
+    const std::size_t site = 2 + rng() % 12;  // dies/wedges after 2..13 sends
+    if (rng() % 2 == 0) {
+      cfg.kill_after[victim] = site;
+    } else {
+      cfg.hang_after[victim] = site;
+      cfg.heartbeat_ms = 15;
+      cfg.supervise.heartbeat_deadline_ms = 400;
+      cfg.supervise.poll_ms = 10;
+    }
+    SCOPED_TRACE("trial=" + std::to_string(trial) + " n=" +
+                 std::to_string(n) + " victim=" + std::to_string(victim) +
+                 " site=" + std::to_string(site));
+    const DistResult got = run_dist(stationary(), n, cfg);
+    expect_same_stream(got.events, ref, "chaos trial");
+    EXPECT_GE(got.stats.restarts, 1u);
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace

@@ -131,6 +131,17 @@ TEST_F(FailpointTest, ArmFromSpecParsesDocumentedSyntax) {
   EXPECT_NO_THROW(failpoint("a.two").evaluate());
 }
 
+TEST_F(FailpointTest, ProcessLevelActionsParseButAreNotEvaluatedHere) {
+  // kill raises SIGKILL and hang parks the thread forever — both are for
+  // spawned worker processes (scripts/chaos_smoke.sh), so this test only
+  // checks that the chaos spec syntax arms them, never evaluates them.
+  EXPECT_EQ(arm_from_spec("x.kill=kill(1,0,3);x.hang=hang"), 2u);
+  EXPECT_TRUE(failpoint("x.kill").armed());
+  EXPECT_TRUE(failpoint("x.hang").armed());
+  EXPECT_EQ(failpoint("x.kill").fires(), 0u);
+  EXPECT_EQ(failpoint("x.hang").fires(), 0u);
+}
+
 TEST_F(FailpointTest, ArmFromSpecRejectsBadEntries) {
   EXPECT_THROW(arm_from_spec("noequals"), std::invalid_argument);
   EXPECT_THROW(arm_from_spec("x=unknown_action"), std::invalid_argument);

@@ -897,6 +897,62 @@ TEST_F(CheckpointDir, CsvSinkKillAndResumeProducesIdenticalFiles) {
             read_file(ref_prefix + "_ues.csv"));
 }
 
+TEST_F(CheckpointDir, GracefulStopFinalizesFilesAndResumeRestagesThem) {
+  const std::string ref_prefix = dir_ + "/ref";
+  const std::string run_prefix = dir_ + "/run";
+  std::filesystem::create_directories(dir_);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+  };
+
+  {
+    CsvSink ref(ref_prefix);
+    StreamOptions opts = checkpointed_options(dir_ + "/ck_ref");
+    opts.checkpoint.dir.clear();  // plain run
+    stream_generate(ours_model(), small_request(), opts, ref);
+  }
+
+  {
+    CsvSink run(run_prefix);
+    StreamOptions opts = checkpointed_options(dir_ + "/ck");
+    std::uint64_t polls = 0;
+    opts.stop_check = [&polls] { return ++polls >= 4; };
+    const StreamStats stats =
+        stream_generate(ours_model(), small_request(), opts, run);
+    EXPECT_TRUE(stats.stopped);
+    EXPECT_LT(stats.slices, 12u);
+  }
+  // Unlike a kill, a graceful stop finalizes the prefix: the staging files
+  // were renamed to their final names, and the checkpoint was kept.
+  EXPECT_TRUE(std::filesystem::exists(run_prefix + "_events.csv"));
+  EXPECT_TRUE(std::filesystem::exists(run_prefix + "_ues.csv"));
+  EXPECT_FALSE(std::filesystem::exists(run_prefix + "_events.csv.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(run_prefix + "_ues.csv.tmp"));
+  ASSERT_TRUE(load_checkpoint(dir_ + "/ck").has_value());
+
+  {
+    // A fresh sink resuming must move the finalized files back into
+    // staging (the restage path) before truncating to the token.
+    CsvSink run(run_prefix);
+    StreamOptions opts = checkpointed_options(dir_ + "/ck");
+    opts.resume = true;
+    const StreamStats stats =
+        stream_generate(ours_model(), small_request(), opts, run);
+    EXPECT_GT(stats.start_slice, 0u);
+    EXPECT_FALSE(stats.stopped);
+  }
+  EXPECT_EQ(read_file(run_prefix + "_events.csv"),
+            read_file(ref_prefix + "_events.csv"));
+  EXPECT_EQ(read_file(run_prefix + "_ues.csv"),
+            read_file(ref_prefix + "_ues.csv"));
+  // The completed resume retired the checkpoint.
+  EXPECT_FALSE(load_checkpoint(dir_ + "/ck").has_value());
+}
+
 TEST_F(CheckpointDir, ResumeWithoutCheckpointStartsFresh) {
   std::vector<ControlEvent> store;
   DurableStoreSink sink(store);

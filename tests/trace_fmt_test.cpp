@@ -22,6 +22,7 @@
 #include "test_util.h"
 #include "trace_fmt/cpgt.h"
 #include "trace_fmt/reader.h"
+#include "trace_fmt/salvage.h"
 #include "trace_fmt/writer.h"
 
 namespace cpg {
@@ -268,6 +269,134 @@ TEST_F(CpgtCorruption, TrailingGarbageRejected) {
   spit(p, data);
   const std::string err = error_of(p);
   EXPECT_NE(err.find("trailing data"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Salvage: recover the valid prefix of a torn file (trace_cat salvage)
+// ---------------------------------------------------------------------------
+
+class CpgtSalvage : public CpgtCorruption {
+ protected:
+  // All events write_valid() encodes, for prefix comparison.
+  static std::vector<ControlEvent> valid_events() {
+    return make_events(300, 2);
+  }
+
+  // Reads every event of a (salvaged) file back.
+  static std::vector<ControlEvent> read_all(const std::string& p) {
+    tf::TraceReader reader(p);
+    std::vector<ControlEvent> got, block;
+    while (reader.next_events(block)) {
+      got.insert(got.end(), block.begin(), block.end());
+    }
+    return got;
+  }
+};
+
+TEST_F(CpgtSalvage, IntactFileSalvagesToAnEquivalentFile) {
+  const std::string p = write_valid();
+  const std::string out = path("intact_out.cpgt");
+  const tf::SalvageResult r = tf::salvage_trace(p, out);
+  EXPECT_TRUE(r.intact);
+  EXPECT_TRUE(r.failure.empty()) << r.failure;
+  EXPECT_EQ(r.dropped_bytes, 0u);
+  EXPECT_EQ(r.events_recovered, 300u);
+  EXPECT_EQ(r.ues_recovered, 2u);
+  EXPECT_EQ(read_all(out), valid_events());
+  tf::TraceReader reader(out);
+  EXPECT_EQ(reader.fingerprint(), tf::TraceReader(p).fingerprint());
+}
+
+TEST_F(CpgtSalvage, TruncationMidBlockRecoversTheValidPrefix) {
+  const std::string p = write_valid();
+  std::string data = slurp(p);
+  data.resize(data.size() - 37);  // tear into the trailing blocks
+  spit(p, data);
+  const std::string out = path("torn_out.cpgt");
+  const tf::SalvageResult r = tf::salvage_trace(p, out);
+  EXPECT_FALSE(r.intact);
+  EXPECT_NE(r.failure.find("truncated block"), std::string::npos)
+      << r.failure;
+  EXPECT_GT(r.dropped_bytes, 0u);
+  EXPECT_LT(r.valid_bytes, data.size());
+  // The recovered events are an exact prefix of the original stream, and
+  // the salvaged file reads cleanly end to end.
+  const std::vector<ControlEvent> got = read_all(out);
+  const std::vector<ControlEvent> want = valid_events();
+  ASSERT_EQ(got.size(), r.events_recovered);
+  ASSERT_GT(got.size(), 0u);
+  ASSERT_LT(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "salvaged prefix diverges at " << i;
+  }
+  // The fingerprint (resume/append identity) survives salvage.
+  const std::vector<DeviceType> devices{DeviceType::phone,
+                                        DeviceType::tablet};
+  EXPECT_EQ(tf::TraceReader(out).fingerprint(),
+            tf::run_fingerprint(devices, 0, 1000));
+}
+
+TEST_F(CpgtSalvage, CutOnABlockBoundaryKeepsEveryEvent) {
+  const std::string p = write_valid();
+  std::string data = slurp(p);
+  // Remove exactly the end block: a writer killed between its last events
+  // block and finish(). Every event is still recoverable.
+  data.resize(data.size() - (tf::k_block_head_bytes + 8 + tf::k_crc_bytes));
+  spit(p, data);
+  const std::string out = path("boundary_out.cpgt");
+  const tf::SalvageResult r = tf::salvage_trace(p, out);
+  EXPECT_FALSE(r.intact);
+  EXPECT_NE(r.failure.find("missing end block"), std::string::npos)
+      << r.failure;
+  EXPECT_EQ(r.events_recovered, 300u);
+  EXPECT_EQ(r.dropped_bytes, 0u);
+  EXPECT_EQ(read_all(out), valid_events());
+}
+
+TEST_F(CpgtSalvage, CrcFailureStopsTheScanAtTheCorruptBlock) {
+  const std::string p = write_valid();
+  std::string data = slurp(p);
+  data[data.size() / 2] ^= 0x04;  // flip one bit mid-file
+  spit(p, data);
+  const std::string out = path("crc_out.cpgt");
+  const tf::SalvageResult r = tf::salvage_trace(p, out);
+  EXPECT_FALSE(r.intact);
+  EXPECT_NE(r.failure.find("CRC mismatch"), std::string::npos) << r.failure;
+  EXPECT_GT(r.dropped_bytes, 0u);
+  const std::vector<ControlEvent> got = read_all(out);
+  const std::vector<ControlEvent> want = valid_events();
+  ASSERT_EQ(got.size(), r.events_recovered);
+  ASSERT_LT(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]);
+  }
+}
+
+TEST_F(CpgtSalvage, TrailingGarbageAfterTheEndBlockIsDropped) {
+  const std::string p = write_valid();
+  std::string data = slurp(p);
+  data += "garbage";  // an interrupted append after a clean finish
+  spit(p, data);
+  const std::string out = path("trail_out.cpgt");
+  const tf::SalvageResult r = tf::salvage_trace(p, out);
+  EXPECT_FALSE(r.intact);
+  EXPECT_NE(r.failure.find("trailing bytes after the end block"),
+            std::string::npos)
+      << r.failure;
+  EXPECT_EQ(r.events_recovered, 300u);
+  EXPECT_EQ(r.dropped_bytes, std::string("garbage").size());
+  EXPECT_EQ(read_all(out), valid_events());
+}
+
+TEST_F(CpgtSalvage, UnusableHeaderIsNotSalvageable) {
+  const std::string p = path("stub.cpgt");
+  spit(p, "cpgt");  // truncated inside the 16-byte header
+  EXPECT_THROW(tf::salvage_trace(p, path("stub_out.cpgt")),
+               std::runtime_error);
+  const std::string csv = path("not_cpgt.csv");
+  spit(csv, "t_ms,ue_id,event\n100,0,ATCH\n");
+  EXPECT_THROW(tf::salvage_trace(csv, path("csv_out.cpgt")),
+               std::runtime_error);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,8 +16,11 @@
 //
 // Without --model, a demo model is fitted on a small synthetic ground-truth
 // trace so the tool runs out of the box.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -49,6 +52,18 @@ namespace {
 
 using namespace cpg;
 using cli::UsageError;
+
+// Graceful SIGTERM/SIGINT: the handler only sets a flag; the stream runtime
+// polls it at slice boundaries (StreamOptions::stop_check), cuts a final
+// checkpoint when checkpointing is on, and finishes the sinks so staged
+// files land as a valid prefix. A second signal aborts immediately with the
+// conventional 128+signo status.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void handle_stop_signal(int signo) {
+  if (g_stop_signal != 0) std::_Exit(128 + signo);
+  g_stop_signal = signo;
+}
 
 model::ModelSet demo_model(std::uint64_t seed) {
   std::cerr << "no --model given: fitting a demo model on a synthetic "
@@ -108,7 +123,7 @@ int run(int argc, char** argv) {
       }
     }
   } else {
-    for (const char* f : {"dist-resume-dir", "dist-obs"}) {
+    for (const char* f : {"dist-resume-dir", "dist-obs", "dist-heartbeat-ms"}) {
       if (flags.count(f) != 0) {
         throw UsageError(std::string("--") + f +
                          " is internal to --dist-worker mode");
@@ -203,6 +218,50 @@ int run(int argc, char** argv) {
     throw UsageError("--resume cannot be combined with --mcn");
   }
 
+  // --supervise: self-healing policy for the distributed runtime. "off"
+  // (the default) preserves fail-fast: any rank failure aborts the run.
+  // "restart[:max]" heals dead or hung ranks by kill + respawn + replay
+  // from the last committed distributed checkpoint, within a total restart
+  // budget (default 3).
+  dist::SuperviseOptions rank_supervision;
+  if (flags.count("supervise") != 0) {
+    if (!dist_run) {
+      throw UsageError("--supervise requires --ranks (it supervises ranks)");
+    }
+    const std::string& v = flags.at("supervise");
+    if (v == "restart" || v.rfind("restart:", 0) == 0) {
+      rank_supervision.enabled = true;
+      if (v.size() > 8) {
+        const std::string n = v.substr(8);
+        std::size_t pos = 0;
+        unsigned long long max_restarts = 0;
+        try {
+          max_restarts = std::stoull(n, &pos);
+        } catch (...) {
+          pos = std::string::npos;
+        }
+        if (pos != n.size() || n.empty()) {
+          throw UsageError(
+              "--supervise restart:<max>: expected a non-negative integer, "
+              "got \"" + n + "\"");
+        }
+        rank_supervision.max_restarts = static_cast<unsigned>(
+            std::min<unsigned long long>(max_restarts, 1u << 20));
+      }
+    } else if (v != "off") {
+      throw UsageError("--supervise must be off or restart[:max_restarts], "
+                       "got \"" + v + "\"");
+    }
+  }
+  if (flags.count("heartbeat-deadline-ms") != 0 && !rank_supervision.enabled) {
+    throw UsageError(
+        "--heartbeat-deadline-ms requires --supervise restart");
+  }
+  rank_supervision.heartbeat_deadline_ms =
+      static_cast<int>(cli::flag_u64_range(
+          flags, "heartbeat-deadline-ms",
+          rank_supervision.enabled ? 5000 : 0, 0, 3'600'000));
+
   stream::ResilientSinkOptions resilience;
   const bool supervise = flags.count("sink-policy") != 0;
   if (supervise) {
@@ -240,6 +299,14 @@ int run(int argc, char** argv) {
       std::cerr << "rank " << worker_rank << ": armed " << armed
                 << " failpoint(s) from " << var << "\n";
     }
+    // Ctrl-C reaches the whole foreground process group; the coordinator
+    // owns the graceful stop, so a worker ignores SIGINT and dies by the
+    // coordinator's SIGTERM once the merge has wound down.
+    std::signal(SIGINT, SIG_IGN);
+  } else {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    options.stop_check = [] { return g_stop_signal != 0; };
   }
 
   // --metrics-out turns on the whole observability stack: the stream
@@ -310,6 +377,8 @@ int run(int argc, char** argv) {
     wopts.ship_checkpoints = !options.checkpoint.dir.empty();
     wopts.resume_dir =
         flags.count("dist-resume-dir") ? flags.at("dist-resume-dir") : "";
+    wopts.heartbeat_ms = static_cast<int>(cli::flag_u64_range(
+        flags, "dist-heartbeat-ms", 0, 0, 3'600'000));
     const auto t0 = std::chrono::steady_clock::now();
     const stream::StreamStats stats =
         dist::run_worker(*plan, transport, wopts);
@@ -358,6 +427,14 @@ int run(int argc, char** argv) {
     dist::LaunchOptions lopts;
     lopts.num_ranks = num_ranks;
     lopts.coordinator.stream = options;
+    lopts.coordinator.supervise = rank_supervision;
+    lopts.coordinator.supervise.on_incident = [](const dist::Incident& i) {
+      std::cerr << "supervise: rank=" << i.rank
+                << " restart=" << i.restart << " slice=" << i.slice
+                << " replay_from=" << i.replay_from
+                << " kind=" << (i.hung ? "hung" : "dead")
+                << " cause=\"" << i.cause << "\"\n";
+    };
     std::optional<dist::DistManifest> manifest;
     if (options.resume) {
       manifest = dist::prepare_resume(options.checkpoint.dir, *plan,
@@ -365,8 +442,15 @@ int run(int argc, char** argv) {
                                       std::max<TimeMs>(1, options.slice_ms));
       lopts.coordinator.resume = manifest;
     }
+    // A supervised worker heartbeats a few times per deadline window, so a
+    // slow-but-alive rank never trips the silence detector.
+    const int heartbeat_ms =
+        rank_supervision.enabled && rank_supervision.heartbeat_deadline_ms > 0
+            ? std::max(10, rank_supervision.heartbeat_deadline_ms / 4)
+            : 0;
     const std::string exe = dist::self_exe();
-    lopts.args_for = [&](unsigned r) {
+    lopts.args_for = [&, heartbeat_ms](unsigned r,
+                                       const std::string& resume_dir) {
       std::vector<std::string> args{exe, "--dist-worker", std::to_string(r),
                                     "--ranks", std::to_string(num_ranks)};
       for (const char* f : k_worker_passthrough) {
@@ -376,10 +460,13 @@ int run(int argc, char** argv) {
         }
       }
       if (want_metrics) args.push_back("--dist-obs");
-      if (manifest.has_value()) {
+      if (heartbeat_ms > 0) {
+        args.push_back("--dist-heartbeat-ms");
+        args.push_back(std::to_string(heartbeat_ms));
+      }
+      if (!resume_dir.empty()) {
         args.push_back("--dist-resume-dir");
-        args.push_back(dist::rank_checkpoint_dir(options.checkpoint.dir,
-                                                 manifest->watermark, r));
+        args.push_back(resume_dir);
       }
       return args;
     };
@@ -459,6 +546,17 @@ int run(int argc, char** argv) {
                      std::to_string(s.max_queue_depth)});
     }
     table.print(std::cout);
+  }
+  if (stats.stopped) {
+    std::cerr << "interrupted (signal " << static_cast<int>(g_stop_signal)
+              << "): stopped gracefully at slice watermark "
+              << stats.start_slice + stats.slices;
+    if (!options.checkpoint.dir.empty()) {
+      std::cerr << "; resume with --resume --checkpoint-dir "
+                << options.checkpoint.dir;
+    }
+    std::cerr << "\n";
+    return 128 + static_cast<int>(g_stop_signal);
   }
   return 0;
 }

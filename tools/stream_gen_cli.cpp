@@ -33,6 +33,16 @@ const char* const k_usage = R"(usage: stream_gen [options]
   --ranks <n>               distributed generation: spawn n worker processes
                             (one rank each) and merge their streams here;
                             output is byte-identical to a 1-process run
+  --supervise <p>           self-healing for --ranks runs: off (default,
+                            fail-fast) or restart[:max_restarts] — kill and
+                            respawn a dead or hung rank from the last
+                            committed distributed checkpoint, replaying and
+                            deduping so merged output stays byte-identical;
+                            at most max_restarts respawns (default 3)
+  --heartbeat-deadline-ms <ms>
+                            declare a supervised rank hung after this much
+                            frame silence (default 5000; workers heartbeat
+                            at a quarter of this; 0 = hang detection off)
   --checkpoint-dir <dir>    periodically checkpoint stream progress to <dir>
   --checkpoint-interval <k> slices between checkpoints (default 16)
   --resume                  continue from the checkpoint in --checkpoint-dir
@@ -52,6 +62,8 @@ const char* const k_usage = R"(usage: stream_gen [options]
                             the coordinator, not for interactive use)
   --dist-resume-dir <dir>   internal: directory of this rank's committed
                             checkpoint when resuming a distributed run
+  --dist-heartbeat-ms <ms>  internal: worker heartbeat period under
+                            --supervise (set by the coordinator)
   --dist-obs                internal: ship this rank's metrics registry
                             snapshot to the coordinator for aggregation
   --help                    print this message and exit
@@ -65,7 +77,8 @@ const std::set<std::string>& value_flags() {
       "accel",      "out",      "format",      "metrics-out",
       "metrics-interval-s",
       "checkpoint-dir", "checkpoint-interval", "sink-policy", "spill-file",
-      "ranks",      "dist-worker", "dist-resume-dir"};
+      "ranks",      "dist-worker", "dist-resume-dir", "dist-heartbeat-ms",
+      "supervise",  "heartbeat-deadline-ms"};
   return flags;
 }
 

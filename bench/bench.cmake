@@ -33,6 +33,7 @@ cpg_add_bench(gen_hotpath cpg_stream)
 cpg_add_bench(stream_throughput cpg_stream)
 cpg_add_bench(scenario_throughput cpg_scenario cpg_stream)
 cpg_add_bench(obs_overhead cpg_stream cpg_obs)
+cpg_add_bench(spatial_overhead cpg_stream cpg_spatial)
 cpg_add_bench(dist_throughput cpg_dist cpg_stream cpg_obs)
 
 cpg_add_bench(ablation_aggregate)

@@ -1,0 +1,125 @@
+// Spatial-layer overhead: streaming throughput with cell annotation
+// enabled vs disabled.
+//
+// The spatial layer budget is <10% events/s on the streaming hot path
+// (DESIGN.md "Spatial layer"): per delivered slice it advances each UE's
+// trajectory to the slice's event times and writes one cell id per event.
+// This bench generates the same multi-hour population repeatedly through
+// stream::stream_generate into a counting sink, alternating spatial-off
+// and spatial-on runs over a metro-sized grid, takes the best run of each
+// mode so scheduler noise cancels, and reports the relative overhead.
+// Results land in ./BENCH_spatial.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common.h"
+#include "spatial/config.h"
+#include "stream/event_sink.h"
+#include "stream/stream_generator.h"
+
+namespace cpg::bench {
+namespace {
+
+constexpr double k_gen_hours = 4.0;
+constexpr int k_reps = 3;
+// A metro-scale grid: 32x32 cells of 500 m with waypoint/commuter motion.
+constexpr const char* k_grid = "grid:32x32x500";
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+};
+
+double events_per_sec(const RunResult& r) {
+  return r.seconds > 0 ? double(r.events) / r.seconds : 0.0;
+}
+
+RunResult run_once(const model::ModelSet& models,
+                   const gen::GenerationRequest& request,
+                   const spatial::SpatialConfig* spatial) {
+  stream::StreamOptions opts;
+  opts.slice_ms = 10 * k_ms_per_minute;
+  opts.spatial = spatial;
+
+  stream::CountingSink sink;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.events = stream_generate(models, request, opts, sink).events;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+}  // namespace
+}  // namespace cpg::bench
+
+int main(int argc, char** argv) {
+  using namespace cpg;
+  using namespace cpg::bench;
+
+  const BenchConfig config = BenchConfig::from_args(argc, argv);
+  print_header(std::cout, "Spatial-layer overhead",
+               "cell annotation cost on the streaming hot path "
+               "(src/spatial/), not a paper table",
+               config);
+
+  model::ModelSet models = [&] {
+    const Trace fit_trace = make_fit_trace(config);
+    return fit_method(fit_trace, model::Method::ours, config);
+  }();
+
+  gen::GenerationRequest request;
+  request.ue_counts = device_mix(config.scenario1_ues());
+  request.start_hour = 10;
+  request.duration_hours = k_gen_hours;
+  request.seed = config.seed + 11;
+  request.num_threads = config.threads;
+
+  const spatial::SpatialConfig grid = spatial::load_spatial(k_grid);
+
+  // Warm-up run (page in the model, prime the allocator), then interleaved
+  // measured reps.
+  (void)run_once(models, request, nullptr);
+  RunResult best_off, best_on;
+  for (int rep = 0; rep < k_reps; ++rep) {
+    const RunResult off = run_once(models, request, nullptr);
+    const RunResult on = run_once(models, request, &grid);
+    if (events_per_sec(off) > events_per_sec(best_off)) best_off = off;
+    if (events_per_sec(on) > events_per_sec(best_on)) best_on = on;
+  }
+  if (best_off.events == 0 || best_off.events != best_on.events) {
+    std::fprintf(stderr, "event count mismatch: off=%llu on=%llu\n",
+                 (unsigned long long)best_off.events,
+                 (unsigned long long)best_on.events);
+    return 1;
+  }
+
+  const double eps_off = events_per_sec(best_off);
+  const double eps_on = events_per_sec(best_on);
+  const double overhead_pct = 100.0 * (eps_off - eps_on) / eps_off;
+  const bool pass = overhead_pct < 10.0;
+
+  std::printf("%-14s %14s %14s\n", "mode", "events", "events/s");
+  std::printf("%-14s %14llu %14.0f\n", "spatial off",
+              (unsigned long long)best_off.events, eps_off);
+  std::printf("%-14s %14llu %14.0f\n", "spatial on",
+              (unsigned long long)best_on.events, eps_on);
+  std::printf("overhead: %.2f%% (budget < 10%%) -> %s\n", overhead_pct,
+              pass ? "PASS" : "FAIL");
+
+  std::ofstream json("BENCH_spatial.json");
+  json << "{\n  \"bench\": \"spatial_overhead\",\n  \"scale\": "
+       << config.scale << ",\n  \"gen_hours\": " << k_gen_hours
+       << ",\n  \"reps\": " << k_reps << ",\n  \"grid\": \"" << k_grid
+       << "\",\n  \"events\": " << best_off.events
+       << ",\n  \"events_per_sec_spatial_off\": " << std::uint64_t(eps_off)
+       << ",\n  \"events_per_sec_spatial_on\": " << std::uint64_t(eps_on)
+       << ",\n  \"overhead_pct\": " << overhead_pct
+       << ",\n  \"budget_pct\": 10.0,\n  \"pass\": "
+       << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "wrote BENCH_spatial.json\n";
+  return 0;
+}

@@ -13,4 +13,5 @@ done
 [ -f BENCH_stream.json ] && echo "machine-readable: $(pwd)/BENCH_stream.json"
 [ -f BENCH_gen.json ] && echo "machine-readable: $(pwd)/BENCH_gen.json"
 [ -f BENCH_distributed.json ] && echo "machine-readable: $(pwd)/BENCH_distributed.json"
+[ -f BENCH_spatial.json ] && echo "machine-readable: $(pwd)/BENCH_spatial.json"
 python3 scripts/bench_trend.py

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstring>
 
 namespace cpg {
@@ -15,9 +16,18 @@ void EventColumnsView::materialize(std::vector<ControlEvent>& out) const {
 }
 
 void EventColumns::append(const EventColumnsView& v) {
+  const std::size_t old_n = ts.size();
   ts.insert(ts.end(), v.ts, v.ts + v.n);
   ue.insert(ue.end(), v.ue, v.ue + v.n);
   type.insert(type.end(), v.type, v.type + v.n);
+  // Cell column: follows the view when present; a mix of cell-carrying and
+  // cell-free appends backfills zeros so the length invariant holds.
+  if (v.cell != nullptr) {
+    if (cell.size() != old_n) cell.resize(old_n, 0);
+    cell.insert(cell.end(), v.cell, v.cell + v.n);
+  } else if (!cell.empty()) {
+    cell.resize(ts.size(), 0);
+  }
 }
 
 void EventColumns::append(std::span<const ControlEvent> events) {
@@ -62,6 +72,10 @@ inline void unpack_keys(EventColumns& c, const std::uint64_t* keys,
 }  // namespace
 
 void sort_columns(EventColumns& cols, ColumnSortScratch& s) {
+  // The sort decodes packed (ts, ue, type) keys back instead of permuting
+  // payload, so it cannot carry a cell column along; spatial annotation
+  // happens strictly after sorting.
+  assert(cols.cell.empty());
   const std::size_t n = cols.size();
   if (n < 2) return;
 

@@ -31,18 +31,24 @@ struct EventColumnsView {
   const UeId* ue = nullptr;
   const EventType* type = nullptr;
   std::size_t n = 0;
+  // Optional spatial column: serving/target cell id per event, nullptr when
+  // the producing stage runs without the spatial layer.
+  const std::uint32_t* cell = nullptr;
 
   std::size_t size() const noexcept { return n; }
   bool empty() const noexcept { return n == 0; }
+  bool has_cells() const noexcept { return cell != nullptr; }
 
-  // Gathers element i as an AoS event (boundary inspection, shims).
+  // Gathers element i as an AoS event (boundary inspection, shims). The
+  // cell column has no AoS mirror; materializing drops it.
   ControlEvent operator[](std::size_t i) const noexcept {
     return ControlEvent{ts[i], ue[i], type[i]};
   }
 
   EventColumnsView subview(std::size_t offset, std::size_t count) const
       noexcept {
-    return EventColumnsView{ts + offset, ue + offset, type + offset, count};
+    return EventColumnsView{ts + offset, ue + offset, type + offset, count,
+                            cell != nullptr ? cell + offset : nullptr};
   }
 
   std::span<const TimeMs> ts_span() const noexcept { return {ts, n}; }
@@ -51,19 +57,27 @@ struct EventColumnsView {
   void materialize(std::vector<ControlEvent>& out) const;
 };
 
-// Owning SoA event buffer. The three vectors always have identical length.
+// Owning SoA event buffer. The three primary vectors always have identical
+// length; `cell` is either empty (no spatial layer) or the same length.
+// sort_columns requires the cell column to be empty — the sort decodes
+// packed keys back rather than permuting payload — so the spatializer
+// assigns cells strictly after sorting (and after the carry split, which
+// keeps carried-over events cell-free until they are delivered).
 struct EventColumns {
   std::vector<TimeMs> ts;
   std::vector<UeId> ue;
   std::vector<EventType> type;
+  std::vector<std::uint32_t> cell;
 
   std::size_t size() const noexcept { return ts.size(); }
   bool empty() const noexcept { return ts.empty(); }
+  bool has_cells() const noexcept { return !cell.empty(); }
 
   void clear() noexcept {
     ts.clear();
     ue.clear();
     type.clear();
+    cell.clear();
   }
 
   void reserve(std::size_t n) {
@@ -87,6 +101,7 @@ struct EventColumns {
     ts.resize(n);
     ue.resize(n);
     type.resize(n);
+    if (!cell.empty()) cell.resize(n);
   }
 
   void append(const EventColumnsView& v);
@@ -94,7 +109,10 @@ struct EventColumns {
   void assign(std::span<const ControlEvent> events);
 
   EventColumnsView view() const noexcept {
-    return EventColumnsView{ts.data(), ue.data(), type.data(), ts.size()};
+    return EventColumnsView{ts.data(), ue.data(), type.data(), ts.size(),
+                            cell.size() == ts.size() && !ts.empty()
+                                ? cell.data()
+                                : nullptr};
   }
 
   ControlEvent operator[](std::size_t i) const noexcept {

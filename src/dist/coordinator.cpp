@@ -19,9 +19,11 @@
 #include "fault/failpoint.h"
 #include "io/file_util.h"
 #include "obs/merge.h"
+#include "spatial/config.h"
 #include "stream/checkpoint.h"
 #include "stream/merge.h"
 #include "stream/pacing.h"
+#include "trace_fmt/cpgt.h"
 
 namespace cpg::dist {
 
@@ -70,7 +72,7 @@ struct RankItem {
     hung  // heartbeat deadline expired: no frames for the silence window
   };
   Kind kind = Kind::error;
-  std::vector<ControlEvent> events;
+  EventColumns events;  // SoA; carries the cell column for spatial ranks
   SliceEndFrame slice_end{};
   std::uint64_t ck_watermark = 0;
   std::string text;  // checkpoint bytes / obs payload / error message
@@ -228,6 +230,10 @@ void reader_loop(RankTransport& transport, unsigned rank, unsigned num_ranks,
         case FrameType::events:
           it.kind = RankItem::Kind::events;
           decode_events(f->payload, it.events);
+          break;
+        case FrameType::events_cells:
+          it.kind = RankItem::Kind::events;
+          decode_events_cells(f->payload, it.events);
           break;
         case FrameType::slice_end:
           it.kind = RankItem::Kind::slice_end;
@@ -502,7 +508,23 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   }
   const int deadline_ms = sup.enabled ? sup.heartbeat_deadline_ms : 0;
 
-  const stream::StreamHeader header{plan.device_of, t_begin, t_end};
+  // Spatial runs announce the grid geometry to the sink, exactly like the
+  // in-process runtime (workers annotate; the coordinator only forwards).
+  trace_fmt::SpatialInfo spatial_info{};
+  const trace_fmt::SpatialInfo* header_spatial = nullptr;
+  if (options.stream.spatial != nullptr) {
+    const spatial::SpatialConfig& sc = *options.stream.spatial;
+    spatial_info.cols = sc.grid.cols;
+    spatial_info.rows = sc.grid.rows;
+    spatial_info.cell_m = sc.grid.cell_m;
+    spatial_info.wrap = sc.grid.wrap;
+    spatial_info.ta_block = sc.grid.ta_block;
+    spatial_info.fingerprint = sc.fingerprint();
+    header_spatial = &spatial_info;
+  }
+
+  const stream::StreamHeader header{plan.device_of, t_begin, t_end,
+                                    header_spatial};
   if (options.resume.has_value() && participant != nullptr) {
     participant->checkpoint_resume(options.resume->sink_token, header);
   } else {
@@ -597,9 +619,9 @@ DistStats run_merge(const stream::PopulationPlan& plan,
   };
   for (unsigned r = 0; r < n; ++r) spawn_reader(r);
 
-  std::vector<std::vector<ControlEvent>> runs(n);
+  std::vector<EventColumns> runs(n);
   std::vector<std::optional<std::string>> pending_ck(n);
-  std::vector<ControlEvent> merged;
+  EventColumns merged;
 
   // Per-incarnation event accounting: everything the *current* incarnation
   // of a rank emitted was either delivered (merged into the sink) or
@@ -662,8 +684,7 @@ DistStats run_merge(const stream::PopulationPlan& plan,
           if (runs[r].empty()) {
             runs[r] = std::move(item->events);
           } else {
-            runs[r].insert(runs[r].end(), item->events.begin(),
-                           item->events.end());
+            runs[r].append(item->events.view());
           }
           break;
         case RankItem::Kind::slice_end:
@@ -871,8 +892,8 @@ DistStats run_merge(const stream::PopulationPlan& plan,
     }
   };
 
-  auto deliver_batch = [&](std::span<const ControlEvent> evs) {
-    deliver_phased(sink, evs, schedule, apply_phase);
+  auto deliver_batch = [&](const EventColumnsView& evs) {
+    deliver_phased_columns(sink, evs, schedule, apply_phase);
     out.totals.events += evs.size();
   };
 
@@ -922,25 +943,29 @@ DistStats run_merge(const stream::PopulationPlan& plan,
       const std::uint64_t before = out.totals.events;
       if (pacer.passthrough()) {
         if (n == 1) {
-          deliver_batch(runs[0]);
+          deliver_batch(runs[0].view());
         } else {
           // Run-aware merge: rank slices interleave coarsely, so whole
-          // sub-spans move in one insert each instead of per-event pushes.
+          // sub-spans move in one columnar append each instead of per-event
+          // pushes; the cell column (when present) rides along.
           merged.clear();
           stream::gallop_merge(
-              std::span<const std::vector<ControlEvent>>(runs),
+              std::span<const EventColumns>(runs),
               [&](std::size_t r, std::size_t b, std::size_t e) {
-                merged.insert(merged.end(),
-                              runs[r].begin() + static_cast<std::ptrdiff_t>(b),
-                              runs[r].begin() + static_cast<std::ptrdiff_t>(e));
+                merged.append(runs[r].view().subview(b, e - b));
               });
-          deliver_batch(merged);
+          deliver_batch(merged.view());
         }
       } else {
-        stream::gallop_merge(std::span<const std::vector<ControlEvent>>(runs),
+        // Paced delivery is per event and drops the cell column (on_event
+        // carries no cell) — pacing targets live-ingest sinks, which read
+        // cells from the unpaced/batch paths.
+        stream::gallop_merge(std::span<const EventColumns>(runs),
                              [&](std::size_t r, std::size_t b, std::size_t e) {
+                               const EventColumns& run = runs[r];
                                for (std::size_t i = b; i < e; ++i) {
-                                 const ControlEvent& ev = runs[r][i];
+                                 const ControlEvent ev{run.ts[i], run.ue[i],
+                                                       run.type[i]};
                                  schedule.fire_until(ev.t_ms, apply_phase);
                                  pacer.pace(ev.t_ms);
                                  sink.on_event(ev);

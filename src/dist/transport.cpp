@@ -117,7 +117,7 @@ RecvStatus FdTransport::recv_step(std::optional<Frame>& out, int timeout_ms) {
       }
       const auto type = static_cast<std::uint8_t>(head_buf_[4]);
       if (type < static_cast<std::uint8_t>(FrameType::hello) ||
-          type > static_cast<std::uint8_t>(FrameType::heartbeat)) {
+          type > static_cast<std::uint8_t>(FrameType::events_cells)) {
         throw std::runtime_error("dist transport: unknown frame type " +
                                  std::to_string(type));
       }

@@ -12,6 +12,7 @@ namespace {
 }
 
 constexpr std::size_t k_event_bytes = 13;  // i64 t_ms + u32 ue_id + u8 type
+constexpr std::size_t k_event_cells_bytes = 17;  // + u32 cell
 
 }  // namespace
 
@@ -132,6 +133,77 @@ void decode_events(std::string_view payload, std::vector<ControlEvent>& out) {
     }
     e.type = k_all_event_types[type];
     out.push_back(e);
+  }
+}
+
+void append_events(std::string& payload, const EventColumnsView& events) {
+  std::string head;
+  put_u32(head, static_cast<std::uint32_t>(events.n));
+  payload.reserve(payload.size() + head.size() + events.n * k_event_bytes);
+  payload += head;
+  for (std::size_t i = 0; i < events.n; ++i) {
+    put_i64(payload, events.ts[i]);
+    put_u32(payload, events.ue[i]);
+    put_u8(payload, static_cast<std::uint8_t>(index_of(events.type[i])));
+  }
+}
+
+void decode_events(std::string_view payload, EventColumns& out) {
+  WireReader r{payload};
+  const std::uint32_t count = r.u32();
+  if (payload.size() - r.pos != count * k_event_bytes) {
+    throw std::runtime_error("dist wire: events frame size mismatch");
+  }
+  out.reserve(out.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int64_t t = r.i64();
+    const std::uint32_t ue = r.u32();
+    const std::uint8_t type = r.u8();
+    if (type >= k_num_event_types) {
+      throw std::runtime_error("dist wire: event type out of range");
+    }
+    out.ts.push_back(t);
+    out.ue.push_back(ue);
+    out.type.push_back(k_all_event_types[type]);
+  }
+  if (!out.cell.empty()) out.cell.resize(out.ts.size(), 0);
+}
+
+void append_events_cells(std::string& payload, const EventColumnsView& events) {
+  std::string head;
+  put_u32(head, static_cast<std::uint32_t>(events.n));
+  payload.reserve(payload.size() + head.size() +
+                  events.n * k_event_cells_bytes);
+  payload += head;
+  for (std::size_t i = 0; i < events.n; ++i) {
+    put_i64(payload, events.ts[i]);
+    put_u32(payload, events.ue[i]);
+    put_u8(payload, static_cast<std::uint8_t>(index_of(events.type[i])));
+    put_u32(payload, events.cell != nullptr ? events.cell[i] : 0);
+  }
+}
+
+void decode_events_cells(std::string_view payload, EventColumns& out) {
+  WireReader r{payload};
+  const std::uint32_t count = r.u32();
+  if (payload.size() - r.pos != count * k_event_cells_bytes) {
+    throw std::runtime_error("dist wire: events_cells frame size mismatch");
+  }
+  if (out.cell.size() != out.ts.size()) out.cell.resize(out.ts.size(), 0);
+  out.reserve(out.size() + count);
+  out.cell.reserve(out.cell.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int64_t t = r.i64();
+    const std::uint32_t ue = r.u32();
+    const std::uint8_t type = r.u8();
+    if (type >= k_num_event_types) {
+      throw std::runtime_error("dist wire: event type out of range");
+    }
+    const std::uint32_t cell = r.u32();
+    out.ts.push_back(t);
+    out.ue.push_back(ue);
+    out.type.push_back(k_all_event_types[type]);
+    out.cell.push_back(cell);
   }
 }
 

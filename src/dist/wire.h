@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/event_columns.h"
 #include "core/trace.h"
 #include "stream/stream_generator.h"
 
@@ -49,6 +50,10 @@ enum class FrameType : std::uint8_t {
   finish = 6,
   error = 7,
   heartbeat = 8,
+  // events + the spatial cell column (17-byte records). A spatial worker
+  // ships all its batches as events_cells; the two event frame types are
+  // otherwise interchangeable in the stream grammar above.
+  events_cells = 9,
 };
 
 struct Frame {
@@ -98,7 +103,18 @@ SliceEndFrame decode_slice_end(std::string_view payload);
 
 // events payload: u32 count, then count fixed-width events.
 void append_events(std::string& payload, std::span<const ControlEvent> events);
+void append_events(std::string& payload, const EventColumnsView& events);
 void decode_events(std::string_view payload, std::vector<ControlEvent>& out);
+// Columnar twin, appending into SoA merge buffers (the coordinator's run
+// accumulators). Events decoded this way carry no cell column; when `out`
+// already holds cells the new events backfill cell 0 to keep the columns
+// parallel.
+void decode_events(std::string_view payload, EventColumns& out);
+
+// events_cells payload: u32 count, then count fixed-width (i64 t_ms,
+// u32 ue_id, u8 type, u32 cell) records.
+void append_events_cells(std::string& payload, const EventColumnsView& events);
+void decode_events_cells(std::string_view payload, EventColumns& out);
 
 // checkpoint payload: u64 watermark, then the checkpoint bytes verbatim
 // (stream/checkpoint.h write_checkpoint format — opaque to the coordinator,

@@ -53,6 +53,27 @@ class TransportSink final : public stream::EventSink,
     }
   }
 
+  // Columnar path straight off the runtime's merge buffers. A spatial rank's
+  // batches carry the cell column and ship as events_cells frames; without
+  // cells this encodes the same 13-byte records on_events would.
+  void on_event_columns(const EventColumnsView& cols) override {
+    slice_events_ += cols.n;
+    std::size_t i = 0;
+    while (i < cols.n) {
+      const std::size_t n = std::min(cols.n - i, k_events_per_frame);
+      const EventColumnsView chunk = cols.subview(i, n);
+      payload_.clear();
+      if (chunk.cell != nullptr) {
+        append_events_cells(payload_, chunk);
+        transport_.send(FrameType::events_cells, payload_);
+      } else {
+        append_events(payload_, chunk);
+        transport_.send(FrameType::events, payload_);
+      }
+      i += n;
+    }
+  }
+
   void on_slice_delivered(std::uint64_t slice) override {
     // Chaos site: `kill` here dies after the slice's events but before its
     // slice_end (a torn slice for the coordinator); `hang` wedges the

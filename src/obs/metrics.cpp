@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace cpg::obs {
@@ -113,12 +114,39 @@ Registry::Series* Registry::find_series(Family& fam, const Labels& labels) {
   return nullptr;
 }
 
+Labels Registry::guard_labels(Family& fam, Labels labels) {
+  if (labels.empty() || fam.series.size() < series_limit_) return labels;
+  if (!fam.overflow_warned) {
+    fam.overflow_warned = true;
+    std::fprintf(stderr,
+                 "cpg: metric family '%s' reached the %zu-series label "
+                 "cardinality cap; new label values fold into \"other\"\n",
+                 fam.name.c_str(), series_limit_);
+  }
+  for (auto& [k, v] : labels) {
+    (void)k;
+    v = "other";
+  }
+  return labels;
+}
+
+void Registry::set_series_limit(std::size_t limit) {
+  if (limit == 0) {
+    throw std::invalid_argument("obs: series limit must be >= 1");
+  }
+  std::lock_guard lock(mu_);
+  series_limit_ = limit;
+}
+
 Counter& Registry::counter(std::string_view name, std::string_view help,
                            Labels labels) {
   std::lock_guard lock(mu_);
   Family& fam = family(name, help, MetricKind::counter);
   if (Series* s = find_series(fam, labels)) return *s->counter;
   check_labels(labels);
+  labels = guard_labels(fam, std::move(labels));
+  // The fold may land on the already-registered overflow series.
+  if (Series* s = find_series(fam, labels)) return *s->counter;
   fam.series.push_back(Series{std::move(labels), std::make_unique<Counter>(),
                               nullptr, nullptr});
   return *fam.series.back().counter;
@@ -130,6 +158,8 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help,
   Family& fam = family(name, help, MetricKind::gauge);
   if (Series* s = find_series(fam, labels)) return *s->gauge;
   check_labels(labels);
+  labels = guard_labels(fam, std::move(labels));
+  if (Series* s = find_series(fam, labels)) return *s->gauge;
   fam.series.push_back(Series{std::move(labels), nullptr,
                               std::make_unique<Gauge>(), nullptr});
   return *fam.series.back().gauge;
@@ -139,16 +169,24 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                std::vector<double> bounds, Labels labels) {
   std::lock_guard lock(mu_);
   Family& fam = family(name, help, MetricKind::histogram);
-  if (Series* s = find_series(fam, labels)) {
-    const auto existing = s->histogram->bounds();
+  const auto check_bounds = [&](const Series& s) {
+    const auto existing = s.histogram->bounds();
     if (!std::equal(existing.begin(), existing.end(), bounds.begin(),
                     bounds.end())) {
       throw std::invalid_argument("obs: histogram '" + std::string(name) +
                                   "' re-registered with different bounds");
     }
+  };
+  if (Series* s = find_series(fam, labels)) {
+    check_bounds(*s);
     return *s->histogram;
   }
   check_labels(labels);
+  labels = guard_labels(fam, std::move(labels));
+  if (Series* s = find_series(fam, labels)) {
+    check_bounds(*s);
+    return *s->histogram;
+  }
   fam.series.push_back(Series{std::move(labels), nullptr, nullptr,
                               std::make_unique<Histogram>(std::move(bounds))});
   return *fam.series.back().histogram;

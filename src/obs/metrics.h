@@ -148,8 +148,18 @@ struct FamilySnapshot {
 // Instrument registry. Thread-safe: registration and snapshotting take a
 // mutex, updates through returned instrument pointers are lock-free.
 // Returned references stay valid for the registry's lifetime.
+//
+// Label cardinality is capped per family (set_series_limit, default 1024):
+// once a family holds that many series, a registration with a *new* label
+// set folds every label value to "other" and returns that shared overflow
+// series, warning once per family on stderr. High-cardinality sources (the
+// spatial layer's per-cell counters over an operator-sized grid) thus
+// degrade to a bounded export instead of unbounded memory; existing series
+// keep resolving exactly.
 class Registry {
  public:
+  static constexpr std::size_t k_default_series_limit = 1024;
+
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -164,6 +174,10 @@ class Registry {
   // A re-registered histogram series must also match `bounds`.
   Histogram& histogram(std::string_view name, std::string_view help,
                        std::vector<double> bounds, Labels labels = {});
+
+  // Per-family series cap for the cardinality guard. Must be >= 1; applies
+  // to registrations after the call (existing series are never evicted).
+  void set_series_limit(std::size_t limit);
 
   // Families in registration order, series in registration order within a
   // family — exports are stable run over run.
@@ -183,14 +197,20 @@ class Registry {
     std::string help;
     MetricKind kind;
     std::deque<Series> series;
+    bool overflow_warned = false;
   };
 
   Family& family(std::string_view name, std::string_view help,
                  MetricKind kind);
   Series* find_series(Family& fam, const Labels& labels);
+  // Applies the cardinality cap to a labeled registration that did not match
+  // an existing series: at the cap, label values fold to "other" (warning
+  // once per family). Returns the labels to register under.
+  Labels guard_labels(Family& fam, Labels labels);
 
   mutable std::mutex mu_;
   std::deque<Family> families_;
+  std::size_t series_limit_ = k_default_series_limit;
 };
 
 }  // namespace cpg::obs

@@ -7,6 +7,7 @@
 #include "core/rng.h"
 #include "core/time_utils.h"
 #include "model/nextg.h"
+#include "spatial/motion.h"
 
 namespace cpg::scenario {
 
@@ -63,11 +64,20 @@ CompiledScenario compile(const ScenarioSpec& spec,
   };
 
   for (const CohortSpec& c : spec.cohorts) {
+    if (c.has_storm && options.spatial == nullptr) {
+      throw ScenarioError("cohort '" + c.name +
+                          "' declares a storm but the run has no spatial "
+                          "layer (pass --spatial)");
+    }
     const std::uint32_t model = model_index(c.model);
     const std::uint32_t wave_model =
         c.has_migrate ? model_index(c.migrate_model) : model;
     const TimeMs join_from = to_ms(plan.t_begin, c.join_from_h);
     const TimeMs join_to = to_ms(plan.t_begin, c.join_to_h);
+    const TimeMs storm_from =
+        c.has_storm ? to_ms(plan.t_begin, c.storm_from_h) : 0;
+    const TimeMs storm_to =
+        c.has_storm ? to_ms(plan.t_begin, c.storm_to_h) : 0;
     const TimeMs leave_from =
         c.has_leave ? to_ms(plan.t_begin, c.leave_from_h) : plan.t_end;
     const TimeMs leave_to =
@@ -79,8 +89,23 @@ CompiledScenario compile(const ScenarioSpec& spec,
       const UeId ue = static_cast<UeId>(plan.device_of.size());
       plan.device_of.push_back(c.device);
 
+      // Storm membership is decided by the home anchor — a pure function of
+      // (spatial config, seed, ue) — so the join override, like the window
+      // draw itself, is invariant to any shard/thread/rank split.
+      TimeMs jf = join_from;
+      TimeMs jt = join_to;
+      if (c.has_storm) {
+        const spatial::Vec2 home = spatial::home_position(
+            *options.spatial, options.seed, ue, c.device);
+        if (home.x >= c.storm_x0 && home.x < c.storm_x1 &&
+            home.y >= c.storm_y0 && home.y < c.storm_y1) {
+          jf = storm_from;
+          jt = storm_to;
+        }
+      }
+
       Rng life(options.seed ^ k_lifecycle_seed_salt, ue);
-      const TimeMs t_join = draw_in_window(life, join_from, join_to);
+      const TimeMs t_join = draw_in_window(life, jf, jt);
       const TimeMs t_leave =
           std::max(draw_in_window(life, leave_from, leave_to), t_join + 1);
       if (t_join >= plan.t_end) continue;

@@ -31,6 +31,10 @@
 #include "scenario/spec.h"
 #include "stream/population.h"
 
+namespace cpg::spatial {
+struct SpatialConfig;
+}  // namespace cpg::spatial
+
 namespace cpg::scenario {
 
 struct CompileOptions {
@@ -38,6 +42,12 @@ struct CompileOptions {
   // Per-UE generation options (plan.ue_options). The `compiled` pointer is
   // ignored: the executor compiles each bank model itself.
   gen::UeGenOptions ue_options;
+  // Spatial layer of the run, if any. Required (ScenarioError otherwise)
+  // when a cohort declares a `storm`: region membership is decided by each
+  // UE's home anchor, which only the spatial layer defines. Must match the
+  // StreamOptions::spatial the plan is executed under, or storm cohorts
+  // would join where no storm appears on the grid.
+  const spatial::SpatialConfig* spatial = nullptr;
 };
 
 // A compiled scenario: the plan plus the derived 5G models it points into.

@@ -143,7 +143,8 @@ class Parser {
       (key == "accel" ? spec_.phases.back().accel
                       : spec_.phases.back().mcn_scale) = v;
     } else if (key == "device" || key == "count" || key == "model" ||
-               key == "join" || key == "leave" || key == "migrate") {
+               key == "join" || key == "leave" || key == "migrate" ||
+               key == "storm") {
       if (ctx_ != Context::cohort) {
         err(key, "only valid inside a cohort block");
       }
@@ -194,11 +195,29 @@ class Parser {
       if (c.leave_to_h < c.leave_from_h) {
         err(key, "window end must not precede its start");
       }
-    } else {  // migrate
+    } else if (key == "migrate") {
       want_args(key, args, 2, 2);
       c.has_migrate = true;
       c.migrate_h = hours(key, args[0]);
       c.migrate_model = model_kind(key, args[1]);
+    } else {  // storm
+      want_args(key, args, 6, 6);
+      c.has_storm = true;
+      c.storm_from_h = hours(key, args[0]);
+      c.storm_to_h = hours(key, args[1]);
+      if (!(c.storm_from_h < c.storm_to_h)) {
+        err(key, "storm window end must be after its start");
+      }
+      c.storm_x0 = num(key, args[2]);
+      c.storm_y0 = num(key, args[3]);
+      c.storm_x1 = num(key, args[4]);
+      c.storm_y1 = num(key, args[5]);
+      if (c.storm_x0 < 0.0 || c.storm_y0 < 0.0) {
+        err(key, "region coordinates must be >= 0 meters");
+      }
+      if (!(c.storm_x0 < c.storm_x1) || !(c.storm_y0 < c.storm_y1)) {
+        err(key, "region must be a nonempty rectangle (x0 < x1, y0 < y1)");
+      }
     }
   }
 
@@ -266,6 +285,21 @@ class Parser {
               c.line);
         }
       }
+      if (c.has_storm) {
+        if (c.storm_to_h > dur) {
+          err("storm", "storm window ends after the scenario", c.line);
+        }
+        // Storm joins draw in [from, to); like the plain join window, every
+        // drawn leave/migration must come after every possible storm join.
+        if (c.has_leave && c.leave_from_h < c.storm_to_h) {
+          err("storm", "leave window must start after the storm window",
+              c.line);
+        }
+        if (c.has_migrate && c.migrate_h < c.storm_to_h) {
+          err("storm", "migration must happen after the storm window",
+              c.line);
+        }
+      }
       if (c.has_migrate) {
         if (c.migrate_h > dur) {
           err("migrate", "migration hour is after the scenario ends",
@@ -319,6 +353,16 @@ class Parser {
       f.u64(c.has_migrate ? 1 : 0);
       f.f64(c.migrate_h);
       f.u64(static_cast<std::uint64_t>(c.migrate_model));
+      if (c.has_storm) {
+        // Keyed block: specs without a storm keep their pre-storm hashes.
+        f.u64(0x73746f726d /* "storm" */);
+        f.f64(c.storm_from_h);
+        f.f64(c.storm_to_h);
+        f.f64(c.storm_x0);
+        f.f64(c.storm_y0);
+        f.f64(c.storm_x1);
+        f.f64(c.storm_y1);
+      }
     }
     // The checkpoint encodes "no scenario" as fingerprint 0; a real spec
     // must never collide with that.

@@ -24,6 +24,16 @@
 //     leave <h> [<h2>]           # per-UE leave time, uniform in [h, h2)
 //                                # (default: stays to the end)
 //     migrate <h> lte|nsa|sa     # switch the cohort to another model at h
+//     storm <from_h> <to_h> <x0> <y0> <x1> <y1>
+//                                # spatially correlated alarm storm: cohort
+//                                # UEs whose home anchor falls inside the
+//                                # meter-space rectangle [x0,x1)x[y0,y1)
+//                                # override their join window with
+//                                # [from_h, to_h) — the massive-IoT
+//                                # synchronized-wakeup pattern. Requires a
+//                                # spatial layer at compile time
+//                                # (CompileOptions::spatial); UEs outside
+//                                # the region keep the cohort's join window.
 //
 // Every malformed input — unknown key, value of the wrong shape,
 // out-of-range hour, overlapping phases, negative cohort size, lifecycle
@@ -74,6 +84,15 @@ struct CohortSpec {
   bool has_migrate = false;
   double migrate_h = 0.0;
   ModelKind migrate_model = ModelKind::lte;
+  // Alarm storm: home anchors inside [x0,x1)x[y0,y1) meters join in
+  // [storm_from_h, storm_to_h) instead of the cohort join window.
+  bool has_storm = false;
+  double storm_from_h = 0.0;
+  double storm_to_h = 0.0;
+  double storm_x0 = 0.0;
+  double storm_y0 = 0.0;
+  double storm_x1 = 0.0;
+  double storm_y1 = 0.0;
   int line = 0;  // spec line of the `cohort` header (diagnostics)
 };
 

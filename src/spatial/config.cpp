@@ -1,0 +1,261 @@
+#include "spatial/config.h"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace cpg::spatial {
+
+namespace {
+
+constexpr std::uint64_t k_fnv_offset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t k_fnv_prime = 0x100000001b3ULL;
+
+void fnv(std::uint64_t& h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= k_fnv_prime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= k_fnv_prime;
+  }
+}
+
+void fnv_f64(std::uint64_t& h, double v) {
+  fnv_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+[[noreturn]] void err(const std::string& origin, int line,
+                      const std::string& what) {
+  throw SpatialError("spatial spec " + origin + ":" + std::to_string(line) +
+                     ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    toks.push_back(tok);
+  }
+  return toks;
+}
+
+// Device selector: a core device-type name or `all`.
+std::vector<std::size_t> parse_devices(const std::string& tok,
+                                       const std::string& origin, int line) {
+  if (tok == "all") {
+    std::vector<std::size_t> out;
+    for (std::size_t d = 0; d < k_num_device_types; ++d) out.push_back(d);
+    return out;
+  }
+  const auto d = parse_device_type(tok);
+  if (!d.has_value()) {
+    err(origin, line,
+        "unknown device \"" + tok + "\" (expected phone, connected_car, "
+        "tablet, or all)");
+  }
+  return {index_of(*d)};
+}
+
+double parse_num(const std::string& tok, const char* field,
+                 const std::string& origin, int line) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != tok.size()) {
+    err(origin, line, std::string("bad ") + field + " \"" + tok + "\"");
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(const std::string& tok, const char* field,
+                        const std::string& origin, int line) {
+  const double v = parse_num(tok, field, origin, line);
+  if (v < 0.0 || v > 4294967295.0 ||
+      v != static_cast<double>(static_cast<std::uint32_t>(v))) {
+    err(origin, line, std::string("bad ") + field + " \"" + tok + "\"");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t SpatialConfig::fingerprint() const {
+  std::uint64_t h = k_fnv_offset;
+  fnv(h, "cpg-spatial-v1");
+  fnv_u64(h, grid.cols);
+  fnv_u64(h, grid.rows);
+  fnv_f64(h, grid.cell_m);
+  fnv_u64(h, grid.wrap ? 1 : 0);
+  fnv_u64(h, grid.ta_block);
+  for (std::size_t d = 0; d < k_num_device_types; ++d) {
+    const PlacementSpec& p = placement[d];
+    fnv_u64(h, static_cast<std::uint64_t>(p.kind));
+    fnv_u64(h, p.clusters);
+    fnv_f64(h, p.sigma_m);
+    const MobilitySpec& m = mobility[d];
+    fnv_u64(h, static_cast<std::uint64_t>(m.kind));
+    fnv_f64(h, m.v_min);
+    fnv_f64(h, m.v_max);
+    fnv_f64(h, m.pause_s);
+    fnv_f64(h, m.speed);
+    fnv_f64(h, m.depart_h);
+    fnv_f64(h, m.return_h);
+  }
+  return h == 0 ? 1 : h;
+}
+
+SpatialConfig default_config(CellGrid grid) {
+  SpatialConfig cfg;
+  cfg.grid = grid;
+  auto& walk = cfg.mobility[index_of(DeviceType::phone)];
+  walk.kind = MobilitySpec::Kind::waypoint;
+  walk.v_min = 0.5;
+  walk.v_max = 1.5;
+  walk.pause_s = 120.0;
+  auto& drive = cfg.mobility[index_of(DeviceType::connected_car)];
+  drive.kind = MobilitySpec::Kind::waypoint;
+  drive.v_min = 8.0;
+  drive.v_max = 25.0;
+  drive.pause_s = 30.0;
+  // tablets stay MobilitySpec::static_; all placements stay uniform.
+  return cfg;
+}
+
+SpatialConfig parse_spatial_spec(std::istream& in, const std::string& origin) {
+  SpatialConfig cfg = default_config(CellGrid{});
+  bool saw_grid = false;
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    const std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+    if (t[0] == "grid") {
+      if (t.size() != 4 && t.size() != 5) {
+        err(origin, ln, "grid takes <cols> <rows> <cell_m> [wrap|clip]");
+      }
+      cfg.grid.cols = parse_u32(t[1], "cols", origin, ln);
+      cfg.grid.rows = parse_u32(t[2], "rows", origin, ln);
+      cfg.grid.cell_m = parse_num(t[3], "cell_m", origin, ln);
+      if (cfg.grid.cols == 0 || cfg.grid.rows == 0) {
+        err(origin, ln, "grid must have at least one cell");
+      }
+      if (!(cfg.grid.cell_m > 0.0)) {
+        err(origin, ln, "cell_m must be positive");
+      }
+      if (t.size() == 5) {
+        if (t[4] == "wrap") {
+          cfg.grid.wrap = true;
+        } else if (t[4] == "clip") {
+          cfg.grid.wrap = false;
+        } else {
+          err(origin, ln, "edge mode must be wrap or clip, got \"" + t[4] +
+                              "\"");
+        }
+      }
+      saw_grid = true;
+    } else if (t[0] == "ta") {
+      if (t.size() != 2) err(origin, ln, "ta takes <block_cells>");
+      cfg.grid.ta_block = parse_u32(t[1], "ta block", origin, ln);
+    } else if (t[0] == "place") {
+      if (t.size() < 3) err(origin, ln, "place takes <device> <model> ...");
+      for (const std::size_t d : parse_devices(t[1], origin, ln)) {
+        PlacementSpec& p = cfg.placement[d];
+        if (t[2] == "uniform") {
+          if (t.size() != 3) err(origin, ln, "uniform takes no parameters");
+          p = PlacementSpec{};
+        } else if (t[2] == "thomas") {
+          if (t.size() != 5) {
+            err(origin, ln, "thomas takes <clusters> <sigma_m>");
+          }
+          p.kind = PlacementSpec::Kind::thomas;
+          p.clusters = parse_u32(t[3], "clusters", origin, ln);
+          p.sigma_m = parse_num(t[4], "sigma_m", origin, ln);
+          if (p.clusters == 0) err(origin, ln, "thomas needs >= 1 cluster");
+          if (!(p.sigma_m >= 0.0)) err(origin, ln, "sigma_m must be >= 0");
+        } else {
+          err(origin, ln, "unknown placement model \"" + t[2] + "\"");
+        }
+      }
+    } else if (t[0] == "mobility") {
+      if (t.size() < 3) err(origin, ln, "mobility takes <device> <model> ...");
+      for (const std::size_t d : parse_devices(t[1], origin, ln)) {
+        MobilitySpec& m = cfg.mobility[d];
+        if (t[2] == "static") {
+          if (t.size() != 3) err(origin, ln, "static takes no parameters");
+          m = MobilitySpec{};
+        } else if (t[2] == "waypoint") {
+          if (t.size() != 6) {
+            err(origin, ln, "waypoint takes <vmin_mps> <vmax_mps> <pause_s>");
+          }
+          m = MobilitySpec{};
+          m.kind = MobilitySpec::Kind::waypoint;
+          m.v_min = parse_num(t[3], "vmin", origin, ln);
+          m.v_max = parse_num(t[4], "vmax", origin, ln);
+          m.pause_s = parse_num(t[5], "pause_s", origin, ln);
+          if (!(m.v_min > 0.0) || m.v_max < m.v_min) {
+            err(origin, ln, "waypoint needs 0 < vmin <= vmax");
+          }
+          if (!(m.pause_s >= 0.0)) err(origin, ln, "pause_s must be >= 0");
+        } else if (t[2] == "commuter") {
+          if (t.size() != 6) {
+            err(origin, ln, "commuter takes <speed_mps> <depart_h> <return_h>");
+          }
+          m = MobilitySpec{};
+          m.kind = MobilitySpec::Kind::commuter;
+          m.speed = parse_num(t[3], "speed", origin, ln);
+          m.depart_h = parse_num(t[4], "depart_h", origin, ln);
+          m.return_h = parse_num(t[5], "return_h", origin, ln);
+          if (!(m.speed > 0.0)) err(origin, ln, "speed must be positive");
+          if (m.depart_h < 0.0 || m.return_h > 24.0 ||
+              m.return_h <= m.depart_h) {
+            err(origin, ln, "need 0 <= depart_h < return_h <= 24");
+          }
+        } else {
+          err(origin, ln, "unknown mobility model \"" + t[2] + "\"");
+        }
+      }
+    } else {
+      err(origin, ln, "unknown directive \"" + t[0] + "\"");
+    }
+  }
+  if (!saw_grid) err(origin, ln, "spec has no grid directive");
+  return cfg;
+}
+
+SpatialConfig load_spatial(const std::string& source) {
+  if (source.rfind("grid:", 0) == 0) {
+    // grid:<cols>x<rows>x<cell_m>[:wrap|:clip] — spec-free synthesis; the
+    // equivalent one-line spec goes through the normal parser so the two
+    // paths cannot drift.
+    std::string body = source.substr(5);
+    std::string edge;
+    if (const auto colon = body.find(':'); colon != std::string::npos) {
+      edge = body.substr(colon + 1);
+      body = body.substr(0, colon);
+    }
+    for (char& c : body) {
+      if (c == 'x') c = ' ';
+    }
+    std::istringstream spec("grid " + body + (edge.empty() ? "" : " " + edge));
+    return parse_spatial_spec(spec, source);
+  }
+  std::ifstream in(source);
+  if (!in) throw SpatialError("cannot open spatial spec " + source);
+  return parse_spatial_spec(in, source);
+}
+
+}  // namespace cpg::spatial

@@ -1,0 +1,87 @@
+// Spatial layer configuration: grid geometry plus per-device placement and
+// mobility models, parsed from a small line-oriented spec file or
+// synthesized from a `grid:<cols>x<rows>x<cell_m>` flag value.
+//
+// Spec grammar (one directive per line, `#` comments, blank lines ignored):
+//
+//   grid <cols> <rows> <cell_m> [wrap|clip]
+//   ta <block_cells>
+//   place <device|all> uniform
+//   place <device|all> thomas <clusters> <sigma_m>
+//   mobility <device|all> static
+//   mobility <device|all> waypoint <vmin_mps> <vmax_mps> <pause_s>
+//   mobility <device|all> commuter <speed_mps> <depart_h> <return_h>
+//
+// `<device>` is a core device-type name (phone, connected_car, tablet).
+// Defaults when a directive is absent: uniform placement everywhere;
+// phones walk (waypoint 0.5..1.5 m/s), connected cars drive (waypoint
+// 8..25 m/s), tablets are static.
+//
+// The fingerprint covers every field that influences placement, motion, or
+// cell mapping. It is FNV-1a over a canonical serialization, never zero,
+// and is the value checkpoints, cpgt v2 spatial blocks, and resume
+// validation compare — two runs agree on cells iff (config fingerprint,
+// seed) agree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.h"
+#include "spatial/grid.h"
+
+namespace cpg::spatial {
+
+struct SpatialError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct PlacementSpec {
+  enum class Kind : std::uint8_t { uniform = 0, thomas = 1 };
+  Kind kind = Kind::uniform;
+  std::uint32_t clusters = 0;  // thomas: number of cluster parents
+  double sigma_m = 0.0;        // thomas: Gaussian scatter around the parent
+};
+
+struct MobilitySpec {
+  enum class Kind : std::uint8_t { static_ = 0, waypoint = 1, commuter = 2 };
+  Kind kind = Kind::static_;
+  double v_min = 0.0;    // waypoint: speed range [v_min, v_max) m/s
+  double v_max = 0.0;
+  double pause_s = 0.0;  // waypoint: dwell at each waypoint
+  double speed = 0.0;    // commuter: travel speed m/s
+  double depart_h = 0.0; // commuter: home->work departure, hour of day
+  double return_h = 0.0; // commuter: work->home departure, hour of day
+};
+
+struct SpatialConfig {
+  CellGrid grid;
+  std::array<PlacementSpec, k_num_device_types> placement{};
+  std::array<MobilitySpec, k_num_device_types> mobility{};
+
+  const PlacementSpec& placement_of(DeviceType d) const noexcept {
+    return placement[index_of(d)];
+  }
+  const MobilitySpec& mobility_of(DeviceType d) const noexcept {
+    return mobility[index_of(d)];
+  }
+
+  // FNV-1a over the canonical serialization; never zero.
+  std::uint64_t fingerprint() const;
+};
+
+// Built-in defaults (see grammar comment) over a given grid.
+SpatialConfig default_config(CellGrid grid);
+
+// Parses a spec from a stream. `origin` names the source in error messages.
+SpatialConfig parse_spatial_spec(std::istream& in, const std::string& origin);
+
+// Loads a config from `source`: either a spec file path, or a synthesized
+// grid of the form `grid:<cols>x<rows>x<cell_m>[:wrap|:clip]` with default
+// placement/mobility. Throws SpatialError with a line-tagged message.
+SpatialConfig load_spatial(const std::string& source);
+
+}  // namespace cpg::spatial

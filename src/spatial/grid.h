@@ -1,0 +1,106 @@
+// Cell-grid topology: a rectangular grid of square cells over a bounded
+// plane, with tracking areas as square blocks of cells and either wrapping
+// (torus) or clipping (clamp) edge semantics.
+//
+// The grid is the coordinate system every other spatial component maps
+// into: point processes place UEs in metric coordinates, trajectory models
+// move them, and the spatializer projects positions into cell ids. Cell ids
+// are row-major (`cell = row * cols + col`), dense in [0, num_cells()), and
+// stable for a given (cols, rows) — they appear verbatim in the cpgt v2
+// cell column, the `cpg_spatial_cell_events_total{cell=...}` metric, and
+// `trace_cat heatmap` output.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cpg::spatial {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Rectangular cell grid. `wrap` selects torus edges (positions and
+// neighbor lookups wrap around); otherwise edges clip (positions clamp,
+// border cells simply have fewer neighbors).
+struct CellGrid {
+  std::uint32_t cols = 1;
+  std::uint32_t rows = 1;
+  double cell_m = 500.0;      // cell edge length in meters
+  bool wrap = false;
+  std::uint32_t ta_block = 8; // tracking area = ta_block x ta_block cells
+
+  double width() const noexcept { return cols * cell_m; }
+  double height() const noexcept { return rows * cell_m; }
+  std::uint32_t num_cells() const noexcept { return cols * rows; }
+
+  // Maps a metric position into the grid's fundamental domain: modulo the
+  // extent under wrap, clamped just inside the boundary under clip.
+  Vec2 canonical(Vec2 p) const noexcept {
+    const double w = width();
+    const double h = height();
+    if (wrap) {
+      p.x -= w * std::floor(p.x / w);
+      p.y -= h * std::floor(p.y / h);
+      // floor(x/w)*w can round to x for tiny negative x; snap inside.
+      if (p.x >= w) p.x = 0.0;
+      if (p.y >= h) p.y = 0.0;
+    } else {
+      if (!(p.x > 0.0)) p.x = 0.0;
+      if (!(p.y > 0.0)) p.y = 0.0;
+      if (p.x >= w) p.x = std::nextafter(w, 0.0);
+      if (p.y >= h) p.y = std::nextafter(h, 0.0);
+    }
+    return p;
+  }
+
+  std::uint32_t cell_at(Vec2 p) const noexcept {
+    p = canonical(p);
+    auto col = static_cast<std::uint32_t>(p.x / cell_m);
+    auto row = static_cast<std::uint32_t>(p.y / cell_m);
+    if (col >= cols) col = cols - 1;  // canonical() leaves x < width, but
+    if (row >= rows) row = rows - 1;  // x/cell_m can still round up to cols
+    return row * cols + col;
+  }
+
+  // Tracking area of a cell: square ta_block x ta_block blocks, numbered
+  // row-major over the block grid. ta_block = 0 means one TA for the grid.
+  std::uint32_t ta_of(std::uint32_t cell) const noexcept {
+    if (ta_block == 0) return 0;
+    const std::uint32_t col = cell % cols;
+    const std::uint32_t row = cell / cols;
+    const std::uint32_t ta_cols = (cols + ta_block - 1) / ta_block;
+    return (row / ta_block) * ta_cols + col / ta_block;
+  }
+
+  // Writes the ids of `cell`'s 8-connected neighbors into out[0..7] and
+  // returns how many there are. Under wrap every cell has exactly 8 (the
+  // grid is a torus; a 1-wide grid can repeat ids); under clip border cells
+  // have 3 or 5. Order is deterministic: row offsets -1, 0, +1, column
+  // offsets -1, 0, +1, the cell itself skipped.
+  std::uint32_t neighbors(std::uint32_t cell,
+                          std::uint32_t out[8]) const noexcept {
+    const auto col = static_cast<std::int64_t>(cell % cols);
+    const auto row = static_cast<std::int64_t>(cell / cols);
+    std::uint32_t n = 0;
+    for (std::int64_t dr = -1; dr <= 1; ++dr) {
+      for (std::int64_t dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        std::int64_t r = row + dr;
+        std::int64_t c = col + dc;
+        if (wrap) {
+          r = (r + rows) % rows;
+          c = (c + cols) % cols;
+        } else if (r < 0 || r >= rows || c < 0 || c >= cols) {
+          continue;
+        }
+        out[n++] = static_cast<std::uint32_t>(r) * cols +
+                   static_cast<std::uint32_t>(c);
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace cpg::spatial

@@ -1,0 +1,139 @@
+#include "spatial/motion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpg::spatial {
+
+namespace {
+
+constexpr TimeMs k_day_ms = 86'400'000;
+
+double u01(Xoshiro256& eng) noexcept {
+  return static_cast<double>(eng() >> 11) * 0x1.0p-53;
+}
+
+double dist(Vec2 a, Vec2 b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+Vec2 lerp(Vec2 a, Vec2 b, double f) noexcept {
+  return Vec2{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+}
+
+// Draws the next random-waypoint leg: a uniform target in the grid extent,
+// a uniform speed in [v_min, v_max), and the configured pause. The draw
+// order is part of the determinism contract.
+void start_leg(UeTrack& t, const SpatialConfig& cfg) {
+  const MobilitySpec& m = cfg.mobility_of(t.device);
+  t.to.x = u01(t.leg_rng) * cfg.grid.width();
+  t.to.y = u01(t.leg_rng) * cfg.grid.height();
+  const double speed = m.v_min + (m.v_max - m.v_min) * u01(t.leg_rng);
+  const double d = dist(t.from, t.to);
+  t.move_ms = static_cast<TimeMs>(std::ceil(d / speed * 1000.0));
+  t.pause_ms = static_cast<TimeMs>(m.pause_s * 1000.0);
+  if (t.move_ms + t.pause_ms <= 0) t.pause_ms = 1;  // zero-length leg guard
+}
+
+Vec2 commuter_position(const UeTrack& t, const MobilitySpec& m, TimeMs time) {
+  const double travel_ms =
+      std::max(1.0, dist(t.home, t.work) / m.speed * 1000.0);
+  const auto depart_ms = static_cast<TimeMs>(m.depart_h * 3'600'000.0);
+  const auto return_ms = static_cast<TimeMs>(m.return_h * 3'600'000.0);
+  const TimeMs tod = ((time % k_day_ms) + k_day_ms) % k_day_ms;
+  if (tod >= return_ms) {
+    const double f =
+        std::min(1.0, static_cast<double>(tod - return_ms) / travel_ms);
+    return lerp(t.work, t.home, f);
+  }
+  if (tod >= depart_ms) {
+    const double f =
+        std::min(1.0, static_cast<double>(tod - depart_ms) / travel_ms);
+    return lerp(t.home, t.work, f);
+  }
+  // Before today's departure: usually home, unless yesterday's return leg
+  // crossed midnight and is still in flight.
+  const double spill = static_cast<double>(tod + k_day_ms - return_ms);
+  if (spill < travel_ms) return lerp(t.work, t.home, spill / travel_ms);
+  return t.home;
+}
+
+}  // namespace
+
+Vec2 cluster_center(const SpatialConfig& cfg, std::uint64_t seed,
+                    std::uint64_t cluster) {
+  Xoshiro256 eng(seed ^ k_cluster_seed_salt, cluster);
+  return Vec2{u01(eng) * cfg.grid.width(), u01(eng) * cfg.grid.height()};
+}
+
+Anchors ue_anchors(const SpatialConfig& cfg, std::uint64_t seed, UeId ue,
+                   DeviceType device) {
+  Rng rng(seed ^ k_place_seed_salt, ue);
+  const PlacementSpec& p = cfg.placement_of(device);
+  Anchors a;
+  if (p.kind == PlacementSpec::Kind::thomas) {
+    const std::uint64_t k = rng.uniform_index(p.clusters);
+    const Vec2 c = cluster_center(cfg, seed, k);
+    a.home.x = c.x + rng.normal() * p.sigma_m;
+    a.home.y = c.y + rng.normal() * p.sigma_m;
+  } else {
+    a.home.x = rng.uniform() * cfg.grid.width();
+    a.home.y = rng.uniform() * cfg.grid.height();
+  }
+  a.work.x = rng.uniform() * cfg.grid.width();
+  a.work.y = rng.uniform() * cfg.grid.height();
+  a.home = cfg.grid.canonical(a.home);
+  a.work = cfg.grid.canonical(a.work);
+  return a;
+}
+
+Vec2 home_position(const SpatialConfig& cfg, std::uint64_t seed, UeId ue,
+                   DeviceType device) {
+  return ue_anchors(cfg, seed, ue, device).home;
+}
+
+void init_track(UeTrack& track, const SpatialConfig& cfg, std::uint64_t seed,
+                UeId ue, DeviceType device, TimeMs t0) {
+  const Anchors a = ue_anchors(cfg, seed, ue, device);
+  track.init = true;
+  track.kind = cfg.mobility_of(device).kind;
+  track.device = device;
+  track.home = a.home;
+  track.work = a.work;
+  track.last_t = t0;
+  if (track.kind == MobilitySpec::Kind::waypoint) {
+    track.leg_rng = Xoshiro256(seed ^ k_leg_seed_salt, ue);
+    track.from = a.home;
+    track.leg_t0 = t0;
+    start_leg(track, cfg);
+  }
+}
+
+Vec2 position_at(UeTrack& track, const SpatialConfig& cfg, TimeMs t) {
+  // Clamp to the high-water mark: per-UE event times never regress in the
+  // canonical delivered order, but defensive callers may re-query.
+  t = std::max(t, track.last_t);
+  track.last_t = t;
+  switch (track.kind) {
+    case MobilitySpec::Kind::static_:
+      return track.home;
+    case MobilitySpec::Kind::commuter:
+      return cfg.grid.canonical(
+          commuter_position(track, cfg.mobility_of(track.device), t));
+    case MobilitySpec::Kind::waypoint:
+      break;
+  }
+  while (t >= track.leg_t0 + track.move_ms + track.pause_ms) {
+    track.leg_t0 += track.move_ms + track.pause_ms;
+    track.from = track.to;
+    start_leg(track, cfg);
+  }
+  if (t < track.leg_t0 + track.move_ms) {
+    const double f = static_cast<double>(t - track.leg_t0) /
+                     static_cast<double>(track.move_ms);
+    return cfg.grid.canonical(lerp(track.from, track.to, f));
+  }
+  return cfg.grid.canonical(track.to);
+}
+
+}  // namespace cpg::spatial

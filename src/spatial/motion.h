@@ -1,0 +1,91 @@
+// UE placement by spatial point processes and per-UE trajectory models.
+//
+// Determinism contract: every coordinate is a pure function of
+// (SpatialConfig, seed, ue, t). Anchors draw from Rng(seed ^ salt, ue) in a
+// fixed order; Thomas cluster parents draw from Rng(seed ^ salt, cluster).
+// Random-waypoint is the one stateful model — its legs are drawn from a
+// dedicated per-UE Rng consumed strictly in time order — so a UeTrack
+// advanced lazily to time t holds exactly the state a fresh track advanced
+// straight to t would hold. That property is what makes cell assignment
+// byte-identical for any shard/thread/slice/rank split and across
+// checkpoint resume: the runtime can rebuild all tracks from scratch at the
+// resume watermark and continue the identical coordinate sequence, with no
+// spatial state in the checkpoint at all.
+//
+// Trajectory queries must be non-decreasing in t per UE; position_at clamps
+// a stale query to the last advanced time (the canonical delivered order
+// guarantees per-UE timestamps never regress across any runtime split).
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/trace.h"
+#include "spatial/config.h"
+
+namespace cpg::spatial {
+
+// RNG stream salts. Distinct from the scenario lifecycle salt
+// (0x6c69666563796c65) and each other; ASCII-derived for greppability.
+inline constexpr std::uint64_t k_place_seed_salt = 0x73702e706c616365ULL;  // "sp.place"
+inline constexpr std::uint64_t k_cluster_seed_salt = 0x73702e636c757374ULL;  // "sp.clust"
+inline constexpr std::uint64_t k_leg_seed_salt = 0x73702e6c65677321ULL;  // "sp.legs!"
+inline constexpr std::uint64_t k_ho_seed_salt = 0x73702e686f212121ULL;  // "sp.ho!!!"
+
+// Center of Thomas cluster `k` for the given device's placement.
+Vec2 cluster_center(const SpatialConfig& cfg, std::uint64_t seed,
+                    std::uint64_t cluster);
+
+// Home and work anchors for one UE. `home` is the point-process draw
+// (uniform or Thomas); `work` is a second uniform draw from the same per-UE
+// stream, used by the commuter model and ignored otherwise. Both are
+// canonical grid positions.
+struct Anchors {
+  Vec2 home;
+  Vec2 work;
+};
+Anchors ue_anchors(const SpatialConfig& cfg, std::uint64_t seed, UeId ue,
+                   DeviceType device);
+
+// Convenience: just the home anchor (scenario storm-region membership).
+Vec2 home_position(const SpatialConfig& cfg, std::uint64_t seed, UeId ue,
+                   DeviceType device);
+
+// Lazily-advanced trajectory state for one UE. Plain value type; a track is
+// (re)constructible from (cfg, seed, ue) alone.
+struct UeTrack {
+  bool init = false;
+  MobilitySpec::Kind kind = MobilitySpec::Kind::static_;
+  DeviceType device = DeviceType::phone;
+  Vec2 home;
+  Vec2 work;          // commuter only
+  // Random-waypoint leg state: moving [leg_t0, leg_t0 + move_ms), then
+  // pausing until leg_t0 + move_ms + pause_ms.
+  Xoshiro256 leg_rng{0};
+  Vec2 from;
+  Vec2 to;
+  TimeMs leg_t0 = 0;
+  TimeMs move_ms = 0;
+  TimeMs pause_ms = 0;
+  TimeMs last_t = 0;  // high-water mark of queries (monotonic clamp)
+};
+
+// Initializes `track` for (seed, ue) with trajectory epoch `t0` (the plan's
+// t_begin — identical across resume, so motion never depends on when the
+// first query happens).
+void init_track(UeTrack& track, const SpatialConfig& cfg, std::uint64_t seed,
+                UeId ue, DeviceType device, TimeMs t0);
+
+// Position at time t (>= epoch). Advances waypoint legs as needed; queries
+// with t below the track's high-water mark evaluate at the high-water mark.
+Vec2 position_at(UeTrack& track, const SpatialConfig& cfg, TimeMs t);
+
+// Stateless per-event hash used to pick ping-pong handover targets.
+inline std::uint64_t ho_hash(std::uint64_t seed, UeId ue, TimeMs t) noexcept {
+  return SplitMix64(seed ^ k_ho_seed_salt ^
+                    (static_cast<std::uint64_t>(ue) << 32) ^
+                    static_cast<std::uint64_t>(t))
+      .next();
+}
+
+}  // namespace cpg::spatial

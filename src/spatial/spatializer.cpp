@@ -1,0 +1,16 @@
+#include "spatial/spatializer.h"
+
+namespace cpg::spatial {
+
+void Spatializer::annotate(EventColumns& cols,
+                           std::vector<std::uint64_t>* cell_counts) {
+  const std::size_t n = cols.size();
+  cols.cell.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = cell_for(cols.ue[i], cols.ts[i], cols.type[i]);
+    cols.cell[i] = c;
+    if (cell_counts != nullptr) ++(*cell_counts)[c];
+  }
+}
+
+}  // namespace cpg::spatial

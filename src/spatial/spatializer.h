@@ -1,0 +1,76 @@
+// Event spatialization: maps each delivered control-plane event to a
+// concrete cell of the grid.
+//
+// The serving cell is purely positional — cell_at(position(ue, t)) — so it
+// needs no cross-event state and stays identical for any runtime split.
+// Two event types refine that:
+//   - HO records the *target* cell of the handover pair. When the
+//     trajectory is crossing cells the positional cell at t already is the
+//     target (the source being the cell just left); when it is not, the
+//     target is a stateless hashed neighbor — the ping-pong handover of a
+//     stationary UE bouncing between overlapping cells. Either way the
+//     value is a neighbor-consistent function of (cfg, seed, ue, t).
+//   - TAU records the cell whose tracking area the UE is updating into,
+//     i.e. the positional cell; ta_of(cell) gives the TA.
+//
+// One Spatializer instance serves one shard (or one whole-run annotator in
+// tests/tools). Tracks are lazily initialized per UE on first query, so a
+// shard only pays for the UEs it owns even though the track table spans the
+// full plan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/event_columns.h"
+#include "core/trace.h"
+#include "core/types.h"
+#include "spatial/motion.h"
+
+namespace cpg::spatial {
+
+class Spatializer {
+ public:
+  // `device_of` must outlive the spatializer and span every UE id the
+  // annotated streams can mention. `epoch` is the plan's t_begin.
+  Spatializer(const SpatialConfig& cfg, std::uint64_t seed,
+              std::span<const DeviceType> device_of, TimeMs epoch)
+      : cfg_(cfg),
+        seed_(seed),
+        device_of_(device_of),
+        epoch_(epoch),
+        tracks_(device_of.size()) {}
+
+  const SpatialConfig& config() const noexcept { return cfg_; }
+
+  // Cell of one event. Queries must be non-decreasing in t per UE.
+  std::uint32_t cell_for(UeId ue, TimeMs t, EventType type) {
+    UeTrack& track = tracks_[ue];
+    if (!track.init) {
+      init_track(track, cfg_, seed_, ue, device_of_[ue], epoch_);
+    }
+    const Vec2 p = position_at(track, cfg_, t);
+    std::uint32_t cell = cfg_.grid.cell_at(p);
+    if (type == EventType::ho) {
+      std::uint32_t nb[8];
+      const std::uint32_t n = cfg_.grid.neighbors(cell, nb);
+      if (n > 0) cell = nb[ho_hash(seed_, ue, t) % n];
+    }
+    return cell;
+  }
+
+  // Fills cols.cell for every event (cols must be sorted, cell column
+  // empty) and, when `cell_counts` is non-null (sized grid.num_cells()),
+  // tallies one count per event into it.
+  void annotate(EventColumns& cols, std::vector<std::uint64_t>* cell_counts);
+
+ private:
+  const SpatialConfig& cfg_;
+  std::uint64_t seed_;
+  std::span<const DeviceType> device_of_;
+  TimeMs epoch_;
+  std::vector<UeTrack> tracks_;
+};
+
+}  // namespace cpg::spatial

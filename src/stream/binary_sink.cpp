@@ -32,7 +32,10 @@ void BinarySink::on_start(const StreamHeader& header) {
   options.block_events = block_events_;
   writer_ = std::make_unique<trace_fmt::TraceWriter>(tmp_path(path_prefix_),
                                                      options);
-  writer_->begin(header.ue_devices, header.t_begin, header.t_end);
+  // A spatial run writes a v2 file: the header's grid geometry lands in the
+  // spatial block and every events block is paired with its cell column.
+  writer_->begin(header.ue_devices, header.t_begin, header.t_end,
+                 header.spatial);
   pending_replay_ = false;
 }
 
@@ -140,7 +143,7 @@ void BinarySink::checkpoint_resume(const std::string& token,
   options.block_events = block_events_;
   writer_ = std::make_unique<trace_fmt::TraceWriter>(
       tmp_path(path_prefix_), header.ue_devices, header.t_begin, header.t_end,
-      offset, events, options);
+      offset, events, options, header.spatial);
   pending_replay_ = false;
 }
 

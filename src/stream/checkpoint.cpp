@@ -19,7 +19,10 @@ constexpr std::string_view k_magic = "cpg-checkpoint";
 // scenario fingerprint, and per-shard segment bookkeeping (gen_seg,
 // next_seg). Version-1 files predate population plans and cannot be resumed
 // safely, so they are rejected as unsupported.
-constexpr int k_version = 2;
+// Version 3: adds the spatial-config fingerprint line. Version-2 files are
+// still read (their runs had no spatial layer, so the fingerprint is 0).
+constexpr int k_version = 3;
+constexpr int k_min_version = 2;
 // Caps applied while reading, so a corrupt count field fails with a
 // diagnostic instead of a giant allocation.
 constexpr std::size_t k_max_shards = 1 << 20;
@@ -108,6 +111,7 @@ void write_checkpoint(std::ostream& os, const StreamCheckpoint& ck) {
   os << "window " << ck.t_begin << ' ' << ck.t_end << '\n';
   os << "layout " << ck.num_shards << ' ' << ck.slice_ms << '\n';
   os << "scenario " << ck.scenario_fingerprint << '\n';
+  os << "spatial " << ck.spatial_fingerprint << '\n';
   os << "resume_slice " << ck.resume_slice << '\n';
   os << "sink_token " << ck.sink_token.size() << ' ' << ck.sink_token
      << '\n';
@@ -160,9 +164,10 @@ StreamCheckpoint read_checkpoint(std::istream& is) {
          "); resume with a newer build or remove the checkpoint directory "
          "to start over");
   }
-  if (version != k_version) {
+  if (version < k_min_version) {
     fail("unsupported checkpoint format version " + std::to_string(version) +
-         " (this build reads version " + std::to_string(k_version) +
+         " (this build reads versions " + std::to_string(k_min_version) +
+         ".." + std::to_string(k_version) +
          "); remove the checkpoint directory to start over");
   }
 
@@ -181,6 +186,11 @@ StreamCheckpoint read_checkpoint(std::istream& is) {
   if (!(is >> tag >> ck.scenario_fingerprint) || tag != "scenario") {
     fail("bad scenario fingerprint");
   }
+  if (version >= 3) {
+    if (!(is >> tag >> ck.spatial_fingerprint) || tag != "spatial") {
+      fail("bad spatial fingerprint");
+    }
+  }  // v2 files predate the spatial layer: fingerprint stays 0.
   if (!(is >> tag >> ck.resume_slice) || tag != "resume_slice") {
     fail("bad resume_slice");
   }

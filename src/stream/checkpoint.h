@@ -71,6 +71,11 @@ struct StreamCheckpoint {
   // under an edited scenario spec would replay a different plan against
   // slice-indexed state, so load validation rejects a mismatch.
   std::uint64_t scenario_fingerprint = 0;
+  // Fingerprint of the spatial config (src/spatial/; 0 = no spatial layer).
+  // Cell assignment is a pure function of the config, so resuming under a
+  // different grid/placement/mobility would splice two incompatible cell
+  // streams into one file; load validation rejects a mismatch.
+  std::uint64_t spatial_fingerprint = 0;
   // --- progress ----------------------------------------------------------
   std::uint64_t resume_slice = 0;  // first slice not yet delivered
   std::string sink_token;          // opaque; empty = sink not participating

@@ -19,14 +19,22 @@
 #include "core/trace.h"
 #include "stream/phase.h"
 
+namespace cpg::trace_fmt {
+struct SpatialInfo;
+}  // namespace cpg::trace_fmt
+
 namespace cpg::stream {
 
 // Stream metadata delivered before the first event. `ue_devices` is indexed
-// by UeId and only valid for the duration of on_start.
+// by UeId and only valid for the duration of on_start. `spatial` is non-null
+// exactly when the run has a spatial layer (StreamOptions::spatial): sinks
+// that persist the stream use it to record the grid geometry (the cpgt
+// writer's v2 spatial block); it too is only valid during on_start.
 struct StreamHeader {
   std::span<const DeviceType> ue_devices;
   TimeMs t_begin = 0;
   TimeMs t_end = 0;
+  const trace_fmt::SpatialInfo* spatial = nullptr;
 };
 
 class EventSink {

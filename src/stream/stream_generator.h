@@ -40,6 +40,10 @@
 #include "stream/pacing.h"
 #include "stream/population.h"
 
+namespace cpg::spatial {
+struct SpatialConfig;
+}  // namespace cpg::spatial
+
 namespace cpg::stream {
 
 struct StreamOptions {
@@ -89,6 +93,17 @@ struct StreamOptions {
   // way the sink's on_finish still runs, so staged output files land as a
   // valid prefix — no .tmp litter. Null = never stops early.
   std::function<bool()> stop_check;
+  // Optional spatial layer (src/spatial/): when set, every delivered event
+  // carries a cell id (EventColumnsView::cell) derived from the UE's
+  // deterministic trajectory over the configured cell grid, the stream
+  // header announces the grid geometry to sinks, per-cell event counts feed
+  // `cpg_spatial_cell_events_total` through `metrics`, and the checkpoint
+  // fingerprint pins the spatial config. Cell assignment is a pure function
+  // of (config, seed, ue, t), so the annotated stream stays byte-identical
+  // across shard/thread/slice splits and checkpoint resume. The config must
+  // outlive the stream_generate call. Null = no spatial layer; output is
+  // bit-identical to runs without one.
+  const spatial::SpatialConfig* spatial = nullptr;
 };
 
 struct StreamStats {

@@ -1,6 +1,7 @@
 #include "trace_fmt/cpgt.h"
 
 #include <array>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 
@@ -135,9 +136,10 @@ std::uint64_t run_fingerprint(std::span<const DeviceType> devices,
   return h;
 }
 
-void encode_header(std::string& out, std::uint64_t fingerprint) {
+void encode_header(std::string& out, std::uint64_t fingerprint,
+                   std::uint32_t version) {
   out += k_magic;
-  put_u32_le(out, k_version);
+  put_u32_le(out, version);
   put_u64_le(out, fingerprint);
 }
 
@@ -252,14 +254,42 @@ void encode_events_block(std::string& out, const EventColumnsView& events) {
   frame_block(out, BlockType::events, payload);
 }
 
+void encode_spatial_block(std::string& out, const SpatialInfo& info) {
+  std::string payload;
+  payload.reserve(29);
+  put_u32_le(payload, info.cols);
+  put_u32_le(payload, info.rows);
+  put_u64_le(payload, std::bit_cast<std::uint64_t>(info.cell_m));
+  payload.push_back(info.wrap ? 1 : 0);
+  put_u32_le(payload, info.ta_block);
+  put_u64_le(payload, info.fingerprint);
+  frame_block(out, BlockType::spatial, payload);
+}
+
+void encode_cells_block(std::string& out,
+                        std::span<const std::uint32_t> cells) {
+  if (cells.empty()) return;
+  const std::size_t n = cells.size();
+  std::string payload;
+  payload.resize(4 + n * 5);  // worst-case varint width for u32
+  char* const base_p = payload.data();
+  char* p = base_p + 4;
+  for (const std::uint32_t c : cells) p = put_varint_raw(p, c);
+  payload.resize(static_cast<std::size_t>(p - base_p));
+  std::string head;
+  put_u32_le(head, static_cast<std::uint32_t>(n));
+  payload.replace(0, 4, head);
+  frame_block(out, BlockType::cells, payload);
+}
+
 void encode_end_block(std::string& out, std::uint64_t total_events) {
   std::string payload;
   put_u64_le(payload, total_events);
   frame_block(out, BlockType::end, payload);
 }
 
-std::uint64_t decode_header(std::string_view data,
-                            const std::string& context) {
+std::uint64_t decode_header(std::string_view data, const std::string& context,
+                            std::uint32_t* version_out) {
   if (data.size() < k_header_bytes) {
     fail(context, "truncated header (not a complete cpgt file)");
   }
@@ -273,11 +303,13 @@ std::uint64_t decode_header(std::string_view data,
                       std::to_string(k_version) +
                       "); convert with a newer trace_cat");
   }
-  if (version != k_version) {
+  if (version < k_version_plain) {
     fail(context, "unsupported cpgt format version " +
-                      std::to_string(version) + " (this build reads version " +
+                      std::to_string(version) + " (this build reads versions " +
+                      std::to_string(k_version_plain) + ".." +
                       std::to_string(k_version) + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   return get_u64_le(data, 8);
 }
 
@@ -391,6 +423,43 @@ void decode_block(std::string_view data, std::size_t& pos,
       block.type = BlockType::end;
       block.total_events = get_u64_le(payload, 0);
       return;
+    case static_cast<unsigned char>(BlockType::spatial): {
+      if (payload.size() != 29) {
+        fail(context, "spatial block payload malformed");
+      }
+      block.type = BlockType::spatial;
+      block.spatial.cols = get_u32_le(payload, 0);
+      block.spatial.rows = get_u32_le(payload, 4);
+      block.spatial.cell_m = std::bit_cast<double>(get_u64_le(payload, 8));
+      block.spatial.wrap = payload[16] != 0;
+      block.spatial.ta_block = get_u32_le(payload, 17);
+      block.spatial.fingerprint = get_u64_le(payload, 21);
+      return;
+    }
+    case static_cast<unsigned char>(BlockType::cells): {
+      if (payload.size() < 4) fail(context, "cells block payload too short");
+      const std::uint32_t n = get_u32_le(payload, 0);
+      block.type = BlockType::cells;
+      const std::size_t out_base = block.cells.size();
+      block.cells.resize(out_base + n);
+      try {
+        const std::string_view body = payload.substr(4);
+        std::size_t p = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::uint64_t c = get_varint(body, p);
+          if (c > std::numeric_limits<std::uint32_t>::max()) {
+            throw std::runtime_error("cell id out of range");
+          }
+          block.cells[out_base + i] = static_cast<std::uint32_t>(c);
+        }
+        if (p != body.size()) {
+          throw std::runtime_error("trailing bytes in cell column");
+        }
+      } catch (const std::runtime_error& e) {
+        fail(context, std::string("corrupt cells block: ") + e.what());
+      }
+      return;
+    }
     default:
       fail(context, "unknown block type " + std::to_string(type) +
                         " (corrupt file or newer writer)");

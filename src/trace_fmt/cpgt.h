@@ -22,6 +22,20 @@
 //   end    (3): u64 total_events — the clean-EOF marker. A file without it
 //               is torn (a killed writer), and readers say so.
 //
+// Version 2 (spatial traces) adds two block types on top of the unchanged
+// v1 layout — the events block encoding is byte-identical across versions:
+//   spatial (4): grid geometry (cols, rows, cell_m, wrap, ta_block) plus
+//               the spatial-config fingerprint, written once after the ues
+//               block.
+//   cells   (5): u32 n_events, then one LEB128 varint cell id per event —
+//               the cell column of the *immediately preceding* events
+//               block (n must match). Emitted only when the producing run
+//               had the spatial layer enabled.
+// A writer without spatial data emits a version-1 file bit-identical to
+// what older builds wrote; files with spatial blocks carry version 2 so
+// older readers refuse them with a clear "newer version" message instead
+// of tripping over an unknown block type.
+//
 // The CRC32 (IEEE, reflected) covers the five type/length bytes plus the
 // payload, so a flipped bit anywhere in a block — including its framing —
 // is a one-line diagnostic, never silently wrong data. The length prefix
@@ -49,14 +63,23 @@
 namespace cpg::trace_fmt {
 
 inline constexpr std::string_view k_magic = "cpgt";
-inline constexpr std::uint32_t k_version = 1;
+// Newest version this build reads/writes. Writers emit k_version_plain
+// unless the file carries spatial blocks.
+inline constexpr std::uint32_t k_version = 2;
+inline constexpr std::uint32_t k_version_plain = 1;
 // magic + version + fingerprint.
 inline constexpr std::size_t k_header_bytes = 4 + 4 + 8;
 // type byte + payload length.
 inline constexpr std::size_t k_block_head_bytes = 1 + 4;
 inline constexpr std::size_t k_crc_bytes = 4;
 
-enum class BlockType : std::uint8_t { ues = 1, events = 2, end = 3 };
+enum class BlockType : std::uint8_t {
+  ues = 1,
+  events = 2,
+  end = 3,
+  spatial = 4,
+  cells = 5,
+};
 
 // Writers cut an events block once it holds this many events (64K events
 // encode to ~300-600 KB — large enough to amortize the block framing, small
@@ -108,8 +131,25 @@ std::uint64_t run_fingerprint(std::span<const DeviceType> devices,
 
 // --- block encode ---------------------------------------------------------
 
-// Appends the 16-byte file header to `out`.
-void encode_header(std::string& out, std::uint64_t fingerprint);
+// Grid geometry carried by a spatial block. A plain POD so trace_fmt does
+// not depend on the spatial library; spatial::SpatialConfig converts to it
+// at the stream boundary.
+struct SpatialInfo {
+  std::uint32_t cols = 0;
+  std::uint32_t rows = 0;
+  double cell_m = 0.0;
+  bool wrap = false;
+  std::uint32_t ta_block = 0;
+  std::uint64_t fingerprint = 0;  // spatial-config fingerprint
+
+  friend bool operator==(const SpatialInfo&, const SpatialInfo&) = default;
+};
+
+// Appends the 16-byte file header to `out`. `version` is k_version_plain
+// for spatial-free files (bit-identical to what v1 builds wrote) and
+// k_version for files carrying spatial/cells blocks.
+void encode_header(std::string& out, std::uint64_t fingerprint,
+                   std::uint32_t version = k_version_plain);
 
 // Appends a complete, CRC-framed UE registry block.
 void encode_ues_block(std::string& out, std::span<const DeviceType> devices);
@@ -126,6 +166,15 @@ void encode_events_block(std::string& out,
 // ControlEvents in between).
 void encode_events_block(std::string& out, const EventColumnsView& events);
 
+// Appends the spatial grid-geometry block (cpgt v2).
+void encode_spatial_block(std::string& out, const SpatialInfo& info);
+
+// Appends a cells block: the cell column of the immediately preceding
+// events block. `n` must equal that block's event count; empty spans are
+// skipped (matching encode_events_block).
+void encode_cells_block(std::string& out,
+                        std::span<const std::uint32_t> cells);
+
 // Appends the end-of-stream block.
 void encode_end_block(std::string& out, std::uint64_t total_events);
 
@@ -136,6 +185,8 @@ struct DecodedBlock {
   std::uint64_t total_events = 0;        // end blocks
   std::vector<DeviceType> devices;       // ues blocks
   std::vector<ControlEvent> events;      // events blocks (appended to)
+  SpatialInfo spatial{};                 // spatial blocks
+  std::vector<std::uint32_t> cells;      // cells blocks (appended to)
 };
 
 // Decodes the block starting at `pos` in `data`, advancing `pos` past it.
@@ -147,8 +198,9 @@ void decode_block(std::string_view data, std::size_t& pos,
                   DecodedBlock& block, const std::string& context);
 
 // Validates the 16-byte header at the start of `data` and returns the run
-// fingerprint. Throws on bad magic, a newer version, or truncation.
-std::uint64_t decode_header(std::string_view data,
-                            const std::string& context);
+// fingerprint. Throws on bad magic, a newer version, or truncation. When
+// `version` is non-null it receives the file's format version (1 or 2).
+std::uint64_t decode_header(std::string_view data, const std::string& context,
+                            std::uint32_t* version = nullptr);
 
 }  // namespace cpg::trace_fmt

@@ -37,7 +37,7 @@ TraceReader::TraceReader(const std::string& path) : path_(path) {
     buf_ = io::read_file(path_);
     data_ = buf_;
   }
-  fingerprint_ = decode_header(data_, path_);
+  fingerprint_ = decode_header(data_, path_, &version_);
   pos_ = k_header_bytes;
   DecodedBlock block;
   decode_block(data_, pos_, block, path_);
@@ -47,6 +47,13 @@ TraceReader::TraceReader(const std::string& path) : path_(path) {
                 "unsupported writer)");
   }
   devices_ = std::move(block.devices);
+  // v2 files carry a spatial grid-geometry block right after the registry.
+  if (pos_ < data_.size() &&
+      data_[pos_] == static_cast<char>(BlockType::spatial)) {
+    decode_block(data_, pos_, block, path_);
+    spatial_ = block.spatial;
+    has_spatial_ = true;
+  }
 }
 
 TraceReader::~TraceReader() {
@@ -55,6 +62,7 @@ TraceReader::~TraceReader() {
 
 bool TraceReader::next_events(std::vector<ControlEvent>& out) {
   out.clear();
+  cells_.clear();
   if (done_) return false;
   DecodedBlock block;
   block.events = std::move(out);
@@ -63,6 +71,20 @@ bool TraceReader::next_events(std::vector<ControlEvent>& out) {
     case BlockType::events:
       decoded_events_ += block.events.size();
       out = std::move(block.events);
+      // A paired cells block, when present, immediately follows its events
+      // block and must agree on the event count.
+      if (pos_ < data_.size() &&
+          data_[pos_] == static_cast<char>(BlockType::cells)) {
+        DecodedBlock cb;
+        decode_block(data_, pos_, cb, path_);
+        cells_ = std::move(cb.cells);
+        if (cells_.size() != out.size()) {
+          throw std::runtime_error(
+              path_ + ": cells block count " + std::to_string(cells_.size()) +
+              " disagrees with its events block (" +
+              std::to_string(out.size()) + ")");
+        }
+      }
       return true;
     case BlockType::end:
       out = std::move(block.events);
@@ -82,6 +104,13 @@ bool TraceReader::next_events(std::vector<ControlEvent>& out) {
     case BlockType::ues:
       throw std::runtime_error(
           path_ + ": unexpected second UE registry block (corrupt file)");
+    case BlockType::spatial:
+      throw std::runtime_error(
+          path_ + ": unexpected spatial block mid-stream (corrupt file)");
+    case BlockType::cells:
+      throw std::runtime_error(
+          path_ + ": cells block without a preceding events block "
+                  "(corrupt file)");
   }
   throw std::runtime_error(path_ + ": unreachable block type");
 }

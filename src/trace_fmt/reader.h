@@ -21,6 +21,7 @@
 
 #include "core/trace.h"
 #include "core/types.h"
+#include "trace_fmt/cpgt.h"
 
 namespace cpg::trace_fmt {
 
@@ -39,9 +40,19 @@ class TraceReader {
   // Returns false — with `out` empty — once the end block is reached; the
   // end block's event count is checked against the events actually decoded.
   // Throws on a torn file (EOF without an end block) or corrupt block.
+  // When the block is paired with a cells block (cpgt v2), cells() holds
+  // the matching cell column until the next call.
   bool next_events(std::vector<ControlEvent>& out);
 
   std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  // File format version (1 = plain, 2 = spatial-capable).
+  std::uint32_t version() const noexcept { return version_; }
+  // True when the file carries a spatial grid-geometry block.
+  bool has_spatial() const noexcept { return has_spatial_; }
+  const SpatialInfo& spatial() const noexcept { return spatial_; }
+  // Cell column of the most recent next_events() block; empty when that
+  // block had no cells (always empty for v1 files).
+  const std::vector<std::uint32_t>& cells() const noexcept { return cells_; }
   const std::vector<DeviceType>& devices() const noexcept { return devices_; }
   // Total events per the end block; valid once next_events returned false.
   std::uint64_t total_events() const noexcept { return total_events_; }
@@ -58,6 +69,10 @@ class TraceReader {
   std::size_t pos_ = 0;
   bool done_ = false;
   std::uint64_t fingerprint_ = 0;
+  std::uint32_t version_ = 0;
+  bool has_spatial_ = false;
+  SpatialInfo spatial_{};
+  std::vector<std::uint32_t> cells_;
   std::uint64_t decoded_events_ = 0;
   std::uint64_t total_events_ = 0;
   std::vector<DeviceType> devices_;

@@ -20,11 +20,12 @@ SalvageResult salvage_trace(const std::string& in_path,
                          std::istreambuf_iterator<char>());
   // An unusable header means nothing is recoverable — the fingerprint the
   // output must carry is gone. decode_header's message names the cause.
-  const std::uint64_t fingerprint = decode_header(data, in_path);
+  std::uint32_t version = 0;
+  const std::uint64_t fingerprint = decode_header(data, in_path, &version);
 
   std::string out;
   out.reserve(data.size() + 32);
-  encode_header(out, fingerprint);
+  encode_header(out, fingerprint, version);
 
   SalvageResult res;
   std::size_t pos = k_header_bytes;
@@ -33,6 +34,7 @@ SalvageResult salvage_trace(const std::string& in_path,
   while (pos < data.size()) {
     const std::size_t block_start = pos;
     block.events.clear();
+    block.cells.clear();
     try {
       decode_block(data, pos, block, in_path);
     } catch (const std::exception& e) {
@@ -53,6 +55,10 @@ SalvageResult salvage_trace(const std::string& in_path,
     if (block.type == BlockType::ues) {
       encode_ues_block(out, std::span<const DeviceType>(block.devices));
       res.ues_recovered += block.devices.size();
+    } else if (block.type == BlockType::spatial) {
+      encode_spatial_block(out, block.spatial);
+    } else if (block.type == BlockType::cells) {
+      encode_cells_block(out, std::span<const std::uint32_t>(block.cells));
     } else {
       encode_events_block(out, std::span<const ControlEvent>(block.events));
       res.events_recovered += block.events.size();

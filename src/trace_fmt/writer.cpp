@@ -32,8 +32,10 @@ TraceWriter::TraceWriter(const std::string& path, Options options)
 TraceWriter::TraceWriter(const std::string& path,
                          std::span<const DeviceType> devices, TimeMs t_begin,
                          TimeMs t_end, std::uint64_t committed_offset,
-                         std::uint64_t events_committed, Options options)
+                         std::uint64_t events_committed, Options options,
+                         const SpatialInfo* spatial)
     : path_(path),
+      cells_(spatial != nullptr),
       block_events_(options.block_events != 0 ? options.block_events
                                               : k_default_block_events) {
   open_fd(/*truncate=*/false);
@@ -50,7 +52,16 @@ TraceWriter::TraceWriter(const std::string& path,
     sys_fail("read failed for " + path_);
   }
   head.resize(got);
-  const std::uint64_t on_disk = decode_header(head, path_);
+  std::uint32_t version = 0;
+  const std::uint64_t on_disk = decode_header(head, path_, &version);
+  const std::uint32_t want_version = cells_ ? k_version : k_version_plain;
+  if (version != want_version) {
+    throw std::runtime_error(
+        path_ + ": cpgt version mismatch on resume (file is version " +
+        std::to_string(version) + ", this run writes version " +
+        std::to_string(want_version) +
+        " — the spatial layer was toggled between runs)");
+  }
   fingerprint_ = run_fingerprint(devices, t_begin, t_end);
   if (on_disk != fingerprint_) {
     throw std::runtime_error(
@@ -82,14 +93,17 @@ void TraceWriter::open_fd(bool truncate) {
 }
 
 void TraceWriter::begin(std::span<const DeviceType> devices, TimeMs t_begin,
-                        TimeMs t_end) {
+                        TimeMs t_end, const SpatialInfo* spatial) {
   if (committed_ != 0 || finished_) {
     throw std::logic_error(path_ + ": begin() on an already-started writer");
   }
+  cells_ = spatial != nullptr;
   fingerprint_ = run_fingerprint(devices, t_begin, t_end);
   out_buf_.clear();
-  encode_header(out_buf_, fingerprint_);
+  encode_header(out_buf_, fingerprint_,
+                cells_ ? k_version : k_version_plain);
   encode_ues_block(out_buf_, devices);
+  if (cells_) encode_spatial_block(out_buf_, *spatial);
   write_buf();
 }
 
@@ -139,7 +153,14 @@ void TraceWriter::finish() {
 
 void TraceWriter::write_block(std::size_t n) {
   out_buf_.clear();
-  encode_events_block(out_buf_, pending_.view().subview(consumed_, n));
+  const EventColumnsView span = pending_.view().subview(consumed_, n);
+  encode_events_block(out_buf_, span);
+  // A v2 file pairs every events block with its cell column. Appends that
+  // arrived without cells (foreign AoS input) simply have no cells block —
+  // readers treat the column as absent for that span.
+  if (cells_ && span.cell != nullptr) {
+    encode_cells_block(out_buf_, std::span<const std::uint32_t>(span.cell, n));
+  }
   write_buf();
   consumed_ += n;
   events_committed_ += n;

@@ -18,6 +18,7 @@
 #include "core/event_columns.h"
 #include "core/trace.h"
 #include "core/types.h"
+#include "trace_fmt/cpgt.h"
 
 namespace cpg::trace_fmt {
 
@@ -39,9 +40,12 @@ class TraceWriter {
   // `committed_offset` (a block boundary from a resume token) and continues
   // appending with `events_committed` already accounted. Throws
   // std::runtime_error naming the mismatch on a foreign or corrupt file.
+  // `spatial` must match what the original begin() was given: it selects
+  // the expected format version and re-enables cells blocks.
   TraceWriter(const std::string& path, std::span<const DeviceType> devices,
               TimeMs t_begin, TimeMs t_end, std::uint64_t committed_offset,
-              std::uint64_t events_committed, Options options = {});
+              std::uint64_t events_committed, Options options = {},
+              const SpatialInfo* spatial = nullptr);
 
   ~TraceWriter();
 
@@ -49,9 +53,12 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   // Writes the file header and the UE registry block. Must be the first
-  // call on a fresh (non-resume) writer.
-  void begin(std::span<const DeviceType> devices, TimeMs t_begin,
-             TimeMs t_end);
+  // call on a fresh (non-resume) writer. A non-null `spatial` makes this a
+  // version-2 file: a spatial block follows the registry and every events
+  // block is paired with a cells block (fed from the appended views' cell
+  // column). Without it the output is bit-identical to a v1 writer.
+  void begin(std::span<const DeviceType> devices, TimeMs t_begin, TimeMs t_end,
+             const SpatialInfo* spatial = nullptr);
 
   // Buffers `events`, cutting and writing full blocks as the buffer fills.
   void append(std::span<const ControlEvent> events);
@@ -91,6 +98,7 @@ class TraceWriter {
   std::string path_;
   int fd_ = -1;
   bool finished_ = false;
+  bool cells_ = false;  // v2 file: emit a cells block per events block
   std::size_t block_events_;
   std::uint64_t fingerprint_ = 0;
 

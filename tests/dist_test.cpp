@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "scenario/spec.h"
+#include "spatial/config.h"
 #include "stream/stream_generator.h"
 #include "test_util.h"
 
@@ -193,7 +194,26 @@ class LambdaRankControl final : public RankControl {
 
 struct DistResult {
   std::vector<ControlEvent> events;
+  // One cell id per event when the run had a spatial layer, empty otherwise.
+  std::vector<std::uint32_t> cells;
   DistStats stats;
+};
+
+// Capture sink for the coordinator: records events, and — when the merged
+// stream carries the spatial cell column — the per-event cell ids too.
+class DistCaptureSink final : public stream::EventSink {
+ public:
+  explicit DistCaptureSink(DistResult& out) : out_(out) {}
+  void on_event(const ControlEvent& e) override { out_.events.push_back(e); }
+  void on_event_columns(const EventColumnsView& cols) override {
+    for (std::size_t i = 0; i < cols.n; ++i) {
+      out_.events.push_back(cols[i]);
+      if (cols.has_cells()) out_.cells.push_back(cols.cell[i]);
+    }
+  }
+
+ private:
+  DistResult& out_;
 };
 
 struct DistConfig {
@@ -218,6 +238,9 @@ struct DistConfig {
   std::vector<obs::Registry>* rank_metrics = nullptr;
   obs::Registry* coord_metrics = nullptr;
   std::size_t worker_shards = 1;
+  // Spatial layer shared by every rank and the coordinator (must outlive
+  // the run); null = no spatial layer.
+  const spatial::SpatialConfig* spatial = nullptr;
 };
 
 // Runs an in-process distributed generation: one std::thread per worker
@@ -237,6 +260,7 @@ DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
   copts.stream.checkpoint.dir = cfg.ckpt_dir;
   copts.stream.checkpoint.interval_slices = cfg.interval;
   copts.stream.metrics = cfg.coord_metrics;
+  copts.stream.spatial = cfg.spatial;
   if (cfg.resume) {
     copts.resume = prepare_resume(cfg.ckpt_dir, plan, n, k_slice);
   }
@@ -278,6 +302,7 @@ DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
       w.ship_checkpoints = !cfg.ckpt_dir.empty();
       w.resume_dir = resume_dir;
       w.heartbeat_ms = cfg.heartbeat_ms;
+      w.stream.spatial = cfg.spatial;
       if (cfg.rank_metrics) w.stream.metrics = &(*cfg.rank_metrics)[r];
       try {
         run_worker(plan, *use, w);
@@ -312,8 +337,7 @@ DistResult run_dist(const stream::PopulationPlan& plan, unsigned n,
   if (cfg.supervise.enabled) copts.control = &control;
 
   DistResult out;
-  stream::CallbackSink sink(
-      [&](const ControlEvent& e) { out.events.push_back(e); });
+  DistCaptureSink sink(out);
   auto shutdown_workers = [&] {
     for (unsigned r = 0; r < n; ++r) {
       if (worker_end[r] != nullptr) worker_end[r]->abort();
@@ -621,6 +645,45 @@ TEST(DistMerge, ScenarioMatchesSingleProcessForAnyRankCount) {
       ASSERT_EQ(got.events[i].t_ms, ref[i].t_ms) << "ranks=" << n;
       ASSERT_EQ(got.events[i].ue_id, ref[i].ue_id) << "ranks=" << n;
       ASSERT_EQ(got.events[i].type, ref[i].type) << "ranks=" << n;
+    }
+  }
+}
+
+TEST(DistMerge, SpatialCellsMatchSingleProcessForAnyRankCount) {
+  const spatial::SpatialConfig spatial_cfg =
+      spatial::load_spatial("grid:8x8x400");
+
+  // Single-process annotated reference over the same plan.
+  std::vector<ControlEvent> ref_events;
+  std::vector<std::uint32_t> ref_cells;
+  {
+    stream::StreamOptions opts;
+    opts.num_shards = 2;
+    opts.num_threads = 1;
+    opts.slice_ms = k_slice;
+    opts.spatial = &spatial_cfg;
+    DistResult ref;
+    DistCaptureSink sink(ref);
+    stream::stream_generate(churny().plan, opts, sink);
+    ref_events = std::move(ref.events);
+    ref_cells = std::move(ref.cells);
+  }
+  ASSERT_GT(ref_events.size(), 50u);
+  ASSERT_EQ(ref_cells.size(), ref_events.size());
+
+  for (const unsigned n : {1u, 2u, 4u}) {
+    DistConfig cfg;
+    cfg.spatial = &spatial_cfg;
+    cfg.worker_shards = n == 2 ? 3 : 1;  // shard count must not matter
+    const DistResult got = run_dist(churny().plan, n, cfg);
+    SCOPED_TRACE("ranks=" + std::to_string(n));
+    ASSERT_EQ(got.events.size(), ref_events.size());
+    ASSERT_EQ(got.cells.size(), ref_cells.size());
+    for (std::size_t i = 0; i < ref_events.size(); ++i) {
+      ASSERT_EQ(got.events[i].t_ms, ref_events[i].t_ms);
+      ASSERT_EQ(got.events[i].ue_id, ref_events[i].ue_id);
+      ASSERT_EQ(got.events[i].type, ref_events[i].type);
+      ASSERT_EQ(got.cells[i], ref_cells[i]);
     }
   }
 }

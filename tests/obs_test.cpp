@@ -475,5 +475,85 @@ TEST(Races, AbsorbWhileTheTargetHistogramMutates) {
   EXPECT_GE(h.count(), 10000u);
 }
 
+// ---------------------------------------------------------------------------
+// Label-cardinality guard
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SeriesLimitFoldsOverflowLabelsIntoOther) {
+  Registry reg;
+  reg.set_series_limit(4);
+  // Four distinct label values register normally...
+  for (int c = 0; c < 4; ++c) {
+    reg.counter("cpg_spatial_cell_events_total", "per-cell events",
+                {{"cell", std::to_string(c)}})
+        .inc();
+  }
+  // ...and everything past the cap shares one "other" series.
+  for (int c = 4; c < 40; ++c) {
+    reg.counter("cpg_spatial_cell_events_total", "per-cell events",
+                {{"cell", std::to_string(c)}})
+        .inc();
+  }
+
+  std::size_t series = 0;
+  std::uint64_t total = 0, other = 0;
+  bool other_seen = false;
+  for (const FamilySnapshot& fam : reg.snapshot()) {
+    if (fam.name != "cpg_spatial_cell_events_total") continue;
+    for (const SeriesSnapshot& s : fam.series) {
+      ++series;
+      total += s.counter;
+      for (const auto& [k, v] : s.labels) {
+        if (k == "cell" && v == "other") {
+          other_seen = true;
+          other = s.counter;
+        }
+      }
+    }
+  }
+  // The fold itself occupies one slot past the cap, never more: the family
+  // stays bounded no matter how many label values arrive.
+  EXPECT_EQ(series, 5u);
+  EXPECT_TRUE(other_seen);
+  EXPECT_EQ(other, 36u);
+  EXPECT_EQ(total, 40u);  // no increments are lost to the fold
+
+  // Series registered before the cap keep resolving to their own slot.
+  reg.counter("cpg_spatial_cell_events_total", "per-cell events",
+              {{"cell", "2"}})
+      .inc(9);
+  for (const FamilySnapshot& fam : reg.snapshot()) {
+    if (fam.name != "cpg_spatial_cell_events_total") continue;
+    for (const SeriesSnapshot& s : fam.series) {
+      for (const auto& [k, v] : s.labels) {
+        if (k == "cell" && v == "2") EXPECT_EQ(s.counter, 10u);
+      }
+    }
+  }
+}
+
+TEST(Registry, SeriesLimitAppliesPerFamilyAndSparesUnlabeled) {
+  Registry reg;
+  reg.set_series_limit(2);
+  reg.counter("fam_a", "a", {{"x", "1"}}).inc();
+  reg.counter("fam_a", "a", {{"x", "2"}}).inc();
+  reg.counter("fam_a", "a", {{"x", "3"}}).inc();  // folds
+  // A second family gets its own budget, and unlabeled metrics are exempt.
+  reg.counter("fam_b", "b", {{"x", "1"}}).inc();
+  reg.counter("fam_c", "c").inc();
+  std::size_t a = 0, b = 0;
+  for (const FamilySnapshot& fam : reg.snapshot()) {
+    if (fam.name == "fam_a") a = fam.series.size();
+    if (fam.name == "fam_b") b = fam.series.size();
+  }
+  EXPECT_EQ(a, 3u);  // 2 real + "other"
+  EXPECT_EQ(b, 1u);
+}
+
+TEST(Registry, SeriesLimitRejectsZero) {
+  Registry reg;
+  EXPECT_THROW(reg.set_series_limit(0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cpg::obs

@@ -21,6 +21,7 @@
 #include "fault/failpoint.h"
 #include "generator/traffic_generator.h"
 #include "model/fit.h"
+#include "spatial/config.h"
 #include "stream/checkpoint.h"
 #include "stream/csv_sink.h"
 #include "stream/event_sink.h"
@@ -626,11 +627,11 @@ class CheckpointForwardCompat : public CheckpointDir {
 };
 
 TEST_F(CheckpointForwardCompat, NewerVersionIsAOneLineActionableError) {
-  write_raw("cpg-checkpoint 3\nfuture fields this build cannot know\n");
+  write_raw("cpg-checkpoint 4\nfuture fields this build cannot know\n");
   const std::string msg = load_error();
   expect_actionable(msg);
   EXPECT_NE(msg.find("newer"), std::string::npos) << msg;
-  EXPECT_NE(msg.find('3'), std::string::npos) << msg;
+  EXPECT_NE(msg.find('4'), std::string::npos) << msg;
 }
 
 TEST_F(CheckpointForwardCompat, FarFutureVersionIsStillACleanError) {
@@ -962,6 +963,129 @@ TEST_F(CheckpointDir, ResumeWithoutCheckpointStartsFresh) {
       stream_generate(ours_model(), small_request(), opts, sink);
   EXPECT_EQ(stats.start_slice, 0u);
   EXPECT_EQ(store.size(), reference_events().size());
+}
+
+// ---------------------------------------------------------------------------
+// Spatial kill-and-resume: the cell column survives process death too
+// ---------------------------------------------------------------------------
+
+struct CellRow {
+  TimeMs t;
+  UeId ue;
+  EventType type;
+  std::uint32_t cell;
+  bool operator==(const CellRow&) const = default;
+};
+
+// DurableStoreSink with the cell column: captures the annotated stream via
+// the columnar hook and truncates back to the checkpoint token on resume.
+class DurableCellStoreSink final : public EventSink,
+                                   public CheckpointParticipant {
+ public:
+  explicit DurableCellStoreSink(std::vector<CellRow>& store)
+      : store_(store) {}
+
+  void on_start(const StreamHeader&) override { store_.clear(); }
+  void on_event(const ControlEvent&) override {
+    FAIL() << "unpaced delivery must use the columnar path";
+  }
+  void on_event_columns(const EventColumnsView& cols) override {
+    ASSERT_TRUE(cols.has_cells() || cols.empty());
+    for (std::size_t i = 0; i < cols.n; ++i) {
+      store_.push_back({cols.ts[i], cols.ue[i], cols.type[i], cols.cell[i]});
+    }
+  }
+
+  std::string checkpoint_save() override {
+    return std::to_string(store_.size());
+  }
+  void checkpoint_resume(const std::string& token,
+                         const StreamHeader& header) override {
+    // Resume re-announces the grid: a spatial run must still be spatial.
+    EXPECT_NE(header.spatial, nullptr);
+    store_.resize(std::stoull(token));
+  }
+
+ private:
+  std::vector<CellRow>& store_;
+};
+
+const spatial::SpatialConfig& resume_spatial_config() {
+  static const spatial::SpatialConfig cfg =
+      spatial::load_spatial("grid:10x10x250");
+  return cfg;
+}
+
+TEST_F(CheckpointDir, SpatialKillAndResumeKeepsCellsByteIdentical) {
+  // Reference: one uninterrupted spatial run.
+  std::vector<CellRow> want;
+  {
+    DurableCellStoreSink sink(want);
+    StreamOptions opts = checkpointed_options(dir_);
+    opts.checkpoint.dir.clear();
+    opts.spatial = &resume_spatial_config();
+    stream_generate(ours_model(), small_request(), opts, sink);
+  }
+  ASSERT_GT(want.size(), 100u);
+
+  for (const std::uint64_t kill_slice : {1u, 4u, 6u}) {
+    std::vector<CellRow> store;
+    DurableCellStoreSink sink(store);
+    std::filesystem::remove_all(dir_);
+
+    fault::FailpointSpec kill;
+    kill.action = fault::Action::fatal;
+    kill.skip = kill_slice;
+    kill.max_fires = 1;
+    fault::arm("stream.deliver_slice", kill);
+
+    StreamOptions opts = checkpointed_options(dir_);
+    opts.spatial = &resume_spatial_config();
+    EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, sink),
+                 fault::InjectedFault)
+        << "kill_slice=" << kill_slice;
+    fault::disarm_all();
+
+    StreamOptions resume_opts = checkpointed_options(dir_);
+    resume_opts.spatial = &resume_spatial_config();
+    resume_opts.resume = true;
+    stream_generate(ours_model(), small_request(), resume_opts, sink);
+    ASSERT_EQ(store.size(), want.size()) << "kill_slice=" << kill_slice;
+    EXPECT_TRUE(std::equal(store.begin(), store.end(), want.begin()))
+        << "kill_slice=" << kill_slice;
+  }
+}
+
+TEST_F(CheckpointDir, ResumeRejectsChangedSpatialConfig) {
+  std::vector<CellRow> store;
+  DurableCellStoreSink sink(store);
+  fault::FailpointSpec kill;
+  kill.action = fault::Action::fatal;
+  kill.skip = 5;
+  kill.max_fires = 1;
+  fault::arm("stream.deliver_slice", kill);
+  StreamOptions opts = checkpointed_options(dir_);
+  opts.spatial = &resume_spatial_config();
+  EXPECT_THROW(stream_generate(ours_model(), small_request(), opts, sink),
+               fault::InjectedFault);
+  fault::disarm_all();
+
+  // A different grid (and a dropped spatial layer) must both refuse to
+  // resume: splicing coordinates from two geometries would corrupt the
+  // trace silently.
+  const spatial::SpatialConfig other = spatial::load_spatial("grid:9x9x250");
+  StreamOptions changed = checkpointed_options(dir_);
+  changed.spatial = &other;
+  changed.resume = true;
+  EXPECT_THROW(
+      stream_generate(ours_model(), small_request(), changed, sink),
+      std::runtime_error);
+
+  StreamOptions dropped = checkpointed_options(dir_);
+  dropped.resume = true;
+  EXPECT_THROW(
+      stream_generate(ours_model(), small_request(), dropped, sink),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include "model/fit.h"
 #include "scenario/scenario.h"
 #include "scenario/spec.h"
+#include "spatial/config.h"
+#include "spatial/motion.h"
 #include "stream/stream_generator.h"
 #include "test_util.h"
 
@@ -541,6 +543,110 @@ TEST_F(ScenarioCheckpointDir, ResumeUnderAnEditedSpecIsRejected) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("scenario"), std::string::npos)
         << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storms: spatially correlated joins
+// ---------------------------------------------------------------------------
+
+constexpr const char* k_storm_spec = R"(scenario stormy
+start-hour 0
+duration 2
+
+cohort meters
+  device tablet
+  count 400
+  join 0 1.5
+  storm 0.5 0.6 0 0 1000 1000
+)";
+
+TEST(ScenarioSpec, ParsesStormAndFingerprintsIt) {
+  const ScenarioSpec spec = parse_scenario_string(k_storm_spec);
+  ASSERT_EQ(spec.cohorts.size(), 1u);
+  const CohortSpec& c = spec.cohorts[0];
+  ASSERT_TRUE(c.has_storm);
+  EXPECT_DOUBLE_EQ(c.storm_from_h, 0.5);
+  EXPECT_DOUBLE_EQ(c.storm_to_h, 0.6);
+  EXPECT_DOUBLE_EQ(c.storm_x0, 0.0);
+  EXPECT_DOUBLE_EQ(c.storm_x1, 1000.0);
+
+  // The storm is part of the scenario identity (a resume under a changed
+  // storm must be rejected), and dropping it changes the fingerprint.
+  std::string without(k_storm_spec);
+  without = without.substr(0, without.find("  storm"));
+  EXPECT_NE(spec.fingerprint,
+            parse_scenario_string(without).fingerprint);
+  std::string wider(k_storm_spec);
+  wider.replace(wider.find("0.5 0.6"), 7, "0.5 0.7");
+  EXPECT_NE(spec.fingerprint, parse_scenario_string(wider).fingerprint);
+}
+
+TEST(ScenarioSpec, StormRejectsMalformedArguments) {
+  const auto reject = [](const std::string& storm_line) {
+    const std::string text = std::string("scenario s\nduration 2\n") +
+                             "cohort c\n  count 5\n  " + storm_line + "\n";
+    EXPECT_THROW(parse_scenario_string(text), ScenarioError) << storm_line;
+  };
+  reject("storm 0.5");                          // arity
+  reject("storm 0.6 0.5 0 0 1000 1000");        // window inverted
+  reject("storm 0.5 0.6 1000 0 1000 1000");     // empty rectangle (x)
+  reject("storm 0.5 0.6 0 1000 1000 1000");     // empty rectangle (y)
+  reject("storm 0.5 0.6 -5 0 1000 1000");       // negative coordinate
+  reject("storm 0.5 9 0 0 1000 1000");          // past scenario end
+}
+
+TEST(ScenarioCompile, StormWithoutSpatialLayerIsRejected) {
+  const ScenarioSpec spec = parse_scenario_string(k_storm_spec);
+  try {
+    compile(spec, lte_model());
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("spatial"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("meters"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioCompile, StormOverridesJoinsInsideTheRegionOnly) {
+  const spatial::SpatialConfig cfg = spatial::load_spatial("grid:4x4x500");
+  CompileOptions copts;
+  copts.seed = 7;
+  copts.spatial = &cfg;
+  const ScenarioSpec spec = parse_scenario_string(k_storm_spec);
+  const CompiledScenario cs = compile(spec, lte_model(), copts);
+
+  const TimeMs storm_from = cs.plan.t_begin +
+                            static_cast<TimeMs>(0.5 * k_ms_per_hour);
+  const TimeMs storm_to = cs.plan.t_begin +
+                          static_cast<TimeMs>(0.6 * k_ms_per_hour);
+  std::size_t inside = 0, outside = 0;
+  for (const stream::UeSegment& seg : cs.plan.segments) {
+    const spatial::Vec2 home =
+        spatial::home_position(cfg, copts.seed, seg.ue, DeviceType::tablet);
+    const bool in_region =
+        home.x >= 0.0 && home.x < 1000.0 && home.y >= 0.0 && home.y < 1000.0;
+    if (in_region) {
+      // Synchronized wakeup: the join lands inside the storm window.
+      EXPECT_GE(seg.t_start, storm_from) << "ue " << seg.ue;
+      EXPECT_LT(seg.t_start, storm_to) << "ue " << seg.ue;
+      ++inside;
+    } else {
+      ++outside;
+    }
+  }
+  // The 1 km x 1 km region is a quarter of the 2 km x 2 km grid; both
+  // populations must be well represented for the test to mean anything.
+  EXPECT_GT(inside, 40u);
+  EXPECT_GT(outside, 40u);
+
+  // Determinism: recompiling yields the identical join schedule.
+  const CompiledScenario again = compile(spec, lte_model(), copts);
+  ASSERT_EQ(again.plan.segments.size(), cs.plan.segments.size());
+  for (std::size_t i = 0; i < cs.plan.segments.size(); ++i) {
+    EXPECT_EQ(again.plan.segments[i].ue, cs.plan.segments[i].ue);
+    EXPECT_EQ(again.plan.segments[i].t_start, cs.plan.segments[i].t_start);
   }
 }
 

@@ -1,0 +1,332 @@
+// Tests for the spatial layer (src/spatial/): grid topology and tracking
+// areas, spec parsing and fingerprinting, point-process placement,
+// trajectory determinism (the lazy-advance property that makes cell
+// assignment independent of query granularity — and with it of any
+// shard/thread/slice/rank split), and event spatialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/event_columns.h"
+#include "core/time_utils.h"
+#include "spatial/config.h"
+#include "spatial/grid.h"
+#include "spatial/motion.h"
+#include "spatial/spatializer.h"
+
+namespace cpg::spatial {
+namespace {
+
+CellGrid grid_4x3(bool wrap = false) {
+  CellGrid g;
+  g.cols = 4;
+  g.rows = 3;
+  g.cell_m = 100.0;
+  g.wrap = wrap;
+  g.ta_block = 2;
+  return g;
+}
+
+TEST(SpatialGrid, CellIdsAreRowMajor) {
+  const CellGrid g = grid_4x3();
+  EXPECT_EQ(g.num_cells(), 12u);
+  EXPECT_EQ(g.cell_at({50.0, 50.0}), 0u);
+  EXPECT_EQ(g.cell_at({350.0, 50.0}), 3u);
+  EXPECT_EQ(g.cell_at({50.0, 250.0}), 8u);
+  EXPECT_EQ(g.cell_at({350.0, 250.0}), 11u);
+}
+
+TEST(SpatialGrid, ClipClampsOutOfRangePositions) {
+  const CellGrid g = grid_4x3(false);
+  EXPECT_EQ(g.cell_at({-1000.0, -1000.0}), 0u);
+  EXPECT_EQ(g.cell_at({1e9, 1e9}), 11u);
+  // The exact extent is outside the half-open domain.
+  EXPECT_EQ(g.cell_at({g.width(), g.height()}), 11u);
+}
+
+TEST(SpatialGrid, WrapIsToroidal) {
+  const CellGrid g = grid_4x3(true);
+  EXPECT_EQ(g.cell_at({50.0 + g.width(), 50.0}), 0u);
+  EXPECT_EQ(g.cell_at({-50.0, 50.0}), 3u);
+  EXPECT_EQ(g.cell_at({50.0, -50.0}), 8u);
+}
+
+TEST(SpatialGrid, NeighborCountsClipVsWrap) {
+  const CellGrid clip = grid_4x3(false);
+  std::uint32_t nb[8];
+  EXPECT_EQ(clip.neighbors(0, nb), 3u);   // corner
+  EXPECT_EQ(clip.neighbors(1, nb), 5u);   // edge
+  EXPECT_EQ(clip.neighbors(5, nb), 8u);   // interior
+  const CellGrid wrap = grid_4x3(true);
+  for (std::uint32_t c = 0; c < wrap.num_cells(); ++c) {
+    EXPECT_EQ(wrap.neighbors(c, nb), 8u) << "cell " << c;
+  }
+}
+
+TEST(SpatialGrid, NeighborsAreAdjacent) {
+  const CellGrid g = grid_4x3(false);
+  std::uint32_t nb[8];
+  for (std::uint32_t c = 0; c < g.num_cells(); ++c) {
+    const std::uint32_t n = g.neighbors(c, nb);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const int dc = static_cast<int>(nb[i] % g.cols) -
+                     static_cast<int>(c % g.cols);
+      const int dr = static_cast<int>(nb[i] / g.cols) -
+                     static_cast<int>(c / g.cols);
+      EXPECT_LE(std::abs(dc), 1);
+      EXPECT_LE(std::abs(dr), 1);
+      EXPECT_NE(nb[i], c);
+    }
+  }
+}
+
+TEST(SpatialGrid, TrackingAreasAreSquareBlocks) {
+  const CellGrid g = grid_4x3();  // ta_block = 2 -> 2x2 TA grid
+  EXPECT_EQ(g.ta_of(0), 0u);
+  EXPECT_EQ(g.ta_of(1), 0u);
+  EXPECT_EQ(g.ta_of(2), 1u);
+  EXPECT_EQ(g.ta_of(4), 0u);   // row 1 col 0
+  EXPECT_EQ(g.ta_of(8), 2u);   // row 2 col 0
+  EXPECT_EQ(g.ta_of(11), 3u);  // row 2 col 3
+  CellGrid one = g;
+  one.ta_block = 0;
+  for (std::uint32_t c = 0; c < one.num_cells(); ++c) {
+    EXPECT_EQ(one.ta_of(c), 0u);
+  }
+}
+
+TEST(SpatialConfig, ParsesEveryDirective) {
+  std::istringstream in(R"(# comment
+grid 16 8 250 wrap
+ta 4
+place tablet thomas 12 80
+mobility phone waypoint 1 2 30
+mobility connected_car commuter 15 8 17
+mobility tablet static
+)");
+  const SpatialConfig cfg = parse_spatial_spec(in, "<test>");
+  EXPECT_EQ(cfg.grid.cols, 16u);
+  EXPECT_EQ(cfg.grid.rows, 8u);
+  EXPECT_DOUBLE_EQ(cfg.grid.cell_m, 250.0);
+  EXPECT_TRUE(cfg.grid.wrap);
+  EXPECT_EQ(cfg.grid.ta_block, 4u);
+  EXPECT_EQ(cfg.placement_of(DeviceType::tablet).kind,
+            PlacementSpec::Kind::thomas);
+  EXPECT_EQ(cfg.placement_of(DeviceType::tablet).clusters, 12u);
+  EXPECT_DOUBLE_EQ(cfg.placement_of(DeviceType::tablet).sigma_m, 80.0);
+  EXPECT_EQ(cfg.placement_of(DeviceType::phone).kind,
+            PlacementSpec::Kind::uniform);
+  EXPECT_EQ(cfg.mobility_of(DeviceType::phone).kind,
+            MobilitySpec::Kind::waypoint);
+  EXPECT_EQ(cfg.mobility_of(DeviceType::connected_car).kind,
+            MobilitySpec::Kind::commuter);
+  EXPECT_EQ(cfg.mobility_of(DeviceType::tablet).kind,
+            MobilitySpec::Kind::static_);
+}
+
+TEST(SpatialConfig, SynthesizedGridFlagForm) {
+  const SpatialConfig cfg = load_spatial("grid:6x5x200:wrap");
+  EXPECT_EQ(cfg.grid.cols, 6u);
+  EXPECT_EQ(cfg.grid.rows, 5u);
+  EXPECT_DOUBLE_EQ(cfg.grid.cell_m, 200.0);
+  EXPECT_TRUE(cfg.grid.wrap);
+  // Defaults: phones walk, cars drive, tablets sit still.
+  EXPECT_EQ(cfg.mobility_of(DeviceType::phone).kind,
+            MobilitySpec::Kind::waypoint);
+  EXPECT_EQ(cfg.mobility_of(DeviceType::connected_car).kind,
+            MobilitySpec::Kind::waypoint);
+  EXPECT_EQ(cfg.mobility_of(DeviceType::tablet).kind,
+            MobilitySpec::Kind::static_);
+}
+
+TEST(SpatialConfig, RejectsMalformedInput) {
+  const auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_spatial_spec(in, "<test>"), SpatialError) << text;
+  };
+  reject("grid 0 4 100\n");
+  reject("grid 4 4 -5\n");
+  reject("grid 4 4 100 banana\n");
+  reject("place laptop uniform\n");
+  reject("place phone thomas 0 50\n");
+  reject("mobility phone waypoint 5 1 0\n");  // v_min > v_max
+  reject("unknown-key 1\n");
+  EXPECT_THROW(load_spatial("grid:4x4"), SpatialError);
+  EXPECT_THROW(load_spatial("/no/such/spatial/spec"), SpatialError);
+}
+
+TEST(SpatialConfig, FingerprintTracksContent) {
+  const SpatialConfig a = load_spatial("grid:6x5x200");
+  const SpatialConfig b = load_spatial("grid:6x5x200");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), 0u);
+  EXPECT_NE(a.fingerprint(), load_spatial("grid:6x5x200:wrap").fingerprint());
+  EXPECT_NE(a.fingerprint(), load_spatial("grid:6x6x200").fingerprint());
+  SpatialConfig c = a;
+  c.placement[index_of(DeviceType::phone)].kind = PlacementSpec::Kind::thomas;
+  c.placement[index_of(DeviceType::phone)].clusters = 4;
+  c.placement[index_of(DeviceType::phone)].sigma_m = 50.0;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(SpatialMotion, AnchorsAreDeterministicAndInBounds) {
+  const SpatialConfig cfg = load_spatial("grid:10x10x100");
+  for (UeId ue = 0; ue < 200; ++ue) {
+    const Anchors a = ue_anchors(cfg, 7, ue, DeviceType::phone);
+    const Anchors b = ue_anchors(cfg, 7, ue, DeviceType::phone);
+    EXPECT_EQ(a.home.x, b.home.x);
+    EXPECT_EQ(a.home.y, b.home.y);
+    EXPECT_EQ(a.work.x, b.work.x);
+    EXPECT_GE(a.home.x, 0.0);
+    EXPECT_LT(a.home.x, cfg.grid.width());
+    EXPECT_GE(a.home.y, 0.0);
+    EXPECT_LT(a.home.y, cfg.grid.height());
+  }
+  // A different seed moves the population.
+  const Anchors a = ue_anchors(cfg, 7, 0, DeviceType::phone);
+  const Anchors c = ue_anchors(cfg, 8, 0, DeviceType::phone);
+  EXPECT_TRUE(a.home.x != c.home.x || a.home.y != c.home.y);
+}
+
+TEST(SpatialMotion, ThomasPlacementClustersAroundParents) {
+  SpatialConfig cfg = load_spatial("grid:10x10x100");
+  auto& p = cfg.placement[index_of(DeviceType::tablet)];
+  p.kind = PlacementSpec::Kind::thomas;
+  p.clusters = 5;
+  p.sigma_m = 20.0;
+  // Every tablet home must be near (within a few sigma of) some parent.
+  std::vector<Vec2> parents;
+  for (std::uint64_t k = 0; k < p.clusters; ++k) {
+    parents.push_back(cluster_center(cfg, 11, k));
+  }
+  std::size_t near = 0;
+  constexpr std::size_t k_ues = 300;
+  for (UeId ue = 0; ue < k_ues; ++ue) {
+    const Vec2 home = home_position(cfg, 11, ue, DeviceType::tablet);
+    for (const Vec2& c : parents) {
+      const double dx = home.x - c.x;
+      const double dy = home.y - c.y;
+      if (std::sqrt(dx * dx + dy * dy) <= 5.0 * p.sigma_m) {
+        ++near;
+        break;
+      }
+    }
+  }
+  // Clip at the boundary can push a point away from its parent; nearly all
+  // should still sit within 5 sigma.
+  EXPECT_GE(near, k_ues * 9 / 10);
+}
+
+// The lazy-advance property: a track advanced through any intermediate
+// query times reports the same position at time T as a fresh track queried
+// straight at T. This is what makes cells independent of slice/shard/rank
+// splits — different splits query at different granularities.
+TEST(SpatialMotion, WaypointAdvanceIsQueryGranularityInvariant) {
+  const SpatialConfig cfg = load_spatial("grid:10x10x100");
+  for (UeId ue = 0; ue < 20; ++ue) {
+    UeTrack coarse, fine;
+    init_track(coarse, cfg, 3, ue, DeviceType::phone, 0);
+    init_track(fine, cfg, 3, ue, DeviceType::phone, 0);
+    const TimeMs t_final = 2 * k_ms_per_hour;
+    for (TimeMs t = 0; t <= t_final; t += 37 * 1000) {
+      position_at(fine, cfg, t);
+    }
+    const Vec2 a = position_at(fine, cfg, t_final);
+    const Vec2 b = position_at(coarse, cfg, t_final);
+    EXPECT_DOUBLE_EQ(a.x, b.x) << "ue " << ue;
+    EXPECT_DOUBLE_EQ(a.y, b.y) << "ue " << ue;
+  }
+}
+
+TEST(SpatialMotion, StaleQueriesClampToHighWaterMark) {
+  const SpatialConfig cfg = load_spatial("grid:10x10x100");
+  UeTrack track;
+  init_track(track, cfg, 3, 1, DeviceType::phone, 0);
+  const Vec2 at_hour = position_at(track, cfg, k_ms_per_hour);
+  const Vec2 stale = position_at(track, cfg, k_ms_per_hour / 2);
+  EXPECT_DOUBLE_EQ(stale.x, at_hour.x);
+  EXPECT_DOUBLE_EQ(stale.y, at_hour.y);
+}
+
+TEST(SpatialMotion, StaticAndCommuterFollowAnchors) {
+  SpatialConfig cfg = load_spatial("grid:10x10x100");
+  auto& commuter = cfg.mobility[index_of(DeviceType::phone)];
+  commuter.kind = MobilitySpec::Kind::commuter;
+  commuter.speed = 10.0;
+  commuter.depart_h = 8.0;
+  commuter.return_h = 17.0;
+
+  UeTrack tab;
+  init_track(tab, cfg, 5, 2, DeviceType::tablet, 0);
+  const Anchors tablet_anchors = ue_anchors(cfg, 5, 2, DeviceType::tablet);
+  const Vec2 p = position_at(tab, cfg, 3 * k_ms_per_hour);
+  EXPECT_DOUBLE_EQ(p.x, tablet_anchors.home.x);
+  EXPECT_DOUBLE_EQ(p.y, tablet_anchors.home.y);
+
+  UeTrack com;
+  init_track(com, cfg, 5, 3, DeviceType::phone, 0);
+  const Anchors a = ue_anchors(cfg, 5, 3, DeviceType::phone);
+  // Midday (well after the depart leg finished) the commuter is at work;
+  // pre-dawn it is at home.
+  const Vec2 dawn = position_at(com, cfg, 1 * k_ms_per_hour);
+  EXPECT_DOUBLE_EQ(dawn.x, a.home.x);
+  EXPECT_DOUBLE_EQ(dawn.y, a.home.y);
+  UeTrack com2;
+  init_track(com2, cfg, 5, 3, DeviceType::phone, 0);
+  const Vec2 noon = position_at(com2, cfg, 12 * k_ms_per_hour);
+  EXPECT_DOUBLE_EQ(noon.x, a.work.x);
+  EXPECT_DOUBLE_EQ(noon.y, a.work.y);
+}
+
+TEST(Spatializer, HoTargetIsANeighborOfTheServingCell) {
+  const SpatialConfig cfg = load_spatial("grid:8x8x150");
+  std::vector<DeviceType> devices(50, DeviceType::phone);
+  Spatializer serving(cfg, 21, devices, 0);
+  Spatializer ho(cfg, 21, devices, 0);
+  for (UeId ue = 0; ue < 50; ++ue) {
+    const TimeMs t = 10 * k_ms_per_minute + ue * 1000;
+    const std::uint32_t s = serving.cell_for(ue, t, EventType::atch);
+    const std::uint32_t h = ho.cell_for(ue, t, EventType::ho);
+    std::uint32_t nb[8];
+    const std::uint32_t n = cfg.grid.neighbors(s, nb);
+    EXPECT_TRUE(std::find(nb, nb + n, h) != nb + n)
+        << "ue " << ue << ": ho target " << h << " not adjacent to " << s;
+  }
+}
+
+TEST(Spatializer, AnnotateMatchesPerEventQueriesAndTallies) {
+  const SpatialConfig cfg = load_spatial("grid:8x8x150");
+  std::vector<DeviceType> devices(10, DeviceType::phone);
+
+  EventColumns cols;
+  for (int i = 0; i < 200; ++i) {
+    cols.ts.push_back(i * 5000);
+    cols.ue.push_back(static_cast<UeId>(i % devices.size()));
+    cols.type.push_back(i % 7 == 0 ? EventType::ho : EventType::srv_req);
+  }
+
+  Spatializer annotator(cfg, 9, devices, 0);
+  std::vector<std::uint64_t> tally(cfg.grid.num_cells(), 0);
+  annotator.annotate(cols, &tally);
+  ASSERT_EQ(cols.cell.size(), cols.ts.size());
+
+  Spatializer reference(cfg, 9, devices, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols.cell[i],
+              reference.cell_for(cols.ue[i], cols.ts[i], cols.type[i]))
+        << "event " << i;
+    ++total;
+  }
+  std::uint64_t tallied = 0;
+  for (std::size_t c = 0; c < tally.size(); ++c) tallied += tally[c];
+  EXPECT_EQ(tallied, total);
+}
+
+}  // namespace
+}  // namespace cpg::spatial

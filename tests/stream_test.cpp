@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "stream/bounded_queue.h"
 #include "stream/csv_sink.h"
+#include "spatial/config.h"
 #include "stream/mcn_sink.h"
 #include "stream/stream_generator.h"
 #include "test_util.h"
@@ -334,6 +335,131 @@ TEST(Stream, MetricsAccountForEveryDeliveredEvent) {
   // The streamed output also stays byte-identical with metrics enabled
   // (instrumentation must not perturb the delivered sequence).
   EXPECT_EQ(stats.events, batch_trace().num_events());
+}
+
+// ---------------------------------------------------------------------------
+// Spatial layer: cell-annotated delivery
+// ---------------------------------------------------------------------------
+
+struct CellRow {
+  TimeMs t;
+  UeId ue;
+  EventType type;
+  std::uint32_t cell;
+  bool operator==(const CellRow&) const = default;
+};
+
+// Captures the full annotated stream — (t, ue, type, cell) per event — via
+// the columnar hook, the only path that carries the cell column.
+class CellRowSink final : public EventSink {
+ public:
+  std::vector<CellRow> rows;
+  bool header_had_spatial = false;
+
+  void on_start(const StreamHeader& h) override {
+    header_had_spatial = h.spatial != nullptr;
+    rows.clear();
+  }
+  void on_event(const ControlEvent&) override {
+    FAIL() << "unpaced delivery must use the columnar path";
+  }
+  void on_event_columns(const EventColumnsView& cols) override {
+    ASSERT_TRUE(cols.has_cells() || cols.empty());
+    for (std::size_t i = 0; i < cols.n; ++i) {
+      rows.push_back({cols.ts[i], cols.ue[i], cols.type[i], cols.cell[i]});
+    }
+  }
+};
+
+TEST(Spatial, CellsAreByteIdenticalAcrossShardsSlicesThreads) {
+  const spatial::SpatialConfig cfg = spatial::load_spatial("grid:12x12x300");
+
+  StreamOptions ref_opts;
+  ref_opts.num_shards = 1;
+  ref_opts.num_threads = 1;
+  ref_opts.spatial = &cfg;
+  CellRowSink ref;
+  stream_generate(ours_model(), small_request(), ref_opts, ref);
+  ASSERT_GT(ref.rows.size(), 100u);
+  EXPECT_TRUE(ref.header_had_spatial);
+
+  // The annotated stream is the plain stream plus a cell column: same
+  // events, same order, and every cell id on the grid.
+  const Trace& batch = batch_trace();
+  ASSERT_EQ(ref.rows.size(), batch.num_events());
+  const auto batch_events = batch.events();
+  for (std::size_t i = 0; i < ref.rows.size(); ++i) {
+    ASSERT_EQ(ref.rows[i].t, batch_events[i].t_ms);
+    ASSERT_EQ(ref.rows[i].ue, batch_events[i].ue_id);
+    ASSERT_EQ(ref.rows[i].type, batch_events[i].type);
+    ASSERT_LT(ref.rows[i].cell, cfg.grid.num_cells());
+  }
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    for (const TimeMs slice_ms : {7 * k_ms_per_minute, 25 * k_ms_per_minute}) {
+      for (const unsigned threads : {1u, 3u}) {
+        StreamOptions opts;
+        opts.num_shards = shards;
+        opts.num_threads = threads;
+        opts.slice_ms = slice_ms;
+        opts.spatial = &cfg;
+        CellRowSink cap;
+        stream_generate(ours_model(), small_request(), opts, cap);
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " slice_ms=" + std::to_string(slice_ms) +
+                     " threads=" + std::to_string(threads));
+        ASSERT_EQ(cap.rows.size(), ref.rows.size());
+        EXPECT_TRUE(
+            std::equal(cap.rows.begin(), cap.rows.end(), ref.rows.begin()));
+      }
+    }
+  }
+}
+
+TEST(Spatial, RunWithoutSpatialCarriesNoCellColumn) {
+  StreamOptions opts;
+  opts.num_shards = 2;
+  bool any = false;
+  bool cells = false;
+  class Probe final : public EventSink {
+   public:
+    bool* any;
+    bool* cells;
+    void on_event(const ControlEvent&) override {}
+    void on_event_columns(const EventColumnsView& cols) override {
+      if (cols.empty()) return;
+      *any = true;
+      if (cols.has_cells()) *cells = true;
+    }
+  } probe;
+  probe.any = &any;
+  probe.cells = &cells;
+  stream_generate(ours_model(), small_request(), opts, probe);
+  EXPECT_TRUE(any);
+  EXPECT_FALSE(cells);
+}
+
+TEST(Spatial, PerCellMetricsAccountForEveryEvent) {
+  const spatial::SpatialConfig cfg = spatial::load_spatial("grid:4x4x900");
+  obs::Registry registry;
+  StreamOptions opts;
+  opts.num_shards = 4;
+  opts.spatial = &cfg;
+  opts.metrics = &registry;
+  CountingSink sink;
+  const StreamStats stats =
+      stream_generate(ours_model(), small_request(), opts, sink);
+  std::uint64_t cell_sum = 0;
+  std::size_t cell_series = 0;
+  for (const obs::FamilySnapshot& fam : registry.snapshot()) {
+    if (fam.name != "cpg_spatial_cell_events_total") continue;
+    for (const obs::SeriesSnapshot& s : fam.series) {
+      cell_sum += s.counter;
+      ++cell_series;
+    }
+  }
+  EXPECT_EQ(cell_sum, stats.events);
+  EXPECT_GT(cell_series, 1u);
 }
 
 }  // namespace

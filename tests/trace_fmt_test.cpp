@@ -147,6 +147,131 @@ TEST_F(CpgtFile, WriterReaderRoundTripManyBlocks) {
   EXPECT_EQ(got, evs);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-version: v1 (plain) and v2 (spatial) files through one reader
+// ---------------------------------------------------------------------------
+
+TEST_F(CpgtFile, PlainWriterStillEmitsVersion1) {
+  // A run without the spatial layer must keep producing files older builds
+  // (and old fixtures) can read: format version 1, no spatial block.
+  const std::vector<DeviceType> devices{DeviceType::phone,
+                                        DeviceType::tablet};
+  tf::TraceWriter writer(path("v1.cpgt"));
+  writer.begin(devices, 0, 1000);
+  const std::vector<ControlEvent> evs = make_events(100, devices.size());
+  writer.append(evs);
+  writer.finish();
+
+  tf::TraceReader reader(path("v1.cpgt"));
+  EXPECT_EQ(reader.version(), 1u);
+  EXPECT_FALSE(reader.has_spatial());
+  std::vector<ControlEvent> block;
+  while (reader.next_events(block)) {
+    // A v1 file has no cell column to surface.
+    EXPECT_TRUE(reader.cells().empty());
+  }
+  EXPECT_EQ(reader.total_events(), evs.size());
+}
+
+TEST_F(CpgtFile, SpatialRoundTripCarriesCellsPerBlock) {
+  const std::vector<DeviceType> devices{
+      DeviceType::phone, DeviceType::phone, DeviceType::connected_car,
+      DeviceType::tablet};
+  const std::vector<ControlEvent> evs = make_events(5'000, devices.size());
+  std::vector<TimeMs> ts;
+  std::vector<UeId> ue;
+  std::vector<EventType> type;
+  std::vector<std::uint32_t> cell;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    ts.push_back(evs[i].t_ms);
+    ue.push_back(evs[i].ue_id);
+    type.push_back(evs[i].type);
+    cell.push_back(static_cast<std::uint32_t>((i * 31) % 64));
+  }
+
+  tf::SpatialInfo sp;
+  sp.cols = 8;
+  sp.rows = 8;
+  sp.cell_m = 250.0;
+  sp.wrap = true;
+  sp.ta_block = 4;
+  sp.fingerprint = 0xabcdef12u;
+
+  tf::TraceWriter::Options opts;
+  opts.block_events = 256;  // many events+cells block pairs
+  tf::TraceWriter writer(path("v2.cpgt"), opts);
+  writer.begin(devices, 0, 3'600'000, &sp);
+  // Uneven chunks to exercise cell buffering across block cuts.
+  std::size_t i = 0;
+  for (const std::size_t chunk : {1uz, 700uz, 2999uz}) {
+    writer.append(EventColumnsView{ts.data() + i, ue.data() + i,
+                                   type.data() + i, chunk, cell.data() + i});
+    i += chunk;
+  }
+  writer.append(EventColumnsView{ts.data() + i, ue.data() + i,
+                                 type.data() + i, evs.size() - i,
+                                 cell.data() + i});
+  writer.finish();
+
+  tf::TraceReader reader(path("v2.cpgt"));
+  EXPECT_EQ(reader.version(), 2u);
+  ASSERT_TRUE(reader.has_spatial());
+  EXPECT_EQ(reader.spatial(), sp);
+  std::vector<ControlEvent> got, block;
+  std::vector<std::uint32_t> got_cells;
+  while (reader.next_events(block)) {
+    ASSERT_EQ(reader.cells().size(), block.size());
+    got.insert(got.end(), block.begin(), block.end());
+    got_cells.insert(got_cells.end(), reader.cells().begin(),
+                     reader.cells().end());
+  }
+  EXPECT_EQ(got, evs);
+  EXPECT_EQ(got_cells, cell);
+}
+
+TEST_F(CpgtFile, SpatialAndPlainFilesAgreeOnEvents) {
+  // The cell column is strictly additive: the same event sequence written
+  // with and without a spatial block decodes to the same events.
+  const std::vector<DeviceType> devices{DeviceType::phone};
+  const std::vector<ControlEvent> evs = make_events(1'000, 1);
+  std::vector<TimeMs> ts;
+  std::vector<UeId> ue;
+  std::vector<EventType> type;
+  const std::vector<std::uint32_t> cell(evs.size(), 7);
+  for (const ControlEvent& e : evs) {
+    ts.push_back(e.t_ms);
+    ue.push_back(e.ue_id);
+    type.push_back(e.type);
+  }
+
+  tf::TraceWriter plain(path("plain.cpgt"));
+  plain.begin(devices, 0, 1000);
+  plain.append(evs);
+  plain.finish();
+
+  tf::SpatialInfo sp;
+  sp.cols = 4;
+  sp.rows = 4;
+  sp.cell_m = 100.0;
+  sp.fingerprint = 1;
+  tf::TraceWriter spatial(path("spatial.cpgt"), {});
+  spatial.begin(devices, 0, 1000, &sp);
+  spatial.append(
+      EventColumnsView{ts.data(), ue.data(), type.data(), ts.size(),
+                       cell.data()});
+  spatial.finish();
+
+  const Trace a = tf::read_trace_cpgt(path("plain.cpgt"));
+  const Trace b = tf::read_trace_cpgt(path("spatial.cpgt"));
+  ASSERT_EQ(a.num_events(), b.num_events());
+  const auto ea = a.events();
+  const auto eb = b.events();
+  EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin()));
+  // And the two headers differ exactly in version.
+  EXPECT_EQ(tf::TraceReader(path("plain.cpgt")).version(), 1u);
+  EXPECT_EQ(tf::TraceReader(path("spatial.cpgt")).version(), 2u);
+}
+
 TEST_F(CpgtFile, EmptyTraceRoundTrip) {
   tf::TraceWriter writer(path("empty.cpgt"));
   writer.begin({}, 0, 0);

@@ -39,6 +39,7 @@
 #include "obs/reporter.h"
 #include "scenario/scenario.h"
 #include "scenario/spec.h"
+#include "spatial/config.h"
 #include "stream/binary_sink.h"
 #include "stream/csv_sink.h"
 #include "stream/mcn_sink.h"
@@ -85,7 +86,7 @@ constexpr const char* k_worker_passthrough[] = {
     "model",     "scenario",  "phones",       "cars",
     "tablets",   "start-hour", "hours",       "seed",
     "shards",    "threads",   "slice-min",    "queue-events",
-    "checkpoint-dir", "checkpoint-interval"};
+    "checkpoint-dir", "checkpoint-interval", "spatial"};
 
 int run(int argc, char** argv) {
   const auto flags = cli::parse_flags(argc, argv);
@@ -163,6 +164,13 @@ int run(int argc, char** argv) {
     spec = scenario::parse_scenario_file(flags.at("scenario"));
   }
 
+  // Spatial layer: loaded before the model for the same fail-fast reason.
+  // The config outlives the run (StreamOptions keeps a pointer).
+  std::optional<spatial::SpatialConfig> spatial;
+  if (flags.count("spatial") != 0) {
+    spatial.emplace(spatial::load_spatial(flags.at("spatial")));
+  }
+
   // UE counts share a dense 32-bit id space; hour-of-day and thread/shard
   // counts are truncated into narrower types below — all range-checked so an
   // absurd or overflowing value is a one-line error, not a wrapped cast.
@@ -183,6 +191,7 @@ int run(int argc, char** argv) {
       cli::flag_u64_range(flags, "threads", 0, 0, 4096));
 
   stream::StreamOptions options;
+  if (spatial.has_value()) options.spatial = &*spatial;
   options.num_shards = cli::flag_u64_range(flags, "shards", 0, 0, 4096);
   options.num_threads = request.num_threads;
   options.slice_ms = static_cast<TimeMs>(
@@ -348,6 +357,7 @@ int run(int argc, char** argv) {
     scenario::CompileOptions copts;
     copts.seed = seed;
     copts.ue_options = request.ue_options;
+    if (spatial.has_value()) copts.spatial = &*spatial;
     scen.emplace(scenario::compile(*spec, set, copts));
     std::cerr << "scenario '" << spec->name << "': "
               << scen->plan.device_of.size() << " UEs across "

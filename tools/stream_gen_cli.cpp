@@ -17,6 +17,11 @@ const char* const k_usage = R"(usage: stream_gen [options]
   --start-hour <h>          starting hour of day (default 10)
   --hours <h>               duration in hours (default 1.0)
   --seed <s>                master seed (default 42)
+  --spatial <spec>          attach a spatial layer: a topology spec file, or
+                            grid:<cols>x<rows>x<cell_m>[:wrap|:clip] to
+                            synthesize one. Every event then carries the
+                            serving cell (cpgt v2 cell column, per-cell
+                            metrics); scenario `storm` verbs require this
   --shards <k>              shard count (0 = one per worker thread)
   --threads <t>             worker threads (0 = hardware concurrency)
   --slice-min <m>           slice length in minutes (default 10)
@@ -72,7 +77,7 @@ const char* const k_usage = R"(usage: stream_gen [options]
 const std::set<std::string>& value_flags() {
   static const std::set<std::string> flags{
       "model",      "scenario", "phones",      "cars",        "tablets",
-      "start-hour", "hours",    "seed",        "shards",
+      "start-hour", "hours",    "seed",        "shards",      "spatial",
       "threads",    "slice-min", "queue-events", "clock",
       "accel",      "out",      "format",      "metrics-out",
       "metrics-interval-s",
